@@ -1,0 +1,102 @@
+// §6.3: "these [result-consuming middlebox] applications operate much
+// faster than the virtual DPI instances and thus are not a bottleneck in
+// the system. For this reason, the overhead of buffering and reordering
+// packets in these applications do not impose significant delays or any
+// throughput degradation."
+//
+// This harness measures the middlebox client side: decoding result packets
+// and applying rule logic, compared against the DPI instance's scan rate
+// over the same traffic.
+#include "bench_util.hpp"
+#include "mbox/boxes.hpp"
+#include "net/result.hpp"
+#include "service/instance.hpp"
+
+using namespace dpisvc;
+using namespace dpisvc::bench;
+
+int main() {
+  print_header("Section 6.3: result-consuming middlebox vs DPI instance");
+
+  const auto patterns = workload::generate_patterns(workload::snort_like(4356));
+  auto engine = engine_for(patterns);
+
+  mbox::Ids ids(1, /*stateful=*/false);
+  dpi::PatternId id = 0;
+  for (const auto& p : patterns) {
+    mbox::RuleSpec rule;
+    rule.id = id++;
+    rule.exact = p;
+    rule.verdict = mbox::Verdict::kAlert;
+    ids.add_rule(rule);
+  }
+
+  // Pre-scan a high-match trace and materialize (packet, encoded report)
+  // pairs — the stream the client consumes.
+  workload::TrafficConfig config;
+  config.num_packets = 4000;
+  config.planted_match_rate = 0.5;  // stress the client: many reports
+  config.planted_patterns.assign(patterns.begin(), patterns.begin() + 64);
+  config.seed = 63;
+  const auto trace = workload::generate_http_trace(config);
+
+  struct ClientInput {
+    net::Packet data;
+    Bytes encoded_report;  // empty when no matches
+  };
+  std::vector<ClientInput> inputs;
+  std::uint64_t payload_bytes = 0;
+  std::uint16_t ip_id = 0;
+  for (const auto& t : trace) {
+    ClientInput input;
+    input.data = workload::to_packet(t, ip_id++);
+    payload_bytes += t.payload.size();
+    const dpi::ScanResult scanned = engine->scan_packet(1, t.payload);
+    if (scanned.has_matches()) {
+      net::MatchReport report;
+      report.policy_chain_id = 1;
+      for (const auto& m : scanned.matches) {
+        if (!m.entries.empty()) {
+          report.sections.push_back(
+              net::MiddleboxSection{m.middlebox, m.entries});
+        }
+      }
+      input.encoded_report =
+          net::encode_report(report, net::ReportCodec::kUniform6);
+    }
+    inputs.push_back(std::move(input));
+  }
+
+  // DPI-instance side rate.
+  const double dpi_mbps = measure_scan_mbps(*engine, 1, trace, 32ull << 20);
+
+  // Client side: decode + rule application per packet.
+  const int kRounds = 40;
+  Stopwatch watch;
+  for (int r = 0; r < kRounds; ++r) {
+    for (const ClientInput& input : inputs) {
+      if (input.encoded_report.empty()) {
+        ids.apply_report_entries(input.data, {});
+        continue;
+      }
+      const net::MatchReport report = net::decode_report(input.encoded_report);
+      for (const net::MiddleboxSection& section : report.sections) {
+        if (section.middlebox_id == ids.profile().id) {
+          ids.apply_report_entries(input.data, section.entries);
+        }
+      }
+    }
+  }
+  const double client_mbps =
+      to_mbps(payload_bytes * kRounds, watch.elapsed_seconds());
+
+  std::printf("%-36s %12.0f Mbps\n", "DPI instance scan rate", dpi_mbps);
+  std::printf("%-36s %12.0f Mbps (payload-equivalent)\n",
+              "middlebox client result handling", client_mbps);
+  std::printf("\nclient / DPI ratio: %.1fx — the client is not the "
+              "bottleneck (paper: clients 'operate much faster')\n",
+              client_mbps / dpi_mbps);
+  std::printf("(client processed %llu rule hits)\n",
+              static_cast<unsigned long long>(ids.total_rule_hits()));
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Figure 10: "Actual achievable throughput for two separate middleboxes
+// that handle different traffic (red, dashed rectangle), compared to the
+// theoretical achievable throughput of our combined instances of virtual
+// DPI (blue, solid triangle)."
+//
+// Scenario (Figure 3): two traffic classes, each inspected against its own
+// pattern set, on two machines.
+//  - Separate: machine 1 runs set A only, machine 2 runs set B only. The
+//    achievable region is the rectangle [0,T_A] x [0,T_B]: neither machine
+//    can help the other.
+//  - Virtual DPI: both machines run the combined engine; either machine can
+//    take either class. The region is the triangle x + y <= 2*T_{A+B}.
+// The interesting area is the part of the triangle outside the rectangle:
+// e.g. one class can exceed 100% of its dedicated-machine capacity when the
+// other is underloaded (§6.4's Clam-AV example).
+#include "bench_util.hpp"
+
+using namespace dpisvc;
+using namespace dpisvc::bench;
+
+namespace {
+
+void run_scenario(const char* title, const std::vector<std::string>& set_a,
+                  const char* name_a, const std::vector<std::string>& set_b,
+                  const char* name_b, const workload::Trace& trace) {
+  // One engine resident at a time (each machine runs one engine).
+  const std::uint64_t kBytes = 32ull << 20;
+  double t_a;
+  {
+    auto engine_a = engine_for(set_a);
+    t_a = measure_scan_mbps(*engine_a, 1, trace, kBytes);
+  }
+  double t_b;
+  {
+    auto engine_b = engine_for(set_b);
+    t_b = measure_scan_mbps(*engine_b, 1, trace, kBytes);
+  }
+  // Chains 2/3 of the combined engine scan against one set's bitmap only —
+  // the combined machine serving one traffic class.
+  auto combined = combined_engine_for(set_a, set_b);
+  const double t_ca = measure_scan_mbps(*combined, 2, trace, kBytes);
+  const double t_cb = measure_scan_mbps(*combined, 3, trace, kBytes);
+
+  std::printf("\n--- %s ---\n", title);
+  std::printf("dedicated machines:  T_%s = %.0f Mbps, T_%s = %.0f Mbps\n",
+              name_a, t_a, name_b, t_b);
+  std::printf("combined machines:   T per machine: %.0f (class %s) / %.0f "
+              "(class %s)\n", t_ca, name_a, t_cb, name_b);
+
+  std::printf("\nregion boundaries (x = %s load, y = %s load, Mbps):\n",
+              name_a, name_b);
+  std::printf("%-8s %16s %18s\n", "x", "rect y-max", "triangle y-max");
+  // Separate rectangle: y <= T_b while x <= T_a (0 beyond).
+  // Combined triangle: each machine splits between classes; with machine 1
+  // giving fraction f to class A: x = f*t_ca*2 is infeasible — instead use
+  // the standard region: x/t_ca + y/t_cb <= 2 (two machines' worth of
+  // combined capacity, classes interchangeable).
+  const double x_max = 2.0 * t_ca;
+  for (int step = 0; step <= 10; ++step) {
+    const double x = x_max * step / 10.0;
+    const double rect_y = x <= t_a ? t_b : 0.0;
+    const double tri_y = (2.0 - x / t_ca) * t_cb;
+    std::printf("%-8.0f %16.0f %18.0f\n", x, rect_y, std::max(0.0, tri_y));
+  }
+  const double over = (2.0 * t_cb / t_b - 1.0) * 100.0;
+  std::printf("\nwhen %s is idle, %s can reach %.0f Mbps = %.0f%% above its "
+              "dedicated machine (paper: can exceed 100%%)\n",
+              name_a, name_b, 2.0 * t_cb, over);
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "Figure 10: achievable-throughput regions, separate vs combined");
+
+  const auto snort = workload::generate_patterns(workload::snort_like(4356));
+  const auto split = workload::split_random(snort, 2, 99);
+  const auto trace = benign_trace(snort);
+  run_scenario("Fig 10(a): Snort1 vs Snort2", split[0], "Snort1", split[1],
+               "Snort2", trace);
+
+  const auto clamav =
+      workload::generate_patterns(workload::clamav_like(31827));
+  run_scenario("Fig 10(b): Snort vs ClamAV", snort, "Snort", clamav,
+               "ClamAV", trace);
+
+  std::printf("\nshape target: the triangle strictly contains the rectangle "
+              "corner region above/right of it\n");
+  return 0;
+}

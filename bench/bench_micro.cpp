@@ -1,0 +1,130 @@
+// Google-benchmark microbenchmarks for the core primitives: AC traversal,
+// combined-engine scan, report encode/decode, regex evaluation, packet
+// wire round-trip. These are regression guards for the hot paths behind
+// every table/figure harness.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "dpi/flow_table.hpp"
+#include "net/packet.hpp"
+#include "net/result.hpp"
+#include "regex/matcher.hpp"
+
+using namespace dpisvc;
+using namespace dpisvc::bench;
+
+namespace {
+
+const std::vector<std::string>& snort_patterns() {
+  static const auto patterns =
+      workload::generate_patterns(workload::snort_like(4356));
+  return patterns;
+}
+
+const workload::Trace& http_trace() {
+  static const auto trace = benign_trace(snort_patterns(), 500);
+  return trace;
+}
+
+void BM_AcTraverse(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  const std::vector<std::string> subset(
+      snort_patterns().begin(),
+      snort_patterns().begin() + static_cast<long>(count));
+  auto engine = engine_for(subset);
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    for (const auto& p : http_trace()) {
+      benchmark::DoNotOptimize(engine->traverse_only(p.payload));
+      bytes += p.payload.size();
+    }
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_AcTraverse)->Arg(500)->Arg(4356);
+
+void BM_EngineScan(benchmark::State& state) {
+  auto engine = engine_for(snort_patterns());
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    for (const auto& p : http_trace()) {
+      benchmark::DoNotOptimize(engine->scan_packet(1, p.payload));
+      bytes += p.payload.size();
+    }
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_EngineScan);
+
+void BM_CompressedScan(benchmark::State& state) {
+  dpi::EngineConfig config;
+  config.use_compressed_automaton = true;
+  auto engine = engine_for(snort_patterns(), config);
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    for (const auto& p : http_trace()) {
+      benchmark::DoNotOptimize(engine->scan_packet(1, p.payload));
+      bytes += p.payload.size();
+    }
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_CompressedScan);
+
+void BM_ReportEncodeDecode(benchmark::State& state) {
+  net::MatchReport report;
+  report.policy_chain_id = 1;
+  net::MiddleboxSection section;
+  section.middlebox_id = 1;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    section.entries.push_back(net::MatchEntry{
+        static_cast<std::uint16_t>(i), 100 + i * 7, 1 + (i % 3)});
+  }
+  report.sections.push_back(section);
+  for (auto _ : state) {
+    const Bytes encoded = net::encode_report(report, net::ReportCodec::kUniform6);
+    benchmark::DoNotOptimize(net::decode_report(encoded));
+  }
+}
+BENCHMARK(BM_ReportEncodeDecode);
+
+void BM_RegexPikeVm(benchmark::State& state) {
+  regex::Matcher matcher(
+      regex::Program::compile(R"(User-Agent:\s*[a-z]+bot\d{2,4})"));
+  const std::string haystack(1024, 'x');
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matcher.search(haystack));
+    bytes += haystack.size();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_RegexPikeVm);
+
+void BM_PacketWireRoundTrip(benchmark::State& state) {
+  const net::Packet packet = workload::to_packet(http_trace()[0], 1);
+  for (auto _ : state) {
+    const Bytes wire = packet.to_wire();
+    benchmark::DoNotOptimize(net::Packet::from_wire(wire));
+  }
+}
+BENCHMARK(BM_PacketWireRoundTrip);
+
+void BM_FlowTableUpdateLookup(benchmark::State& state) {
+  dpi::FlowTable table(1 << 16);
+  std::uint16_t port = 0;
+  for (auto _ : state) {
+    net::FiveTuple flow;
+    flow.src_ip = net::Ipv4Addr(10, 0, 0, 1);
+    flow.dst_ip = net::Ipv4Addr(10, 0, 0, 2);
+    flow.src_port = port++;
+    flow.dst_port = 80;
+    table.update(flow, dpi::FlowCursor{1, 1, true});
+    benchmark::DoNotOptimize(table.lookup(flow));
+  }
+}
+BENCHMARK(BM_FlowTableUpdateLookup);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// Table 2: "Comparing the performance of two middleboxes, one running on
+// pattern sets of Snort1 and the other on pattern sets of Snort2, to one
+// virtual DPI instance with the combined pattern sets of Snort1 and Snort2."
+//
+// Paper values (their testbed):
+//   Snort1        2,500 patterns   34.45 MB    981 Mbps
+//   Snort2        1,856 patterns   24.34 MB    931 Mbps
+//   Snort1+Snort2 4,356 patterns   57.21 MB    768 Mbps
+//
+// Shape targets: combined space < sum of parts (shared states), combined
+// throughput only modestly below each part (paper: ~12-18% below), driven
+// by pattern count, not by the combining itself.
+//
+// Also reproduces the §4.1 observation that the *pattern sets* shipped to
+// instances are compact (a couple of MB) while the DFAs are tens of MB.
+#include <numeric>
+
+#include "bench_util.hpp"
+
+using namespace dpisvc;
+using namespace dpisvc::bench;
+
+namespace {
+
+struct Row {
+  const char* name;
+  std::size_t patterns;
+  double space_mb;
+  double pattern_set_kb;
+  double mbps;
+};
+
+double pattern_bytes_kb(const std::vector<std::string>& patterns) {
+  std::size_t total = 0;
+  for (const auto& p : patterns) total += p.size();
+  return static_cast<double>(total) / 1024.0;
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "Table 2: separate middleboxes (Snort1, Snort2) vs one virtual DPI "
+      "with the combined set");
+
+  // The paper splits Snort's 4,356 exact patterns into 2,500 + 1,856.
+  const auto all = workload::generate_patterns(workload::snort_like(4356));
+  std::vector<std::string> snort1(all.begin(), all.begin() + 2500);
+  std::vector<std::string> snort2(all.begin() + 2500, all.end());
+
+  const auto trace = benign_trace(all);
+
+  auto engine1 = engine_for(snort1);
+  auto engine2 = engine_for(snort2);
+  auto combined = combined_engine_for(snort1, snort2);
+
+  const Row rows[] = {
+      {"Snort1", snort1.size(), engine1->memory_bytes() / 1e6,
+       pattern_bytes_kb(snort1),
+       measure_scan_mbps(*engine1, 1, trace)},
+      {"Snort2", snort2.size(), engine2->memory_bytes() / 1e6,
+       pattern_bytes_kb(snort2),
+       measure_scan_mbps(*engine2, 1, trace)},
+      {"Snort1+Snort2", all.size(), combined->memory_bytes() / 1e6,
+       pattern_bytes_kb(all),
+       measure_scan_mbps(*combined, 1, trace)},
+  };
+
+  std::printf("%-15s %9s %12s %16s %12s\n", "Sets", "Patterns", "Space[MB]",
+              "PatternSet[KB]", "Throughput");
+  for (const Row& row : rows) {
+    std::printf("%-15s %9zu %12.2f %16.1f %9.0f Mbps\n", row.name,
+                row.patterns, row.space_mb, row.pattern_set_kb, row.mbps);
+  }
+
+  const double degradation = 1.0 - rows[2].mbps / std::min(rows[0].mbps,
+                                                           rows[1].mbps);
+  std::printf("\ncombined vs best separate: %.1f%% lower throughput "
+              "(paper: ~12%%)\n", degradation * 100.0);
+  std::printf("combined space vs sum of parts: %.2f MB vs %.2f MB\n",
+              rows[2].space_mb, rows[0].space_mb + rows[1].space_mb);
+  std::printf("pattern sets stay compact (%.0f KB) while DFAs are tens of "
+              "MB (the §4.1 distribution argument)\n",
+              rows[2].pattern_set_kb);
+  return 0;
+}

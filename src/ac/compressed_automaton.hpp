@@ -1,0 +1,101 @@
+// Failure-link (compressed) Aho-Corasick automaton.
+//
+// Instead of materializing all 256 transitions per state, each state keeps
+// only its forward (goto) edges plus the failure pointer; a missing edge is
+// resolved by walking failure links at scan time. Memory drops from
+// states*256*4 bytes to a few bytes per edge, at the cost of a data-dependent
+// number of memory touches per input byte.
+//
+// This is the "different AC implementation ... more suitable for handling
+// this kind of traffic" that MCA² dedicated instances run (§4.3.1, [9,10]):
+// its worst-case per-byte work is bounded by the pattern depth and its small
+// footprint stays cache-resident under adversarial traffic that is designed
+// to thrash a full table.
+//
+// State numbering matches FullAutomaton: accepting states are exactly
+// {0..num_accepting-1}, so match tables and bitmaps index identically across
+// the two representations built from the same trie.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ac/full_automaton.hpp"  // for Match
+#include "ac/trie.hpp"
+#include "common/bytes.hpp"
+
+namespace dpisvc::ac {
+
+class CompressedAutomaton {
+ public:
+  CompressedAutomaton() = default;
+
+  static CompressedAutomaton build(Trie& trie);
+
+  std::uint32_t num_states() const noexcept { return num_states_; }
+  std::uint32_t num_accepting() const noexcept { return num_accepting_; }
+  StateIndex start_state() const noexcept { return start_; }
+
+  bool is_accepting(StateIndex state) const noexcept {
+    return state < num_accepting_;
+  }
+
+  /// Single transition: follows failure links until a forward edge matches
+  /// (or the root is reached).
+  StateIndex step(StateIndex state, std::uint8_t byte) const noexcept;
+
+  const std::vector<PatternIndex>& matches_at(StateIndex accept) const {
+    return match_table_[accept];
+  }
+
+  std::uint32_t depth(StateIndex state) const { return depth_[state]; }
+
+  template <typename OnMatch>
+  StateIndex scan(BytesView data, StateIndex state, OnMatch&& on_match) const {
+    std::uint64_t cnt = 0;
+    for (std::uint8_t byte : data) {
+      state = step(state, byte);
+      ++cnt;
+      if (state < num_accepting_) {
+        on_match(Match{cnt, state});
+      }
+    }
+    return state;
+  }
+
+  template <typename OnMatch>
+  StateIndex scan(BytesView data, OnMatch&& on_match) const {
+    return scan(data, start_, std::forward<OnMatch>(on_match));
+  }
+
+  StateIndex traverse(BytesView data, StateIndex state) const noexcept {
+    for (std::uint8_t byte : data) {
+      state = step(state, byte);
+    }
+    return state;
+  }
+
+  std::size_t memory_bytes() const noexcept;
+
+ private:
+  struct EdgeRange {
+    std::uint32_t begin = 0;  // into edges_
+    std::uint32_t end = 0;
+  };
+
+  struct Edge {
+    std::uint8_t byte = 0;
+    StateIndex target = 0;
+  };
+
+  std::uint32_t num_states_ = 0;
+  std::uint32_t num_accepting_ = 0;
+  StateIndex start_ = 0;
+  std::vector<EdgeRange> ranges_;  // per state, sorted edges in edges_
+  std::vector<Edge> edges_;
+  std::vector<StateIndex> fail_;
+  std::vector<std::vector<PatternIndex>> match_table_;
+  std::vector<std::uint32_t> depth_;
+};
+
+}  // namespace dpisvc::ac

@@ -1,0 +1,120 @@
+#include "ac/serialize.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace dpisvc::ac {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x46444341u;  // "ACDF" little-endian
+constexpr std::uint32_t kVersion = 1;
+
+void put_u32(Bytes& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 24) & 0xFF));
+}
+
+class Reader {
+ public:
+  explicit Reader(BytesView data) : data_(data) {}
+
+  std::uint32_t u32() {
+    if (pos_ + 4 > data_.size()) {
+      throw std::invalid_argument("ac::deserialize: truncated input");
+    }
+    std::uint32_t v = 0;
+    v |= data_[pos_];
+    v |= static_cast<std::uint32_t>(data_[pos_ + 1]) << 8;
+    v |= static_cast<std::uint32_t>(data_[pos_ + 2]) << 16;
+    v |= static_cast<std::uint32_t>(data_[pos_ + 3]) << 24;
+    pos_ += 4;
+    return v;
+  }
+
+  bool done() const noexcept { return pos_ == data_.size(); }
+
+ private:
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Bytes serialize(const FullAutomaton& automaton) {
+  Bytes out;
+  const std::uint32_t n = automaton.num_states();
+  const std::uint32_t f = automaton.num_accepting();
+  out.reserve(20 + static_cast<std::size_t>(n) * 256u * 4u + n * 4u);
+  put_u32(out, kMagic);
+  put_u32(out, kVersion);
+  put_u32(out, n);
+  put_u32(out, f);
+  put_u32(out, automaton.start_state());
+  for (StateIndex s = 0; s < n; ++s) {
+    for (unsigned b = 0; b < 256; ++b) {
+      put_u32(out, automaton.step(s, static_cast<std::uint8_t>(b)));
+    }
+  }
+  for (StateIndex s = 0; s < n; ++s) {
+    put_u32(out, automaton.depth(s));
+  }
+  for (StateIndex s = 0; s < f; ++s) {
+    const auto& row = automaton.matches_at(s);
+    put_u32(out, static_cast<std::uint32_t>(row.size()));
+    for (PatternIndex p : row) {
+      put_u32(out, p);
+    }
+  }
+  return out;
+}
+
+FullAutomaton deserialize(BytesView data) {
+  Reader reader(data);
+  if (reader.u32() != kMagic) {
+    throw std::invalid_argument("ac::deserialize: bad magic");
+  }
+  if (reader.u32() != kVersion) {
+    throw std::invalid_argument("ac::deserialize: unsupported version");
+  }
+  FullAutomaton out;
+  out.num_states_ = reader.u32();
+  out.num_accepting_ = reader.u32();
+  out.start_ = reader.u32();
+  if (out.num_accepting_ > out.num_states_ ||
+      out.start_ >= std::max(out.num_states_, 1u)) {
+    throw std::invalid_argument("ac::deserialize: inconsistent header");
+  }
+  const std::size_t n = out.num_states_;
+  out.table_.resize(n * 256u);
+  for (std::size_t i = 0; i < n * 256u; ++i) {
+    const std::uint32_t target = reader.u32();
+    if (target >= n) {
+      throw std::invalid_argument("ac::deserialize: transition out of range");
+    }
+    out.table_[i] = target;
+  }
+  out.depth_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.depth_[i] = reader.u32();
+  }
+  out.match_table_.resize(out.num_accepting_);
+  for (std::uint32_t s = 0; s < out.num_accepting_; ++s) {
+    const std::uint32_t count = reader.u32();
+    if (count > 1u << 24) {
+      throw std::invalid_argument("ac::deserialize: implausible match count");
+    }
+    out.match_table_[s].resize(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      out.match_table_[s][i] = reader.u32();
+    }
+  }
+  if (!reader.done()) {
+    throw std::invalid_argument("ac::deserialize: trailing bytes");
+  }
+  return out;
+}
+
+}  // namespace dpisvc::ac

@@ -1,0 +1,25 @@
+// Binary serialization for the full-table automaton.
+//
+// The paper distributes *pattern sets* to instances (they are compact) and
+// each instance builds its own DFA (§4.1). Serialization exists for the
+// complementary deployment mode: a controller-side build shipped to
+// instances that should not pay construction cost (e.g. fast scale-out of a
+// dedicated MCA² instance), and for the space accounting of Table 2.
+//
+// Format (all integers little-endian):
+//   magic "ACDF" | u32 version | u32 num_states | u32 num_accepting |
+//   u32 start | num_states*256 u32 table | num_states u32 depth |
+//   per accepting state: u32 count, count u32 pattern indices
+#pragma once
+
+#include "ac/full_automaton.hpp"
+#include "common/bytes.hpp"
+
+namespace dpisvc::ac {
+
+Bytes serialize(const FullAutomaton& automaton);
+
+/// Throws std::invalid_argument on malformed input.
+FullAutomaton deserialize(BytesView data);
+
+}  // namespace dpisvc::ac

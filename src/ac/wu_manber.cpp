@@ -1,0 +1,71 @@
+#include "ac/wu_manber.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace dpisvc::ac {
+
+WuManber WuManber::build(const std::vector<std::string>& patterns) {
+  if (patterns.empty()) {
+    throw std::invalid_argument("WuManber: empty pattern set");
+  }
+  WuManber out;
+  out.patterns_ = patterns;
+  std::size_t window = SIZE_MAX;
+  for (const std::string& p : patterns) {
+    if (p.size() < 2) {
+      throw std::invalid_argument("WuManber: pattern shorter than 2 bytes");
+    }
+    window = std::min(window, p.size());
+  }
+  out.window_ = window;
+
+  const auto m = static_cast<std::uint16_t>(window);
+  const std::uint16_t default_shift = static_cast<std::uint16_t>(m - 1);
+  out.shift_.fill(default_shift);
+
+  // SHIFT: for every 2-gram ending at position i (1 <= i < m) of a
+  // pattern's first m bytes, the window may shift at most m-1-i before the
+  // gram could align with the window end.
+  for (const std::string& p : patterns) {
+    for (std::size_t i = 1; i < window; ++i) {
+      const auto block = static_cast<std::uint16_t>(
+          (static_cast<std::uint8_t>(p[i - 1]) << 8) |
+          static_cast<std::uint8_t>(p[i]));
+      const auto shift = static_cast<std::uint16_t>(window - 1 - i);
+      out.shift_[block] = std::min(out.shift_[block], shift);
+    }
+  }
+
+  // Buckets for shift-0 grams: the patterns whose first-m window ends with
+  // that gram. Shared empty bucket at index 0.
+  out.buckets_.emplace_back();
+  out.bucket_index_.fill(0);
+  for (PatternIndex index = 0; index < patterns.size(); ++index) {
+    const std::string& p = patterns[index];
+    const auto block = static_cast<std::uint16_t>(
+        (static_cast<std::uint8_t>(p[window - 2]) << 8) |
+        static_cast<std::uint8_t>(p[window - 1]));
+    if (out.bucket_index_[block] == 0) {
+      out.bucket_index_[block] =
+          static_cast<std::uint32_t>(out.buckets_.size());
+      out.buckets_.emplace_back();
+    }
+    out.buckets_[out.bucket_index_[block]].patterns.push_back(index);
+  }
+  return out;
+}
+
+std::size_t WuManber::memory_bytes() const noexcept {
+  std::size_t total = sizeof(shift_) + sizeof(bucket_index_);
+  for (const Bucket& b : buckets_) {
+    total += sizeof(b) + b.patterns.size() * sizeof(PatternIndex);
+  }
+  for (const std::string& p : patterns_) {
+    total += sizeof(p) + p.size();
+  }
+  return total;
+}
+
+}  // namespace dpisvc::ac

@@ -1,0 +1,81 @@
+// Wu-Manber multi-pattern string matching.
+//
+// §2.2: "The classical algorithms for exact multiple string matching used
+// for DPI are those of Aho-Corasick [2] and Wu-Manber [51]." This is the
+// second of the two, implemented as a comparison baseline for the ablation
+// bench: shift-table over 2-byte blocks, hash buckets on the block ending
+// the m-length window, full verification on shift-0 hits.
+//
+// Unlike the AC automata, Wu-Manber has no per-byte carried state, so it
+// cannot resume across packet boundaries — one of the reasons the DPI
+// service's stateful path builds on AC. It shines on long patterns and
+// benign traffic (large average shifts) and degrades on adversarial inputs
+// that force dense verification.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "ac/trie.hpp"  // for PatternIndex
+#include "common/bytes.hpp"
+
+namespace dpisvc::ac {
+
+class WuManber {
+ public:
+  /// Builds the matcher. Throws std::invalid_argument if `patterns` is
+  /// empty or any pattern is shorter than 2 bytes.
+  static WuManber build(const std::vector<std::string>& patterns);
+
+  /// Reports every occurrence of every pattern: on_match(end_offset,
+  /// pattern_index), end_offset = 1-based offset just past the match.
+  template <typename OnMatch>
+  void scan(BytesView text, OnMatch&& on_match) const {
+    if (text.size() < window_) return;
+    std::size_t pos = window_ - 1;  // index of the window's last byte
+    while (pos < text.size()) {
+      const std::uint16_t block = block_at(text, pos);
+      const std::uint16_t shift = shift_[block];
+      if (shift > 0) {
+        pos += shift;
+        continue;
+      }
+      // Candidate window: verify every pattern whose first-m-block ends in
+      // this 2-gram.
+      const std::size_t window_start = pos + 1 - window_;
+      const Bucket& bucket = buckets_[bucket_index_[block]];
+      for (PatternIndex index : bucket.patterns) {
+        const std::string& p = patterns_[index];
+        if (window_start + p.size() > text.size()) continue;
+        if (std::memcmp(p.data(), text.data() + window_start, p.size()) == 0) {
+          on_match(static_cast<std::uint64_t>(window_start + p.size()), index);
+        }
+      }
+      ++pos;
+    }
+  }
+
+  std::size_t window() const noexcept { return window_; }
+  std::size_t num_patterns() const noexcept { return patterns_.size(); }
+  std::size_t memory_bytes() const noexcept;
+
+ private:
+  struct Bucket {
+    std::vector<PatternIndex> patterns;
+  };
+
+  static std::uint16_t block_at(BytesView text, std::size_t pos) noexcept {
+    return static_cast<std::uint16_t>((text[pos - 1] << 8) | text[pos]);
+  }
+
+  std::size_t window_ = 0;  ///< m = shortest pattern length
+  std::vector<std::string> patterns_;
+  std::array<std::uint16_t, 65536> shift_{};
+  std::array<std::uint32_t, 65536> bucket_index_{};
+  std::vector<Bucket> buckets_;
+};
+
+}  // namespace dpisvc::ac

@@ -1,0 +1,69 @@
+#include "common/bytes.hpp"
+
+#include <stdexcept>
+
+namespace dpisvc {
+
+Bytes to_bytes(std::string_view text) {
+  return Bytes(text.begin(), text.end());
+}
+
+std::string_view as_text(BytesView bytes) noexcept {
+  return {reinterpret_cast<const char*>(bytes.data()), bytes.size()};
+}
+
+std::string to_string(BytesView bytes) {
+  return std::string(as_text(bytes));
+}
+
+std::string to_hex(BytesView bytes) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (std::uint8_t b : bytes) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xF]);
+  }
+  return out;
+}
+
+namespace {
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw std::invalid_argument("from_hex: non-hex character");
+}
+}  // namespace
+
+Bytes from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    throw std::invalid_argument("from_hex: odd-length input");
+  }
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    out.push_back(static_cast<std::uint8_t>((hex_nibble(hex[i]) << 4) |
+                                            hex_nibble(hex[i + 1])));
+  }
+  return out;
+}
+
+void put_be(Bytes& out, std::uint64_t value, int width) {
+  for (int i = width - 1; i >= 0; --i) {
+    out.push_back(static_cast<std::uint8_t>((value >> (8 * i)) & 0xFF));
+  }
+}
+
+std::uint64_t get_be(BytesView data, std::size_t offset, int width) {
+  if (offset + static_cast<std::size_t>(width) > data.size()) {
+    throw std::out_of_range("get_be: read past end of buffer");
+  }
+  std::uint64_t value = 0;
+  for (int i = 0; i < width; ++i) {
+    value = (value << 8) | data[offset + static_cast<std::size_t>(i)];
+  }
+  return value;
+}
+
+}  // namespace dpisvc

@@ -1,0 +1,44 @@
+// Byte-buffer primitives shared across the DPI service codebase.
+//
+// Payloads and wire messages are untyped byte sequences. We standardize on
+// std::vector<uint8_t> for owned buffers and std::span<const uint8_t> for
+// non-owning views, with conversion helpers to/from text for tests and
+// pattern handling.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dpisvc {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Builds an owned byte buffer from text (no NUL terminator is added).
+Bytes to_bytes(std::string_view text);
+
+/// Reinterprets a byte view as text. The bytes are not required to be UTF-8;
+/// this is a bit-preserving view conversion used by pattern matching code.
+std::string_view as_text(BytesView bytes) noexcept;
+
+/// Copies a byte view into a std::string (for diagnostics and JSON fields).
+std::string to_string(BytesView bytes);
+
+/// Renders bytes as lowercase hex, e.g. {0xDE, 0xAD} -> "dead".
+std::string to_hex(BytesView bytes);
+
+/// Parses lowercase/uppercase hex back into bytes. Throws std::invalid_argument
+/// on odd length or non-hex characters.
+Bytes from_hex(std::string_view hex);
+
+/// Appends an unsigned integer in big-endian byte order, width bytes wide.
+void put_be(Bytes& out, std::uint64_t value, int width);
+
+/// Reads a big-endian unsigned integer of the given width from data[offset..].
+/// Throws std::out_of_range if the buffer is too short.
+std::uint64_t get_be(BytesView data, std::size_t offset, int width);
+
+}  // namespace dpisvc

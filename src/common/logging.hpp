@@ -1,0 +1,43 @@
+// Minimal leveled logger.
+//
+// Control-plane components (DPI controller, TSA, stress monitor) log their
+// decisions so examples can show the orchestration happening; the data plane
+// never logs on the per-packet path.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace dpisvc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are discarded. Defaults to kWarn so
+/// tests and benches stay quiet; examples raise it to kInfo.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Writes one formatted line to stderr if level passes the threshold.
+void log_line(LogLevel level, std::string_view component,
+              std::string_view message);
+
+namespace detail {
+inline void append_all(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void append_all(std::ostringstream& os, const T& first, const Rest&... rest) {
+  os << first;
+  append_all(os, rest...);
+}
+}  // namespace detail
+
+/// Streams all arguments into one log line: LOG(kInfo, "ctrl", "x=", x).
+template <typename... Args>
+void log(LogLevel level, std::string_view component, const Args&... args) {
+  if (level < log_level()) return;
+  std::ostringstream os;
+  detail::append_all(os, args...);
+  log_line(level, component, os.str());
+}
+
+}  // namespace dpisvc

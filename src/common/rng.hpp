@@ -1,0 +1,52 @@
+// Deterministic pseudo-random generator used by all workload generators.
+//
+// Experiments must be reproducible run-to-run, so every randomized component
+// takes an explicit Rng seeded by the caller. The engine is xoshiro256**,
+// seeded via SplitMix64 — fast, high quality, and stable across platforms
+// (unlike std::default_random_engine / std::uniform_int_distribution, whose
+// outputs are implementation-defined).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace dpisvc {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() noexcept;
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept;
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept;
+
+  /// Uniform index in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n);
+
+  /// Samples an index proportionally to the given non-negative weights.
+  /// Requires at least one strictly positive weight.
+  std::size_t weighted(std::span<const double> weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::swap(items[i - 1], items[index(i)]);
+    }
+  }
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace dpisvc

@@ -1,0 +1,38 @@
+// Monotonic stopwatch for throughput measurement in benches and telemetry.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace dpisvc {
+
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  std::uint64_t elapsed_ns() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Converts a byte count over a duration to megabits per second, the unit the
+/// paper reports all throughput numbers in.
+inline double to_mbps(std::uint64_t bytes, double seconds) noexcept {
+  if (seconds <= 0.0) return 0.0;
+  return static_cast<double>(bytes) * 8.0 / 1e6 / seconds;
+}
+
+}  // namespace dpisvc

@@ -1,0 +1,265 @@
+#include "compress/deflate.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "common/checksum.hpp"
+#include "compress/inflate.hpp"
+
+namespace dpisvc::compress {
+
+namespace {
+
+// --- bit output -----------------------------------------------------------------
+
+class BitWriter {
+ public:
+  /// Appends `count` bits of `value`, LSB first (DEFLATE data element order).
+  void bits(std::uint32_t value, int count) {
+    hold_ |= static_cast<std::uint64_t>(value & ((1u << count) - 1))
+             << bit_count_;
+    bit_count_ += count;
+    while (bit_count_ >= 8) {
+      out_.push_back(static_cast<std::uint8_t>(hold_ & 0xFF));
+      hold_ >>= 8;
+      bit_count_ -= 8;
+    }
+  }
+
+  /// Appends a Huffman code: code bits are emitted most-significant first.
+  void code(std::uint32_t value, int length) {
+    std::uint32_t reversed = 0;
+    for (int i = 0; i < length; ++i) {
+      reversed = (reversed << 1) | ((value >> i) & 1);
+    }
+    bits(reversed, length);
+  }
+
+  void align() {
+    if (bit_count_ > 0) {
+      out_.push_back(static_cast<std::uint8_t>(hold_ & 0xFF));
+      hold_ = 0;
+      bit_count_ = 0;
+    }
+  }
+
+  void raw_bytes(BytesView data) {
+    align();
+    out_.insert(out_.end(), data.begin(), data.end());
+  }
+
+  Bytes take() {
+    align();
+    return std::move(out_);
+  }
+
+ private:
+  Bytes out_;
+  std::uint64_t hold_ = 0;
+  int bit_count_ = 0;
+};
+
+// --- fixed Huffman code tables -----------------------------------------------------
+
+struct FixedCode {
+  std::uint16_t code = 0;
+  std::uint8_t length = 0;
+};
+
+/// Literal/length symbol -> (code, length) for the fixed code (RFC 3.2.6).
+FixedCode fixed_literal_code(int symbol) {
+  if (symbol < 144) {
+    return {static_cast<std::uint16_t>(0x30 + symbol), 8};
+  }
+  if (symbol < 256) {
+    return {static_cast<std::uint16_t>(0x190 + (symbol - 144)), 9};
+  }
+  if (symbol < 280) {
+    return {static_cast<std::uint16_t>(symbol - 256), 7};
+  }
+  return {static_cast<std::uint16_t>(0xC0 + (symbol - 280)), 8};
+}
+
+// Length -> (symbol, extra bits, extra value); mirrors the inflate tables.
+constexpr std::uint16_t kLengthBase[29] = {
+    3,  4,  5,  6,  7,  8,  9,  10, 11,  13,  15,  17,  19,  23, 27,
+    31, 35, 43, 51, 59, 67, 83, 99, 115, 131, 163, 195, 227, 258};
+constexpr std::uint8_t kLengthExtra[29] = {0, 0, 0, 0, 0, 0, 0, 0, 1, 1,
+                                           1, 1, 2, 2, 2, 2, 3, 3, 3, 3,
+                                           4, 4, 4, 4, 5, 5, 5, 5, 0};
+constexpr std::uint16_t kDistBase[30] = {
+    1,    2,    3,    4,    5,    7,     9,     13,    17,   25,
+    33,   49,   65,   97,   129,  193,   257,   385,   513,  769,
+    1025, 1537, 2049, 3073, 4097, 6145,  8193,  12289, 16385, 24577};
+constexpr std::uint8_t kDistExtra[30] = {0, 0, 0,  0,  1,  1,  2,  2,  3,  3,
+                                         4, 4, 5,  5,  6,  6,  7,  7,  8,  8,
+                                         9, 9, 10, 10, 11, 11, 12, 12, 13, 13};
+
+int length_symbol(std::uint32_t length) {
+  for (int i = 28; i >= 0; --i) {
+    if (length >= kLengthBase[i]) return i;
+  }
+  return 0;
+}
+
+int distance_symbol(std::uint32_t distance) {
+  for (int i = 29; i >= 0; --i) {
+    if (distance >= kDistBase[i]) return i;
+  }
+  return 0;
+}
+
+// --- LZ77 greedy matcher ---------------------------------------------------------
+
+constexpr std::size_t kWindow = 32768;
+constexpr std::size_t kMinMatch = 3;
+constexpr std::size_t kMaxMatch = 258;
+constexpr std::size_t kHashSize = 1 << 15;
+constexpr int kMaxChainProbes = 32;
+
+std::uint32_t hash3(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) * 2654435761u ^
+          (static_cast<std::uint32_t>(p[1]) << 11) ^
+          (static_cast<std::uint32_t>(p[2]) << 22)) &
+         (kHashSize - 1);
+}
+
+void emit_fixed_block(BitWriter& out, BytesView data, bool final_block) {
+  out.bits(final_block ? 1 : 0, 1);
+  out.bits(1, 2);  // fixed Huffman
+
+  std::vector<std::int32_t> head(kHashSize, -1);
+  std::vector<std::int32_t> chain(data.size(), -1);
+
+  std::size_t at = 0;
+  while (at < data.size()) {
+    std::size_t best_len = 0;
+    std::size_t best_dist = 0;
+    if (at + kMinMatch <= data.size()) {
+      const std::uint32_t h = hash3(data.data() + at);
+      const std::int32_t chain_head = head[h];
+      std::int32_t candidate = chain_head;
+      int probes = kMaxChainProbes;
+      while (candidate >= 0 && probes-- > 0 &&
+             at - static_cast<std::size_t>(candidate) <= kWindow) {
+        const auto cand = static_cast<std::size_t>(candidate);
+        std::size_t len = 0;
+        const std::size_t cap = std::min(kMaxMatch, data.size() - at);
+        while (len < cap && data[cand + len] == data[at + len]) {
+          ++len;
+        }
+        if (len > best_len) {
+          best_len = len;
+          best_dist = at - cand;
+          if (len == kMaxMatch) break;
+        }
+        candidate = chain[cand];
+      }
+      head[h] = static_cast<std::int32_t>(at);
+      chain[at] = chain_head;
+    }
+
+    if (best_len >= kMinMatch) {
+      const int lsym = length_symbol(static_cast<std::uint32_t>(best_len));
+      const FixedCode lc = fixed_literal_code(257 + lsym);
+      out.code(lc.code, lc.length);
+      out.bits(static_cast<std::uint32_t>(best_len) - kLengthBase[lsym],
+               kLengthExtra[lsym]);
+      const int dsym = distance_symbol(static_cast<std::uint32_t>(best_dist));
+      out.code(static_cast<std::uint32_t>(dsym), 5);  // fixed: 5-bit codes
+      out.bits(static_cast<std::uint32_t>(best_dist) - kDistBase[dsym],
+               kDistExtra[dsym]);
+      // Insert hash entries for the skipped positions so later matches can
+      // reference them.
+      for (std::size_t i = 1; i < best_len && at + i + kMinMatch <= data.size();
+           ++i) {
+        const std::uint32_t h = hash3(data.data() + at + i);
+        chain[at + i] = head[h];
+        head[h] = static_cast<std::int32_t>(at + i);
+      }
+      at += best_len;
+    } else {
+      const FixedCode lc = fixed_literal_code(data[at]);
+      out.code(lc.code, lc.length);
+      ++at;
+    }
+  }
+  const FixedCode end = fixed_literal_code(256);
+  out.code(end.code, end.length);
+}
+
+void emit_stored(BitWriter& out, BytesView data, bool only_block) {
+  // Stored blocks carry at most 65535 bytes each.
+  std::size_t at = 0;
+  do {
+    const std::size_t take = std::min<std::size_t>(0xFFFF, data.size() - at);
+    const bool final_block = (at + take == data.size());
+    out.bits(final_block ? 1 : 0, 1);
+    out.bits(0, 2);
+    std::uint8_t header[4];
+    header[0] = static_cast<std::uint8_t>(take & 0xFF);
+    header[1] = static_cast<std::uint8_t>(take >> 8);
+    header[2] = static_cast<std::uint8_t>(~header[0]);
+    header[3] = static_cast<std::uint8_t>(~header[1]);
+    out.align();
+    out.raw_bytes(BytesView(header, 4));
+    out.raw_bytes(data.subspan(at, take));
+    at += take;
+  } while (at < data.size());
+  (void)only_block;
+}
+
+}  // namespace
+
+Bytes deflate(BytesView data, DeflateStrategy strategy) {
+  BitWriter out;
+  if (strategy == DeflateStrategy::kStored || data.empty()) {
+    if (data.empty()) {
+      // A single empty stored block terminates the stream.
+      out.bits(1, 1);
+      out.bits(0, 2);
+      out.align();
+      const std::uint8_t header[4] = {0, 0, 0xFF, 0xFF};
+      out.raw_bytes(BytesView(header, 4));
+    } else {
+      emit_stored(out, data, true);
+    }
+  } else {
+    emit_fixed_block(out, data, /*final_block=*/true);
+  }
+  return out.take();
+}
+
+Bytes zlib_compress(BytesView data, DeflateStrategy strategy) {
+  Bytes out;
+  out.push_back(0x78);  // CM=8, CINFO=7 (32K window)
+  // FLG: FLEVEL=0, FDICT=0, FCHECK chosen so (CMF<<8 | FLG) % 31 == 0.
+  std::uint8_t flg = 0;
+  while (((0x78u << 8) | flg) % 31 != 0) ++flg;
+  out.push_back(flg);
+  const Bytes body = deflate(data, strategy);
+  out.insert(out.end(), body.begin(), body.end());
+  const std::uint32_t checksum = adler32(data);
+  out.push_back(static_cast<std::uint8_t>(checksum >> 24));
+  out.push_back(static_cast<std::uint8_t>((checksum >> 16) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((checksum >> 8) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(checksum & 0xFF));
+  return out;
+}
+
+Bytes gzip_compress(BytesView data, DeflateStrategy strategy) {
+  Bytes out = {0x1F, 0x8B, 8, 0, 0, 0, 0, 0, 0, 0xFF};  // OS = unknown
+  const Bytes body = deflate(data, strategy);
+  out.insert(out.end(), body.begin(), body.end());
+  const std::uint32_t checksum = crc32(data);
+  const auto size = static_cast<std::uint32_t>(data.size());
+  for (std::uint32_t v : {checksum, size}) {
+    out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+    out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+    out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xFF));
+    out.push_back(static_cast<std::uint8_t>((v >> 24) & 0xFF));
+  }
+  return out;
+}
+
+}  // namespace dpisvc::compress

@@ -1,0 +1,35 @@
+// DEFLATE compression (RFC 1951) — the encoding side of the substrate.
+//
+// The DPI service itself only needs to *inflate* (§1: decompress once,
+// scan once), but the workload generators need to produce realistic
+// gzip-encoded HTTP bodies, and the inflate implementation needs an
+// independent encoder to round-trip against. This encoder supports:
+//   - stored blocks,
+//   - fixed-Huffman blocks with greedy hash-chain LZ77 matching
+//     (window 32 KiB, match lengths 3..258),
+// plus zlib and gzip framing. It favors clarity over ratio; it is not a
+// zlib replacement.
+#pragma once
+
+#include "common/bytes.hpp"
+
+namespace dpisvc::compress {
+
+enum class DeflateStrategy {
+  kStored,        ///< no compression: stored blocks only
+  kFixedHuffman,  ///< LZ77 + the fixed Huffman code
+};
+
+/// Produces a raw DEFLATE stream decodable by inflate().
+Bytes deflate(BytesView data,
+              DeflateStrategy strategy = DeflateStrategy::kFixedHuffman);
+
+/// zlib (RFC 1950) framing around deflate().
+Bytes zlib_compress(BytesView data,
+                    DeflateStrategy strategy = DeflateStrategy::kFixedHuffman);
+
+/// gzip (RFC 1952) framing around deflate().
+Bytes gzip_compress(BytesView data,
+                    DeflateStrategy strategy = DeflateStrategy::kFixedHuffman);
+
+}  // namespace dpisvc::compress

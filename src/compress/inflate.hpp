@@ -1,0 +1,54 @@
+// DEFLATE decompression (RFC 1951) with zlib (RFC 1950) and gzip (RFC 1952)
+// wrappers — implemented from scratch.
+//
+// Why this lives in a DPI service: §1 argues that when DPI is consolidated,
+// "the effect of decompression or decryption, which usually takes place
+// prior to the DPI phase, may be reduced significantly, as these heavy
+// processes are executed only once for each packet". HTTP bodies are
+// overwhelmingly gzip-encoded; a DPI service that cannot inflate them scans
+// opaque bytes. This module is that shared decompression stage.
+//
+// Scope: complete inflate — stored, fixed-Huffman and dynamic-Huffman
+// blocks, full LZ77 length/distance coding — plus header/trailer handling
+// and checksum verification for both wrappers. Malformed input raises
+// InflateError; output size is bounded to keep decompression bombs from
+// exhausting an instance.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace dpisvc::compress {
+
+class InflateError : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+struct InflateLimits {
+  /// Maximum decompressed size; exceeding it throws (bomb protection).
+  std::size_t max_output = 64u << 20;
+};
+
+/// Decompresses a raw DEFLATE stream (no wrapper).
+Bytes inflate(BytesView deflate_stream, const InflateLimits& limits = {});
+
+/// Decompresses a zlib stream (RFC 1950): header checks + Adler-32 verify.
+Bytes zlib_decompress(BytesView stream, const InflateLimits& limits = {});
+
+/// Decompresses a gzip member (RFC 1952): header fields (FEXTRA/FNAME/
+/// FCOMMENT/FHCRC) are parsed and skipped; CRC-32 and ISIZE are verified.
+Bytes gzip_decompress(BytesView stream, const InflateLimits& limits = {});
+
+/// True if the buffer starts with a gzip magic header.
+bool looks_like_gzip(BytesView data) noexcept;
+
+/// True if the buffer starts with a plausible zlib header.
+bool looks_like_zlib(BytesView data) noexcept;
+
+/// Adler-32 checksum (RFC 1950 §8.2).
+std::uint32_t adler32(BytesView data) noexcept;
+
+}  // namespace dpisvc::compress

@@ -1,0 +1,397 @@
+#include "dpi/engine.hpp"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <stdexcept>
+
+#include "ac/trie.hpp"
+#include "regex/anchors.hpp"
+
+namespace dpisvc::dpi {
+
+const MiddleboxProfile* Engine::find_middlebox(MiddleboxId id) const noexcept {
+  for (const auto& p : profiles_) {
+    if (p.id == id) return &p;
+  }
+  return nullptr;
+}
+
+MiddleboxBitmap Engine::chain_bitmap(ChainId chain) const {
+  auto it = chain_bitmaps_.find(chain);
+  if (it == chain_bitmaps_.end()) {
+    throw std::invalid_argument("Engine: unknown policy chain");
+  }
+  return it->second;
+}
+
+bool Engine::chain_stateful(ChainId chain) const {
+  auto it = chain_stateful_.find(chain);
+  if (it == chain_stateful_.end()) {
+    throw std::invalid_argument("Engine: unknown policy chain");
+  }
+  return it->second;
+}
+
+bool Engine::chain_read_only(ChainId chain) const {
+  auto it = chain_members_.find(chain);
+  if (it == chain_members_.end()) {
+    throw std::invalid_argument("Engine: unknown policy chain");
+  }
+  for (MiddleboxId id : it->second) {
+    const MiddleboxProfile* p = find_middlebox(id);
+    if (p == nullptr || !p->read_only) return false;
+  }
+  return !it->second.empty();
+}
+
+std::uint32_t Engine::num_automaton_states() const noexcept {
+  return std::visit([](const auto& a) { return a.num_states(); }, automaton_);
+}
+
+std::size_t Engine::memory_bytes() const noexcept {
+  std::size_t total =
+      std::visit([](const auto& a) { return a.memory_bytes(); }, automaton_);
+  total += accept_bitmaps_.size() * sizeof(MiddleboxBitmap);
+  for (const auto& row : accept_targets_) {
+    total += sizeof(row) + row.size() * sizeof(MatchTarget);
+  }
+  for (const auto& re : regexes_) {
+    total += re.matcher.program().size() * sizeof(regex::Inst);
+    total += re.anchor_bits.size() * sizeof(std::uint32_t);
+  }
+  return total;
+}
+
+ac::StateIndex Engine::traverse_only(BytesView payload) const noexcept {
+  return std::visit(
+      [&](const auto& a) { return a.traverse(payload, a.start_state()); },
+      automaton_);
+}
+
+std::shared_ptr<const Engine> Engine::compile(const EngineSpec& spec,
+                                              const EngineConfig& config) {
+  auto engine = std::shared_ptr<Engine>(new Engine());
+
+  // --- middlebox profiles --------------------------------------------------
+  MiddleboxBitmap seen = 0;
+  for (const auto& p : spec.middleboxes) {
+    if (p.id == 0 || p.id > kMaxMiddleboxes) {
+      throw std::invalid_argument("Engine: middlebox id out of range 1..64");
+    }
+    if (seen & bitmap_of(p.id)) {
+      throw std::invalid_argument("Engine: duplicate middlebox id");
+    }
+    seen |= bitmap_of(p.id);
+  }
+  engine->profiles_ = spec.middleboxes;
+  engine->use_accept_bitmaps_ = config.use_accept_bitmaps;
+  engine->mbox_stop_.fill(kNoStopCondition);
+  for (const auto& p : spec.middleboxes) {
+    engine->mbox_stateful_[p.id] = p.stateful;
+    engine->mbox_stop_[p.id] = p.stop_offset;
+  }
+
+  // --- global string table -------------------------------------------------
+  // Distinct byte strings (exact patterns and regex anchors) mapped to the
+  // targets interested in them. §5.1: two middleboxes registering the same
+  // pattern share one entry with both references.
+  struct StringEntry {
+    std::vector<MatchTarget> targets;
+  };
+  std::map<std::string, StringEntry> strings;
+
+  for (const auto& pat : spec.exact_patterns) {
+    if (!(seen & bitmap_of(pat.middlebox))) {
+      throw std::invalid_argument("Engine: exact pattern for unknown middlebox");
+    }
+    if (pat.bytes.empty()) {
+      throw std::invalid_argument("Engine: empty exact pattern");
+    }
+    MatchTarget target;
+    target.owners = bitmap_of(pat.middlebox);
+    target.middlebox = pat.middlebox;
+    target.pattern_id = pat.pattern_id;
+    target.pattern_length = static_cast<std::uint32_t>(pat.bytes.size());
+    auto& entry = strings[pat.bytes];
+    // Dedupe identical registrations (same middlebox + id).
+    const bool dup = std::any_of(
+        entry.targets.begin(), entry.targets.end(), [&](const MatchTarget& t) {
+          return !t.is_anchor && t.middlebox == pat.middlebox &&
+                 t.pattern_id == pat.pattern_id;
+        });
+    if (!dup) entry.targets.push_back(target);
+    ++engine->num_exact_;
+  }
+
+  // --- regexes and their anchors -------------------------------------------
+  std::map<std::string, std::uint32_t> anchor_bits;  // anchor string -> bit
+  for (const auto& re : spec.regex_patterns) {
+    if (!(seen & bitmap_of(re.middlebox))) {
+      throw std::invalid_argument("Engine: regex for unknown middlebox");
+    }
+    regex::ParseOptions popts;
+    popts.case_insensitive = re.case_insensitive;
+    regex::NodePtr ast = regex::parse(re.expression, popts);  // throws on error
+
+    regex::AnchorOptions aopts;
+    aopts.min_length = config.anchor_min_length;
+    std::vector<std::string> anchors = regex::extract_anchors(*ast, aopts);
+
+    CompiledRegex compiled{re.middlebox, re.pattern_id,
+                           regex::Matcher(regex::Program::compile(*ast)),
+                           {}};
+    for (const std::string& anchor : anchors) {
+      auto [it, inserted] =
+          anchor_bits.emplace(anchor, static_cast<std::uint32_t>(anchor_bits.size()));
+      const std::uint32_t bit = it->second;
+      compiled.anchor_bits.push_back(bit);
+
+      auto& entry = strings[anchor];
+      auto existing = std::find_if(
+          entry.targets.begin(), entry.targets.end(),
+          [&](const MatchTarget& t) { return t.is_anchor && t.anchor_bit == bit; });
+      if (existing != entry.targets.end()) {
+        existing->owners |= bitmap_of(re.middlebox);
+      } else {
+        MatchTarget target;
+        target.owners = bitmap_of(re.middlebox);
+        target.pattern_length = static_cast<std::uint32_t>(anchor.size());
+        target.is_anchor = true;
+        target.anchor_bit = bit;
+        entry.targets.push_back(target);
+      }
+    }
+    engine->regexes_.push_back(std::move(compiled));
+  }
+  engine->num_anchor_bits_ = static_cast<std::uint32_t>(anchor_bits.size());
+  engine->num_strings_ = strings.size();
+
+  // --- combined automaton (§5.1) -------------------------------------------
+  ac::Trie trie;
+  std::vector<const StringEntry*> entry_of_index;
+  entry_of_index.reserve(strings.size());
+  for (const auto& [bytes, entry] : strings) {
+    trie.insert(std::string_view(bytes),
+                static_cast<ac::PatternIndex>(entry_of_index.size()));
+    entry_of_index.push_back(&entry);
+  }
+
+  auto fill_tables = [&](const auto& automaton) {
+    const std::uint32_t f = automaton.num_accepting();
+    engine->accept_bitmaps_.assign(f, 0);
+    engine->accept_targets_.resize(f);
+    for (std::uint32_t s = 0; s < f; ++s) {
+      std::vector<MatchTarget>& row = engine->accept_targets_[s];
+      for (ac::PatternIndex g : automaton.matches_at(s)) {
+        const StringEntry& entry = *entry_of_index[g];
+        row.insert(row.end(), entry.targets.begin(), entry.targets.end());
+        for (const MatchTarget& t : entry.targets) {
+          engine->accept_bitmaps_[s] |= t.owners;
+        }
+      }
+      // §5.1: the match table stores a list sorted by middlebox id.
+      std::sort(row.begin(), row.end(),
+                [](const MatchTarget& a, const MatchTarget& b) {
+                  if (a.is_anchor != b.is_anchor) return b.is_anchor;
+                  if (a.middlebox != b.middlebox) return a.middlebox < b.middlebox;
+                  return a.pattern_id < b.pattern_id;
+                });
+    }
+  };
+
+  if (strings.empty()) {
+    // Degenerate engine (regex-only or empty); build a one-state automaton
+    // by leaving the variant's default (empty FullAutomaton is unusable, so
+    // insert a never-matching placeholder pattern).
+    ac::Trie placeholder;
+    placeholder.insert(std::string_view("\x00\x01\x02\x03placeholder-unused",
+                                        22),
+                       0);
+    auto automaton = ac::FullAutomaton::build(placeholder);
+    engine->accept_bitmaps_.assign(automaton.num_accepting(), 0);
+    engine->accept_targets_.resize(automaton.num_accepting());
+    engine->automaton_ = std::move(automaton);
+  } else if (config.use_compressed_automaton) {
+    auto automaton = ac::CompressedAutomaton::build(trie);
+    fill_tables(automaton);
+    engine->automaton_ = std::move(automaton);
+  } else {
+    auto automaton = ac::FullAutomaton::build(trie);
+    fill_tables(automaton);
+    engine->automaton_ = std::move(automaton);
+  }
+
+  // --- policy chains (§5.2) ------------------------------------------------
+  for (const auto& [chain, members] : spec.chains) {
+    MiddleboxBitmap bitmap = 0;
+    std::uint32_t stop = 0;
+    bool any_stateful = false;
+    for (MiddleboxId id : members) {
+      if (!(seen & bitmap_of(id))) {
+        throw std::invalid_argument("Engine: chain references unknown middlebox");
+      }
+      bitmap |= bitmap_of(id);
+      const MiddleboxProfile* p = engine->find_middlebox(id);
+      stop = std::max(stop, p->stop_offset);
+      any_stateful |= p->stateful;
+    }
+    engine->chain_members_[chain] = members;
+    engine->chain_bitmaps_[chain] = bitmap;
+    engine->chain_stop_[chain] = stop;
+    engine->chain_stateful_[chain] = any_stateful;
+  }
+
+  return engine;
+}
+
+MiddleboxMatches& Engine::section_for(ScanResult& result, MiddleboxId id) {
+  for (auto& section : result.matches) {
+    if (section.middlebox == id) return section;
+  }
+  result.matches.push_back(MiddleboxMatches{id, {}});
+  return result.matches.back();
+}
+
+template <typename Automaton>
+ScanResult Engine::scan_impl(const Automaton& automaton, MiddleboxBitmap active,
+                             std::uint32_t stop, bool any_stateful,
+                             BytesView payload,
+                             const FlowCursor& cursor) const {
+  ScanResult result;
+  const bool resume = any_stateful && cursor.valid;
+  const std::uint64_t offset = resume ? cursor.offset : 0;
+  ac::StateIndex state = resume ? cursor.dfa_state : automaton.start_state();
+
+  // Stopping condition (§5.2): the most conservative (deepest) condition
+  // among the active middleboxes bounds the scan.
+  std::uint64_t limit = payload.size();
+  if (stop != kNoStopCondition) {
+    const std::uint64_t remaining = stop > offset ? stop - offset : 0;
+    limit = std::min<std::uint64_t>(limit, remaining);
+  }
+  const BytesView scanned = payload.first(static_cast<std::size_t>(limit));
+
+  // Per-middlebox raw match accumulation (pattern id, reported position).
+  std::array<std::vector<std::pair<std::uint16_t, std::uint32_t>>,
+             kMaxMiddleboxes + 1>
+      raw;
+  std::vector<bool> anchor_hits(num_anchor_bits_, false);
+  MiddleboxBitmap mboxes_with_matches = 0;
+
+  state = automaton.scan(scanned, state, [&](ac::Match m) {
+    ++result.raw_hits;
+    if (use_accept_bitmaps_) {
+      const MiddleboxBitmap interested = accept_bitmaps_[m.accept_state];
+      if (!(interested & active)) return;  // §5.1 bitmap short-circuit
+    }
+    const std::uint64_t cnt = m.end_offset;
+    for (const MatchTarget& t : accept_targets_[m.accept_state]) {
+      if (!(t.owners & active)) continue;
+      if (t.is_anchor) {
+        anchor_hits[t.anchor_bit] = true;
+        continue;
+      }
+      std::uint64_t position;
+      if (mbox_stateful_[t.middlebox]) {
+        position = cnt + offset;  // flow-relative (§5.2)
+      } else {
+        // Stateless: a match whose pattern is longer than cnt began in a
+        // previous packet (possible when resuming from a restored state) and
+        // must be ignored (§5.2, footnote 7).
+        if (cnt < t.pattern_length) continue;
+        position = cnt;
+      }
+      if (position > mbox_stop_[t.middlebox]) continue;
+      raw[t.middlebox].emplace_back(t.pattern_id,
+                                    static_cast<std::uint32_t>(position));
+      mboxes_with_matches |= bitmap_of(t.middlebox);
+    }
+  });
+
+  result.bytes_scanned = limit;
+  if (any_stateful) {
+    result.cursor = FlowCursor{state, offset + limit, true};
+  }
+
+  // Regex evaluation over the scanned slice (§5.3).
+  evaluate_regexes(active, anchor_hits, scanned, offset, result);
+
+  // Emit sections sorted by (pattern, position) with run compression (§6.5).
+  for (MiddleboxId id = 1; id <= kMaxMiddleboxes; ++id) {
+    auto& list = raw[id];
+    if (list.empty()) continue;
+    std::sort(list.begin(), list.end());
+    auto& section = section_for(result, id);
+    auto compressed = net::compress_runs(list);
+    section.entries.insert(section.entries.end(), compressed.begin(),
+                           compressed.end());
+  }
+  return result;
+}
+
+void Engine::evaluate_regexes(MiddleboxBitmap active,
+                              const std::vector<bool>& anchor_hits,
+                              BytesView payload, std::uint64_t base_offset,
+                              ScanResult& result) const {
+  for (const CompiledRegex& re : regexes_) {
+    if (!(bitmap_of(re.middlebox) & active)) continue;
+    // Pre-filter: all anchors must have been seen (§5.3). Anchorless
+    // regexes run unconditionally (the "parallel path" of §5.3).
+    bool all_anchors = true;
+    for (std::uint32_t bit : re.anchor_bits) {
+      if (!anchor_hits[bit]) {
+        all_anchors = false;
+        break;
+      }
+    }
+    if (!all_anchors) continue;
+    const std::optional<std::size_t> end = re.matcher.search_end(payload);
+    if (!end) continue;
+    std::uint64_t position = *end;
+    if (mbox_stateful_[re.middlebox]) {
+      position += base_offset;
+    }
+    if (position > mbox_stop_[re.middlebox]) continue;
+    auto& section = section_for(result, re.middlebox);
+    section.entries.push_back(net::MatchEntry{
+        re.pattern_id, static_cast<std::uint32_t>(position), 1});
+  }
+}
+
+ScanResult Engine::scan_packet(ChainId chain, BytesView payload,
+                               const FlowCursor& cursor) const {
+  auto members = chain_bitmaps_.find(chain);
+  if (members == chain_bitmaps_.end()) {
+    throw std::invalid_argument("Engine::scan_packet: unknown policy chain");
+  }
+  const MiddleboxBitmap active = members->second;
+  const std::uint32_t stop = chain_stop_.at(chain);
+  const bool any_stateful = chain_stateful_.at(chain);
+  return std::visit(
+      [&](const auto& automaton) {
+        return scan_impl(automaton, active, stop, any_stateful, payload,
+                         cursor);
+      },
+      automaton_);
+}
+
+ScanResult Engine::scan_packet_for(MiddleboxBitmap active, BytesView payload,
+                                   const FlowCursor& cursor) const {
+  std::uint32_t stop = 0;
+  bool any_stateful = false;
+  for (const auto& p : profiles_) {
+    if (bitmap_of(p.id) & active) {
+      stop = std::max(stop, p.stop_offset);
+      any_stateful |= p.stateful;
+    }
+  }
+  return std::visit(
+      [&](const auto& automaton) {
+        return scan_impl(automaton, active, stop, any_stateful, payload,
+                         cursor);
+      },
+      automaton_);
+}
+
+}  // namespace dpisvc::dpi

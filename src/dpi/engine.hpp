@@ -1,0 +1,233 @@
+// The virtual DPI engine — the paper's core algorithm (§5).
+//
+// An Engine is an immutable compiled artifact built from the pattern sets of
+// all registered middleboxes:
+//
+//  * one combined Aho-Corasick automaton over the union of all exact
+//    patterns and all regex anchors, with accepting states renumbered to
+//    {0..f-1} (§5.1);
+//  * a direct-access match table: accepting state -> sorted list of
+//    (middlebox id, local pattern id, pattern length) triples, with suffix
+//    patterns propagated;
+//  * a bitmap per accepting state of the middleboxes interested in it, so a
+//    single AND against the packet's active-middlebox bitmap decides whether
+//    the match table must be consulted at all (§5.1);
+//  * per-middlebox regex programs plus the anchor -> regex mapping used for
+//    pre-filtered evaluation, and the list of anchorless regexes that must
+//    run unconditionally (§5.3);
+//  * the policy-chain table: chain id -> active middlebox set (§5.2).
+//
+// scan_packet() implements §5.2 end to end: active-set resolution, stopping
+// condition, stateful state restore via the caller-provided FlowCursor,
+// match-list collection, post-scan filtering, and regex evaluation.
+//
+// Engines are immutable after compile; service instances share one via
+// shared_ptr and swap atomically on pattern-set updates.
+#pragma once
+
+#include <array>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "ac/compressed_automaton.hpp"
+#include "ac/full_automaton.hpp"
+#include "common/bytes.hpp"
+#include "dpi/types.hpp"
+#include "net/result.hpp"
+#include "regex/matcher.hpp"
+
+namespace dpisvc::dpi {
+
+/// One exact-match registration.
+struct ExactPatternSpec {
+  std::string bytes;  ///< raw pattern bytes
+  MiddleboxId middlebox = 0;
+  PatternId pattern_id = 0;
+};
+
+/// One regular-expression registration.
+struct RegexPatternSpec {
+  std::string expression;
+  MiddleboxId middlebox = 0;
+  PatternId pattern_id = 0;
+  bool case_insensitive = false;
+};
+
+/// Everything needed to compile an engine. Produced by the controller's
+/// PatternDb snapshot (service layer) or assembled directly in tests.
+struct EngineSpec {
+  std::vector<MiddleboxProfile> middleboxes;
+  std::vector<ExactPatternSpec> exact_patterns;
+  std::vector<RegexPatternSpec> regex_patterns;
+  /// Policy chain -> middlebox ids on the chain that use the DPI service.
+  std::map<ChainId, std::vector<MiddleboxId>> chains;
+};
+
+struct EngineConfig {
+  /// Use the failure-link automaton instead of the full table (the MCA²
+  /// dedicated-instance configuration, §4.3.1).
+  bool use_compressed_automaton = false;
+  /// Anchors shorter than this are not extracted from regexes (§5.3).
+  std::size_t anchor_min_length = 4;
+  /// §5.1's accepting-state bitmap optimization: one AND against the active
+  /// set decides whether the match table is consulted. Disable only for the
+  /// ablation bench quantifying its value.
+  bool use_accept_bitmaps = true;
+};
+
+/// Cross-packet scan state for one flow (§5.2): the DFA state where the
+/// previous packet left off and the number of payload bytes already scanned.
+struct FlowCursor {
+  ac::StateIndex dfa_state = 0;
+  std::uint64_t offset = 0;
+  bool valid = false;  ///< false for the first packet of a flow
+};
+
+/// Per-middlebox match list for one packet.
+struct MiddleboxMatches {
+  MiddleboxId middlebox = 0;
+  std::vector<net::MatchEntry> entries;
+};
+
+struct ScanResult {
+  std::vector<MiddleboxMatches> matches;
+  /// Updated cursor (valid only when some active middlebox is stateful).
+  FlowCursor cursor;
+  /// Bytes actually fed to the automaton (after the stop condition cut).
+  std::uint64_t bytes_scanned = 0;
+  /// Total accepting-state hits during the scan, before per-middlebox
+  /// filtering; exported as a stress telemetry input (§4.3.1).
+  std::uint64_t raw_hits = 0;
+
+  bool has_matches() const noexcept {
+    for (const auto& m : matches) {
+      if (!m.entries.empty()) return true;
+    }
+    return false;
+  }
+};
+
+class Engine {
+ public:
+  /// Compiles a spec. Throws std::invalid_argument on inconsistent input
+  /// (unknown middlebox referenced, ids out of range, empty patterns,
+  /// malformed regexes).
+  static std::shared_ptr<const Engine> compile(const EngineSpec& spec,
+                                               const EngineConfig& config = {});
+
+  /// Scans one packet payload (§5.2).
+  ///
+  /// `chain` selects the active middlebox set. `cursor` carries stateful
+  /// flow state: pass the stored cursor for this flow (or a default-
+  /// constructed one for a new flow); the updated cursor is returned in the
+  /// result. Stateless-only chains ignore it.
+  ScanResult scan_packet(ChainId chain, BytesView payload,
+                         const FlowCursor& cursor = {}) const;
+
+  /// Scan against an explicit set of active middleboxes instead of a chain.
+  ScanResult scan_packet_for(MiddleboxBitmap active, BytesView payload,
+                             const FlowCursor& cursor = {}) const;
+
+  // --- introspection -------------------------------------------------------
+
+  const std::vector<MiddleboxProfile>& middleboxes() const noexcept {
+    return profiles_;
+  }
+  const MiddleboxProfile* find_middlebox(MiddleboxId id) const noexcept;
+
+  bool chain_known(ChainId chain) const noexcept {
+    return chain_members_.count(chain) != 0;
+  }
+  MiddleboxBitmap chain_bitmap(ChainId chain) const;
+
+  /// True if any middlebox on the chain registered as stateful (the scan
+  /// must then carry flow state across packets).
+  bool chain_stateful(ChainId chain) const;
+
+  /// True if every middlebox on the chain is read-only (§4.2: the packet
+  /// itself need not be routed; results alone suffice).
+  bool chain_read_only(ChainId chain) const;
+
+  std::size_t num_exact_patterns() const noexcept { return num_exact_; }
+  std::size_t num_regex_patterns() const noexcept { return regexes_.size(); }
+  std::size_t num_distinct_strings() const noexcept { return num_strings_; }
+  std::uint32_t num_automaton_states() const noexcept;
+  bool uses_compressed_automaton() const noexcept {
+    return std::holds_alternative<ac::CompressedAutomaton>(automaton_);
+  }
+
+  /// Resident size of the compiled structures (Table 2 "Space" column).
+  std::size_t memory_bytes() const noexcept;
+
+  /// Raw automaton traversal with no match collection; the throughput
+  /// baseline benches use this to isolate DFA speed. Returns the final
+  /// automaton state (callers must consume it so the traversal is not
+  /// optimized away).
+  ac::StateIndex traverse_only(BytesView payload) const noexcept;
+
+ private:
+  Engine() = default;
+
+  struct MatchTarget {
+    /// Bitmap of middleboxes interested in this target. For an exact pattern
+    /// this is bitmap_of(middlebox); an anchor shared by regexes of several
+    /// middleboxes carries their union.
+    MiddleboxBitmap owners = 0;
+    MiddleboxId middlebox = 0;
+    PatternId pattern_id = 0;
+    std::uint32_t pattern_length = 0;
+    /// Anchor targets mark anchor hits instead of producing match entries.
+    bool is_anchor = false;
+    std::uint32_t anchor_bit = 0;  ///< index into the per-scan anchor hit set
+  };
+
+  struct CompiledRegex {
+    MiddleboxId middlebox = 0;
+    PatternId pattern_id = 0;
+    regex::Matcher matcher;
+    /// Anchor-hit bits that must all be set before evaluation (§5.3);
+    /// empty means anchorless: always evaluated.
+    std::vector<std::uint32_t> anchor_bits;
+  };
+
+  template <typename Automaton>
+  ScanResult scan_impl(const Automaton& automaton, MiddleboxBitmap active,
+                       std::uint32_t stop, bool any_stateful,
+                       BytesView payload, const FlowCursor& cursor) const;
+
+  void evaluate_regexes(MiddleboxBitmap active,
+                        const std::vector<bool>& anchor_hits,
+                        BytesView payload, std::uint64_t base_offset,
+                        ScanResult& result) const;
+
+  static MiddleboxMatches& section_for(ScanResult& result, MiddleboxId id);
+
+  std::vector<MiddleboxProfile> profiles_;
+  /// Profile fields denormalized by middlebox id for the per-match hot path.
+  std::array<bool, kMaxMiddleboxes + 1> mbox_stateful_{};
+  std::array<std::uint32_t, kMaxMiddleboxes + 1> mbox_stop_{};
+  std::map<ChainId, std::vector<MiddleboxId>> chain_members_;
+  std::map<ChainId, MiddleboxBitmap> chain_bitmaps_;
+  std::map<ChainId, std::uint32_t> chain_stop_;
+  std::map<ChainId, bool> chain_stateful_;
+
+  std::variant<ac::FullAutomaton, ac::CompressedAutomaton> automaton_;
+  /// Per accepting state: interested-middlebox bitmap (anchor targets
+  /// contribute their owning middlebox too).
+  std::vector<MiddleboxBitmap> accept_bitmaps_;
+  /// Per accepting state: match targets sorted by middlebox id (§5.1).
+  std::vector<std::vector<MatchTarget>> accept_targets_;
+
+  std::vector<CompiledRegex> regexes_;
+  std::uint32_t num_anchor_bits_ = 0;
+  bool use_accept_bitmaps_ = true;
+
+  std::size_t num_exact_ = 0;
+  std::size_t num_strings_ = 0;
+};
+
+}  // namespace dpisvc::dpi

@@ -1,0 +1,66 @@
+#include "dpi/flow_table.hpp"
+
+#include <stdexcept>
+
+namespace dpisvc::dpi {
+
+FlowTable::FlowTable(std::size_t max_flows) : max_flows_(max_flows) {
+  if (max_flows_ == 0) {
+    throw std::invalid_argument("FlowTable: capacity must be positive");
+  }
+}
+
+void FlowTable::touch(LruList::iterator it) {
+  lru_.splice(lru_.begin(), lru_, it);
+}
+
+FlowCursor FlowTable::lookup(const net::FiveTuple& flow) {
+  auto it = entries_.find(flow.canonical());
+  if (it == entries_.end()) {
+    return FlowCursor{};
+  }
+  touch(it->second);
+  return it->second->cursor;
+}
+
+void FlowTable::update(const net::FiveTuple& flow, const FlowCursor& cursor) {
+  const net::FiveTuple key = flow.canonical();
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second->cursor = cursor;
+    touch(it->second);
+    return;
+  }
+  if (entries_.size() >= max_flows_) {
+    const Entry& victim = lru_.back();
+    entries_.erase(victim.flow);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.push_front(Entry{key, cursor});
+  entries_.emplace(key, lru_.begin());
+}
+
+bool FlowTable::erase(const net::FiveTuple& flow) {
+  auto it = entries_.find(flow.canonical());
+  if (it == entries_.end()) return false;
+  lru_.erase(it->second);
+  entries_.erase(it);
+  return true;
+}
+
+FlowCursor FlowTable::extract(const net::FiveTuple& flow) {
+  auto it = entries_.find(flow.canonical());
+  if (it == entries_.end()) return FlowCursor{};
+  const FlowCursor cursor = it->second->cursor;
+  lru_.erase(it->second);
+  entries_.erase(it);
+  return cursor;
+}
+
+void FlowTable::clear() {
+  lru_.clear();
+  entries_.clear();
+}
+
+}  // namespace dpisvc::dpi

@@ -1,0 +1,60 @@
+// Active-flow table for stateful scanning (§5.1/§5.2).
+//
+// A DPI service instance keeps, per flow, only the DFA state where the last
+// packet's scan ended and the byte offset within the flow — the property the
+// paper highlights (§4.3) as making DPI instances much easier to migrate
+// than full middleboxes. Capacity is bounded with LRU eviction so an
+// instance cannot be memory-exhausted by flow-creation floods.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+
+#include "dpi/engine.hpp"
+#include "net/flow.hpp"
+
+namespace dpisvc::dpi {
+
+class FlowTable {
+ public:
+  explicit FlowTable(std::size_t max_flows = 1 << 20);
+
+  /// Returns the stored cursor, or an invalid cursor for an unknown flow.
+  /// A hit refreshes the flow's LRU position.
+  FlowCursor lookup(const net::FiveTuple& flow);
+
+  /// Inserts or updates; may evict the least-recently-used flow.
+  void update(const net::FiveTuple& flow, const FlowCursor& cursor);
+
+  /// Removes a flow (end of connection, or hand-off after migration).
+  /// Returns false if the flow was unknown.
+  bool erase(const net::FiveTuple& flow);
+
+  /// Extracts the cursor for migration to another instance (§4.3): returns
+  /// the cursor and removes the local entry.
+  FlowCursor extract(const net::FiveTuple& flow);
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  std::size_t capacity() const noexcept { return max_flows_; }
+  std::uint64_t evictions() const noexcept { return evictions_; }
+
+  void clear();
+
+ private:
+  struct Entry {
+    net::FiveTuple flow;
+    FlowCursor cursor;
+  };
+
+  using LruList = std::list<Entry>;
+
+  void touch(LruList::iterator it);
+
+  std::size_t max_flows_;
+  LruList lru_;  ///< front = most recent
+  std::unordered_map<net::FiveTuple, LruList::iterator> entries_;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace dpisvc::dpi

@@ -1,0 +1,212 @@
+#include "dpi/pattern_db.hpp"
+
+#include <stdexcept>
+
+namespace dpisvc::dpi {
+
+namespace {
+/// Regexes are distinct patterns when either the text or the flags differ.
+std::string regex_key(const std::string& expression, bool case_insensitive) {
+  return (case_insensitive ? "i:" : "s:") + expression;
+}
+}  // namespace
+
+void PatternDb::require_registered(MiddleboxId id) const {
+  if (!is_registered(id)) {
+    throw std::invalid_argument("PatternDb: middlebox not registered");
+  }
+}
+
+bool PatternDb::is_registered(MiddleboxId id) const noexcept {
+  return profiles_.count(id) != 0;
+}
+
+const MiddleboxProfile* PatternDb::profile(MiddleboxId id) const noexcept {
+  auto it = profiles_.find(id);
+  return it == profiles_.end() ? nullptr : &it->second;
+}
+
+void PatternDb::register_middlebox(const MiddleboxProfile& profile) {
+  if (profile.id == 0 || profile.id > kMaxMiddleboxes) {
+    throw std::invalid_argument("PatternDb: middlebox id out of range 1..64");
+  }
+  if (is_registered(profile.id)) {
+    throw std::invalid_argument("PatternDb: middlebox id already registered");
+  }
+  profiles_.emplace(profile.id, profile);
+  bump();
+}
+
+bool PatternDb::unregister_middlebox(MiddleboxId id) {
+  if (profiles_.erase(id) == 0) return false;
+  auto scrub = [&](auto& table) {
+    for (auto it = table.begin(); it != table.end();) {
+      auto& refs = it->second.refs;
+      for (auto ref = refs.begin(); ref != refs.end();) {
+        ref = ref->first == id ? refs.erase(ref) : std::next(ref);
+      }
+      it = refs.empty() ? table.erase(it) : std::next(it);
+    }
+  };
+  scrub(exact_);
+  scrub(regex_);
+  // Chains referencing the middlebox keep their other members; drop the id.
+  for (auto& [chain, members] : chains_) {
+    std::erase(members, id);
+  }
+  bump();
+  return true;
+}
+
+void PatternDb::inherit_patterns(MiddleboxId to, MiddleboxId from) {
+  require_registered(to);
+  require_registered(from);
+  for (auto& [bytes, entry] : exact_) {
+    std::vector<PatternId> rules;
+    for (const auto& [mbox, rule] : entry.refs) {
+      if (mbox == from) rules.push_back(rule);
+    }
+    for (PatternId rule : rules) {
+      entry.refs.emplace(to, rule);
+    }
+  }
+  for (auto& [key, entry] : regex_) {
+    std::vector<PatternId> rules;
+    for (const auto& [mbox, rule] : entry.refs) {
+      if (mbox == from) rules.push_back(rule);
+    }
+    for (PatternId rule : rules) {
+      entry.refs.emplace(to, rule);
+    }
+  }
+  bump();
+}
+
+void PatternDb::add_exact(MiddleboxId middlebox, PatternId rule,
+                          std::string bytes) {
+  require_registered(middlebox);
+  if (bytes.empty()) {
+    throw std::invalid_argument("PatternDb: empty pattern");
+  }
+  // The same (middlebox, rule) pair must not point at different bytes.
+  for (const auto& [existing_bytes, entry] : exact_) {
+    if (existing_bytes != bytes && entry.refs.count({middlebox, rule})) {
+      throw std::invalid_argument(
+          "PatternDb: rule id already bound to different bytes");
+    }
+  }
+  auto [it, inserted] = exact_.try_emplace(std::move(bytes));
+  if (inserted) {
+    it->second.internal_id = next_internal_id_++;
+  }
+  it->second.refs.emplace(middlebox, rule);
+  bump();
+}
+
+void PatternDb::add_regex(MiddleboxId middlebox, PatternId rule,
+                          std::string expression, bool case_insensitive) {
+  require_registered(middlebox);
+  if (expression.empty()) {
+    throw std::invalid_argument("PatternDb: empty regex");
+  }
+  std::string key = regex_key(expression, case_insensitive);
+  for (const auto& [existing_key, entry] : regex_) {
+    if (existing_key != key && entry.refs.count({middlebox, rule})) {
+      throw std::invalid_argument(
+          "PatternDb: rule id already bound to a different regex");
+    }
+  }
+  auto [it, inserted] = regex_.try_emplace(std::move(key));
+  if (inserted) {
+    it->second.internal_id = next_internal_id_++;
+    it->second.case_insensitive = case_insensitive;
+  }
+  it->second.refs.emplace(middlebox, rule);
+  bump();
+}
+
+bool PatternDb::remove_exact(MiddleboxId middlebox, PatternId rule) {
+  for (auto it = exact_.begin(); it != exact_.end(); ++it) {
+    if (it->second.refs.erase({middlebox, rule}) > 0) {
+      if (it->second.refs.empty()) {
+        exact_.erase(it);  // Last reference gone: drop the pattern (§4.1).
+      }
+      bump();
+      return true;
+    }
+  }
+  return false;
+}
+
+bool PatternDb::remove_regex(MiddleboxId middlebox, PatternId rule) {
+  for (auto it = regex_.begin(); it != regex_.end(); ++it) {
+    if (it->second.refs.erase({middlebox, rule}) > 0) {
+      if (it->second.refs.empty()) {
+        regex_.erase(it);
+      }
+      bump();
+      return true;
+    }
+  }
+  return false;
+}
+
+void PatternDb::set_chain(ChainId chain, std::vector<MiddleboxId> members) {
+  for (MiddleboxId id : members) {
+    require_registered(id);
+  }
+  chains_[chain] = std::move(members);
+  bump();
+}
+
+bool PatternDb::remove_chain(ChainId chain) {
+  if (chains_.erase(chain) == 0) return false;
+  bump();
+  return true;
+}
+
+EngineSpec PatternDb::snapshot() const {
+  EngineSpec spec;
+  spec.middleboxes.reserve(profiles_.size());
+  for (const auto& [id, profile] : profiles_) {
+    spec.middleboxes.push_back(profile);
+  }
+  for (const auto& [bytes, entry] : exact_) {
+    for (const auto& [mbox, rule] : entry.refs) {
+      spec.exact_patterns.push_back(ExactPatternSpec{bytes, mbox, rule});
+    }
+  }
+  for (const auto& [key, entry] : regex_) {
+    const std::string expression = key.substr(2);  // strip "i:"/"s:"
+    for (const auto& [mbox, rule] : entry.refs) {
+      spec.regex_patterns.push_back(
+          RegexPatternSpec{expression, mbox, rule, entry.case_insensitive});
+    }
+  }
+  spec.chains = chains_;
+  return spec;
+}
+
+std::size_t PatternDb::num_references(MiddleboxId id) const noexcept {
+  std::size_t n = 0;
+  for (const auto& [bytes, entry] : exact_) {
+    for (const auto& ref : entry.refs) {
+      if (ref.first == id) ++n;
+    }
+  }
+  for (const auto& [key, entry] : regex_) {
+    for (const auto& ref : entry.refs) {
+      if (ref.first == id) ++n;
+    }
+  }
+  return n;
+}
+
+std::optional<std::uint64_t> PatternDb::internal_id_of_exact(
+    const std::string& bytes) const {
+  auto it = exact_.find(bytes);
+  if (it == exact_.end()) return std::nullopt;
+  return it->second.internal_id;
+}
+
+}  // namespace dpisvc::dpi

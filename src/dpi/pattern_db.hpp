@@ -1,0 +1,117 @@
+// The DPI controller's global pattern registry (§4.1).
+//
+// The controller "maintains a global pattern set with its own internal IDs.
+// If two middleboxes register the same pattern ... it keeps track of each of
+// the rule IDs reported by each middlebox and associates them with its
+// internal ID. ... when a pattern removal request is received, the DPI
+// Controller removes the middlebox reference to the corresponding pattern.
+// Only if there are no other middleboxes referrals to that pattern, is it
+// removed."
+//
+// PatternDb implements exactly that: distinct patterns are stored once with
+// a stable internal id and a reference list of (middlebox, local rule id)
+// pairs. snapshot() flattens the current registry into an EngineSpec that
+// dpi::Engine::compile() turns into the combined automaton; version() lets
+// instances detect staleness cheaply.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dpi/engine.hpp"
+#include "dpi/types.hpp"
+
+namespace dpisvc::dpi {
+
+class PatternDb {
+ public:
+  // --- middlebox registration ---------------------------------------------
+
+  /// Registers a middlebox type. Throws std::invalid_argument for duplicate
+  /// or out-of-range ids.
+  void register_middlebox(const MiddleboxProfile& profile);
+
+  /// Removes a middlebox and all its pattern references (patterns with no
+  /// remaining references disappear). Returns false if unknown.
+  bool unregister_middlebox(MiddleboxId id);
+
+  /// §4.1: "A middlebox may inherit the pattern set of an already registered
+  /// middlebox." Copies all of `from`'s current references to `to`, keeping
+  /// the same local rule ids.
+  void inherit_patterns(MiddleboxId to, MiddleboxId from);
+
+  bool is_registered(MiddleboxId id) const noexcept;
+  const MiddleboxProfile* profile(MiddleboxId id) const noexcept;
+
+  // --- pattern management ---------------------------------------------------
+
+  /// Adds an exact pattern reference. Re-adding the same (middlebox, rule)
+  /// pair for the same bytes is idempotent; the same rule id with different
+  /// bytes is an error.
+  void add_exact(MiddleboxId middlebox, PatternId rule, std::string bytes);
+
+  /// Adds a regular-expression reference (same semantics as add_exact).
+  void add_regex(MiddleboxId middlebox, PatternId rule, std::string expression,
+                 bool case_insensitive = false);
+
+  /// Removes one middlebox's reference; the pattern itself is dropped only
+  /// when its last reference goes (§4.1). Returns false if no such
+  /// reference existed.
+  bool remove_exact(MiddleboxId middlebox, PatternId rule);
+  bool remove_regex(MiddleboxId middlebox, PatternId rule);
+
+  // --- policy chains ---------------------------------------------------------
+
+  void set_chain(ChainId chain, std::vector<MiddleboxId> members);
+  bool remove_chain(ChainId chain);
+
+  // --- snapshot / stats ------------------------------------------------------
+
+  /// Flattens the registry into a compilable spec.
+  EngineSpec snapshot() const;
+
+  /// Monotonic counter bumped on every mutation; instances compare engine
+  /// versions against it to detect staleness.
+  std::uint64_t version() const noexcept { return version_; }
+
+  std::size_t num_middleboxes() const noexcept { return profiles_.size(); }
+  std::size_t num_distinct_exact() const noexcept { return exact_.size(); }
+  std::size_t num_distinct_regex() const noexcept { return regex_.size(); }
+
+  /// Total references held by a middlebox (its pattern-set size).
+  std::size_t num_references(MiddleboxId id) const noexcept;
+
+  /// Internal id of an exact pattern, if present (for introspection/tests).
+  std::optional<std::uint64_t> internal_id_of_exact(
+      const std::string& bytes) const;
+
+ private:
+  struct ExactEntry {
+    std::uint64_t internal_id = 0;
+    /// (middlebox, local rule id) references; a middlebox may reference the
+    /// same bytes under several of its own rule ids.
+    std::set<std::pair<MiddleboxId, PatternId>> refs;
+  };
+
+  struct RegexEntry {
+    std::uint64_t internal_id = 0;
+    bool case_insensitive = false;
+    std::set<std::pair<MiddleboxId, PatternId>> refs;
+  };
+
+  void require_registered(MiddleboxId id) const;
+  void bump() noexcept { ++version_; }
+
+  std::map<MiddleboxId, MiddleboxProfile> profiles_;
+  std::map<std::string, ExactEntry> exact_;           // bytes -> entry
+  std::map<std::string, RegexEntry> regex_;           // expression -> entry
+  std::map<ChainId, std::vector<MiddleboxId>> chains_;
+  std::uint64_t next_internal_id_ = 1;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace dpisvc::dpi

@@ -1,0 +1,53 @@
+// Shared identifier types and middlebox metadata for the DPI service (§4-5).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace dpisvc::dpi {
+
+/// Middlebox-type identifier, allocated sequentially {1..n} by the DPI
+/// controller (§5.1). Bitmap acceleration supports up to 64 registered
+/// middlebox types; the controller enforces the bound.
+using MiddleboxId = std::uint16_t;
+
+/// Pattern/rule identifier local to one middlebox (the id the middlebox
+/// reported when registering the pattern; results are expressed in it).
+using PatternId = std::uint16_t;
+
+/// Policy-chain identifier assigned by the DPI controller (§4.1).
+using ChainId = std::uint16_t;
+
+inline constexpr std::size_t kMaxMiddleboxes = 64;
+
+/// "No stopping condition": scan the entire L7 stream.
+inline constexpr std::uint32_t kNoStopCondition =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// Per-middlebox registration properties (§4.1, §5.1).
+struct MiddleboxProfile {
+  MiddleboxId id = 0;
+  std::string name;
+  /// Stateful middleboxes need the scan to continue across the packet
+  /// boundaries of a flow; stateless ones scan each packet separately.
+  bool stateful = false;
+  /// Read-only middleboxes perform no action on the packet itself and can be
+  /// served by a dedicated result packet without the payload (§4.2).
+  bool read_only = false;
+  /// Stopping condition: how deep into the L7 stream this middlebox cares
+  /// about (e.g. middleboxes that only parse application-layer headers).
+  std::uint32_t stop_offset = kNoStopCondition;
+};
+
+/// Bitmap over middlebox ids; bit (id - 1) set means the middlebox is
+/// active/registered (ids start at 1).
+using MiddleboxBitmap = std::uint64_t;
+
+inline constexpr MiddleboxBitmap bitmap_of(MiddleboxId id) noexcept {
+  return id == 0 || id > kMaxMiddleboxes
+             ? 0
+             : MiddleboxBitmap{1} << (id - 1);
+}
+
+}  // namespace dpisvc::dpi

@@ -1,0 +1,510 @@
+#include "json/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace dpisvc::json {
+
+// ---------------------------------------------------------------------------
+// Object
+// ---------------------------------------------------------------------------
+
+Value& Object::operator[](const std::string& key) {
+  for (auto& [k, v] : entries_) {
+    if (k == key) return v;
+  }
+  entries_.emplace_back(key, Value());
+  return entries_.back().second;
+}
+
+const Value& Object::at(const std::string& key) const {
+  for (const auto& [k, v] : entries_) {
+    if (k == key) return v;
+  }
+  throw TypeError("json object: missing key '" + key + "'");
+}
+
+bool Object::contains(const std::string& key) const noexcept {
+  for (const auto& [k, v] : entries_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+bool Object::operator==(const Object& other) const {
+  // Order-insensitive comparison: same keys, equal values.
+  if (entries_.size() != other.entries_.size()) return false;
+  for (const auto& [k, v] : entries_) {
+    if (!other.contains(k) || !(other.at(k) == v)) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Value
+// ---------------------------------------------------------------------------
+
+Type Value::type() const noexcept {
+  return static_cast<Type>(data_.index());
+}
+
+bool Value::as_bool() const {
+  if (const bool* b = std::get_if<bool>(&data_)) return *b;
+  throw TypeError("json: not a bool");
+}
+
+double Value::as_number() const {
+  if (const double* d = std::get_if<double>(&data_)) return *d;
+  throw TypeError("json: not a number");
+}
+
+std::int64_t Value::as_int() const {
+  const double d = as_number();
+  const double rounded = std::nearbyint(d);
+  if (rounded != d || std::abs(d) > 9.007199254740992e15) {
+    throw TypeError("json: number is not an exact integer");
+  }
+  return static_cast<std::int64_t>(d);
+}
+
+const std::string& Value::as_string() const {
+  if (const std::string* s = std::get_if<std::string>(&data_)) return *s;
+  throw TypeError("json: not a string");
+}
+
+const Array& Value::as_array() const {
+  if (const Array* a = std::get_if<Array>(&data_)) return *a;
+  throw TypeError("json: not an array");
+}
+
+Array& Value::as_array() {
+  if (Array* a = std::get_if<Array>(&data_)) return *a;
+  throw TypeError("json: not an array");
+}
+
+const Object& Value::as_object() const {
+  if (const Object* o = std::get_if<Object>(&data_)) return *o;
+  throw TypeError("json: not an object");
+}
+
+Object& Value::as_object() {
+  if (Object* o = std::get_if<Object>(&data_)) return *o;
+  throw TypeError("json: not an object");
+}
+
+const Value& Value::get_or(const std::string& key,
+                           const Value& fallback) const {
+  const Object& o = as_object();
+  return o.contains(key) ? o.at(key) : fallback;
+}
+
+Object obj(std::initializer_list<std::pair<std::string, Value>> fields) {
+  Object o;
+  for (const auto& [k, v] : fields) {
+    o[k] = v;
+  }
+  return o;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    skip_ws();
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      throw ParseError("trailing content", pos_);
+    }
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ParseError(what, pos_);
+  }
+
+  char peek() const {
+    if (pos_ >= text_.size()) throw ParseError("unexpected end", pos_);
+    return text_[pos_];
+  }
+
+  char take() {
+    char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (take() != c) {
+      --pos_;
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  Value parse_value() {
+    switch (peek()) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return Value(parse_string());
+      case 't':
+        if (consume_literal("true")) return Value(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return Value(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return Value(nullptr);
+        fail("invalid literal");
+      default:
+        return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    Object out;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Value(std::move(out));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      if (out.contains(key)) fail("duplicate object key '" + key + "'");
+      skip_ws();
+      expect(':');
+      skip_ws();
+      out[key] = parse_value();
+      skip_ws();
+      char c = take();
+      if (c == '}') break;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or '}'");
+      }
+    }
+    return Value(std::move(out));
+  }
+
+  Value parse_array() {
+    expect('[');
+    Array out;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Value(std::move(out));
+    }
+    while (true) {
+      skip_ws();
+      out.push_back(parse_value());
+      skip_ws();
+      char c = take();
+      if (c == ']') break;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or ']'");
+      }
+    }
+    return Value(std::move(out));
+  }
+
+  unsigned parse_hex4() {
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = take();
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        --pos_;
+        fail("invalid \\u escape");
+      }
+    }
+    return value;
+  }
+
+  static void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      char c = take();
+      if (c == '"') break;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        --pos_;
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      char esc = take();
+      switch (esc) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          unsigned cp = parse_hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate; must be followed by \uDC00..\uDFFF.
+            if (take() != '\\' || take() != 'u') {
+              --pos_;
+              fail("lone high surrogate");
+            }
+            unsigned low = parse_hex4();
+            if (low < 0xDC00 || low > 0xDFFF) fail("invalid low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("lone low surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          --pos_;
+          fail("invalid escape");
+      }
+    }
+    return out;
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (pos_ >= text_.size()) fail("truncated number");
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else if (text_[pos_] >= '1' && text_[pos_] <= '9') {
+      while (pos_ < text_.size() && isdigit_(text_[pos_])) ++pos_;
+    } else {
+      fail("invalid number");
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() || !isdigit_(text_[pos_])) fail("bad fraction");
+      while (pos_ < text_.size() && isdigit_(text_[pos_])) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || !isdigit_(text_[pos_])) fail("bad exponent");
+      while (pos_ < text_.size() && isdigit_(text_[pos_])) ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    return Value(std::stod(token));
+  }
+
+  static bool isdigit_(char c) noexcept { return c >= '0' && c <= '9'; }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+void write_string(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void write_number(std::string& out, double d) {
+  if (std::nearbyint(d) == d && std::abs(d) < 9.007199254740992e15) {
+    out += std::to_string(static_cast<std::int64_t>(d));
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  out += buf;
+}
+
+void write_value(std::string& out, const Value& v, int indent, int depth) {
+  const bool pretty = indent > 0;
+  const auto newline_pad = [&](int d) {
+    if (!pretty) return;
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  switch (v.type()) {
+    case Type::kNull:
+      out += "null";
+      break;
+    case Type::kBool:
+      out += v.as_bool() ? "true" : "false";
+      break;
+    case Type::kNumber:
+      write_number(out, v.as_number());
+      break;
+    case Type::kString:
+      write_string(out, v.as_string());
+      break;
+    case Type::kArray: {
+      const Array& a = v.as_array();
+      if (a.empty()) {
+        out += "[]";
+        break;
+      }
+      out.push_back('[');
+      bool first = true;
+      for (const Value& item : a) {
+        if (!first) out.push_back(',');
+        first = false;
+        newline_pad(depth + 1);
+        write_value(out, item, indent, depth + 1);
+      }
+      newline_pad(depth);
+      out.push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      const Object& o = v.as_object();
+      if (o.empty()) {
+        out += "{}";
+        break;
+      }
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [k, field] : o) {
+        if (!first) out.push_back(',');
+        first = false;
+        newline_pad(depth + 1);
+        write_string(out, k);
+        out.push_back(':');
+        if (pretty) out.push_back(' ');
+        write_value(out, field, indent, depth + 1);
+      }
+      newline_pad(depth);
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+Value parse(std::string_view text) { return Parser(text).parse_document(); }
+
+std::string dump(const Value& value) {
+  std::string out;
+  write_value(out, value, /*indent=*/0, /*depth=*/0);
+  return out;
+}
+
+std::string dump_pretty(const Value& value) {
+  std::string out;
+  write_value(out, value, /*indent=*/2, /*depth=*/0);
+  return out;
+}
+
+}  // namespace dpisvc::json

@@ -1,0 +1,125 @@
+// Minimal JSON library for the DPI control plane.
+//
+// The paper (§4.1) specifies that middleboxes talk to the DPI controller
+// "using JSON messages sent over a direct (possibly secure) communication
+// channel". This module provides the value model, a strict recursive-descent
+// parser, and a deterministic writer (object keys serialized in insertion
+// order) so control messages are stable and testable.
+//
+// Scope: full JSON per RFC 8259 except that numbers are stored as double
+// (sufficient for the integer ids used by the protocol — exact up to 2^53)
+// and \uXXXX escapes outside the BMP surrogate mechanism are encoded as
+// UTF-8.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace dpisvc::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+
+/// Object preserving insertion order: pair list + no duplicate keys.
+class Object {
+ public:
+  Value& operator[](const std::string& key);
+  const Value& at(const std::string& key) const;
+  bool contains(const std::string& key) const noexcept;
+  std::size_t size() const noexcept { return entries_.size(); }
+  bool empty() const noexcept { return entries_.empty(); }
+
+  auto begin() const noexcept { return entries_.begin(); }
+  auto end() const noexcept { return entries_.end(); }
+
+  bool operator==(const Object& other) const;
+
+ private:
+  std::vector<std::pair<std::string, Value>> entries_;
+};
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& what, std::size_t offset)
+      : std::runtime_error(what + " at offset " + std::to_string(offset)),
+        offset_(offset) {}
+  std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+class TypeError : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+class Value {
+ public:
+  Value() noexcept : data_(nullptr) {}
+  Value(std::nullptr_t) noexcept : data_(nullptr) {}
+  Value(bool b) noexcept : data_(b) {}
+  Value(double d) noexcept : data_(d) {}
+  Value(int i) noexcept : data_(static_cast<double>(i)) {}
+  Value(unsigned i) noexcept : data_(static_cast<double>(i)) {}
+  Value(std::int64_t i) noexcept : data_(static_cast<double>(i)) {}
+  Value(std::uint64_t i) noexcept : data_(static_cast<double>(i)) {}
+  Value(const char* s) : data_(std::string(s)) {}
+  Value(std::string s) : data_(std::move(s)) {}
+  Value(std::string_view s) : data_(std::string(s)) {}
+  Value(Array a) : data_(std::move(a)) {}
+  Value(Object o) : data_(std::move(o)) {}
+
+  Type type() const noexcept;
+  bool is_null() const noexcept { return type() == Type::kNull; }
+  bool is_bool() const noexcept { return type() == Type::kBool; }
+  bool is_number() const noexcept { return type() == Type::kNumber; }
+  bool is_string() const noexcept { return type() == Type::kString; }
+  bool is_array() const noexcept { return type() == Type::kArray; }
+  bool is_object() const noexcept { return type() == Type::kObject; }
+
+  // Checked accessors; throw TypeError on mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  std::int64_t as_int() const;  ///< as_number() checked to be integral.
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  Array& as_array();
+  const Object& as_object() const;
+  Object& as_object();
+
+  /// Object field access shorthand; throws if not an object / key missing.
+  const Value& at(const std::string& key) const { return as_object().at(key); }
+
+  /// Object field access returning fallback when key is absent.
+  const Value& get_or(const std::string& key, const Value& fallback) const;
+
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> data_;
+};
+
+/// Convenience builder: obj({{"type","register"},{"id",7}}).
+Object obj(std::initializer_list<std::pair<std::string, Value>> fields);
+
+/// Parses a complete JSON document; trailing non-whitespace is an error.
+Value parse(std::string_view text);
+
+/// Serializes compactly (no whitespace). Keys keep insertion order.
+std::string dump(const Value& value);
+
+/// Serializes with 2-space indentation, for logs and examples.
+std::string dump_pretty(const Value& value);
+
+}  // namespace dpisvc::json

@@ -1,0 +1,119 @@
+#include "mbox/boxes.hpp"
+
+namespace dpisvc::mbox {
+
+namespace {
+dpi::MiddleboxProfile make_profile(dpi::MiddleboxId id, const char* name,
+                                   bool stateful, bool read_only) {
+  dpi::MiddleboxProfile p;
+  p.id = id;
+  p.name = name;
+  p.stateful = stateful;
+  p.read_only = read_only;
+  return p;
+}
+}  // namespace
+
+// --- IDS ---------------------------------------------------------------------
+
+Ids::Ids(dpi::MiddleboxId id, bool stateful)
+    : Middlebox(make_profile(id, "ids", stateful, /*read_only=*/true)) {}
+
+void Ids::on_rule_hit(const RuleSpec& rule, const net::MatchEntry& entry,
+                      const net::Packet& data) {
+  alerts_.push_back(
+      Alert{rule.id, data.tuple, entry.position, rule.rule_class});
+}
+
+// --- AntiVirus -----------------------------------------------------------------
+
+AntiVirus::AntiVirus(dpi::MiddleboxId id)
+    : Middlebox(make_profile(id, "antivirus", /*stateful=*/true,
+                             /*read_only=*/false)) {}
+
+void AntiVirus::on_packet_done(const net::Packet& data, Verdict verdict) {
+  if (verdict >= Verdict::kQuarantine) {
+    quarantined_.insert(data.tuple.canonical());
+  }
+}
+
+bool AntiVirus::is_quarantined(const net::FiveTuple& flow) const {
+  return quarantined_.count(flow.canonical()) > 0;
+}
+
+// --- L7 firewall ------------------------------------------------------------------
+
+L7Firewall::L7Firewall(dpi::MiddleboxId id)
+    : Middlebox(make_profile(id, "l7-firewall", /*stateful=*/false,
+                             /*read_only=*/false)) {}
+
+void L7Firewall::on_packet_done(const net::Packet& data, Verdict verdict) {
+  (void)data;
+  if (verdict >= Verdict::kDrop) {
+    ++dropped_;
+  }
+}
+
+// --- traffic shaper ------------------------------------------------------------------
+
+TrafficShaper::TrafficShaper(dpi::MiddleboxId id)
+    : Middlebox(make_profile(id, "traffic-shaper", /*stateful=*/false,
+                             /*read_only=*/true)) {}
+
+void TrafficShaper::on_rule_hit(const RuleSpec& rule,
+                                const net::MatchEntry& entry,
+                                const net::Packet& data) {
+  (void)entry;
+  flow_class_[data.tuple.canonical()] = rule.rule_class;
+}
+
+void TrafficShaper::on_packet_done(const net::Packet& data, Verdict verdict) {
+  (void)verdict;
+  ++class_packets_[flow_class(data.tuple)];
+}
+
+int TrafficShaper::flow_class(const net::FiveTuple& flow) const {
+  auto it = flow_class_.find(flow.canonical());
+  return it == flow_class_.end() ? 0 : it->second;
+}
+
+// --- DLP ------------------------------------------------------------------------------
+
+DataLeakagePrevention::DataLeakagePrevention(dpi::MiddleboxId id)
+    : Middlebox(make_profile(id, "dlp", /*stateful=*/true,
+                             /*read_only=*/false)) {}
+
+void DataLeakagePrevention::on_rule_hit(const RuleSpec& rule,
+                                        const net::MatchEntry& entry,
+                                        const net::Packet& data) {
+  (void)entry;
+  leaks_.push_back(LeakEvent{rule.id, data.tuple, rule.description});
+}
+
+// --- L7 load balancer ---------------------------------------------------------------------
+
+L7LoadBalancer::L7LoadBalancer(dpi::MiddleboxId id, std::size_t num_backends)
+    : Middlebox(make_profile(id, "l7-lb", /*stateful=*/false,
+                             /*read_only=*/true)),
+      backend_packets_(num_backends == 0 ? 1 : num_backends, 0) {}
+
+void L7LoadBalancer::on_rule_hit(const RuleSpec& rule,
+                                 const net::MatchEntry& entry,
+                                 const net::Packet& data) {
+  (void)entry;
+  const auto backend =
+      static_cast<std::size_t>(rule.rule_class) % backend_packets_.size();
+  assignment_[data.tuple.canonical()] = backend;
+}
+
+void L7LoadBalancer::on_packet_done(const net::Packet& data, Verdict verdict) {
+  (void)verdict;
+  ++backend_packets_[backend_for(data.tuple)];
+}
+
+std::size_t L7LoadBalancer::backend_for(const net::FiveTuple& flow) const {
+  auto it = assignment_.find(flow.canonical());
+  return it == assignment_.end() ? 0 : it->second;
+}
+
+}  // namespace dpisvc::mbox

@@ -1,0 +1,136 @@
+// Concrete middlebox types (Table 1 of the paper).
+//
+// Each subclass gives rules its domain semantics through the Middlebox
+// hooks; the DPI work itself is identical across all of them — which is the
+// paper's whole point.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "mbox/middlebox.hpp"
+
+namespace dpisvc::mbox {
+
+/// Intrusion Detection System (read-only: consumes results, never modifies
+/// or blocks traffic — the paper's example of a read-only middlebox, §4.1).
+class Ids : public Middlebox {
+ public:
+  struct Alert {
+    dpi::PatternId rule = 0;
+    net::FiveTuple flow;
+    std::uint32_t position = 0;
+    int severity = 0;
+  };
+
+  explicit Ids(dpi::MiddleboxId id, bool stateful = true);
+
+  const std::vector<Alert>& alerts() const noexcept { return alerts_; }
+
+ protected:
+  void on_rule_hit(const RuleSpec& rule, const net::MatchEntry& entry,
+                   const net::Packet& data) override;
+
+ private:
+  std::vector<Alert> alerts_;
+};
+
+/// AntiVirus: quarantines flows carrying signature matches.
+class AntiVirus : public Middlebox {
+ public:
+  explicit AntiVirus(dpi::MiddleboxId id);
+
+  bool is_quarantined(const net::FiveTuple& flow) const;
+  std::size_t quarantined_flows() const noexcept {
+    return quarantined_.size();
+  }
+
+ protected:
+  void on_packet_done(const net::Packet& data, Verdict verdict) override;
+
+ private:
+  std::set<net::FiveTuple> quarantined_;  // canonical tuples
+};
+
+/// L7 firewall: drops packets matching block rules.
+class L7Firewall : public Middlebox {
+ public:
+  explicit L7Firewall(dpi::MiddleboxId id);
+
+  std::uint64_t dropped_packets() const noexcept { return dropped_; }
+
+ protected:
+  void on_packet_done(const net::Packet& data, Verdict verdict) override;
+
+ private:
+  std::uint64_t dropped_ = 0;
+};
+
+/// Traffic shaper: classifies flows into rate classes by application
+/// patterns (rule_class = rate class).
+class TrafficShaper : public Middlebox {
+ public:
+  explicit TrafficShaper(dpi::MiddleboxId id);
+
+  /// Rate class assigned to a flow (0 = default/best effort).
+  int flow_class(const net::FiveTuple& flow) const;
+  const std::map<int, std::uint64_t>& packets_per_class() const noexcept {
+    return class_packets_;
+  }
+
+ protected:
+  void on_rule_hit(const RuleSpec& rule, const net::MatchEntry& entry,
+                   const net::Packet& data) override;
+  void on_packet_done(const net::Packet& data, Verdict verdict) override;
+
+ private:
+  std::map<net::FiveTuple, int> flow_class_;  // canonical tuple -> class
+  std::map<int, std::uint64_t> class_packets_;
+};
+
+/// Data Leakage Prevention: records exfiltration events (rule hits on
+/// outbound content).
+class DataLeakagePrevention : public Middlebox {
+ public:
+  explicit DataLeakagePrevention(dpi::MiddleboxId id);
+
+  struct LeakEvent {
+    dpi::PatternId rule = 0;
+    net::FiveTuple flow;
+    std::string description;
+  };
+
+  const std::vector<LeakEvent>& leaks() const noexcept { return leaks_; }
+
+ protected:
+  void on_rule_hit(const RuleSpec& rule, const net::MatchEntry& entry,
+                   const net::Packet& data) override;
+
+ private:
+  std::vector<LeakEvent> leaks_;
+};
+
+/// L7 load balancer: picks a backend per flow by URL/app patterns
+/// (rule_class = backend index). Flows with no match go to backend 0.
+class L7LoadBalancer : public Middlebox {
+ public:
+  L7LoadBalancer(dpi::MiddleboxId id, std::size_t num_backends);
+
+  std::size_t backend_for(const net::FiveTuple& flow) const;
+  const std::vector<std::uint64_t>& packets_per_backend() const noexcept {
+    return backend_packets_;
+  }
+
+ protected:
+  void on_rule_hit(const RuleSpec& rule, const net::MatchEntry& entry,
+                   const net::Packet& data) override;
+  void on_packet_done(const net::Packet& data, Verdict verdict) override;
+
+ private:
+  std::map<net::FiveTuple, std::size_t> assignment_;
+  std::vector<std::uint64_t> backend_packets_;
+};
+
+}  // namespace dpisvc::mbox

@@ -1,0 +1,99 @@
+#include "mbox/middlebox_node.hpp"
+
+#include "common/logging.hpp"
+
+namespace dpisvc::mbox {
+
+MiddleboxNode::MiddleboxNode(netsim::Fabric& fabric, netsim::NodeId name,
+                             Middlebox& middlebox, NodeMode mode)
+    : Node(fabric, std::move(name)), middlebox_(middlebox), mode_(mode) {}
+
+std::vector<net::MatchEntry> MiddleboxNode::entries_for_self(
+    const net::MatchReport& report) const {
+  for (const net::MiddleboxSection& section : report.sections) {
+    if (section.middlebox_id == middlebox_.profile().id) {
+      return section.entries;
+    }
+  }
+  return {};
+}
+
+void MiddleboxNode::evaluate_and_forward(
+    net::Packet data, const std::vector<net::MatchEntry>& entries,
+    std::optional<net::Packet> result, const netsim::NodeId& to) {
+  const Verdict verdict = middlebox_.apply_report_entries(data, entries);
+  if (verdict >= Verdict::kDrop) {
+    ++dropped_;
+    log(LogLevel::kDebug, name(), "dropping ", data.summary());
+    return;  // neither data nor result continues down the chain
+  }
+  ++forwarded_;
+  emit(to, std::move(data));
+  if (result) {
+    emit(to, std::move(*result));
+  }
+}
+
+void MiddleboxNode::receive(net::Packet packet, const netsim::NodeId& from) {
+  if (mode_ == NodeMode::kStandalone) {
+    const Verdict verdict = middlebox_.process_standalone(packet);
+    if (verdict >= Verdict::kDrop) {
+      ++dropped_;
+      return;
+    }
+    ++forwarded_;
+    emit(from, std::move(packet));
+    return;
+  }
+
+  // Service mode.
+  const bool is_result =
+      packet.service_header &&
+      packet.service_header->service_path_id == service::kResultServicePathId;
+  const std::uint64_t ref = service::packet_ref_of(packet);
+
+  if (is_result) {
+    auto waiting = pending_data_.find(ref);
+    if (waiting == pending_data_.end()) {
+      pending_results_.emplace(ref, std::move(packet));  // result came first
+      return;
+    }
+    net::Packet data = std::move(waiting->second);
+    pending_data_.erase(waiting);
+    const net::MatchReport report =
+        net::decode_report(packet.service_header->metadata);
+    evaluate_and_forward(std::move(data), entries_for_self(report),
+                         std::move(packet), from);
+    return;
+  }
+
+  // Data packet carrying results inline (NSH mode).
+  if (packet.service_header) {
+    const net::MatchReport report =
+        net::decode_report(packet.service_header->metadata);
+    evaluate_and_forward(std::move(packet), entries_for_self(report),
+                         std::nullopt, from);
+    return;
+  }
+
+  // Plain data packet: unmarked means no results will follow (§4.2).
+  if (!packet.has_match_mark()) {
+    evaluate_and_forward(std::move(packet), {}, std::nullopt, from);
+    return;
+  }
+
+  // Marked data packet: pair with its result.
+  auto result = pending_results_.find(ref);
+  if (result == pending_results_.end()) {
+    pending_data_.emplace(ref, std::move(packet));
+    return;
+  }
+  net::Packet result_packet = std::move(result->second);
+  pending_results_.erase(result);
+  const net::MatchReport report =
+      net::decode_report(result_packet.service_header->metadata);
+  evaluate_and_forward(std::move(packet), entries_for_self(report),
+                       std::move(result_packet), from);
+}
+
+}  // namespace dpisvc::mbox

@@ -1,0 +1,62 @@
+// Fabric adapter for middleboxes (§6.1).
+//
+// In service mode the node mirrors the paper's "sample virtual middlebox
+// application that receives traffic from the DPI service instance and, if
+// necessary, buffers packets until their corresponding results or data
+// packet arrives": a match-marked data packet waits for its result packet
+// (and vice versa, should reordering deliver the result first); unmarked
+// packets are forwarded immediately, since no-match packets carry no result.
+//
+// In standalone mode the node scans every packet with the middlebox's
+// private DPI engine — the baseline configuration the paper compares
+// against.
+//
+// A kDrop verdict suppresses forwarding of both the data packet and its
+// result packet.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "mbox/middlebox.hpp"
+#include "netsim/fabric.hpp"
+#include "service/instance_node.hpp"
+
+namespace dpisvc::mbox {
+
+enum class NodeMode {
+  kService,     ///< consumes DPI-service results
+  kStandalone,  ///< scans payloads itself
+};
+
+class MiddleboxNode : public netsim::Node {
+ public:
+  MiddleboxNode(netsim::Fabric& fabric, netsim::NodeId name,
+                Middlebox& middlebox, NodeMode mode);
+
+  void receive(net::Packet packet, const netsim::NodeId& from) override;
+
+  std::uint64_t forwarded() const noexcept { return forwarded_; }
+  std::uint64_t dropped() const noexcept { return dropped_; }
+  std::size_t pending() const noexcept {
+    return pending_data_.size() + pending_results_.size();
+  }
+
+ private:
+  void evaluate_and_forward(net::Packet data,
+                            const std::vector<net::MatchEntry>& entries,
+                            std::optional<net::Packet> result,
+                            const netsim::NodeId& to);
+
+  std::vector<net::MatchEntry> entries_for_self(
+      const net::MatchReport& report) const;
+
+  Middlebox& middlebox_;
+  NodeMode mode_;
+  std::map<std::uint64_t, net::Packet> pending_data_;
+  std::map<std::uint64_t, net::Packet> pending_results_;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace dpisvc::mbox

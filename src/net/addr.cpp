@@ -1,0 +1,78 @@
+#include "net/addr.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace dpisvc::net {
+
+std::string Ipv4Addr::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (value >> 24) & 0xFF,
+                (value >> 16) & 0xFF, (value >> 8) & 0xFF, value & 0xFF);
+  return buf;
+}
+
+Ipv4Addr Ipv4Addr::parse(std::string_view text) {
+  std::uint32_t parts[4];
+  std::size_t pos = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (pos >= text.size() || text[pos] < '0' || text[pos] > '9') {
+      throw std::invalid_argument("Ipv4Addr::parse: expected digit");
+    }
+    std::uint32_t v = 0;
+    while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+      v = v * 10 + static_cast<std::uint32_t>(text[pos] - '0');
+      if (v > 255) throw std::invalid_argument("Ipv4Addr::parse: octet > 255");
+      ++pos;
+    }
+    parts[i] = v;
+    if (i < 3) {
+      if (pos >= text.size() || text[pos] != '.') {
+        throw std::invalid_argument("Ipv4Addr::parse: expected '.'");
+      }
+      ++pos;
+    }
+  }
+  if (pos != text.size()) {
+    throw std::invalid_argument("Ipv4Addr::parse: trailing characters");
+  }
+  return Ipv4Addr(static_cast<std::uint8_t>(parts[0]),
+                  static_cast<std::uint8_t>(parts[1]),
+                  static_cast<std::uint8_t>(parts[2]),
+                  static_cast<std::uint8_t>(parts[3]));
+}
+
+std::string MacAddr::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x",
+                static_cast<unsigned>((value >> 40) & 0xFF),
+                static_cast<unsigned>((value >> 32) & 0xFF),
+                static_cast<unsigned>((value >> 24) & 0xFF),
+                static_cast<unsigned>((value >> 16) & 0xFF),
+                static_cast<unsigned>((value >> 8) & 0xFF),
+                static_cast<unsigned>(value & 0xFF));
+  return buf;
+}
+
+MacAddr MacAddr::parse(std::string_view text) {
+  if (text.size() != 17) {
+    throw std::invalid_argument("MacAddr::parse: bad length");
+  }
+  std::uint64_t value = 0;
+  for (int i = 0; i < 6; ++i) {
+    const std::size_t at = static_cast<std::size_t>(i) * 3;
+    auto nibble = [&](char c) -> std::uint64_t {
+      if (c >= '0' && c <= '9') return static_cast<std::uint64_t>(c - '0');
+      if (c >= 'a' && c <= 'f') return static_cast<std::uint64_t>(c - 'a' + 10);
+      if (c >= 'A' && c <= 'F') return static_cast<std::uint64_t>(c - 'A' + 10);
+      throw std::invalid_argument("MacAddr::parse: bad hex digit");
+    };
+    value = (value << 8) | (nibble(text[at]) << 4) | nibble(text[at + 1]);
+    if (i < 5 && text[at + 2] != ':') {
+      throw std::invalid_argument("MacAddr::parse: expected ':'");
+    }
+  }
+  return MacAddr(value);
+}
+
+}  // namespace dpisvc::net

@@ -1,0 +1,45 @@
+// Address types for the simulated network: IPv4 and MAC-48.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dpisvc::net {
+
+/// IPv4 address stored in host order (value 0x0A000001 == "10.0.0.1").
+struct Ipv4Addr {
+  std::uint32_t value = 0;
+
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t v) noexcept : value(v) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                     std::uint8_t d) noexcept
+      : value((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+              (std::uint32_t{c} << 8) | d) {}
+
+  auto operator<=>(const Ipv4Addr&) const = default;
+
+  std::string to_string() const;
+
+  /// Parses dotted-quad notation; throws std::invalid_argument on error.
+  static Ipv4Addr parse(std::string_view text);
+};
+
+/// MAC-48, stored in the low 48 bits.
+struct MacAddr {
+  std::uint64_t value = 0;
+
+  constexpr MacAddr() = default;
+  constexpr explicit MacAddr(std::uint64_t v) noexcept
+      : value(v & 0xFFFFFFFFFFFFULL) {}
+
+  auto operator<=>(const MacAddr&) const = default;
+
+  std::string to_string() const;
+
+  /// Parses "aa:bb:cc:dd:ee:ff"; throws std::invalid_argument on error.
+  static MacAddr parse(std::string_view text);
+};
+
+}  // namespace dpisvc::net

@@ -1,0 +1,45 @@
+#include "net/flow.hpp"
+
+#include <sstream>
+
+#include "common/bytes.hpp"
+#include "common/checksum.hpp"
+
+namespace dpisvc::net {
+
+FiveTuple FiveTuple::canonical() const noexcept {
+  // Order endpoints so (src, dst) <= (dst, src) lexicographically.
+  if (src_ip.value < dst_ip.value ||
+      (src_ip.value == dst_ip.value && src_port <= dst_port)) {
+    return *this;
+  }
+  FiveTuple flipped = *this;
+  std::swap(flipped.src_ip, flipped.dst_ip);
+  std::swap(flipped.src_port, flipped.dst_port);
+  return flipped;
+}
+
+std::uint64_t FiveTuple::hash() const noexcept {
+  std::uint8_t buf[13];
+  std::uint32_t s = src_ip.value;
+  std::uint32_t d = dst_ip.value;
+  for (int i = 0; i < 4; ++i) {
+    buf[i] = static_cast<std::uint8_t>(s >> (24 - 8 * i));
+    buf[4 + i] = static_cast<std::uint8_t>(d >> (24 - 8 * i));
+  }
+  buf[8] = static_cast<std::uint8_t>(src_port >> 8);
+  buf[9] = static_cast<std::uint8_t>(src_port & 0xFF);
+  buf[10] = static_cast<std::uint8_t>(dst_port >> 8);
+  buf[11] = static_cast<std::uint8_t>(dst_port & 0xFF);
+  buf[12] = static_cast<std::uint8_t>(proto);
+  return fnv1a(BytesView(buf, sizeof buf));
+}
+
+std::string FiveTuple::to_string() const {
+  std::ostringstream os;
+  os << src_ip.to_string() << ':' << src_port << "->" << dst_ip.to_string()
+     << ':' << dst_port << '/' << static_cast<int>(proto);
+  return os.str();
+}
+
+}  // namespace dpisvc::net

@@ -1,0 +1,43 @@
+// Flow identification: the 5-tuple key and hashing for flow tables.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/addr.hpp"
+
+namespace dpisvc::net {
+
+enum class IpProto : std::uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+};
+
+struct FiveTuple {
+  Ipv4Addr src_ip;
+  Ipv4Addr dst_ip;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  IpProto proto = IpProto::kTcp;
+
+  auto operator<=>(const FiveTuple&) const = default;
+
+  /// Direction-insensitive key: the same value for both directions of a
+  /// connection, so request and response packets share one DPI flow state.
+  FiveTuple canonical() const noexcept;
+
+  std::uint64_t hash() const noexcept;
+
+  std::string to_string() const;
+};
+
+}  // namespace dpisvc::net
+
+template <>
+struct std::hash<dpisvc::net::FiveTuple> {
+  std::size_t operator()(const dpisvc::net::FiveTuple& t) const noexcept {
+    return static_cast<std::size_t>(t.hash());
+  }
+};

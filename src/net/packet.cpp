@@ -1,0 +1,263 @@
+#include "net/packet.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/checksum.hpp"
+
+namespace dpisvc::net {
+
+namespace {
+
+// Ethertype markers for the tag stack. VLAN/MPLS tag payloads are widened to
+// a uniform 4-byte value field (a simulation simplification; real TCI is
+// 2 bytes). 0x88B5 is the IEEE "local experimental" ethertype, used for the
+// TSA's policy-chain tag.
+constexpr std::uint16_t kEthVlan = 0x8100;
+constexpr std::uint16_t kEthMpls = 0x8847;
+constexpr std::uint16_t kEthPolicy = 0x88B5;
+constexpr std::uint16_t kEthIpv4 = 0x0800;
+
+// IP flags: DF plus the reserved bit, which we use to signal the presence of
+// the NSH-like service header between L4 and payload.
+constexpr std::uint16_t kIpFlagsDf = 0x4000;
+constexpr std::uint16_t kIpFlagNsh = 0x8000;
+
+std::uint16_t tag_ethertype(TagKind kind) {
+  switch (kind) {
+    case TagKind::kVlan:
+      return kEthVlan;
+    case TagKind::kMpls:
+      return kEthMpls;
+    case TagKind::kPolicyChain:
+      return kEthPolicy;
+  }
+  throw std::invalid_argument("unknown tag kind");
+}
+
+std::optional<TagKind> kind_of_ethertype(std::uint16_t ethertype) {
+  switch (ethertype) {
+    case kEthVlan:
+      return TagKind::kVlan;
+    case kEthMpls:
+      return TagKind::kMpls;
+    case kEthPolicy:
+      return TagKind::kPolicyChain;
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace
+
+std::optional<std::uint32_t> Packet::find_tag(TagKind kind) const noexcept {
+  for (const Tag& tag : tags) {
+    if (tag.kind == kind) return tag.value;
+  }
+  return std::nullopt;
+}
+
+void Packet::push_tag(TagKind kind, std::uint32_t value) {
+  tags.insert(tags.begin(), Tag{kind, value});
+}
+
+bool Packet::pop_tag(TagKind kind) noexcept {
+  auto it = std::find_if(tags.begin(), tags.end(),
+                         [kind](const Tag& t) { return t.kind == kind; });
+  if (it == tags.end()) return false;
+  tags.erase(it);
+  return true;
+}
+
+std::size_t Packet::wire_size() const noexcept {
+  std::size_t size = 14 + tags.size() * 6 + 20;
+  size += tuple.proto == IpProto::kUdp ? 8 : 20;
+  if (service_header) {
+    size += 11 + service_header->metadata.size();
+  }
+  return size + payload.size();
+}
+
+Bytes Packet::to_wire() const {
+  Bytes out;
+  out.reserve(wire_size());
+
+  // Ethernet.
+  put_be(out, dst_mac.value, 6);
+  put_be(out, src_mac.value, 6);
+  for (const Tag& tag : tags) {
+    put_be(out, tag_ethertype(tag.kind), 2);
+    put_be(out, tag.value, 4);
+  }
+  put_be(out, kEthIpv4, 2);
+
+  // IPv4 (20-byte header, no options).
+  const std::size_t ip_start = out.size();
+  const bool udp = tuple.proto == IpProto::kUdp;
+  std::size_t l4_size = udp ? 8u : 20u;
+  std::size_t nsh_size =
+      service_header ? 11u + service_header->metadata.size() : 0u;
+  const std::size_t total_len = 20 + l4_size + nsh_size + payload.size();
+  if (total_len > 0xFFFF) {
+    throw std::invalid_argument("Packet::to_wire: payload too large");
+  }
+  out.push_back(0x45);
+  out.push_back(static_cast<std::uint8_t>(ecn & 0x3));  // TOS: DSCP 0 + ECN
+  put_be(out, total_len, 2);
+  put_be(out, ip_id, 2);
+  put_be(out, kIpFlagsDf | (service_header ? kIpFlagNsh : 0), 2);
+  out.push_back(ttl);
+  out.push_back(static_cast<std::uint8_t>(tuple.proto));
+  const std::size_t checksum_at = out.size();
+  put_be(out, 0, 2);  // checksum placeholder
+  put_be(out, tuple.src_ip.value, 4);
+  put_be(out, tuple.dst_ip.value, 4);
+  const std::uint16_t checksum = static_cast<std::uint16_t>(
+      ~internet_checksum(BytesView(out.data() + ip_start, 20)));
+  out[checksum_at] = static_cast<std::uint8_t>(checksum >> 8);
+  out[checksum_at + 1] = static_cast<std::uint8_t>(checksum & 0xFF);
+
+  // L4.
+  if (udp) {
+    put_be(out, tuple.src_port, 2);
+    put_be(out, tuple.dst_port, 2);
+    put_be(out, 8 + nsh_size + payload.size(), 2);
+    put_be(out, 0, 2);  // checksum unused in the simulation
+  } else {
+    put_be(out, tuple.src_port, 2);
+    put_be(out, tuple.dst_port, 2);
+    put_be(out, tcp_seq, 4);
+    put_be(out, 0, 4);  // ack
+    out.push_back(0x50);  // data offset 5 words
+    out.push_back(tcp_flags);
+    put_be(out, 0xFFFF, 2);  // window
+    put_be(out, 0, 2);       // checksum unused in the simulation
+    put_be(out, 0, 2);       // urgent
+  }
+
+  // NSH-like service header.
+  if (service_header) {
+    put_be(out, service_header->service_path_id, 4);
+    out.push_back(service_header->service_index);
+    if (service_header->metadata.size() > 0xFFFF) {
+      throw std::invalid_argument("Packet::to_wire: metadata too large");
+    }
+    put_be(out, service_header->metadata.size(), 2);
+    // 4-byte guard so corrupted offsets fail loudly in from_wire.
+    put_be(out, 0x4E534800u, 4);
+    out.insert(out.end(), service_header->metadata.begin(),
+               service_header->metadata.end());
+  }
+
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+Packet Packet::from_wire(BytesView frame) {
+  Packet p;
+  std::size_t at = 0;
+  auto need = [&](std::size_t n) {
+    if (at + n > frame.size()) {
+      throw std::invalid_argument("Packet::from_wire: truncated frame");
+    }
+  };
+
+  need(14);
+  p.dst_mac = MacAddr(get_be(frame, at, 6));
+  p.src_mac = MacAddr(get_be(frame, at + 6, 6));
+  at += 12;
+  std::uint16_t ethertype = static_cast<std::uint16_t>(get_be(frame, at, 2));
+  at += 2;
+  while (auto kind = kind_of_ethertype(ethertype)) {
+    need(6);
+    p.tags.push_back(
+        Tag{*kind, static_cast<std::uint32_t>(get_be(frame, at, 4))});
+    at += 4;
+    ethertype = static_cast<std::uint16_t>(get_be(frame, at, 2));
+    at += 2;
+  }
+  if (ethertype != kEthIpv4) {
+    throw std::invalid_argument("Packet::from_wire: unknown ethertype");
+  }
+
+  need(20);
+  const std::size_t ip_start = at;
+  if (frame[at] != 0x45) {
+    throw std::invalid_argument("Packet::from_wire: unsupported IP header");
+  }
+  p.ecn = frame[at + 1] & 0x3;
+  const auto total_len = static_cast<std::size_t>(get_be(frame, at + 2, 2));
+  p.ip_id = static_cast<std::uint16_t>(get_be(frame, at + 4, 2));
+  const auto ip_flags = static_cast<std::uint16_t>(get_be(frame, at + 6, 2));
+  p.ttl = frame[at + 8];
+  const std::uint8_t proto = frame[at + 9];
+  if (internet_checksum(BytesView(frame.data() + ip_start, 20)) != 0xFFFF) {
+    throw std::invalid_argument("Packet::from_wire: IP checksum mismatch");
+  }
+  p.tuple.src_ip = Ipv4Addr(static_cast<std::uint32_t>(get_be(frame, at + 12, 4)));
+  p.tuple.dst_ip = Ipv4Addr(static_cast<std::uint32_t>(get_be(frame, at + 16, 4)));
+  at += 20;
+  if (ip_start + total_len != frame.size()) {
+    throw std::invalid_argument("Packet::from_wire: length mismatch");
+  }
+
+  switch (proto) {
+    case static_cast<std::uint8_t>(IpProto::kTcp): {
+      p.tuple.proto = IpProto::kTcp;
+      need(20);
+      p.tuple.src_port = static_cast<std::uint16_t>(get_be(frame, at, 2));
+      p.tuple.dst_port = static_cast<std::uint16_t>(get_be(frame, at + 2, 2));
+      p.tcp_seq = static_cast<std::uint32_t>(get_be(frame, at + 4, 4));
+      p.tcp_flags = frame[at + 13];
+      at += 20;
+      break;
+    }
+    case static_cast<std::uint8_t>(IpProto::kUdp): {
+      p.tuple.proto = IpProto::kUdp;
+      need(8);
+      p.tuple.src_port = static_cast<std::uint16_t>(get_be(frame, at, 2));
+      p.tuple.dst_port = static_cast<std::uint16_t>(get_be(frame, at + 2, 2));
+      at += 8;
+      break;
+    }
+    default:
+      throw std::invalid_argument("Packet::from_wire: unsupported protocol");
+  }
+
+  if (ip_flags & kIpFlagNsh) {
+    need(11);
+    ServiceHeader sh;
+    sh.service_path_id = static_cast<std::uint32_t>(get_be(frame, at, 4));
+    sh.service_index = frame[at + 4];
+    const auto meta_len = static_cast<std::size_t>(get_be(frame, at + 5, 2));
+    if (get_be(frame, at + 7, 4) != 0x4E534800u) {
+      throw std::invalid_argument("Packet::from_wire: bad NSH guard");
+    }
+    at += 11;
+    need(meta_len);
+    sh.metadata.assign(frame.begin() + static_cast<std::ptrdiff_t>(at),
+                       frame.begin() + static_cast<std::ptrdiff_t>(at + meta_len));
+    at += meta_len;
+    p.service_header = std::move(sh);
+  }
+
+  p.payload.assign(frame.begin() + static_cast<std::ptrdiff_t>(at),
+                   frame.end());
+  return p;
+}
+
+std::string Packet::summary() const {
+  std::ostringstream os;
+  os << tuple.to_string() << " len=" << payload.size();
+  if (auto chain = find_tag(TagKind::kPolicyChain)) {
+    os << " chain=" << *chain;
+  }
+  if (has_match_mark()) os << " [match]";
+  if (service_header) {
+    os << " nsh(" << service_header->metadata.size() << "B)";
+  }
+  return os.str();
+}
+
+}  // namespace dpisvc::net

@@ -1,0 +1,100 @@
+// Packet model for the simulated SDN fabric.
+//
+// A packet is a structured object carrying:
+//  - Ethernet addressing;
+//  - a stack of steering tags (VLAN/MPLS-style). The Traffic Steering
+//    Application pushes the policy-chain tag here (§4.1: "the TSA pushes
+//    some VLAN or MPLS tag in front of the packet to easily steer it");
+//  - IPv4/TCP|UDP headers (the 5-tuple plus TTL, ECN, sequence number);
+//  - an optional NSH-like service header with opaque metadata — one of the
+//    three result-passing mechanisms of §4.2;
+//  - the L7 payload.
+//
+// The ECN field doubles as the paper's "has matches" mark (§6.1: "we use the
+// IP ECN field for this purpose").
+//
+// to_wire()/from_wire() provide a byte-exact encoding: Ethernet | tags |
+// IPv4 | TCP/UDP | [NSH] | payload, so tests can assert the representation
+// round-trips and middleboxes can be fed serialized frames.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "net/addr.hpp"
+#include "net/flow.hpp"
+
+namespace dpisvc::net {
+
+enum class TagKind : std::uint8_t {
+  kVlan = 0,        ///< 12-bit VLAN id semantics.
+  kMpls = 1,        ///< 20-bit MPLS label semantics.
+  kPolicyChain = 2, ///< Policy-chain id pushed by the TSA (§4.1).
+};
+
+struct Tag {
+  TagKind kind = TagKind::kVlan;
+  std::uint32_t value = 0;
+
+  auto operator<=>(const Tag&) const = default;
+};
+
+/// NSH-like service header (RFC 8300-inspired, simplified): a service path
+/// identifier plus opaque metadata bytes. Used to carry match results in
+/// front of the payload (§4.2, option 1).
+struct ServiceHeader {
+  std::uint32_t service_path_id = 0;
+  std::uint8_t service_index = 0;
+  Bytes metadata;
+
+  bool operator==(const ServiceHeader&) const = default;
+};
+
+struct Packet {
+  // L2
+  MacAddr src_mac;
+  MacAddr dst_mac;
+  std::vector<Tag> tags;  ///< outermost tag first
+
+  // L3/L4
+  FiveTuple tuple;
+  std::uint8_t ttl = 64;
+  std::uint8_t ecn = 0;  ///< 2 bits; the DPI service sets bit0 on matches.
+  std::uint16_t ip_id = 0;
+  std::uint32_t tcp_seq = 0;
+  std::uint8_t tcp_flags = 0x18;  // PSH|ACK by default
+
+  std::optional<ServiceHeader> service_header;
+
+  Bytes payload;
+
+  /// Returns the outermost tag of `kind`, if present.
+  std::optional<std::uint32_t> find_tag(TagKind kind) const noexcept;
+
+  /// Pushes a tag as the new outermost tag.
+  void push_tag(TagKind kind, std::uint32_t value);
+
+  /// Removes the outermost tag of `kind`; returns false if absent.
+  bool pop_tag(TagKind kind) noexcept;
+
+  bool has_match_mark() const noexcept { return (ecn & 0x1) != 0; }
+  void set_match_mark(bool on) noexcept {
+    ecn = static_cast<std::uint8_t>(on ? (ecn | 0x1) : (ecn & ~0x1u));
+  }
+
+  std::size_t wire_size() const noexcept;
+
+  /// Serializes to the wire format described in the header comment.
+  Bytes to_wire() const;
+
+  /// Parses a frame produced by to_wire(). Throws std::invalid_argument on
+  /// malformed input (bad lengths, unknown ethertype, checksum mismatch).
+  static Packet from_wire(BytesView frame);
+
+  std::string summary() const;
+};
+
+}  // namespace dpisvc::net

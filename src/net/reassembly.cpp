@@ -1,0 +1,111 @@
+#include "net/reassembly.hpp"
+
+namespace dpisvc::net {
+
+StreamReassembler::StreamReassembler(std::uint32_t initial_seq,
+                                     const ReassemblyConfig& config)
+    : config_(config), expected_(initial_seq) {}
+
+std::size_t StreamReassembler::accept(std::uint32_t seq, BytesView data) {
+  if (data.empty()) return 0;
+  std::int64_t delta = seq_delta(seq, expected_);
+  auto len = static_cast<std::int64_t>(data.size());
+
+  if (delta + len <= 0) {
+    // Entirely behind the contiguous frontier: retransmission.
+    duplicate_bytes_ += data.size();
+    return 0;
+  }
+  if (delta < 0) {
+    // Partial overlap with already-released data: keep only the new tail
+    // (first-copy-wins, as Snort's stream preprocessor does).
+    duplicate_bytes_ += static_cast<std::uint64_t>(-delta);
+    data = data.subspan(static_cast<std::size_t>(-delta));
+    seq = expected_;
+    delta = 0;
+  }
+  if (delta > static_cast<std::int64_t>(config_.max_gap)) {
+    ++dropped_;  // Too far ahead: likely garbage or a desync attack.
+    return 0;
+  }
+
+  if (delta == 0) {
+    ready_.insert(ready_.end(), data.begin(), data.end());
+    expected_ += static_cast<std::uint32_t>(data.size());
+    drain_buffered();
+    return data.size();
+  }
+
+  // Out-of-order: buffer, respecting the memory bound.
+  if (buffered_bytes_ + data.size() > config_.max_buffered) {
+    ++dropped_;
+    return 0;
+  }
+  auto [it, inserted] = pending_.emplace(seq, Bytes(data.begin(), data.end()));
+  if (!inserted) {
+    // Same starting sequence seen before: first copy wins.
+    duplicate_bytes_ += data.size();
+    return 0;
+  }
+  buffered_bytes_ += data.size();
+  return data.size();
+}
+
+void StreamReassembler::drain_buffered() {
+  bool progressed = true;
+  while (progressed && !pending_.empty()) {
+    progressed = false;
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      const std::int64_t delta = seq_delta(it->first, expected_);
+      const auto len = static_cast<std::int64_t>(it->second.size());
+      if (delta > 0) continue;  // still a gap before this segment
+      buffered_bytes_ -= it->second.size();
+      if (delta + len <= 0) {
+        // Fully covered by data already released meanwhile.
+        duplicate_bytes_ += it->second.size();
+      } else {
+        const auto skip = static_cast<std::size_t>(-delta);
+        duplicate_bytes_ += skip;
+        ready_.insert(ready_.end(), it->second.begin() + static_cast<std::ptrdiff_t>(skip),
+                      it->second.end());
+        expected_ += static_cast<std::uint32_t>(it->second.size() - skip);
+      }
+      pending_.erase(it);
+      progressed = true;
+      break;  // map mutated and expected_ moved: restart the scan
+    }
+  }
+}
+
+Bytes StreamReassembler::pop_ready() {
+  Bytes out = std::move(ready_);
+  ready_.clear();
+  return out;
+}
+
+FlowReassembler::FlowReassembler(const ReassemblyConfig& config)
+    : config_(config) {}
+
+std::optional<ReassembledChunk> FlowReassembler::feed(const Packet& packet) {
+  if (packet.tuple.proto != IpProto::kTcp) {
+    if (packet.payload.empty()) return std::nullopt;
+    return ReassembledChunk{packet.tuple, packet.payload};
+  }
+  auto it = streams_.find(packet.tuple);
+  if (it == streams_.end()) {
+    it = streams_
+             .emplace(packet.tuple,
+                      StreamReassembler(packet.tcp_seq, config_))
+             .first;
+  }
+  it->second.accept(packet.tcp_seq, packet.payload);
+  Bytes ready = it->second.pop_ready();
+  if (ready.empty()) return std::nullopt;
+  return ReassembledChunk{packet.tuple, std::move(ready)};
+}
+
+bool FlowReassembler::erase(const FiveTuple& direction) {
+  return streams_.erase(direction) > 0;
+}
+
+}  // namespace dpisvc::net

@@ -1,0 +1,106 @@
+// TCP stream reassembly (the "session reconstruction" service of §7).
+//
+// Stateful DPI (§5.2) carries the automaton state across the packets of a
+// flow — which is only sound if packets are presented in stream order. On
+// real networks segments arrive out of order, retransmitted, and
+// overlapping; NIDS evasion techniques exploit exactly that. This module
+// provides the reassembly substrate the paper lists as the next candidate
+// for service extraction ("we plan to investigate ... session
+// reconstruction"):
+//
+//  - StreamReassembler: one direction of one TCP stream. Accepts segments
+//    keyed by 32-bit sequence numbers (wraparound handled), buffers
+//    out-of-order data, trims overlaps (first copy wins, the
+//    Snort/BSD-style policy), and releases contiguous in-order bytes.
+//  - FlowReassembler: a table of per-direction streams keyed by flow,
+//    turning a stream of TCP packets into ordered payload chunks ready for
+//    the stateful scan path.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+#include "net/flow.hpp"
+#include "net/packet.hpp"
+
+namespace dpisvc::net {
+
+struct ReassemblyConfig {
+  /// Maximum bytes of out-of-order data buffered per stream; segments that
+  /// would exceed it are dropped (and counted).
+  std::size_t max_buffered = 256 * 1024;
+  /// Maximum distance ahead of the expected sequence number a segment may
+  /// start at; beyond it the segment is treated as garbage/attack.
+  std::uint32_t max_gap = 1 << 20;
+};
+
+class StreamReassembler {
+ public:
+  explicit StreamReassembler(std::uint32_t initial_seq,
+                             const ReassemblyConfig& config = {});
+
+  /// Offers one segment. Returns the number of payload bytes accepted
+  /// (after overlap trimming and window checks).
+  std::size_t accept(std::uint32_t seq, BytesView data);
+
+  /// Removes and returns all contiguous in-order bytes accumulated since
+  /// the last call.
+  Bytes pop_ready();
+
+  /// Next sequence number expected at the contiguous frontier.
+  std::uint32_t expected_seq() const noexcept { return expected_; }
+
+  std::size_t ready_bytes() const noexcept { return ready_.size(); }
+  std::size_t buffered_bytes() const noexcept { return buffered_bytes_; }
+  std::uint64_t dropped_segments() const noexcept { return dropped_; }
+  std::uint64_t duplicate_bytes() const noexcept { return duplicate_bytes_; }
+
+ private:
+  /// Signed distance a - b in sequence space (RFC 1982-style comparison).
+  static std::int32_t seq_delta(std::uint32_t a, std::uint32_t b) noexcept {
+    return static_cast<std::int32_t>(a - b);
+  }
+
+  void drain_buffered();
+
+  ReassemblyConfig config_;
+  std::uint32_t expected_;
+  Bytes ready_;
+  /// Out-of-order segments keyed by offset from `expected_` (offsets are
+  /// rebased on every drain so the map stays comparable across wraps).
+  std::map<std::uint32_t, Bytes> pending_;
+  std::size_t buffered_bytes_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t duplicate_bytes_ = 0;
+};
+
+/// One ordered chunk released by the flow-level reassembler.
+struct ReassembledChunk {
+  FiveTuple flow;  ///< direction-specific tuple (src -> dst of the sender)
+  Bytes data;
+};
+
+class FlowReassembler {
+ public:
+  explicit FlowReassembler(const ReassemblyConfig& config = {});
+
+  /// Feeds one TCP packet; returns the in-order payload chunk it unlocked
+  /// (possibly spanning several earlier buffered segments), or std::nullopt
+  /// if nothing became contiguous. Non-TCP packets pass through as
+  /// immediate chunks (no sequencing).
+  std::optional<ReassembledChunk> feed(const Packet& packet);
+
+  std::size_t active_streams() const noexcept { return streams_.size(); }
+
+  /// Drops a stream's state (connection close / timeout).
+  bool erase(const FiveTuple& direction);
+
+ private:
+  ReassemblyConfig config_;
+  std::unordered_map<FiveTuple, StreamReassembler> streams_;
+};
+
+}  // namespace dpisvc::net

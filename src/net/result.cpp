@@ -1,0 +1,143 @@
+#include "net/result.hpp"
+
+#include <stdexcept>
+
+namespace dpisvc::net {
+
+namespace {
+
+constexpr std::uint16_t kMagic = 0xD719;
+constexpr std::uint8_t kVersion = 1;
+
+void encode_entry_compact(Bytes& out, const MatchEntry& e) {
+  if (e.pattern_id >= 0x8000) {
+    throw std::invalid_argument("compact codec: pattern id needs 15 bits");
+  }
+  if (e.run_length == 1 && e.position < 0x10000) {
+    // 4-byte form: bit15 of the id word clear.
+    put_be(out, e.pattern_id, 2);
+    put_be(out, e.position, 2);
+  } else {
+    // 6-byte range form: bit15 set; 24-bit position; 8-bit run - 1.
+    if (e.position >= (1u << 24)) {
+      throw std::invalid_argument("compact codec: position needs 24 bits");
+    }
+    if (e.run_length == 0 || e.run_length > 256) {
+      throw std::invalid_argument("compact codec: run length out of range");
+    }
+    put_be(out, 0x8000u | e.pattern_id, 2);
+    put_be(out, e.position, 3);
+    put_be(out, e.run_length - 1, 1);
+  }
+}
+
+void encode_entry_uniform(Bytes& out, const MatchEntry& e) {
+  if (e.position >= (1u << 24)) {
+    throw std::invalid_argument("uniform codec: position needs 24 bits");
+  }
+  if (e.run_length == 0 || e.run_length > 256) {
+    throw std::invalid_argument("uniform codec: run length out of range");
+  }
+  put_be(out, e.pattern_id, 2);
+  put_be(out, e.position, 3);
+  put_be(out, e.run_length - 1, 1);
+}
+
+}  // namespace
+
+Bytes encode_report(const MatchReport& report, ReportCodec codec) {
+  Bytes out;
+  put_be(out, kMagic, 2);
+  out.push_back(kVersion);
+  out.push_back(static_cast<std::uint8_t>(codec));
+  put_be(out, report.policy_chain_id, 2);
+  put_be(out, report.packet_ref, 8);
+  if (report.sections.size() > 0xFF) {
+    throw std::invalid_argument("encode_report: too many sections");
+  }
+  out.push_back(static_cast<std::uint8_t>(report.sections.size()));
+  for (const MiddleboxSection& section : report.sections) {
+    put_be(out, section.middlebox_id, 2);
+    if (section.entries.size() > 0xFFFF) {
+      throw std::invalid_argument("encode_report: too many entries");
+    }
+    put_be(out, section.entries.size(), 2);
+    for (const MatchEntry& e : section.entries) {
+      if (codec == ReportCodec::kCompact) {
+        encode_entry_compact(out, e);
+      } else {
+        encode_entry_uniform(out, e);
+      }
+    }
+  }
+  return out;
+}
+
+MatchReport decode_report(BytesView data) {
+  std::size_t at = 0;
+  auto u = [&](int width) {
+    const std::uint64_t v = get_be(data, at, width);
+    at += static_cast<std::size_t>(width);
+    return v;
+  };
+  if (u(2) != kMagic) {
+    throw std::invalid_argument("decode_report: bad magic");
+  }
+  if (u(1) != kVersion) {
+    throw std::invalid_argument("decode_report: unsupported version");
+  }
+  const auto codec = static_cast<ReportCodec>(u(1));
+  if (codec != ReportCodec::kCompact && codec != ReportCodec::kUniform6) {
+    throw std::invalid_argument("decode_report: unknown codec");
+  }
+  MatchReport report;
+  report.policy_chain_id = static_cast<std::uint16_t>(u(2));
+  report.packet_ref = u(8);
+  const auto section_count = static_cast<std::size_t>(u(1));
+  report.sections.resize(section_count);
+  for (MiddleboxSection& section : report.sections) {
+    section.middlebox_id = static_cast<std::uint16_t>(u(2));
+    const auto entry_count = static_cast<std::size_t>(u(2));
+    section.entries.reserve(entry_count);
+    for (std::size_t i = 0; i < entry_count; ++i) {
+      MatchEntry e;
+      if (codec == ReportCodec::kUniform6) {
+        e.pattern_id = static_cast<std::uint16_t>(u(2));
+        e.position = static_cast<std::uint32_t>(u(3));
+        e.run_length = static_cast<std::uint32_t>(u(1)) + 1;
+      } else {
+        const auto id_word = static_cast<std::uint16_t>(u(2));
+        e.pattern_id = id_word & 0x7FFF;
+        if (id_word & 0x8000) {
+          e.position = static_cast<std::uint32_t>(u(3));
+          e.run_length = static_cast<std::uint32_t>(u(1)) + 1;
+        } else {
+          e.position = static_cast<std::uint32_t>(u(2));
+          e.run_length = 1;
+        }
+      }
+      section.entries.push_back(e);
+    }
+  }
+  if (at != data.size()) {
+    throw std::invalid_argument("decode_report: trailing bytes");
+  }
+  return report;
+}
+
+std::vector<MatchEntry> compress_runs(
+    const std::vector<std::pair<std::uint16_t, std::uint32_t>>& matches) {
+  std::vector<MatchEntry> out;
+  for (const auto& [id, pos] : matches) {
+    if (!out.empty() && out.back().pattern_id == id &&
+        out.back().run_length < 256 &&
+        pos == out.back().position + out.back().run_length) {
+      ++out.back().run_length;
+    } else {
+      out.push_back(MatchEntry{id, pos, 1});
+    }
+  }
+  return out;
+}
+
+}  // namespace dpisvc::net

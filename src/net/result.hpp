@@ -1,0 +1,87 @@
+// Match-report messages and their wire encodings (§4.2, §6.5).
+//
+// After scanning a packet, the DPI service instance produces one report per
+// active middlebox: the middlebox-local pattern ids that matched and the
+// byte position (the paper's `cnt`, or `cnt+offset` for stateful flows) at
+// which each match ended. Reports travel either inside the packet's
+// NSH-like service header or in a dedicated result packet (what the paper's
+// prototype uses, since its OpenFlow 1.0 environment lacked NSH/MPLS).
+//
+// Two entry encodings are provided, mirroring §6.5:
+//  - kCompact:  a single match costs 4 bytes (15-bit pattern id + 16-bit
+//    position); a *range* of consecutive matches of the same pattern (which
+//    arise when a self-repeating pattern recurs back-to-back) costs 6 bytes.
+//  - kUniform6: every entry costs 6 bytes (16-bit id, 24-bit position,
+//    8-bit run length) "to allow faster encoding and decoding of both
+//    regular and range reports" — the encoding Figure 11 measures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace dpisvc::net {
+
+struct MatchEntry {
+  std::uint16_t pattern_id = 0;
+  /// End offset of the (first) match: bytes scanned when the accepting state
+  /// fired. For stateful flows this is cnt + offset (§5.2).
+  std::uint32_t position = 0;
+  /// Number of matches at consecutive positions (>= 1).
+  std::uint32_t run_length = 1;
+
+  bool operator==(const MatchEntry&) const = default;
+};
+
+struct MiddleboxSection {
+  std::uint16_t middlebox_id = 0;
+  std::vector<MatchEntry> entries;
+
+  bool operator==(const MiddleboxSection&) const = default;
+};
+
+struct MatchReport {
+  std::uint16_t policy_chain_id = 0;
+  /// Correlates a dedicated result packet with its data packet (the sender
+  /// uses the data packet's ip_id; receivers buffer on this key, §6.1).
+  std::uint64_t packet_ref = 0;
+  std::vector<MiddleboxSection> sections;
+
+  bool operator==(const MatchReport&) const = default;
+
+  bool empty() const noexcept {
+    for (const auto& s : sections) {
+      if (!s.entries.empty()) return false;
+    }
+    return true;
+  }
+
+  std::size_t total_entries() const noexcept {
+    std::size_t n = 0;
+    for (const auto& s : sections) n += s.entries.size();
+    return n;
+  }
+};
+
+enum class ReportCodec : std::uint8_t {
+  kCompact = 0,
+  kUniform6 = 1,
+};
+
+/// Serializes a report. Throws std::invalid_argument if a field exceeds the
+/// codec's range (e.g. pattern id >= 2^15 in compact mode).
+Bytes encode_report(const MatchReport& report, ReportCodec codec);
+
+/// Parses an encoded report; throws std::invalid_argument on malformed
+/// input.
+MatchReport decode_report(BytesView data);
+
+/// Collapses a position-sorted list of (pattern, position) pairs into
+/// entries with run lengths: consecutive positions of the same pattern merge
+/// into one range entry. Input pairs must be grouped by pattern and sorted
+/// by position within each group.
+std::vector<MatchEntry> compress_runs(
+    const std::vector<std::pair<std::uint16_t, std::uint32_t>>& matches);
+
+}  // namespace dpisvc::net

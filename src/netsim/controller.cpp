@@ -1,0 +1,89 @@
+#include "netsim/controller.hpp"
+
+#include <stdexcept>
+
+#include "common/logging.hpp"
+
+namespace dpisvc::netsim {
+
+Switch& SdnController::switch_at(const NodeId& name) {
+  Node* node = fabric_.find(name);
+  auto* sw = dynamic_cast<Switch*>(node);
+  if (sw == nullptr) {
+    throw std::invalid_argument("SdnController: " + name + " is not a switch");
+  }
+  return *sw;
+}
+
+void SdnController::install(const NodeId& switch_name, FlowRule rule) {
+  switch_at(switch_name).install(std::move(rule));
+}
+
+void SdnController::clear(const NodeId& switch_name) {
+  switch_at(switch_name).clear_rules();
+}
+
+TrafficSteeringApp::TrafficSteeringApp(SdnController& controller,
+                                       NodeId switch_name)
+    : controller_(controller), switch_name_(std::move(switch_name)) {}
+
+void TrafficSteeringApp::install_chain(const PolicyChainSpec& spec) {
+  if (spec.egress.empty() || spec.ingress.empty()) {
+    throw std::invalid_argument("TSA: chain needs ingress and egress");
+  }
+  chains_[spec.id] = spec;
+  reinstall_all();
+  log(LogLevel::kInfo, "tsa",
+      "installed chain ", spec.id, " with ", spec.sequence.size(), " hops");
+}
+
+bool TrafficSteeringApp::remove_chain(dpi::ChainId id) {
+  if (chains_.erase(id) == 0) return false;
+  reinstall_all();
+  return true;
+}
+
+void TrafficSteeringApp::update_sequence(dpi::ChainId id,
+                                         std::vector<NodeId> sequence) {
+  auto it = chains_.find(id);
+  if (it == chains_.end()) {
+    throw std::invalid_argument("TSA: unknown chain");
+  }
+  it->second.sequence = std::move(sequence);
+  reinstall_all();
+  log(LogLevel::kInfo, "tsa", "updated chain ", id);
+}
+
+void TrafficSteeringApp::reinstall_all() {
+  controller_.clear(switch_name_);
+  for (const auto& [id, spec] : chains_) {
+    // Classifier rule: traffic from the ingress neighbor matching the
+    // classifier gets the chain tag pushed and goes to the first hop (or
+    // straight to egress for an empty chain).
+    {
+      FlowRule rule;
+      rule.priority = 10;
+      rule.match = spec.classifier;
+      rule.match.in_node = spec.ingress;
+      const bool empty = spec.sequence.empty();
+      rule.action.forward_to = empty ? spec.egress : spec.sequence.front();
+      if (!empty) {
+        rule.action.push_chain_tag = spec.id;
+      }
+      controller_.install(switch_name_, rule);
+    }
+    // Per-hop rules: (chain tag, previous hop) -> next hop.
+    for (std::size_t i = 0; i < spec.sequence.size(); ++i) {
+      FlowRule rule;
+      rule.priority = 20;
+      rule.match.chain_tag = spec.id;
+      rule.match.in_node = spec.sequence[i];
+      const bool last = (i + 1 == spec.sequence.size());
+      rule.action.forward_to = last ? spec.egress : spec.sequence[i + 1];
+      rule.action.pop_chain_tag = last;  // restore the original packet
+      controller_.install(switch_name_, rule);
+    }
+  }
+}
+
+}  // namespace dpisvc::netsim

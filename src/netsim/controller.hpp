@@ -1,0 +1,85 @@
+// SDN controller and Traffic Steering Application (TSA) for the fabric.
+//
+// The TSA plays the role SIMPLE [41] plays in the paper: it owns the policy
+// chains (ordered middlebox sequences per traffic class) and programs
+// switches so packets traverse their chain. Steering uses the policy-chain
+// tag: the ingress classifier rule pushes the tag, per-hop rules match
+// (tag, previous hop) -> next hop, and the final rule pops the tag before
+// egress delivery. This is the §4.1 mechanism ("the TSA pushes some VLAN or
+// MPLS tag in front of the packet to easily steer it over the network";
+// "DPI service instances can then read these tags to identify the set of
+// patterns a packet should be matched against").
+//
+// The DPI controller (service layer) talks to the TSA to splice DPI service
+// instances into chains (§4: "our solution will negotiate with the TSA, so
+// that policy chains are changed to include DPI as a service").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dpi/types.hpp"
+#include "netsim/switch.hpp"
+
+namespace dpisvc::netsim {
+
+/// Thin programming interface over the fabric's switches, standing in for
+/// the OpenFlow control channel.
+class SdnController {
+ public:
+  explicit SdnController(Fabric& fabric) : fabric_(fabric) {}
+
+  /// Installs a rule on a switch. Throws std::invalid_argument if the node
+  /// is not a Switch.
+  void install(const NodeId& switch_name, FlowRule rule);
+
+  void clear(const NodeId& switch_name);
+
+  Fabric& fabric() noexcept { return fabric_; }
+
+ private:
+  Switch& switch_at(const NodeId& name);
+
+  Fabric& fabric_;
+};
+
+/// One policy chain: a classifier selecting the traffic plus the ordered
+/// node sequence it must traverse before reaching the egress host.
+struct PolicyChainSpec {
+  dpi::ChainId id = 0;
+  Match classifier;                 ///< which traffic enters this chain
+  NodeId ingress;                   ///< neighbor originating the traffic
+  std::vector<NodeId> sequence;     ///< middlebox / DPI instance nodes
+  NodeId egress;                    ///< final delivery node
+};
+
+class TrafficSteeringApp {
+ public:
+  TrafficSteeringApp(SdnController& controller, NodeId switch_name);
+
+  /// Installs (or replaces) a chain's steering rules on the switch.
+  void install_chain(const PolicyChainSpec& spec);
+
+  /// Removes a chain and reinstalls the remaining ones.
+  bool remove_chain(dpi::ChainId id);
+
+  /// Rewrites a chain's node sequence (e.g. the DPI controller splicing a
+  /// DPI service instance in front of the middleboxes, or migrating a chain
+  /// to a different instance) and reinstalls the rules.
+  void update_sequence(dpi::ChainId id, std::vector<NodeId> sequence);
+
+  const std::map<dpi::ChainId, PolicyChainSpec>& chains() const noexcept {
+    return chains_;
+  }
+
+ private:
+  void reinstall_all();
+
+  SdnController& controller_;
+  NodeId switch_name_;
+  std::map<dpi::ChainId, PolicyChainSpec> chains_;
+};
+
+}  // namespace dpisvc::netsim

@@ -1,0 +1,77 @@
+#include "netsim/fabric.hpp"
+
+#include <stdexcept>
+
+namespace dpisvc::netsim {
+
+Node::Node(Fabric& fabric, NodeId name)
+    : fabric_(fabric), name_(std::move(name)) {}
+
+void Node::emit(const NodeId& to, net::Packet packet) {
+  fabric_.send(name_, to, std::move(packet));
+}
+
+void Fabric::require_new_name(const NodeId& name) const {
+  for (const auto& node : nodes_) {
+    if (node->name() == name) {
+      throw std::invalid_argument("Fabric: duplicate node name " + name);
+    }
+  }
+}
+
+void Fabric::connect(const NodeId& a, const NodeId& b) {
+  if (find(a) == nullptr || find(b) == nullptr) {
+    throw std::invalid_argument("Fabric::connect: unknown node");
+  }
+  if (a == b) {
+    throw std::invalid_argument("Fabric::connect: self-link");
+  }
+  links_.insert(a < b ? std::make_pair(a, b) : std::make_pair(b, a));
+}
+
+bool Fabric::linked(const NodeId& a, const NodeId& b) const noexcept {
+  return links_.count(a < b ? std::make_pair(a, b) : std::make_pair(b, a)) > 0;
+}
+
+Node* Fabric::find(const NodeId& name) noexcept {
+  for (const auto& node : nodes_) {
+    if (node->name() == name) return node.get();
+  }
+  return nullptr;
+}
+
+void Fabric::send(const NodeId& from, const NodeId& to, net::Packet packet) {
+  if (!linked(from, to)) {
+    throw std::logic_error("Fabric::send: no link " + from + " <-> " + to);
+  }
+  queue_.push_back(Event{from, to, std::move(packet)});
+}
+
+void Fabric::inject(const NodeId& at, net::Packet packet) {
+  if (find(at) == nullptr) {
+    throw std::invalid_argument("Fabric::inject: unknown node " + at);
+  }
+  queue_.push_back(Event{"", at, std::move(packet)});
+}
+
+std::size_t Fabric::run(std::size_t max_events) {
+  std::size_t processed = 0;
+  while (!queue_.empty()) {
+    if (processed >= max_events) {
+      throw std::runtime_error("Fabric::run: event budget exceeded "
+                               "(forwarding loop?)");
+    }
+    Event event = std::move(queue_.front());
+    queue_.pop_front();
+    Node* node = find(event.to);
+    if (node == nullptr) {
+      throw std::logic_error("Fabric::run: destination vanished");
+    }
+    node->receive(std::move(event.packet), event.from);
+    ++processed;
+    ++deliveries_;
+  }
+  return processed;
+}
+
+}  // namespace dpisvc::netsim

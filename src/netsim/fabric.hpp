@@ -1,0 +1,104 @@
+// Simulated SDN fabric.
+//
+// The paper's prototype ran in Mininet over OpenFlow 1.0 with a POX-based
+// Traffic Steering Application. This module is the in-process equivalent:
+// named nodes (hosts, switches, middleboxes, DPI instances) connected by
+// links, exchanging net::Packet objects through a store-and-forward event
+// queue. Forwarding is deterministic: events are processed FIFO, so tests
+// can assert exact traversal orders.
+//
+// The fabric checks link existence on every send — a node can only emit to
+// a directly connected neighbor, as in a real topology.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace dpisvc::netsim {
+
+using NodeId = std::string;
+
+class Fabric;
+
+/// Base class for everything attached to the fabric.
+class Node {
+ public:
+  Node(Fabric& fabric, NodeId name);
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Called by the fabric when a packet arrives over the link from `from`.
+  virtual void receive(net::Packet packet, const NodeId& from) = 0;
+
+  const NodeId& name() const noexcept { return name_; }
+
+ protected:
+  /// Sends a packet over the link to a directly connected neighbor.
+  void emit(const NodeId& to, net::Packet packet);
+
+  Fabric& fabric() noexcept { return fabric_; }
+
+ private:
+  Fabric& fabric_;
+  NodeId name_;
+};
+
+class Fabric {
+ public:
+  /// Constructs a node of type T with (fabric, name, args...) and registers
+  /// it. Throws std::invalid_argument on duplicate names.
+  template <typename T, typename... Args>
+  T& add_node(NodeId name, Args&&... args) {
+    require_new_name(name);
+    auto node = std::make_unique<T>(*this, std::move(name),
+                                    std::forward<Args>(args)...);
+    T& ref = *node;
+    nodes_.push_back(std::move(node));
+    return ref;
+  }
+
+  /// Creates a bidirectional link. Both nodes must exist.
+  void connect(const NodeId& a, const NodeId& b);
+
+  bool linked(const NodeId& a, const NodeId& b) const noexcept;
+
+  Node* find(const NodeId& name) noexcept;
+
+  /// Enqueues a packet for delivery from `from` to `to`. Throws
+  /// std::logic_error if the nodes are not linked.
+  void send(const NodeId& from, const NodeId& to, net::Packet packet);
+
+  /// Delivers a packet directly into a node (traffic origination).
+  void inject(const NodeId& at, net::Packet packet);
+
+  /// Drains the event queue; returns the number of deliveries. Throws
+  /// std::runtime_error if `max_events` is exceeded (forwarding loop guard).
+  std::size_t run(std::size_t max_events = 1'000'000);
+
+  std::uint64_t total_deliveries() const noexcept { return deliveries_; }
+
+ private:
+  struct Event {
+    NodeId from;
+    NodeId to;
+    net::Packet packet;
+  };
+
+  void require_new_name(const NodeId& name) const;
+
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::set<std::pair<NodeId, NodeId>> links_;  // normalized (min, max)
+  std::deque<Event> queue_;
+  std::uint64_t deliveries_ = 0;
+};
+
+}  // namespace dpisvc::netsim

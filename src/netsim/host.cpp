@@ -1,0 +1,24 @@
+#include "netsim/host.hpp"
+
+#include <stdexcept>
+
+namespace dpisvc::netsim {
+
+Host::Host(Fabric& fabric, NodeId name) : Node(fabric, std::move(name)) {}
+
+void Host::send(net::Packet packet) {
+  if (gateway_.empty()) {
+    throw std::logic_error("Host::send: no gateway configured for " + name());
+  }
+  emit(gateway_, std::move(packet));
+}
+
+void Host::receive(net::Packet packet, const NodeId& from) {
+  (void)from;
+  if (callback_) {
+    callback_(packet);
+  }
+  received_.push_back(std::move(packet));
+}
+
+}  // namespace dpisvc::netsim

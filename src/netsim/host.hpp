@@ -1,0 +1,39 @@
+// End hosts for the simulated fabric: traffic sources and sinks.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "netsim/fabric.hpp"
+
+namespace dpisvc::netsim {
+
+class Host : public Node {
+ public:
+  Host(Fabric& fabric, NodeId name);
+
+  /// Neighbor every outbound packet is emitted to (usually the switch).
+  void set_gateway(NodeId gateway) { gateway_ = std::move(gateway); }
+
+  /// Emits a packet toward the gateway.
+  void send(net::Packet packet);
+
+  void receive(net::Packet packet, const NodeId& from) override;
+
+  const std::vector<net::Packet>& received() const noexcept {
+    return received_;
+  }
+  void clear_received() noexcept { received_.clear(); }
+
+  /// Optional callback invoked on every received packet (before storing).
+  void on_receive(std::function<void(const net::Packet&)> callback) {
+    callback_ = std::move(callback);
+  }
+
+ private:
+  NodeId gateway_;
+  std::vector<net::Packet> received_;
+  std::function<void(const net::Packet&)> callback_;
+};
+
+}  // namespace dpisvc::netsim

@@ -1,0 +1,61 @@
+#include "netsim/switch.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace dpisvc::netsim {
+
+bool Match::matches(const net::Packet& packet,
+                    const NodeId& from) const noexcept {
+  if (in_node && *in_node != from) return false;
+  if (chain_tag) {
+    const auto tag = packet.find_tag(net::TagKind::kPolicyChain);
+    if (!tag || *tag != *chain_tag) return false;
+  }
+  if (src_ip && packet.tuple.src_ip != *src_ip) return false;
+  if (dst_ip && packet.tuple.dst_ip != *dst_ip) return false;
+  if (dst_port && packet.tuple.dst_port != *dst_port) return false;
+  if (proto && packet.tuple.proto != *proto) return false;
+  return true;
+}
+
+Switch::Switch(Fabric& fabric, NodeId name) : Node(fabric, std::move(name)) {}
+
+void Switch::install(FlowRule rule) {
+  // Stable insertion keeps first-installed precedence within a priority.
+  auto at = std::find_if(rules_.begin(), rules_.end(),
+                         [&](const FlowRule& existing) {
+                           return existing.priority < rule.priority;
+                         });
+  rules_.insert(at, std::move(rule));
+}
+
+void Switch::clear_rules() noexcept { rules_.clear(); }
+
+const FlowRule* Switch::lookup(const net::Packet& packet,
+                               const NodeId& from) const noexcept {
+  for (const FlowRule& rule : rules_) {
+    if (rule.match.matches(packet, from)) return &rule;
+  }
+  return nullptr;
+}
+
+void Switch::receive(net::Packet packet, const NodeId& from) {
+  const FlowRule* rule = lookup(packet, from);
+  if (rule == nullptr) {
+    ++dropped_;
+    log(LogLevel::kDebug, name(), "table miss, dropping ", packet.summary());
+    return;
+  }
+  if (rule->action.pop_chain_tag) {
+    packet.pop_tag(net::TagKind::kPolicyChain);
+  }
+  if (rule->action.push_chain_tag) {
+    packet.push_tag(net::TagKind::kPolicyChain, *rule->action.push_chain_tag);
+  }
+  ++forwarded_;
+  emit(rule->action.forward_to, std::move(packet));
+}
+
+}  // namespace dpisvc::netsim

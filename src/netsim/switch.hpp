@@ -1,0 +1,67 @@
+// OpenFlow-style match-action switch for the simulated fabric.
+//
+// Rules are (priority, match, action) triples; the highest-priority matching
+// rule wins, ties broken by installation order (first installed wins). The
+// match covers the fields the Traffic Steering Application needs: ingress
+// neighbor, the policy-chain tag, and L3/L4 header fields. Actions forward
+// to a neighbor and can push or pop the policy-chain tag — the OpenFlow
+// tag push/pull mechanism of §4.2.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netsim/fabric.hpp"
+
+namespace dpisvc::netsim {
+
+struct Match {
+  std::optional<NodeId> in_node;            ///< neighbor the packet came from
+  std::optional<std::uint32_t> chain_tag;   ///< outermost policy-chain tag
+  std::optional<net::Ipv4Addr> src_ip;
+  std::optional<net::Ipv4Addr> dst_ip;
+  std::optional<std::uint16_t> dst_port;
+  std::optional<net::IpProto> proto;
+
+  bool matches(const net::Packet& packet, const NodeId& from) const noexcept;
+};
+
+struct Action {
+  NodeId forward_to;
+  /// Tag manipulation, applied before forwarding (pop first, then push).
+  bool pop_chain_tag = false;
+  std::optional<std::uint32_t> push_chain_tag;
+};
+
+struct FlowRule {
+  int priority = 0;
+  Match match;
+  Action action;
+};
+
+class Switch : public Node {
+ public:
+  Switch(Fabric& fabric, NodeId name);
+
+  void receive(net::Packet packet, const NodeId& from) override;
+
+  /// Installs a rule (normally called via the SDN controller).
+  void install(FlowRule rule);
+  void clear_rules() noexcept;
+  std::size_t num_rules() const noexcept { return rules_.size(); }
+
+  std::uint64_t forwarded() const noexcept { return forwarded_; }
+  std::uint64_t dropped() const noexcept { return dropped_; }
+
+ private:
+  const FlowRule* lookup(const net::Packet& packet,
+                         const NodeId& from) const noexcept;
+
+  std::vector<FlowRule> rules_;  ///< kept sorted by priority descending
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace dpisvc::netsim

@@ -1,0 +1,94 @@
+#include "regex/anchors.hpp"
+
+#include <algorithm>
+
+namespace dpisvc::regex {
+
+namespace {
+
+class Extractor {
+ public:
+  explicit Extractor(const AnchorOptions& options) : options_(options) {}
+
+  std::vector<std::string> run(const Node& root) {
+    visit(root);
+    flush();
+    return std::move(anchors_);
+  }
+
+ private:
+  void visit(const Node& node) {
+    switch (node.kind) {
+      case NodeKind::kEmpty:
+        break;  // Matches "" — does not break an adjacent literal run.
+      case NodeKind::kClass: {
+        const int single = node.cls.single();
+        if (single >= 0) {
+          run_.push_back(static_cast<char>(single));
+        } else {
+          flush();  // Multi-byte class: content not a fixed literal.
+        }
+        break;
+      }
+      case NodeKind::kConcat:
+        for (const NodePtr& child : node.children) {
+          visit(*child);
+        }
+        break;
+      case NodeKind::kAlternate:
+        // A literal inside one branch is not mandatory for the whole
+        // expression; terminate the current run and do not descend.
+        flush();
+        break;
+      case NodeKind::kRepeat: {
+        if (node.min == 0) {
+          flush();  // Entirely optional.
+          break;
+        }
+        const int copies = std::min(node.min, options_.max_repeat_unroll);
+        for (int i = 0; i < copies; ++i) {
+          visit(*node.child);
+        }
+        if (node.max != node.min || node.min > copies) {
+          // Further (optional or un-unrolled) copies may extend the text
+          // between the mandatory part and what follows.
+          flush();
+        }
+        break;
+      }
+      case NodeKind::kLineStart:
+      case NodeKind::kLineEnd:
+        // Zero-width; consumes no bytes and cannot split a literal, but it
+        // also cannot extend one.
+        break;
+    }
+  }
+
+  void flush() {
+    if (run_.size() >= options_.min_length &&
+        std::find(anchors_.begin(), anchors_.end(), run_) == anchors_.end()) {
+      anchors_.push_back(run_);
+    }
+    run_.clear();
+  }
+
+  AnchorOptions options_;
+  std::string run_;
+  std::vector<std::string> anchors_;
+};
+
+}  // namespace
+
+std::vector<std::string> extract_anchors(const Node& root,
+                                         const AnchorOptions& options) {
+  return Extractor(options).run(root);
+}
+
+std::vector<std::string> extract_anchors(std::string_view pattern,
+                                         const ParseOptions& parse_options,
+                                         const AnchorOptions& options) {
+  NodePtr root = parse(pattern, parse_options);
+  return extract_anchors(*root, options);
+}
+
+}  // namespace dpisvc::regex

@@ -1,0 +1,45 @@
+// Anchor extraction (§5.3).
+//
+// An *anchor* is a literal string that must appear in every match of a
+// regular expression. The DPI service adds each middlebox's anchors to the
+// shared Aho-Corasick pattern set and invokes the full regex engine only for
+// expressions whose anchors were all found in the packet — the same
+// pre-filter strategy Snort uses.
+//
+// The extractor walks the mandatory concatenation spine of the AST:
+//  - single-byte character classes extend the current literal run;
+//  - multi-byte classes, alternations, and optional parts (min == 0 repeats)
+//    terminate the run (their content is not mandatory);
+//  - repeats with min >= 1 contribute their child's mandatory literals
+//    min times (capped to keep extraction linear).
+// Runs of at least `min_length` bytes (default 4, as in the paper) become
+// anchors. The guarantee is one-sided by construction: every anchor occurs
+// in every string the regex matches, so the pre-filter can never suppress a
+// true match.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "regex/ast.hpp"
+#include "regex/parser.hpp"
+
+namespace dpisvc::regex {
+
+struct AnchorOptions {
+  std::size_t min_length = 4;  ///< Paper: strings < 4 chars are not extracted.
+  int max_repeat_unroll = 64;  ///< Cap on min-count unrolling inside repeats.
+};
+
+/// Returns the mandatory literal anchors of the expression, in left-to-right
+/// order of their first mandatory occurrence. Duplicates are removed.
+std::vector<std::string> extract_anchors(const Node& root,
+                                         const AnchorOptions& options = {});
+
+/// Parses `pattern` and extracts its anchors.
+std::vector<std::string> extract_anchors(std::string_view pattern,
+                                         const ParseOptions& parse_options = {},
+                                         const AnchorOptions& options = {});
+
+}  // namespace dpisvc::regex

@@ -1,0 +1,62 @@
+#include "regex/ast.hpp"
+
+namespace dpisvc::regex {
+
+NodePtr make_empty() {
+  auto n = std::make_unique<Node>();
+  n->kind = NodeKind::kEmpty;
+  return n;
+}
+
+NodePtr make_class(CharSet cls) {
+  auto n = std::make_unique<Node>();
+  n->kind = NodeKind::kClass;
+  n->cls = cls;
+  return n;
+}
+
+NodePtr make_literal(std::uint8_t byte) {
+  CharSet cls;
+  cls.add(byte);
+  return make_class(cls);
+}
+
+NodePtr make_concat(std::vector<NodePtr> children) {
+  if (children.empty()) return make_empty();
+  if (children.size() == 1) return std::move(children.front());
+  auto n = std::make_unique<Node>();
+  n->kind = NodeKind::kConcat;
+  n->children = std::move(children);
+  return n;
+}
+
+NodePtr make_alternate(std::vector<NodePtr> children) {
+  if (children.size() == 1) return std::move(children.front());
+  auto n = std::make_unique<Node>();
+  n->kind = NodeKind::kAlternate;
+  n->children = std::move(children);
+  return n;
+}
+
+NodePtr make_repeat(NodePtr child, int min, int max) {
+  auto n = std::make_unique<Node>();
+  n->kind = NodeKind::kRepeat;
+  n->child = std::move(child);
+  n->min = min;
+  n->max = max;
+  return n;
+}
+
+NodePtr make_line_start() {
+  auto n = std::make_unique<Node>();
+  n->kind = NodeKind::kLineStart;
+  return n;
+}
+
+NodePtr make_line_end() {
+  auto n = std::make_unique<Node>();
+  n->kind = NodeKind::kLineEnd;
+  return n;
+}
+
+}  // namespace dpisvc::regex

@@ -1,0 +1,79 @@
+// Regex abstract syntax tree.
+//
+// The DPI service uses regexes the way Snort does (§5.3): literal "anchor"
+// strings are extracted and matched by the shared Aho-Corasick DFA, and the
+// full expression is evaluated only when every anchor was seen. The AST is
+// therefore shared by two consumers: the NFA compiler (regex/program.hpp)
+// and the anchor extractor (regex/anchors.hpp).
+//
+// Supported syntax (byte-oriented, enough for published DPI rule sets):
+//   literals, '.', escapes \n \r \t \f \v \0 \xHH \\ \. etc.,
+//   classes [abc], [a-z], [^...], class escapes \d \D \w \W \s \S,
+//   grouping (...) and (?:...), alternation |, repetition * + ? {m} {m,} {m,n}
+//   (with non-greedy '?' suffix accepted and ignored: match *existence* is
+//   greediness-independent), anchors ^ and $ (payload start/end).
+#pragma once
+
+#include <bitset>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace dpisvc::regex {
+
+/// A set of byte values; the single transition-label type in the engine.
+struct CharSet {
+  std::bitset<256> bits;
+
+  bool contains(std::uint8_t b) const noexcept { return bits[b]; }
+  void add(std::uint8_t b) noexcept { bits.set(b); }
+  void add_range(std::uint8_t lo, std::uint8_t hi) noexcept {
+    for (unsigned b = lo; b <= hi; ++b) bits.set(b);
+  }
+  void negate() noexcept { bits.flip(); }
+
+  /// If the set holds exactly one byte, returns it; otherwise -1.
+  int single() const noexcept {
+    return bits.count() == 1 ? static_cast<int>(find_first()) : -1;
+  }
+
+  std::size_t find_first() const noexcept {
+    for (std::size_t i = 0; i < 256; ++i) {
+      if (bits[i]) return i;
+    }
+    return 256;
+  }
+};
+
+enum class NodeKind {
+  kEmpty,      ///< Matches the empty string.
+  kClass,      ///< Matches one byte from `cls`.
+  kConcat,     ///< children in sequence.
+  kAlternate,  ///< one of children.
+  kRepeat,     ///< child repeated [min, max] times; max < 0 means unbounded.
+  kLineStart,  ///< '^' — start of payload.
+  kLineEnd,    ///< '$' — end of payload.
+};
+
+struct Node;
+using NodePtr = std::unique_ptr<Node>;
+
+struct Node {
+  NodeKind kind = NodeKind::kEmpty;
+  CharSet cls;                    // kClass
+  std::vector<NodePtr> children;  // kConcat / kAlternate
+  NodePtr child;                  // kRepeat
+  int min = 0;                    // kRepeat
+  int max = -1;                   // kRepeat; -1 = unbounded
+};
+
+NodePtr make_empty();
+NodePtr make_class(CharSet cls);
+NodePtr make_literal(std::uint8_t byte);
+NodePtr make_concat(std::vector<NodePtr> children);
+NodePtr make_alternate(std::vector<NodePtr> children);
+NodePtr make_repeat(NodePtr child, int min, int max);
+NodePtr make_line_start();
+NodePtr make_line_end();
+
+}  // namespace dpisvc::regex

@@ -1,0 +1,86 @@
+#include "regex/matcher.hpp"
+
+namespace dpisvc::regex {
+
+Matcher::Matcher(Program program) : program_(std::move(program)) {}
+
+bool Matcher::add_thread(ThreadList& list, std::uint32_t pc, std::size_t pos,
+                         std::size_t len) const {
+  // Iterative epsilon-closure with an explicit stack; the dedup marks in
+  // `list` bound the work to O(program size) per input position.
+  std::vector<std::uint32_t> stack{pc};
+  bool matched = false;
+  while (!stack.empty()) {
+    const std::uint32_t at = stack.back();
+    stack.pop_back();
+    if (!list.add(at)) continue;
+    const Inst& inst = program_.code()[at];
+    switch (inst.op) {
+      case Op::kJmp:
+        stack.push_back(inst.x);
+        break;
+      case Op::kSplit:
+        stack.push_back(inst.x);
+        stack.push_back(inst.y);
+        break;
+      case Op::kLineStart:
+        if (pos == 0) stack.push_back(at + 1);
+        break;
+      case Op::kLineEnd:
+        if (pos == len) stack.push_back(at + 1);
+        break;
+      case Op::kMatch:
+        matched = true;
+        break;
+      case Op::kByte:
+        break;  // Stays in the list; consumed by the step loop.
+    }
+  }
+  return matched;
+}
+
+std::optional<std::size_t> Matcher::search_end(BytesView input) const {
+  ThreadList current;
+  ThreadList next;
+  current.mark.assign(program_.size(), 0);
+  next.mark.assign(program_.size(), 0);
+
+  current.begin_step();
+  // Unanchored search: seed a thread at program start for position 0 and for
+  // every later position (below).
+  if (add_thread(current, 0, 0, input.size())) return 0;
+
+  for (std::size_t pos = 0; pos < input.size(); ++pos) {
+    const std::uint8_t byte = input[pos];
+    next.begin_step();
+    bool matched = false;
+    for (std::uint32_t pc : current.pcs) {
+      const Inst& inst = program_.code()[pc];
+      if (inst.op == Op::kByte && inst.cls.contains(byte)) {
+        matched |= add_thread(next, pc + 1, pos + 1, input.size());
+      }
+    }
+    // New thread starting at pos + 1 (unanchored).
+    matched |= add_thread(next, 0, pos + 1, input.size());
+    if (matched) return pos + 1;
+    std::swap(current, next);
+  }
+  return std::nullopt;
+}
+
+bool Matcher::search(BytesView input) const {
+  return search_end(input).has_value();
+}
+
+bool Matcher::search(std::string_view input) const {
+  return search(BytesView(reinterpret_cast<const std::uint8_t*>(input.data()),
+                          input.size()));
+}
+
+bool regex_search(std::string_view pattern, std::string_view input,
+                  const ParseOptions& options) {
+  Matcher matcher(Program::compile(pattern, options));
+  return matcher.search(input);
+}
+
+}  // namespace dpisvc::regex

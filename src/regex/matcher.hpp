@@ -1,0 +1,68 @@
+// Pike-VM execution of compiled regex programs.
+//
+// The DPI engine only needs *existence* semantics ("does this expression
+// occur anywhere in the payload?"), which is what the paper's post-anchor
+// PCRE invocation decides, so the VM implements unanchored search with O(n*m)
+// worst-case time and no backtracking blowup (m = program size). This is the
+// property that makes the engine safe to expose as a shared service: the
+// complexity attacks discussed in §4.3.1 target backtracking engines and
+// full-table DFA caches, not a thread-list NFA simulation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "regex/program.hpp"
+
+namespace dpisvc::regex {
+
+class Matcher {
+ public:
+  explicit Matcher(Program program);
+
+  /// True if the pattern matches anywhere in `input` (unanchored search;
+  /// '^'/'$' in the pattern still pin to the payload boundaries).
+  bool search(BytesView input) const;
+  bool search(std::string_view input) const;
+
+  /// Like search(), but returns the smallest end offset at which some match
+  /// completes (the DPI engine reports this as the regex match position), or
+  /// std::nullopt when there is no match.
+  std::optional<std::size_t> search_end(BytesView input) const;
+
+  const Program& program() const noexcept { return program_; }
+
+ private:
+  struct ThreadList {
+    std::vector<std::uint32_t> pcs;
+    std::vector<std::uint32_t> mark;  ///< generation tag per instruction
+    std::uint32_t generation = 0;
+
+    void begin_step() noexcept {
+      pcs.clear();
+      ++generation;
+    }
+    bool add(std::uint32_t pc) {
+      if (mark[pc] == generation) return false;
+      mark[pc] = generation;
+      pcs.push_back(pc);
+      return true;
+    }
+  };
+
+  /// Adds pc and transitively follows non-consuming instructions.
+  /// Returns true if a kMatch instruction was reached.
+  bool add_thread(ThreadList& list, std::uint32_t pc, std::size_t pos,
+                  std::size_t len) const;
+
+  Program program_;
+};
+
+/// One-shot convenience: compile and search.
+bool regex_search(std::string_view pattern, std::string_view input,
+                  const ParseOptions& options = {});
+
+}  // namespace dpisvc::regex

@@ -1,0 +1,367 @@
+#include "regex/parser.hpp"
+
+#include <cctype>
+
+namespace dpisvc::regex {
+
+namespace {
+
+CharSet digit_set() {
+  CharSet s;
+  s.add_range('0', '9');
+  return s;
+}
+
+CharSet word_set() {
+  CharSet s;
+  s.add_range('a', 'z');
+  s.add_range('A', 'Z');
+  s.add_range('0', '9');
+  s.add('_');
+  return s;
+}
+
+CharSet space_set() {
+  CharSet s;
+  for (char c : {' ', '\t', '\n', '\r', '\f', '\v'}) {
+    s.add(static_cast<std::uint8_t>(c));
+  }
+  return s;
+}
+
+CharSet dot_set() {
+  // PCRE '.' without DOTALL excludes '\n'; DPI payloads are binary, and the
+  // rule sets we model are written with DOTALL semantics, so '.' = any byte.
+  CharSet s;
+  s.negate();
+  return s;
+}
+
+class Parser {
+ public:
+  Parser(std::string_view pattern, const ParseOptions& options)
+      : pattern_(pattern), options_(options) {}
+
+  NodePtr run() {
+    NodePtr node = parse_alternation();
+    if (pos_ != pattern_.size()) {
+      fail("unbalanced ')'");
+    }
+    return node;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw SyntaxError(what, pos_);
+  }
+
+  bool at_end() const noexcept { return pos_ >= pattern_.size(); }
+
+  char peek() const {
+    if (at_end()) fail("unexpected end of pattern");
+    return pattern_[pos_];
+  }
+
+  char take() {
+    char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  bool try_take(char c) {
+    if (!at_end() && pattern_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  NodePtr parse_alternation() {
+    std::vector<NodePtr> branches;
+    branches.push_back(parse_concat());
+    while (try_take('|')) {
+      branches.push_back(parse_concat());
+    }
+    return make_alternate(std::move(branches));
+  }
+
+  NodePtr parse_concat() {
+    std::vector<NodePtr> parts;
+    while (!at_end() && peek() != '|' && peek() != ')') {
+      parts.push_back(parse_repeat());
+    }
+    return make_concat(std::move(parts));
+  }
+
+  NodePtr parse_repeat() {
+    NodePtr atom = parse_atom();
+    while (!at_end()) {
+      int min = 0;
+      int max = -1;
+      if (try_take('*')) {
+        min = 0;
+        max = -1;
+      } else if (try_take('+')) {
+        min = 1;
+        max = -1;
+      } else if (try_take('?')) {
+        min = 0;
+        max = 1;
+      } else if (!at_end() && peek() == '{') {
+        const std::size_t mark = pos_;
+        if (!parse_counted(min, max)) {
+          pos_ = mark;  // Literal '{' with no valid count spec.
+          break;
+        }
+      } else {
+        break;
+      }
+      try_take('?');  // Non-greedy suffix: existence matching ignores it.
+      if (atom->kind == NodeKind::kLineStart ||
+          atom->kind == NodeKind::kLineEnd) {
+        fail("cannot repeat an anchor");
+      }
+      atom = make_repeat(std::move(atom), min, max);
+    }
+    return atom;
+  }
+
+  /// Parses "{m}", "{m,}", or "{m,n}". Returns false (without consuming) if
+  /// the braces do not form a valid count spec.
+  bool parse_counted(int& min, int& max) {
+    take();  // '{'
+    if (at_end() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+      return false;
+    }
+    min = parse_int();
+    if (try_take('}')) {
+      max = min;
+    } else if (try_take(',')) {
+      if (try_take('}')) {
+        max = -1;
+      } else {
+        if (at_end() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+          return false;
+        }
+        max = parse_int();
+        if (!try_take('}')) return false;
+        if (max < min) fail("repeat range {m,n} with n < m");
+      }
+    } else {
+      return false;
+    }
+    const int bound = max < 0 ? min : max;
+    if (bound > options_.max_counted_repeat) {
+      fail("counted repetition exceeds limit");
+    }
+    return true;
+  }
+
+  int parse_int() {
+    int value = 0;
+    while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+      value = value * 10 + (take() - '0');
+      if (value > 1000000) fail("repetition count too large");
+    }
+    return value;
+  }
+
+  NodePtr parse_atom() {
+    char c = take();
+    switch (c) {
+      case '(': {
+        // Accept non-capturing (?:...) and inline flags-free groups; we do
+        // not implement capture groups (the DPI engine only needs existence).
+        if (try_take('?')) {
+          if (!try_take(':')) fail("unsupported (?...) construct");
+        }
+        NodePtr inner = parse_alternation();
+        if (!try_take(')')) fail("missing ')'");
+        return inner;
+      }
+      case '[':
+        return make_class(parse_class());
+      case '.':
+        return make_class(dot_set());
+      case '^':
+        return make_line_start();
+      case '$':
+        return make_line_end();
+      case '\\':
+        return parse_escape();
+      case '*':
+      case '+':
+      case '?':
+        fail("repetition operator with nothing to repeat");
+      default:
+        return literal_node(static_cast<std::uint8_t>(c));
+    }
+  }
+
+  NodePtr literal_node(std::uint8_t byte) {
+    CharSet cls;
+    cls.add(byte);
+    if (options_.case_insensitive) {
+      if (std::isupper(byte)) cls.add(static_cast<std::uint8_t>(std::tolower(byte)));
+      if (std::islower(byte)) cls.add(static_cast<std::uint8_t>(std::toupper(byte)));
+    }
+    return make_class(cls);
+  }
+
+  NodePtr parse_escape() {
+    CharSet cls;
+    if (parse_class_escape(cls, /*in_class=*/false)) {
+      return make_class(cls);
+    }
+    return literal_node(parse_literal_escape());
+  }
+
+  /// Handles \d \D \w \W \s \S. Returns false if the escape is not a class
+  /// escape (caller then treats it as a literal escape).
+  bool parse_class_escape(CharSet& out, bool in_class) {
+    (void)in_class;
+    if (at_end()) fail("trailing backslash");
+    switch (peek()) {
+      case 'd':
+        out = digit_set();
+        break;
+      case 'D':
+        out = digit_set();
+        out.negate();
+        break;
+      case 'w':
+        out = word_set();
+        break;
+      case 'W':
+        out = word_set();
+        out.negate();
+        break;
+      case 's':
+        out = space_set();
+        break;
+      case 'S':
+        out = space_set();
+        out.negate();
+        break;
+      default:
+        return false;
+    }
+    ++pos_;
+    return true;
+  }
+
+  std::uint8_t parse_literal_escape() {
+    char c = take();
+    switch (c) {
+      case 'n':
+        return '\n';
+      case 'r':
+        return '\r';
+      case 't':
+        return '\t';
+      case 'f':
+        return '\f';
+      case 'v':
+        return '\v';
+      case 'a':
+        return '\a';
+      case '0':
+        return '\0';
+      case 'x': {
+        int value = 0;
+        for (int i = 0; i < 2; ++i) {
+          char h = take();
+          value <<= 4;
+          if (h >= '0' && h <= '9') {
+            value |= h - '0';
+          } else if (h >= 'a' && h <= 'f') {
+            value |= h - 'a' + 10;
+          } else if (h >= 'A' && h <= 'F') {
+            value |= h - 'A' + 10;
+          } else {
+            --pos_;
+            fail("invalid \\x escape");
+          }
+        }
+        return static_cast<std::uint8_t>(value);
+      }
+      default:
+        if (std::isalnum(static_cast<unsigned char>(c))) {
+          --pos_;
+          fail("unsupported escape");
+        }
+        return static_cast<std::uint8_t>(c);  // Escaped metacharacter.
+    }
+  }
+
+  CharSet parse_class() {
+    CharSet cls;
+    const bool negated = try_take('^');
+    bool first = true;
+    while (true) {
+      if (at_end()) fail("missing ']'");
+      if (peek() == ']' && !first) {
+        ++pos_;
+        break;
+      }
+      first = false;
+      std::uint8_t lo;
+      if (peek() == '\\') {
+        ++pos_;
+        CharSet sub;
+        if (parse_class_escape(sub, /*in_class=*/true)) {
+          cls.bits |= sub.bits;
+          continue;
+        }
+        lo = parse_literal_escape();
+      } else {
+        lo = static_cast<std::uint8_t>(take());
+      }
+      // Range "a-z"? A '-' immediately before ']' is a literal dash.
+      if (!at_end() && peek() == '-' && pos_ + 1 < pattern_.size() &&
+          pattern_[pos_ + 1] != ']') {
+        ++pos_;  // '-'
+        std::uint8_t hi;
+        if (peek() == '\\') {
+          ++pos_;
+          hi = parse_literal_escape();
+        } else {
+          hi = static_cast<std::uint8_t>(take());
+        }
+        if (hi < lo) fail("invalid class range");
+        cls.add_range(lo, hi);
+        if (options_.case_insensitive) {
+          add_case_folded_range(cls, lo, hi);
+        }
+      } else {
+        cls.add(lo);
+        if (options_.case_insensitive) {
+          if (std::isupper(lo)) cls.add(static_cast<std::uint8_t>(std::tolower(lo)));
+          if (std::islower(lo)) cls.add(static_cast<std::uint8_t>(std::toupper(lo)));
+        }
+      }
+    }
+    if (negated) cls.negate();
+    return cls;
+  }
+
+  static void add_case_folded_range(CharSet& cls, std::uint8_t lo,
+                                    std::uint8_t hi) {
+    for (unsigned b = lo; b <= hi; ++b) {
+      if (std::isupper(b)) cls.add(static_cast<std::uint8_t>(std::tolower(b)));
+      if (std::islower(b)) cls.add(static_cast<std::uint8_t>(std::toupper(b)));
+    }
+  }
+
+  std::string_view pattern_;
+  ParseOptions options_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+NodePtr parse(std::string_view pattern, const ParseOptions& options) {
+  return Parser(pattern, options).run();
+}
+
+}  // namespace dpisvc::regex

@@ -1,0 +1,35 @@
+// Recursive-descent regex parser producing the AST in regex/ast.hpp.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "regex/ast.hpp"
+
+namespace dpisvc::regex {
+
+class SyntaxError : public std::runtime_error {
+ public:
+  SyntaxError(const std::string& what, std::size_t offset)
+      : std::runtime_error(what + " at offset " + std::to_string(offset)),
+        offset_(offset) {}
+  std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+struct ParseOptions {
+  /// Case-insensitive matching (PCRE 'i' flag): literals and class entries
+  /// are expanded to both cases at parse time.
+  bool case_insensitive = false;
+  /// Upper bound on counted-repetition expansion ({m,n}) to keep compiled
+  /// programs bounded; exceeding it is a SyntaxError.
+  int max_counted_repeat = 1000;
+};
+
+/// Parses `pattern` into an AST. Throws SyntaxError on malformed input.
+NodePtr parse(std::string_view pattern, const ParseOptions& options = {});
+
+}  // namespace dpisvc::regex

@@ -1,0 +1,124 @@
+#include "regex/program.hpp"
+
+#include <stdexcept>
+
+namespace dpisvc::regex {
+
+std::uint32_t Program::emit(Inst inst) {
+  code_.push_back(std::move(inst));
+  return static_cast<std::uint32_t>(code_.size() - 1);
+}
+
+// Emits code for `node` such that on success execution falls through to the
+// instruction emitted right after the node's code. Returns the index of the
+// node's first instruction (== code_.size() before the call).
+std::uint32_t Program::compile_node(const Node& node) {
+  const auto start = static_cast<std::uint32_t>(code_.size());
+  switch (node.kind) {
+    case NodeKind::kEmpty:
+      break;
+    case NodeKind::kClass: {
+      Inst inst;
+      inst.op = Op::kByte;
+      inst.cls = node.cls;
+      emit(inst);
+      break;
+    }
+    case NodeKind::kConcat:
+      for (const NodePtr& child : node.children) {
+        compile_node(*child);
+      }
+      break;
+    case NodeKind::kAlternate: {
+      // split b1, (split b2, (... bn)); each branch ends with jmp END.
+      std::vector<std::uint32_t> jumps_to_end;
+      for (std::size_t i = 0; i < node.children.size(); ++i) {
+        const bool last = (i + 1 == node.children.size());
+        std::uint32_t split_at = 0;
+        if (!last) {
+          Inst split;
+          split.op = Op::kSplit;
+          split_at = emit(split);
+        }
+        if (!last) code_[split_at].x = static_cast<std::uint32_t>(code_.size());
+        compile_node(*node.children[i]);
+        if (!last) {
+          Inst jmp;
+          jmp.op = Op::kJmp;
+          jumps_to_end.push_back(emit(jmp));
+          code_[split_at].y = static_cast<std::uint32_t>(code_.size());
+        }
+      }
+      const auto end = static_cast<std::uint32_t>(code_.size());
+      for (std::uint32_t j : jumps_to_end) {
+        code_[j].x = end;
+      }
+      break;
+    }
+    case NodeKind::kRepeat: {
+      for (int i = 0; i < node.min; ++i) {
+        compile_node(*node.child);
+      }
+      if (node.max < 0) {
+        // Kleene star of the remaining copies: L: split BODY, END.
+        Inst split;
+        split.op = Op::kSplit;
+        const std::uint32_t loop = emit(split);
+        code_[loop].x = static_cast<std::uint32_t>(code_.size());
+        compile_node(*node.child);
+        Inst jmp;
+        jmp.op = Op::kJmp;
+        jmp.x = loop;
+        emit(jmp);
+        code_[loop].y = static_cast<std::uint32_t>(code_.size());
+      } else {
+        // (max - min) optional copies; every split's bail-out edge goes to
+        // the common END.
+        std::vector<std::uint32_t> bails;
+        for (int i = node.min; i < node.max; ++i) {
+          Inst split;
+          split.op = Op::kSplit;
+          const std::uint32_t at = emit(split);
+          code_[at].x = static_cast<std::uint32_t>(code_.size());
+          bails.push_back(at);
+          compile_node(*node.child);
+        }
+        const auto end = static_cast<std::uint32_t>(code_.size());
+        for (std::uint32_t at : bails) {
+          code_[at].y = end;
+        }
+      }
+      break;
+    }
+    case NodeKind::kLineStart: {
+      Inst inst;
+      inst.op = Op::kLineStart;
+      emit(inst);
+      break;
+    }
+    case NodeKind::kLineEnd: {
+      Inst inst;
+      inst.op = Op::kLineEnd;
+      emit(inst);
+      break;
+    }
+  }
+  return start;
+}
+
+Program Program::compile(const Node& root) {
+  Program p;
+  p.compile_node(root);
+  Inst match;
+  match.op = Op::kMatch;
+  p.emit(match);
+  return p;
+}
+
+Program Program::compile(std::string_view pattern,
+                         const ParseOptions& options) {
+  NodePtr root = parse(pattern, options);
+  return compile(*root);
+}
+
+}  // namespace dpisvc::regex

@@ -1,0 +1,55 @@
+// Compiled regex program (Thompson NFA as bytecode) and its compiler.
+//
+// The instruction set follows the classic Pike-VM design: kByte consumes one
+// input byte matched against a CharSet; kSplit forks execution; kJmp is an
+// unconditional branch; kLineStart/kLineEnd are zero-width assertions; kMatch
+// accepts. Counted repetitions {m,n} are expanded at compile time (bounded by
+// ParseOptions::max_counted_repeat).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "regex/ast.hpp"
+#include "regex/parser.hpp"
+
+namespace dpisvc::regex {
+
+enum class Op : std::uint8_t {
+  kByte,       ///< if cls.contains(input) advance to next instruction
+  kSplit,      ///< fork to `x` and `y`
+  kJmp,        ///< jump to `x`
+  kLineStart,  ///< zero-width: position == 0
+  kLineEnd,    ///< zero-width: position == input size
+  kMatch,      ///< accept
+};
+
+struct Inst {
+  Op op = Op::kMatch;
+  CharSet cls;   // kByte
+  std::uint32_t x = 0;  // kSplit / kJmp target
+  std::uint32_t y = 0;  // kSplit second target
+};
+
+class Program {
+ public:
+  const std::vector<Inst>& code() const noexcept { return code_; }
+  std::size_t size() const noexcept { return code_.size(); }
+
+  /// Compiles an AST into a program.
+  static Program compile(const Node& root);
+
+  /// Parses and compiles in one step.
+  static Program compile(std::string_view pattern,
+                         const ParseOptions& options = {});
+
+ private:
+  std::uint32_t emit(Inst inst);
+  std::uint32_t compile_node(const Node& node);
+
+  std::vector<Inst> code_;
+};
+
+}  // namespace dpisvc::regex

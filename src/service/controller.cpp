@@ -1,0 +1,345 @@
+#include "service/controller.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/logging.hpp"
+
+namespace dpisvc::service {
+
+DpiController::DpiController(StressConfig stress_config)
+    : monitor_(stress_config) {}
+
+// --- JSON channel ------------------------------------------------------------
+
+json::Value DpiController::handle_message(const json::Value& request) {
+  try {
+    const std::string type = message_type(request);
+    if (type == "register") {
+      const RegisterRequest req = decode_register(request);
+      db_.register_middlebox(req.profile);
+      if (req.inherit_from) {
+        db_.inherit_patterns(req.profile.id, *req.inherit_from);
+      }
+      log(LogLevel::kInfo, "dpi-ctrl", "registered middlebox ",
+          req.profile.id, " (", req.profile.name, ")");
+    } else if (type == "add_patterns") {
+      const AddPatternsRequest req = decode_add_patterns(request);
+      for (const auto& p : req.exact) {
+        db_.add_exact(req.middlebox, p.rule, p.bytes);
+      }
+      for (const auto& p : req.regex) {
+        db_.add_regex(req.middlebox, p.rule, p.expression, p.case_insensitive);
+      }
+    } else if (type == "remove_patterns") {
+      const RemovePatternsRequest req = decode_remove_patterns(request);
+      for (dpi::PatternId rule : req.rules) {
+        if (!db_.remove_exact(req.middlebox, rule) &&
+            !db_.remove_regex(req.middlebox, rule)) {
+          return error_response("unknown rule " + std::to_string(rule));
+        }
+      }
+    } else if (type == "unregister") {
+      const UnregisterRequest req = decode_unregister(request);
+      if (!db_.unregister_middlebox(req.middlebox)) {
+        return error_response("middlebox not registered");
+      }
+      // Mirror the PatternDb's chain scrub in the controller's registry so
+      // a later register_policy_chain cannot alias a stale sequence.
+      for (auto& [chain, members] : chains_) {
+        std::erase(members, req.middlebox);
+      }
+    } else {
+      return error_response("unknown message type: " + type);
+    }
+    sync_instances();
+    return ok_response();
+  } catch (const std::exception& e) {
+    return error_response(e.what());
+  }
+}
+
+// --- policy chains -------------------------------------------------------------
+
+dpi::ChainId DpiController::register_policy_chain(
+    const std::vector<dpi::MiddleboxId>& mboxes) {
+  for (const auto& [id, members] : chains_) {
+    if (members == mboxes) return id;  // identical sequences share an id
+  }
+  for (dpi::MiddleboxId id : mboxes) {
+    if (!db_.is_registered(id)) {
+      throw std::invalid_argument(
+          "register_policy_chain: middlebox not registered");
+    }
+  }
+  const dpi::ChainId chain = next_chain_id_++;
+  chains_[chain] = mboxes;
+  db_.set_chain(chain, mboxes);
+  sync_instances();
+  log(LogLevel::kInfo, "dpi-ctrl", "policy chain ", chain, " registered (",
+      mboxes.size(), " middleboxes)");
+  return chain;
+}
+
+// --- instances --------------------------------------------------------------------
+
+std::shared_ptr<DpiInstance> DpiController::create_instance(
+    const std::string& name, InstanceConfig config) {
+  if (instances_.count(name)) {
+    throw std::invalid_argument("create_instance: duplicate name " + name);
+  }
+  if (!config.group.empty() && !groups_.count(config.group)) {
+    throw std::invalid_argument("create_instance: undefined group " +
+                                config.group);
+  }
+  auto inst = std::make_shared<DpiInstance>(name, config);
+  instances_[name] = inst;
+  sync_instances();
+  // sync_instances only pushes on version change; force the initial load.
+  if (!inst->has_engine() && compiled_version_ > 0) {
+    inst->load_engine(engine_for(config.group, config.dedicated),
+                      compiled_version_);
+  }
+  log(LogLevel::kInfo, "dpi-ctrl", "instance ", name, " created",
+      config.dedicated ? " (dedicated)" : "");
+  return inst;
+}
+
+bool DpiController::remove_instance(const std::string& name) {
+  if (instances_.erase(name) == 0) return false;
+  monitor_.forget(name);
+  for (auto it = assignments_.begin(); it != assignments_.end();) {
+    it = it->second == name ? assignments_.erase(it) : std::next(it);
+  }
+  return true;
+}
+
+std::shared_ptr<DpiInstance> DpiController::instance(
+    const std::string& name) const {
+  auto it = instances_.find(name);
+  return it == instances_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> DpiController::instance_names() const {
+  std::vector<std::string> out;
+  out.reserve(instances_.size());
+  for (const auto& [name, inst] : instances_) {
+    out.push_back(name);
+  }
+  return out;
+}
+
+dpi::EngineSpec DpiController::group_spec(const dpi::EngineSpec& full,
+                                          const std::string& group) const {
+  if (group.empty()) return full;
+  auto it = groups_.find(group);
+  if (it == groups_.end()) {
+    throw std::invalid_argument("DpiController: undefined group " + group);
+  }
+  // Restrict to the group's chains, the middleboxes appearing on them, and
+  // those middleboxes' patterns (§4.3).
+  dpi::EngineSpec out;
+  dpi::MiddleboxBitmap kept = 0;
+  for (dpi::ChainId chain : it->second) {
+    auto members = full.chains.find(chain);
+    if (members == full.chains.end()) continue;  // chain since removed
+    out.chains[chain] = members->second;
+    for (dpi::MiddleboxId id : members->second) {
+      kept |= dpi::bitmap_of(id);
+    }
+  }
+  for (const auto& profile : full.middleboxes) {
+    if (kept & dpi::bitmap_of(profile.id)) {
+      out.middleboxes.push_back(profile);
+    }
+  }
+  for (const auto& pattern : full.exact_patterns) {
+    if (kept & dpi::bitmap_of(pattern.middlebox)) {
+      out.exact_patterns.push_back(pattern);
+    }
+  }
+  for (const auto& pattern : full.regex_patterns) {
+    if (kept & dpi::bitmap_of(pattern.middlebox)) {
+      out.regex_patterns.push_back(pattern);
+    }
+  }
+  return out;
+}
+
+std::shared_ptr<const dpi::Engine> DpiController::engine_for(
+    const std::string& group, bool compressed) {
+  const auto key = std::make_pair(group, compressed);
+  auto it = engine_cache_.find(key);
+  if (it != engine_cache_.end()) return it->second;
+  dpi::EngineConfig config;
+  config.use_compressed_automaton = compressed;
+  auto engine = dpi::Engine::compile(group_spec(cached_spec_, group), config);
+  engine_cache_.emplace(key, engine);
+  return engine;
+}
+
+void DpiController::compile_and_push() {
+  cached_spec_ = db_.snapshot();
+  engine_cache_.clear();
+  compiled_version_ = db_.version();
+  for (auto& [name, inst] : instances_) {
+    inst->load_engine(
+        engine_for(inst->config().group, inst->config().dedicated),
+        compiled_version_);
+  }
+}
+
+void DpiController::sync_instances() {
+  if (compiled_version_ == db_.version() && compiled_version_ != 0) {
+    // Engines current; push only to instances that missed the last compile.
+    for (auto& [name, inst] : instances_) {
+      if (inst->engine_version() != compiled_version_) {
+        inst->load_engine(
+            engine_for(inst->config().group, inst->config().dedicated),
+            compiled_version_);
+      }
+    }
+    return;
+  }
+  if (db_.version() == 0) return;  // nothing registered yet
+  compile_and_push();
+}
+
+void DpiController::define_group(const std::string& name,
+                                 std::vector<dpi::ChainId> chains) {
+  if (name.empty()) {
+    throw std::invalid_argument("define_group: empty group name");
+  }
+  for (dpi::ChainId chain : chains) {
+    if (!chains_.count(chain)) {
+      throw std::invalid_argument("define_group: unknown chain");
+    }
+  }
+  groups_[name] = std::move(chains);
+  // Group membership changed: group engines must be rebuilt and re-pushed.
+  if (compiled_version_ != 0) {
+    compile_and_push();
+  }
+  log(LogLevel::kInfo, "dpi-ctrl", "group ", name, " defined");
+}
+
+// --- placement -----------------------------------------------------------------------
+
+void DpiController::assign_chain(dpi::ChainId chain,
+                                 const std::string& instance_name) {
+  if (!chains_.count(chain)) {
+    throw std::invalid_argument("assign_chain: unknown chain");
+  }
+  if (!instances_.count(instance_name)) {
+    throw std::invalid_argument("assign_chain: unknown instance");
+  }
+  assignments_[chain] = instance_name;
+}
+
+std::size_t DpiController::chains_assigned_to(const std::string& name) const {
+  std::size_t n = 0;
+  for (const auto& [chain, inst] : assignments_) {
+    if (inst == name) ++n;
+  }
+  return n;
+}
+
+std::shared_ptr<DpiInstance> DpiController::least_loaded(
+    bool dedicated) const {
+  std::shared_ptr<DpiInstance> best;
+  std::size_t best_load = 0;
+  for (const auto& [name, inst] : instances_) {
+    if (inst->config().dedicated != dedicated) continue;
+    const std::size_t load = chains_assigned_to(name);
+    if (!best || load < best_load) {
+      best = inst;
+      best_load = load;
+    }
+  }
+  return best;
+}
+
+std::string DpiController::auto_assign_chain(dpi::ChainId chain) {
+  auto inst = least_loaded(/*dedicated=*/false);
+  if (!inst) {
+    throw std::logic_error("auto_assign_chain: no regular instance available");
+  }
+  assign_chain(chain, inst->instance_name());
+  return inst->instance_name();
+}
+
+std::optional<std::string> DpiController::instance_for_chain(
+    dpi::ChainId chain) const {
+  auto it = assignments_.find(chain);
+  if (it == assignments_.end()) return std::nullopt;
+  return it->second;
+}
+
+// --- MCA² ------------------------------------------------------------------------------
+
+void DpiController::collect_telemetry() {
+  for (auto& [name, inst] : instances_) {
+    monitor_.report(name, inst->telemetry());
+  }
+}
+
+MitigationPlan DpiController::evaluate_mitigation() {
+  MitigationPlan plan;
+  plan.stressed_instances = monitor_.stressed_instances();
+  if (plan.stressed_instances.empty()) return plan;
+  auto dedicated = least_loaded(/*dedicated=*/true);
+  if (!dedicated) {
+    log(LogLevel::kWarn, "dpi-ctrl",
+        "stress detected but no dedicated instance is deployed");
+    return plan;
+  }
+  for (const std::string& name : plan.stressed_instances) {
+    auto inst = instance(name);
+    if (!inst || inst->config().dedicated) continue;
+    // Divert the chains whose traffic carries the heavy signal (§4.3.1:
+    // "migrates the heavy flows, which are suspected to be malicious").
+    for (const auto& [chain, chain_stats] : inst->chain_telemetry()) {
+      const auto assigned = instance_for_chain(chain);
+      if (!assigned || *assigned != name) continue;
+      if (chain_stats.hits_per_byte() >
+          monitor_.config().hits_per_byte_threshold) {
+        plan.migrations.push_back(
+            Migration{chain, name, dedicated->instance_name()});
+      }
+    }
+  }
+  return plan;
+}
+
+std::size_t DpiController::apply_mitigation(const MitigationPlan& plan) {
+  std::size_t moved = 0;
+  for (const Migration& m : plan.migrations) {
+    auto it = assignments_.find(m.chain);
+    if (it == assignments_.end() || it->second != m.from_instance) continue;
+    it->second = m.to_instance;
+    ++moved;
+    log(LogLevel::kInfo, "dpi-ctrl", "migrated chain ", m.chain, " from ",
+        m.from_instance, " to ", m.to_instance);
+  }
+  return moved;
+}
+
+bool DpiController::migrate_flow(const net::FiveTuple& flow,
+                                 const std::string& from,
+                                 const std::string& to) {
+  auto src = instance(from);
+  auto dst = instance(to);
+  if (!src || !dst) return false;
+  if (src->engine_version() != dst->engine_version()) {
+    // DFA state ids are engine-relative; a mismatch would corrupt the scan.
+    log(LogLevel::kWarn, "dpi-ctrl",
+        "flow migration refused: engine version mismatch");
+    return false;
+  }
+  const dpi::FlowCursor cursor = src->export_flow(flow);
+  if (!cursor.valid) return false;
+  dst->import_flow(flow, cursor);
+  return true;
+}
+
+}  // namespace dpisvc::service

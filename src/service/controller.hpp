@@ -1,0 +1,175 @@
+// The DPI controller (§4.1, §4.3) — the logically-centralized brain of the
+// service.
+//
+// Responsibilities, mapped to the paper:
+//  - middlebox registration and pattern-set management over JSON messages,
+//    backed by the ref-counted global PatternDb (§4.1);
+//  - policy-chain registry: the TSA hands over middlebox-type sequences and
+//    gets back the chain identifier the steering tag carries (§4.1: "It
+//    assigns each policy chain a unique identifier that is used later by
+//    the DPI service instances to indicate which pattern matching should be
+//    performed");
+//  - instance lifecycle: creating instances, compiling the combined engine
+//    from the current PatternDb snapshot and pushing it to stale instances
+//    (§4.1 "initializing DPI service instances", §5.1);
+//  - chain-to-instance placement with least-loaded assignment (§4.3);
+//  - MCA² orchestration: collecting instance telemetry into the stress
+//    monitor, and producing/applying mitigation plans that divert heavy
+//    chains to dedicated instances (§4.3.1, Figure 6).
+//
+// Data-plane routing changes implied by placement decisions are exposed as
+// plain data (chain -> instance name) so any TSA implementation — our
+// netsim one or a test harness — can realize them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dpi/pattern_db.hpp"
+#include "json/json.hpp"
+#include "service/instance.hpp"
+#include "service/mca2.hpp"
+#include "service/messages.hpp"
+
+namespace dpisvc::service {
+
+/// One chain reassignment produced by MCA² mitigation.
+struct Migration {
+  dpi::ChainId chain = 0;
+  std::string from_instance;
+  std::string to_instance;
+};
+
+struct MitigationPlan {
+  std::vector<std::string> stressed_instances;
+  std::vector<Migration> migrations;
+
+  bool empty() const noexcept { return migrations.empty(); }
+};
+
+class DpiController {
+ public:
+  explicit DpiController(StressConfig stress_config = {});
+
+  // --- middlebox-facing JSON channel (§4.1) --------------------------------
+
+  /// Handles one protocol message; never throws — errors come back as
+  /// {"ok":false,"error":...} responses.
+  json::Value handle_message(const json::Value& request);
+
+  dpi::PatternDb& db() noexcept { return db_; }
+  const dpi::PatternDb& db() const noexcept { return db_; }
+
+  // --- policy chains (TSA-facing) -------------------------------------------
+
+  /// Registers a policy chain (sequence of middlebox type ids that use the
+  /// DPI service) and returns its identifier. Identical sequences share an
+  /// id.
+  dpi::ChainId register_policy_chain(const std::vector<dpi::MiddleboxId>& mboxes);
+
+  const std::map<dpi::ChainId, std::vector<dpi::MiddleboxId>>& policy_chains()
+      const noexcept {
+    return chains_;
+  }
+
+  // --- instances --------------------------------------------------------------
+
+  /// Creates (and tracks) an instance; it receives the current engine
+  /// immediately. Dedicated instances get the compressed-automaton engine.
+  std::shared_ptr<DpiInstance> create_instance(const std::string& name,
+                                               InstanceConfig config = {});
+
+  bool remove_instance(const std::string& name);
+
+  std::shared_ptr<DpiInstance> instance(const std::string& name) const;
+  std::vector<std::string> instance_names() const;
+
+  /// Recompiles engines if the PatternDb changed and pushes them to stale
+  /// instances. Called automatically by handle_message and create_instance;
+  /// public for direct-API users.
+  void sync_instances();
+
+  // --- placement (§4.3) ---------------------------------------------------------
+
+  /// Pins a chain to an instance.
+  void assign_chain(dpi::ChainId chain, const std::string& instance_name);
+
+  /// Least-loaded automatic placement over non-dedicated instances (load =
+  /// number of chains currently assigned).
+  std::string auto_assign_chain(dpi::ChainId chain);
+
+  // --- deployment groups (§4.3) ---------------------------------------------
+  // "A common deployment choice is to group together similar policy chains
+  //  and to deploy instances that support only one group and not all the
+  //  policy chains in the system."
+
+  /// Defines (or redefines) a deployment group over existing chains.
+  /// Instances created with InstanceConfig::group == `name` receive an
+  /// engine restricted to these chains' middleboxes and patterns.
+  void define_group(const std::string& name,
+                    std::vector<dpi::ChainId> chains);
+
+  const std::map<std::string, std::vector<dpi::ChainId>>& groups()
+      const noexcept {
+    return groups_;
+  }
+
+  std::optional<std::string> instance_for_chain(dpi::ChainId chain) const;
+
+  const std::map<dpi::ChainId, std::string>& assignments() const noexcept {
+    return assignments_;
+  }
+
+  // --- MCA² (§4.3.1) ---------------------------------------------------------------
+
+  /// Snapshots every instance's telemetry into the stress monitor and
+  /// resets the instance counters (one monitoring window).
+  void collect_telemetry();
+
+  StressMonitor& stress_monitor() noexcept { return monitor_; }
+
+  /// Builds a plan diverting heavy chains on stressed instances to the
+  /// least-loaded dedicated instance. Empty if nothing is stressed or no
+  /// dedicated instance exists.
+  MitigationPlan evaluate_mitigation();
+
+  /// Applies a plan: reassigns the chains. Returns the number of chains
+  /// moved. (The caller propagates the change to its TSA so the data plane
+  /// follows; see netsim examples.)
+  std::size_t apply_mitigation(const MitigationPlan& plan);
+
+  /// Moves one flow's scan state between instances (§4.3 flow migration).
+  bool migrate_flow(const net::FiveTuple& flow, const std::string& from,
+                    const std::string& to);
+
+ private:
+  void compile_and_push();
+  std::shared_ptr<const dpi::Engine> engine_for(const std::string& group,
+                                                bool compressed);
+  dpi::EngineSpec group_spec(const dpi::EngineSpec& full,
+                             const std::string& group) const;
+  std::shared_ptr<DpiInstance> least_loaded(bool dedicated) const;
+  std::size_t chains_assigned_to(const std::string& name) const;
+
+  dpi::PatternDb db_;
+  std::uint64_t compiled_version_ = 0;
+  /// Compiled engines keyed by (group, compressed); "" = all chains.
+  std::map<std::pair<std::string, bool>, std::shared_ptr<const dpi::Engine>>
+      engine_cache_;
+  dpi::EngineSpec cached_spec_;
+  std::map<std::string, std::vector<dpi::ChainId>> groups_;
+
+  std::map<dpi::ChainId, std::vector<dpi::MiddleboxId>> chains_;
+  dpi::ChainId next_chain_id_ = 1;
+
+  std::map<std::string, std::shared_ptr<DpiInstance>> instances_;
+  std::map<dpi::ChainId, std::string> assignments_;
+
+  StressMonitor monitor_;
+};
+
+}  // namespace dpisvc::service

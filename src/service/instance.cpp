@@ -1,0 +1,194 @@
+#include "service/instance.hpp"
+
+#include "common/logging.hpp"
+#include "compress/inflate.hpp"
+
+namespace dpisvc::service {
+
+DpiInstance::DpiInstance(std::string name, InstanceConfig config)
+    : name_(std::move(name)),
+      config_(config),
+      flows_(config.max_flows) {}
+
+void DpiInstance::load_engine(std::shared_ptr<const dpi::Engine> engine,
+                              std::uint64_t version) {
+  engine_ = std::move(engine);
+  engine_version_ = version;
+  // DFA state identifiers are meaningful only within one compiled engine;
+  // carrying cursors across a recompile would resume at arbitrary states.
+  flows_.clear();
+  log(LogLevel::kInfo, name_, "loaded engine v", version, " (",
+      engine_ ? engine_->num_automaton_states() : 0, " states)");
+}
+
+dpi::ScanResult DpiInstance::scan(dpi::ChainId chain,
+                                  const net::FiveTuple& flow,
+                                  BytesView payload) {
+  if (engine_ == nullptr) {
+    throw std::logic_error("DpiInstance::scan: no engine loaded");
+  }
+  Stopwatch watch;
+  dpi::FlowCursor cursor;
+  const bool stateful = engine_->chain_stateful(chain);
+  if (stateful) {
+    cursor = flows_.lookup(flow);
+  }
+  dpi::ScanResult result = engine_->scan_packet(chain, payload, cursor);
+  if (stateful) {
+    flows_.update(flow, result.cursor);
+  }
+  telemetry_.busy_seconds += watch.elapsed_seconds();
+  ++telemetry_.packets;
+  telemetry_.bytes += payload.size();
+  telemetry_.raw_hits += result.raw_hits;
+  ChainTelemetry& per_chain = chain_telemetry_[chain];
+  ++per_chain.packets;
+  per_chain.bytes += payload.size();
+  per_chain.raw_hits += result.raw_hits;
+  if (result.has_matches()) {
+    ++telemetry_.match_packets;
+  }
+  return result;
+}
+
+net::MatchReport DpiInstance::build_report(dpi::ChainId chain,
+                                           std::uint64_t packet_ref,
+                                           const dpi::ScanResult& scan) const {
+  net::MatchReport report;
+  report.policy_chain_id = chain;
+  report.packet_ref = packet_ref;
+  for (const dpi::MiddleboxMatches& m : scan.matches) {
+    if (m.entries.empty()) continue;
+    net::MiddleboxSection section;
+    section.middlebox_id = m.middlebox;
+    section.entries = m.entries;
+    report.sections.push_back(std::move(section));
+  }
+  return report;
+}
+
+/// Decompress-once preprocessing (§1): returns the inflated payload when
+/// the packet carries a gzip or zlib body and decompression is enabled;
+/// otherwise std::nullopt (scan the raw bytes).
+std::optional<Bytes> DpiInstance::maybe_decompress(BytesView payload) {
+  if (!config_.decompress_payloads) return std::nullopt;
+  compress::InflateLimits limits;
+  limits.max_output = config_.max_decompressed;
+  try {
+    if (compress::looks_like_gzip(payload)) {
+      return compress::gzip_decompress(payload, limits);
+    }
+    if (compress::looks_like_zlib(payload)) {
+      return compress::zlib_decompress(payload, limits);
+    }
+  } catch (const compress::InflateError&) {
+    // Not actually compressed (or corrupt / a bomb): scan the raw bytes.
+  }
+  return std::nullopt;
+}
+
+ProcessOutput DpiInstance::process(net::Packet packet) {
+  ProcessOutput out;
+  const auto tag = packet.find_tag(net::TagKind::kPolicyChain);
+  if (!tag || engine_ == nullptr ||
+      !engine_->chain_known(static_cast<dpi::ChainId>(*tag))) {
+    // Not ours to inspect: forward unchanged.
+    ++telemetry_.pass_through;
+    out.data = std::move(packet);
+    return out;
+  }
+  const auto chain = static_cast<dpi::ChainId>(*tag);
+
+  // Stream reassembly (§7): scan in-order stream chunks, not raw segments.
+  std::optional<Bytes> chunk_storage;
+  if (config_.reassemble_tcp && packet.tuple.proto == net::IpProto::kTcp) {
+    auto chunk = reassembler_.feed(packet);
+    if (!chunk) {
+      // Out-of-order segment: nothing contiguous yet. Forward the packet
+      // (middleboxes see it; results for its bytes come with the packet
+      // that completes the gap).
+      ++telemetry_.reassembly_held;
+      out.data = std::move(packet);
+      return out;
+    }
+    chunk_storage = std::move(chunk->data);
+  }
+  const BytesView stream_bytes =
+      chunk_storage ? BytesView(*chunk_storage) : BytesView(packet.payload);
+
+  // Decompress once for all middleboxes on the chain (§1).
+  BytesView scan_bytes = stream_bytes;
+  std::optional<Bytes> inflated = maybe_decompress(stream_bytes);
+  if (inflated) {
+    ++telemetry_.decompressed_packets;
+    telemetry_.decompressed_bytes += inflated->size();
+    scan_bytes = *inflated;
+  }
+  const dpi::ScanResult scanned = scan(chain, packet.tuple, scan_bytes);
+
+  const bool result_only = config_.result_mode == ResultMode::kResultOnly &&
+                           engine_->chain_read_only(chain);
+  if (result_only) {
+    // §4.2 option 3: the data packet bypasses the (read-only) middleboxes;
+    // pop the steering tag so the switch sends it straight to the egress.
+    packet.pop_tag(net::TagKind::kPolicyChain);
+  }
+
+  if (!scanned.has_matches()) {
+    // §4.2: "a packet with no matches is always forwarded as is".
+    out.data = std::move(packet);
+    return out;
+  }
+
+  out.had_matches = true;
+  const std::uint64_t packet_ref =
+      packet.tuple.hash() ^ (static_cast<std::uint64_t>(packet.ip_id) << 48);
+  // Keep in sync with service::packet_ref_of (instance_node.hpp).
+  const net::MatchReport report = build_report(chain, packet_ref, scanned);
+  const Bytes encoded = net::encode_report(report, config_.codec);
+  telemetry_.result_bytes += encoded.size();
+
+  packet.set_match_mark(true);  // §6.1: ECN marks "has matches"
+  if (config_.result_mode == ResultMode::kServiceHeader && !result_only) {
+    net::ServiceHeader sh;
+    sh.service_path_id = chain;
+    sh.service_index = 0;
+    sh.metadata = encoded;
+    packet.service_header = std::move(sh);
+    out.data = std::move(packet);
+    return out;
+  }
+
+  // Dedicated result packet follows the data packet through the chain (or,
+  // in result-only mode, travels the chain alone): it copies the flow tuple
+  // and steering tags and is marked by the reserved service-path id.
+  net::Packet result;
+  result.src_mac = packet.src_mac;
+  result.dst_mac = packet.dst_mac;
+  result.tags = packet.tags;
+  if (result_only) {
+    result.push_tag(net::TagKind::kPolicyChain, chain);  // data's tag popped
+  }
+  result.tuple = packet.tuple;
+  result.ip_id = packet.ip_id;
+  net::ServiceHeader sh;
+  sh.service_path_id = kResultServicePathId;
+  sh.service_index = 0;
+  sh.metadata = encoded;
+  result.service_header = std::move(sh);
+
+  out.data = std::move(packet);
+  out.result = std::move(result);
+  return out;
+}
+
+dpi::FlowCursor DpiInstance::export_flow(const net::FiveTuple& flow) {
+  return flows_.extract(flow);
+}
+
+void DpiInstance::import_flow(const net::FiveTuple& flow,
+                              const dpi::FlowCursor& cursor) {
+  flows_.update(flow, cursor);
+}
+
+}  // namespace dpisvc::service

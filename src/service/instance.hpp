@@ -1,0 +1,188 @@
+// DPI service instance (§5, §6.1).
+//
+// An instance holds a compiled dpi::Engine (swapped atomically when the
+// controller pushes a new pattern-set version), a flow table for stateful
+// chains, and the result-emission logic of §4.2:
+//
+//  - ResultMode::kServiceHeader — match results are attached to the data
+//    packet as an NSH-like layer in front of the payload (§4.2, option 1);
+//  - ResultMode::kDedicatedPacket — results travel in a separate packet
+//    emitted right after the data packet, which is what the paper's
+//    prototype does ("we decided to send match information ... as a
+//    separate packet since POX only implements OpenFlow 1.0");
+//  - in both modes the data packet's ECN bit marks "has matches" (§6.1),
+//    and "a packet with no matches is always forwarded as is without any
+//    modification" (§4.2).
+//
+// The instance also exports the telemetry MCA² needs (§4.3.1) and supports
+// per-flow state export/import for flow migration (§4.3).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/timer.hpp"
+#include "dpi/engine.hpp"
+#include "dpi/flow_table.hpp"
+#include "net/packet.hpp"
+#include "net/reassembly.hpp"
+#include "net/result.hpp"
+
+namespace dpisvc::service {
+
+/// service_path_id value marking a dedicated result packet; middleboxes use
+/// it to distinguish results from data.
+inline constexpr std::uint32_t kResultServicePathId = 0xD715ECFE;
+
+enum class ResultMode {
+  kServiceHeader,
+  kDedicatedPacket,
+  /// §4.2 option 3 ("Big Tap"-style): for chains whose middleboxes are all
+  /// read-only, the data packet skips the middlebox path entirely (its
+  /// steering tag is popped so it heads straight to the egress) and only
+  /// the result packet — produced only when there are matches — follows
+  /// the chain to the middleboxes. "As most packets do not contain matches
+  /// at all, this option may dramatically reduce traffic load over the
+  /// middlebox service chain." Chains with non-read-only members fall back
+  /// to dedicated result packets.
+  kResultOnly,
+};
+
+struct InstanceConfig {
+  ResultMode result_mode = ResultMode::kDedicatedPacket;
+  net::ReportCodec codec = net::ReportCodec::kUniform6;
+  /// Dedicated MCA² instance: tuned for heavy/adversarial traffic (the
+  /// controller compiles its engine with the compressed automaton).
+  bool dedicated = false;
+  /// Decompress-once (§1): gzip/zlib payloads are inflated before the scan
+  /// so the heavy decompression runs a single time for all middleboxes on
+  /// the chain, instead of once per middlebox. Packets that fail to
+  /// decompress are scanned in their raw form.
+  bool decompress_payloads = false;
+  /// Bound on per-packet decompressed size (bomb protection).
+  std::size_t max_decompressed = 1 << 20;
+  /// TCP stream reassembly before scanning (§7's "session reconstruction"):
+  /// out-of-order segments are buffered and the scan consumes in-order
+  /// stream chunks, closing the segmentation-evasion hole. Only affects TCP
+  /// packets on known chains.
+  bool reassemble_tcp = false;
+  /// Deployment group this instance serves (§4.3: "deploy instances that
+  /// support only one group and not all the policy chains in the system");
+  /// empty = all chains. The controller compiles group-restricted engines.
+  std::string group;
+  std::size_t max_flows = 1 << 20;
+};
+
+/// Counters exported to the DPI controller as stress telemetry (§4.3.1).
+struct InstanceTelemetry {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t raw_hits = 0;        ///< accepting-state hits during scans
+  std::uint64_t match_packets = 0;   ///< packets with at least one match
+  std::uint64_t result_bytes = 0;    ///< encoded report bytes emitted
+  std::uint64_t pass_through = 0;    ///< packets with no/unknown chain tag
+  std::uint64_t decompressed_packets = 0;  ///< payloads inflated before scan
+  std::uint64_t decompressed_bytes = 0;    ///< bytes produced by inflation
+  std::uint64_t reassembly_held = 0;       ///< packets that released no chunk
+  double busy_seconds = 0;
+
+  /// The MCA² heavy-traffic signal: accepting-state hits per scanned byte.
+  double hits_per_byte() const noexcept {
+    return bytes == 0 ? 0.0
+                      : static_cast<double>(raw_hits) /
+                            static_cast<double>(bytes);
+  }
+};
+
+/// Per-policy-chain counters; the controller uses these to decide *which*
+/// traffic to migrate to dedicated instances under attack (§4.3.1).
+struct ChainTelemetry {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t raw_hits = 0;
+
+  double hits_per_byte() const noexcept {
+    return bytes == 0 ? 0.0
+                      : static_cast<double>(raw_hits) /
+                            static_cast<double>(bytes);
+  }
+};
+
+struct ProcessOutput {
+  net::Packet data;
+  /// Dedicated result packet (kDedicatedPacket mode, only when matched).
+  std::optional<net::Packet> result;
+  bool had_matches = false;
+};
+
+class DpiInstance {
+ public:
+  explicit DpiInstance(std::string name, InstanceConfig config = {});
+
+  const std::string& instance_name() const noexcept { return name_; }
+  const InstanceConfig& config() const noexcept { return config_; }
+
+  /// Installs a compiled engine (controller push). The flow table is
+  /// cleared: DFA state ids are only meaningful within one compiled engine,
+  /// so stored cursors cannot survive a recompile; affected stateful flows
+  /// restart scanning from the root at their next packet.
+  void load_engine(std::shared_ptr<const dpi::Engine> engine,
+                   std::uint64_t version);
+
+  std::uint64_t engine_version() const noexcept { return engine_version_; }
+  bool has_engine() const noexcept { return engine_ != nullptr; }
+  const dpi::Engine* engine() const noexcept { return engine_.get(); }
+
+  /// Full data-plane processing of one packet: resolves the policy-chain
+  /// tag, scans, annotates/marks, and produces result output per the
+  /// configured mode. Packets without a known chain tag pass through
+  /// untouched.
+  ProcessOutput process(net::Packet packet);
+
+  /// Scan-only fast path used by throughput benches: no packet object
+  /// overhead, still updates telemetry and flow state.
+  dpi::ScanResult scan(dpi::ChainId chain, const net::FiveTuple& flow,
+                       BytesView payload);
+
+  const InstanceTelemetry& telemetry() const noexcept { return telemetry_; }
+  const std::map<dpi::ChainId, ChainTelemetry>& chain_telemetry()
+      const noexcept {
+    return chain_telemetry_;
+  }
+  void reset_telemetry() noexcept {
+    telemetry_ = InstanceTelemetry{};
+    chain_telemetry_.clear();
+  }
+
+  std::size_t active_flows() const noexcept { return flows_.size(); }
+
+  // --- flow migration (§4.3) ----------------------------------------------
+
+  /// Removes and returns the flow's scan state for hand-off to another
+  /// instance. Invalid cursor if the flow is unknown.
+  dpi::FlowCursor export_flow(const net::FiveTuple& flow);
+
+  /// Installs migrated flow state (engine versions must match between the
+  /// source and target instance for the DFA state to be meaningful; the
+  /// controller guarantees this by syncing instances first).
+  void import_flow(const net::FiveTuple& flow, const dpi::FlowCursor& cursor);
+
+ private:
+  net::MatchReport build_report(dpi::ChainId chain, std::uint64_t packet_ref,
+                                const dpi::ScanResult& scan) const;
+  std::optional<Bytes> maybe_decompress(BytesView payload);
+
+  std::string name_;
+  InstanceConfig config_;
+  std::shared_ptr<const dpi::Engine> engine_;
+  std::uint64_t engine_version_ = 0;
+  dpi::FlowTable flows_;
+  net::FlowReassembler reassembler_;
+  InstanceTelemetry telemetry_;
+  std::map<dpi::ChainId, ChainTelemetry> chain_telemetry_;
+};
+
+}  // namespace dpisvc::service

@@ -1,0 +1,41 @@
+// Fabric adapter: exposes a DpiInstance as a node in the simulated SDN
+// network. The switch steers tagged packets to the instance; the instance
+// scans and sends the (possibly annotated) data packet — and, in dedicated-
+// result-packet mode, the result packet right behind it — back to the
+// switch, which forwards both down the rest of the policy chain.
+#pragma once
+
+#include <memory>
+
+#include "netsim/fabric.hpp"
+#include "service/instance.hpp"
+
+namespace dpisvc::service {
+
+/// Correlation key tying a dedicated result packet to its data packet.
+inline std::uint64_t packet_ref_of(const net::Packet& packet) noexcept {
+  return packet.tuple.hash() ^
+         (static_cast<std::uint64_t>(packet.ip_id) << 48);
+}
+
+class InstanceNode : public netsim::Node {
+ public:
+  InstanceNode(netsim::Fabric& fabric, netsim::NodeId name,
+               std::shared_ptr<DpiInstance> instance)
+      : Node(fabric, std::move(name)), instance_(std::move(instance)) {}
+
+  void receive(net::Packet packet, const netsim::NodeId& from) override {
+    ProcessOutput out = instance_->process(std::move(packet));
+    emit(from, std::move(out.data));
+    if (out.result) {
+      emit(from, std::move(*out.result));
+    }
+  }
+
+  DpiInstance& instance() noexcept { return *instance_; }
+
+ private:
+  std::shared_ptr<DpiInstance> instance_;
+};
+
+}  // namespace dpisvc::service

@@ -1,0 +1,45 @@
+#include "service/mca2.hpp"
+
+namespace dpisvc::service {
+
+StressMonitor::StressMonitor(StressConfig config) : config_(config) {}
+
+void StressMonitor::report(const std::string& instance,
+                           const InstanceTelemetry& window) {
+  auto& history = history_[instance];
+  history.push_back(Window{window.bytes, window.raw_hits});
+  while (history.size() > config_.smoothing_windows) {
+    history.pop_front();
+  }
+}
+
+double StressMonitor::smoothed_signal(const std::string& instance) const {
+  auto it = history_.find(instance);
+  if (it == history_.end()) return 0.0;
+  std::uint64_t bytes = 0;
+  std::uint64_t hits = 0;
+  for (const Window& w : it->second) {
+    bytes += w.bytes;
+    hits += w.hits;
+  }
+  if (bytes < config_.min_window_bytes) return 0.0;
+  return static_cast<double>(hits) / static_cast<double>(bytes);
+}
+
+bool StressMonitor::is_stressed(const std::string& instance) const {
+  return smoothed_signal(instance) > config_.hits_per_byte_threshold;
+}
+
+std::vector<std::string> StressMonitor::stressed_instances() const {
+  std::vector<std::string> out;
+  for (const auto& [name, history] : history_) {
+    if (is_stressed(name)) out.push_back(name);
+  }
+  return out;
+}
+
+void StressMonitor::forget(const std::string& instance) {
+  history_.erase(instance);
+}
+
+}  // namespace dpisvc::service

@@ -1,0 +1,184 @@
+#include "service/messages.hpp"
+
+#include <stdexcept>
+
+#include "common/bytes.hpp"
+
+namespace dpisvc::service {
+
+namespace {
+
+json::Value stop_offset_field(std::uint32_t stop) {
+  if (stop == dpi::kNoStopCondition) return json::Value(nullptr);
+  return json::Value(static_cast<std::int64_t>(stop));
+}
+
+std::uint32_t parse_stop_offset(const json::Value& field) {
+  if (field.is_null()) return dpi::kNoStopCondition;
+  const std::int64_t v = field.as_int();
+  if (v < 0 || v > static_cast<std::int64_t>(UINT32_MAX)) {
+    throw std::invalid_argument("stop_offset out of range");
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
+dpi::MiddleboxId parse_middlebox_id(const json::Value& field) {
+  const std::int64_t v = field.as_int();
+  if (v < 1 || v > static_cast<std::int64_t>(dpi::kMaxMiddleboxes)) {
+    throw std::invalid_argument("middlebox_id out of range");
+  }
+  return static_cast<dpi::MiddleboxId>(v);
+}
+
+dpi::PatternId parse_rule_id(const json::Value& field) {
+  const std::int64_t v = field.as_int();
+  if (v < 0 || v > 0xFFFF) {
+    throw std::invalid_argument("rule id out of range");
+  }
+  return static_cast<dpi::PatternId>(v);
+}
+
+}  // namespace
+
+json::Value encode(const RegisterRequest& request) {
+  json::Object msg = json::obj({
+      {"type", "register"},
+      {"middlebox_id", static_cast<std::int64_t>(request.profile.id)},
+      {"name", request.profile.name},
+      {"stateful", request.profile.stateful},
+      {"read_only", request.profile.read_only},
+      {"stop_offset", stop_offset_field(request.profile.stop_offset)},
+  });
+  if (request.inherit_from) {
+    msg["inherit_from"] = static_cast<std::int64_t>(*request.inherit_from);
+  }
+  return json::Value(std::move(msg));
+}
+
+json::Value encode(const AddPatternsRequest& request) {
+  json::Array exact;
+  for (const auto& p : request.exact) {
+    exact.push_back(json::Value(json::obj({
+        {"rule", static_cast<std::int64_t>(p.rule)},
+        {"hex", to_hex(to_bytes(p.bytes))},
+    })));
+  }
+  json::Array regex;
+  for (const auto& p : request.regex) {
+    regex.push_back(json::Value(json::obj({
+        {"rule", static_cast<std::int64_t>(p.rule)},
+        {"expr", p.expression},
+        {"ci", p.case_insensitive},
+    })));
+  }
+  return json::Value(json::obj({
+      {"type", "add_patterns"},
+      {"middlebox_id", static_cast<std::int64_t>(request.middlebox)},
+      {"exact", std::move(exact)},
+      {"regex", std::move(regex)},
+  }));
+}
+
+json::Value encode(const RemovePatternsRequest& request) {
+  json::Array rules;
+  for (dpi::PatternId rule : request.rules) {
+    rules.push_back(json::Value(static_cast<std::int64_t>(rule)));
+  }
+  return json::Value(json::obj({
+      {"type", "remove_patterns"},
+      {"middlebox_id", static_cast<std::int64_t>(request.middlebox)},
+      {"rules", std::move(rules)},
+  }));
+}
+
+json::Value encode(const UnregisterRequest& request) {
+  return json::Value(json::obj({
+      {"type", "unregister"},
+      {"middlebox_id", static_cast<std::int64_t>(request.middlebox)},
+  }));
+}
+
+json::Value ok_response() {
+  return json::Value(json::obj({{"ok", true}}));
+}
+
+json::Value error_response(const std::string& message) {
+  return json::Value(json::obj({{"ok", false}, {"error", message}}));
+}
+
+std::string message_type(const json::Value& message) {
+  return message.at("type").as_string();
+}
+
+RegisterRequest decode_register(const json::Value& message) {
+  if (message_type(message) != "register") {
+    throw std::invalid_argument("not a register message");
+  }
+  RegisterRequest out;
+  out.profile.id = parse_middlebox_id(message.at("middlebox_id"));
+  out.profile.name = message.at("name").as_string();
+  out.profile.stateful =
+      message.get_or("stateful", json::Value(false)).as_bool();
+  out.profile.read_only =
+      message.get_or("read_only", json::Value(false)).as_bool();
+  out.profile.stop_offset =
+      parse_stop_offset(message.get_or("stop_offset", json::Value(nullptr)));
+  const json::Value& inherit =
+      message.get_or("inherit_from", json::Value(nullptr));
+  if (!inherit.is_null()) {
+    out.inherit_from = parse_middlebox_id(inherit);
+  }
+  return out;
+}
+
+AddPatternsRequest decode_add_patterns(const json::Value& message) {
+  if (message_type(message) != "add_patterns") {
+    throw std::invalid_argument("not an add_patterns message");
+  }
+  AddPatternsRequest out;
+  out.middlebox = parse_middlebox_id(message.at("middlebox_id"));
+  for (const json::Value& entry :
+       message.get_or("exact", json::Value(json::Array{})).as_array()) {
+    ExactPatternMsg p;
+    p.rule = parse_rule_id(entry.at("rule"));
+    const Bytes raw = from_hex(entry.at("hex").as_string());
+    p.bytes.assign(raw.begin(), raw.end());
+    out.exact.push_back(std::move(p));
+  }
+  for (const json::Value& entry :
+       message.get_or("regex", json::Value(json::Array{})).as_array()) {
+    RegexPatternMsg p;
+    p.rule = parse_rule_id(entry.at("rule"));
+    p.expression = entry.at("expr").as_string();
+    p.case_insensitive = entry.get_or("ci", json::Value(false)).as_bool();
+    out.regex.push_back(std::move(p));
+  }
+  return out;
+}
+
+RemovePatternsRequest decode_remove_patterns(const json::Value& message) {
+  if (message_type(message) != "remove_patterns") {
+    throw std::invalid_argument("not a remove_patterns message");
+  }
+  RemovePatternsRequest out;
+  out.middlebox = parse_middlebox_id(message.at("middlebox_id"));
+  for (const json::Value& rule : message.at("rules").as_array()) {
+    out.rules.push_back(parse_rule_id(rule));
+  }
+  return out;
+}
+
+UnregisterRequest decode_unregister(const json::Value& message) {
+  if (message_type(message) != "unregister") {
+    throw std::invalid_argument("not an unregister message");
+  }
+  UnregisterRequest out;
+  out.middlebox = parse_middlebox_id(message.at("middlebox_id"));
+  return out;
+}
+
+bool response_ok(const json::Value& response) {
+  return response.at("ok").as_bool();
+}
+
+}  // namespace dpisvc::service

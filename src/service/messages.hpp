@@ -1,0 +1,87 @@
+// JSON control-plane protocol between middleboxes and the DPI controller.
+//
+// §4.1: "Communication between the DPI Controller and middleboxes is
+// performed using JSON messages sent over a direct (possibly secure)
+// communication channel." This header defines the message vocabulary:
+//
+//   request: {"type":"register","middlebox_id":3,"name":"ids",
+//             "stateful":true,"read_only":true,"stop_offset":null,
+//             "inherit_from":null}
+//   request: {"type":"add_patterns","middlebox_id":3,
+//             "exact":[{"rule":1,"hex":"6576696c"}],
+//             "regex":[{"rule":2,"expr":"evil\\d+","ci":false}]}
+//   request: {"type":"remove_patterns","middlebox_id":3,"rules":[1,2]}
+//   request: {"type":"unregister","middlebox_id":3}
+//   response: {"ok":true} or {"ok":false,"error":"..."}
+//
+// Exact pattern bytes travel hex-encoded so arbitrary binary signatures
+// survive JSON transport.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dpi/types.hpp"
+#include "json/json.hpp"
+
+namespace dpisvc::service {
+
+struct RegisterRequest {
+  dpi::MiddleboxProfile profile;
+  /// §4.1: "A middlebox may inherit the pattern set of an already
+  /// registered middlebox."
+  std::optional<dpi::MiddleboxId> inherit_from;
+};
+
+struct ExactPatternMsg {
+  dpi::PatternId rule = 0;
+  std::string bytes;  // raw bytes (hex on the wire)
+};
+
+struct RegexPatternMsg {
+  dpi::PatternId rule = 0;
+  std::string expression;
+  bool case_insensitive = false;
+};
+
+struct AddPatternsRequest {
+  dpi::MiddleboxId middlebox = 0;
+  std::vector<ExactPatternMsg> exact;
+  std::vector<RegexPatternMsg> regex;
+};
+
+struct RemovePatternsRequest {
+  dpi::MiddleboxId middlebox = 0;
+  std::vector<dpi::PatternId> rules;
+};
+
+struct UnregisterRequest {
+  dpi::MiddleboxId middlebox = 0;
+};
+
+// --- encoding ---------------------------------------------------------------
+
+json::Value encode(const RegisterRequest& request);
+json::Value encode(const AddPatternsRequest& request);
+json::Value encode(const RemovePatternsRequest& request);
+json::Value encode(const UnregisterRequest& request);
+
+json::Value ok_response();
+json::Value error_response(const std::string& message);
+
+// --- decoding ---------------------------------------------------------------
+
+/// Message type dispatch; throws json::TypeError / std::invalid_argument on
+/// malformed messages.
+std::string message_type(const json::Value& message);
+
+RegisterRequest decode_register(const json::Value& message);
+AddPatternsRequest decode_add_patterns(const json::Value& message);
+RemovePatternsRequest decode_remove_patterns(const json::Value& message);
+UnregisterRequest decode_unregister(const json::Value& message);
+
+bool response_ok(const json::Value& response);
+
+}  // namespace dpisvc::service

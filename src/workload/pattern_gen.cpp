@@ -1,0 +1,170 @@
+#include "workload/pattern_gen.hpp"
+
+#include <set>
+#include <stdexcept>
+
+namespace dpisvc::workload {
+
+namespace {
+
+// Word fragments seen in protocol headers and exploit strings; used to make
+// Snort-like patterns look like real rule content rather than noise.
+const char* const kFragments[] = {
+    "GET ",    "POST ",  "HTTP/1.", "Host: ",  "User-Agent",
+    "cmd.exe", "/bin/sh", "passwd",  "admin",   "login",
+    "script",  "eval(",   "base64",  "shell",   "exploit",
+    "overflow", "payload", "download", "update",  "config",
+    "select ", "union ",  "insert ", "drop ",   "0x90",
+    "\\x90\\x90", "svchost", "kernel32", "winexec", "registry",
+};
+
+char random_printable(Rng& rng) {
+  // Letters and digits dominate; occasional punctuation.
+  const std::uint64_t roll = rng.uniform(0, 99);
+  if (roll < 55) return static_cast<char>('a' + rng.index(26));
+  if (roll < 70) return static_cast<char>('A' + rng.index(26));
+  if (roll < 85) return static_cast<char>('0' + rng.index(10));
+  const char punct[] = "/.-_=&%?:;()[]{}<>!";
+  return punct[rng.index(sizeof(punct) - 1)];
+}
+
+std::string random_pattern_body(Rng& rng, std::size_t length,
+                                bool printable, double fragment_probability) {
+  std::string out;
+  out.reserve(length);
+  if (printable) {
+    while (out.size() < length) {
+      if (rng.bernoulli(fragment_probability)) {
+        out += kFragments[rng.index(std::size(kFragments))];
+      } else {
+        out.push_back(random_printable(rng));
+      }
+    }
+    out.resize(length);
+  } else {
+    for (std::size_t i = 0; i < length; ++i) {
+      out.push_back(static_cast<char>(rng.uniform(0, 255)));
+    }
+  }
+  return out;
+}
+
+std::size_t random_length(Rng& rng, const PatternSetConfig& config) {
+  // Geometric-ish tail: most patterns near the minimum, few long ones,
+  // matching the shape of real signature length histograms.
+  std::size_t length = config.min_length;
+  while (length < config.max_length && rng.bernoulli(0.75)) {
+    length += 1 + rng.index(4);
+  }
+  return std::min(length, config.max_length);
+}
+
+}  // namespace
+
+std::vector<std::string> generate_patterns(const PatternSetConfig& config) {
+  if (config.min_length == 0 || config.min_length > config.max_length) {
+    throw std::invalid_argument("generate_patterns: bad length bounds");
+  }
+  Rng rng(config.seed);
+  std::set<std::string> seen;
+  std::vector<std::string> out;
+  out.reserve(config.count);
+  while (out.size() < config.count) {
+    std::string pattern;
+    if (!out.empty() && rng.bernoulli(config.shared_prefix_probability)) {
+      // Extend a stem of an existing pattern (rule-family structure).
+      const std::string& base = out[rng.index(out.size())];
+      const std::size_t stem =
+          std::min(base.size(), config.min_length / 2 + rng.index(base.size()));
+      pattern = base.substr(0, stem);
+    }
+    const std::size_t target =
+        std::max(random_length(rng, config), pattern.size() + 1);
+    pattern += random_pattern_body(rng, target - pattern.size(),
+                                   config.printable,
+                                   config.fragment_probability);
+    if (pattern.size() < config.min_length) {
+      pattern += random_pattern_body(rng, config.min_length - pattern.size(),
+                                     config.printable,
+                                     config.fragment_probability);
+    }
+    if (seen.insert(pattern).second) {
+      out.push_back(std::move(pattern));
+    }
+  }
+  return out;
+}
+
+PatternSetConfig snort_like(std::size_t count, std::uint64_t seed) {
+  PatternSetConfig config;
+  config.count = count;
+  config.min_length = 8;
+  config.max_length = 64;
+  config.printable = true;
+  config.shared_prefix_probability = 0.25;
+  config.seed = seed;
+  return config;
+}
+
+PatternSetConfig clamav_like(std::size_t count, std::uint64_t seed) {
+  PatternSetConfig config;
+  config.count = count;
+  config.min_length = 8;
+  config.max_length = 40;
+  config.printable = false;
+  config.shared_prefix_probability = 0.1;
+  config.seed = seed;
+  return config;
+}
+
+std::vector<std::vector<std::string>> split_random(
+    const std::vector<std::string>& patterns, std::size_t parts,
+    std::uint64_t seed) {
+  if (parts == 0) {
+    throw std::invalid_argument("split_random: parts must be positive");
+  }
+  Rng rng(seed);
+  std::vector<std::vector<std::string>> out(parts);
+  std::vector<std::string> shuffled = patterns;
+  rng.shuffle(shuffled);
+  for (std::size_t i = 0; i < shuffled.size(); ++i) {
+    out[i % parts].push_back(std::move(shuffled[i]));
+  }
+  return out;
+}
+
+std::vector<std::string> generate_regex_rules(std::size_t count,
+                                              std::uint64_t seed) {
+  Rng rng(seed);
+  const char* const glue[] = {R"(\s*)", R"(\d+)", R"(\s+\w+\s+)", R"([a-z]*)",
+                              R"(.{0,8})"};
+  std::set<std::string> seen;
+  std::vector<std::string> out;
+  out.reserve(count);
+  PatternSetConfig anchors_config;
+  anchors_config.printable = true;
+  anchors_config.min_length = 8;
+  anchors_config.max_length = 20;
+  while (out.size() < count) {
+    std::string rule;
+    const std::size_t pieces = 1 + rng.index(3);
+    for (std::size_t i = 0; i < pieces; ++i) {
+      if (i > 0) {
+        rule += glue[rng.index(std::size(glue))];
+      }
+      const std::size_t len = 8 + rng.index(12);
+      // Anchor text must be escape-free: letters and digits only.
+      for (std::size_t j = 0; j < len; ++j) {
+        const std::uint64_t roll = rng.uniform(0, 35);
+        rule.push_back(roll < 26 ? static_cast<char>('a' + roll)
+                                 : static_cast<char>('0' + (roll - 26)));
+      }
+    }
+    if (seen.insert(rule).second) {
+      out.push_back(std::move(rule));
+    }
+  }
+  return out;
+}
+
+}  // namespace dpisvc::workload

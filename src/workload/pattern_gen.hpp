@@ -1,0 +1,65 @@
+// Synthetic pattern-set generators (workload substrate).
+//
+// The paper evaluates with exact-match patterns of length >= 8 taken from
+// Snort (up to 4,356 patterns) and ClamAV (31,827 patterns). Those rule sets
+// are not redistributable here, so we generate synthetic sets that preserve
+// the properties that drive DFA size and scan throughput:
+//   - cardinality (calibrated to the paper's counts),
+//   - minimum length 8 and a long-tailed length distribution,
+//   - alphabet mix: Snort-like sets are mostly printable protocol/exploit
+//     text; ClamAV-like sets are binary signatures (uniform bytes),
+//   - limited shared-prefix structure (some patterns share stems, as real
+//     rule families do).
+// Generators are deterministic in the seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace dpisvc::workload {
+
+struct PatternSetConfig {
+  std::size_t count = 1000;
+  std::size_t min_length = 8;   ///< Paper: "length eight characters or more".
+  std::size_t max_length = 64;
+  /// Probability that a new pattern extends a stem shared with an earlier
+  /// pattern (rule families share prefixes).
+  double shared_prefix_probability = 0.2;
+  /// If true, bytes are drawn from printable ASCII words/digits/punctuation
+  /// (Snort-like); if false, uniform binary (ClamAV-like).
+  bool printable = true;
+  /// Probability that a printable pattern embeds a protocol/exploit word
+  /// fragment (set to 0 for patterns that never occur in benign HTTP-like
+  /// traffic — useful when an experiment needs a controlled match rate).
+  double fragment_probability = 0.35;
+  std::uint64_t seed = 1;
+};
+
+/// Generates `config.count` distinct patterns.
+std::vector<std::string> generate_patterns(const PatternSetConfig& config);
+
+/// Snort-like set: printable exploit/protocol strings, default 4,356 (the
+/// paper's Snort exact-pattern count).
+PatternSetConfig snort_like(std::size_t count = 4356, std::uint64_t seed = 17);
+
+/// ClamAV-like set: binary signatures, default 31,827 (the paper's count).
+PatternSetConfig clamav_like(std::size_t count = 31827,
+                             std::uint64_t seed = 23);
+
+/// Randomly partitions a pattern set into `parts` disjoint subsets (the
+/// paper's Snort1/Snort2 split, §6.4). Every input pattern lands in exactly
+/// one part.
+std::vector<std::vector<std::string>> split_random(
+    const std::vector<std::string>& patterns, std::size_t parts,
+    std::uint64_t seed);
+
+/// Generates regex rules in the style DPI rule sets use: mandatory literal
+/// anchors (>= 8 bytes) separated by character-class glue, e.g.
+/// "User-Agent: evilbot\d+\s*download". Useful for exercising the §5.3 path.
+std::vector<std::string> generate_regex_rules(std::size_t count,
+                                              std::uint64_t seed);
+
+}  // namespace dpisvc::workload

@@ -1,0 +1,161 @@
+#include "workload/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dpisvc::workload {
+
+namespace {
+constexpr std::uint32_t kTraceMagic = 0x44545243;  // "DTRC"
+constexpr std::uint16_t kTraceVersion = 1;
+
+Bytes read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  Bytes data((std::istreambuf_iterator<char>(in)),
+             std::istreambuf_iterator<char>());
+  return data;
+}
+
+void write_file(const std::string& path, BytesView data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("cannot create " + path);
+  }
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  if (!out) {
+    throw std::runtime_error("write failed for " + path);
+  }
+}
+}  // namespace
+
+std::string patterns_to_text(const std::vector<std::string>& patterns) {
+  std::ostringstream out;
+  out << "# dpisvc pattern set: " << patterns.size()
+      << " patterns, hex-encoded, one per line\n";
+  for (const std::string& p : patterns) {
+    out << to_hex(to_bytes(p)) << '\n';
+  }
+  return out.str();
+}
+
+std::vector<std::string> patterns_from_text(std::string_view text) {
+  std::vector<std::string> out;
+  std::size_t line_start = 0;
+  std::size_t line_number = 0;
+  while (line_start <= text.size()) {
+    ++line_number;
+    std::size_t line_end = text.find('\n', line_start);
+    if (line_end == std::string_view::npos) line_end = text.size();
+    std::string_view line = text.substr(line_start, line_end - line_start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    line_start = line_end + 1;
+    if (line.empty() || line.front() == '#') {
+      if (line_end == text.size()) break;
+      continue;
+    }
+    Bytes raw;
+    try {
+      raw = from_hex(line);
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument("pattern file line " +
+                                  std::to_string(line_number) + ": " +
+                                  e.what());
+    }
+    if (raw.empty()) {
+      throw std::invalid_argument("pattern file line " +
+                                  std::to_string(line_number) +
+                                  ": empty pattern");
+    }
+    out.emplace_back(raw.begin(), raw.end());
+    if (line_end == text.size()) break;
+  }
+  return out;
+}
+
+void save_patterns(const std::string& path,
+                   const std::vector<std::string>& patterns) {
+  const std::string text = patterns_to_text(patterns);
+  write_file(path, to_bytes(text));
+}
+
+std::vector<std::string> load_patterns(const std::string& path) {
+  const Bytes data = read_file(path);
+  return patterns_from_text(as_text(data));
+}
+
+Bytes trace_to_bytes(const Trace& trace) {
+  Bytes out;
+  put_be(out, kTraceMagic, 4);
+  put_be(out, kTraceVersion, 2);
+  put_be(out, trace.size(), 4);
+  for (const TracePacket& p : trace) {
+    put_be(out, p.tuple.src_ip.value, 4);
+    put_be(out, p.tuple.dst_ip.value, 4);
+    put_be(out, p.tuple.src_port, 2);
+    put_be(out, p.tuple.dst_port, 2);
+    out.push_back(static_cast<std::uint8_t>(p.tuple.proto));
+    put_be(out, p.payload.size(), 4);
+    out.insert(out.end(), p.payload.begin(), p.payload.end());
+  }
+  return out;
+}
+
+Trace trace_from_bytes(BytesView data) {
+  std::size_t at = 0;
+  auto u = [&](int width) {
+    const std::uint64_t v = get_be(data, at, width);
+    at += static_cast<std::size_t>(width);
+    return v;
+  };
+  if (u(4) != kTraceMagic) {
+    throw std::invalid_argument("trace file: bad magic");
+  }
+  if (u(2) != kTraceVersion) {
+    throw std::invalid_argument("trace file: unsupported version");
+  }
+  const auto count = static_cast<std::size_t>(u(4));
+  // Each packet needs at least 17 header bytes; a larger count than the
+  // remaining input can hold is corruption, not a huge trace (and must not
+  // drive a huge allocation).
+  if (count > (data.size() - at) / 17) {
+    throw std::invalid_argument("trace file: implausible packet count");
+  }
+  Trace trace;
+  trace.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    TracePacket p;
+    p.tuple.src_ip = net::Ipv4Addr(static_cast<std::uint32_t>(u(4)));
+    p.tuple.dst_ip = net::Ipv4Addr(static_cast<std::uint32_t>(u(4)));
+    p.tuple.src_port = static_cast<std::uint16_t>(u(2));
+    p.tuple.dst_port = static_cast<std::uint16_t>(u(2));
+    p.tuple.proto = static_cast<net::IpProto>(u(1));
+    const auto len = static_cast<std::size_t>(u(4));
+    if (at + len > data.size()) {
+      throw std::invalid_argument("trace file: truncated payload");
+    }
+    p.payload.assign(data.begin() + static_cast<std::ptrdiff_t>(at),
+                     data.begin() + static_cast<std::ptrdiff_t>(at + len));
+    at += len;
+    trace.push_back(std::move(p));
+  }
+  if (at != data.size()) {
+    throw std::invalid_argument("trace file: trailing bytes");
+  }
+  return trace;
+}
+
+void save_trace(const std::string& path, const Trace& trace) {
+  write_file(path, trace_to_bytes(trace));
+}
+
+Trace load_trace(const std::string& path) {
+  const Bytes data = read_file(path);
+  return trace_from_bytes(data);
+}
+
+}  // namespace dpisvc::workload

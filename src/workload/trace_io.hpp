@@ -1,0 +1,46 @@
+// On-disk formats for pattern sets and traces, shared by the CLI tool and
+// any external tooling.
+//
+// Pattern file: text, one pattern per line, hex-encoded (binary-safe;
+// ClamAV-style signatures are raw bytes). Lines starting with '#' and blank
+// lines are ignored.
+//
+// Trace file: binary.
+//   magic "DTRC" | u16 version | u32 packet count | per packet:
+//   src_ip u32 | dst_ip u32 | src_port u16 | dst_port u16 | proto u8 |
+//   payload_len u32 | payload bytes
+// All integers big-endian.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "workload/traffic_gen.hpp"
+
+namespace dpisvc::workload {
+
+// --- pattern files ------------------------------------------------------------
+
+/// Serializes patterns to the hex-line text format.
+std::string patterns_to_text(const std::vector<std::string>& patterns);
+
+/// Parses the hex-line format; throws std::invalid_argument on bad lines.
+std::vector<std::string> patterns_from_text(std::string_view text);
+
+/// File helpers (throw std::runtime_error on I/O failure).
+void save_patterns(const std::string& path,
+                   const std::vector<std::string>& patterns);
+std::vector<std::string> load_patterns(const std::string& path);
+
+// --- trace files ----------------------------------------------------------------
+
+Bytes trace_to_bytes(const Trace& trace);
+
+/// Throws std::invalid_argument on malformed input.
+Trace trace_from_bytes(BytesView data);
+
+void save_trace(const std::string& path, const Trace& trace);
+Trace load_trace(const std::string& path);
+
+}  // namespace dpisvc::workload

@@ -1,0 +1,168 @@
+#include "workload/traffic_gen.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dpisvc::workload {
+
+namespace {
+
+const char* const kHttpHeaders[] = {
+    "GET /index.html HTTP/1.1\r\nHost: www.example.com\r\n"
+    "User-Agent: Mozilla/5.0 (X11; Linux x86_64)\r\nAccept: text/html\r\n\r\n",
+    "HTTP/1.1 200 OK\r\nContent-Type: text/html; charset=utf-8\r\n"
+    "Server: nginx/1.4.6\r\nCache-Control: max-age=3600\r\n\r\n",
+    "POST /api/v1/submit HTTP/1.1\r\nHost: api.example.org\r\n"
+    "Content-Type: application/json\r\nContent-Length: 512\r\n\r\n",
+    "HTTP/1.1 304 Not Modified\r\nETag: \"5f2a\"\r\nVary: Accept-Encoding\r\n\r\n",
+};
+
+const char* const kWords[] = {
+    "the",     "of",     "and",     "href",    "div",     "class",
+    "span",    "script", "function", "return",  "var",     "document",
+    "window",  "style",  "width",   "height",  "content", "page",
+    "search",  "image",  "title",   "link",    "value",   "data",
+    "index",   "html",   "body",    "color",   "margin",  "padding",
+};
+
+void append_body_text(Bytes& out, Rng& rng, std::size_t target) {
+  while (out.size() < target) {
+    if (rng.bernoulli(0.12)) {
+      const char* tags[] = {"<div>", "</div>", "<a ", "\">", "<p>", "</p>"};
+      const char* t = tags[rng.index(std::size(tags))];
+      out.insert(out.end(), t, t + std::char_traits<char>::length(t));
+    } else {
+      const char* w = kWords[rng.index(std::size(kWords))];
+      out.insert(out.end(), w, w + std::char_traits<char>::length(w));
+      out.push_back(rng.bernoulli(0.85) ? ' ' : '\n');
+    }
+  }
+  out.resize(target);
+}
+
+net::FiveTuple make_flow(Rng& rng, std::size_t num_flows, std::size_t index) {
+  // Deterministic flow endpoints: flow i maps to a stable 5-tuple.
+  (void)rng;
+  net::FiveTuple t;
+  t.src_ip = net::Ipv4Addr(10, 0, static_cast<std::uint8_t>(index / 250),
+                           static_cast<std::uint8_t>(1 + index % 250));
+  t.dst_ip = net::Ipv4Addr(93, 184, 216, 34);
+  t.src_port = static_cast<std::uint16_t>(20000 + index % num_flows);
+  t.dst_port = 80;
+  t.proto = net::IpProto::kTcp;
+  return t;
+}
+
+void plant_pattern(Bytes& payload, Rng& rng, const std::string& pattern) {
+  if (pattern.empty()) return;
+  if (payload.size() < pattern.size()) {
+    payload.resize(pattern.size());
+  }
+  const std::size_t at = rng.index(payload.size() - pattern.size() + 1);
+  std::copy(pattern.begin(), pattern.end(),
+            payload.begin() + static_cast<std::ptrdiff_t>(at));
+}
+
+Trace generate_with(const TrafficConfig& config,
+                    void (*fill)(Bytes&, Rng&, std::size_t)) {
+  if (config.min_payload == 0 || config.min_payload > config.max_payload) {
+    throw std::invalid_argument("traffic config: bad payload bounds");
+  }
+  if (config.num_flows == 0) {
+    throw std::invalid_argument("traffic config: need at least one flow");
+  }
+  Rng rng(config.seed);
+  Trace trace;
+  trace.reserve(config.num_packets);
+  for (std::size_t i = 0; i < config.num_packets; ++i) {
+    TracePacket pkt;
+    pkt.tuple = make_flow(rng, config.num_flows, i % config.num_flows);
+    const std::size_t size = config.min_payload +
+                             rng.index(config.max_payload -
+                                       config.min_payload + 1);
+    fill(pkt.payload, rng, size);
+    if (!config.planted_patterns.empty() &&
+        rng.bernoulli(config.planted_match_rate)) {
+      plant_pattern(pkt.payload, rng,
+                    config.planted_patterns[rng.index(
+                        config.planted_patterns.size())]);
+    }
+    trace.push_back(std::move(pkt));
+  }
+  return trace;
+}
+
+void fill_http(Bytes& out, Rng& rng, std::size_t target) {
+  const char* header = kHttpHeaders[rng.index(std::size(kHttpHeaders))];
+  const std::size_t header_len = std::char_traits<char>::length(header);
+  out.insert(out.end(), header, header + std::min(header_len, target));
+  append_body_text(out, rng, target);
+}
+
+void fill_random(Bytes& out, Rng& rng, std::size_t target) {
+  out.reserve(target);
+  for (std::size_t i = 0; i < target; ++i) {
+    out.push_back(static_cast<std::uint8_t>(rng.uniform(0, 255)));
+  }
+}
+
+}  // namespace
+
+Trace generate_http_trace(const TrafficConfig& config) {
+  return generate_with(config, &fill_http);
+}
+
+Trace generate_random_trace(const TrafficConfig& config) {
+  return generate_with(config, &fill_random);
+}
+
+Trace generate_attack_trace(const TrafficConfig& config,
+                            const std::vector<std::string>& target_patterns) {
+  if (target_patterns.empty()) {
+    throw std::invalid_argument("attack trace: need target patterns");
+  }
+  Rng rng(config.seed ^ 0xA77ACCULL);
+  Trace trace;
+  trace.reserve(config.num_packets);
+  for (std::size_t i = 0; i < config.num_packets; ++i) {
+    TracePacket pkt;
+    pkt.tuple = make_flow(rng, config.num_flows, i % config.num_flows);
+    const std::size_t size = config.min_payload +
+                             rng.index(config.max_payload -
+                                       config.min_payload + 1);
+    pkt.payload.reserve(size);
+    // Stitch whole patterns and deep prefixes back to back: every byte keeps
+    // the automaton in deep states and accepting states fire densely.
+    while (pkt.payload.size() < size) {
+      const std::string& p =
+          target_patterns[rng.index(target_patterns.size())];
+      const std::size_t take =
+          rng.bernoulli(0.6) ? p.size() : 1 + rng.index(p.size());
+      pkt.payload.insert(pkt.payload.end(), p.begin(),
+                         p.begin() + static_cast<std::ptrdiff_t>(take));
+    }
+    pkt.payload.resize(size);
+    trace.push_back(std::move(pkt));
+  }
+  return trace;
+}
+
+std::size_t total_payload_bytes(const Trace& trace) {
+  std::size_t total = 0;
+  for (const TracePacket& pkt : trace) {
+    total += pkt.payload.size();
+  }
+  return total;
+}
+
+net::Packet to_packet(const TracePacket& trace_packet, std::uint16_t ip_id) {
+  net::Packet p;
+  p.src_mac = net::MacAddr(0x020000000001ULL);
+  p.dst_mac = net::MacAddr(0x020000000002ULL);
+  p.tuple = trace_packet.tuple;
+  p.ip_id = ip_id;
+  p.payload = trace_packet.payload;
+  return p;
+}
+
+}  // namespace dpisvc::workload

@@ -1,0 +1,301 @@
+// Tests for the DEFLATE/zlib/gzip substrate: block types, Huffman decode,
+// LZ77 back-references, wrapper framing, checksums, malformed-input
+// rejection — with randomized round-trip properties.
+#include <gtest/gtest.h>
+
+#include "common/checksum.hpp"
+#include "common/rng.hpp"
+#include "compress/deflate.hpp"
+#include "compress/inflate.hpp"
+
+namespace dpisvc::compress {
+namespace {
+
+Bytes bytes_of(std::string_view text) { return to_bytes(text); }
+
+std::string text_of(const Bytes& bytes) {
+  return std::string(bytes.begin(), bytes.end());
+}
+
+// --- stored blocks ---------------------------------------------------------------
+
+TEST(Deflate, StoredRoundTrip) {
+  const Bytes original = bytes_of("stored block payload, uncompressed");
+  const Bytes packed = deflate(original, DeflateStrategy::kStored);
+  EXPECT_EQ(inflate(packed), original);
+}
+
+TEST(Deflate, EmptyInputRoundTrip) {
+  for (auto strategy : {DeflateStrategy::kStored,
+                        DeflateStrategy::kFixedHuffman}) {
+    const Bytes packed = deflate({}, strategy);
+    EXPECT_TRUE(inflate(packed).empty());
+  }
+}
+
+TEST(Deflate, StoredMultiBlockForLargeInput) {
+  // > 65535 bytes forces multiple stored blocks.
+  Bytes original(150000);
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    original[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  const Bytes packed = deflate(original, DeflateStrategy::kStored);
+  EXPECT_EQ(inflate(packed), original);
+}
+
+// --- fixed Huffman ---------------------------------------------------------------
+
+TEST(Deflate, FixedHuffmanLiteralsRoundTrip) {
+  const Bytes original = bytes_of("abcdefghij0123456789!@#$%");
+  const Bytes packed = deflate(original, DeflateStrategy::kFixedHuffman);
+  EXPECT_EQ(inflate(packed), original);
+}
+
+TEST(Deflate, FixedHuffmanAllByteValues) {
+  Bytes original(256);
+  for (int i = 0; i < 256; ++i) original[static_cast<std::size_t>(i)] =
+      static_cast<std::uint8_t>(i);
+  const Bytes packed = deflate(original, DeflateStrategy::kFixedHuffman);
+  EXPECT_EQ(inflate(packed), original);
+}
+
+TEST(Deflate, BackReferencesCompressRepetition) {
+  std::string text;
+  for (int i = 0; i < 200; ++i) text += "the same phrase again and again. ";
+  const Bytes original = bytes_of(text);
+  const Bytes packed = deflate(original, DeflateStrategy::kFixedHuffman);
+  EXPECT_EQ(inflate(packed), original);
+  // Repetitive text must actually compress (LZ77 matches fired).
+  EXPECT_LT(packed.size(), original.size() / 4);
+}
+
+TEST(Deflate, MaxLengthMatches) {
+  // 10000 identical bytes: exercises 258-byte matches and distance 1.
+  Bytes original(10000, 0x41);
+  const Bytes packed = deflate(original, DeflateStrategy::kFixedHuffman);
+  EXPECT_EQ(inflate(packed), original);
+  EXPECT_LT(packed.size(), 200u);
+}
+
+// --- dynamic Huffman (hand-built block) ----------------------------------------
+
+/// Builds a dynamic-Huffman DEFLATE block by hand, covering the HLIT/HDIST/
+/// HCLEN header, the code-length code, and repeat codes 17/18.
+Bytes hand_built_dynamic_block() {
+  // Alphabet: literals 'a'(97) and 'b'(98), end-of-block 256; no distance
+  // codes used (HDIST=1, the single distance code gets length 1 but is
+  // never referenced). Literal code lengths: 'a'->1, 'b'->2, 256->2.
+  // Code-length code must encode: 97 zeros (via 18-codes), then 1, 2,
+  // 157 zeros, 2, then the distance table: 1.
+  // Choose code-length-code lengths: {0:2, 1:2, 2:2, 18:2} -> canonical
+  // codes 0:00, 1:01, 2:10, 18:11.
+  struct Bits {
+    Bytes out;
+    std::uint64_t hold = 0;
+    int count = 0;
+    void add(std::uint32_t value, int bits) {
+      hold |= static_cast<std::uint64_t>(value) << count;
+      count += bits;
+      while (count >= 8) {
+        out.push_back(static_cast<std::uint8_t>(hold & 0xFF));
+        hold >>= 8;
+        count -= 8;
+      }
+    }
+    void flush() {
+      if (count > 0) out.push_back(static_cast<std::uint8_t>(hold & 0xFF));
+      hold = 0;
+      count = 0;
+    }
+  } w;
+
+  w.add(1, 1);  // BFINAL
+  w.add(2, 2);  // dynamic
+  w.add(257 - 257, 5);  // HLIT = 257 (literals 0..256)
+  w.add(1 - 1, 5);      // HDIST = 1
+  w.add(19 - 4, 4);     // HCLEN = 19: all code-length-code lengths present
+  // Code-length-code lengths in the permuted order
+  // {16,17,18,0,8,7,9,6,10,5,11,4,12,3,13,2,14,1,15}:
+  const int permuted[19] = {0, 0, 2, 2, 0, 0, 0, 0, 0, 0,
+                            0, 0, 0, 0, 0, 2, 0, 2, 0};
+  for (int len : permuted) w.add(static_cast<std::uint32_t>(len), 3);
+  // Canonical code-length code over symbols with length 2: {0,1,2,18} ->
+  // 0:00, 1:01, 2:10, 18:11 (codes written MSB-first).
+  auto cl = [&](int symbol) {
+    switch (symbol) {
+      case 0: w.add(0b00, 2); break;
+      case 1: w.add(0b10, 2); break;  // 01 reversed
+      case 2: w.add(0b01, 2); break;  // 10 reversed
+      default: w.add(0b11, 2); break; // 18
+    }
+  };
+  // Literal lengths: 97 zeros = 18(repeat 86: 86-11=75) + 18(repeat 11: 0).
+  cl(18);
+  w.add(86 - 11, 7);
+  cl(18);
+  w.add(11 - 11, 7);
+  // 'a' -> 1, 'b' -> 2.
+  cl(1);
+  cl(2);
+  // 157 zeros to reach symbol 256: 18(repeat 138) + 18(repeat 19).
+  cl(18);
+  w.add(138 - 11, 7);
+  cl(18);
+  w.add(19 - 11, 7);
+  // 256 -> 2.
+  cl(2);
+  // Distance table (1 entry): length 1.
+  cl(1);
+  // Literal canonical codes: 'a'(len 1) -> 0; 'b'(len 2) -> 10; 256 -> 11.
+  // Payload: "abba" + EOB.
+  w.add(0b0, 1);   // a
+  w.add(0b01, 2);  // b (10 reversed)
+  w.add(0b01, 2);  // b
+  w.add(0b0, 1);   // a
+  w.add(0b11, 2);  // 256
+  w.flush();
+  return w.out;
+}
+
+TEST(Inflate, HandBuiltDynamicBlock) {
+  const Bytes block = hand_built_dynamic_block();
+  EXPECT_EQ(text_of(inflate(block)), "abba");
+}
+
+// --- malformed input -------------------------------------------------------------
+
+TEST(Inflate, RejectsMalformed) {
+  EXPECT_THROW(inflate({}), InflateError);  // empty stream
+  // Reserved block type 3.
+  EXPECT_THROW(inflate(Bytes{0x07}), InflateError);
+  // Stored block with LEN/NLEN mismatch.
+  EXPECT_THROW(inflate(Bytes{0x01, 0x05, 0x00, 0x12, 0x34}), InflateError);
+  // Truncated stored data.
+  EXPECT_THROW(inflate(Bytes{0x01, 0x05, 0x00, 0xFA, 0xFF, 'a'}),
+               InflateError);
+  // Truncated fixed-Huffman stream.
+  Bytes truncated = deflate(bytes_of("hello hello hello"),
+                            DeflateStrategy::kFixedHuffman);
+  truncated.resize(truncated.size() / 2);
+  EXPECT_THROW(inflate(truncated), InflateError);
+}
+
+TEST(Inflate, OutputLimitEnforced) {
+  Bytes bomb_input(20000, 0x41);
+  const Bytes packed = deflate(bomb_input, DeflateStrategy::kFixedHuffman);
+  InflateLimits limits;
+  limits.max_output = 1024;
+  EXPECT_THROW(inflate(packed, limits), InflateError);
+}
+
+// --- checksums ------------------------------------------------------------------
+
+TEST(Adler32, KnownVectors) {
+  EXPECT_EQ(adler32({}), 1u);
+  // adler32("Wikipedia") = 0x11E60398 (well-known example).
+  EXPECT_EQ(adler32(bytes_of("Wikipedia")), 0x11E60398u);
+}
+
+// --- zlib wrapper -----------------------------------------------------------------
+
+TEST(Zlib, RoundTrip) {
+  const Bytes original = bytes_of("zlib framed content, with repetition "
+                                  "repetition repetition");
+  const Bytes packed = zlib_compress(original);
+  EXPECT_TRUE(looks_like_zlib(packed));
+  EXPECT_EQ(zlib_decompress(packed), original);
+}
+
+TEST(Zlib, DetectsCorruption) {
+  Bytes packed = zlib_compress(bytes_of("checksummed content"));
+  // Flip a payload byte: Adler-32 must catch it (or the stream breaks).
+  packed[packed.size() / 2] ^= 0x01;
+  EXPECT_THROW(zlib_decompress(packed), InflateError);
+  // Bad header.
+  EXPECT_THROW(zlib_decompress(Bytes{0x79, 0x9C, 0x00}), InflateError);
+}
+
+// --- gzip wrapper -----------------------------------------------------------------
+
+TEST(Gzip, RoundTrip) {
+  const Bytes original = bytes_of(
+      "<html><body>gzip is what HTTP actually sends</body></html>");
+  const Bytes packed = gzip_compress(original);
+  EXPECT_TRUE(looks_like_gzip(packed));
+  EXPECT_FALSE(looks_like_gzip(original));
+  EXPECT_EQ(gzip_decompress(packed), original);
+}
+
+TEST(Gzip, HeaderWithOptionalFields) {
+  // Construct a member with FNAME + FEXTRA around our deflate stream.
+  const Bytes original = bytes_of("payload behind optional header fields");
+  const Bytes body = deflate(original);
+  Bytes member = {0x1F, 0x8B, 8, 0x0C /*FEXTRA|FNAME*/, 0, 0, 0, 0, 0, 0xFF};
+  // FEXTRA: xlen=4 + 4 bytes.
+  member.push_back(4);
+  member.push_back(0);
+  for (std::uint8_t b : {1, 2, 3, 4}) member.push_back(b);
+  // FNAME: zero-terminated.
+  for (char c : std::string("file.txt")) {
+    member.push_back(static_cast<std::uint8_t>(c));
+  }
+  member.push_back(0);
+  member.insert(member.end(), body.begin(), body.end());
+  const std::uint32_t checksum = crc32(original);
+  const auto size = static_cast<std::uint32_t>(original.size());
+  for (std::uint32_t v : {checksum, size}) {
+    for (int i = 0; i < 4; ++i) {
+      member.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+    }
+  }
+  EXPECT_EQ(gzip_decompress(member), original);
+}
+
+TEST(Gzip, RejectsCorruption) {
+  const Bytes packed = gzip_compress(bytes_of("content"));
+  // Bad magic.
+  Bytes bad = packed;
+  bad[0] = 0x1E;
+  EXPECT_THROW(gzip_decompress(bad), InflateError);
+  // CRC mismatch.
+  bad = packed;
+  bad[bad.size() - 5] ^= 0xFF;
+  EXPECT_THROW(gzip_decompress(bad), InflateError);
+  // ISIZE mismatch.
+  bad = packed;
+  bad[bad.size() - 1] ^= 0xFF;
+  EXPECT_THROW(gzip_decompress(bad), InflateError);
+  // Truncation.
+  bad.assign(packed.begin(), packed.begin() + 12);
+  EXPECT_THROW(gzip_decompress(bad), InflateError);
+}
+
+// --- randomized round-trip property ------------------------------------------------
+
+class CompressRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompressRoundTrip, RandomDataAllStrategiesAllWrappers) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761u + 17);
+  for (int iter = 0; iter < 20; ++iter) {
+    // Mix of compressible (small alphabet) and incompressible data.
+    const std::size_t length = rng.index(5000);
+    const bool compressible = rng.bernoulli(0.5);
+    Bytes original(length);
+    for (std::size_t i = 0; i < length; ++i) {
+      original[i] = compressible
+                        ? static_cast<std::uint8_t>('a' + rng.index(5))
+                        : static_cast<std::uint8_t>(rng.uniform(0, 255));
+    }
+    for (auto strategy : {DeflateStrategy::kStored,
+                          DeflateStrategy::kFixedHuffman}) {
+      EXPECT_EQ(inflate(deflate(original, strategy)), original);
+      EXPECT_EQ(zlib_decompress(zlib_compress(original, strategy)), original);
+      EXPECT_EQ(gzip_decompress(gzip_compress(original, strategy)), original);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompressRoundTrip, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace dpisvc::compress

@@ -1,0 +1,113 @@
+// Concurrency tests: a compiled dpi::Engine is immutable and shared by all
+// service instances via shared_ptr<const Engine> — concurrent scans from
+// multiple threads must be safe and give identical results. This is what
+// lets the controller run many instances off one compile (§4.1/§5.1) and
+// what the multicore note in §2.2 relies on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "dpi/engine.hpp"
+#include "service/instance.hpp"
+#include "workload/pattern_gen.hpp"
+#include "workload/traffic_gen.hpp"
+
+namespace dpisvc {
+namespace {
+
+std::shared_ptr<const dpi::Engine> shared_engine() {
+  dpi::EngineSpec spec;
+  for (dpi::MiddleboxId id = 1; id <= 3; ++id) {
+    dpi::MiddleboxProfile p;
+    p.id = id;
+    p.name = "m" + std::to_string(id);
+    spec.middleboxes.push_back(p);
+  }
+  const auto patterns =
+      workload::generate_patterns(workload::snort_like(300, 11));
+  dpi::PatternId pid = 0;
+  for (const auto& pattern : patterns) {
+    spec.exact_patterns.push_back(dpi::ExactPatternSpec{
+        pattern, static_cast<dpi::MiddleboxId>(1 + pid % 3), pid});
+    ++pid;
+  }
+  spec.chains[1] = {1, 2, 3};
+  spec.chains[2] = {2};
+  return dpi::Engine::compile(spec);
+}
+
+TEST(Concurrency, SharedEngineScansFromManyThreads) {
+  auto engine = shared_engine();
+  workload::TrafficConfig config;
+  config.num_packets = 300;
+  config.planted_match_rate = 0.2;
+  const auto patterns =
+      workload::generate_patterns(workload::snort_like(300, 11));
+  config.planted_patterns.assign(patterns.begin(), patterns.begin() + 16);
+  const auto trace = workload::generate_http_trace(config);
+
+  // Single-threaded reference.
+  std::uint64_t expected_hits = 0;
+  for (const auto& p : trace) {
+    expected_hits += engine->scan_packet(1, p.payload).raw_hits;
+  }
+
+  constexpr int kThreads = 8;
+  std::atomic<std::uint64_t> total_hits{0};
+  std::atomic<bool> mismatch{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::uint64_t hits = 0;
+      for (int round = 0; round < 3; ++round) {
+        for (const auto& p : trace) {
+          const auto chain = static_cast<dpi::ChainId>(1 + (t % 2));
+          const auto result = engine->scan_packet(chain, p.payload);
+          if (chain == 1) hits += result.raw_hits;
+        }
+      }
+      // Threads scanning chain 1 must each see exactly the reference total.
+      if (t % 2 == 0 && hits != expected_hits * 3) {
+        mismatch = true;
+      }
+      total_hits += hits;
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_FALSE(mismatch.load());
+  EXPECT_GT(total_hits.load(), 0u);
+}
+
+TEST(Concurrency, IndependentInstancesShareOneEngine) {
+  auto engine = shared_engine();
+  constexpr int kInstances = 6;
+  std::vector<std::unique_ptr<service::DpiInstance>> instances;
+  for (int i = 0; i < kInstances; ++i) {
+    instances.push_back(
+        std::make_unique<service::DpiInstance>("i" + std::to_string(i)));
+    instances.back()->load_engine(engine, 1);
+  }
+  workload::TrafficConfig config;
+  config.num_packets = 200;
+  const auto trace = workload::generate_http_trace(config);
+
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kInstances; ++i) {
+    threads.emplace_back([&, i] {
+      for (const auto& p : trace) {
+        (void)instances[static_cast<std::size_t>(i)]->scan(1, p.tuple,
+                                                           p.payload);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (const auto& inst : instances) {
+    EXPECT_EQ(inst->telemetry().packets, trace.size());
+  }
+  // All instances share one engine object.
+  EXPECT_EQ(engine.use_count(), kInstances + 1);
+}
+
+}  // namespace
+}  // namespace dpisvc

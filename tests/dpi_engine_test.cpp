@@ -1,0 +1,509 @@
+// Tests for the virtual DPI engine (§5): combined-set scanning, bitmaps,
+// stopping conditions, stateful flows, regex pre-filtering — including the
+// central correctness property: scanning once against the combined pattern
+// sets is equivalent to scanning separately per middlebox.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/rng.hpp"
+#include "dpi/engine.hpp"
+
+namespace dpisvc::dpi {
+namespace {
+
+BytesView view(const std::string& s) {
+  return BytesView(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+}
+
+/// Flattens a scan result to comparable (middlebox, pattern, position) sets,
+/// expanding run-length entries.
+std::set<std::tuple<MiddleboxId, PatternId, std::uint32_t>> flatten(
+    const ScanResult& result) {
+  std::set<std::tuple<MiddleboxId, PatternId, std::uint32_t>> out;
+  for (const auto& section : result.matches) {
+    for (const auto& e : section.entries) {
+      for (std::uint32_t i = 0; i < e.run_length; ++i) {
+        out.emplace(section.middlebox, e.pattern_id, e.position + i);
+      }
+    }
+  }
+  return out;
+}
+
+EngineSpec two_middlebox_spec() {
+  EngineSpec spec;
+  spec.middleboxes = {
+      MiddleboxProfile{1, "ids", false, true, kNoStopCondition},
+      MiddleboxProfile{2, "av", false, false, kNoStopCondition},
+  };
+  // Paper's Figure 4/7 sets.
+  const char* set1[] = {"E", "BE", "BD", "BCD", "BCAA", "CDBCAB"};
+  const char* set2[] = {"EDAE", "BE", "CDBA", "CBD"};
+  PatternId id = 0;
+  for (const char* p : set1) {
+    spec.exact_patterns.push_back(ExactPatternSpec{p, 1, id++});
+  }
+  id = 0;
+  for (const char* p : set2) {
+    spec.exact_patterns.push_back(ExactPatternSpec{p, 2, id++});
+  }
+  spec.chains[10] = {1, 2};
+  spec.chains[11] = {1};
+  spec.chains[12] = {2};
+  return spec;
+}
+
+// --- basic combined scanning -------------------------------------------------
+
+TEST(Engine, ReportsPerMiddleboxPatternIds) {
+  auto engine = Engine::compile(two_middlebox_spec());
+  const auto result = engine->scan_packet(10, view("CDBCABE"));
+  const auto found = flatten(result);
+  // CDBCAB -> mbox1 pattern 5 at 6; BE -> mbox1 pattern 1 AND mbox2
+  // pattern 1 at 7; E -> mbox1 pattern 0 at 7.
+  EXPECT_TRUE(found.count({1, 5, 6}));
+  EXPECT_TRUE(found.count({1, 1, 7}));
+  EXPECT_TRUE(found.count({2, 1, 7}));
+  EXPECT_TRUE(found.count({1, 0, 7}));
+  EXPECT_EQ(found.size(), 4u);
+}
+
+TEST(Engine, ChainSelectsActiveMiddleboxes) {
+  auto engine = Engine::compile(two_middlebox_spec());
+  // Chain 11: only middlebox 1. The shared pattern BE must be reported only
+  // with middlebox 1's id.
+  const auto found = flatten(engine->scan_packet(11, view("CDBCABE")));
+  for (const auto& [mbox, pattern, pos] : found) {
+    EXPECT_EQ(mbox, 1);
+  }
+  EXPECT_TRUE(found.count({1, 1, 7}));
+  // Chain 12: only middlebox 2.
+  const auto found2 = flatten(engine->scan_packet(12, view("CDBCABE")));
+  EXPECT_EQ(found2.size(), 1u);
+  EXPECT_TRUE(found2.count({2, 1, 7}));
+}
+
+TEST(Engine, UnknownChainThrows) {
+  auto engine = Engine::compile(two_middlebox_spec());
+  EXPECT_THROW(engine->scan_packet(99, view("x")), std::invalid_argument);
+}
+
+TEST(Engine, NoMatchesOnCleanPayload) {
+  auto engine = Engine::compile(two_middlebox_spec());
+  const auto result = engine->scan_packet(10, view("xxxxyyyyzzzz"));
+  EXPECT_FALSE(result.has_matches());
+  EXPECT_EQ(result.bytes_scanned, 12u);
+}
+
+TEST(Engine, SuffixPatternAcrossMiddleboxes) {
+  EngineSpec spec;
+  spec.middleboxes = {MiddleboxProfile{1, "a"}, MiddleboxProfile{2, "b"}};
+  spec.exact_patterns = {
+      ExactPatternSpec{"ABCDEF", 1, 0},
+      ExactPatternSpec{"DEF", 2, 0},
+  };
+  spec.chains[1] = {1, 2};
+  auto engine = Engine::compile(spec);
+  const auto found = flatten(engine->scan_packet(1, view("xABCDEFx")));
+  // One traversal of ABCDEF's accepting state must report both middleboxes.
+  EXPECT_TRUE(found.count({1, 0, 7}));
+  EXPECT_TRUE(found.count({2, 0, 7}));
+}
+
+TEST(Engine, RunCompressionForSelfRepeatingPatterns) {
+  EngineSpec spec;
+  spec.middleboxes = {MiddleboxProfile{1, "a"}};
+  spec.exact_patterns = {ExactPatternSpec{"aa", 1, 3}};
+  spec.chains[1] = {1};
+  auto engine = Engine::compile(spec);
+  const auto result = engine->scan_packet(1, view("aaaaa"));
+  ASSERT_EQ(result.matches.size(), 1u);
+  ASSERT_EQ(result.matches[0].entries.size(), 1u);
+  const auto& e = result.matches[0].entries[0];
+  EXPECT_EQ(e.pattern_id, 3);
+  EXPECT_EQ(e.position, 2u);
+  EXPECT_EQ(e.run_length, 4u);  // ends at 2,3,4,5
+}
+
+// --- the central equivalence property -------------------------------------------
+
+// Scanning once with the combined engine and filtering by the active bitmap
+// must equal scanning separately with one single-middlebox engine each.
+TEST(Engine, CombinedScanEquivalentToSeparateScans) {
+  Rng rng(0xC0FFEE);
+  for (int iter = 0; iter < 40; ++iter) {
+    // Random pattern sets for 3 middleboxes over a small alphabet.
+    EngineSpec combined;
+    std::map<MiddleboxId, EngineSpec> separate;
+    for (MiddleboxId id = 1; id <= 3; ++id) {
+      combined.middleboxes.push_back(MiddleboxProfile{id, "m"});
+      separate[id].middleboxes.push_back(MiddleboxProfile{id, "m"});
+      separate[id].chains[1] = {id};
+      const std::size_t n = 1 + rng.index(6);
+      for (PatternId pid = 0; pid < n; ++pid) {
+        std::string p;
+        const std::size_t len = 1 + rng.index(5);
+        for (std::size_t j = 0; j < len; ++j) {
+          p.push_back(static_cast<char>('a' + rng.index(3)));
+        }
+        combined.exact_patterns.push_back(ExactPatternSpec{p, id, pid});
+        separate[id].exact_patterns.push_back(ExactPatternSpec{p, id, pid});
+      }
+    }
+    combined.chains[1] = {1, 2, 3};
+    combined.chains[2] = {1, 3};
+    combined.chains[3] = {2};
+
+    auto combined_engine = Engine::compile(combined);
+    std::map<MiddleboxId, std::shared_ptr<const Engine>> separate_engines;
+    for (auto& [id, spec] : separate) {
+      separate_engines[id] = Engine::compile(spec);
+    }
+
+    std::string text;
+    const std::size_t text_len = rng.index(100);
+    for (std::size_t j = 0; j < text_len; ++j) {
+      text.push_back(static_cast<char>('a' + rng.index(3)));
+    }
+
+    const std::map<ChainId, std::vector<MiddleboxId>> chains = {
+        {1, {1, 2, 3}}, {2, {1, 3}}, {3, {2}}};
+    for (const auto& [chain, members] : chains) {
+      const auto combined_found =
+          flatten(combined_engine->scan_packet(chain, view(text)));
+      std::set<std::tuple<MiddleboxId, PatternId, std::uint32_t>> expected;
+      for (MiddleboxId id : members) {
+        const auto single =
+            flatten(separate_engines[id]->scan_packet(1, view(text)));
+        expected.insert(single.begin(), single.end());
+      }
+      EXPECT_EQ(combined_found, expected)
+          << "chain=" << chain << " text=" << text;
+    }
+  }
+}
+
+// --- stateful flows ---------------------------------------------------------------
+
+EngineSpec stateful_spec() {
+  EngineSpec spec;
+  spec.middleboxes = {MiddleboxProfile{1, "ids", /*stateful=*/true, false,
+                                       kNoStopCondition}};
+  spec.exact_patterns = {ExactPatternSpec{"attackpattern", 1, 0},
+                         ExactPatternSpec{"short", 1, 1}};
+  spec.chains[1] = {1};
+  return spec;
+}
+
+TEST(Engine, StatefulScanSpansPacketBoundaries) {
+  auto engine = Engine::compile(stateful_spec());
+  const std::string part1 = "xxxattackpa";
+  const std::string part2 = "tternyyy";
+  const auto r1 = engine->scan_packet(1, view(part1));
+  EXPECT_FALSE(r1.has_matches());
+  ASSERT_TRUE(r1.cursor.valid);
+  EXPECT_EQ(r1.cursor.offset, part1.size());
+  const auto r2 = engine->scan_packet(1, view(part2), r1.cursor);
+  const auto found = flatten(r2);
+  // Position is flow-relative: "attackpattern" ends at offset 16.
+  EXPECT_TRUE(found.count({1, 0, 16}));
+}
+
+TEST(Engine, StatefulEqualsConcatenatedScan) {
+  Rng rng(0xFEED);
+  auto engine = Engine::compile(stateful_spec());
+  for (int iter = 0; iter < 30; ++iter) {
+    std::string text;
+    const std::size_t len = 1 + rng.index(120);
+    for (std::size_t i = 0; i < len; ++i) {
+      // Bias toward pattern bytes so matches actually occur.
+      const char* soup = "attackpternshor";
+      text.push_back(soup[rng.index(15)]);
+    }
+    if (rng.bernoulli(0.5)) {
+      text.insert(rng.index(text.size() + 1), "attackpattern");
+    }
+    // Whole-scan reference.
+    const auto whole = flatten(engine->scan_packet(1, view(text)));
+    // Split into 1..4 fragments.
+    std::set<std::tuple<MiddleboxId, PatternId, std::uint32_t>> stitched;
+    FlowCursor cursor;
+    std::size_t at = 0;
+    while (at < text.size()) {
+      const std::size_t take = 1 + rng.index(text.size() - at);
+      const auto r =
+          engine->scan_packet(1, view(text.substr(at, take)), cursor);
+      const auto part = flatten(r);
+      stitched.insert(part.begin(), part.end());
+      cursor = r.cursor;
+      at += take;
+    }
+    EXPECT_EQ(stitched, whole) << text;
+  }
+}
+
+TEST(Engine, StatelessDropsMatchesBeganInPreviousPacket) {
+  // One stateful middlebox forces cross-packet state; a stateless middlebox
+  // sharing the chain must NOT see a match that straddles the boundary.
+  EngineSpec spec;
+  spec.middleboxes = {
+      MiddleboxProfile{1, "stateful", true, false, kNoStopCondition},
+      MiddleboxProfile{2, "stateless", false, false, kNoStopCondition}};
+  spec.exact_patterns = {ExactPatternSpec{"abcdef", 1, 0},
+                         ExactPatternSpec{"abcdef", 2, 0}};
+  spec.chains[1] = {1, 2};
+  auto engine = Engine::compile(spec);
+
+  const auto r1 = engine->scan_packet(1, view("xxabc"));
+  const auto r2 = engine->scan_packet(1, view("defyy"), r1.cursor);
+  const auto found = flatten(r2);
+  EXPECT_TRUE(found.count({1, 0, 8}));   // stateful: flow offset 8
+  for (const auto& [mbox, pattern, pos] : found) {
+    EXPECT_NE(mbox, 2);  // stateless must not report the straddling match
+  }
+}
+
+TEST(Engine, StatelessStillMatchesWithinPacketWhenResumed) {
+  EngineSpec spec;
+  spec.middleboxes = {
+      MiddleboxProfile{1, "stateful", true, false, kNoStopCondition},
+      MiddleboxProfile{2, "stateless", false, false, kNoStopCondition}};
+  spec.exact_patterns = {ExactPatternSpec{"needle", 2, 7}};
+  spec.chains[1] = {1, 2};
+  auto engine = Engine::compile(spec);
+  const auto r1 = engine->scan_packet(1, view("garbage"));
+  const auto r2 = engine->scan_packet(1, view("xxneedlexx"), r1.cursor);
+  const auto found = flatten(r2);
+  // Position is packet-relative for the stateless middlebox.
+  EXPECT_TRUE(found.count({2, 7, 8}));
+}
+
+// --- stopping conditions ------------------------------------------------------------
+
+TEST(Engine, StopConditionFiltersDeepMatches) {
+  EngineSpec spec;
+  spec.middleboxes = {
+      MiddleboxProfile{1, "header-only", false, false, /*stop=*/10},
+      MiddleboxProfile{2, "full", false, false, kNoStopCondition}};
+  spec.exact_patterns = {ExactPatternSpec{"evil", 1, 0},
+                         ExactPatternSpec{"evil", 2, 0}};
+  spec.chains[1] = {1, 2};
+  auto engine = Engine::compile(spec);
+  // "evil" ending at 9 (within mbox1's stop) and at 24 (beyond it).
+  const std::string text = "xxxxxevil..........evil.";
+  const auto found = flatten(engine->scan_packet(1, view(text)));
+  EXPECT_TRUE(found.count({1, 0, 9}));
+  EXPECT_TRUE(found.count({2, 0, 9}));
+  EXPECT_FALSE(found.count({1, 0, 23}));
+  EXPECT_TRUE(found.count({2, 0, 23}));
+}
+
+TEST(Engine, ScanTruncatesAtMostConservativeStop) {
+  EngineSpec spec;
+  spec.middleboxes = {MiddleboxProfile{1, "a", false, false, 8},
+                      MiddleboxProfile{2, "b", false, false, 16}};
+  spec.exact_patterns = {ExactPatternSpec{"zzzz", 1, 0},
+                         ExactPatternSpec{"zzzz", 2, 0}};
+  spec.chains[1] = {1, 2};
+  auto engine = Engine::compile(spec);
+  const std::string text(64, 'a');
+  const auto result = engine->scan_packet(1, view(text));
+  EXPECT_EQ(result.bytes_scanned, 16u);  // max of the two stop offsets
+}
+
+TEST(Engine, StatefulStopAppliesAcrossPackets) {
+  EngineSpec spec;
+  spec.middleboxes = {MiddleboxProfile{1, "s", true, false, /*stop=*/10}};
+  spec.exact_patterns = {ExactPatternSpec{"mark", 1, 0}};
+  spec.chains[1] = {1};
+  auto engine = Engine::compile(spec);
+  const auto r1 = engine->scan_packet(1, view("123456"));  // offset now 6
+  EXPECT_EQ(r1.bytes_scanned, 6u);
+  const auto r2 = engine->scan_packet(1, view("789012345"), r1.cursor);
+  EXPECT_EQ(r2.bytes_scanned, 4u);  // only up to flow offset 10
+  const auto r3 = engine->scan_packet(1, view("abcdef"), r2.cursor);
+  EXPECT_EQ(r3.bytes_scanned, 0u);
+}
+
+// --- regex support (§5.3) --------------------------------------------------------------
+
+EngineSpec regex_spec() {
+  EngineSpec spec;
+  spec.middleboxes = {MiddleboxProfile{1, "ids"}};
+  spec.regex_patterns = {
+      RegexPatternSpec{R"(regular\s*expression\s*\d+)", 1, 100, false}};
+  spec.chains[1] = {1};
+  return spec;
+}
+
+TEST(Engine, RegexMatchedViaAnchors) {
+  auto engine = Engine::compile(regex_spec());
+  EXPECT_EQ(engine->num_distinct_strings(), 2u);  // "regular", "expression"
+  const auto found =
+      flatten(engine->scan_packet(1, view("a regular expression 42 here")));
+  ASSERT_EQ(found.size(), 1u);
+  const auto& [mbox, pattern, pos] = *found.begin();
+  EXPECT_EQ(mbox, 1);
+  EXPECT_EQ(pattern, 100);
+}
+
+TEST(Engine, RegexNotEvaluatedWhenAnchorMissing) {
+  auto engine = Engine::compile(regex_spec());
+  // "regular" present but "expression" absent: no anchors-complete, and the
+  // regex itself would not match anyway.
+  const auto r = engine->scan_packet(1, view("regular stuff 42"));
+  EXPECT_FALSE(r.has_matches());
+}
+
+TEST(Engine, AnchorsPresentButRegexFails) {
+  auto engine = Engine::compile(regex_spec());
+  // Both anchors present but no digits: anchors fire, PCRE-equivalent runs
+  // and correctly reports nothing.
+  const auto r =
+      engine->scan_packet(1, view("expression before regular, no digits"));
+  EXPECT_FALSE(r.has_matches());
+}
+
+TEST(Engine, AnchorlessRegexAlwaysEvaluated) {
+  EngineSpec spec;
+  spec.middleboxes = {MiddleboxProfile{1, "ids"}};
+  spec.regex_patterns = {RegexPatternSpec{R"(\d{5})", 1, 3, false}};
+  spec.chains[1] = {1};
+  auto engine = Engine::compile(spec);
+  const auto found = flatten(engine->scan_packet(1, view("zip=90210!")));
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_TRUE(found.count({1, 3, 9}));  // "90210" ends at offset 9
+}
+
+TEST(Engine, SharedAnchorBetweenMiddleboxes) {
+  EngineSpec spec;
+  spec.middleboxes = {MiddleboxProfile{1, "a"}, MiddleboxProfile{2, "b"}};
+  spec.regex_patterns = {
+      RegexPatternSpec{R"(attack\d)", 1, 0, false},
+      RegexPatternSpec{R"(attack[a-z])", 2, 0, false},
+  };
+  spec.chains[1] = {1, 2};
+  spec.chains[2] = {2};
+  auto engine = Engine::compile(spec);
+  EXPECT_EQ(engine->num_distinct_strings(), 1u);  // shared anchor "attack"
+  const auto both = flatten(engine->scan_packet(1, view("xxattack7attackz")));
+  EXPECT_TRUE(both.count({1, 0, 9}));
+  EXPECT_TRUE(both.count({2, 0, 16}));
+  const auto only2 = flatten(engine->scan_packet(2, view("xxattack7attackz")));
+  EXPECT_EQ(only2.size(), 1u);
+  EXPECT_TRUE(only2.count({2, 0, 16}));
+}
+
+TEST(Engine, MixedExactAndRegex) {
+  EngineSpec spec;
+  spec.middleboxes = {MiddleboxProfile{1, "ids"}};
+  spec.exact_patterns = {ExactPatternSpec{"exactmatch", 1, 0}};
+  spec.regex_patterns = {RegexPatternSpec{R"(rx\d+rx)", 1, 1, false}};
+  spec.chains[1] = {1};
+  auto engine = Engine::compile(spec);
+  const auto found =
+      flatten(engine->scan_packet(1, view("exactmatch and rx123rx")));
+  EXPECT_TRUE(found.count({1, 0, 10}));
+  EXPECT_EQ(found.size(), 2u);
+}
+
+// --- compressed engine configuration ---------------------------------------------------
+
+TEST(Engine, CompressedAutomatonProducesSameResults) {
+  const EngineSpec spec = two_middlebox_spec();
+  auto full = Engine::compile(spec);
+  EngineConfig config;
+  config.use_compressed_automaton = true;
+  auto compressed = Engine::compile(spec, config);
+  EXPECT_TRUE(compressed->uses_compressed_automaton());
+  EXPECT_FALSE(full->uses_compressed_automaton());
+  const char* inputs[] = {"CDBCABE", "EDAEBD", "zzz", "BCAACBD"};
+  for (const char* input : inputs) {
+    EXPECT_EQ(flatten(full->scan_packet(10, view(input))),
+              flatten(compressed->scan_packet(10, view(input))))
+        << input;
+  }
+  EXPECT_LT(compressed->memory_bytes(), full->memory_bytes());
+}
+
+// --- compile-time validation -------------------------------------------------------------
+
+TEST(Engine, CompileRejectsBadSpecs) {
+  {
+    EngineSpec spec;
+    spec.middleboxes = {MiddleboxProfile{0, "bad"}};
+    EXPECT_THROW(Engine::compile(spec), std::invalid_argument);
+  }
+  {
+    EngineSpec spec;
+    spec.middleboxes = {MiddleboxProfile{65, "bad"}};
+    EXPECT_THROW(Engine::compile(spec), std::invalid_argument);
+  }
+  {
+    EngineSpec spec;
+    spec.middleboxes = {MiddleboxProfile{1, "a"}, MiddleboxProfile{1, "b"}};
+    EXPECT_THROW(Engine::compile(spec), std::invalid_argument);
+  }
+  {
+    EngineSpec spec;
+    spec.middleboxes = {MiddleboxProfile{1, "a"}};
+    spec.exact_patterns = {ExactPatternSpec{"x", 2, 0}};  // unknown mbox
+    EXPECT_THROW(Engine::compile(spec), std::invalid_argument);
+  }
+  {
+    EngineSpec spec;
+    spec.middleboxes = {MiddleboxProfile{1, "a"}};
+    spec.exact_patterns = {ExactPatternSpec{"", 1, 0}};  // empty pattern
+    EXPECT_THROW(Engine::compile(spec), std::invalid_argument);
+  }
+  {
+    EngineSpec spec;
+    spec.middleboxes = {MiddleboxProfile{1, "a"}};
+    spec.regex_patterns = {RegexPatternSpec{"(", 1, 0, false}};
+    EXPECT_THROW(Engine::compile(spec), regex::SyntaxError);
+  }
+  {
+    EngineSpec spec;
+    spec.middleboxes = {MiddleboxProfile{1, "a"}};
+    spec.chains[1] = {1, 2};  // unknown chain member
+    EXPECT_THROW(Engine::compile(spec), std::invalid_argument);
+  }
+}
+
+TEST(Engine, EmptyPatternSetEngineScansCleanly) {
+  EngineSpec spec;
+  spec.middleboxes = {MiddleboxProfile{1, "a"}};
+  spec.chains[1] = {1};
+  auto engine = Engine::compile(spec);
+  const auto r = engine->scan_packet(1, view("anything at all"));
+  EXPECT_FALSE(r.has_matches());
+}
+
+TEST(Engine, IntrospectionCounters) {
+  auto engine = Engine::compile(two_middlebox_spec());
+  EXPECT_EQ(engine->num_exact_patterns(), 10u);
+  EXPECT_EQ(engine->num_distinct_strings(), 9u);  // BE shared
+  EXPECT_EQ(engine->num_regex_patterns(), 0u);
+  EXPECT_GT(engine->memory_bytes(), 0u);
+  EXPECT_TRUE(engine->chain_known(10));
+  EXPECT_FALSE(engine->chain_known(42));
+  EXPECT_EQ(engine->chain_bitmap(10), 0b11u);
+  ASSERT_NE(engine->find_middlebox(1), nullptr);
+  EXPECT_EQ(engine->find_middlebox(1)->name, "ids");
+  EXPECT_EQ(engine->find_middlebox(42), nullptr);
+}
+
+TEST(Engine, ScanPacketForExplicitBitmap) {
+  auto engine = Engine::compile(two_middlebox_spec());
+  const auto found =
+      flatten(engine->scan_packet_for(bitmap_of(2), view("CDBCABE")));
+  EXPECT_EQ(found.size(), 1u);
+  EXPECT_TRUE(found.count({2, 1, 7}));
+}
+
+}  // namespace
+}  // namespace dpisvc::dpi

@@ -1,0 +1,226 @@
+// Reference-model differential test for the complete §5.2 scan semantics.
+//
+// A naive, obviously-correct model re-implements the specification from the
+// paper's text — continuous flow scanning, the most-conservative stopping
+// condition, per-middlebox stop filtering, flow-relative positions for
+// stateful middleboxes, packet-relative positions and straddling-match
+// suppression for stateless ones — using plain substring search. The engine
+// must agree with the model on randomized combinations of:
+//   - middlebox profiles (stateful flag x stopping condition),
+//   - chains (subsets of middleboxes),
+//   - pattern sets over a small alphabet (dense accidental matches),
+//   - packet segmentations of a flow.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "dpi/engine.hpp"
+
+namespace dpisvc::dpi {
+namespace {
+
+using Found = std::set<std::tuple<MiddleboxId, PatternId, std::uint64_t>>;
+
+struct ModelPattern {
+  std::string bytes;
+  MiddleboxId middlebox;
+  PatternId id;
+};
+
+/// The reference model: computes the expected match set for a flow split
+/// into packets, per the §5.2 rules.
+Found reference_scan(const std::vector<MiddleboxProfile>& profiles,
+                     const std::vector<ModelPattern>& patterns,
+                     const std::vector<MiddleboxId>& active,
+                     const std::vector<std::string>& packets) {
+  auto profile_of = [&](MiddleboxId id) -> const MiddleboxProfile& {
+    for (const auto& p : profiles) {
+      if (p.id == id) return p;
+    }
+    throw std::logic_error("unknown middlebox in model");
+  };
+
+  bool chain_stateful = false;
+  std::uint64_t chain_stop = 0;
+  for (MiddleboxId id : active) {
+    const auto& p = profile_of(id);
+    chain_stateful |= p.stateful;
+    chain_stop = std::max<std::uint64_t>(chain_stop, p.stop_offset);
+  }
+
+  Found found;
+  if (chain_stateful) {
+    // Continuous scan over the flow, cut at the chain's stop condition.
+    std::string flow;
+    for (const auto& p : packets) flow += p;
+    const std::uint64_t limit =
+        std::min<std::uint64_t>(flow.size(), chain_stop);
+    // Packet start offsets (within the scanned stream).
+    std::vector<std::uint64_t> starts;
+    std::uint64_t at = 0;
+    for (const auto& p : packets) {
+      starts.push_back(at);
+      at += p.size();
+    }
+    for (const ModelPattern& pattern : patterns) {
+      const bool is_active =
+          std::find(active.begin(), active.end(), pattern.middlebox) !=
+          active.end();
+      if (!is_active) continue;
+      const auto& profile = profile_of(pattern.middlebox);
+      for (std::uint64_t end = pattern.bytes.size(); end <= limit; ++end) {
+        const std::uint64_t start = end - pattern.bytes.size();
+        if (flow.compare(static_cast<std::size_t>(start),
+                         pattern.bytes.size(), pattern.bytes) != 0) {
+          continue;
+        }
+        if (profile.stateful) {
+          if (end > profile.stop_offset) continue;
+          found.emplace(pattern.middlebox, pattern.id, end);
+        } else {
+          // Which packet does the match end in? (end is 1-based; the byte
+          // at flow offset end-1 belongs to that packet.)
+          std::size_t pkt = 0;
+          while (pkt + 1 < starts.size() && starts[pkt + 1] <= end - 1) {
+            ++pkt;
+          }
+          if (start < starts[pkt]) continue;  // straddles: suppressed
+          const std::uint64_t packet_relative = end - starts[pkt];
+          if (packet_relative > profile.stop_offset) continue;
+          found.emplace(pattern.middlebox, pattern.id, packet_relative);
+        }
+      }
+    }
+  } else {
+    // Stateless chain: every packet scanned from the root independently.
+    for (const auto& payload : packets) {
+      const std::uint64_t limit =
+          std::min<std::uint64_t>(payload.size(), chain_stop);
+      for (const ModelPattern& pattern : patterns) {
+        const bool is_active =
+            std::find(active.begin(), active.end(), pattern.middlebox) !=
+            active.end();
+        if (!is_active) continue;
+        const auto& profile = profile_of(pattern.middlebox);
+        for (std::uint64_t end = pattern.bytes.size(); end <= limit; ++end) {
+          const std::uint64_t start = end - pattern.bytes.size();
+          if (payload.compare(static_cast<std::size_t>(start),
+                              pattern.bytes.size(), pattern.bytes) != 0) {
+            continue;
+          }
+          if (end > profile.stop_offset) continue;
+          found.emplace(pattern.middlebox, pattern.id, end);
+        }
+      }
+    }
+  }
+  return found;
+}
+
+Found engine_scan(const Engine& engine, ChainId chain,
+                  const std::vector<std::string>& packets) {
+  Found found;
+  FlowCursor cursor;
+  for (const std::string& payload : packets) {
+    const auto result = engine.scan_packet(
+        chain,
+        BytesView(reinterpret_cast<const std::uint8_t*>(payload.data()),
+                  payload.size()),
+        cursor);
+    cursor = result.cursor;
+    for (const auto& section : result.matches) {
+      for (const auto& e : section.entries) {
+        for (std::uint32_t i = 0; i < e.run_length; ++i) {
+          found.emplace(section.middlebox, e.pattern_id, e.position + i);
+        }
+      }
+    }
+  }
+  return found;
+}
+
+class EngineModelTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineModelTest, EngineAgreesWithReferenceModel) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 1000003 + 31);
+  for (int iter = 0; iter < 25; ++iter) {
+    // Random middlebox population.
+    std::vector<MiddleboxProfile> profiles;
+    const std::size_t num_mboxes = 1 + rng.index(3);
+    for (MiddleboxId id = 1; id <= num_mboxes; ++id) {
+      MiddleboxProfile p;
+      p.id = id;
+      p.name = "m" + std::to_string(id);
+      p.stateful = rng.bernoulli(0.5);
+      p.stop_offset = rng.bernoulli(0.3)
+                          ? static_cast<std::uint32_t>(5 + rng.index(60))
+                          : kNoStopCondition;
+      profiles.push_back(p);
+    }
+
+    // Random patterns over {a, b}: dense accidental matches and suffix
+    // relationships.
+    std::vector<ModelPattern> patterns;
+    EngineSpec spec;
+    spec.middleboxes = profiles;
+    for (const auto& profile : profiles) {
+      const std::size_t n = 1 + rng.index(4);
+      for (PatternId pid = 0; pid < n; ++pid) {
+        std::string bytes;
+        const std::size_t len = 1 + rng.index(5);
+        for (std::size_t i = 0; i < len; ++i) {
+          bytes.push_back(static_cast<char>('a' + rng.index(2)));
+        }
+        patterns.push_back(ModelPattern{bytes, profile.id, pid});
+        spec.exact_patterns.push_back(
+            ExactPatternSpec{bytes, profile.id, pid});
+      }
+    }
+
+    // Random chains over subsets.
+    std::map<ChainId, std::vector<MiddleboxId>> chains;
+    const std::size_t num_chains = 1 + rng.index(3);
+    for (ChainId c = 1; c <= num_chains; ++c) {
+      std::vector<MiddleboxId> members;
+      for (const auto& profile : profiles) {
+        if (rng.bernoulli(0.6)) members.push_back(profile.id);
+      }
+      if (members.empty()) members.push_back(profiles[0].id);
+      chains[c] = members;
+    }
+    spec.chains = chains;
+    auto engine = Engine::compile(spec);
+
+    // Random flow, random segmentation.
+    std::string flow;
+    const std::size_t flow_len = 1 + rng.index(150);
+    for (std::size_t i = 0; i < flow_len; ++i) {
+      flow.push_back(static_cast<char>('a' + rng.index(2)));
+    }
+    std::vector<std::string> packets;
+    std::size_t at = 0;
+    while (at < flow.size()) {
+      const std::size_t take = 1 + rng.index(flow.size() - at);
+      packets.push_back(flow.substr(at, take));
+      at += take;
+    }
+
+    for (const auto& [chain, members] : chains) {
+      const Found expected =
+          reference_scan(profiles, patterns, members, packets);
+      const Found actual = engine_scan(*engine, chain, packets);
+      ASSERT_EQ(actual, expected)
+          << "seed=" << GetParam() << " iter=" << iter << " chain=" << chain
+          << " flow=" << flow << " packets=" << packets.size();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineModelTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace dpisvc::dpi

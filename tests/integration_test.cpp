@@ -1,0 +1,307 @@
+// End-to-end integration tests: the complete system of Figure 5 running on
+// the simulated fabric — TSA steering, DPI service instance, result packets,
+// middlebox clients — compared against the baseline of self-scanning
+// middleboxes (Figure 1a vs 1b).
+#include <gtest/gtest.h>
+
+#include "mbox/boxes.hpp"
+#include "mbox/middlebox_node.hpp"
+#include "netsim/controller.hpp"
+#include "netsim/host.hpp"
+#include "netsim/switch.hpp"
+#include "service/controller.hpp"
+#include "service/instance_node.hpp"
+#include "workload/traffic_gen.hpp"
+
+namespace dpisvc {
+namespace {
+
+using namespace dpisvc::mbox;
+using namespace dpisvc::netsim;
+using namespace dpisvc::service;
+
+RuleSpec exact_rule(dpi::PatternId id, std::string pattern, Verdict verdict) {
+  RuleSpec rule;
+  rule.id = id;
+  rule.verdict = verdict;
+  rule.exact = std::move(pattern);
+  return rule;
+}
+
+net::Packet flow_packet(std::string_view payload, std::uint16_t src_port,
+                        std::uint16_t ip_id) {
+  net::Packet p;
+  p.tuple.src_ip = net::Ipv4Addr(10, 0, 0, 1);
+  p.tuple.dst_ip = net::Ipv4Addr(10, 0, 0, 99);
+  p.tuple.src_port = src_port;
+  p.tuple.dst_port = 80;
+  p.ip_id = ip_id;
+  p.payload = to_bytes(payload);
+  return p;
+}
+
+/// The full Figure-2(b) setup: src -> s1 -> [dpi -> ids -> av] -> dst.
+class ServiceChainFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ids_ = std::make_unique<Ids>(1, /*stateful=*/false);
+    ids_->add_rule(exact_rule(1, "attack-sig", Verdict::kAlert));
+    ids_->add_rule(exact_rule(2, "recon-scan", Verdict::kAlert));
+    av_ = std::make_unique<AntiVirus>(2);
+    av_->add_rule(exact_rule(1, "EICAR-TEST", Verdict::kQuarantine));
+
+    ids_->attach(controller_);
+    av_->attach(controller_);
+    chain_ = controller_.register_policy_chain({1, 2});
+    auto instance = controller_.create_instance("dpi1");
+    controller_.assign_chain(chain_, "dpi1");
+
+    fabric_.add_node<Switch>("s1");
+    src_ = &fabric_.add_node<Host>("src");
+    dst_ = &fabric_.add_node<Host>("dst");
+    fabric_.add_node<InstanceNode>("dpi1", instance);
+    ids_node_ = &fabric_.add_node<MiddleboxNode>("ids", *ids_,
+                                                 NodeMode::kService);
+    av_node_ = &fabric_.add_node<MiddleboxNode>("av", *av_,
+                                                NodeMode::kService);
+    for (const char* n : {"src", "dst", "dpi1", "ids", "av"}) {
+      fabric_.connect("s1", n);
+    }
+    src_->set_gateway("s1");
+
+    sdn_ = std::make_unique<SdnController>(fabric_);
+    tsa_ = std::make_unique<TrafficSteeringApp>(*sdn_, "s1");
+    PolicyChainSpec spec;
+    spec.id = chain_;
+    spec.ingress = "src";
+    spec.sequence = {"dpi1", "ids", "av"};
+    spec.egress = "dst";
+    tsa_->install_chain(spec);
+  }
+
+  service::DpiController controller_;
+  Fabric fabric_;
+  Host* src_ = nullptr;
+  Host* dst_ = nullptr;
+  std::unique_ptr<Ids> ids_;
+  std::unique_ptr<AntiVirus> av_;
+  MiddleboxNode* ids_node_ = nullptr;
+  MiddleboxNode* av_node_ = nullptr;
+  std::unique_ptr<SdnController> sdn_;
+  std::unique_ptr<TrafficSteeringApp> tsa_;
+  dpi::ChainId chain_ = 0;
+};
+
+TEST_F(ServiceChainFixture, CleanPacketTraversesUntouched) {
+  src_->send(flow_packet("just some ordinary content", 1000, 1));
+  fabric_.run();
+  ASSERT_EQ(dst_->received().size(), 1u);
+  const net::Packet& delivered = dst_->received()[0];
+  EXPECT_FALSE(delivered.has_match_mark());
+  EXPECT_TRUE(delivered.tags.empty());  // chain tag popped at egress
+  EXPECT_EQ(ids_->packets_processed(), 1u);
+  EXPECT_EQ(av_->packets_processed(), 1u);
+  EXPECT_EQ(ids_->total_rule_hits(), 0u);
+}
+
+TEST_F(ServiceChainFixture, MatchedPacketDeliversResultsToEachMiddlebox) {
+  src_->send(flow_packet("attack-sig ... EICAR-TEST inside", 1000, 2));
+  fabric_.run();
+  // Both the data packet and its trailing result packet reach the egress.
+  ASSERT_EQ(dst_->received().size(), 2u);
+  EXPECT_TRUE(dst_->received()[0].has_match_mark());
+  // IDS alerted on its rule; AV quarantined the flow — from the same single
+  // scan at the DPI instance.
+  ASSERT_EQ(ids_->alerts().size(), 1u);
+  EXPECT_EQ(ids_->alerts()[0].rule, 1);
+  EXPECT_EQ(av_->quarantined_flows(), 1u);
+  // Pairing left nothing buffered.
+  EXPECT_EQ(ids_node_->pending(), 0u);
+  EXPECT_EQ(av_node_->pending(), 0u);
+}
+
+TEST_F(ServiceChainFixture, PacketScannedExactlyOnce) {
+  src_->send(flow_packet("attack-sig", 1000, 3));
+  fabric_.run();
+  const auto inst = controller_.instance("dpi1");
+  EXPECT_EQ(inst->telemetry().packets, 1u);
+  // Middleboxes never scanned anything (no standalone engines were built);
+  // they still saw the rule hit.
+  EXPECT_EQ(ids_->total_rule_hits(), 1u);
+}
+
+TEST_F(ServiceChainFixture, MixedTrafficCountsAreConsistent) {
+  int expected_alerts = 0;
+  for (std::uint16_t i = 0; i < 40; ++i) {
+    const bool evil = (i % 5 == 0);
+    if (evil) ++expected_alerts;
+    src_->send(flow_packet(
+        evil ? "payload with attack-sig marker" : "benign payload",
+        static_cast<std::uint16_t>(1000 + i % 4), i));
+    fabric_.run();
+  }
+  EXPECT_EQ(static_cast<int>(ids_->alerts().size()), expected_alerts);
+  EXPECT_EQ(ids_->packets_processed(), 40u);
+  // Every data packet reached dst; matched ones brought a result packet.
+  EXPECT_EQ(dst_->received().size(), 40u + expected_alerts);
+}
+
+TEST_F(ServiceChainFixture, ServiceMatchesBaselineVerdicts) {
+  // Run the same traffic through a standalone (Figure 1a) deployment and
+  // compare middlebox observations.
+  Ids baseline_ids(1, false);
+  baseline_ids.add_rule(exact_rule(1, "attack-sig", Verdict::kAlert));
+  baseline_ids.add_rule(exact_rule(2, "recon-scan", Verdict::kAlert));
+  AntiVirus baseline_av(2);
+  baseline_av.add_rule(exact_rule(1, "EICAR-TEST", Verdict::kQuarantine));
+
+  const char* payloads[] = {
+      "attack-sig here",     "nothing at all",
+      "recon-scan sweep",    "EICAR-TEST body",
+      "attack-sig EICAR-TEST recon-scan", "",
+  };
+  std::uint16_t id = 100;
+  for (const char* text : payloads) {
+    const net::Packet p = flow_packet(text, 2000, id++);
+    baseline_ids.process_standalone(p);
+    baseline_av.process_standalone(p);
+    src_->send(net::Packet(p));
+    fabric_.run();
+  }
+  EXPECT_EQ(ids_->total_rule_hits(), baseline_ids.total_rule_hits());
+  EXPECT_EQ(ids_->alerts().size(), baseline_ids.alerts().size());
+  EXPECT_EQ(av_->quarantined_flows(), baseline_av.quarantined_flows());
+}
+
+TEST_F(ServiceChainFixture, FirewallDropStopsChainTraversal) {
+  // Insert an L7 firewall (service mode) between DPI and IDS.
+  L7Firewall fw(3);
+  fw.add_rule(exact_rule(1, "blocked-proto", Verdict::kDrop));
+  fw.attach(controller_);
+  const dpi::ChainId chain = controller_.register_policy_chain({3, 1});
+  controller_.assign_chain(chain, "dpi1");
+  fabric_.add_node<MiddleboxNode>("fw", fw, NodeMode::kService);
+  fabric_.connect("s1", "fw");
+  // Replace the fixture's chain so the classifier is unambiguous.
+  tsa_->remove_chain(chain_);
+  PolicyChainSpec spec;
+  spec.id = chain;
+  spec.ingress = "src";
+  spec.sequence = {"dpi1", "fw", "ids"};
+  spec.egress = "dst";
+  tsa_->install_chain(spec);
+
+  src_->send(flow_packet("blocked-proto payload", 3000, 50));
+  fabric_.run();
+  EXPECT_EQ(fw.dropped_packets(), 1u);
+  EXPECT_EQ(dst_->received().size(), 0u);  // neither data nor result leaked
+  EXPECT_EQ(ids_->packets_processed(), 0u);
+
+  src_->send(flow_packet("innocent payload", 3000, 51));
+  fabric_.run();
+  EXPECT_EQ(dst_->received().size(), 1u);
+}
+
+TEST(IntegrationNsh, ServiceHeaderModeDeliversInlineResults) {
+  // Same chain wired in NSH mode: no dedicated result packets at all.
+  service::DpiController controller;
+  Ids ids(1, false);
+  ids.add_rule(exact_rule(1, "attack-sig", Verdict::kAlert));
+  ids.attach(controller);
+  const dpi::ChainId chain = controller.register_policy_chain({1});
+  InstanceConfig config;
+  config.result_mode = ResultMode::kServiceHeader;
+  auto instance = controller.create_instance("dpi1", config);
+
+  Fabric fabric;
+  fabric.add_node<Switch>("s1");
+  Host& src = fabric.add_node<Host>("src");
+  Host& dst = fabric.add_node<Host>("dst");
+  fabric.add_node<InstanceNode>("dpi1", instance);
+  fabric.add_node<MiddleboxNode>("ids", ids, NodeMode::kService);
+  for (const char* n : {"src", "dst", "dpi1", "ids"}) {
+    fabric.connect("s1", n);
+  }
+  src.set_gateway("s1");
+  SdnController sdn(fabric);
+  TrafficSteeringApp tsa(sdn, "s1");
+  PolicyChainSpec spec;
+  spec.id = chain;
+  spec.ingress = "src";
+  spec.sequence = {"dpi1", "ids"};
+  spec.egress = "dst";
+  tsa.install_chain(spec);
+
+  src.send(flow_packet("with attack-sig inside", 1, 1));
+  fabric.run();
+  ASSERT_EQ(dst.received().size(), 1u);  // exactly one packet, no extras
+  EXPECT_EQ(ids.alerts().size(), 1u);
+  EXPECT_TRUE(dst.received()[0].service_header.has_value());
+}
+
+TEST(IntegrationMca2, AttackMitigationEndToEnd) {
+  // Figure 6: normal + dedicated instances; attack traffic on one chain
+  // triggers detection and the TSA redirects the chain to the dedicated
+  // instance.
+  StressConfig stress;
+  stress.hits_per_byte_threshold = 0.02;
+  stress.min_window_bytes = 512;
+  stress.smoothing_windows = 1;
+  service::DpiController controller(stress);
+
+  Ids ids(1, false);
+  ids.add_rule(exact_rule(1, "attacksig", Verdict::kAlert));
+  ids.attach(controller);
+  const dpi::ChainId chain = controller.register_policy_chain({1});
+  auto regular = controller.create_instance("regular");
+  InstanceConfig ded;
+  ded.dedicated = true;
+  auto dedicated = controller.create_instance("dedicated", ded);
+  controller.assign_chain(chain, "regular");
+
+  Fabric fabric;
+  fabric.add_node<Switch>("s1");
+  Host& src = fabric.add_node<Host>("src");
+  fabric.add_node<Host>("dst");
+  fabric.add_node<InstanceNode>("regular", regular);
+  fabric.add_node<InstanceNode>("dedicated", dedicated);
+  fabric.add_node<MiddleboxNode>("ids", ids, NodeMode::kService);
+  for (const char* n : {"src", "dst", "regular", "dedicated", "ids"}) {
+    fabric.connect("s1", n);
+  }
+  src.set_gateway("s1");
+  SdnController sdn(fabric);
+  TrafficSteeringApp tsa(sdn, "s1");
+  PolicyChainSpec spec;
+  spec.id = chain;
+  spec.ingress = "src";
+  spec.sequence = {"regular", "ids"};
+  spec.egress = "dst";
+  tsa.install_chain(spec);
+
+  // Attack wave through the regular instance.
+  std::string attack;
+  for (int i = 0; i < 30; ++i) attack += "attacksig";
+  for (std::uint16_t i = 0; i < 20; ++i) {
+    src.send(flow_packet(attack, static_cast<std::uint16_t>(i % 4), i));
+    fabric.run();
+  }
+  controller.collect_telemetry();
+  const MitigationPlan plan = controller.evaluate_mitigation();
+  ASSERT_FALSE(plan.empty());
+  controller.apply_mitigation(plan);
+  // Realize the placement change in the data plane.
+  tsa.update_sequence(chain, {"dedicated", "ids"});
+
+  const std::uint64_t regular_packets_before =
+      regular->telemetry().packets + regular->telemetry().pass_through;
+  src.send(flow_packet(attack, 1, 999));
+  fabric.run();
+  EXPECT_EQ(regular->telemetry().packets + regular->telemetry().pass_through,
+            regular_packets_before);     // regular no longer on the path
+  EXPECT_GE(dedicated->telemetry().packets, 1u);  // dedicated scans now
+  EXPECT_GT(ids.alerts().size(), 0u);
+}
+
+}  // namespace
+}  // namespace dpisvc

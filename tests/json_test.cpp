@@ -1,0 +1,146 @@
+// Unit tests for the JSON control-plane message substrate.
+#include <gtest/gtest.h>
+
+#include "json/json.hpp"
+
+namespace dpisvc::json {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_EQ(parse("true").as_bool(), true);
+  EXPECT_EQ(parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(parse("3.5").as_number(), 3.5);
+  EXPECT_EQ(parse("-17").as_int(), -17);
+  EXPECT_DOUBLE_EQ(parse("1e3").as_number(), 1000.0);
+  EXPECT_DOUBLE_EQ(parse("2.5E-1").as_number(), 0.25);
+  EXPECT_EQ(parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, WhitespaceTolerant) {
+  const Value v = parse("  {\n\t\"a\" : [ 1 , 2 ] }\r\n");
+  EXPECT_EQ(v.at("a").as_array().size(), 2u);
+}
+
+TEST(JsonParse, NestedStructures) {
+  const Value v = parse(R"({"a":{"b":[1,{"c":"d"}]},"e":[]})");
+  EXPECT_EQ(v.at("a").at("b").as_array()[1].at("c").as_string(), "d");
+  EXPECT_TRUE(v.at("e").as_array().empty());
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse(R"("\"\\\/\b\f\n\r\t")").as_string(), "\"\\/\b\f\n\r\t");
+  EXPECT_EQ(parse(R"("A")").as_string(), "A");
+  EXPECT_EQ(parse(R"("é")").as_string(), "\xC3\xA9");        // é
+  EXPECT_EQ(parse(R"("€")").as_string(), "\xE2\x82\xAC");    // €
+  EXPECT_EQ(parse(R"("😀")").as_string(),
+            "\xF0\x9F\x98\x80");  // 😀 via surrogate pair
+}
+
+TEST(JsonParse, RejectsMalformed) {
+  EXPECT_THROW(parse(""), ParseError);
+  EXPECT_THROW(parse("{"), ParseError);
+  EXPECT_THROW(parse("[1,]"), ParseError);
+  EXPECT_THROW(parse("{\"a\":1,}"), ParseError);
+  EXPECT_THROW(parse("tru"), ParseError);
+  EXPECT_THROW(parse("01"), ParseError);
+  EXPECT_THROW(parse("1 2"), ParseError);
+  EXPECT_THROW(parse("\"unterminated"), ParseError);
+  EXPECT_THROW(parse("\"bad\\q\""), ParseError);
+  EXPECT_THROW(parse("\"\\ud800\""), ParseError);  // lone high surrogate
+  EXPECT_THROW(parse("{\"a\":1,\"a\":2}"), ParseError);  // duplicate key
+  EXPECT_THROW(parse("{1:2}"), ParseError);
+  EXPECT_THROW(parse("nul"), ParseError);
+  EXPECT_THROW(parse("--1"), ParseError);
+  EXPECT_THROW(parse("1."), ParseError);
+  EXPECT_THROW(parse("1e"), ParseError);
+}
+
+TEST(JsonParse, RejectsControlCharInString) {
+  EXPECT_THROW(parse(std::string("\"a\nb\"")), ParseError);
+}
+
+TEST(JsonDump, CompactRoundTrip) {
+  const char* docs[] = {
+      R"(null)",
+      R"(true)",
+      R"(-42)",
+      R"("x")",
+      R"([1,2,[3]])",
+      R"({"k":"v","n":{"a":[true,null]}})",
+  };
+  for (const char* doc : docs) {
+    const Value v = parse(doc);
+    EXPECT_EQ(dump(v), doc) << doc;
+    EXPECT_TRUE(parse(dump(v)) == v) << doc;
+  }
+}
+
+TEST(JsonDump, EscapesControlCharacters) {
+  Value v(std::string("a\x01""b\n"));
+  EXPECT_EQ(dump(v), "\"a\\u0001b\\n\"");
+}
+
+TEST(JsonDump, NumbersIntegralVsReal) {
+  EXPECT_EQ(dump(Value(5)), "5");
+  EXPECT_EQ(dump(Value(5.0)), "5");
+  EXPECT_EQ(dump(Value(5.25)), "5.25");
+  EXPECT_EQ(dump(Value(-0.5)), "-0.5");
+}
+
+TEST(JsonDump, PrettyIsReparsable) {
+  const Value v = parse(R"({"a":[1,2],"b":{"c":null}})");
+  const std::string pretty = dump_pretty(v);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  EXPECT_TRUE(parse(pretty) == v);
+}
+
+TEST(JsonObject, InsertionOrderPreserved) {
+  Object o = obj({{"z", 1}, {"a", 2}, {"m", 3}});
+  EXPECT_EQ(dump(Value(o)), R"({"z":1,"a":2,"m":3})");
+}
+
+TEST(JsonObject, EqualityIsOrderInsensitive) {
+  const Value a = parse(R"({"x":1,"y":2})");
+  const Value b = parse(R"({"y":2,"x":1})");
+  EXPECT_TRUE(a == b);
+}
+
+TEST(JsonValue, TypeErrors) {
+  const Value v = parse("[1]");
+  EXPECT_THROW(v.as_object(), TypeError);
+  EXPECT_THROW(v.as_string(), TypeError);
+  EXPECT_THROW(v.as_bool(), TypeError);
+  EXPECT_THROW(parse("{}").at("missing"), TypeError);
+  EXPECT_THROW(parse("1.5").as_int(), TypeError);
+}
+
+TEST(JsonValue, GetOrFallback) {
+  const Value v = parse(R"({"a":1})");
+  const Value fallback(99);
+  EXPECT_EQ(v.get_or("a", fallback).as_int(), 1);
+  EXPECT_EQ(v.get_or("b", fallback).as_int(), 99);
+}
+
+TEST(JsonValue, AsIntChecksIntegrality) {
+  EXPECT_EQ(parse("9007199254740992").as_int(), 9007199254740992LL);
+  EXPECT_THROW(parse("0.5").as_int(), TypeError);
+}
+
+TEST(JsonBuilder, ComposesMessages) {
+  // The registration message shape used by the DPI controller protocol.
+  Object msg = obj({
+      {"type", "register"},
+      {"middlebox_id", 3},
+      {"name", "ids"},
+      {"stateful", true},
+  });
+  const std::string text = dump(Value(msg));
+  const Value parsed = parse(text);
+  EXPECT_EQ(parsed.at("type").as_string(), "register");
+  EXPECT_EQ(parsed.at("middlebox_id").as_int(), 3);
+  EXPECT_TRUE(parsed.at("stateful").as_bool());
+}
+
+}  // namespace
+}  // namespace dpisvc::json

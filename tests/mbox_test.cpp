@@ -1,0 +1,240 @@
+// Tests for the middlebox framework and the concrete middlebox types.
+#include <gtest/gtest.h>
+
+#include "mbox/boxes.hpp"
+#include "mbox/middlebox.hpp"
+#include "service/controller.hpp"
+
+namespace dpisvc::mbox {
+namespace {
+
+net::Packet packet_with(std::string_view payload, std::uint16_t src_port = 1) {
+  net::Packet p;
+  p.tuple.src_ip = net::Ipv4Addr(10, 0, 0, 1);
+  p.tuple.dst_ip = net::Ipv4Addr(10, 0, 0, 2);
+  p.tuple.src_port = src_port;
+  p.tuple.dst_port = 80;
+  p.payload = to_bytes(payload);
+  return p;
+}
+
+RuleSpec exact_rule(dpi::PatternId id, std::string pattern, Verdict verdict,
+                    int rule_class = 0) {
+  RuleSpec rule;
+  rule.id = id;
+  rule.description = "rule " + std::to_string(id);
+  rule.verdict = verdict;
+  rule.exact = std::move(pattern);
+  rule.rule_class = rule_class;
+  return rule;
+}
+
+TEST(Middlebox, RuleValidation) {
+  Ids ids(1);
+  ids.add_rule(exact_rule(1, "attack", Verdict::kAlert));
+  EXPECT_THROW(ids.add_rule(exact_rule(1, "again", Verdict::kAlert)),
+               std::invalid_argument);  // duplicate id
+  RuleSpec empty;
+  empty.id = 2;
+  EXPECT_THROW(ids.add_rule(empty), std::invalid_argument);  // no pattern
+  RuleSpec both;
+  both.id = 3;
+  both.exact = "x";
+  both.regex = "y";
+  EXPECT_THROW(ids.add_rule(both), std::invalid_argument);
+  EXPECT_EQ(ids.num_rules(), 1u);
+  EXPECT_NE(ids.find_rule(1), nullptr);
+  EXPECT_EQ(ids.find_rule(9), nullptr);
+}
+
+TEST(Middlebox, StandaloneScanAppliesRules) {
+  Ids ids(1, /*stateful=*/false);
+  ids.add_rule(exact_rule(1, "attack", Verdict::kAlert, /*severity=*/3));
+  ids.add_rule(exact_rule(2, "probe", Verdict::kAlert));
+  const Verdict verdict =
+      ids.process_standalone(packet_with("an attack and a probe"));
+  EXPECT_EQ(verdict, Verdict::kAlert);
+  EXPECT_EQ(ids.total_rule_hits(), 2u);
+  ASSERT_EQ(ids.alerts().size(), 2u);
+  EXPECT_EQ(ids.alerts()[0].rule, 1);
+  EXPECT_EQ(ids.alerts()[0].severity, 3);
+  EXPECT_EQ(ids.packets_processed(), 1u);
+}
+
+TEST(Middlebox, StandaloneRegexRules) {
+  Ids ids(1, false);
+  RuleSpec rule;
+  rule.id = 5;
+  rule.regex = R"(cmd=\w{4,})";
+  rule.verdict = Verdict::kAlert;
+  ids.add_rule(rule);
+  EXPECT_EQ(ids.process_standalone(packet_with("GET /?cmd=exec HTTP")),
+            Verdict::kAlert);
+  EXPECT_EQ(ids.process_standalone(packet_with("GET /?cmd=a HTTP")),
+            Verdict::kPass);
+}
+
+TEST(Middlebox, StandaloneStatefulSpansPackets) {
+  Ids ids(1, /*stateful=*/true);
+  ids.add_rule(exact_rule(1, "longattackpattern", Verdict::kAlert));
+  EXPECT_EQ(ids.process_standalone(packet_with("xxlongatta", 7)),
+            Verdict::kPass);
+  EXPECT_EQ(ids.process_standalone(packet_with("ckpatternxx", 7)),
+            Verdict::kAlert);
+}
+
+TEST(Middlebox, ApplyReportEntriesCountsRuns) {
+  Ids ids(1);
+  ids.add_rule(exact_rule(4, "aa", Verdict::kAlert));
+  const Verdict verdict = ids.apply_report_entries(
+      packet_with("irrelevant"), {net::MatchEntry{4, 2, 5}});
+  EXPECT_EQ(verdict, Verdict::kAlert);
+  EXPECT_EQ(ids.total_rule_hits(), 5u);  // run expands
+  EXPECT_EQ(ids.hits_by_rule().at(4), 5u);
+}
+
+TEST(Middlebox, UnknownRuleInReportIgnored) {
+  Ids ids(1);
+  const Verdict verdict = ids.apply_report_entries(
+      packet_with("x"), {net::MatchEntry{99, 1, 1}});
+  EXPECT_EQ(verdict, Verdict::kPass);
+  EXPECT_EQ(ids.total_rule_hits(), 0u);
+}
+
+TEST(Middlebox, AttachRegistersWithController) {
+  service::DpiController controller;
+  Ids ids(1);
+  ids.add_rule(exact_rule(1, "attack-sig", Verdict::kAlert));
+  RuleSpec rx;
+  rx.id = 2;
+  rx.regex = R"(botnet\d+)";
+  ids.add_rule(rx);
+  ids.attach(controller);
+  EXPECT_TRUE(controller.db().is_registered(1));
+  EXPECT_EQ(controller.db().num_distinct_exact(), 1u);
+  EXPECT_EQ(controller.db().num_distinct_regex(), 1u);
+  // Double-attach fails loudly (already registered).
+  EXPECT_THROW(ids.attach(controller), std::runtime_error);
+}
+
+TEST(Middlebox, ServiceAndStandaloneAgree) {
+  // The core service property at middlebox level: applying service-provided
+  // results gives the same verdict and counters as self-scanning.
+  service::DpiController controller;
+  Ids service_side(1, false);
+  Ids standalone(1, false);
+  for (Ids* box : {&service_side, &standalone}) {
+    box->add_rule(exact_rule(1, "attack", Verdict::kAlert));
+    box->add_rule(exact_rule(2, "worm", Verdict::kAlert));
+  }
+  service_side.attach(controller);
+  const dpi::ChainId chain = controller.register_policy_chain({1});
+  auto instance = controller.create_instance("i1");
+
+  const char* payloads[] = {"an attack!", "worms attack worms", "clean", ""};
+  for (const char* text : payloads) {
+    net::Packet p = packet_with(text);
+    const auto scan = instance->scan(
+        chain, p.tuple,
+        BytesView(p.payload.data(), p.payload.size()));
+    std::vector<net::MatchEntry> entries;
+    for (const auto& m : scan.matches) {
+      if (m.middlebox == 1) entries = m.entries;
+    }
+    const Verdict via_service = service_side.apply_report_entries(p, entries);
+    const Verdict via_scan = standalone.process_standalone(p);
+    EXPECT_EQ(via_service, via_scan) << text;
+  }
+  EXPECT_EQ(service_side.total_rule_hits(), standalone.total_rule_hits());
+  EXPECT_EQ(service_side.alerts().size(), standalone.alerts().size());
+}
+
+// --- concrete boxes ------------------------------------------------------------
+
+TEST(Boxes, AntiVirusQuarantinesFlows) {
+  AntiVirus av(2);
+  av.add_rule(exact_rule(1, "EICAR-TEST", Verdict::kQuarantine));
+  const net::Packet infected = packet_with("xxEICAR-TESTxx", 5);
+  const net::Packet clean = packet_with("all fine", 6);
+  EXPECT_EQ(av.process_standalone(infected), Verdict::kQuarantine);
+  EXPECT_EQ(av.process_standalone(clean), Verdict::kPass);
+  EXPECT_TRUE(av.is_quarantined(infected.tuple));
+  EXPECT_FALSE(av.is_quarantined(clean.tuple));
+  EXPECT_EQ(av.quarantined_flows(), 1u);
+  // Direction-insensitive.
+  net::FiveTuple reverse = infected.tuple;
+  std::swap(reverse.src_ip, reverse.dst_ip);
+  std::swap(reverse.src_port, reverse.dst_port);
+  EXPECT_TRUE(av.is_quarantined(reverse));
+}
+
+TEST(Boxes, L7FirewallDrops) {
+  L7Firewall fw(3);
+  fw.add_rule(exact_rule(1, "forbidden", Verdict::kDrop));
+  EXPECT_EQ(fw.process_standalone(packet_with("forbidden content")),
+            Verdict::kDrop);
+  EXPECT_EQ(fw.process_standalone(packet_with("allowed content")),
+            Verdict::kPass);
+  EXPECT_EQ(fw.dropped_packets(), 1u);
+}
+
+TEST(Boxes, TrafficShaperClassifiesFlows) {
+  TrafficShaper shaper(4);
+  shaper.add_rule(exact_rule(1, "bittorrent", Verdict::kShape, /*class=*/2));
+  shaper.add_rule(exact_rule(2, "netflixcdn", Verdict::kShape, /*class=*/1));
+  const net::Packet p2p = packet_with("bittorrent handshake", 10);
+  const net::Packet video = packet_with("netflixcdn chunk", 11);
+  const net::Packet other = packet_with("ssh session", 12);
+  shaper.process_standalone(p2p);
+  shaper.process_standalone(video);
+  shaper.process_standalone(other);
+  EXPECT_EQ(shaper.flow_class(p2p.tuple), 2);
+  EXPECT_EQ(shaper.flow_class(video.tuple), 1);
+  EXPECT_EQ(shaper.flow_class(other.tuple), 0);
+  // Later packets of a classified flow stay in the class even if matchless.
+  shaper.process_standalone(packet_with("continuation bytes", 10));
+  EXPECT_EQ(shaper.packets_per_class().at(2), 2u);
+  EXPECT_EQ(shaper.packets_per_class().at(0), 1u);
+}
+
+TEST(Boxes, DlpRecordsLeaks) {
+  DataLeakagePrevention dlp(5);
+  RuleSpec ssn;
+  ssn.id = 1;
+  ssn.description = "ssn";
+  ssn.regex = R"(\d{3}-\d{2}-\d{4})";
+  ssn.verdict = Verdict::kDrop;
+  dlp.add_rule(ssn);
+  dlp.add_rule(exact_rule(2, "CONFIDENTIAL", Verdict::kAlert));
+  EXPECT_EQ(dlp.process_standalone(packet_with("ssn: 123-45-6789")),
+            Verdict::kDrop);
+  EXPECT_EQ(dlp.process_standalone(packet_with("CONFIDENTIAL report")),
+            Verdict::kAlert);
+  ASSERT_EQ(dlp.leaks().size(), 2u);
+  EXPECT_EQ(dlp.leaks()[0].description, "ssn");
+}
+
+TEST(Boxes, L7LoadBalancerPinsFlowsToBackends) {
+  L7LoadBalancer lb(6, /*num_backends=*/3);
+  lb.add_rule(exact_rule(1, "GET /api/", Verdict::kPass, /*backend=*/1));
+  lb.add_rule(exact_rule(2, "GET /static/", Verdict::kPass, /*backend=*/2));
+  const net::Packet api = packet_with("GET /api/users HTTP/1.1", 20);
+  const net::Packet assets = packet_with("GET /static/app.js HTTP/1.1", 21);
+  const net::Packet root = packet_with("GET / HTTP/1.1", 22);
+  lb.process_standalone(api);
+  lb.process_standalone(assets);
+  lb.process_standalone(root);
+  EXPECT_EQ(lb.backend_for(api.tuple), 1u);
+  EXPECT_EQ(lb.backend_for(assets.tuple), 2u);
+  EXPECT_EQ(lb.backend_for(root.tuple), 0u);
+  EXPECT_EQ(lb.packets_per_backend()[1], 1u);
+}
+
+TEST(Boxes, VerdictNames) {
+  EXPECT_STREQ(verdict_name(Verdict::kPass), "pass");
+  EXPECT_STREQ(verdict_name(Verdict::kDrop), "drop");
+  EXPECT_STREQ(verdict_name(Verdict::kQuarantine), "quarantine");
+}
+
+}  // namespace
+}  // namespace dpisvc::mbox

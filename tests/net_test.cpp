@@ -1,0 +1,309 @@
+// Tests for the packet layer: addresses, flow keys, wire round-trips, tag
+// handling, and the match-report codecs of §6.5.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "net/addr.hpp"
+#include "net/flow.hpp"
+#include "net/packet.hpp"
+#include "net/result.hpp"
+
+namespace dpisvc::net {
+namespace {
+
+// --- addresses -------------------------------------------------------------
+
+TEST(Addr, Ipv4RoundTrip) {
+  const Ipv4Addr a(10, 0, 0, 1);
+  EXPECT_EQ(a.to_string(), "10.0.0.1");
+  EXPECT_EQ(Ipv4Addr::parse("10.0.0.1"), a);
+  EXPECT_EQ(Ipv4Addr::parse("255.255.255.255").value, 0xFFFFFFFFu);
+  EXPECT_EQ(Ipv4Addr::parse("0.0.0.0").value, 0u);
+}
+
+TEST(Addr, Ipv4ParseRejectsMalformed) {
+  EXPECT_THROW(Ipv4Addr::parse("256.0.0.1"), std::invalid_argument);
+  EXPECT_THROW(Ipv4Addr::parse("1.2.3"), std::invalid_argument);
+  EXPECT_THROW(Ipv4Addr::parse("1.2.3.4.5"), std::invalid_argument);
+  EXPECT_THROW(Ipv4Addr::parse("a.b.c.d"), std::invalid_argument);
+  EXPECT_THROW(Ipv4Addr::parse("1.2.3.4 "), std::invalid_argument);
+}
+
+TEST(Addr, MacRoundTrip) {
+  const MacAddr m = MacAddr::parse("de:ad:be:ef:00:42");
+  EXPECT_EQ(m.value, 0xDEADBEEF0042ULL);
+  EXPECT_EQ(m.to_string(), "de:ad:be:ef:00:42");
+}
+
+TEST(Addr, MacParseRejectsMalformed) {
+  EXPECT_THROW(MacAddr::parse("de:ad:be:ef:00"), std::invalid_argument);
+  EXPECT_THROW(MacAddr::parse("de-ad-be-ef-00-42"), std::invalid_argument);
+  EXPECT_THROW(MacAddr::parse("zz:ad:be:ef:00:42"), std::invalid_argument);
+}
+
+// --- flow keys ----------------------------------------------------------------
+
+FiveTuple tuple(const char* src, std::uint16_t sp, const char* dst,
+                std::uint16_t dp, IpProto proto = IpProto::kTcp) {
+  return FiveTuple{Ipv4Addr::parse(src), Ipv4Addr::parse(dst), sp, dp, proto};
+}
+
+TEST(Flow, CanonicalIsDirectionInsensitive) {
+  const FiveTuple fwd = tuple("10.0.0.1", 12345, "10.0.0.2", 80);
+  FiveTuple rev = fwd;
+  std::swap(rev.src_ip, rev.dst_ip);
+  std::swap(rev.src_port, rev.dst_port);
+  EXPECT_EQ(fwd.canonical(), rev.canonical());
+  EXPECT_EQ(fwd.canonical().hash(), rev.canonical().hash());
+}
+
+TEST(Flow, DistinctFlowsHashDifferently) {
+  const FiveTuple a = tuple("10.0.0.1", 1000, "10.0.0.2", 80);
+  const FiveTuple b = tuple("10.0.0.1", 1001, "10.0.0.2", 80);
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(Flow, CanonicalIsIdempotent) {
+  const FiveTuple t = tuple("192.168.1.9", 443, "10.0.0.1", 55000);
+  EXPECT_EQ(t.canonical().canonical(), t.canonical());
+}
+
+// --- packet wire round-trip -------------------------------------------------------
+
+Packet sample_packet() {
+  Packet p;
+  p.src_mac = MacAddr::parse("02:00:00:00:00:01");
+  p.dst_mac = MacAddr::parse("02:00:00:00:00:02");
+  p.tuple = tuple("10.0.0.1", 34567, "93.184.216.34", 80);
+  p.tcp_seq = 0xABCD1234;
+  p.payload = to_bytes("GET /index.html HTTP/1.1\r\nHost: example\r\n\r\n");
+  return p;
+}
+
+TEST(Packet, WireRoundTripPlain) {
+  const Packet p = sample_packet();
+  const Bytes wire = p.to_wire();
+  EXPECT_EQ(wire.size(), p.wire_size());
+  const Packet q = Packet::from_wire(wire);
+  EXPECT_EQ(q.tuple, p.tuple);
+  EXPECT_EQ(q.payload, p.payload);
+  EXPECT_EQ(q.src_mac, p.src_mac);
+  EXPECT_EQ(q.dst_mac, p.dst_mac);
+  EXPECT_EQ(q.tcp_seq, p.tcp_seq);
+  EXPECT_TRUE(q.tags.empty());
+  EXPECT_FALSE(q.service_header.has_value());
+}
+
+TEST(Packet, WireRoundTripWithTagsAndNsh) {
+  Packet p = sample_packet();
+  p.push_tag(TagKind::kVlan, 42);
+  p.push_tag(TagKind::kPolicyChain, 7);  // outermost
+  p.set_match_mark(true);
+  ServiceHeader sh;
+  sh.service_path_id = 99;
+  sh.service_index = 3;
+  sh.metadata = {1, 2, 3, 4, 5};
+  p.service_header = sh;
+
+  const Packet q = Packet::from_wire(p.to_wire());
+  ASSERT_EQ(q.tags.size(), 2u);
+  EXPECT_EQ(q.tags[0], (Tag{TagKind::kPolicyChain, 7u}));
+  EXPECT_EQ(q.tags[1], (Tag{TagKind::kVlan, 42u}));
+  EXPECT_TRUE(q.has_match_mark());
+  ASSERT_TRUE(q.service_header.has_value());
+  EXPECT_EQ(*q.service_header, sh);
+  EXPECT_EQ(q.payload, p.payload);
+}
+
+TEST(Packet, WireRoundTripUdp) {
+  Packet p = sample_packet();
+  p.tuple.proto = IpProto::kUdp;
+  const Packet q = Packet::from_wire(p.to_wire());
+  EXPECT_EQ(q.tuple, p.tuple);
+  EXPECT_EQ(q.payload, p.payload);
+}
+
+TEST(Packet, EmptyPayloadRoundTrip) {
+  Packet p = sample_packet();
+  p.payload.clear();
+  const Packet q = Packet::from_wire(p.to_wire());
+  EXPECT_TRUE(q.payload.empty());
+}
+
+TEST(Packet, FromWireRejectsCorruption) {
+  const Packet p = sample_packet();
+  Bytes wire = p.to_wire();
+  // Truncation.
+  EXPECT_THROW(Packet::from_wire(BytesView(wire.data(), 10)),
+               std::invalid_argument);
+  // IP checksum corruption.
+  Bytes bad = wire;
+  bad[14 + 12] ^= 0xFF;  // src IP byte inside the IP header
+  EXPECT_THROW(Packet::from_wire(bad), std::invalid_argument);
+  // Unknown ethertype.
+  Bytes weird = wire;
+  weird[12] = 0x12;
+  weird[13] = 0x34;
+  EXPECT_THROW(Packet::from_wire(weird), std::invalid_argument);
+  // Trailing garbage breaks the length check.
+  Bytes trailing = wire;
+  trailing.push_back(0xAA);
+  EXPECT_THROW(Packet::from_wire(trailing), std::invalid_argument);
+}
+
+TEST(Packet, TagStackOperations) {
+  Packet p;
+  EXPECT_FALSE(p.find_tag(TagKind::kPolicyChain).has_value());
+  p.push_tag(TagKind::kPolicyChain, 5);
+  p.push_tag(TagKind::kMpls, 1000);
+  EXPECT_EQ(p.find_tag(TagKind::kPolicyChain), 5u);
+  EXPECT_EQ(p.find_tag(TagKind::kMpls), 1000u);
+  EXPECT_TRUE(p.pop_tag(TagKind::kMpls));
+  EXPECT_FALSE(p.pop_tag(TagKind::kMpls));
+  EXPECT_EQ(p.tags.size(), 1u);
+}
+
+TEST(Packet, MatchMarkIsEcnBit) {
+  Packet p;
+  EXPECT_FALSE(p.has_match_mark());
+  p.set_match_mark(true);
+  EXPECT_TRUE(p.has_match_mark());
+  EXPECT_EQ(p.ecn & 1, 1);
+  p.set_match_mark(false);
+  EXPECT_FALSE(p.has_match_mark());
+}
+
+// --- match-report codecs (§6.5) ------------------------------------------------------
+
+MatchReport sample_report() {
+  MatchReport r;
+  r.policy_chain_id = 3;
+  r.packet_ref = 0x1122334455667788ULL;
+  r.sections.push_back(MiddleboxSection{
+      1, {MatchEntry{10, 100, 1}, MatchEntry{11, 200, 5}}});
+  r.sections.push_back(MiddleboxSection{4, {MatchEntry{7, 64, 1}}});
+  return r;
+}
+
+TEST(Result, RoundTripCompact) {
+  const MatchReport r = sample_report();
+  EXPECT_EQ(decode_report(encode_report(r, ReportCodec::kCompact)), r);
+}
+
+TEST(Result, RoundTripUniform6) {
+  const MatchReport r = sample_report();
+  EXPECT_EQ(decode_report(encode_report(r, ReportCodec::kUniform6)), r);
+}
+
+TEST(Result, CompactSingleMatchIsFourBytes) {
+  MatchReport r;
+  r.sections.push_back(MiddleboxSection{1, {MatchEntry{5, 1000, 1}}});
+  const Bytes compact = encode_report(r, ReportCodec::kCompact);
+  MatchReport r2 = r;
+  r2.sections[0].entries[0].run_length = 3;
+  const Bytes ranged = encode_report(r2, ReportCodec::kCompact);
+  EXPECT_EQ(ranged.size() - compact.size(), 2u);  // 6-byte vs 4-byte entry
+}
+
+TEST(Result, Uniform6IsSixBytesPerEntry) {
+  MatchReport empty;
+  empty.sections.push_back(MiddleboxSection{1, {}});
+  MatchReport one = empty;
+  one.sections[0].entries.push_back(MatchEntry{1, 1, 1});
+  MatchReport range = empty;
+  range.sections[0].entries.push_back(MatchEntry{1, 1, 250});
+  const std::size_t base = encode_report(empty, ReportCodec::kUniform6).size();
+  EXPECT_EQ(encode_report(one, ReportCodec::kUniform6).size(), base + 6);
+  EXPECT_EQ(encode_report(range, ReportCodec::kUniform6).size(), base + 6);
+}
+
+TEST(Result, CompactRejectsWidePatternId) {
+  MatchReport r;
+  r.sections.push_back(MiddleboxSection{1, {MatchEntry{0x8000, 1, 1}}});
+  EXPECT_THROW(encode_report(r, ReportCodec::kCompact), std::invalid_argument);
+  EXPECT_NO_THROW(encode_report(r, ReportCodec::kUniform6));
+}
+
+TEST(Result, RejectsOutOfRangeFields) {
+  MatchReport r;
+  r.sections.push_back(MiddleboxSection{1, {MatchEntry{1, 1u << 24, 1}}});
+  EXPECT_THROW(encode_report(r, ReportCodec::kUniform6), std::invalid_argument);
+  r.sections[0].entries[0] = MatchEntry{1, 1, 300};
+  EXPECT_THROW(encode_report(r, ReportCodec::kUniform6), std::invalid_argument);
+  r.sections[0].entries[0] = MatchEntry{1, 1, 0};
+  EXPECT_THROW(encode_report(r, ReportCodec::kUniform6), std::invalid_argument);
+}
+
+TEST(Result, DecodeRejectsMalformed) {
+  const Bytes good = encode_report(sample_report(), ReportCodec::kUniform6);
+  EXPECT_THROW(decode_report(BytesView(good.data(), 3)), std::out_of_range);
+  Bytes bad_magic = good;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_THROW(decode_report(bad_magic), std::invalid_argument);
+  Bytes trailing = good;
+  trailing.push_back(0);
+  EXPECT_THROW(decode_report(trailing), std::invalid_argument);
+}
+
+TEST(Result, EmptyReportHelpers) {
+  MatchReport r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.total_entries(), 0u);
+  r.sections.push_back(MiddleboxSection{1, {}});
+  EXPECT_TRUE(r.empty());
+  r.sections.push_back(MiddleboxSection{2, {MatchEntry{1, 1, 1}}});
+  EXPECT_FALSE(r.empty());
+  EXPECT_EQ(r.total_entries(), 1u);
+}
+
+TEST(Result, CompressRunsMergesConsecutive) {
+  // Pattern 5 matches at 10,11,12 (self-repeating pattern case, §6.5);
+  // pattern 6 at 12; pattern 5 again at 20.
+  const std::vector<std::pair<std::uint16_t, std::uint32_t>> raw = {
+      {5, 10}, {5, 11}, {5, 12}, {5, 20}, {6, 12}};
+  const auto entries = compress_runs(raw);
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0], (MatchEntry{5, 10, 3}));
+  EXPECT_EQ(entries[1], (MatchEntry{5, 20, 1}));
+  EXPECT_EQ(entries[2], (MatchEntry{6, 12, 1}));
+}
+
+TEST(Result, CompressRunsSplitsAt256) {
+  std::vector<std::pair<std::uint16_t, std::uint32_t>> raw;
+  for (std::uint32_t i = 0; i < 300; ++i) {
+    raw.emplace_back(1, 100 + i);
+  }
+  const auto entries = compress_runs(raw);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].run_length, 256u);
+  EXPECT_EQ(entries[1].run_length, 44u);
+  EXPECT_EQ(entries[1].position, 356u);
+}
+
+TEST(Result, RandomizedRoundTripProperty) {
+  Rng rng(0xBEEF);
+  for (int iter = 0; iter < 100; ++iter) {
+    MatchReport r;
+    r.policy_chain_id = static_cast<std::uint16_t>(rng.uniform(0, 0xFFFF));
+    r.packet_ref = rng.next();
+    const std::size_t sections = rng.index(4);
+    for (std::size_t s = 0; s < sections; ++s) {
+      MiddleboxSection section;
+      section.middlebox_id = static_cast<std::uint16_t>(rng.uniform(1, 64));
+      const std::size_t entries = rng.index(10);
+      for (std::size_t e = 0; e < entries; ++e) {
+        section.entries.push_back(MatchEntry{
+            static_cast<std::uint16_t>(rng.uniform(0, 0x7FFF)),
+            static_cast<std::uint32_t>(rng.uniform(0, (1u << 24) - 1)),
+            static_cast<std::uint32_t>(rng.uniform(1, 256))});
+      }
+      r.sections.push_back(std::move(section));
+    }
+    for (ReportCodec codec : {ReportCodec::kCompact, ReportCodec::kUniform6}) {
+      EXPECT_EQ(decode_report(encode_report(r, codec)), r);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dpisvc::net

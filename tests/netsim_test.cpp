@@ -1,0 +1,347 @@
+// Tests for the simulated SDN fabric: links, switches, flow rules, TSA
+// steering.
+#include <gtest/gtest.h>
+
+#include "netsim/controller.hpp"
+#include "netsim/host.hpp"
+#include "netsim/switch.hpp"
+
+namespace dpisvc::netsim {
+namespace {
+
+net::Packet make_packet(std::uint16_t dst_port = 80) {
+  net::Packet p;
+  p.tuple.src_ip = net::Ipv4Addr(10, 0, 0, 1);
+  p.tuple.dst_ip = net::Ipv4Addr(10, 0, 0, 2);
+  p.tuple.src_port = 12345;
+  p.tuple.dst_port = dst_port;
+  p.payload = to_bytes("payload");
+  return p;
+}
+
+/// A node that records traversal and passes packets back to the sender.
+class Bouncer : public Node {
+ public:
+  Bouncer(Fabric& fabric, NodeId name) : Node(fabric, std::move(name)) {}
+
+  void receive(net::Packet packet, const NodeId& from) override {
+    ++seen_;
+    emit(from, std::move(packet));
+  }
+
+  std::uint64_t seen() const noexcept { return seen_; }
+
+ private:
+  std::uint64_t seen_ = 0;
+};
+
+TEST(Fabric, RejectsDuplicateNames) {
+  Fabric fabric;
+  fabric.add_node<Host>("h1");
+  EXPECT_THROW(fabric.add_node<Host>("h1"), std::invalid_argument);
+}
+
+TEST(Fabric, ConnectValidatesNodes) {
+  Fabric fabric;
+  fabric.add_node<Host>("h1");
+  EXPECT_THROW(fabric.connect("h1", "nope"), std::invalid_argument);
+  EXPECT_THROW(fabric.connect("h1", "h1"), std::invalid_argument);
+  fabric.add_node<Host>("h2");
+  fabric.connect("h1", "h2");
+  EXPECT_TRUE(fabric.linked("h1", "h2"));
+  EXPECT_TRUE(fabric.linked("h2", "h1"));
+  EXPECT_FALSE(fabric.linked("h1", "h3"));
+}
+
+TEST(Fabric, SendRequiresLink) {
+  Fabric fabric;
+  fabric.add_node<Host>("h1");
+  fabric.add_node<Host>("h2");
+  EXPECT_THROW(fabric.send("h1", "h2", make_packet()), std::logic_error);
+}
+
+TEST(Fabric, DeliversInFifoOrder) {
+  Fabric fabric;
+  Host& h1 = fabric.add_node<Host>("h1");
+  Host& h2 = fabric.add_node<Host>("h2");
+  fabric.connect("h1", "h2");
+  h1.set_gateway("h2");
+  for (std::uint16_t i = 0; i < 5; ++i) {
+    net::Packet p = make_packet();
+    p.ip_id = i;
+    h1.send(std::move(p));
+  }
+  EXPECT_EQ(fabric.run(), 5u);
+  ASSERT_EQ(h2.received().size(), 5u);
+  for (std::uint16_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(h2.received()[i].ip_id, i);
+  }
+}
+
+TEST(Fabric, LoopGuardTrips) {
+  Fabric fabric;
+  fabric.add_node<Bouncer>("b1");
+  fabric.add_node<Bouncer>("b2");
+  fabric.connect("b1", "b2");
+  fabric.send("b1", "b2", make_packet());
+  EXPECT_THROW(fabric.run(/*max_events=*/100), std::runtime_error);
+}
+
+TEST(Fabric, HostWithoutGatewayThrows) {
+  Fabric fabric;
+  Host& h = fabric.add_node<Host>("h");
+  EXPECT_THROW(h.send(make_packet()), std::logic_error);
+}
+
+TEST(Switch, HighestPriorityRuleWins) {
+  Fabric fabric;
+  Switch& sw = fabric.add_node<Switch>("s1");
+  Host& a = fabric.add_node<Host>("a");
+  Host& b = fabric.add_node<Host>("b");
+  fabric.add_node<Host>("src");
+  fabric.connect("s1", "a");
+  fabric.connect("s1", "b");
+  fabric.connect("s1", "src");
+
+  FlowRule low;
+  low.priority = 1;
+  low.action.forward_to = "a";
+  sw.install(low);
+  FlowRule high;
+  high.priority = 5;
+  high.match.dst_port = 443;
+  high.action.forward_to = "b";
+  sw.install(high);
+
+  fabric.send("src", "s1", make_packet(80));
+  fabric.send("src", "s1", make_packet(443));
+  fabric.run();
+  EXPECT_EQ(a.received().size(), 1u);
+  EXPECT_EQ(b.received().size(), 1u);
+  EXPECT_EQ(sw.forwarded(), 2u);
+}
+
+TEST(Switch, TableMissDrops) {
+  Fabric fabric;
+  Switch& sw = fabric.add_node<Switch>("s1");
+  fabric.add_node<Host>("src");
+  fabric.connect("s1", "src");
+  fabric.send("src", "s1", make_packet());
+  fabric.run();
+  EXPECT_EQ(sw.dropped(), 1u);
+  EXPECT_EQ(sw.forwarded(), 0u);
+}
+
+TEST(Switch, MatchFields) {
+  net::Packet p = make_packet(80);
+  p.push_tag(net::TagKind::kPolicyChain, 7);
+
+  Match m;
+  EXPECT_TRUE(m.matches(p, "any"));  // wildcard matches everything
+  m.chain_tag = 7;
+  EXPECT_TRUE(m.matches(p, "any"));
+  m.chain_tag = 8;
+  EXPECT_FALSE(m.matches(p, "any"));
+  m = Match{};
+  m.in_node = "left";
+  EXPECT_TRUE(m.matches(p, "left"));
+  EXPECT_FALSE(m.matches(p, "right"));
+  m = Match{};
+  m.src_ip = net::Ipv4Addr(10, 0, 0, 1);
+  m.proto = net::IpProto::kTcp;
+  EXPECT_TRUE(m.matches(p, "x"));
+  m.proto = net::IpProto::kUdp;
+  EXPECT_FALSE(m.matches(p, "x"));
+}
+
+TEST(Switch, TagPushPopActions) {
+  Fabric fabric;
+  Switch& sw = fabric.add_node<Switch>("s1");
+  Host& out = fabric.add_node<Host>("out");
+  fabric.add_node<Host>("in");
+  fabric.connect("s1", "out");
+  fabric.connect("s1", "in");
+
+  FlowRule push;
+  push.priority = 2;
+  push.match.in_node = "in";
+  push.action.forward_to = "out";
+  push.action.push_chain_tag = 9;
+  sw.install(push);
+
+  fabric.send("in", "s1", make_packet());
+  fabric.run();
+  ASSERT_EQ(out.received().size(), 1u);
+  EXPECT_EQ(out.received()[0].find_tag(net::TagKind::kPolicyChain), 9u);
+}
+
+// --- TSA steering ---------------------------------------------------------------
+
+TEST(Tsa, SteersThroughChainInOrder) {
+  Fabric fabric;
+  fabric.add_node<Switch>("s1");
+  Host& src = fabric.add_node<Host>("src");
+  Host& dst = fabric.add_node<Host>("dst");
+  Bouncer& m1 = fabric.add_node<Bouncer>("m1");
+  Bouncer& m2 = fabric.add_node<Bouncer>("m2");
+  for (const char* n : {"src", "dst", "m1", "m2"}) {
+    fabric.connect("s1", n);
+  }
+  src.set_gateway("s1");
+
+  SdnController controller(fabric);
+  TrafficSteeringApp tsa(controller, "s1");
+  PolicyChainSpec chain;
+  chain.id = 3;
+  chain.ingress = "src";
+  chain.sequence = {"m1", "m2"};
+  chain.egress = "dst";
+  tsa.install_chain(chain);
+
+  src.send(make_packet());
+  fabric.run();
+  EXPECT_EQ(m1.seen(), 1u);
+  EXPECT_EQ(m2.seen(), 1u);
+  ASSERT_EQ(dst.received().size(), 1u);
+  // The chain tag was popped before egress: the original packet is restored.
+  EXPECT_FALSE(
+      dst.received()[0].find_tag(net::TagKind::kPolicyChain).has_value());
+}
+
+TEST(Tsa, EmptyChainGoesStraightToEgress) {
+  Fabric fabric;
+  fabric.add_node<Switch>("s1");
+  Host& src = fabric.add_node<Host>("src");
+  Host& dst = fabric.add_node<Host>("dst");
+  fabric.connect("s1", "src");
+  fabric.connect("s1", "dst");
+  src.set_gateway("s1");
+
+  SdnController controller(fabric);
+  TrafficSteeringApp tsa(controller, "s1");
+  PolicyChainSpec chain;
+  chain.id = 1;
+  chain.ingress = "src";
+  chain.egress = "dst";
+  tsa.install_chain(chain);
+
+  src.send(make_packet());
+  fabric.run();
+  ASSERT_EQ(dst.received().size(), 1u);
+  EXPECT_TRUE(dst.received()[0].tags.empty());
+}
+
+TEST(Tsa, ClassifierSplitsTrafficAcrossChains) {
+  Fabric fabric;
+  fabric.add_node<Switch>("s1");
+  Host& src = fabric.add_node<Host>("src");
+  Host& dst = fabric.add_node<Host>("dst");
+  Bouncer& http_box = fabric.add_node<Bouncer>("http_box");
+  Bouncer& other_box = fabric.add_node<Bouncer>("other_box");
+  for (const char* n : {"src", "dst", "http_box", "other_box"}) {
+    fabric.connect("s1", n);
+  }
+  src.set_gateway("s1");
+
+  SdnController controller(fabric);
+  TrafficSteeringApp tsa(controller, "s1");
+  PolicyChainSpec http_chain;
+  http_chain.id = 1;
+  http_chain.ingress = "src";
+  http_chain.classifier.dst_port = 80;
+  http_chain.sequence = {"http_box"};
+  http_chain.egress = "dst";
+  tsa.install_chain(http_chain);
+  PolicyChainSpec other_chain;
+  other_chain.id = 2;
+  other_chain.ingress = "src";
+  other_chain.sequence = {"other_box"};
+  other_chain.egress = "dst";
+  tsa.install_chain(other_chain);
+
+  src.send(make_packet(80));    // HTTP chain
+  src.send(make_packet(4444));  // default chain
+  fabric.run();
+  EXPECT_EQ(http_box.seen(), 1u);
+  EXPECT_EQ(other_box.seen(), 1u);
+  EXPECT_EQ(dst.received().size(), 2u);
+}
+
+TEST(Tsa, UpdateSequenceRedirectsTraffic) {
+  Fabric fabric;
+  fabric.add_node<Switch>("s1");
+  Host& src = fabric.add_node<Host>("src");
+  Host& dst = fabric.add_node<Host>("dst");
+  Bouncer& before = fabric.add_node<Bouncer>("before");
+  Bouncer& after = fabric.add_node<Bouncer>("after");
+  for (const char* n : {"src", "dst", "before", "after"}) {
+    fabric.connect("s1", n);
+  }
+  src.set_gateway("s1");
+
+  SdnController controller(fabric);
+  TrafficSteeringApp tsa(controller, "s1");
+  PolicyChainSpec chain;
+  chain.id = 1;
+  chain.ingress = "src";
+  chain.sequence = {"before"};
+  chain.egress = "dst";
+  tsa.install_chain(chain);
+
+  src.send(make_packet());
+  fabric.run();
+  EXPECT_EQ(before.seen(), 1u);
+
+  tsa.update_sequence(1, {"after"});
+  src.send(make_packet());
+  fabric.run();
+  EXPECT_EQ(before.seen(), 1u);  // unchanged
+  EXPECT_EQ(after.seen(), 1u);
+  EXPECT_EQ(dst.received().size(), 2u);
+}
+
+TEST(Tsa, RemoveChainStopsSteering) {
+  Fabric fabric;
+  Switch& sw = fabric.add_node<Switch>("s1");
+  Host& src = fabric.add_node<Host>("src");
+  Host& dst = fabric.add_node<Host>("dst");
+  fabric.connect("s1", "src");
+  fabric.connect("s1", "dst");
+  src.set_gateway("s1");
+
+  SdnController controller(fabric);
+  TrafficSteeringApp tsa(controller, "s1");
+  PolicyChainSpec chain;
+  chain.id = 1;
+  chain.ingress = "src";
+  chain.egress = "dst";
+  tsa.install_chain(chain);
+  EXPECT_TRUE(tsa.remove_chain(1));
+  EXPECT_FALSE(tsa.remove_chain(1));
+
+  src.send(make_packet());
+  fabric.run();
+  EXPECT_EQ(dst.received().size(), 0u);
+  EXPECT_EQ(sw.dropped(), 1u);
+}
+
+TEST(Tsa, RejectsChainWithoutEndpoints) {
+  Fabric fabric;
+  fabric.add_node<Switch>("s1");
+  SdnController controller(fabric);
+  TrafficSteeringApp tsa(controller, "s1");
+  PolicyChainSpec chain;
+  chain.id = 1;
+  EXPECT_THROW(tsa.install_chain(chain), std::invalid_argument);
+}
+
+TEST(SdnController, RejectsNonSwitchTargets) {
+  Fabric fabric;
+  fabric.add_node<Host>("h1");
+  SdnController controller(fabric);
+  EXPECT_THROW(controller.install("h1", FlowRule{}), std::invalid_argument);
+  EXPECT_THROW(controller.install("ghost", FlowRule{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dpisvc::netsim

@@ -1,0 +1,204 @@
+// Tests for the controller-side pattern registry: registration, ref-counted
+// pattern sharing and removal (§4.1), inheritance, snapshot compilation.
+#include <gtest/gtest.h>
+
+#include "dpi/engine.hpp"
+#include "dpi/pattern_db.hpp"
+
+namespace dpisvc::dpi {
+namespace {
+
+MiddleboxProfile mbox(MiddleboxId id, const char* name) {
+  MiddleboxProfile p;
+  p.id = id;
+  p.name = name;
+  return p;
+}
+
+TEST(PatternDb, RegisterAndQuery) {
+  PatternDb db;
+  db.register_middlebox(mbox(1, "ids"));
+  EXPECT_TRUE(db.is_registered(1));
+  EXPECT_FALSE(db.is_registered(2));
+  ASSERT_NE(db.profile(1), nullptr);
+  EXPECT_EQ(db.profile(1)->name, "ids");
+  EXPECT_EQ(db.num_middleboxes(), 1u);
+}
+
+TEST(PatternDb, RejectsDuplicateAndOutOfRangeIds) {
+  PatternDb db;
+  db.register_middlebox(mbox(1, "a"));
+  EXPECT_THROW(db.register_middlebox(mbox(1, "b")), std::invalid_argument);
+  EXPECT_THROW(db.register_middlebox(mbox(0, "z")), std::invalid_argument);
+  EXPECT_THROW(db.register_middlebox(mbox(65, "z")), std::invalid_argument);
+}
+
+TEST(PatternDb, SharedPatternSingleEntry) {
+  PatternDb db;
+  db.register_middlebox(mbox(1, "a"));
+  db.register_middlebox(mbox(2, "b"));
+  db.add_exact(1, 10, "attack");
+  db.add_exact(2, 77, "attack");
+  EXPECT_EQ(db.num_distinct_exact(), 1u);
+  EXPECT_EQ(db.num_references(1), 1u);
+  EXPECT_EQ(db.num_references(2), 1u);
+}
+
+TEST(PatternDb, RefCountedRemoval) {
+  PatternDb db;
+  db.register_middlebox(mbox(1, "a"));
+  db.register_middlebox(mbox(2, "b"));
+  db.add_exact(1, 10, "attack");
+  db.add_exact(2, 77, "attack");
+  // Removing middlebox 1's reference keeps the pattern alive for 2 (§4.1).
+  EXPECT_TRUE(db.remove_exact(1, 10));
+  EXPECT_EQ(db.num_distinct_exact(), 1u);
+  // Removing the last reference drops the pattern.
+  EXPECT_TRUE(db.remove_exact(2, 77));
+  EXPECT_EQ(db.num_distinct_exact(), 0u);
+  EXPECT_FALSE(db.remove_exact(2, 77));
+}
+
+TEST(PatternDb, InternalIdsStableAcrossOtherMutations) {
+  PatternDb db;
+  db.register_middlebox(mbox(1, "a"));
+  db.add_exact(1, 0, "first");
+  db.add_exact(1, 1, "second");
+  const auto id_first = db.internal_id_of_exact("first");
+  ASSERT_TRUE(id_first.has_value());
+  db.remove_exact(1, 1);
+  EXPECT_EQ(db.internal_id_of_exact("first"), id_first);
+  EXPECT_FALSE(db.internal_id_of_exact("second").has_value());
+}
+
+TEST(PatternDb, SameRuleIdDifferentBytesRejected) {
+  PatternDb db;
+  db.register_middlebox(mbox(1, "a"));
+  db.add_exact(1, 5, "aaaa");
+  EXPECT_THROW(db.add_exact(1, 5, "bbbb"), std::invalid_argument);
+  // Idempotent re-add of identical bytes is fine.
+  EXPECT_NO_THROW(db.add_exact(1, 5, "aaaa"));
+}
+
+TEST(PatternDb, RegexRefCounting) {
+  PatternDb db;
+  db.register_middlebox(mbox(1, "a"));
+  db.register_middlebox(mbox(2, "b"));
+  db.add_regex(1, 0, R"(evil\d+)");
+  db.add_regex(2, 0, R"(evil\d+)");
+  EXPECT_EQ(db.num_distinct_regex(), 1u);
+  // Same expression with different flags is a distinct pattern.
+  db.add_regex(1, 1, R"(evil\d+)", /*case_insensitive=*/true);
+  EXPECT_EQ(db.num_distinct_regex(), 2u);
+  EXPECT_TRUE(db.remove_regex(1, 0));
+  EXPECT_EQ(db.num_distinct_regex(), 2u);  // mbox 2 still refers
+  EXPECT_TRUE(db.remove_regex(2, 0));
+  EXPECT_EQ(db.num_distinct_regex(), 1u);
+}
+
+TEST(PatternDb, UnregisterScrubsReferences) {
+  PatternDb db;
+  db.register_middlebox(mbox(1, "a"));
+  db.register_middlebox(mbox(2, "b"));
+  db.add_exact(1, 0, "shared");
+  db.add_exact(2, 0, "shared");
+  db.add_exact(1, 1, "only-a");
+  db.set_chain(1, {1, 2});
+  EXPECT_TRUE(db.unregister_middlebox(1));
+  EXPECT_FALSE(db.is_registered(1));
+  EXPECT_EQ(db.num_distinct_exact(), 1u);  // "only-a" gone, "shared" lives
+  EXPECT_FALSE(db.unregister_middlebox(1));
+  // Chain keeps remaining members.
+  const EngineSpec spec = db.snapshot();
+  ASSERT_EQ(spec.chains.at(1).size(), 1u);
+  EXPECT_EQ(spec.chains.at(1)[0], 2);
+}
+
+TEST(PatternDb, InheritCopiesReferences) {
+  PatternDb db;
+  db.register_middlebox(mbox(1, "parent"));
+  db.register_middlebox(mbox(2, "child"));
+  db.add_exact(1, 0, "alpha");
+  db.add_exact(1, 1, "beta");
+  db.add_regex(1, 2, R"(gamma\d)");
+  db.inherit_patterns(2, 1);
+  EXPECT_EQ(db.num_references(2), 3u);
+  EXPECT_EQ(db.num_distinct_exact(), 2u);  // still shared entries
+  // Child's references are independent: removing parent's keeps child's.
+  db.remove_exact(1, 0);
+  EXPECT_EQ(db.num_distinct_exact(), 2u);
+  const EngineSpec spec = db.snapshot();
+  int child_exact = 0;
+  for (const auto& p : spec.exact_patterns) {
+    if (p.middlebox == 2) ++child_exact;
+  }
+  EXPECT_EQ(child_exact, 2);
+}
+
+TEST(PatternDb, InheritRequiresRegisteredBoth) {
+  PatternDb db;
+  db.register_middlebox(mbox(1, "a"));
+  EXPECT_THROW(db.inherit_patterns(2, 1), std::invalid_argument);
+  EXPECT_THROW(db.inherit_patterns(1, 2), std::invalid_argument);
+}
+
+TEST(PatternDb, ChainManagement) {
+  PatternDb db;
+  db.register_middlebox(mbox(1, "a"));
+  db.set_chain(5, {1});
+  EXPECT_THROW(db.set_chain(6, {1, 9}), std::invalid_argument);
+  EXPECT_TRUE(db.remove_chain(5));
+  EXPECT_FALSE(db.remove_chain(5));
+}
+
+TEST(PatternDb, VersionBumpsOnMutations) {
+  PatternDb db;
+  const auto v0 = db.version();
+  db.register_middlebox(mbox(1, "a"));
+  const auto v1 = db.version();
+  EXPECT_GT(v1, v0);
+  db.add_exact(1, 0, "pat1");
+  const auto v2 = db.version();
+  EXPECT_GT(v2, v1);
+  db.remove_exact(1, 0);
+  EXPECT_GT(db.version(), v2);
+  // A failed removal does not bump.
+  const auto v3 = db.version();
+  EXPECT_FALSE(db.remove_exact(1, 0));
+  EXPECT_EQ(db.version(), v3);
+}
+
+TEST(PatternDb, SnapshotCompilesAndScans) {
+  PatternDb db;
+  db.register_middlebox(mbox(1, "ids"));
+  db.register_middlebox(mbox(2, "av"));
+  db.add_exact(1, 0, "virus");
+  db.add_exact(2, 0, "virus");
+  db.add_exact(2, 1, "worm");
+  db.add_regex(1, 1, R"(botnet\d+)");
+  db.set_chain(1, {1, 2});
+  auto engine = Engine::compile(db.snapshot());
+  const std::string text = "a virus and a worm and botnet99";
+  const auto result = engine->scan_packet(
+      1, BytesView(reinterpret_cast<const std::uint8_t*>(text.data()),
+                   text.size()));
+  std::size_t total = 0;
+  for (const auto& m : result.matches) total += m.entries.size();
+  EXPECT_EQ(total, 4u);  // virus x2 middleboxes, worm, botnet regex
+}
+
+TEST(PatternDb, AddForUnregisteredMiddleboxThrows) {
+  PatternDb db;
+  EXPECT_THROW(db.add_exact(1, 0, "x"), std::invalid_argument);
+  EXPECT_THROW(db.add_regex(1, 0, "x"), std::invalid_argument);
+}
+
+TEST(PatternDb, EmptyPatternRejected) {
+  PatternDb db;
+  db.register_middlebox(mbox(1, "a"));
+  EXPECT_THROW(db.add_exact(1, 0, ""), std::invalid_argument);
+  EXPECT_THROW(db.add_regex(1, 0, ""), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dpisvc::dpi

@@ -1,0 +1,235 @@
+// Tests for TCP stream reassembly: ordering, overlaps, wraparound, limits —
+// including the property that reassembled+stateful-scanned traffic detects
+// exactly the matches of the in-order stream.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "dpi/engine.hpp"
+#include "net/reassembly.hpp"
+
+namespace dpisvc::net {
+namespace {
+
+Bytes payload_of(std::string_view text) { return to_bytes(text); }
+
+TEST(StreamReassembler, InOrderBytesReleased) {
+  StreamReassembler stream(1000);
+  EXPECT_EQ(stream.accept(1000, payload_of("hello ")), 6u);
+  EXPECT_EQ(stream.accept(1006, payload_of("world")), 5u);
+  const Bytes ready = stream.pop_ready();
+  EXPECT_EQ(to_string(ready), "hello world");
+  EXPECT_EQ(stream.expected_seq(), 1011u);
+  EXPECT_TRUE(stream.pop_ready().empty());
+}
+
+TEST(StreamReassembler, OutOfOrderBuffersUntilGapFills) {
+  StreamReassembler stream(0);
+  stream.accept(6, payload_of("world"));
+  EXPECT_TRUE(stream.pop_ready().empty());
+  EXPECT_EQ(stream.buffered_bytes(), 5u);
+  stream.accept(0, payload_of("hello "));
+  EXPECT_EQ(to_string(stream.pop_ready()), "hello world");
+  EXPECT_EQ(stream.buffered_bytes(), 0u);
+}
+
+TEST(StreamReassembler, MultipleGapsFillInAnyOrder) {
+  StreamReassembler stream(0);
+  stream.accept(8, payload_of("cc"));
+  stream.accept(4, payload_of("bb"));
+  stream.accept(2, payload_of("aa"));
+  EXPECT_TRUE(stream.pop_ready().empty());
+  stream.accept(0, payload_of("00"));
+  EXPECT_EQ(to_string(stream.pop_ready()), "00aabb");  // 6..7 still missing
+  stream.accept(6, payload_of("xx"));
+  EXPECT_EQ(to_string(stream.pop_ready()), "xxcc");
+}
+
+TEST(StreamReassembler, DuplicateAndOverlapTrimmed) {
+  StreamReassembler stream(100);
+  stream.accept(100, payload_of("abcdef"));
+  // Full retransmission: dropped as duplicate.
+  EXPECT_EQ(stream.accept(100, payload_of("abcdef")), 0u);
+  EXPECT_EQ(stream.duplicate_bytes(), 6u);
+  // Partial overlap: only the new tail is kept (first copy wins).
+  EXPECT_EQ(stream.accept(103, payload_of("XYZghi")), 3u);
+  EXPECT_EQ(to_string(stream.pop_ready()), "abcdefghi");
+}
+
+TEST(StreamReassembler, OverlappingOutOfOrderSegments) {
+  StreamReassembler stream(0);
+  stream.accept(4, payload_of("4567"));
+  stream.accept(2, payload_of("2345"));  // overlaps the buffered segment
+  stream.accept(0, payload_of("01"));
+  EXPECT_EQ(to_string(stream.pop_ready()), "01234567");
+}
+
+TEST(StreamReassembler, SequenceWraparound) {
+  const std::uint32_t near_wrap = 0xFFFFFFFA;  // 6 bytes before wrap
+  StreamReassembler stream(near_wrap);
+  stream.accept(near_wrap, payload_of("abcdef"));     // ends exactly at 0
+  stream.accept(0, payload_of("ghij"));               // continues after wrap
+  EXPECT_EQ(to_string(stream.pop_ready()), "abcdefghij");
+  EXPECT_EQ(stream.expected_seq(), 4u);
+}
+
+TEST(StreamReassembler, OutOfOrderAcrossWrap) {
+  const std::uint32_t near_wrap = 0xFFFFFFFC;
+  StreamReassembler stream(near_wrap);
+  stream.accept(2, payload_of("gh"));    // post-wrap segment first
+  stream.accept(near_wrap, payload_of("ab"));
+  stream.accept(0xFFFFFFFE, payload_of("cdef"));
+  EXPECT_EQ(to_string(stream.pop_ready()), "abcdefgh");
+}
+
+TEST(StreamReassembler, FarFutureSegmentDropped) {
+  ReassemblyConfig config;
+  config.max_gap = 1000;
+  StreamReassembler stream(0, config);
+  EXPECT_EQ(stream.accept(5000, payload_of("far")), 0u);
+  EXPECT_EQ(stream.dropped_segments(), 1u);
+}
+
+TEST(StreamReassembler, BufferCapDropsExcess) {
+  ReassemblyConfig config;
+  config.max_buffered = 8;
+  StreamReassembler stream(0, config);
+  EXPECT_EQ(stream.accept(10, payload_of("12345678")), 8u);
+  EXPECT_EQ(stream.accept(30, payload_of("x")), 0u);  // over the cap
+  EXPECT_EQ(stream.dropped_segments(), 1u);
+}
+
+TEST(StreamReassembler, EmptySegmentIgnored) {
+  StreamReassembler stream(0);
+  EXPECT_EQ(stream.accept(0, {}), 0u);
+  EXPECT_TRUE(stream.pop_ready().empty());
+}
+
+TEST(FlowReassembler, SeparatesDirectionsAndFlows) {
+  FlowReassembler reassembler;
+  Packet fwd;
+  fwd.tuple = FiveTuple{Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 0, 2), 1000,
+                        80, IpProto::kTcp};
+  fwd.tcp_seq = 0;
+  fwd.payload = payload_of("request");
+  Packet rev;
+  rev.tuple = FiveTuple{Ipv4Addr(10, 0, 0, 2), Ipv4Addr(10, 0, 0, 1), 80,
+                        1000, IpProto::kTcp};
+  rev.tcp_seq = 0;
+  rev.payload = payload_of("response");
+
+  const auto c1 = reassembler.feed(fwd);
+  const auto c2 = reassembler.feed(rev);
+  ASSERT_TRUE(c1.has_value());
+  ASSERT_TRUE(c2.has_value());
+  EXPECT_EQ(to_string(c1->data), "request");
+  EXPECT_EQ(to_string(c2->data), "response");
+  EXPECT_EQ(reassembler.active_streams(), 2u);
+  EXPECT_TRUE(reassembler.erase(fwd.tuple));
+  EXPECT_FALSE(reassembler.erase(fwd.tuple));
+}
+
+TEST(FlowReassembler, UdpPassesThrough) {
+  FlowReassembler reassembler;
+  Packet p;
+  p.tuple.proto = IpProto::kUdp;
+  p.payload = payload_of("datagram");
+  const auto chunk = reassembler.feed(p);
+  ASSERT_TRUE(chunk.has_value());
+  EXPECT_EQ(to_string(chunk->data), "datagram");
+  EXPECT_EQ(reassembler.active_streams(), 0u);
+}
+
+// --- the evasion-resistance property -----------------------------------------
+
+// A pattern split across out-of-order, overlapping segments must still be
+// detected when the reassembled stream feeds the stateful DPI engine.
+TEST(FlowReassembler, ReorderedStreamStillMatchesStatefully) {
+  dpi::EngineSpec spec;
+  dpi::MiddleboxProfile ids;
+  ids.id = 1;
+  ids.name = "ids";
+  ids.stateful = true;
+  spec.middleboxes = {ids};
+  spec.exact_patterns = {dpi::ExactPatternSpec{"split-attack-string", 1, 0}};
+  spec.chains[1] = {1};
+  auto engine = dpi::Engine::compile(spec);
+
+  const std::string stream = "xxxxsplit-attack-stringyyyy";
+  // The first packet anchors the stream (it plays the SYN's role); the rest
+  // arrive out of order with an overlap.
+  struct Segment {
+    std::uint32_t seq;
+    std::string data;
+  };
+  const Segment segments[] = {
+      {0, stream.substr(0, 8)},
+      {14, stream.substr(14)},       // leaves a gap at 8..13
+      {6, stream.substr(6, 10)},     // overlaps both neighbours, fills it
+  };
+
+  FlowReassembler reassembler;
+  dpi::FlowCursor cursor;
+  bool matched = false;
+  for (const Segment& segment : segments) {
+    Packet p;
+    p.tuple = FiveTuple{Ipv4Addr(1, 1, 1, 1), Ipv4Addr(2, 2, 2, 2), 5, 80,
+                        IpProto::kTcp};
+    p.tcp_seq = segment.seq;
+    p.payload = payload_of(segment.data);
+    const auto chunk = reassembler.feed(p);
+    if (!chunk) continue;
+    const auto result = engine->scan_packet(1, chunk->data, cursor);
+    cursor = result.cursor;
+    matched |= result.has_matches();
+  }
+  EXPECT_TRUE(matched);
+}
+
+// Randomized property: any segmentation + shuffle of a stream reassembles
+// to the original bytes.
+TEST(StreamReassembler, RandomizedShuffleProperty) {
+  Rng rng(0x5EA55E);
+  for (int iter = 0; iter < 100; ++iter) {
+    const std::size_t length = 1 + rng.index(400);
+    std::string stream;
+    for (std::size_t i = 0; i < length; ++i) {
+      stream.push_back(static_cast<char>('a' + rng.index(4)));
+    }
+    // Random segmentation.
+    struct Segment {
+      std::uint32_t seq;
+      std::string data;
+    };
+    std::vector<Segment> segments;
+    const std::uint32_t initial = static_cast<std::uint32_t>(rng.next());
+    std::size_t at = 0;
+    while (at < stream.size()) {
+      const std::size_t take = 1 + rng.index(stream.size() - at);
+      segments.push_back(
+          Segment{initial + static_cast<std::uint32_t>(at),
+                  stream.substr(at, take)});
+      at += take;
+    }
+    // Duplicate some segments (retransmissions), then shuffle.
+    const std::size_t original_count = segments.size();
+    for (std::size_t i = 0; i < original_count; ++i) {
+      if (rng.bernoulli(0.2)) segments.push_back(segments[i]);
+    }
+    rng.shuffle(segments);
+
+    StreamReassembler reassembler(initial);
+    std::string assembled;
+    for (const Segment& segment : segments) {
+      reassembler.accept(segment.seq, payload_of(segment.data));
+      const Bytes ready = reassembler.pop_ready();
+      assembled.append(ready.begin(), ready.end());
+    }
+    EXPECT_EQ(assembled, stream) << "iter " << iter;
+    EXPECT_EQ(reassembler.buffered_bytes(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace dpisvc::net

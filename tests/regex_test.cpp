@@ -1,0 +1,326 @@
+// Tests for the regex substrate: parser, Pike VM semantics, anchor
+// extraction, including property tests against reference semantics.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.hpp"
+#include "regex/anchors.hpp"
+#include "regex/matcher.hpp"
+
+namespace dpisvc::regex {
+namespace {
+
+bool matches(std::string_view pattern, std::string_view input,
+             bool case_insensitive = false) {
+  ParseOptions opts;
+  opts.case_insensitive = case_insensitive;
+  return regex_search(pattern, input, opts);
+}
+
+// --- basic matching semantics ------------------------------------------------
+
+TEST(RegexMatch, Literals) {
+  EXPECT_TRUE(matches("abc", "xxabcxx"));
+  EXPECT_TRUE(matches("abc", "abc"));
+  EXPECT_FALSE(matches("abc", "ab"));
+  EXPECT_FALSE(matches("abc", "axbxc"));
+}
+
+TEST(RegexMatch, Alternation) {
+  EXPECT_TRUE(matches("cat|dog", "hotdog"));
+  EXPECT_TRUE(matches("cat|dog", "catalog"));
+  EXPECT_FALSE(matches("cat|dog", "cow"));
+  EXPECT_TRUE(matches("a|b|c", "zzc"));
+}
+
+TEST(RegexMatch, Repetition) {
+  EXPECT_TRUE(matches("ab*c", "ac"));
+  EXPECT_TRUE(matches("ab*c", "abbbbc"));
+  EXPECT_FALSE(matches("ab+c", "ac"));
+  EXPECT_TRUE(matches("ab+c", "abc"));
+  EXPECT_TRUE(matches("ab?c", "ac"));
+  EXPECT_TRUE(matches("ab?c", "abc"));
+  EXPECT_FALSE(matches("ab?c", "abbc"));
+}
+
+TEST(RegexMatch, CountedRepetition) {
+  EXPECT_TRUE(matches("a{3}", "aaa"));
+  EXPECT_FALSE(matches("a{3}", "aa"));
+  EXPECT_TRUE(matches("a{2,4}b", "aab"));
+  EXPECT_TRUE(matches("a{2,4}b", "aaaab"));
+  EXPECT_FALSE(matches("^a{2,4}b", "ab"));
+  EXPECT_TRUE(matches("a{2,}b", "aaaaaaab"));
+  EXPECT_FALSE(matches("a{2,}b", "ab"));
+  EXPECT_TRUE(matches("(ab){2}", "xabab"));
+  EXPECT_FALSE(matches("(ab){2}", "abxab"));
+}
+
+TEST(RegexMatch, LiteralBraceWithoutCount) {
+  EXPECT_TRUE(matches("a{x}", "za{x}z"));
+  EXPECT_TRUE(matches("{", "a{b"));
+}
+
+TEST(RegexMatch, Classes) {
+  EXPECT_TRUE(matches("[abc]+", "zzbz"));
+  EXPECT_FALSE(matches("[abc]", "xyz"));
+  EXPECT_TRUE(matches("[a-f0-9]{4}", "beef"));
+  EXPECT_TRUE(matches("[^a]", "ba"));
+  EXPECT_FALSE(matches("[^ab]+$", "ab"));
+  EXPECT_TRUE(matches("[]x]", "]"));   // ']' first in class is literal
+  EXPECT_TRUE(matches("[a-]", "-"));   // trailing '-' is literal
+}
+
+TEST(RegexMatch, ClassEscapes) {
+  EXPECT_TRUE(matches(R"(\d+)", "abc123"));
+  EXPECT_FALSE(matches(R"(\d)", "abc"));
+  EXPECT_TRUE(matches(R"(\w+)", "under_score9"));
+  EXPECT_TRUE(matches(R"(\s)", "a b"));
+  EXPECT_FALSE(matches(R"(\s)", "ab"));
+  EXPECT_TRUE(matches(R"(\D)", "1a2"));
+  EXPECT_TRUE(matches(R"(\S)", " x "));
+  EXPECT_TRUE(matches(R"([\d\s]+)", "1 2"));
+}
+
+TEST(RegexMatch, Escapes) {
+  EXPECT_TRUE(matches(R"(a\.b)", "a.b"));
+  EXPECT_FALSE(matches(R"(a\.b)", "axb"));
+  EXPECT_TRUE(matches(R"(\x41\x42)", "xAB"));
+  EXPECT_TRUE(matches(R"(a\nb)", "a\nb"));
+  EXPECT_TRUE(matches(R"(\\)", "a\\b"));
+  EXPECT_TRUE(matches(R"(\*)", "2*3"));
+}
+
+TEST(RegexMatch, Dot) {
+  EXPECT_TRUE(matches("a.c", "abc"));
+  EXPECT_TRUE(matches("a.c", "a\nc"));  // DOTALL semantics for DPI payloads
+  EXPECT_FALSE(matches("a.c", "ac"));
+}
+
+TEST(RegexMatch, AnchorsStartEnd) {
+  EXPECT_TRUE(matches("^abc", "abcdef"));
+  EXPECT_FALSE(matches("^abc", "xabc"));
+  EXPECT_TRUE(matches("def$", "abcdef"));
+  EXPECT_FALSE(matches("def$", "defx"));
+  EXPECT_TRUE(matches("^abc$", "abc"));
+  EXPECT_FALSE(matches("^abc$", "abcd"));
+  EXPECT_TRUE(matches("^$", ""));
+  EXPECT_FALSE(matches("^$", "a"));
+}
+
+TEST(RegexMatch, Groups) {
+  EXPECT_TRUE(matches("(ab|cd)+ef", "xxcdabef"));
+  EXPECT_TRUE(matches("(?:ab)+", "abab"));
+  EXPECT_FALSE(matches("(ab|cd)ef", "abxef"));
+}
+
+TEST(RegexMatch, CaseInsensitive) {
+  EXPECT_TRUE(matches("abc", "xABCx", /*ci=*/true));
+  EXPECT_FALSE(matches("abc", "xABCx", /*ci=*/false));
+  EXPECT_TRUE(matches("[a-z]+!", "HELLO!", /*ci=*/true));
+}
+
+TEST(RegexMatch, NonGreedySuffixAccepted) {
+  // Existence semantics: lazy quantifiers behave identically.
+  EXPECT_TRUE(matches("a.*?b", "axxxb"));
+  EXPECT_TRUE(matches("a+?b", "aab"));
+}
+
+TEST(RegexMatch, PaperExample) {
+  // The example of §5.3.
+  const char* pattern = R"(regular\s*expression\s*\d+)";
+  EXPECT_TRUE(matches(pattern, "some regular expression 42 here"));
+  EXPECT_TRUE(matches(pattern, "regularexpression7"));
+  EXPECT_FALSE(matches(pattern, "regular expression"));
+}
+
+TEST(RegexMatch, SearchEndReportsEarliestCompletion) {
+  Matcher m(Program::compile("ab+"));
+  const std::string input = "zzabbb";
+  const auto end = m.search_end(
+      BytesView(reinterpret_cast<const std::uint8_t*>(input.data()),
+                input.size()));
+  ASSERT_TRUE(end.has_value());
+  EXPECT_EQ(*end, 4u);  // earliest completion is "ab" ending at offset 4
+}
+
+TEST(RegexMatch, EmptyPatternMatchesEverything) {
+  EXPECT_TRUE(matches("", ""));
+  EXPECT_TRUE(matches("", "xyz"));
+  EXPECT_TRUE(matches("a*", "zzz"));
+}
+
+// --- pathological input: no backtracking blowup -------------------------------
+
+TEST(RegexMatch, NoCatastrophicBacktracking) {
+  // (a+)+b against a^n: exponential for backtrackers, linear for Pike VM.
+  const std::string input(2000, 'a');
+  EXPECT_FALSE(matches("(a+)+b", input));
+  EXPECT_TRUE(matches("(a+)+b", input + "b"));
+}
+
+// --- parser error handling ------------------------------------------------------
+
+TEST(RegexParse, RejectsMalformed) {
+  EXPECT_THROW(parse("("), SyntaxError);
+  EXPECT_THROW(parse(")"), SyntaxError);
+  EXPECT_THROW(parse("a)"), SyntaxError);
+  EXPECT_THROW(parse("[abc"), SyntaxError);
+  EXPECT_THROW(parse("*a"), SyntaxError);
+  EXPECT_THROW(parse("a{3,1}"), SyntaxError);
+  EXPECT_THROW(parse("a\\"), SyntaxError);
+  EXPECT_THROW(parse("[z-a]"), SyntaxError);
+  EXPECT_THROW(parse("\\q"), SyntaxError);   // unsupported alnum escape
+  EXPECT_THROW(parse("a{5000}"), SyntaxError);  // repeat bound
+  EXPECT_THROW(parse("^*"), SyntaxError);    // repeated anchor
+  EXPECT_THROW(parse("(?<x>a)"), SyntaxError);
+}
+
+// --- anchor extraction (§5.3) ----------------------------------------------------
+
+TEST(Anchors, PaperExample) {
+  // "In the regular expression regular\s*expression\s*\d+, the anchors
+  //  regular and expression are extracted."
+  const auto anchors = extract_anchors(R"(regular\s*expression\s*\d+)");
+  EXPECT_EQ(anchors, (std::vector<std::string>{"regular", "expression"}));
+}
+
+TEST(Anchors, ShortRunsNotExtracted) {
+  EXPECT_TRUE(extract_anchors(R"(abc\d+)").empty());  // length 3 < 4
+  EXPECT_EQ(extract_anchors(R"(abcd\d+)"),
+            (std::vector<std::string>{"abcd"}));
+}
+
+TEST(Anchors, AlternationBreaksMandatoriness) {
+  EXPECT_TRUE(extract_anchors("(attack|benign)").empty());
+  const auto anchors = extract_anchors("HEAD(attack|benign)TAIL");
+  EXPECT_EQ(anchors, (std::vector<std::string>{"HEAD", "TAIL"}));
+}
+
+TEST(Anchors, OptionalPartsExcluded) {
+  EXPECT_EQ(extract_anchors("foobar(baz)?quux"),
+            (std::vector<std::string>{"foobar", "quux"}));
+  EXPECT_EQ(extract_anchors("(optional)*mandatory"),
+            (std::vector<std::string>{"mandatory"}));
+}
+
+TEST(Anchors, RepeatUnrollsMandatoryCopies) {
+  EXPECT_EQ(extract_anchors("(ab){3}"), (std::vector<std::string>{"ababab"}));
+  EXPECT_EQ(extract_anchors("(ab){2,5}"), (std::vector<std::string>{"abab"}));
+  EXPECT_EQ(extract_anchors("x(abcd)+y"),
+            (std::vector<std::string>{"xabcd"}));
+}
+
+TEST(Anchors, GroupsAreTransparent) {
+  EXPECT_EQ(extract_anchors("(?:ab)(cd)(ef)gh"),
+            (std::vector<std::string>{"abcdefgh"}));
+}
+
+TEST(Anchors, ClassesBreakRuns) {
+  EXPECT_EQ(extract_anchors(R"(GET /[a-z]+/index\.html)"),
+            (std::vector<std::string>{"GET /", "/index.html"}));
+}
+
+TEST(Anchors, CaseInsensitiveLiteralsNotExtracted) {
+  // 'i'-flag classes have 2 bytes, so no fixed literal run exists.
+  ParseOptions opts;
+  opts.case_insensitive = true;
+  EXPECT_TRUE(extract_anchors("attack", opts).empty());
+  // Digits are unaffected by case folding.
+  EXPECT_EQ(extract_anchors("12345", opts),
+            (std::vector<std::string>{"12345"}));
+}
+
+TEST(Anchors, DuplicatesRemoved) {
+  // The run between the two \d occurrences is " evil" (the space is a
+  // literal), so three distinct anchors result; repeating the same run text
+  // is deduplicated.
+  EXPECT_EQ(extract_anchors(R"(evil\d evil\d evil!)"),
+            (std::vector<std::string>{"evil", " evil", " evil!"}));
+  EXPECT_EQ(extract_anchors(R"(evil\d+evil\d+evil\d)"),
+            (std::vector<std::string>{"evil"}));
+  // Escaped dots are literal bytes: the whole expression is one run.
+  EXPECT_EQ(extract_anchors(R"(spam\.spam\.)"),
+            (std::vector<std::string>{"spam.spam."}));
+}
+
+TEST(Anchors, AnchorsAreNecessaryProperty) {
+  // Property: every anchor extracted from a pattern occurs as a substring of
+  // every string the pattern matches. Validated on a corpus of patterns and
+  // matching inputs.
+  struct Case {
+    const char* pattern;
+    const char* matching_input;
+  };
+  const Case cases[] = {
+      {R"(regular\s*expression\s*\d+)", "regular expression 99"},
+      {"HEAD(attack|benign)TAIL", "HEADattackTAIL"},
+      {"foobar(baz)?quux", "foobarquux"},
+      {"(ab){2,5}", "ababab"},
+      {R"(GET /[a-z]+/index\.html)", "GET /files/index.html"},
+      {R"(user=\w{4,}&pass=\w+)", "user=root&pass=1234"},
+  };
+  for (const Case& c : cases) {
+    ASSERT_TRUE(matches(c.pattern, c.matching_input)) << c.pattern;
+    for (const std::string& anchor : extract_anchors(c.pattern)) {
+      EXPECT_NE(std::string(c.matching_input).find(anchor), std::string::npos)
+          << "anchor '" << anchor << "' missing from match of " << c.pattern;
+    }
+  }
+}
+
+// --- randomized property test against a reference implementation ---------------
+
+// Reference: naive exponential-free matcher for a tiny regex subset
+// (literals, '.', '*') implemented by recursion, compared to the Pike VM on
+// random inputs.
+bool ref_match_here(const std::string& p, std::size_t pi, const std::string& s,
+                    std::size_t si) {
+  if (pi == p.size()) return true;
+  const bool star = pi + 1 < p.size() && p[pi + 1] == '*';
+  if (star) {
+    if (ref_match_here(p, pi + 2, s, si)) return true;
+    while (si < s.size() && (p[pi] == '.' || p[pi] == s[si])) {
+      ++si;
+      if (ref_match_here(p, pi + 2, s, si)) return true;
+    }
+    return false;
+  }
+  if (si < s.size() && (p[pi] == '.' || p[pi] == s[si])) {
+    return ref_match_here(p, pi + 1, s, si + 1);
+  }
+  return false;
+}
+
+bool ref_search(const std::string& p, const std::string& s) {
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (ref_match_here(p, 0, s, i)) return true;
+  }
+  return false;
+}
+
+TEST(RegexProperty, AgreesWithReferenceOnRandomPatterns) {
+  Rng rng(0xD1CE);
+  const char alphabet[] = {'a', 'b', 'c'};
+  for (int iter = 0; iter < 300; ++iter) {
+    // Random pattern over {a,b,c,.} with optional stars, length 1..6.
+    std::string pattern;
+    const std::size_t plen = 1 + rng.index(6);
+    for (std::size_t i = 0; i < plen; ++i) {
+      const char c = rng.bernoulli(0.2) ? '.' : alphabet[rng.index(3)];
+      pattern.push_back(c);
+      if (rng.bernoulli(0.3)) pattern.push_back('*');
+    }
+    // Random input, length 0..12.
+    std::string input;
+    const std::size_t ilen = rng.index(13);
+    for (std::size_t i = 0; i < ilen; ++i) {
+      input.push_back(alphabet[rng.index(3)]);
+    }
+    EXPECT_EQ(matches(pattern, input), ref_search(pattern, input))
+        << "pattern='" << pattern << "' input='" << input << "'";
+  }
+}
+
+}  // namespace
+}  // namespace dpisvc::regex

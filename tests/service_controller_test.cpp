@@ -1,0 +1,303 @@
+// Tests for the DPI controller: JSON channel handling, chain registry,
+// instance sync, placement, and MCA² mitigation (§4.1, §4.3, §4.3.1).
+#include <gtest/gtest.h>
+
+#include "service/controller.hpp"
+
+namespace dpisvc::service {
+namespace {
+
+json::Value register_msg(int id, const char* name) {
+  return json::parse(R"({"type":"register","middlebox_id":)" +
+                     std::to_string(id) + R"(,"name":")" + name + R"("})");
+}
+
+json::Value add_exact_msg(int id, int rule, const std::string& text) {
+  AddPatternsRequest req;
+  req.middlebox = static_cast<dpi::MiddleboxId>(id);
+  req.exact.push_back(
+      ExactPatternMsg{static_cast<dpi::PatternId>(rule), text});
+  return encode(req);
+}
+
+net::FiveTuple flow(std::uint16_t port) {
+  return net::FiveTuple{net::Ipv4Addr(10, 0, 0, 1), net::Ipv4Addr(10, 0, 0, 2),
+                        port, 80, net::IpProto::kTcp};
+}
+
+BytesView view(const std::string& s) {
+  return BytesView(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+}
+
+TEST(Controller, JsonRegistrationFlow) {
+  DpiController controller;
+  EXPECT_TRUE(response_ok(controller.handle_message(register_msg(1, "ids"))));
+  EXPECT_TRUE(
+      response_ok(controller.handle_message(add_exact_msg(1, 0, "attack"))));
+  EXPECT_TRUE(controller.db().is_registered(1));
+  EXPECT_EQ(controller.db().num_distinct_exact(), 1u);
+}
+
+TEST(Controller, JsonErrorsAreResponsesNotExceptions) {
+  DpiController controller;
+  // Unknown type.
+  EXPECT_FALSE(response_ok(
+      controller.handle_message(json::parse(R"({"type":"dance"})"))));
+  // Add for unregistered middlebox.
+  EXPECT_FALSE(
+      response_ok(controller.handle_message(add_exact_msg(1, 0, "x"))));
+  // Duplicate registration.
+  controller.handle_message(register_msg(1, "a"));
+  EXPECT_FALSE(response_ok(controller.handle_message(register_msg(1, "b"))));
+  // Remove of unknown rule.
+  RemovePatternsRequest remove;
+  remove.middlebox = 1;
+  remove.rules = {42};
+  EXPECT_FALSE(response_ok(controller.handle_message(encode(remove))));
+  // Unregister of unknown middlebox.
+  EXPECT_FALSE(response_ok(
+      controller.handle_message(encode(UnregisterRequest{5}))));
+}
+
+TEST(Controller, RegistrationWithInheritance) {
+  DpiController controller;
+  controller.handle_message(register_msg(1, "ids"));
+  controller.handle_message(add_exact_msg(1, 0, "shared-sig"));
+  RegisterRequest clone;
+  clone.profile.id = 2;
+  clone.profile.name = "ids2";
+  clone.inherit_from = 1;
+  EXPECT_TRUE(response_ok(controller.handle_message(encode(clone))));
+  EXPECT_EQ(controller.db().num_references(2), 1u);
+}
+
+TEST(Controller, PolicyChainRegistryDeduplicates) {
+  DpiController controller;
+  controller.handle_message(register_msg(1, "a"));
+  controller.handle_message(register_msg(2, "b"));
+  const dpi::ChainId c1 = controller.register_policy_chain({1, 2});
+  const dpi::ChainId c2 = controller.register_policy_chain({2});
+  const dpi::ChainId c3 = controller.register_policy_chain({1, 2});
+  EXPECT_NE(c1, c2);
+  EXPECT_EQ(c1, c3);  // identical sequences share the id
+  EXPECT_THROW(controller.register_policy_chain({9}), std::invalid_argument);
+}
+
+TEST(Controller, InstancesReceiveEngineAndUpdates) {
+  DpiController controller;
+  controller.handle_message(register_msg(1, "ids"));
+  controller.handle_message(add_exact_msg(1, 0, "attack"));
+  const dpi::ChainId chain = controller.register_policy_chain({1});
+
+  auto inst = controller.create_instance("i1");
+  ASSERT_TRUE(inst->has_engine());
+  const std::uint64_t v1 = inst->engine_version();
+  auto result = inst->scan(chain, flow(1), view("an attack!"));
+  EXPECT_TRUE(result.has_matches());
+
+  // Adding a pattern recompiles and pushes automatically.
+  controller.handle_message(add_exact_msg(1, 1, "new-threat"));
+  EXPECT_GT(inst->engine_version(), v1);
+  result = inst->scan(chain, flow(1), view("a new-threat arrives"));
+  EXPECT_TRUE(result.has_matches());
+
+  // Removing the rule stops it from matching.
+  RemovePatternsRequest remove;
+  remove.middlebox = 1;
+  remove.rules = {1};
+  EXPECT_TRUE(response_ok(controller.handle_message(encode(remove))));
+  result = inst->scan(chain, flow(1), view("a new-threat arrives"));
+  EXPECT_FALSE(result.has_matches());
+}
+
+TEST(Controller, DedicatedInstanceGetsCompressedEngine) {
+  DpiController controller;
+  controller.handle_message(register_msg(1, "ids"));
+  controller.handle_message(add_exact_msg(1, 0, "attack"));
+  InstanceConfig dedicated;
+  dedicated.dedicated = true;
+  auto regular = controller.create_instance("reg");
+  auto special = controller.create_instance("ded", dedicated);
+  ASSERT_TRUE(regular->has_engine());
+  ASSERT_TRUE(special->has_engine());
+  EXPECT_FALSE(regular->engine()->uses_compressed_automaton());
+  EXPECT_TRUE(special->engine()->uses_compressed_automaton());
+  EXPECT_EQ(regular->engine_version(), special->engine_version());
+}
+
+TEST(Controller, InstanceLifecycle) {
+  DpiController controller;
+  controller.handle_message(register_msg(1, "a"));
+  controller.create_instance("i1");
+  EXPECT_THROW(controller.create_instance("i1"), std::invalid_argument);
+  EXPECT_NE(controller.instance("i1"), nullptr);
+  EXPECT_EQ(controller.instance("ghost"), nullptr);
+  EXPECT_EQ(controller.instance_names(),
+            (std::vector<std::string>{"i1"}));
+  EXPECT_TRUE(controller.remove_instance("i1"));
+  EXPECT_FALSE(controller.remove_instance("i1"));
+}
+
+TEST(Controller, PlacementLeastLoaded) {
+  DpiController controller;
+  controller.handle_message(register_msg(1, "a"));
+  const dpi::ChainId c1 = controller.register_policy_chain({1});
+  controller.handle_message(register_msg(2, "b"));
+  const dpi::ChainId c2 = controller.register_policy_chain({2});
+  const dpi::ChainId c3 = controller.register_policy_chain({1, 2});
+  controller.create_instance("i1");
+  controller.create_instance("i2");
+
+  const std::string first = controller.auto_assign_chain(c1);
+  const std::string second = controller.auto_assign_chain(c2);
+  EXPECT_NE(first, second);  // least-loaded spreads chains
+  controller.auto_assign_chain(c3);
+  EXPECT_EQ(controller.assignments().size(), 3u);
+  EXPECT_TRUE(controller.instance_for_chain(c1).has_value());
+  EXPECT_FALSE(controller.instance_for_chain(999).has_value());
+
+  EXPECT_THROW(controller.assign_chain(999, "i1"), std::invalid_argument);
+  EXPECT_THROW(controller.assign_chain(c1, "ghost"), std::invalid_argument);
+}
+
+TEST(Controller, RemoveInstanceUnassignsChains) {
+  DpiController controller;
+  controller.handle_message(register_msg(1, "a"));
+  const dpi::ChainId chain = controller.register_policy_chain({1});
+  controller.create_instance("i1");
+  controller.assign_chain(chain, "i1");
+  controller.remove_instance("i1");
+  EXPECT_FALSE(controller.instance_for_chain(chain).has_value());
+}
+
+// --- MCA² -----------------------------------------------------------------------
+
+class Mca2Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    StressConfig stress;
+    stress.hits_per_byte_threshold = 0.02;
+    stress.min_window_bytes = 1024;
+    stress.smoothing_windows = 2;
+    controller_ = std::make_unique<DpiController>(stress);
+    controller_->handle_message(register_msg(1, "ids"));
+    controller_->handle_message(add_exact_msg(1, 0, "attacksig"));
+    controller_->handle_message(add_exact_msg(1, 1, "benignsig"));
+    chain_ = controller_->register_policy_chain({1});
+    regular_ = controller_->create_instance("regular");
+    InstanceConfig dedicated;
+    dedicated.dedicated = true;
+    dedicated_ = controller_->create_instance("dedicated", dedicated);
+    controller_->assign_chain(chain_, "regular");
+  }
+
+  void pump_traffic(DpiInstance& inst, const std::string& payload, int n) {
+    for (int i = 0; i < n; ++i) {
+      inst.scan(chain_, flow(static_cast<std::uint16_t>(i % 8)), view(payload));
+    }
+  }
+
+  std::unique_ptr<DpiController> controller_;
+  std::shared_ptr<DpiInstance> regular_;
+  std::shared_ptr<DpiInstance> dedicated_;
+  dpi::ChainId chain_ = 0;
+};
+
+TEST_F(Mca2Test, BenignTrafficTriggersNothing) {
+  pump_traffic(*regular_, "plenty of ordinary web content with no signatures "
+                          "whatsoever, just text flowing through the wire....",
+               50);
+  controller_->collect_telemetry();
+  const MitigationPlan plan = controller_->evaluate_mitigation();
+  EXPECT_TRUE(plan.stressed_instances.empty());
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST_F(Mca2Test, AttackTrafficTriggersMigrationToDedicated) {
+  // Adversarial payload: back-to-back signatures -> dense accepting hits.
+  std::string attack;
+  for (int i = 0; i < 20; ++i) attack += "attacksig";
+  pump_traffic(*regular_, attack, 50);
+  controller_->collect_telemetry();
+  EXPECT_TRUE(controller_->stress_monitor().is_stressed("regular"));
+
+  const MitigationPlan plan = controller_->evaluate_mitigation();
+  ASSERT_EQ(plan.migrations.size(), 1u);
+  EXPECT_EQ(plan.migrations[0].chain, chain_);
+  EXPECT_EQ(plan.migrations[0].from_instance, "regular");
+  EXPECT_EQ(plan.migrations[0].to_instance, "dedicated");
+
+  EXPECT_EQ(controller_->apply_mitigation(plan), 1u);
+  EXPECT_EQ(controller_->instance_for_chain(chain_), "dedicated");
+  // Applying the same plan twice is a no-op.
+  EXPECT_EQ(controller_->apply_mitigation(plan), 0u);
+}
+
+TEST_F(Mca2Test, NoDedicatedInstanceMeansEmptyPlan) {
+  controller_->remove_instance("dedicated");
+  std::string attack;
+  for (int i = 0; i < 20; ++i) attack += "attacksig";
+  pump_traffic(*regular_, attack, 50);
+  controller_->collect_telemetry();
+  const MitigationPlan plan = controller_->evaluate_mitigation();
+  EXPECT_FALSE(plan.stressed_instances.empty());
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST_F(Mca2Test, FlowMigrationBetweenInstances) {
+  // Make the chain stateful so there is flow state to move.
+  controller_->handle_message(json::parse(
+      R"({"type":"unregister","middlebox_id":1})"));
+  controller_->handle_message(json::parse(
+      R"({"type":"register","middlebox_id":1,"name":"ids","stateful":true})"));
+  controller_->handle_message(add_exact_msg(1, 0, "attacksig"));
+  const dpi::ChainId chain = controller_->register_policy_chain({1});
+
+  regular_->scan(chain, flow(3), view("some bytes"));
+  EXPECT_EQ(regular_->active_flows(), 1u);
+  EXPECT_TRUE(controller_->migrate_flow(flow(3), "regular", "dedicated"));
+  EXPECT_EQ(regular_->active_flows(), 0u);
+  EXPECT_EQ(dedicated_->active_flows(), 1u);
+  // Unknown flow / instance combinations fail cleanly.
+  EXPECT_FALSE(controller_->migrate_flow(flow(9), "regular", "dedicated"));
+  EXPECT_FALSE(controller_->migrate_flow(flow(3), "ghost", "dedicated"));
+}
+
+TEST(StressMonitor, SmoothingAndThresholds) {
+  StressConfig config;
+  config.hits_per_byte_threshold = 0.1;
+  config.min_window_bytes = 100;
+  config.smoothing_windows = 2;
+  StressMonitor monitor(config);
+
+  InstanceTelemetry quiet;
+  quiet.bytes = 1000;
+  quiet.raw_hits = 10;  // 0.01
+  monitor.report("a", quiet);
+  EXPECT_FALSE(monitor.is_stressed("a"));
+  EXPECT_DOUBLE_EQ(monitor.smoothed_signal("a"), 0.01);
+
+  InstanceTelemetry loud;
+  loud.bytes = 1000;
+  loud.raw_hits = 500;  // 0.5
+  monitor.report("a", loud);
+  // Average over the 2-window history: (10+500)/2000 = 0.255.
+  EXPECT_TRUE(monitor.is_stressed("a"));
+  monitor.report("a", loud);  // quiet window rotated out
+  EXPECT_DOUBLE_EQ(monitor.smoothed_signal("a"), 0.5);
+
+  // Below min_window_bytes the signal is suppressed.
+  StressMonitor small(config);
+  InstanceTelemetry tiny;
+  tiny.bytes = 50;
+  tiny.raw_hits = 50;
+  small.report("b", tiny);
+  EXPECT_FALSE(small.is_stressed("b"));
+
+  monitor.forget("a");
+  EXPECT_FALSE(monitor.is_stressed("a"));
+  EXPECT_TRUE(monitor.stressed_instances().empty());
+}
+
+}  // namespace
+}  // namespace dpisvc::service

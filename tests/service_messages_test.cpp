@@ -1,0 +1,119 @@
+// Tests for the JSON control-plane protocol (§4.1).
+#include <gtest/gtest.h>
+
+#include "service/messages.hpp"
+
+namespace dpisvc::service {
+namespace {
+
+TEST(Messages, RegisterRoundTrip) {
+  RegisterRequest request;
+  request.profile.id = 7;
+  request.profile.name = "ids";
+  request.profile.stateful = true;
+  request.profile.read_only = true;
+  request.profile.stop_offset = 2048;
+  const json::Value wire = encode(request);
+  // Survive an actual serialize/parse cycle, as over a real channel.
+  const json::Value reparsed = json::parse(json::dump(wire));
+  const RegisterRequest decoded = decode_register(reparsed);
+  EXPECT_EQ(decoded.profile.id, 7);
+  EXPECT_EQ(decoded.profile.name, "ids");
+  EXPECT_TRUE(decoded.profile.stateful);
+  EXPECT_TRUE(decoded.profile.read_only);
+  EXPECT_EQ(decoded.profile.stop_offset, 2048u);
+  EXPECT_FALSE(decoded.inherit_from.has_value());
+}
+
+TEST(Messages, RegisterNoStopConditionIsNull) {
+  RegisterRequest request;
+  request.profile.id = 1;
+  request.profile.name = "x";
+  const json::Value wire = encode(request);
+  EXPECT_TRUE(wire.at("stop_offset").is_null());
+  EXPECT_EQ(decode_register(wire).profile.stop_offset, dpi::kNoStopCondition);
+}
+
+TEST(Messages, RegisterWithInheritance) {
+  RegisterRequest request;
+  request.profile.id = 2;
+  request.profile.name = "ids-clone";
+  request.inherit_from = 1;
+  const RegisterRequest decoded = decode_register(encode(request));
+  ASSERT_TRUE(decoded.inherit_from.has_value());
+  EXPECT_EQ(*decoded.inherit_from, 1);
+}
+
+TEST(Messages, AddPatternsRoundTripWithBinaryBytes) {
+  AddPatternsRequest request;
+  request.middlebox = 3;
+  request.exact.push_back(ExactPatternMsg{10, std::string("\x00\xFF\x90""abc", 6)});
+  request.exact.push_back(ExactPatternMsg{11, "plain-text"});
+  request.regex.push_back(RegexPatternMsg{12, R"(evil\d+)", true});
+  const json::Value reparsed = json::parse(json::dump(encode(request)));
+  const AddPatternsRequest decoded = decode_add_patterns(reparsed);
+  EXPECT_EQ(decoded.middlebox, 3);
+  ASSERT_EQ(decoded.exact.size(), 2u);
+  EXPECT_EQ(decoded.exact[0].rule, 10);
+  EXPECT_EQ(decoded.exact[0].bytes, std::string("\x00\xFF\x90""abc", 6));
+  EXPECT_EQ(decoded.exact[1].bytes, "plain-text");
+  ASSERT_EQ(decoded.regex.size(), 1u);
+  EXPECT_EQ(decoded.regex[0].expression, R"(evil\d+)");
+  EXPECT_TRUE(decoded.regex[0].case_insensitive);
+}
+
+TEST(Messages, RemovePatternsRoundTrip) {
+  RemovePatternsRequest request;
+  request.middlebox = 5;
+  request.rules = {1, 2, 30000};
+  const RemovePatternsRequest decoded =
+      decode_remove_patterns(json::parse(json::dump(encode(request))));
+  EXPECT_EQ(decoded.middlebox, 5);
+  EXPECT_EQ(decoded.rules, (std::vector<dpi::PatternId>{1, 2, 30000}));
+}
+
+TEST(Messages, UnregisterRoundTrip) {
+  UnregisterRequest request;
+  request.middlebox = 9;
+  EXPECT_EQ(decode_unregister(encode(request)).middlebox, 9);
+}
+
+TEST(Messages, Responses) {
+  EXPECT_TRUE(response_ok(ok_response()));
+  const json::Value err = error_response("boom");
+  EXPECT_FALSE(response_ok(err));
+  EXPECT_EQ(err.at("error").as_string(), "boom");
+}
+
+TEST(Messages, TypeDispatch) {
+  RegisterRequest request;
+  request.profile.id = 1;
+  request.profile.name = "a";
+  EXPECT_EQ(message_type(encode(request)), "register");
+  EXPECT_THROW(decode_add_patterns(encode(request)), std::invalid_argument);
+  EXPECT_THROW(decode_register(encode(UnregisterRequest{1})),
+               std::invalid_argument);
+}
+
+TEST(Messages, RejectsOutOfRangeIds) {
+  json::Value bad = json::parse(
+      R"({"type":"register","middlebox_id":65,"name":"x"})");
+  EXPECT_THROW(decode_register(bad), std::invalid_argument);
+  bad = json::parse(R"({"type":"register","middlebox_id":0,"name":"x"})");
+  EXPECT_THROW(decode_register(bad), std::invalid_argument);
+  bad = json::parse(
+      R"({"type":"remove_patterns","middlebox_id":1,"rules":[70000]})");
+  EXPECT_THROW(decode_remove_patterns(bad), std::invalid_argument);
+}
+
+TEST(Messages, RejectsMissingFields) {
+  EXPECT_THROW(decode_register(json::parse(R"({"type":"register"})")),
+               json::TypeError);
+  EXPECT_THROW(
+      decode_add_patterns(json::parse(
+          R"({"type":"add_patterns","middlebox_id":1,"exact":[{"rule":1}]})")),
+      json::TypeError);
+}
+
+}  // namespace
+}  // namespace dpisvc::service

@@ -1,0 +1,111 @@
+// Tests for the on-disk pattern-set and trace formats.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "workload/pattern_gen.hpp"
+#include "workload/trace_io.hpp"
+
+namespace dpisvc::workload {
+namespace {
+
+TEST(PatternIo, TextRoundTrip) {
+  const std::vector<std::string> patterns = {
+      "plain-ascii",
+      std::string("\x00\xFF\x90""bin", 6),
+      "unicode: é",
+  };
+  const std::string text = patterns_to_text(patterns);
+  EXPECT_EQ(patterns_from_text(text), patterns);
+}
+
+TEST(PatternIo, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "# header comment\n"
+      "\n"
+      "616263\n"          // "abc"
+      "# mid comment\r\n"
+      "646566\r\n";       // "def" with CRLF
+  EXPECT_EQ(patterns_from_text(text),
+            (std::vector<std::string>{"abc", "def"}));
+}
+
+TEST(PatternIo, RejectsMalformedLines) {
+  EXPECT_THROW(patterns_from_text("xyz\n"), std::invalid_argument);
+  EXPECT_THROW(patterns_from_text("616\n"), std::invalid_argument);
+  // Valid hex but empty after decode cannot happen (empty line skipped),
+  // so nothing else to reject here.
+  EXPECT_TRUE(patterns_from_text("").empty());
+  EXPECT_TRUE(patterns_from_text("# only comments\n").empty());
+}
+
+TEST(PatternIo, GeneratedSetsSurviveRoundTrip) {
+  const auto snort = generate_patterns(snort_like(200));
+  EXPECT_EQ(patterns_from_text(patterns_to_text(snort)), snort);
+  const auto clam = generate_patterns(clamav_like(200));
+  EXPECT_EQ(patterns_from_text(patterns_to_text(clam)), clam);
+}
+
+TEST(TraceIo, BinaryRoundTrip) {
+  TrafficConfig config;
+  config.num_packets = 50;
+  const Trace original = generate_http_trace(config);
+  const Bytes blob = trace_to_bytes(original);
+  const Trace restored = trace_from_bytes(blob);
+  ASSERT_EQ(restored.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(restored[i].tuple, original[i].tuple);
+    EXPECT_EQ(restored[i].payload, original[i].payload);
+  }
+}
+
+TEST(TraceIo, EmptyTraceRoundTrip) {
+  EXPECT_TRUE(trace_from_bytes(trace_to_bytes({})).empty());
+}
+
+TEST(TraceIo, RejectsCorruption) {
+  TrafficConfig config;
+  config.num_packets = 3;
+  const Bytes blob = trace_to_bytes(generate_http_trace(config));
+  Bytes bad_magic = blob;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_THROW(trace_from_bytes(bad_magic), std::invalid_argument);
+  Bytes truncated(blob.begin(), blob.end() - 5);
+  EXPECT_THROW(trace_from_bytes(truncated), std::invalid_argument);
+  Bytes trailing = blob;
+  trailing.push_back(0);
+  EXPECT_THROW(trace_from_bytes(trailing), std::invalid_argument);
+  EXPECT_THROW(trace_from_bytes(BytesView(blob.data(), 4)),
+               std::out_of_range);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "dpisvc_io_test").string();
+  std::filesystem::create_directories(dir);
+  const std::string pattern_path = dir + "/patterns.txt";
+  const std::string trace_path = dir + "/trace.bin";
+
+  const auto patterns = generate_patterns(snort_like(50));
+  save_patterns(pattern_path, patterns);
+  EXPECT_EQ(load_patterns(pattern_path), patterns);
+
+  TrafficConfig config;
+  config.num_packets = 20;
+  const Trace trace = generate_http_trace(config);
+  save_trace(trace_path, trace);
+  const Trace restored = load_trace(trace_path);
+  EXPECT_EQ(restored.size(), trace.size());
+  EXPECT_EQ(total_payload_bytes(restored), total_payload_bytes(trace));
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(load_patterns("/nonexistent/path/p.txt"), std::runtime_error);
+  EXPECT_THROW(load_trace("/nonexistent/path/t.bin"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dpisvc::workload

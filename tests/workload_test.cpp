@@ -1,0 +1,197 @@
+// Tests for the workload generators: pattern sets and traffic traces.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "regex/parser.hpp"
+#include "workload/pattern_gen.hpp"
+#include "workload/traffic_gen.hpp"
+
+namespace dpisvc::workload {
+namespace {
+
+TEST(PatternGen, CountAndDistinctness) {
+  PatternSetConfig config;
+  config.count = 500;
+  const auto patterns = generate_patterns(config);
+  EXPECT_EQ(patterns.size(), 500u);
+  const std::set<std::string> unique(patterns.begin(), patterns.end());
+  EXPECT_EQ(unique.size(), 500u);
+}
+
+TEST(PatternGen, RespectsLengthBounds) {
+  PatternSetConfig config;
+  config.count = 300;
+  config.min_length = 8;
+  config.max_length = 24;
+  for (const auto& p : generate_patterns(config)) {
+    EXPECT_GE(p.size(), 8u);
+    // Shared-prefix extension can overshoot by less than one fragment.
+    EXPECT_LE(p.size(), 24u + 16u);
+  }
+}
+
+TEST(PatternGen, DeterministicInSeed) {
+  PatternSetConfig config;
+  config.count = 100;
+  EXPECT_EQ(generate_patterns(config), generate_patterns(config));
+  config.seed += 1;
+  EXPECT_NE(generate_patterns(config), generate_patterns(PatternSetConfig{}));
+}
+
+TEST(PatternGen, SnortLikeIsPrintable) {
+  auto config = snort_like(200);
+  for (const auto& p : generate_patterns(config)) {
+    for (unsigned char c : p) {
+      EXPECT_TRUE(c >= 0x20 && c < 0x7F) << "non-printable byte in " << p;
+    }
+  }
+}
+
+TEST(PatternGen, ClamavLikeIsBinary) {
+  auto config = clamav_like(300);
+  bool any_nonprintable = false;
+  for (const auto& p : generate_patterns(config)) {
+    for (unsigned char c : p) {
+      if (c < 0x20 || c >= 0x7F) any_nonprintable = true;
+    }
+  }
+  EXPECT_TRUE(any_nonprintable);
+}
+
+TEST(PatternGen, SplitRandomPartitions) {
+  const auto patterns = generate_patterns(snort_like(501));
+  const auto parts = split_random(patterns, 2, 99);
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0].size() + parts[1].size(), patterns.size());
+  // Roughly even.
+  EXPECT_NEAR(static_cast<double>(parts[0].size()), 250.5, 1.0);
+  // Disjoint and complete.
+  std::set<std::string> all(patterns.begin(), patterns.end());
+  std::set<std::string> seen;
+  for (const auto& part : parts) {
+    for (const auto& p : part) {
+      EXPECT_TRUE(all.count(p));
+      EXPECT_TRUE(seen.insert(p).second) << "duplicate across parts";
+    }
+  }
+  EXPECT_EQ(seen.size(), all.size());
+}
+
+TEST(PatternGen, SplitRejectsZeroParts) {
+  EXPECT_THROW(split_random({}, 0, 1), std::invalid_argument);
+}
+
+TEST(PatternGen, RegexRulesParse) {
+  const auto rules = generate_regex_rules(50, 3);
+  EXPECT_EQ(rules.size(), 50u);
+  for (const auto& r : rules) {
+    EXPECT_NO_THROW(regex::parse(r)) << r;
+  }
+}
+
+TEST(TrafficGen, HttpTraceShape) {
+  TrafficConfig config;
+  config.num_packets = 200;
+  config.min_payload = 100;
+  config.max_payload = 500;
+  config.num_flows = 10;
+  const Trace trace = generate_http_trace(config);
+  EXPECT_EQ(trace.size(), 200u);
+  std::set<net::FiveTuple> flows;
+  for (const auto& pkt : trace) {
+    EXPECT_GE(pkt.payload.size(), 100u);
+    EXPECT_LE(pkt.payload.size(), 500u);
+    flows.insert(pkt.tuple);
+  }
+  EXPECT_EQ(flows.size(), 10u);
+  EXPECT_GT(total_payload_bytes(trace), 200u * 100u);
+}
+
+TEST(TrafficGen, DeterministicInSeed) {
+  TrafficConfig config;
+  config.num_packets = 50;
+  const Trace a = generate_http_trace(config);
+  const Trace b = generate_http_trace(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].payload, b[i].payload);
+  }
+}
+
+TEST(TrafficGen, PlantedMatchRateApproximatelyHolds) {
+  TrafficConfig config;
+  config.num_packets = 2000;
+  config.planted_match_rate = 0.1;
+  config.planted_patterns = {"THISPATTERNISPLANTED"};
+  const Trace trace = generate_http_trace(config);
+  std::size_t with_match = 0;
+  for (const auto& pkt : trace) {
+    const std::string text(pkt.payload.begin(), pkt.payload.end());
+    if (text.find("THISPATTERNISPLANTED") != std::string::npos) {
+      ++with_match;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(with_match) / 2000.0, 0.1, 0.03);
+}
+
+TEST(TrafficGen, NoPlantsWhenRateZero) {
+  TrafficConfig config;
+  config.num_packets = 300;
+  config.planted_match_rate = 0.0;
+  config.planted_patterns = {"NEVERPLANTED"};
+  for (const auto& pkt : generate_http_trace(config)) {
+    const std::string text(pkt.payload.begin(), pkt.payload.end());
+    EXPECT_EQ(text.find("NEVERPLANTED"), std::string::npos);
+  }
+}
+
+TEST(TrafficGen, AttackTraceIsDenseInPatternBytes) {
+  TrafficConfig config;
+  config.num_packets = 50;
+  const std::vector<std::string> patterns = {"attacksig", "malware!"};
+  const Trace trace = generate_attack_trace(config, patterns);
+  std::size_t hits = 0;
+  for (const auto& pkt : trace) {
+    const std::string text(pkt.payload.begin(), pkt.payload.end());
+    for (std::size_t at = text.find("attacksig"); at != std::string::npos;
+         at = text.find("attacksig", at + 1)) {
+      ++hits;
+    }
+  }
+  // Payloads are stitched from the patterns: hits must be dense.
+  EXPECT_GT(hits, trace.size());
+}
+
+TEST(TrafficGen, AttackTraceNeedsPatterns) {
+  TrafficConfig config;
+  EXPECT_THROW(generate_attack_trace(config, {}), std::invalid_argument);
+}
+
+TEST(TrafficGen, RejectsBadConfig) {
+  TrafficConfig config;
+  config.min_payload = 0;
+  EXPECT_THROW(generate_http_trace(config), std::invalid_argument);
+  config = TrafficConfig{};
+  config.min_payload = 100;
+  config.max_payload = 50;
+  EXPECT_THROW(generate_random_trace(config), std::invalid_argument);
+  config = TrafficConfig{};
+  config.num_flows = 0;
+  EXPECT_THROW(generate_http_trace(config), std::invalid_argument);
+}
+
+TEST(TrafficGen, ToPacketWiresThrough) {
+  TrafficConfig config;
+  config.num_packets = 1;
+  const Trace trace = generate_http_trace(config);
+  const net::Packet p = to_packet(trace[0], 42);
+  EXPECT_EQ(p.ip_id, 42);
+  EXPECT_EQ(p.payload, trace[0].payload);
+  EXPECT_EQ(p.tuple, trace[0].tuple);
+  // And the full wire round-trip still holds.
+  EXPECT_EQ(net::Packet::from_wire(p.to_wire()).payload, p.payload);
+}
+
+}  // namespace
+}  // namespace dpisvc::workload
