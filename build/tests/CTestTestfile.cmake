@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/json_test[1]_include.cmake")
+include("/root/repo/build/tests/regex_test[1]_include.cmake")
+include("/root/repo/build/tests/ac_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/dpi_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/flow_table_test[1]_include.cmake")
+include("/root/repo/build/tests/pattern_db_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/netsim_test[1]_include.cmake")
+include("/root/repo/build/tests/service_messages_test[1]_include.cmake")
+include("/root/repo/build/tests/service_instance_test[1]_include.cmake")
+include("/root/repo/build/tests/service_controller_test[1]_include.cmake")
+include("/root/repo/build/tests/mbox_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/reassembly_test[1]_include.cmake")
+include("/root/repo/build/tests/compress_test[1]_include.cmake")
+include("/root/repo/build/tests/wu_manber_test[1]_include.cmake")
+include("/root/repo/build/tests/service_features_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_io_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_model_test[1]_include.cmake")
+include("/root/repo/build/tests/concurrency_test[1]_include.cmake")
