@@ -1,0 +1,185 @@
+// Failover recovery benchmark (§4.3 / §7 failure scenarios).
+//
+// A two-instance service pool carries chained traffic across a fabric with
+// 1% seeded link loss. Mid-run the active instance is crashed; the
+// controller must notice the missing heartbeats, reassign the chain to the
+// survivor, and the middlebox must degrade any packets whose result packets
+// died with the instance. Emits BENCH_failover.json with the recovery time
+// (telemetry windows until all chains were reassigned) and the packet
+// accounting (delivered / lost / stalled), seeding the perf trajectory for
+// the fault-tolerance subsystem.
+#include <cstdio>
+#include <fstream>
+
+#include "bench_util.hpp"
+#include "json/json.hpp"
+#include "mbox/boxes.hpp"
+#include "mbox/middlebox_node.hpp"
+#include "netsim/controller.hpp"
+#include "netsim/host.hpp"
+#include "netsim/switch.hpp"
+#include "service/instance_node.hpp"
+
+using namespace dpisvc;
+using namespace dpisvc::bench;
+
+namespace {
+
+net::Packet make_packet(bool evil, std::uint16_t src_port,
+                        std::uint16_t ip_id) {
+  net::Packet p;
+  p.tuple.src_ip = net::Ipv4Addr(10, 0, 0, 1);
+  p.tuple.dst_ip = net::Ipv4Addr(10, 0, 0, 99);
+  p.tuple.src_port = src_port;
+  p.tuple.dst_port = 80;
+  p.ip_id = ip_id;
+  p.payload = to_bytes(evil ? "GET /?q=attack-sig HTTP/1.1 payload padding"
+                            : "GET /index.html HTTP/1.1 benign body bytes");
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  print_header("failover: instance crash mid-traffic under 1% link loss");
+
+  constexpr std::size_t kMissWindows = 2;
+  constexpr int kWindows = 12;
+  constexpr int kCrashWindow = 4;
+  constexpr int kPacketsPerWindow = 250;
+  constexpr double kLoss = 0.01;
+
+  service::FailoverConfig failover;
+  failover.miss_windows = kMissWindows;
+  service::DpiController controller({}, failover);
+
+  mbox::Ids ids(1, /*stateful=*/false);
+  mbox::RuleSpec rule;
+  rule.id = 1;
+  rule.exact = "attack-sig";
+  rule.verdict = mbox::Verdict::kAlert;
+  ids.add_rule(rule);
+  ids.attach(controller);
+  const dpi::ChainId chain = controller.register_policy_chain({1});
+  auto dpi1 = controller.create_instance("dpi1");
+  auto dpi2 = controller.create_instance("dpi2");
+  controller.assign_chain(chain, "dpi1");
+
+  netsim::Fabric fabric;
+  fabric.add_node<netsim::Switch>("s1");
+  netsim::Host& src = fabric.add_node<netsim::Host>("src");
+  netsim::Host& dst = fabric.add_node<netsim::Host>("dst");
+  fabric.add_node<service::InstanceNode>("dpi1", dpi1);
+  fabric.add_node<service::InstanceNode>("dpi2", dpi2);
+  mbox::DegradeConfig degrade;
+  degrade.result_deadline = 128;
+  mbox::MiddleboxNode& ids_node = fabric.add_node<mbox::MiddleboxNode>(
+      "ids", ids, mbox::NodeMode::kService, degrade);
+  fabric.set_fault_seed(20140102);
+  netsim::LinkFaults faults;
+  faults.drop = kLoss;
+  for (const char* n : {"src", "dst", "dpi1", "dpi2", "ids"}) {
+    fabric.connect("s1", n);
+    fabric.set_link_faults("s1", n, faults);
+  }
+  src.set_gateway("s1");
+
+  netsim::SdnController sdn(fabric);
+  netsim::TrafficSteeringApp tsa(sdn, "s1");
+  netsim::PolicyChainSpec spec;
+  spec.id = chain;
+  spec.ingress = "src";
+  spec.sequence = {"dpi1", "ids"};
+  spec.egress = "dst";
+  tsa.install_chain(spec);
+  controller.set_routing_listener(
+      [&](dpi::ChainId id, const std::string& instance) {
+        tsa.update_sequence(id, {instance, "ids"});
+      });
+
+  std::uint64_t sent = 0;
+  std::uint16_t ip_id = 1;
+  int detected_window = -1;
+  int reassigned_window = -1;
+  Stopwatch watch;
+  for (int window = 0; window < kWindows; ++window) {
+    if (window == kCrashWindow) {
+      fabric.crash_node("dpi1");
+      std::printf("[window %2d] dpi1 crashed\n", window);
+    }
+    for (int i = 0; i < kPacketsPerWindow; ++i) {
+      src.send(make_packet(i % 10 == 0,
+                           static_cast<std::uint16_t>(1000 + i % 16),
+                           ip_id++));
+      ++sent;
+      fabric.run();
+    }
+    for (const std::string& name : controller.instance_names()) {
+      if (!fabric.crashed(name)) controller.heartbeat(name);
+    }
+    controller.collect_telemetry();
+    if (detected_window < 0 && controller.is_failed("dpi1")) {
+      detected_window = window;
+      std::printf("[window %2d] dpi1 declared failed\n", window);
+    }
+    controller.apply_failover(controller.evaluate_failover());
+    if (reassigned_window < 0 &&
+        controller.instance_for_chain(chain).value_or("dpi1") != "dpi1") {
+      reassigned_window = window;
+      std::printf("[window %2d] chain %u reassigned to %s\n", window,
+                  static_cast<unsigned>(chain),
+                  controller.instance_for_chain(chain)->c_str());
+    }
+  }
+  // Drain waiters whose result packets were lost, then settle the fabric.
+  ids_node.expire_pending(/*force=*/true);
+  fabric.run();
+  const double seconds = watch.elapsed_seconds();
+
+  const netsim::FaultStats& fs = fabric.fault_stats();
+  const std::uint64_t delivered = dst.received().size();
+  const std::uint64_t stalled = ids_node.pending();
+  const std::uint64_t lost = sent - delivered;
+  const int recovery_windows =
+      reassigned_window < 0 ? -1 : reassigned_window - kCrashWindow + 1;
+
+  std::printf("\n%-38s %8llu\n", "packets sent",
+              static_cast<unsigned long long>(sent));
+  std::printf("%-38s %8llu\n", "packets delivered to dst",
+              static_cast<unsigned long long>(delivered));
+  std::printf("%-38s %8llu  (link loss %llu, crash discards %llu)\n",
+              "packets lost", static_cast<unsigned long long>(lost),
+              static_cast<unsigned long long>(fs.dropped),
+              static_cast<unsigned long long>(fs.crash_discards));
+  std::printf("%-38s %8llu\n", "packets permanently stalled",
+              static_cast<unsigned long long>(stalled));
+  std::printf("%-38s %8llu\n", "fallback local scans",
+              static_cast<unsigned long long>(ids_node.fallback_scans()));
+  std::printf("%-38s %8d\n", "windows to detect failure",
+              detected_window - kCrashWindow + 1);
+  std::printf("%-38s %8d\n", "windows to reassign all chains",
+              recovery_windows);
+
+  const json::Value out(json::obj({
+      {"miss_windows", static_cast<double>(kMissWindows)},
+      {"link_loss", kLoss},
+      {"packets_sent", static_cast<double>(sent)},
+      {"packets_delivered", static_cast<double>(delivered)},
+      {"packets_lost", static_cast<double>(lost)},
+      {"link_drops", static_cast<double>(fs.dropped)},
+      {"crash_discards", static_cast<double>(fs.crash_discards)},
+      {"packets_stalled", static_cast<double>(stalled)},
+      {"result_timeouts", static_cast<double>(ids_node.result_timeouts())},
+      {"fallback_scans", static_cast<double>(ids_node.fallback_scans())},
+      {"windows_to_detect", static_cast<double>(detected_window -
+                                                kCrashWindow + 1)},
+      {"recovery_windows", static_cast<double>(recovery_windows)},
+      {"wall_seconds", seconds},
+  }));
+  std::ofstream("BENCH_failover.json") << json::dump(out) << "\n";
+  std::printf("\nwrote BENCH_failover.json\n");
+  return stalled == 0 && recovery_windows > 0 &&
+                 recovery_windows <= static_cast<int>(kMissWindows) + 1
+             ? 0
+             : 1;
+}

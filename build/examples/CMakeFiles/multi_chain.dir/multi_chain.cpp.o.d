@@ -238,7 +238,6 @@ examples/CMakeFiles/multi_chain.dir/multi_chain.cpp.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/service/messages.hpp \
  /root/repo/src/mbox/middlebox_node.hpp /root/repo/src/netsim/fabric.hpp \
- /root/repo/src/service/instance_node.hpp \
+ /root/repo/src/common/rng.hpp /root/repo/src/service/instance_node.hpp \
  /root/repo/src/netsim/controller.hpp /root/repo/src/netsim/switch.hpp \
- /root/repo/src/netsim/host.hpp /root/repo/src/workload/traffic_gen.hpp \
- /root/repo/src/common/rng.hpp
+ /root/repo/src/netsim/host.hpp /root/repo/src/workload/traffic_gen.hpp

@@ -240,5 +240,5 @@ examples/CMakeFiles/snort_plugin_sim.dir/snort_plugin_sim.cpp.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/service/messages.hpp \
  /root/repo/src/service/instance_node.hpp \
- /root/repo/src/netsim/fabric.hpp /root/repo/src/workload/traffic_gen.hpp \
- /root/repo/src/common/rng.hpp
+ /root/repo/src/netsim/fabric.hpp /root/repo/src/common/rng.hpp \
+ /root/repo/src/workload/traffic_gen.hpp

@@ -224,9 +224,9 @@ src/mbox/CMakeFiles/dpisvc_mbox.dir/middlebox.cpp.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/net/addr.hpp \
  /root/repo/src/net/packet.hpp /root/repo/src/service/controller.hpp \
- /root/repo/src/dpi/pattern_db.hpp /usr/include/c++/12/set \
- /usr/include/c++/12/bits/stl_set.h \
- /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/json/json.hpp \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h \
+ /root/repo/src/dpi/pattern_db.hpp /root/repo/src/json/json.hpp \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/service/instance.hpp /root/repo/src/common/timer.hpp \
  /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \

@@ -213,7 +213,8 @@ src/netsim/CMakeFiles/dpisvc_netsim.dir/host.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/net/packet.hpp \
- /usr/include/c++/12/optional /root/repo/src/common/bytes.hpp \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/rng.hpp \
  /usr/include/c++/12/span /usr/include/c++/12/cstddef \
- /root/repo/src/net/addr.hpp /root/repo/src/net/flow.hpp
+ /root/repo/src/net/packet.hpp /usr/include/c++/12/optional \
+ /root/repo/src/common/bytes.hpp /root/repo/src/net/addr.hpp \
+ /root/repo/src/net/flow.hpp

@@ -206,11 +206,12 @@ src/netsim/CMakeFiles/dpisvc_netsim.dir/switch.cpp.o: \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/net/packet.hpp \
- /root/repo/src/common/bytes.hpp /usr/include/c++/12/span \
- /usr/include/c++/12/array /usr/include/c++/12/cstddef \
- /root/repo/src/net/addr.hpp /root/repo/src/net/flow.hpp \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/rng.hpp \
+ /usr/include/c++/12/span /usr/include/c++/12/array \
+ /usr/include/c++/12/cstddef /root/repo/src/net/packet.hpp \
+ /root/repo/src/common/bytes.hpp /root/repo/src/net/addr.hpp \
+ /root/repo/src/net/flow.hpp /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h \

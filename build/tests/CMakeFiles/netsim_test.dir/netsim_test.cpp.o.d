@@ -296,7 +296,7 @@ tests/CMakeFiles/netsim_test.dir/netsim_test.cpp.o: \
  /root/repo/src/netsim/controller.hpp /root/repo/src/dpi/types.hpp \
  /root/repo/src/netsim/switch.hpp /root/repo/src/netsim/fabric.hpp \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/net/packet.hpp \
- /root/repo/src/common/bytes.hpp /usr/include/c++/12/span \
- /root/repo/src/net/addr.hpp /root/repo/src/net/flow.hpp \
- /root/repo/src/netsim/host.hpp
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/common/rng.hpp \
+ /usr/include/c++/12/span /root/repo/src/net/packet.hpp \
+ /root/repo/src/common/bytes.hpp /root/repo/src/net/addr.hpp \
+ /root/repo/src/net/flow.hpp /root/repo/src/netsim/host.hpp

@@ -18,6 +18,10 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/ac/CMakeFiles/dpisvc_ac.dir/DependInfo.cmake"
   "/root/repo/build/src/compress/CMakeFiles/dpisvc_compress.dir/DependInfo.cmake"
   "/root/repo/build/src/workload/CMakeFiles/dpisvc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/service/CMakeFiles/dpisvc_service.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/dpisvc_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpi/CMakeFiles/dpisvc_dpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/regex/CMakeFiles/dpisvc_regex.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/dpisvc_common.dir/DependInfo.cmake"
   )
 

@@ -299,5 +299,18 @@ tests/CMakeFiles/robustness_test.dir/robustness_test.cpp.o: \
  /root/repo/src/compress/deflate.hpp /root/repo/src/compress/inflate.hpp \
  /root/repo/src/json/json.hpp /root/repo/src/net/packet.hpp \
  /root/repo/src/net/addr.hpp /root/repo/src/net/flow.hpp \
- /root/repo/src/net/result.hpp /root/repo/src/workload/trace_io.hpp \
+ /root/repo/src/net/result.hpp /root/repo/src/service/controller.hpp \
+ /root/repo/src/dpi/pattern_db.hpp /root/repo/src/dpi/engine.hpp \
+ /root/repo/src/ac/compressed_automaton.hpp /root/repo/src/dpi/types.hpp \
+ /root/repo/src/regex/matcher.hpp /root/repo/src/regex/program.hpp \
+ /root/repo/src/regex/ast.hpp /usr/include/c++/12/bitset \
+ /root/repo/src/regex/parser.hpp /root/repo/src/service/instance.hpp \
+ /root/repo/src/common/timer.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /root/repo/src/dpi/flow_table.hpp /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/net/reassembly.hpp /root/repo/src/service/mca2.hpp \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/service/messages.hpp \
+ /root/repo/src/workload/trace_io.hpp \
  /root/repo/src/workload/traffic_gen.hpp

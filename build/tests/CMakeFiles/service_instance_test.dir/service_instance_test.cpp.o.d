@@ -295,13 +295,13 @@ tests/CMakeFiles/service_instance_test.dir/service_instance_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/netsim/host.hpp /root/repo/src/netsim/fabric.hpp \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/net/packet.hpp \
- /root/repo/src/common/bytes.hpp /usr/include/c++/12/span \
- /root/repo/src/net/addr.hpp /root/repo/src/net/flow.hpp \
- /root/repo/src/service/instance.hpp /root/repo/src/common/timer.hpp \
- /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /root/repo/src/dpi/engine.hpp \
- /root/repo/src/ac/compressed_automaton.hpp \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/common/rng.hpp \
+ /usr/include/c++/12/span /root/repo/src/net/packet.hpp \
+ /root/repo/src/common/bytes.hpp /root/repo/src/net/addr.hpp \
+ /root/repo/src/net/flow.hpp /root/repo/src/service/instance.hpp \
+ /root/repo/src/common/timer.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /root/repo/src/dpi/engine.hpp /root/repo/src/ac/compressed_automaton.hpp \
  /root/repo/src/ac/full_automaton.hpp /root/repo/src/ac/trie.hpp \
  /root/repo/src/dpi/types.hpp /root/repo/src/net/result.hpp \
  /root/repo/src/regex/matcher.hpp /root/repo/src/regex/program.hpp \

@@ -25,5 +25,6 @@ include("/root/repo/build/tests/wu_manber_test[1]_include.cmake")
 include("/root/repo/build/tests/service_features_test[1]_include.cmake")
 include("/root/repo/build/tests/trace_io_test[1]_include.cmake")
 include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/failover_test[1]_include.cmake")
 include("/root/repo/build/tests/engine_model_test[1]_include.cmake")
 include("/root/repo/build/tests/concurrency_test[1]_include.cmake")

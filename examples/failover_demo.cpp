@@ -1,0 +1,148 @@
+// Failure-scenario demo (§4.3 / §7): the DPI service surviving an instance
+// crash.
+//
+// Phase 1: traffic flows src -> dpi1 -> ids -> dst over a lossy fabric
+//          (1% seeded drop on every link); the IDS consumes the instance's
+//          result packets.
+// Phase 2: dpi1 crashes mid-traffic. Its heartbeats stop; after the
+//          configured number of silent telemetry windows the controller
+//          declares it failed, builds a FailoverPlan, reassigns the chain
+//          to dpi2 (least-loaded live placement), migrates surviving flow
+//          state, and pushes the reroute to the traffic steering app.
+//          Meanwhile the IDS degrades gracefully: buffered packets whose
+//          result packets died with dpi1 time out and are rescanned with
+//          the middlebox's private standalone engine.
+// Phase 3: dpi1 restarts; recovery re-syncs its engine version before it
+//          may take traffic again.
+#include <cstdio>
+
+#include "common/logging.hpp"
+#include "mbox/boxes.hpp"
+#include "mbox/middlebox_node.hpp"
+#include "netsim/controller.hpp"
+#include "netsim/host.hpp"
+#include "netsim/switch.hpp"
+#include "service/instance_node.hpp"
+
+using namespace dpisvc;
+
+namespace {
+
+net::Packet make_packet(bool evil, std::uint16_t src_port,
+                        std::uint16_t ip_id) {
+  net::Packet p;
+  p.tuple.src_ip = net::Ipv4Addr(10, 0, 0, 1);
+  p.tuple.dst_ip = net::Ipv4Addr(10, 0, 0, 99);
+  p.tuple.src_port = src_port;
+  p.tuple.dst_port = 80;
+  p.ip_id = ip_id;
+  p.payload = to_bytes(evil ? "POST /upload attack-sig inside this body"
+                            : "GET /static/logo.png HTTP/1.1 benign");
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  set_log_level(LogLevel::kInfo);
+
+  service::FailoverConfig failover;
+  failover.miss_windows = 2;
+  service::DpiController controller({}, failover);
+
+  mbox::Ids ids(1, /*stateful=*/false);
+  mbox::RuleSpec rule;
+  rule.id = 1;
+  rule.exact = "attack-sig";
+  rule.verdict = mbox::Verdict::kAlert;
+  ids.add_rule(rule);
+  ids.attach(controller);
+  const dpi::ChainId chain = controller.register_policy_chain({1});
+  auto dpi1 = controller.create_instance("dpi1");
+  auto dpi2 = controller.create_instance("dpi2");
+  controller.assign_chain(chain, "dpi1");
+
+  netsim::Fabric fabric;
+  fabric.add_node<netsim::Switch>("s1");
+  netsim::Host& src = fabric.add_node<netsim::Host>("src");
+  netsim::Host& dst = fabric.add_node<netsim::Host>("dst");
+  fabric.add_node<service::InstanceNode>("dpi1", dpi1);
+  fabric.add_node<service::InstanceNode>("dpi2", dpi2);
+  mbox::DegradeConfig degrade;
+  degrade.result_deadline = 64;
+  mbox::MiddleboxNode& ids_node = fabric.add_node<mbox::MiddleboxNode>(
+      "ids", ids, mbox::NodeMode::kService, degrade);
+  fabric.set_fault_seed(42);
+  netsim::LinkFaults faults;
+  faults.drop = 0.01;
+  for (const char* n : {"src", "dst", "dpi1", "dpi2", "ids"}) {
+    fabric.connect("s1", n);
+    fabric.set_link_faults("s1", n, faults);
+  }
+  src.set_gateway("s1");
+
+  netsim::SdnController sdn(fabric);
+  netsim::TrafficSteeringApp tsa(sdn, "s1");
+  netsim::PolicyChainSpec spec;
+  spec.id = chain;
+  spec.ingress = "src";
+  spec.sequence = {"dpi1", "ids"};
+  spec.egress = "dst";
+  tsa.install_chain(spec);
+  controller.set_routing_listener(
+      [&](dpi::ChainId id, const std::string& instance) {
+        std::printf(">> TSA reroute: chain %u now via %s\n",
+                    static_cast<unsigned>(id), instance.c_str());
+        tsa.update_sequence(id, {instance, "ids"});
+      });
+
+  std::uint16_t ip_id = 1;
+  auto window = [&](int packets) {
+    for (int i = 0; i < packets; ++i) {
+      src.send(make_packet(i % 8 == 0,
+                           static_cast<std::uint16_t>(2000 + i % 8), ip_id++));
+      fabric.run();
+    }
+    for (const std::string& name : controller.instance_names()) {
+      if (!fabric.crashed(name)) controller.heartbeat(name);
+    }
+    controller.collect_telemetry();
+    controller.apply_failover(controller.evaluate_failover());
+  };
+
+  std::printf("[phase 1] healthy service, 1%% link loss\n");
+  for (int w = 0; w < 3; ++w) window(60);
+  std::printf("  delivered=%zu alerts=%zu assigned=%s\n",
+              dst.received().size(), ids.alerts().size(),
+              controller.instance_for_chain(chain)->c_str());
+
+  std::printf("\n[phase 2] crashing dpi1 mid-traffic\n");
+  fabric.crash_node("dpi1");
+  int windows_until_failover = 0;
+  while (controller.instance_for_chain(chain).value_or("dpi1") == "dpi1" &&
+         windows_until_failover < 8) {
+    window(60);
+    ++windows_until_failover;
+  }
+  std::printf("  failover after %d windows: failed=%s, chain now on %s\n",
+              windows_until_failover,
+              controller.is_failed("dpi1") ? "dpi1" : "none",
+              controller.instance_for_chain(chain)->c_str());
+  for (int w = 0; w < 2; ++w) window(60);
+  ids_node.expire_pending(/*force=*/true);
+  fabric.run();
+  std::printf("  delivered=%zu alerts=%zu pending=%zu "
+              "(timeouts=%llu local rescans=%llu)\n",
+              dst.received().size(), ids.alerts().size(), ids_node.pending(),
+              static_cast<unsigned long long>(ids_node.result_timeouts()),
+              static_cast<unsigned long long>(ids_node.fallback_scans()));
+
+  std::printf("\n[phase 3] restarting dpi1\n");
+  fabric.restore_node("dpi1");
+  controller.recover_instance("dpi1");
+  std::printf("  dpi1 failed=%s engine v%llu (pool version v%llu)\n",
+              controller.is_failed("dpi1") ? "yes" : "no",
+              static_cast<unsigned long long>(dpi1->engine_version()),
+              static_cast<unsigned long long>(dpi2->engine_version()));
+  return ids_node.pending() == 0 ? 0 : 1;
+}

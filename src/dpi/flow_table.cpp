@@ -58,6 +58,15 @@ FlowCursor FlowTable::extract(const net::FiveTuple& flow) {
   return cursor;
 }
 
+std::vector<net::FiveTuple> FlowTable::keys() const {
+  std::vector<net::FiveTuple> out;
+  out.reserve(lru_.size());
+  for (const Entry& entry : lru_) {
+    out.push_back(entry.flow);
+  }
+  return out;
+}
+
 void FlowTable::clear() {
   lru_.clear();
   entries_.clear();

@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <list>
 #include <unordered_map>
+#include <vector>
 
 #include "dpi/engine.hpp"
 #include "net/flow.hpp"
@@ -34,6 +35,10 @@ class FlowTable {
   /// Extracts the cursor for migration to another instance (§4.3): returns
   /// the cursor and removes the local entry.
   FlowCursor extract(const net::FiveTuple& flow);
+
+  /// All currently tracked flows, most recently used first (failover uses
+  /// this to migrate a dead instance's surviving state, §4.3).
+  std::vector<net::FiveTuple> keys() const;
 
   std::size_t size() const noexcept { return entries_.size(); }
   std::size_t capacity() const noexcept { return max_flows_; }

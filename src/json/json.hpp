@@ -101,7 +101,10 @@ class Value {
   /// Object field access shorthand; throws if not an object / key missing.
   const Value& at(const std::string& key) const { return as_object().at(key); }
 
-  /// Object field access returning fallback when key is absent.
+  /// Object field access returning fallback when key is absent. Lifetime
+  /// caveat: when `fallback` is a temporary, the returned reference is only
+  /// valid within the full expression — copy the result (or pass a named
+  /// fallback) if it must outlive the statement.
   const Value& get_or(const std::string& key, const Value& fallback) const;
 
   bool operator==(const Value& other) const { return data_ == other.data_; }

@@ -1,12 +1,18 @@
 #include "mbox/middlebox_node.hpp"
 
+#include <limits>
+
 #include "common/logging.hpp"
 
 namespace dpisvc::mbox {
 
 MiddleboxNode::MiddleboxNode(netsim::Fabric& fabric, netsim::NodeId name,
-                             Middlebox& middlebox, NodeMode mode)
-    : Node(fabric, std::move(name)), middlebox_(middlebox), mode_(mode) {}
+                             Middlebox& middlebox, NodeMode mode,
+                             DegradeConfig degrade)
+    : Node(fabric, std::move(name)),
+      middlebox_(middlebox),
+      mode_(mode),
+      degrade_(degrade) {}
 
 std::vector<net::MatchEntry> MiddleboxNode::entries_for_self(
     const net::MatchReport& report) const {
@@ -34,6 +40,72 @@ void MiddleboxNode::evaluate_and_forward(
   }
 }
 
+void MiddleboxNode::degrade(PendingEntry entry) {
+  if (degrade_.fallback == FallbackPolicy::kScanLocal) {
+    ++fallback_scans_;
+    const Verdict verdict = middlebox_.process_standalone(entry.packet);
+    if (verdict >= Verdict::kDrop) {
+      ++dropped_;
+      return;
+    }
+  } else {
+    ++forwarded_unscanned_;
+  }
+  ++forwarded_;
+  emit(entry.from, std::move(entry.packet));
+}
+
+void MiddleboxNode::buffer(PendingMap& map, std::uint64_t ref,
+                           net::Packet packet, const netsim::NodeId& from,
+                           bool is_data) {
+  if (map.size() >= degrade_.max_pending && !map.count(ref)) {
+    // Capacity eviction: retire the entry closest to its deadline (= the
+    // oldest, since deadlines grow monotonically with arrival time).
+    auto oldest = map.begin();
+    for (auto it = map.begin(); it != map.end(); ++it) {
+      if (it->second.deadline < oldest->second.deadline) oldest = it;
+    }
+    PendingEntry evicted = std::move(oldest->second);
+    map.erase(oldest);
+    ++evictions_;
+    if (is_data) degrade(std::move(evicted));
+  }
+  const std::uint64_t deadline =
+      degrade_.result_deadline == 0
+          ? std::numeric_limits<std::uint64_t>::max()
+          : now() + degrade_.result_deadline;
+  // A fault-duplicated packet may reuse a buffered ref; the copies are
+  // identical, so the later one simply replaces the earlier.
+  map.insert_or_assign(ref, PendingEntry{std::move(packet), from, deadline});
+}
+
+std::size_t MiddleboxNode::expire_pending(bool force) {
+  const std::uint64_t clock = now();
+  std::size_t retired = 0;
+  for (auto it = pending_data_.begin(); it != pending_data_.end();) {
+    if (force || it->second.deadline <= clock) {
+      PendingEntry entry = std::move(it->second);
+      it = pending_data_.erase(it);
+      ++result_timeouts_;
+      ++retired;
+      degrade(std::move(entry));
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = pending_results_.begin(); it != pending_results_.end();) {
+    if (force || it->second.deadline <= clock) {
+      // Orphaned result: its data packet was lost or already degraded.
+      it = pending_results_.erase(it);
+      ++evictions_;
+      ++retired;
+    } else {
+      ++it;
+    }
+  }
+  return retired;
+}
+
 void MiddleboxNode::receive(net::Packet packet, const netsim::NodeId& from) {
   if (mode_ == NodeMode::kStandalone) {
     const Verdict verdict = middlebox_.process_standalone(packet);
@@ -46,7 +118,10 @@ void MiddleboxNode::receive(net::Packet packet, const netsim::NodeId& from) {
     return;
   }
 
-  // Service mode.
+  // Service mode. Age out waiters first so a lost result cannot stall its
+  // data packet behind an open-ended wait.
+  expire_pending();
+
   const bool is_result =
       packet.service_header &&
       packet.service_header->service_path_id == service::kResultServicePathId;
@@ -55,15 +130,17 @@ void MiddleboxNode::receive(net::Packet packet, const netsim::NodeId& from) {
   if (is_result) {
     auto waiting = pending_data_.find(ref);
     if (waiting == pending_data_.end()) {
-      pending_results_.emplace(ref, std::move(packet));  // result came first
+      // Result came first (or its data packet was already degraded).
+      buffer(pending_results_, ref, std::move(packet), from,
+             /*is_data=*/false);
       return;
     }
-    net::Packet data = std::move(waiting->second);
+    PendingEntry entry = std::move(waiting->second);
     pending_data_.erase(waiting);
     const net::MatchReport report =
         net::decode_report(packet.service_header->metadata);
-    evaluate_and_forward(std::move(data), entries_for_self(report),
-                         std::move(packet), from);
+    evaluate_and_forward(std::move(entry.packet), entries_for_self(report),
+                         std::move(packet), entry.from);
     return;
   }
 
@@ -85,10 +162,10 @@ void MiddleboxNode::receive(net::Packet packet, const netsim::NodeId& from) {
   // Marked data packet: pair with its result.
   auto result = pending_results_.find(ref);
   if (result == pending_results_.end()) {
-    pending_data_.emplace(ref, std::move(packet));
+    buffer(pending_data_, ref, std::move(packet), from, /*is_data=*/true);
     return;
   }
-  net::Packet result_packet = std::move(result->second);
+  net::Packet result_packet = std::move(result->second.packet);
   pending_results_.erase(result);
   const net::MatchReport report =
       net::decode_report(result_packet.service_header->metadata);

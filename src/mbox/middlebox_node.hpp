@@ -13,6 +13,16 @@
 //
 // A kDrop verdict suppresses forwarding of both the data packet and its
 // result packet.
+//
+// Graceful degradation (§2/§7): result packets can be lost — a link drops
+// them, or the DPI instance dies mid-flight. Both pending buffers are
+// therefore bounded (capacity + age-based eviction), and a buffered data
+// packet whose result misses its deadline is degraded per the configured
+// fallback: scanned locally with the middlebox's private standalone engine
+// (the paper notes each middlebox "may still keep its own DPI engine" as a
+// fallback), or forwarded unscanned. Ages are measured in fabric
+// deliveries; expiry runs opportunistically on every receive and can be
+// forced via expire_pending() (e.g. once per telemetry window).
 #pragma once
 
 #include <cstdint>
@@ -29,12 +39,36 @@ enum class NodeMode {
   kStandalone,  ///< scans payloads itself
 };
 
+/// What to do with a buffered data packet whose result never arrived.
+enum class FallbackPolicy {
+  kScanLocal,         ///< scan with the middlebox's private engine
+  kForwardUnscanned,  ///< forward uninspected (availability over security)
+};
+
+struct DegradeConfig {
+  /// Capacity of each pending buffer; the oldest entry is evicted (data:
+  /// through the fallback path, results: discarded) to admit a new one.
+  std::size_t max_pending = 1024;
+  /// Fabric deliveries a buffered packet may wait for its counterpart
+  /// before the fallback runs. 0 = wait forever (the pre-failover model).
+  std::uint64_t result_deadline = 512;
+  FallbackPolicy fallback = FallbackPolicy::kScanLocal;
+};
+
 class MiddleboxNode : public netsim::Node {
  public:
   MiddleboxNode(netsim::Fabric& fabric, netsim::NodeId name,
-                Middlebox& middlebox, NodeMode mode);
+                Middlebox& middlebox, NodeMode mode,
+                DegradeConfig degrade = {});
 
   void receive(net::Packet packet, const netsim::NodeId& from) override;
+
+  /// Sweeps both pending buffers: data packets past their deadline are
+  /// degraded per the fallback policy; orphaned results past theirs are
+  /// discarded. Returns the number of entries retired. `force` retires
+  /// everything regardless of deadline — the end-of-run drain for a
+  /// quiesced fabric whose delivery clock no longer advances.
+  std::size_t expire_pending(bool force = false);
 
   std::uint64_t forwarded() const noexcept { return forwarded_; }
   std::uint64_t dropped() const noexcept { return dropped_; }
@@ -42,21 +76,50 @@ class MiddleboxNode : public netsim::Node {
     return pending_data_.size() + pending_results_.size();
   }
 
+  // --- degradation counters -------------------------------------------------
+  std::uint64_t result_timeouts() const noexcept { return result_timeouts_; }
+  std::uint64_t fallback_scans() const noexcept { return fallback_scans_; }
+  std::uint64_t forwarded_unscanned() const noexcept {
+    return forwarded_unscanned_;
+  }
+  std::uint64_t evictions() const noexcept { return evictions_; }
+
  private:
+  struct PendingEntry {
+    net::Packet packet;
+    netsim::NodeId from;        ///< neighbor to forward back through
+    std::uint64_t deadline;     ///< total_deliveries() when the wait expires
+  };
+  using PendingMap = std::map<std::uint64_t, PendingEntry>;
+
   void evaluate_and_forward(net::Packet data,
                             const std::vector<net::MatchEntry>& entries,
                             std::optional<net::Packet> result,
                             const netsim::NodeId& to);
 
+  /// Runs the configured fallback on a data packet whose result is gone.
+  void degrade(PendingEntry entry);
+
+  /// Inserts into a pending buffer, evicting the oldest entry when full.
+  void buffer(PendingMap& map, std::uint64_t ref, net::Packet packet,
+              const netsim::NodeId& from, bool is_data);
+
   std::vector<net::MatchEntry> entries_for_self(
       const net::MatchReport& report) const;
 
+  std::uint64_t now() noexcept { return fabric().total_deliveries(); }
+
   Middlebox& middlebox_;
   NodeMode mode_;
-  std::map<std::uint64_t, net::Packet> pending_data_;
-  std::map<std::uint64_t, net::Packet> pending_results_;
+  DegradeConfig degrade_;
+  PendingMap pending_data_;
+  PendingMap pending_results_;
   std::uint64_t forwarded_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t result_timeouts_ = 0;
+  std::uint64_t fallback_scans_ = 0;
+  std::uint64_t forwarded_unscanned_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 }  // namespace dpisvc::mbox

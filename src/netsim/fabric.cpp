@@ -1,5 +1,6 @@
 #include "netsim/fabric.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace dpisvc::netsim {
@@ -19,6 +20,12 @@ void Fabric::require_new_name(const NodeId& name) const {
   }
 }
 
+void Fabric::require_link(const NodeId& a, const NodeId& b) const {
+  if (!linked(a, b)) {
+    throw std::invalid_argument("Fabric: no link " + a + " <-> " + b);
+  }
+}
+
 void Fabric::connect(const NodeId& a, const NodeId& b) {
   if (find(a) == nullptr || find(b) == nullptr) {
     throw std::invalid_argument("Fabric::connect: unknown node");
@@ -26,7 +33,7 @@ void Fabric::connect(const NodeId& a, const NodeId& b) {
   if (a == b) {
     throw std::invalid_argument("Fabric::connect: self-link");
   }
-  links_.insert(a < b ? std::make_pair(a, b) : std::make_pair(b, a));
+  links_.insert(link_key(a, b));
 }
 
 bool Fabric::linked(const NodeId& a, const NodeId& b) const noexcept {
@@ -40,9 +47,103 @@ Node* Fabric::find(const NodeId& name) noexcept {
   return nullptr;
 }
 
+// --- fault configuration -----------------------------------------------------
+
+void Fabric::set_link_faults(const NodeId& a, const NodeId& b,
+                             LinkFaults faults) {
+  require_link(a, b);
+  const LinkKey key = link_key(a, b);
+  for (auto& [existing, policy] : link_faults_) {
+    if (existing == key) {
+      policy = faults;
+      return;
+    }
+  }
+  link_faults_.emplace_back(key, faults);
+}
+
+void Fabric::clear_link_faults(const NodeId& a, const NodeId& b) {
+  const LinkKey key = link_key(a, b);
+  std::erase_if(link_faults_,
+                [&](const auto& entry) { return entry.first == key; });
+}
+
+void Fabric::fail_link(const NodeId& a, const NodeId& b) {
+  require_link(a, b);
+  down_links_.insert(link_key(a, b));
+}
+
+void Fabric::heal_link(const NodeId& a, const NodeId& b) {
+  require_link(a, b);
+  down_links_.erase(link_key(a, b));
+}
+
+bool Fabric::link_up(const NodeId& a, const NodeId& b) const noexcept {
+  return linked(a, b) && down_links_.count(link_key(a, b)) == 0;
+}
+
+void Fabric::crash_node(const NodeId& name) {
+  if (find(name) == nullptr) {
+    throw std::invalid_argument("Fabric::crash_node: unknown node " + name);
+  }
+  crashed_nodes_.insert(name);
+}
+
+void Fabric::restore_node(const NodeId& name) {
+  if (find(name) == nullptr) {
+    throw std::invalid_argument("Fabric::restore_node: unknown node " + name);
+  }
+  crashed_nodes_.erase(name);
+}
+
+bool Fabric::crashed(const NodeId& name) const noexcept {
+  return crashed_nodes_.count(name) > 0;
+}
+
+// --- data path ---------------------------------------------------------------
+
 void Fabric::send(const NodeId& from, const NodeId& to, net::Packet packet) {
   if (!linked(from, to)) {
     throw std::logic_error("Fabric::send: no link " + from + " <-> " + to);
+  }
+  const LinkKey key = link_key(from, to);
+  if (down_links_.count(key)) {
+    ++fault_stats_.partition_drops;
+    return;
+  }
+  const LinkFaults* faults = nullptr;
+  for (const auto& [existing, policy] : link_faults_) {
+    if (existing == key) {
+      faults = &policy;
+      break;
+    }
+  }
+  if (faults == nullptr) {
+    queue_.push_back(Event{from, to, std::move(packet)});
+    return;
+  }
+  if (faults->drop > 0 && fault_rng_.bernoulli(faults->drop)) {
+    ++fault_stats_.dropped;
+    return;
+  }
+  if (faults->duplicate > 0 && fault_rng_.bernoulli(faults->duplicate)) {
+    ++fault_stats_.duplicated;
+    queue_.push_back(Event{from, to, net::Packet(packet)});
+  }
+  if (faults->delay > 0 && fault_rng_.bernoulli(faults->delay)) {
+    ++fault_stats_.delayed;
+    const std::size_t hold = static_cast<std::size_t>(
+        fault_rng_.uniform(1, std::max<std::size_t>(faults->max_delay_events, 1)));
+    delayed_.push_back(DelayedEvent{Event{from, to, std::move(packet)}, hold});
+    return;
+  }
+  if (faults->reorder > 0 && !queue_.empty() &&
+      fault_rng_.bernoulli(faults->reorder)) {
+    ++fault_stats_.reordered;
+    const std::size_t at = fault_rng_.index(queue_.size());
+    queue_.insert(queue_.begin() + static_cast<std::ptrdiff_t>(at),
+                  Event{from, to, std::move(packet)});
+    return;
   }
   queue_.push_back(Event{from, to, std::move(packet)});
 }
@@ -54,22 +155,50 @@ void Fabric::inject(const NodeId& at, net::Packet packet) {
   queue_.push_back(Event{"", at, std::move(packet)});
 }
 
+void Fabric::age_delayed() {
+  for (auto it = delayed_.begin(); it != delayed_.end();) {
+    if (it->remaining <= 1) {
+      queue_.push_back(std::move(it->event));
+      it = delayed_.erase(it);
+    } else {
+      --it->remaining;
+      ++it;
+    }
+  }
+}
+
 std::size_t Fabric::run(std::size_t max_events) {
   std::size_t processed = 0;
-  while (!queue_.empty()) {
+  while (!queue_.empty() || !delayed_.empty()) {
+    if (queue_.empty()) {
+      // Quiescent except for held packets: release the soonest one so the
+      // drain always terminates.
+      auto soonest = std::min_element(
+          delayed_.begin(), delayed_.end(),
+          [](const DelayedEvent& a, const DelayedEvent& b) {
+            return a.remaining < b.remaining;
+          });
+      queue_.push_back(std::move(soonest->event));
+      delayed_.erase(soonest);
+    }
     if (processed >= max_events) {
       throw std::runtime_error("Fabric::run: event budget exceeded "
                                "(forwarding loop?)");
     }
     Event event = std::move(queue_.front());
     queue_.pop_front();
+    ++processed;
+    ++deliveries_;
+    if (!delayed_.empty()) age_delayed();
+    if (crashed_nodes_.count(event.to)) {
+      ++fault_stats_.crash_discards;
+      continue;
+    }
     Node* node = find(event.to);
     if (node == nullptr) {
       throw std::logic_error("Fabric::run: destination vanished");
     }
     node->receive(std::move(event.packet), event.from);
-    ++processed;
-    ++deliveries_;
   }
   return processed;
 }

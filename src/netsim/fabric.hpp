@@ -9,6 +9,14 @@
 //
 // The fabric checks link existence on every send — a node can only emit to
 // a directly connected neighbor, as in a real topology.
+//
+// Fault injection (§4.3 / §7 failure scenarios): every link can carry a
+// seeded fault policy (drop / duplicate / reorder / delay probabilities),
+// links can be taken down (partition), and nodes can be crashed (the node
+// stops receiving; packets addressed to it are discarded). All randomness
+// flows from one Rng seeded via set_fault_seed(), so every failure scenario
+// replays identically run-to-run. With no policies configured the fabric
+// behaves exactly as the fault-free original.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +27,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "net/packet.hpp"
 
 namespace dpisvc::netsim {
@@ -52,6 +61,27 @@ class Node {
   NodeId name_;
 };
 
+/// Per-link fault policy; probabilities are evaluated independently per
+/// packet traversal of the link.
+struct LinkFaults {
+  double drop = 0.0;       ///< packet lost on the link
+  double duplicate = 0.0;  ///< packet delivered twice
+  double reorder = 0.0;    ///< packet inserted at a random queue position
+  double delay = 0.0;      ///< packet held back for 1..max_delay_events
+  std::size_t max_delay_events = 8;
+};
+
+/// Counters for everything the fault fabric did; tests assert conservation
+/// (delivered + dropped + crash_discards accounts for every send).
+struct FaultStats {
+  std::uint64_t dropped = 0;         ///< lost to link drop faults
+  std::uint64_t partition_drops = 0; ///< sent over a down link
+  std::uint64_t duplicated = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t delayed = 0;
+  std::uint64_t crash_discards = 0;  ///< arrived at a crashed node
+};
+
 class Fabric {
  public:
   /// Constructs a node of type T with (fabric, name, args...) and registers
@@ -74,17 +104,47 @@ class Fabric {
   Node* find(const NodeId& name) noexcept;
 
   /// Enqueues a packet for delivery from `from` to `to`. Throws
-  /// std::logic_error if the nodes are not linked.
+  /// std::logic_error if the nodes are not linked. Subject to the link's
+  /// fault policy and state.
   void send(const NodeId& from, const NodeId& to, net::Packet packet);
 
-  /// Delivers a packet directly into a node (traffic origination).
+  /// Delivers a packet directly into a node (traffic origination). Not
+  /// subject to link faults.
   void inject(const NodeId& at, net::Packet packet);
 
-  /// Drains the event queue; returns the number of deliveries. Throws
-  /// std::runtime_error if `max_events` is exceeded (forwarding loop guard).
+  /// Drains the event queue (including delayed packets); returns the number
+  /// of deliveries. Throws std::runtime_error if `max_events` is exceeded
+  /// (forwarding loop guard).
   std::size_t run(std::size_t max_events = 1'000'000);
 
   std::uint64_t total_deliveries() const noexcept { return deliveries_; }
+
+  // --- fault injection ------------------------------------------------------
+
+  /// Reseeds the fault Rng; call before configuring policies to make a
+  /// scenario reproducible.
+  void set_fault_seed(std::uint64_t seed) { fault_rng_ = Rng(seed); }
+
+  /// Installs (or replaces) the fault policy on an existing link. Throws
+  /// std::invalid_argument if the nodes are not linked.
+  void set_link_faults(const NodeId& a, const NodeId& b, LinkFaults faults);
+
+  void clear_link_faults(const NodeId& a, const NodeId& b);
+
+  /// Partition: takes a link down (sends over it are silently discarded and
+  /// counted) or back up. Throws std::invalid_argument on unknown links.
+  void fail_link(const NodeId& a, const NodeId& b);
+  void heal_link(const NodeId& a, const NodeId& b);
+  bool link_up(const NodeId& a, const NodeId& b) const noexcept;
+
+  /// Crash: the node stops receiving; packets addressed to it (including
+  /// ones already in flight) are discarded and counted. Throws
+  /// std::invalid_argument on unknown nodes.
+  void crash_node(const NodeId& name);
+  void restore_node(const NodeId& name);
+  bool crashed(const NodeId& name) const noexcept;
+
+  const FaultStats& fault_stats() const noexcept { return fault_stats_; }
 
  private:
   struct Event {
@@ -93,12 +153,31 @@ class Fabric {
     net::Packet packet;
   };
 
+  struct DelayedEvent {
+    Event event;
+    std::size_t remaining;  ///< deliveries until release
+  };
+
+  using LinkKey = std::pair<NodeId, NodeId>;
+  static LinkKey link_key(const NodeId& a, const NodeId& b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  }
+
   void require_new_name(const NodeId& name) const;
+  void require_link(const NodeId& a, const NodeId& b) const;
+  void age_delayed();
 
   std::vector<std::unique_ptr<Node>> nodes_;
-  std::set<std::pair<NodeId, NodeId>> links_;  // normalized (min, max)
+  std::set<LinkKey> links_;  // normalized (min, max)
   std::deque<Event> queue_;
+  std::vector<DelayedEvent> delayed_;
   std::uint64_t deliveries_ = 0;
+
+  std::vector<std::pair<LinkKey, LinkFaults>> link_faults_;
+  std::set<LinkKey> down_links_;
+  std::set<NodeId> crashed_nodes_;
+  Rng fault_rng_{0x5EEDF00Dull};
+  FaultStats fault_stats_;
 };
 
 }  // namespace dpisvc::netsim

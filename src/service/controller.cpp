@@ -7,8 +7,9 @@
 
 namespace dpisvc::service {
 
-DpiController::DpiController(StressConfig stress_config)
-    : monitor_(stress_config) {}
+DpiController::DpiController(StressConfig stress_config,
+                             FailoverConfig failover_config)
+    : monitor_(stress_config), failover_config_(failover_config) {}
 
 // --- JSON channel ------------------------------------------------------------
 
@@ -94,6 +95,7 @@ std::shared_ptr<DpiInstance> DpiController::create_instance(
   }
   auto inst = std::make_shared<DpiInstance>(name, config);
   instances_[name] = inst;
+  last_heartbeat_[name] = epoch_ + 1;  // vouches for the upcoming window
   sync_instances();
   // sync_instances only pushes on version change; force the initial load.
   if (!inst->has_engine() && compiled_version_ > 0) {
@@ -108,6 +110,8 @@ std::shared_ptr<DpiInstance> DpiController::create_instance(
 bool DpiController::remove_instance(const std::string& name) {
   if (instances_.erase(name) == 0) return false;
   monitor_.forget(name);
+  last_heartbeat_.erase(name);
+  failed_.erase(name);
   for (auto it = assignments_.begin(); it != assignments_.end();) {
     it = it->second == name ? assignments_.erase(it) : std::next(it);
   }
@@ -183,6 +187,7 @@ void DpiController::compile_and_push() {
   engine_cache_.clear();
   compiled_version_ = db_.version();
   for (auto& [name, inst] : instances_) {
+    if (failed_.count(name)) continue;  // unreachable; re-synced on recovery
     inst->load_engine(
         engine_for(inst->config().group, inst->config().dedicated),
         compiled_version_);
@@ -193,6 +198,7 @@ void DpiController::sync_instances() {
   if (compiled_version_ == db_.version() && compiled_version_ != 0) {
     // Engines current; push only to instances that missed the last compile.
     for (auto& [name, inst] : instances_) {
+      if (failed_.count(name)) continue;
       if (inst->engine_version() != compiled_version_) {
         inst->load_engine(
             engine_for(inst->config().group, inst->config().dedicated),
@@ -250,10 +256,37 @@ std::shared_ptr<DpiInstance> DpiController::least_loaded(
   std::size_t best_load = 0;
   for (const auto& [name, inst] : instances_) {
     if (inst->config().dedicated != dedicated) continue;
+    if (failed_.count(name)) continue;  // dead instances take no traffic
     const std::size_t load = chains_assigned_to(name);
     if (!best || load < best_load) {
       best = inst;
       best_load = load;
+    }
+  }
+  return best;
+}
+
+std::shared_ptr<DpiInstance> DpiController::least_loaded_live(
+    const std::map<std::string, std::size_t>& planned_load) const {
+  // Prefer regular instances; fall back to dedicated ones rather than
+  // leaving a chain unserved. `planned_load` adds reassignments already in
+  // the plan being built so orphaned chains spread across targets.
+  std::shared_ptr<DpiInstance> best;
+  std::size_t best_load = 0;
+  bool best_dedicated = true;
+  for (const auto& [name, inst] : instances_) {
+    if (failed_.count(name)) continue;
+    const auto planned = planned_load.find(name);
+    const std::size_t load =
+        chains_assigned_to(name) +
+        (planned == planned_load.end() ? 0 : planned->second);
+    const bool dedicated = inst->config().dedicated;
+    const bool better = !best || (best_dedicated && !dedicated) ||
+                        (best_dedicated == dedicated && load < best_load);
+    if (better) {
+      best = inst;
+      best_load = load;
+      best_dedicated = dedicated;
     }
   }
   return best;
@@ -278,8 +311,17 @@ std::optional<std::string> DpiController::instance_for_chain(
 // --- MCA² ------------------------------------------------------------------------------
 
 void DpiController::collect_telemetry() {
+  ++epoch_;
   for (auto& [name, inst] : instances_) {
+    if (failed_.count(name)) continue;  // no fresh telemetry from the dead
     monitor_.report(name, inst->telemetry());
+    const auto beat = last_heartbeat_.find(name);
+    const std::uint64_t last = beat == last_heartbeat_.end() ? 0 : beat->second;
+    if (epoch_ - last >= failover_config_.miss_windows) {
+      failed_.insert(name);
+      log(LogLevel::kWarn, "dpi-ctrl", "instance ", name, " declared failed (",
+          epoch_ - last, " windows without heartbeat)");
+    }
   }
 }
 
@@ -318,6 +360,7 @@ std::size_t DpiController::apply_mitigation(const MitigationPlan& plan) {
     if (it == assignments_.end() || it->second != m.from_instance) continue;
     it->second = m.to_instance;
     ++moved;
+    notify_routing(m.chain, m.to_instance);
     log(LogLevel::kInfo, "dpi-ctrl", "migrated chain ", m.chain, " from ",
         m.from_instance, " to ", m.to_instance);
   }
@@ -327,6 +370,7 @@ std::size_t DpiController::apply_mitigation(const MitigationPlan& plan) {
 bool DpiController::migrate_flow(const net::FiveTuple& flow,
                                  const std::string& from,
                                  const std::string& to) {
+  if (from == to) return false;  // nothing to move; refuse the no-op
   auto src = instance(from);
   auto dst = instance(to);
   if (!src || !dst) return false;
@@ -339,6 +383,105 @@ bool DpiController::migrate_flow(const net::FiveTuple& flow,
   const dpi::FlowCursor cursor = src->export_flow(flow);
   if (!cursor.valid) return false;
   dst->import_flow(flow, cursor);
+  return true;
+}
+
+// --- failure detection + failover -------------------------------------------
+
+void DpiController::heartbeat(const std::string& name) {
+  if (!instances_.count(name)) return;
+  // A heartbeat vouches for the *upcoming* telemetry window: collection
+  // increments the epoch before checking, so storing epoch_ + 1 makes a
+  // fresh heartbeat read as zero missed windows.
+  last_heartbeat_[name] = epoch_ + 1;
+}
+
+void DpiController::notify_routing(dpi::ChainId chain,
+                                   const std::string& to) const {
+  if (routing_listener_) routing_listener_(chain, to);
+}
+
+FailoverPlan DpiController::evaluate_failover() {
+  FailoverPlan plan;
+  for (const std::string& dead : failed_) {
+    std::vector<dpi::ChainId> orphaned;
+    for (const auto& [chain, owner] : assignments_) {
+      if (owner == dead) orphaned.push_back(chain);
+    }
+    if (orphaned.empty()) continue;
+    plan.failed_instances.push_back(dead);
+    // Count chains per target so flow state follows the majority of the
+    // dead instance's traffic.
+    std::map<std::string, std::size_t> target_chains;
+    for (dpi::ChainId chain : orphaned) {
+      auto target = least_loaded_live(target_chains);
+      if (!target) {
+        log(LogLevel::kWarn, "dpi-ctrl", "no live instance to take chain ",
+            chain, " from failed ", dead);
+        continue;
+      }
+      plan.reassignments.push_back(
+          Migration{chain, dead, target->instance_name()});
+      ++target_chains[target->instance_name()];
+    }
+    std::string flow_target;
+    std::size_t best = 0;
+    for (const auto& [name, count] : target_chains) {
+      if (count > best) {
+        best = count;
+        flow_target = name;
+      }
+    }
+    plan.flow_targets[dead] = flow_target;
+  }
+  return plan;
+}
+
+FailoverResult DpiController::apply_failover(const FailoverPlan& plan) {
+  FailoverResult result;
+  for (const Migration& m : plan.reassignments) {
+    auto it = assignments_.find(m.chain);
+    if (it == assignments_.end() || it->second != m.from_instance) continue;
+    it->second = m.to_instance;
+    ++result.chains_reassigned;
+    notify_routing(m.chain, m.to_instance);
+    log(LogLevel::kInfo, "dpi-ctrl", "failover: chain ", m.chain, " moved ",
+        m.from_instance, " -> ", m.to_instance);
+  }
+  for (const auto& [dead, target] : plan.flow_targets) {
+    auto src = instance(dead);
+    if (!src) continue;
+    const auto flows = src->active_flow_keys();
+    if (target.empty()) {
+      result.flows_lost += flows.size();
+      continue;
+    }
+    for (const net::FiveTuple& flow : flows) {
+      if (migrate_flow(flow, dead, target)) {
+        ++result.flows_migrated;
+      } else {
+        ++result.flows_lost;
+      }
+    }
+  }
+  return result;
+}
+
+bool DpiController::recover_instance(const std::string& name) {
+  auto inst = instance(name);
+  if (!inst) return false;
+  // Engine first: the instance must scan with the current pattern-set
+  // version before any chain can route to it again.
+  sync_instances();
+  if (compiled_version_ != 0 && inst->engine_version() != compiled_version_) {
+    inst->load_engine(
+        engine_for(inst->config().group, inst->config().dedicated),
+        compiled_version_);
+  }
+  failed_.erase(name);
+  last_heartbeat_[name] = epoch_ + 1;
+  log(LogLevel::kInfo, "dpi-ctrl", "instance ", name, " recovered at epoch ",
+      epoch_);
   return true;
 }
 

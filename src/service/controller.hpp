@@ -23,9 +23,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -51,9 +53,39 @@ struct MitigationPlan {
   bool empty() const noexcept { return migrations.empty(); }
 };
 
+/// Failure-detection knobs (§4.3: instance pools / failover).
+struct FailoverConfig {
+  /// Consecutive telemetry windows without a heartbeat before an instance
+  /// is declared failed.
+  std::size_t miss_windows = 3;
+};
+
+/// Recovery plan for failed instances: their chains are reassigned to live
+/// instances (least-loaded, preferring regular over dedicated), and each
+/// failed instance's surviving flow state is migrated to the target that
+/// received most of its chains.
+struct FailoverPlan {
+  std::vector<std::string> failed_instances;   ///< newly handled failures
+  std::vector<Migration> reassignments;        ///< chain -> new instance
+  /// Per failed instance, where its flow state should migrate ("" = lost).
+  std::map<std::string, std::string> flow_targets;
+
+  bool empty() const noexcept {
+    return failed_instances.empty() && reassignments.empty();
+  }
+};
+
+/// Outcome of apply_failover, for operators and tests.
+struct FailoverResult {
+  std::size_t chains_reassigned = 0;
+  std::size_t flows_migrated = 0;
+  std::size_t flows_lost = 0;  ///< state that could not be migrated
+};
+
 class DpiController {
  public:
-  explicit DpiController(StressConfig stress_config = {});
+  explicit DpiController(StressConfig stress_config = {},
+                         FailoverConfig failover_config = {});
 
   // --- middlebox-facing JSON channel (§4.1) --------------------------------
 
@@ -126,8 +158,10 @@ class DpiController {
 
   // --- MCA² (§4.3.1) ---------------------------------------------------------------
 
-  /// Snapshots every instance's telemetry into the stress monitor and
-  /// resets the instance counters (one monitoring window).
+  /// Snapshots every live instance's telemetry into the stress monitor
+  /// (one monitoring window). Also closes a failure-detection epoch: any
+  /// instance that has not heartbeated for FailoverConfig::miss_windows
+  /// consecutive windows is declared failed.
   void collect_telemetry();
 
   StressMonitor& stress_monitor() noexcept { return monitor_; }
@@ -143,8 +177,57 @@ class DpiController {
   std::size_t apply_mitigation(const MitigationPlan& plan);
 
   /// Moves one flow's scan state between instances (§4.3 flow migration).
+  /// Fails cleanly (returns false, moves nothing) when: `from` or `to` does
+  /// not name a known instance, `from == to`, the two instances run
+  /// different engine versions (DFA state ids are engine-relative), or the
+  /// flow has no state in the source's flow table. Never throws.
   bool migrate_flow(const net::FiveTuple& flow, const std::string& from,
                     const std::string& to);
+
+  // --- failure detection + failover (§4.3, §7) ------------------------------
+
+  /// Records that `name` was alive this window (the liveness channel; in
+  /// netsim the harness heartbeats every non-crashed instance node each
+  /// window). Unknown names are ignored.
+  void heartbeat(const std::string& name);
+
+  /// Telemetry windows observed so far (the failure-detection clock).
+  std::uint64_t epoch() const noexcept { return epoch_; }
+
+  bool is_failed(const std::string& name) const noexcept {
+    return failed_.count(name) > 0;
+  }
+  std::vector<std::string> failed_instances() const {
+    return {failed_.begin(), failed_.end()};
+  }
+
+  /// Builds a plan reassigning every failed instance's chains to live
+  /// instances via least-loaded placement (regular instances preferred,
+  /// dedicated as a last resort). Chains with no live instance available
+  /// stay put and are retried on the next evaluation.
+  FailoverPlan evaluate_failover();
+
+  /// Applies a plan: reassigns the chains, migrates each failed instance's
+  /// surviving flow state to its flow target, and pushes one routing update
+  /// per reassigned chain to the routing listener so the data plane follows.
+  FailoverResult apply_failover(const FailoverPlan& plan);
+
+  /// Brings a restarted instance back: clears its failed state, re-syncs
+  /// its engine to the current version *before* it may take traffic again,
+  /// and heartbeats it. Returns false for unknown instances.
+  bool recover_instance(const std::string& name);
+
+  /// Invoked with (chain, new_instance) whenever apply_mitigation or
+  /// apply_failover moves a chain — the hook a TSA uses to reroute the
+  /// data plane.
+  void set_routing_listener(
+      std::function<void(dpi::ChainId, const std::string&)> listener) {
+    routing_listener_ = std::move(listener);
+  }
+
+  const FailoverConfig& failover_config() const noexcept {
+    return failover_config_;
+  }
 
  private:
   void compile_and_push();
@@ -153,7 +236,10 @@ class DpiController {
   dpi::EngineSpec group_spec(const dpi::EngineSpec& full,
                              const std::string& group) const;
   std::shared_ptr<DpiInstance> least_loaded(bool dedicated) const;
+  std::shared_ptr<DpiInstance> least_loaded_live(
+      const std::map<std::string, std::size_t>& planned_load) const;
   std::size_t chains_assigned_to(const std::string& name) const;
+  void notify_routing(dpi::ChainId chain, const std::string& to) const;
 
   dpi::PatternDb db_;
   std::uint64_t compiled_version_ = 0;
@@ -170,6 +256,12 @@ class DpiController {
   std::map<dpi::ChainId, std::string> assignments_;
 
   StressMonitor monitor_;
+
+  FailoverConfig failover_config_;
+  std::uint64_t epoch_ = 0;
+  std::map<std::string, std::uint64_t> last_heartbeat_;
+  std::set<std::string> failed_;
+  std::function<void(dpi::ChainId, const std::string&)> routing_listener_;
 };
 
 }  // namespace dpisvc::service

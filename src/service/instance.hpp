@@ -159,6 +159,11 @@ class DpiInstance {
 
   std::size_t active_flows() const noexcept { return flows_.size(); }
 
+  /// All flows with live scan state, most recently used first; the
+  /// controller walks this during failover to migrate a dead instance's
+  /// surviving state (§4.3).
+  std::vector<net::FiveTuple> active_flow_keys() const { return flows_.keys(); }
+
   // --- flow migration (§4.3) ----------------------------------------------
 
   /// Removes and returns the flow's scan state for hand-off to another

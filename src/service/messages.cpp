@@ -123,7 +123,9 @@ RegisterRequest decode_register(const json::Value& message) {
       message.get_or("read_only", json::Value(false)).as_bool();
   out.profile.stop_offset =
       parse_stop_offset(message.get_or("stop_offset", json::Value(nullptr)));
-  const json::Value& inherit =
+  // Copy, not reference: get_or returns the fallback temporary when the key
+  // is absent, and a reference to it would dangle past this statement.
+  const json::Value inherit =
       message.get_or("inherit_from", json::Value(nullptr));
   if (!inherit.is_null()) {
     out.inherit_from = parse_middlebox_id(inherit);
@@ -137,16 +139,18 @@ AddPatternsRequest decode_add_patterns(const json::Value& message) {
   }
   AddPatternsRequest out;
   out.middlebox = parse_middlebox_id(message.at("middlebox_id"));
-  for (const json::Value& entry :
-       message.get_or("exact", json::Value(json::Array{})).as_array()) {
+  // Copies, not references: in C++20 a range-for does not extend the life
+  // of the get_or fallback temporary the array reference points into.
+  const json::Value exact = message.get_or("exact", json::Value(json::Array{}));
+  for (const json::Value& entry : exact.as_array()) {
     ExactPatternMsg p;
     p.rule = parse_rule_id(entry.at("rule"));
     const Bytes raw = from_hex(entry.at("hex").as_string());
     p.bytes.assign(raw.begin(), raw.end());
     out.exact.push_back(std::move(p));
   }
-  for (const json::Value& entry :
-       message.get_or("regex", json::Value(json::Array{})).as_array()) {
+  const json::Value regex = message.get_or("regex", json::Value(json::Array{}));
+  for (const json::Value& entry : regex.as_array()) {
     RegexPatternMsg p;
     p.rule = parse_rule_id(entry.at("rule"));
     p.expression = entry.at("expr").as_string();

@@ -1,0 +1,521 @@
+// Fault-tolerance tests (§4.3, §7): instance failure detection via missed
+// heartbeat windows, FailoverPlan chain reassignment + flow-state migration,
+// recovery re-sync, and MiddleboxNode graceful degradation when result
+// packets never arrive. Ends with the acceptance scenario: a DPI instance
+// is killed mid-traffic in netsim (with and without injected link loss) and
+// the system must detect, fail over, and leave no packet permanently
+// stalled.
+#include <gtest/gtest.h>
+
+#include "mbox/boxes.hpp"
+#include "mbox/middlebox_node.hpp"
+#include "netsim/controller.hpp"
+#include "netsim/host.hpp"
+#include "netsim/switch.hpp"
+#include "service/controller.hpp"
+#include "service/instance_node.hpp"
+
+namespace dpisvc {
+namespace {
+
+using namespace dpisvc::mbox;
+using namespace dpisvc::netsim;
+using namespace dpisvc::service;
+
+RuleSpec exact_rule(dpi::PatternId id, std::string pattern, Verdict verdict) {
+  RuleSpec rule;
+  rule.id = id;
+  rule.verdict = verdict;
+  rule.exact = std::move(pattern);
+  return rule;
+}
+
+net::FiveTuple flow(std::uint16_t port) {
+  return net::FiveTuple{net::Ipv4Addr(10, 0, 0, 1), net::Ipv4Addr(10, 0, 0, 2),
+                        port, 80, net::IpProto::kTcp};
+}
+
+BytesView view(const std::string& s) {
+  return BytesView(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+}
+
+net::Packet flow_packet(std::string_view payload, std::uint16_t src_port,
+                        std::uint16_t ip_id) {
+  net::Packet p;
+  p.tuple.src_ip = net::Ipv4Addr(10, 0, 0, 1);
+  p.tuple.dst_ip = net::Ipv4Addr(10, 0, 0, 99);
+  p.tuple.src_port = src_port;
+  p.tuple.dst_port = 80;
+  p.ip_id = ip_id;
+  p.payload = to_bytes(payload);
+  return p;
+}
+
+json::Value register_msg(int id, const char* name) {
+  return json::parse(R"({"type":"register","middlebox_id":)" +
+                     std::to_string(id) + R"(,"name":")" + name + R"("})");
+}
+
+json::Value add_exact_msg(int id, int rule, const std::string& text) {
+  AddPatternsRequest req;
+  req.middlebox = static_cast<dpi::MiddleboxId>(id);
+  req.exact.push_back(ExactPatternMsg{static_cast<dpi::PatternId>(rule), text});
+  return encode(req);
+}
+
+// --- failure detection --------------------------------------------------------
+
+TEST(FailureDetection, MissedWindowsDeclareFailure) {
+  FailoverConfig failover;
+  failover.miss_windows = 2;
+  DpiController controller({}, failover);
+  controller.handle_message(register_msg(1, "ids"));
+  controller.create_instance("alive");
+  controller.create_instance("dead");
+
+  for (int window = 0; window < 3; ++window) {
+    controller.heartbeat("alive");  // "dead" never heartbeats again
+    controller.collect_telemetry();
+  }
+  EXPECT_FALSE(controller.is_failed("alive"));
+  EXPECT_TRUE(controller.is_failed("dead"));
+  EXPECT_EQ(controller.failed_instances(),
+            std::vector<std::string>{"dead"});
+  // Detection happened within miss_windows telemetry windows.
+  EXPECT_LE(controller.epoch(), 3u);
+}
+
+TEST(FailureDetection, HeartbeatsKeepInstancesAlive) {
+  FailoverConfig failover;
+  failover.miss_windows = 2;
+  DpiController controller({}, failover);
+  controller.handle_message(register_msg(1, "ids"));
+  controller.create_instance("i1");
+  for (int window = 0; window < 10; ++window) {
+    controller.heartbeat("i1");
+    controller.collect_telemetry();
+  }
+  EXPECT_FALSE(controller.is_failed("i1"));
+  controller.heartbeat("ghost");  // unknown names are ignored, not tracked
+  EXPECT_FALSE(controller.is_failed("ghost"));
+}
+
+TEST(FailureDetection, FailedInstanceExcludedFromPlacement) {
+  FailoverConfig failover;
+  failover.miss_windows = 1;
+  DpiController controller({}, failover);
+  controller.handle_message(register_msg(1, "ids"));
+  const dpi::ChainId chain = controller.register_policy_chain({1});
+  controller.create_instance("i1");
+  controller.create_instance("i2");
+  for (int window = 0; window < 2; ++window) {
+    controller.heartbeat("i2");  // i1 stays silent
+    controller.collect_telemetry();
+  }
+  ASSERT_TRUE(controller.is_failed("i1"));
+  EXPECT_EQ(controller.auto_assign_chain(chain), "i2");
+}
+
+// --- failover plans -----------------------------------------------------------
+
+class FailoverTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FailoverConfig failover;
+    failover.miss_windows = 1;
+    controller_ = std::make_unique<DpiController>(StressConfig{}, failover);
+    controller_->handle_message(json::parse(
+        R"({"type":"register","middlebox_id":1,"name":"ids","stateful":true})"));
+    controller_->handle_message(add_exact_msg(1, 0, "attack-sig"));
+    chain_a_ = controller_->register_policy_chain({1});
+    controller_->handle_message(register_msg(2, "av"));
+    chain_b_ = controller_->register_policy_chain({1, 2});
+    controller_->create_instance("i1");
+    controller_->create_instance("i2");
+    controller_->create_instance("i3");
+    controller_->assign_chain(chain_a_, "i1");
+    controller_->assign_chain(chain_b_, "i1");
+  }
+
+  /// Fails `name` by letting everyone else heartbeat until it is declared.
+  void fail_instance(const std::string& name) {
+    for (int window = 0; window < 4 && !controller_->is_failed(name);
+         ++window) {
+      for (const std::string& inst : controller_->instance_names()) {
+        if (inst != name) controller_->heartbeat(inst);
+      }
+      controller_->collect_telemetry();
+    }
+    ASSERT_TRUE(controller_->is_failed(name));
+  }
+
+  std::unique_ptr<DpiController> controller_;
+  dpi::ChainId chain_a_ = 0;
+  dpi::ChainId chain_b_ = 0;
+};
+
+TEST_F(FailoverTest, ChainsSpreadAcrossLiveInstances) {
+  fail_instance("i1");
+  const FailoverPlan plan = controller_->evaluate_failover();
+  ASSERT_EQ(plan.failed_instances, std::vector<std::string>{"i1"});
+  ASSERT_EQ(plan.reassignments.size(), 2u);
+  // Least-loaded placement spreads the two orphaned chains over i2 and i3.
+  EXPECT_NE(plan.reassignments[0].to_instance,
+            plan.reassignments[1].to_instance);
+  for (const Migration& m : plan.reassignments) {
+    EXPECT_EQ(m.from_instance, "i1");
+    EXPECT_NE(m.to_instance, "i1");
+  }
+
+  const FailoverResult result = controller_->apply_failover(plan);
+  EXPECT_EQ(result.chains_reassigned, 2u);
+  EXPECT_NE(*controller_->instance_for_chain(chain_a_), "i1");
+  EXPECT_NE(*controller_->instance_for_chain(chain_b_), "i1");
+  // Re-evaluating finds nothing left to move.
+  EXPECT_TRUE(controller_->evaluate_failover().empty());
+}
+
+TEST_F(FailoverTest, SurvivingFlowStateMigrates) {
+  auto i1 = controller_->instance("i1");
+  i1->scan(chain_a_, flow(1), view("partial attack-"));
+  i1->scan(chain_a_, flow(2), view("benign bytes"));
+  ASSERT_EQ(i1->active_flows(), 2u);
+
+  fail_instance("i1");
+  const FailoverPlan plan = controller_->evaluate_failover();
+  const std::string target = plan.flow_targets.at("i1");
+  EXPECT_FALSE(target.empty());
+  const FailoverResult result = controller_->apply_failover(plan);
+  EXPECT_EQ(result.flows_migrated, 2u);
+  EXPECT_EQ(result.flows_lost, 0u);
+  EXPECT_EQ(i1->active_flows(), 0u);
+  EXPECT_EQ(controller_->instance(target)->active_flows(), 2u);
+  // The migrated cursor continues the cross-packet match on the target.
+  auto scan = controller_->instance(target)->scan(chain_a_, flow(1),
+                                                  view("sig and more"));
+  EXPECT_TRUE(scan.has_matches());
+}
+
+TEST_F(FailoverTest, NoLiveInstanceLeavesChainsInPlace) {
+  fail_instance("i2");
+  fail_instance("i3");
+  fail_instance("i1");
+  const FailoverPlan plan = controller_->evaluate_failover();
+  EXPECT_TRUE(plan.reassignments.empty());
+  EXPECT_EQ(plan.flow_targets.at("i1"), "");
+  const FailoverResult result = controller_->apply_failover(plan);
+  EXPECT_EQ(result.chains_reassigned, 0u);
+  EXPECT_EQ(*controller_->instance_for_chain(chain_a_), "i1");
+}
+
+TEST_F(FailoverTest, RoutingListenerSeesEveryReassignment) {
+  std::vector<std::pair<dpi::ChainId, std::string>> updates;
+  controller_->set_routing_listener(
+      [&](dpi::ChainId chain, const std::string& to) {
+        updates.emplace_back(chain, to);
+      });
+  fail_instance("i1");
+  controller_->apply_failover(controller_->evaluate_failover());
+  ASSERT_EQ(updates.size(), 2u);
+  for (const auto& [chain, to] : updates) {
+    EXPECT_EQ(*controller_->instance_for_chain(chain), to);
+  }
+}
+
+TEST_F(FailoverTest, RecoveryResyncsEngineBeforeTakingTraffic) {
+  fail_instance("i1");
+  auto i1 = controller_->instance("i1");
+  const std::uint64_t stale = i1->engine_version();
+  // Pattern updates while i1 is down are not pushed to it.
+  controller_->handle_message(add_exact_msg(1, 7, "fresh-threat"));
+  EXPECT_EQ(i1->engine_version(), stale);
+  EXPECT_NE(controller_->instance("i2")->engine_version(), stale);
+
+  EXPECT_TRUE(controller_->recover_instance("i1"));
+  EXPECT_FALSE(controller_->is_failed("i1"));
+  EXPECT_EQ(i1->engine_version(),
+            controller_->instance("i2")->engine_version());
+  auto scan = i1->scan(chain_a_, flow(9), view("a fresh-threat lands"));
+  EXPECT_TRUE(scan.has_matches());
+  EXPECT_FALSE(controller_->recover_instance("ghost"));
+}
+
+// --- migrate_flow failure paths ----------------------------------------------
+
+TEST_F(FailoverTest, MigrateFlowFailurePaths) {
+  auto i1 = controller_->instance("i1");
+  i1->scan(chain_a_, flow(5), view("bytes"));
+  EXPECT_FALSE(controller_->migrate_flow(flow(5), "ghost", "i2"));    // bad src
+  EXPECT_FALSE(controller_->migrate_flow(flow(5), "i1", "ghost"));    // bad dst
+  EXPECT_FALSE(controller_->migrate_flow(flow(5), "i1", "i1"));      // no-op
+  EXPECT_FALSE(controller_->migrate_flow(flow(77), "i1", "i2"));  // no state
+  EXPECT_EQ(i1->active_flows(), 1u);  // nothing was disturbed
+  EXPECT_TRUE(controller_->migrate_flow(flow(5), "i1", "i2"));
+}
+
+// --- middlebox graceful degradation ------------------------------------------
+
+class DegradeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ids_ = std::make_unique<Ids>(1, /*stateful=*/false);
+    ids_->add_rule(exact_rule(1, "attack-sig", Verdict::kAlert));
+    ids_->attach(controller_);
+    chain_ = controller_.register_policy_chain({1});
+    instance_ = controller_.create_instance("dpi1");
+    controller_.assign_chain(chain_, "dpi1");
+  }
+
+  /// Scans `packet` through the DPI instance off-fabric, returning the
+  /// annotated data packet and (if matched) its dedicated result packet.
+  ProcessOutput process(net::Packet packet) {
+    packet.push_tag(net::TagKind::kPolicyChain,
+                    static_cast<std::uint32_t>(chain_));
+    return instance_->process(std::move(packet));
+  }
+
+  service::DpiController controller_;
+  std::unique_ptr<Ids> ids_;
+  std::shared_ptr<DpiInstance> instance_;
+  dpi::ChainId chain_ = 0;
+};
+
+TEST_F(DegradeTest, ResultTimeoutFallsBackToLocalScan) {
+  Fabric fabric;
+  Host& sink = fabric.add_node<Host>("sink");
+  DegradeConfig degrade;
+  degrade.result_deadline = 4;
+  MiddleboxNode& node = fabric.add_node<MiddleboxNode>(
+      "ids", *ids_, NodeMode::kService, degrade);
+  fabric.connect("ids", "sink");
+
+  ProcessOutput out = process(flow_packet("hit the attack-sig now", 1, 1));
+  ASSERT_TRUE(out.result.has_value());
+  fabric.send("sink", "ids", std::move(out.data));  // result never sent
+  fabric.run();
+  EXPECT_EQ(node.pending(), 1u);  // buffered, waiting for the result
+
+  // Push unrelated traffic through until the delivery clock passes the
+  // deadline; the waiter degrades to a local standalone scan.
+  for (std::uint16_t i = 0; i < 8; ++i) {
+    fabric.send("sink", "ids", flow_packet("benign filler", 9, i));
+    fabric.run();
+  }
+  EXPECT_EQ(node.pending(), 0u);
+  EXPECT_EQ(node.result_timeouts(), 1u);
+  EXPECT_EQ(node.fallback_scans(), 1u);
+  // The private engine saw the pattern, so the alert still fired (§2/§7:
+  // the middlebox retains its own DPI engine as a fallback).
+  EXPECT_EQ(ids_->alerts().size(), 1u);
+  // Data packet was forwarded after the fallback scan, not lost.
+  EXPECT_EQ(sink.received().size(), 9u);
+}
+
+TEST_F(DegradeTest, ForwardUnscannedPolicySkipsLocalScan) {
+  Fabric fabric;
+  Host& sink = fabric.add_node<Host>("sink");
+  DegradeConfig degrade;
+  degrade.result_deadline = 2;
+  degrade.fallback = FallbackPolicy::kForwardUnscanned;
+  MiddleboxNode& node = fabric.add_node<MiddleboxNode>(
+      "ids", *ids_, NodeMode::kService, degrade);
+  fabric.connect("ids", "sink");
+
+  ProcessOutput out = process(flow_packet("hit the attack-sig now", 1, 1));
+  fabric.send("sink", "ids", std::move(out.data));
+  fabric.run();
+  ASSERT_EQ(node.pending(), 1u);
+  node.expire_pending(/*force=*/true);
+  fabric.run();
+  EXPECT_EQ(node.pending(), 0u);
+  EXPECT_EQ(node.forwarded_unscanned(), 1u);
+  EXPECT_EQ(node.fallback_scans(), 0u);
+  EXPECT_EQ(ids_->alerts().size(), 0u);  // nothing scanned it
+  EXPECT_EQ(sink.received().size(), 1u);
+}
+
+TEST_F(DegradeTest, CapacityEvictionKeepsBufferBounded) {
+  Fabric fabric;
+  Host& sink = fabric.add_node<Host>("sink");
+  DegradeConfig degrade;
+  degrade.max_pending = 4;
+  degrade.result_deadline = 0;  // only capacity pressure, no deadline
+  MiddleboxNode& node = fabric.add_node<MiddleboxNode>(
+      "ids", *ids_, NodeMode::kService, degrade);
+  fabric.connect("ids", "sink");
+
+  for (std::uint16_t i = 0; i < 10; ++i) {
+    ProcessOutput out =
+        process(flow_packet("attack-sig payload", 1,
+                            static_cast<std::uint16_t>(100 + i)));
+    fabric.send("sink", "ids", std::move(out.data));  // results withheld
+  }
+  fabric.run();
+  EXPECT_EQ(node.pending(), 4u);     // bounded at capacity
+  EXPECT_EQ(node.evictions(), 6u);   // oldest six degraded out
+  EXPECT_EQ(node.fallback_scans(), 6u);
+  EXPECT_EQ(sink.received().size(), 6u);  // evicted packets still forwarded
+
+  node.expire_pending(/*force=*/true);
+  fabric.run();
+  EXPECT_EQ(node.pending(), 0u);
+  EXPECT_EQ(sink.received().size(), 10u);  // zero permanently stalled
+}
+
+TEST_F(DegradeTest, OrphanedResultsAreEvicted) {
+  Fabric fabric;
+  fabric.add_node<Host>("sink");
+  DegradeConfig degrade;
+  degrade.result_deadline = 2;
+  MiddleboxNode& node = fabric.add_node<MiddleboxNode>(
+      "ids", *ids_, NodeMode::kService, degrade);
+  fabric.connect("ids", "sink");
+
+  ProcessOutput out = process(flow_packet("attack-sig payload", 1, 1));
+  ASSERT_TRUE(out.result.has_value());
+  fabric.send("sink", "ids", std::move(*out.result));  // data packet lost
+  fabric.run();
+  EXPECT_EQ(node.pending(), 1u);
+  node.expire_pending(/*force=*/true);
+  EXPECT_EQ(node.pending(), 0u);
+  EXPECT_EQ(node.evictions(), 1u);
+  EXPECT_EQ(node.result_timeouts(), 0u);  // no data packet was stalled
+}
+
+// --- acceptance: kill an instance mid-traffic --------------------------------
+
+class InstanceFailover : public ::testing::TestWithParam<double> {
+ protected:
+  static constexpr std::size_t kMissWindows = 2;
+
+  void SetUp() override {
+    StressConfig stress;  // defaults; stress is not under test here
+    FailoverConfig failover;
+    failover.miss_windows = kMissWindows;
+    controller_ = std::make_unique<DpiController>(stress, failover);
+    ids_ = std::make_unique<Ids>(1, /*stateful=*/false);
+    ids_->add_rule(exact_rule(1, "attack-sig", Verdict::kAlert));
+    ids_->attach(*controller_);
+    chain_ = controller_->register_policy_chain({1});
+    auto i1 = controller_->create_instance("dpi1");
+    auto i2 = controller_->create_instance("dpi2");
+    controller_->assign_chain(chain_, "dpi1");
+
+    fabric_.add_node<Switch>("s1");
+    src_ = &fabric_.add_node<Host>("src");
+    dst_ = &fabric_.add_node<Host>("dst");
+    fabric_.add_node<InstanceNode>("dpi1", i1);
+    fabric_.add_node<InstanceNode>("dpi2", i2);
+    DegradeConfig degrade;
+    degrade.result_deadline = 64;
+    ids_node_ = &fabric_.add_node<MiddleboxNode>("ids", *ids_,
+                                                 NodeMode::kService, degrade);
+    for (const char* n : {"src", "dst", "dpi1", "dpi2", "ids"}) {
+      fabric_.connect("s1", n);
+    }
+    src_->set_gateway("s1");
+
+    sdn_ = std::make_unique<SdnController>(fabric_);
+    tsa_ = std::make_unique<TrafficSteeringApp>(*sdn_, "s1");
+    PolicyChainSpec spec;
+    spec.id = chain_;
+    spec.ingress = "src";
+    spec.sequence = {"dpi1", "ids"};
+    spec.egress = "dst";
+    tsa_->install_chain(spec);
+    // Failover pushes placement changes straight into the TSA.
+    controller_->set_routing_listener(
+        [this](dpi::ChainId chain, const std::string& instance) {
+          tsa_->update_sequence(chain, {instance, "ids"});
+        });
+
+    const double loss = GetParam();
+    if (loss > 0) {
+      fabric_.set_fault_seed(1234);
+      LinkFaults faults;
+      faults.drop = loss;
+      for (const char* n : {"src", "dst", "dpi1", "dpi2", "ids"}) {
+        fabric_.set_link_faults("s1", n, faults);
+      }
+    }
+  }
+
+  /// One telemetry window: a burst of traffic, then heartbeats from every
+  /// non-crashed instance, then telemetry collection + failover evaluation.
+  void run_window(int packets) {
+    for (int i = 0; i < packets; ++i) {
+      const bool evil = (i % 4 == 0);
+      src_->send(flow_packet(evil ? "carrying attack-sig today"
+                                  : "plain benign content",
+                             static_cast<std::uint16_t>(1000 + i % 8),
+                             next_ip_id_++));
+      fabric_.run();
+    }
+    for (const std::string& name : controller_->instance_names()) {
+      if (!fabric_.crashed(name)) controller_->heartbeat(name);
+    }
+    controller_->collect_telemetry();
+    controller_->apply_failover(controller_->evaluate_failover());
+  }
+
+  std::unique_ptr<DpiController> controller_;
+  std::unique_ptr<Ids> ids_;
+  Fabric fabric_;
+  Host* src_ = nullptr;
+  Host* dst_ = nullptr;
+  MiddleboxNode* ids_node_ = nullptr;
+  std::unique_ptr<SdnController> sdn_;
+  std::unique_ptr<TrafficSteeringApp> tsa_;
+  dpi::ChainId chain_ = 0;
+  std::uint16_t next_ip_id_ = 1;
+};
+
+TEST_P(InstanceFailover, KillMidTrafficDetectsFailsOverAndStallsNothing) {
+  // Healthy phase.
+  run_window(20);
+  EXPECT_FALSE(controller_->is_failed("dpi1"));
+  EXPECT_GT(dst_->received().size(), 0u);
+
+  // Kill dpi1 mid-traffic.
+  fabric_.crash_node("dpi1");
+  const std::uint64_t epoch_at_crash = controller_->epoch();
+  std::uint64_t detected_at = 0;
+  for (int window = 0; window < 6 && detected_at == 0; ++window) {
+    run_window(20);
+    if (controller_->is_failed("dpi1")) detected_at = controller_->epoch();
+  }
+  ASSERT_NE(detected_at, 0u) << "failure never detected";
+  // Detection within the configured number of telemetry windows.
+  EXPECT_LE(detected_at - epoch_at_crash, kMissWindows + 1);
+  // All of dpi1's chains were reassigned to a live instance and the TSA
+  // rerouted the data plane.
+  ASSERT_TRUE(controller_->instance_for_chain(chain_).has_value());
+  EXPECT_EQ(*controller_->instance_for_chain(chain_), "dpi2");
+
+  // Traffic keeps flowing end-to-end through dpi2.
+  const std::size_t delivered_before = dst_->received().size();
+  run_window(40);
+  EXPECT_GT(dst_->received().size(), delivered_before);
+  EXPECT_GT(controller_->instance("dpi2")->telemetry().packets, 0u);
+
+  // Zero permanently stalled packets: drain waiters whose results were
+  // lost to the crash or to link loss, then nothing may remain buffered.
+  ids_node_->expire_pending(/*force=*/true);
+  fabric_.run();
+  EXPECT_EQ(ids_node_->pending(), 0u);
+  // The default fallback scans locally; nothing left unscanned.
+  EXPECT_EQ(ids_node_->forwarded_unscanned(), 0u);
+
+  // Recovery: restart dpi1 and let it rejoin the pool at current version.
+  fabric_.restore_node("dpi1");
+  EXPECT_TRUE(controller_->recover_instance("dpi1"));
+  EXPECT_FALSE(controller_->is_failed("dpi1"));
+  EXPECT_EQ(controller_->instance("dpi1")->engine_version(),
+            controller_->instance("dpi2")->engine_version());
+}
+
+INSTANTIATE_TEST_SUITE_P(LossLevels, InstanceFailover,
+                         ::testing::Values(0.0, 0.01));
+
+}  // namespace
+}  // namespace dpisvc

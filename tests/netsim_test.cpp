@@ -175,6 +175,133 @@ TEST(Switch, TagPushPopActions) {
   EXPECT_EQ(out.received()[0].find_tag(net::TagKind::kPolicyChain), 9u);
 }
 
+// --- fault injection -------------------------------------------------------------
+
+TEST(FaultInjection, SeededDropIsLossyAndReproducible) {
+  auto run_once = [](std::uint64_t seed) {
+    Fabric fabric;
+    Host& h1 = fabric.add_node<Host>("h1");
+    Host& h2 = fabric.add_node<Host>("h2");
+    fabric.connect("h1", "h2");
+    h1.set_gateway("h2");
+    fabric.set_fault_seed(seed);
+    LinkFaults faults;
+    faults.drop = 0.5;
+    fabric.set_link_faults("h1", "h2", faults);
+    for (std::uint16_t i = 0; i < 200; ++i) {
+      net::Packet p = make_packet();
+      p.ip_id = i;
+      h1.send(std::move(p));
+    }
+    fabric.run();
+    // Conservation: every send was either delivered or counted as dropped.
+    EXPECT_EQ(h2.received().size() + fabric.fault_stats().dropped, 200u);
+    EXPECT_GT(fabric.fault_stats().dropped, 0u);
+    EXPECT_LT(fabric.fault_stats().dropped, 200u);
+    return h2.received().size();
+  };
+  EXPECT_EQ(run_once(42), run_once(42));  // same seed, same losses
+}
+
+TEST(FaultInjection, DuplicateDeliversExtraCopies) {
+  Fabric fabric;
+  Host& h1 = fabric.add_node<Host>("h1");
+  Host& h2 = fabric.add_node<Host>("h2");
+  fabric.connect("h1", "h2");
+  h1.set_gateway("h2");
+  LinkFaults faults;
+  faults.duplicate = 1.0;
+  fabric.set_link_faults("h1", "h2", faults);
+  for (int i = 0; i < 10; ++i) h1.send(make_packet());
+  fabric.run();
+  EXPECT_EQ(h2.received().size(), 20u);
+  EXPECT_EQ(fabric.fault_stats().duplicated, 10u);
+}
+
+TEST(FaultInjection, DelayedPacketsAllEventuallyArrive) {
+  Fabric fabric;
+  Host& h1 = fabric.add_node<Host>("h1");
+  Host& h2 = fabric.add_node<Host>("h2");
+  fabric.connect("h1", "h2");
+  h1.set_gateway("h2");
+  LinkFaults faults;
+  faults.delay = 1.0;
+  faults.max_delay_events = 16;
+  fabric.set_link_faults("h1", "h2", faults);
+  for (int i = 0; i < 25; ++i) h1.send(make_packet());
+  fabric.run();  // the drain must release every held packet
+  EXPECT_EQ(h2.received().size(), 25u);
+  EXPECT_EQ(fabric.fault_stats().delayed, 25u);
+}
+
+TEST(FaultInjection, ReorderShufflesButConserves) {
+  Fabric fabric;
+  Host& h1 = fabric.add_node<Host>("h1");
+  Host& h2 = fabric.add_node<Host>("h2");
+  fabric.connect("h1", "h2");
+  h1.set_gateway("h2");
+  fabric.set_fault_seed(7);
+  LinkFaults faults;
+  faults.reorder = 1.0;
+  fabric.set_link_faults("h1", "h2", faults);
+  for (std::uint16_t i = 0; i < 50; ++i) {
+    net::Packet p = make_packet();
+    p.ip_id = i;
+    h1.send(std::move(p));
+  }
+  fabric.run();
+  ASSERT_EQ(h2.received().size(), 50u);
+  bool out_of_order = false;
+  for (std::size_t i = 1; i < h2.received().size(); ++i) {
+    if (h2.received()[i].ip_id < h2.received()[i - 1].ip_id) {
+      out_of_order = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(out_of_order);
+  EXPECT_GT(fabric.fault_stats().reordered, 0u);
+}
+
+TEST(FaultInjection, PartitionDropsUntilHealed) {
+  Fabric fabric;
+  Host& h1 = fabric.add_node<Host>("h1");
+  Host& h2 = fabric.add_node<Host>("h2");
+  fabric.connect("h1", "h2");
+  h1.set_gateway("h2");
+  EXPECT_TRUE(fabric.link_up("h1", "h2"));
+  fabric.fail_link("h1", "h2");
+  EXPECT_FALSE(fabric.link_up("h1", "h2"));
+  h1.send(make_packet());
+  fabric.run();
+  EXPECT_EQ(h2.received().size(), 0u);
+  EXPECT_EQ(fabric.fault_stats().partition_drops, 1u);
+  fabric.heal_link("h1", "h2");
+  h1.send(make_packet());
+  fabric.run();
+  EXPECT_EQ(h2.received().size(), 1u);
+  EXPECT_THROW(fabric.fail_link("h1", "ghost"), std::invalid_argument);
+}
+
+TEST(FaultInjection, CrashedNodeDiscardsInFlightTraffic) {
+  Fabric fabric;
+  Host& h1 = fabric.add_node<Host>("h1");
+  Host& h2 = fabric.add_node<Host>("h2");
+  fabric.connect("h1", "h2");
+  h1.set_gateway("h2");
+  h1.send(make_packet());   // in flight before the crash
+  fabric.crash_node("h2");
+  EXPECT_TRUE(fabric.crashed("h2"));
+  h1.send(make_packet());   // sent while crashed
+  fabric.run();
+  EXPECT_EQ(h2.received().size(), 0u);
+  EXPECT_EQ(fabric.fault_stats().crash_discards, 2u);
+  fabric.restore_node("h2");
+  h1.send(make_packet());
+  fabric.run();
+  EXPECT_EQ(h2.received().size(), 1u);
+  EXPECT_THROW(fabric.crash_node("ghost"), std::invalid_argument);
+}
+
 // --- TSA steering ---------------------------------------------------------------
 
 TEST(Tsa, SteersThroughChainInOrder) {

@@ -12,6 +12,7 @@
 #include "json/json.hpp"
 #include "net/packet.hpp"
 #include "net/result.hpp"
+#include "service/controller.hpp"
 #include "workload/trace_io.hpp"
 #include "workload/traffic_gen.hpp"
 
@@ -166,6 +167,42 @@ TEST(Robustness, InflateNeverCrashesOrHangs) {
     } catch (const compress::InflateError&) {
     }
   }
+}
+
+TEST(Robustness, ControllerChannelNeverThrowsOnMutatedMessages) {
+  // The DPI controller's control channel promises to answer any parseable
+  // message — however malformed — with a well-formed response, never an
+  // exception (§4.1 registration protocol). Mutate real registration and
+  // deregistration traffic and hold it to that.
+  Rng rng(108);
+  service::DpiController controller;
+  const std::vector<std::string> bases = {
+      R"({"type":"register","middlebox_id":7,"name":"ids","stateful":true})",
+      R"({"type":"unregister","middlebox_id":7})",
+      R"({"type":"add_patterns","middlebox_id":7,)"
+      R"("exact":[{"rule":1,"hex":"6576696c"}],"regex":[]})",
+      R"({"type":"remove_patterns","middlebox_id":7,"rules":[1]})",
+  };
+  int handled = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const Bytes corrupted = mutate(to_bytes(bases[i % bases.size()]), rng);
+    json::Value message;
+    try {
+      message = json::parse(as_text(corrupted));
+    } catch (const json::ParseError&) {
+      continue;  // never reached the controller
+    }
+    const json::Value reply = controller.handle_message(message);
+    ++handled;
+    // Every reply is a well-formed {"ok":bool[,"error":string]} object.
+    ASSERT_TRUE(reply.is_object());
+    const json::Value ok = reply.get_or("ok", json::Value(nullptr));
+    ASSERT_TRUE(ok.is_bool());
+    if (!ok.as_bool()) {
+      ASSERT_TRUE(reply.get_or("error", json::Value(nullptr)).is_string());
+    }
+  }
+  EXPECT_GT(handled, 0);  // some mutants must have survived parsing
 }
 
 TEST(Robustness, TraceFromBytesNeverCrashes) {
