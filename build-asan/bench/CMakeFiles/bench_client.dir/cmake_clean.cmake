@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_client.dir/bench_client.cpp.o"
+  "CMakeFiles/bench_client.dir/bench_client.cpp.o.d"
+  "bench_client"
+  "bench_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dpi_share.dir/bench_dpi_share.cpp.o"
+  "CMakeFiles/bench_dpi_share.dir/bench_dpi_share.cpp.o.d"
+  "bench_dpi_share"
+  "bench_dpi_share.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dpi_share.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mca2.dir/bench_mca2.cpp.o"
+  "CMakeFiles/bench_mca2.dir/bench_mca2.cpp.o.d"
+  "bench_mca2"
+  "bench_mca2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mca2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_mitigation.dir/attack_mitigation.cpp.o"
+  "CMakeFiles/attack_mitigation.dir/attack_mitigation.cpp.o.d"
+  "attack_mitigation"
+  "attack_mitigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

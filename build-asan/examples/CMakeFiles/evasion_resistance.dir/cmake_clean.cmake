@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evasion_resistance.dir/evasion_resistance.cpp.o"
+  "CMakeFiles/evasion_resistance.dir/evasion_resistance.cpp.o.d"
+  "evasion_resistance"
+  "evasion_resistance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evasion_resistance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_chain.dir/multi_chain.cpp.o"
+  "CMakeFiles/multi_chain.dir/multi_chain.cpp.o.d"
+  "multi_chain"
+  "multi_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snort_plugin_sim.dir/snort_plugin_sim.cpp.o"
+  "CMakeFiles/snort_plugin_sim.dir/snort_plugin_sim.cpp.o.d"
+  "snort_plugin_sim"
+  "snort_plugin_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snort_plugin_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-asan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("json")
+subdirs("compress")
+subdirs("regex")
+subdirs("ac")
+subdirs("net")
+subdirs("netsim")
+subdirs("dpi")
+subdirs("service")
+subdirs("mbox")
+subdirs("workload")

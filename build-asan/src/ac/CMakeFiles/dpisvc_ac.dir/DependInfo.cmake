@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ac/compressed_automaton.cpp" "src/ac/CMakeFiles/dpisvc_ac.dir/compressed_automaton.cpp.o" "gcc" "src/ac/CMakeFiles/dpisvc_ac.dir/compressed_automaton.cpp.o.d"
+  "/root/repo/src/ac/full_automaton.cpp" "src/ac/CMakeFiles/dpisvc_ac.dir/full_automaton.cpp.o" "gcc" "src/ac/CMakeFiles/dpisvc_ac.dir/full_automaton.cpp.o.d"
+  "/root/repo/src/ac/serialize.cpp" "src/ac/CMakeFiles/dpisvc_ac.dir/serialize.cpp.o" "gcc" "src/ac/CMakeFiles/dpisvc_ac.dir/serialize.cpp.o.d"
+  "/root/repo/src/ac/trie.cpp" "src/ac/CMakeFiles/dpisvc_ac.dir/trie.cpp.o" "gcc" "src/ac/CMakeFiles/dpisvc_ac.dir/trie.cpp.o.d"
+  "/root/repo/src/ac/wu_manber.cpp" "src/ac/CMakeFiles/dpisvc_ac.dir/wu_manber.cpp.o" "gcc" "src/ac/CMakeFiles/dpisvc_ac.dir/wu_manber.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/dpisvc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpisvc_ac.dir/compressed_automaton.cpp.o"
+  "CMakeFiles/dpisvc_ac.dir/compressed_automaton.cpp.o.d"
+  "CMakeFiles/dpisvc_ac.dir/full_automaton.cpp.o"
+  "CMakeFiles/dpisvc_ac.dir/full_automaton.cpp.o.d"
+  "CMakeFiles/dpisvc_ac.dir/serialize.cpp.o"
+  "CMakeFiles/dpisvc_ac.dir/serialize.cpp.o.d"
+  "CMakeFiles/dpisvc_ac.dir/trie.cpp.o"
+  "CMakeFiles/dpisvc_ac.dir/trie.cpp.o.d"
+  "CMakeFiles/dpisvc_ac.dir/wu_manber.cpp.o"
+  "CMakeFiles/dpisvc_ac.dir/wu_manber.cpp.o.d"
+  "libdpisvc_ac.a"
+  "libdpisvc_ac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpisvc_ac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

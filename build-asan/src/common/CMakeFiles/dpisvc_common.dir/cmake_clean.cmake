@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpisvc_common.dir/bytes.cpp.o"
+  "CMakeFiles/dpisvc_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/dpisvc_common.dir/checksum.cpp.o"
+  "CMakeFiles/dpisvc_common.dir/checksum.cpp.o.d"
+  "CMakeFiles/dpisvc_common.dir/logging.cpp.o"
+  "CMakeFiles/dpisvc_common.dir/logging.cpp.o.d"
+  "CMakeFiles/dpisvc_common.dir/rng.cpp.o"
+  "CMakeFiles/dpisvc_common.dir/rng.cpp.o.d"
+  "libdpisvc_common.a"
+  "libdpisvc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpisvc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpisvc_compress.dir/deflate.cpp.o"
+  "CMakeFiles/dpisvc_compress.dir/deflate.cpp.o.d"
+  "CMakeFiles/dpisvc_compress.dir/inflate.cpp.o"
+  "CMakeFiles/dpisvc_compress.dir/inflate.cpp.o.d"
+  "libdpisvc_compress.a"
+  "libdpisvc_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpisvc_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

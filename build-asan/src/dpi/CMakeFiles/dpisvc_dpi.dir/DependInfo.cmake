@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dpi/engine.cpp" "src/dpi/CMakeFiles/dpisvc_dpi.dir/engine.cpp.o" "gcc" "src/dpi/CMakeFiles/dpisvc_dpi.dir/engine.cpp.o.d"
+  "/root/repo/src/dpi/flow_table.cpp" "src/dpi/CMakeFiles/dpisvc_dpi.dir/flow_table.cpp.o" "gcc" "src/dpi/CMakeFiles/dpisvc_dpi.dir/flow_table.cpp.o.d"
+  "/root/repo/src/dpi/pattern_db.cpp" "src/dpi/CMakeFiles/dpisvc_dpi.dir/pattern_db.cpp.o" "gcc" "src/dpi/CMakeFiles/dpisvc_dpi.dir/pattern_db.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/ac/CMakeFiles/dpisvc_ac.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/regex/CMakeFiles/dpisvc_regex.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/net/CMakeFiles/dpisvc_net.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/dpisvc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpisvc_dpi.dir/engine.cpp.o"
+  "CMakeFiles/dpisvc_dpi.dir/engine.cpp.o.d"
+  "CMakeFiles/dpisvc_dpi.dir/flow_table.cpp.o"
+  "CMakeFiles/dpisvc_dpi.dir/flow_table.cpp.o.d"
+  "CMakeFiles/dpisvc_dpi.dir/pattern_db.cpp.o"
+  "CMakeFiles/dpisvc_dpi.dir/pattern_db.cpp.o.d"
+  "libdpisvc_dpi.a"
+  "libdpisvc_dpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpisvc_dpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

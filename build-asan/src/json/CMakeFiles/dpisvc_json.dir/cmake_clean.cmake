@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpisvc_json.dir/json.cpp.o"
+  "CMakeFiles/dpisvc_json.dir/json.cpp.o.d"
+  "libdpisvc_json.a"
+  "libdpisvc_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpisvc_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

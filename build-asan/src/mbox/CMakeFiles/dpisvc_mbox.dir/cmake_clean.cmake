@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpisvc_mbox.dir/boxes.cpp.o"
+  "CMakeFiles/dpisvc_mbox.dir/boxes.cpp.o.d"
+  "CMakeFiles/dpisvc_mbox.dir/middlebox.cpp.o"
+  "CMakeFiles/dpisvc_mbox.dir/middlebox.cpp.o.d"
+  "CMakeFiles/dpisvc_mbox.dir/middlebox_node.cpp.o"
+  "CMakeFiles/dpisvc_mbox.dir/middlebox_node.cpp.o.d"
+  "libdpisvc_mbox.a"
+  "libdpisvc_mbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpisvc_mbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdpisvc_mbox.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpisvc_net.dir/addr.cpp.o"
+  "CMakeFiles/dpisvc_net.dir/addr.cpp.o.d"
+  "CMakeFiles/dpisvc_net.dir/flow.cpp.o"
+  "CMakeFiles/dpisvc_net.dir/flow.cpp.o.d"
+  "CMakeFiles/dpisvc_net.dir/packet.cpp.o"
+  "CMakeFiles/dpisvc_net.dir/packet.cpp.o.d"
+  "CMakeFiles/dpisvc_net.dir/reassembly.cpp.o"
+  "CMakeFiles/dpisvc_net.dir/reassembly.cpp.o.d"
+  "CMakeFiles/dpisvc_net.dir/result.cpp.o"
+  "CMakeFiles/dpisvc_net.dir/result.cpp.o.d"
+  "libdpisvc_net.a"
+  "libdpisvc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpisvc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/controller.cpp" "src/netsim/CMakeFiles/dpisvc_netsim.dir/controller.cpp.o" "gcc" "src/netsim/CMakeFiles/dpisvc_netsim.dir/controller.cpp.o.d"
+  "/root/repo/src/netsim/fabric.cpp" "src/netsim/CMakeFiles/dpisvc_netsim.dir/fabric.cpp.o" "gcc" "src/netsim/CMakeFiles/dpisvc_netsim.dir/fabric.cpp.o.d"
+  "/root/repo/src/netsim/host.cpp" "src/netsim/CMakeFiles/dpisvc_netsim.dir/host.cpp.o" "gcc" "src/netsim/CMakeFiles/dpisvc_netsim.dir/host.cpp.o.d"
+  "/root/repo/src/netsim/switch.cpp" "src/netsim/CMakeFiles/dpisvc_netsim.dir/switch.cpp.o" "gcc" "src/netsim/CMakeFiles/dpisvc_netsim.dir/switch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/net/CMakeFiles/dpisvc_net.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/dpi/CMakeFiles/dpisvc_dpi.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/dpisvc_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/ac/CMakeFiles/dpisvc_ac.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/regex/CMakeFiles/dpisvc_regex.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

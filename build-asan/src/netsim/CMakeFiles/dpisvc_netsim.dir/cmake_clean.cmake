@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpisvc_netsim.dir/controller.cpp.o"
+  "CMakeFiles/dpisvc_netsim.dir/controller.cpp.o.d"
+  "CMakeFiles/dpisvc_netsim.dir/fabric.cpp.o"
+  "CMakeFiles/dpisvc_netsim.dir/fabric.cpp.o.d"
+  "CMakeFiles/dpisvc_netsim.dir/host.cpp.o"
+  "CMakeFiles/dpisvc_netsim.dir/host.cpp.o.d"
+  "CMakeFiles/dpisvc_netsim.dir/switch.cpp.o"
+  "CMakeFiles/dpisvc_netsim.dir/switch.cpp.o.d"
+  "libdpisvc_netsim.a"
+  "libdpisvc_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpisvc_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/regex/anchors.cpp" "src/regex/CMakeFiles/dpisvc_regex.dir/anchors.cpp.o" "gcc" "src/regex/CMakeFiles/dpisvc_regex.dir/anchors.cpp.o.d"
+  "/root/repo/src/regex/ast.cpp" "src/regex/CMakeFiles/dpisvc_regex.dir/ast.cpp.o" "gcc" "src/regex/CMakeFiles/dpisvc_regex.dir/ast.cpp.o.d"
+  "/root/repo/src/regex/matcher.cpp" "src/regex/CMakeFiles/dpisvc_regex.dir/matcher.cpp.o" "gcc" "src/regex/CMakeFiles/dpisvc_regex.dir/matcher.cpp.o.d"
+  "/root/repo/src/regex/parser.cpp" "src/regex/CMakeFiles/dpisvc_regex.dir/parser.cpp.o" "gcc" "src/regex/CMakeFiles/dpisvc_regex.dir/parser.cpp.o.d"
+  "/root/repo/src/regex/program.cpp" "src/regex/CMakeFiles/dpisvc_regex.dir/program.cpp.o" "gcc" "src/regex/CMakeFiles/dpisvc_regex.dir/program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/dpisvc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpisvc_regex.dir/anchors.cpp.o"
+  "CMakeFiles/dpisvc_regex.dir/anchors.cpp.o.d"
+  "CMakeFiles/dpisvc_regex.dir/ast.cpp.o"
+  "CMakeFiles/dpisvc_regex.dir/ast.cpp.o.d"
+  "CMakeFiles/dpisvc_regex.dir/matcher.cpp.o"
+  "CMakeFiles/dpisvc_regex.dir/matcher.cpp.o.d"
+  "CMakeFiles/dpisvc_regex.dir/parser.cpp.o"
+  "CMakeFiles/dpisvc_regex.dir/parser.cpp.o.d"
+  "CMakeFiles/dpisvc_regex.dir/program.cpp.o"
+  "CMakeFiles/dpisvc_regex.dir/program.cpp.o.d"
+  "libdpisvc_regex.a"
+  "libdpisvc_regex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpisvc_regex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpisvc_service.dir/controller.cpp.o"
+  "CMakeFiles/dpisvc_service.dir/controller.cpp.o.d"
+  "CMakeFiles/dpisvc_service.dir/instance.cpp.o"
+  "CMakeFiles/dpisvc_service.dir/instance.cpp.o.d"
+  "CMakeFiles/dpisvc_service.dir/mca2.cpp.o"
+  "CMakeFiles/dpisvc_service.dir/mca2.cpp.o.d"
+  "CMakeFiles/dpisvc_service.dir/messages.cpp.o"
+  "CMakeFiles/dpisvc_service.dir/messages.cpp.o.d"
+  "libdpisvc_service.a"
+  "libdpisvc_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpisvc_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/pattern_gen.cpp" "src/workload/CMakeFiles/dpisvc_workload.dir/pattern_gen.cpp.o" "gcc" "src/workload/CMakeFiles/dpisvc_workload.dir/pattern_gen.cpp.o.d"
+  "/root/repo/src/workload/trace_io.cpp" "src/workload/CMakeFiles/dpisvc_workload.dir/trace_io.cpp.o" "gcc" "src/workload/CMakeFiles/dpisvc_workload.dir/trace_io.cpp.o.d"
+  "/root/repo/src/workload/traffic_gen.cpp" "src/workload/CMakeFiles/dpisvc_workload.dir/traffic_gen.cpp.o" "gcc" "src/workload/CMakeFiles/dpisvc_workload.dir/traffic_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/net/CMakeFiles/dpisvc_net.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/dpisvc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpisvc_workload.dir/pattern_gen.cpp.o"
+  "CMakeFiles/dpisvc_workload.dir/pattern_gen.cpp.o.d"
+  "CMakeFiles/dpisvc_workload.dir/trace_io.cpp.o"
+  "CMakeFiles/dpisvc_workload.dir/trace_io.cpp.o.d"
+  "CMakeFiles/dpisvc_workload.dir/traffic_gen.cpp.o"
+  "CMakeFiles/dpisvc_workload.dir/traffic_gen.cpp.o.d"
+  "libdpisvc_workload.a"
+  "libdpisvc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpisvc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

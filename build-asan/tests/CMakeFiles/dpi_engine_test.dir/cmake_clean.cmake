@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpi_engine_test.dir/dpi_engine_test.cpp.o"
+  "CMakeFiles/dpi_engine_test.dir/dpi_engine_test.cpp.o.d"
+  "dpi_engine_test"
+  "dpi_engine_test.pdb"
+  "dpi_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpi_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbox_test.dir/mbox_test.cpp.o"
+  "CMakeFiles/mbox_test.dir/mbox_test.cpp.o.d"
+  "mbox_test"
+  "mbox_test.pdb"
+  "mbox_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbox_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_db_test.dir/pattern_db_test.cpp.o"
+  "CMakeFiles/pattern_db_test.dir/pattern_db_test.cpp.o.d"
+  "pattern_db_test"
+  "pattern_db_test.pdb"
+  "pattern_db_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_db_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reassembly_test.dir/reassembly_test.cpp.o"
+  "CMakeFiles/reassembly_test.dir/reassembly_test.cpp.o.d"
+  "reassembly_test"
+  "reassembly_test.pdb"
+  "reassembly_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reassembly_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

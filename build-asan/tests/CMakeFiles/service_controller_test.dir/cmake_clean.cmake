@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_controller_test.dir/service_controller_test.cpp.o"
+  "CMakeFiles/service_controller_test.dir/service_controller_test.cpp.o.d"
+  "service_controller_test"
+  "service_controller_test.pdb"
+  "service_controller_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_controller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_features_test.dir/service_features_test.cpp.o"
+  "CMakeFiles/service_features_test.dir/service_features_test.cpp.o.d"
+  "service_features_test"
+  "service_features_test.pdb"
+  "service_features_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/service_instance_test.cpp" "tests/CMakeFiles/service_instance_test.dir/service_instance_test.cpp.o" "gcc" "tests/CMakeFiles/service_instance_test.dir/service_instance_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/service/CMakeFiles/dpisvc_service.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/compress/CMakeFiles/dpisvc_compress.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/json/CMakeFiles/dpisvc_json.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/netsim/CMakeFiles/dpisvc_netsim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/dpi/CMakeFiles/dpisvc_dpi.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/ac/CMakeFiles/dpisvc_ac.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/regex/CMakeFiles/dpisvc_regex.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/net/CMakeFiles/dpisvc_net.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/dpisvc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wu_manber_test.dir/wu_manber_test.cpp.o"
+  "CMakeFiles/wu_manber_test.dir/wu_manber_test.cpp.o.d"
+  "wu_manber_test"
+  "wu_manber_test.pdb"
+  "wu_manber_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wu_manber_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/common_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/json_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/regex_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/ac_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/net_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/dpi_engine_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/flow_table_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/pattern_db_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/workload_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/netsim_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/service_messages_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/service_instance_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/service_controller_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/mbox_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/integration_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/reassembly_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/compress_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/wu_manber_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/service_features_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/trace_io_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/failover_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/engine_model_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/concurrency_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpisvc.dir/dpisvc_cli.cpp.o"
+  "CMakeFiles/dpisvc.dir/dpisvc_cli.cpp.o.d"
+  "dpisvc"
+  "dpisvc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpisvc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
