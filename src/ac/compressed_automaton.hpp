@@ -50,6 +50,11 @@ class CompressedAutomaton {
 
   std::uint32_t depth(StateIndex state) const { return depth_[state]; }
 
+  /// Failure pointer of a state (the start state's failure is itself).
+  /// Exposed for the static verifier (src/verify), which proves the links
+  /// acyclic and depth-decreasing.
+  StateIndex fail_link(StateIndex state) const { return fail_[state]; }
+
   template <typename OnMatch>
   StateIndex scan(BytesView data, StateIndex state, OnMatch&& on_match) const {
     std::uint64_t cnt = 0;

@@ -2,6 +2,8 @@
 
 #include <deque>
 
+#include "common/invariant.hpp"
+
 namespace dpisvc::ac {
 
 FullAutomaton FullAutomaton::build(Trie& trie) {
@@ -71,6 +73,16 @@ FullAutomaton FullAutomaton::build(Trie& trie) {
       queue.push_back(child);
     }
   }
+#if defined(DPISVC_CHECK_INVARIANTS) && DPISVC_CHECK_INVARIANTS
+  // §5.1 post-conditions: the renumbering is a bijection onto {0..n-1} with
+  // accepting states dense in {0..f-1}, and every table entry is a state.
+  DPISVC_ASSERT_INVARIANT(next_plain == n,
+                          "state renumbering must cover all trie states");
+  for (StateIndex target : out.table_) {
+    DPISVC_ASSERT_INVARIANT(target < n,
+                            "transition table entry must name a valid state");
+  }
+#endif
   return out;
 }
 

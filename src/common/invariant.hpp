@@ -1,0 +1,43 @@
+// Compiled-in invariant checks for the engine and service hot paths.
+//
+// DPISVC_ASSERT_INVARIANT(cond, msg) is the cheap runtime companion of the
+// static verifier (src/verify): the verifier proves whole-structure
+// properties offline, while these asserts guard the per-packet and
+// per-control-operation code against the same corruptions at the moment
+// they would first bite. They compile to nothing unless the build enables
+// -DDPISVC_CHECK_INVARIANTS=ON (CMake option of the same name), so Release
+// hot paths pay zero cost.
+//
+// A failed invariant is a programming error, never an input error: the
+// handler prints the condition and location to stderr and aborts, which
+// sanitizer CI turns into a first-class failure with a stack trace.
+#pragma once
+
+#if defined(DPISVC_CHECK_INVARIANTS) && DPISVC_CHECK_INVARIANTS
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dpisvc::detail {
+[[noreturn]] inline void invariant_failed(const char* cond, const char* msg,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "dpisvc invariant violated: %s (%s) at %s:%d\n", msg,
+               cond, file, line);
+  std::abort();
+}
+}  // namespace dpisvc::detail
+
+#define DPISVC_ASSERT_INVARIANT(cond, msg)                                 \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::dpisvc::detail::invariant_failed(#cond, (msg), __FILE__, __LINE__); \
+    }                                                                      \
+  } while (false)
+
+#else
+
+#define DPISVC_ASSERT_INVARIANT(cond, msg) \
+  do {                                     \
+  } while (false)
+
+#endif

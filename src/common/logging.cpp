@@ -8,7 +8,15 @@ namespace dpisvc {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_mutex;
+
+/// The sink mutex is intentionally leaked: logging can be reached from
+/// static destructors (e.g. an instance torn down at exit logging its
+/// shutdown), after a function-local static mutex would already have been
+/// destroyed. A leaked mutex is immortal and therefore always safe to lock.
+std::mutex& sink_mutex() {
+  static std::mutex* m = new std::mutex;
+  return *m;
+}
 
 const char* level_name(LogLevel level) noexcept {
   switch (level) {
@@ -27,14 +35,20 @@ const char* level_name(LogLevel level) noexcept {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+// The level is a plain threshold with no data published under it, so
+// relaxed ordering suffices; readers only need atomicity, not ordering.
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
-LogLevel log_level() noexcept { return g_level.load(); }
+LogLevel log_level() noexcept {
+  return g_level.load(std::memory_order_relaxed);
+}
 
 void log_line(LogLevel level, std::string_view component,
               std::string_view message) {
   if (level < log_level()) return;
-  std::lock_guard<std::mutex> lock(g_mutex);
+  std::lock_guard<std::mutex> lock(sink_mutex());
   std::cerr << "[" << level_name(level) << "] " << component << ": " << message
             << '\n';
 }

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "ac/trie.hpp"
+#include "common/invariant.hpp"
 #include "regex/anchors.hpp"
 
 namespace dpisvc::dpi {
@@ -197,6 +198,10 @@ std::shared_ptr<const Engine> Engine::compile(const EngineSpec& spec,
                   if (a.middlebox != b.middlebox) return a.middlebox < b.middlebox;
                   return a.pattern_id < b.pattern_id;
                 });
+      // §5.1: an accepting state with no interested target would mean the
+      // dense renumbering and the match table disagree about acceptance.
+      DPISVC_ASSERT_INVARIANT(!row.empty(),
+                              "accepting state must have at least one target");
     }
   };
 
@@ -281,6 +286,9 @@ ScanResult Engine::scan_impl(const Automaton& automaton, MiddleboxBitmap active,
 
   state = automaton.scan(scanned, state, [&](ac::Match m) {
     ++result.raw_hits;
+    DPISVC_ASSERT_INVARIANT(m.accept_state < accept_targets_.size(),
+                            "match callback must name a renumbered accepting "
+                            "state below f");
     if (use_accept_bitmaps_) {
       const MiddleboxBitmap interested = accept_bitmaps_[m.accept_state];
       if (!(interested & active)) return;  // §5.1 bitmap short-circuit

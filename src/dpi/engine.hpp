@@ -113,6 +113,22 @@ struct ScanResult {
 
 class Engine {
  public:
+  /// One entry of the per-accepting-state match table (§5.1). Public so the
+  /// static verifier (src/verify) can cross-check the table against the
+  /// accepting-state bitmaps.
+  struct MatchTarget {
+    /// Bitmap of middleboxes interested in this target. For an exact pattern
+    /// this is bitmap_of(middlebox); an anchor shared by regexes of several
+    /// middleboxes carries their union.
+    MiddleboxBitmap owners = 0;
+    MiddleboxId middlebox = 0;
+    PatternId pattern_id = 0;
+    std::uint32_t pattern_length = 0;
+    /// Anchor targets mark anchor hits instead of producing match entries.
+    bool is_anchor = false;
+    std::uint32_t anchor_bit = 0;  ///< index into the per-scan anchor hit set
+  };
+
   /// Compiles a spec. Throws std::invalid_argument on inconsistent input
   /// (unknown middlebox referenced, ids out of range, empty patterns,
   /// malformed regexes).
@@ -163,6 +179,26 @@ class Engine {
   /// Resident size of the compiled structures (Table 2 "Space" column).
   std::size_t memory_bytes() const noexcept;
 
+  // --- verifier introspection (src/verify) ---------------------------------
+
+  const std::variant<ac::FullAutomaton, ac::CompressedAutomaton>& automaton()
+      const noexcept {
+    return automaton_;
+  }
+  std::uint32_t num_accepting_states() const noexcept {
+    return static_cast<std::uint32_t>(accept_targets_.size());
+  }
+  MiddleboxBitmap accept_bitmap(ac::StateIndex accept) const {
+    return accept_bitmaps_[accept];
+  }
+  const std::vector<MatchTarget>& accept_targets(ac::StateIndex accept) const {
+    return accept_targets_[accept];
+  }
+  const std::map<ChainId, std::vector<MiddleboxId>>& chain_table()
+      const noexcept {
+    return chain_members_;
+  }
+
   /// Raw automaton traversal with no match collection; the throughput
   /// baseline benches use this to isolate DFA speed. Returns the final
   /// automaton state (callers must consume it so the traversal is not
@@ -171,19 +207,6 @@ class Engine {
 
  private:
   Engine() = default;
-
-  struct MatchTarget {
-    /// Bitmap of middleboxes interested in this target. For an exact pattern
-    /// this is bitmap_of(middlebox); an anchor shared by regexes of several
-    /// middleboxes carries their union.
-    MiddleboxBitmap owners = 0;
-    MiddleboxId middlebox = 0;
-    PatternId pattern_id = 0;
-    std::uint32_t pattern_length = 0;
-    /// Anchor targets mark anchor hits instead of producing match entries.
-    bool is_anchor = false;
-    std::uint32_t anchor_bit = 0;  ///< index into the per-scan anchor hit set
-  };
 
   struct CompiledRegex {
     MiddleboxId middlebox = 0;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "common/invariant.hpp"
+
 namespace dpisvc::dpi {
 
 FlowTable::FlowTable(std::size_t max_flows) : max_flows_(max_flows) {
@@ -39,6 +41,10 @@ void FlowTable::update(const net::FiveTuple& flow, const FlowCursor& cursor) {
   }
   lru_.push_front(Entry{key, cursor});
   entries_.emplace(key, lru_.begin());
+  DPISVC_ASSERT_INVARIANT(entries_.size() == lru_.size(),
+                          "flow index and LRU list must stay in lockstep");
+  DPISVC_ASSERT_INVARIANT(entries_.size() <= max_flows_,
+                          "flow table must not exceed its capacity");
 }
 
 bool FlowTable::erase(const net::FiveTuple& flow) {
@@ -55,6 +61,8 @@ FlowCursor FlowTable::extract(const net::FiveTuple& flow) {
   const FlowCursor cursor = it->second->cursor;
   lru_.erase(it->second);
   entries_.erase(it);
+  DPISVC_ASSERT_INVARIANT(entries_.size() == lru_.size(),
+                          "flow index and LRU list must stay in lockstep");
   return cursor;
 }
 

@@ -1,6 +1,20 @@
 #include "net/reassembly.hpp"
 
+#include "common/invariant.hpp"
+
 namespace dpisvc::net {
+
+#if defined(DPISVC_CHECK_INVARIANTS) && DPISVC_CHECK_INVARIANTS
+namespace {
+/// buffered_bytes_ must equal the sum of pending segment sizes at every
+/// quiescent point, or the max_buffered memory bound is meaningless.
+std::uint64_t pending_total(const std::map<std::uint32_t, Bytes>& pending) {
+  std::uint64_t total = 0;
+  for (const auto& [seq, bytes] : pending) total += bytes.size();
+  return total;
+}
+}  // namespace
+#endif
 
 StreamReassembler::StreamReassembler(std::uint32_t initial_seq,
                                      const ReassemblyConfig& config)
@@ -33,6 +47,9 @@ std::size_t StreamReassembler::accept(std::uint32_t seq, BytesView data) {
     ready_.insert(ready_.end(), data.begin(), data.end());
     expected_ += static_cast<std::uint32_t>(data.size());
     drain_buffered();
+    DPISVC_ASSERT_INVARIANT(buffered_bytes_ == pending_total(pending_),
+                            "buffered-byte accounting must match the pending "
+                            "segment map after a drain");
     return data.size();
   }
 

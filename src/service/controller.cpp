@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/invariant.hpp"
 #include "common/logging.hpp"
 
 namespace dpisvc::service {
@@ -358,6 +359,8 @@ std::size_t DpiController::apply_mitigation(const MitigationPlan& plan) {
   for (const Migration& m : plan.migrations) {
     auto it = assignments_.find(m.chain);
     if (it == assignments_.end() || it->second != m.from_instance) continue;
+    DPISVC_ASSERT_INVARIANT(instances_.count(m.to_instance) != 0,
+                            "mitigation must divert to a known instance");
     it->second = m.to_instance;
     ++moved;
     notify_routing(m.chain, m.to_instance);
@@ -420,6 +423,8 @@ FailoverPlan DpiController::evaluate_failover() {
             chain, " from failed ", dead);
         continue;
       }
+      DPISVC_ASSERT_INVARIANT(failed_.count(target->instance_name()) == 0,
+                              "failover must never target a failed instance");
       plan.reassignments.push_back(
           Migration{chain, dead, target->instance_name()});
       ++target_chains[target->instance_name()];
@@ -442,6 +447,8 @@ FailoverResult DpiController::apply_failover(const FailoverPlan& plan) {
   for (const Migration& m : plan.reassignments) {
     auto it = assignments_.find(m.chain);
     if (it == assignments_.end() || it->second != m.from_instance) continue;
+    DPISVC_ASSERT_INVARIANT(failed_.count(m.to_instance) == 0,
+                            "failover must reassign chains to live instances");
     it->second = m.to_instance;
     ++result.chains_reassigned;
     notify_routing(m.chain, m.to_instance);

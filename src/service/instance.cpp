@@ -1,5 +1,6 @@
 #include "service/instance.hpp"
 
+#include "common/invariant.hpp"
 #include "common/logging.hpp"
 #include "compress/inflate.hpp"
 
@@ -12,18 +13,73 @@ DpiInstance::DpiInstance(std::string name, InstanceConfig config)
 
 void DpiInstance::load_engine(std::shared_ptr<const dpi::Engine> engine,
                               std::uint64_t version) {
-  engine_ = std::move(engine);
-  engine_version_ = version;
-  // DFA state identifiers are meaningful only within one compiled engine;
-  // carrying cursors across a recompile would resume at arbitrary states.
-  flows_.clear();
-  log(LogLevel::kInfo, name_, "loaded engine v", version, " (",
-      engine_ ? engine_->num_automaton_states() : 0, " states)");
+  std::size_t num_states = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    engine_ = std::move(engine);
+    engine_version_ = version;
+    // DFA state identifiers are meaningful only within one compiled engine;
+    // carrying cursors across a recompile would resume at arbitrary states.
+    flows_.clear();
+    DPISVC_ASSERT_INVARIANT(flows_.size() == 0,
+                            "flow table must be empty after an engine swap");
+    if (engine_ != nullptr) num_states = engine_->num_automaton_states();
+  }
+  log(LogLevel::kInfo, name_, "loaded engine v", version, " (", num_states,
+      " states)");
+}
+
+std::uint64_t DpiInstance::engine_version() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return engine_version_;
+}
+
+bool DpiInstance::has_engine() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return engine_ != nullptr;
+}
+
+std::shared_ptr<const dpi::Engine> DpiInstance::engine_snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return engine_;
+}
+
+InstanceTelemetry DpiInstance::telemetry() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return telemetry_;
+}
+
+std::map<dpi::ChainId, ChainTelemetry> DpiInstance::chain_telemetry() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return chain_telemetry_;
+}
+
+void DpiInstance::reset_telemetry() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  telemetry_ = InstanceTelemetry{};
+  chain_telemetry_.clear();
+}
+
+std::size_t DpiInstance::active_flows() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return flows_.size();
+}
+
+std::vector<net::FiveTuple> DpiInstance::active_flow_keys() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return flows_.keys();
 }
 
 dpi::ScanResult DpiInstance::scan(dpi::ChainId chain,
                                   const net::FiveTuple& flow,
                                   BytesView payload) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return scan_locked(chain, flow, payload);
+}
+
+dpi::ScanResult DpiInstance::scan_locked(dpi::ChainId chain,
+                                         const net::FiveTuple& flow,
+                                         BytesView payload) {
   if (engine_ == nullptr) {
     throw std::logic_error("DpiInstance::scan: no engine loaded");
   }
@@ -35,6 +91,10 @@ dpi::ScanResult DpiInstance::scan(dpi::ChainId chain,
   }
   dpi::ScanResult result = engine_->scan_packet(chain, payload, cursor);
   if (stateful) {
+    DPISVC_ASSERT_INVARIANT(
+        result.cursor.valid &&
+            result.cursor.dfa_state < engine_->num_automaton_states(),
+        "stateful scan must leave the cursor on a state of this engine");
     flows_.update(flow, result.cursor);
   }
   telemetry_.busy_seconds += watch.elapsed_seconds();
@@ -88,6 +148,7 @@ std::optional<Bytes> DpiInstance::maybe_decompress(BytesView payload) {
 }
 
 ProcessOutput DpiInstance::process(net::Packet packet) {
+  const std::lock_guard<std::mutex> lock(mu_);
   ProcessOutput out;
   const auto tag = packet.find_tag(net::TagKind::kPolicyChain);
   if (!tag || engine_ == nullptr ||
@@ -124,7 +185,7 @@ ProcessOutput DpiInstance::process(net::Packet packet) {
     telemetry_.decompressed_bytes += inflated->size();
     scan_bytes = *inflated;
   }
-  const dpi::ScanResult scanned = scan(chain, packet.tuple, scan_bytes);
+  const dpi::ScanResult scanned = scan_locked(chain, packet.tuple, scan_bytes);
 
   const bool result_only = config_.result_mode == ResultMode::kResultOnly &&
                            engine_->chain_read_only(chain);
@@ -183,11 +244,13 @@ ProcessOutput DpiInstance::process(net::Packet packet) {
 }
 
 dpi::FlowCursor DpiInstance::export_flow(const net::FiveTuple& flow) {
+  const std::lock_guard<std::mutex> lock(mu_);
   return flows_.extract(flow);
 }
 
 void DpiInstance::import_flow(const net::FiveTuple& flow,
                               const dpi::FlowCursor& cursor) {
+  const std::lock_guard<std::mutex> lock(mu_);
   flows_.update(flow, cursor);
 }
 

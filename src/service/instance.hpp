@@ -21,8 +21,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/timer.hpp"
 #include "dpi/engine.hpp"
@@ -128,13 +130,18 @@ class DpiInstance {
   /// Installs a compiled engine (controller push). The flow table is
   /// cleared: DFA state ids are only meaningful within one compiled engine,
   /// so stored cursors cannot survive a recompile; affected stateful flows
-  /// restart scanning from the root at their next packet.
+  /// restart scanning from the root at their next packet. Safe against
+  /// concurrent scan()/process() calls: an internal mutex serializes
+  /// data-plane scans with control-plane pushes and flow migration.
   void load_engine(std::shared_ptr<const dpi::Engine> engine,
                    std::uint64_t version);
 
-  std::uint64_t engine_version() const noexcept { return engine_version_; }
-  bool has_engine() const noexcept { return engine_ != nullptr; }
-  const dpi::Engine* engine() const noexcept { return engine_.get(); }
+  std::uint64_t engine_version() const;
+  bool has_engine() const;
+  /// Pins the current engine so callers can inspect it without racing a
+  /// concurrent load_engine() dropping the last reference.
+  std::shared_ptr<const dpi::Engine> engine_snapshot() const;
+  const dpi::Engine* engine() const { return engine_snapshot().get(); }
 
   /// Full data-plane processing of one packet: resolves the policy-chain
   /// tag, scans, annotates/marks, and produces result output per the
@@ -147,22 +154,18 @@ class DpiInstance {
   dpi::ScanResult scan(dpi::ChainId chain, const net::FiveTuple& flow,
                        BytesView payload);
 
-  const InstanceTelemetry& telemetry() const noexcept { return telemetry_; }
-  const std::map<dpi::ChainId, ChainTelemetry>& chain_telemetry()
-      const noexcept {
-    return chain_telemetry_;
-  }
-  void reset_telemetry() noexcept {
-    telemetry_ = InstanceTelemetry{};
-    chain_telemetry_.clear();
-  }
+  /// Telemetry accessors return copies taken under the instance lock so the
+  /// controller's monitor thread can sample while scanners are running.
+  InstanceTelemetry telemetry() const;
+  std::map<dpi::ChainId, ChainTelemetry> chain_telemetry() const;
+  void reset_telemetry();
 
-  std::size_t active_flows() const noexcept { return flows_.size(); }
+  std::size_t active_flows() const;
 
   /// All flows with live scan state, most recently used first; the
   /// controller walks this during failover to migrate a dead instance's
   /// surviving state (§4.3).
-  std::vector<net::FiveTuple> active_flow_keys() const { return flows_.keys(); }
+  std::vector<net::FiveTuple> active_flow_keys() const;
 
   // --- flow migration (§4.3) ----------------------------------------------
 
@@ -179,9 +182,16 @@ class DpiInstance {
   net::MatchReport build_report(dpi::ChainId chain, std::uint64_t packet_ref,
                                 const dpi::ScanResult& scan) const;
   std::optional<Bytes> maybe_decompress(BytesView payload);
+  /// Scan body shared by scan() and process(); caller holds mu_.
+  dpi::ScanResult scan_locked(dpi::ChainId chain, const net::FiveTuple& flow,
+                              BytesView payload);
 
   std::string name_;
   InstanceConfig config_;
+  /// Serializes data-plane scans against control-plane engine pushes, flow
+  /// migration, and telemetry sampling. Per-instance, so scanners pinned to
+  /// distinct instances never contend.
+  mutable std::mutex mu_;
   std::shared_ptr<const dpi::Engine> engine_;
   std::uint64_t engine_version_ = 0;
   dpi::FlowTable flows_;

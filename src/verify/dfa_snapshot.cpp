@@ -1,0 +1,46 @@
+#include "verify/dfa_snapshot.hpp"
+
+namespace dpisvc::verify {
+
+namespace {
+
+template <typename Automaton>
+DfaSnapshot snapshot_impl(const Automaton& automaton) {
+  DfaSnapshot snap;
+  snap.num_states = automaton.num_states();
+  snap.num_accepting = automaton.num_accepting();
+  snap.start = automaton.start_state();
+  snap.transitions.resize(static_cast<std::size_t>(snap.num_states) * 256u);
+  for (ac::StateIndex s = 0; s < snap.num_states; ++s) {
+    for (unsigned b = 0; b < 256; ++b) {
+      snap.transitions[static_cast<std::size_t>(s) * 256u + b] =
+          automaton.step(s, static_cast<std::uint8_t>(b));
+    }
+  }
+  snap.match_table.reserve(snap.num_accepting);
+  for (ac::StateIndex s = 0; s < snap.num_accepting; ++s) {
+    snap.match_table.push_back(automaton.matches_at(s));
+  }
+  snap.depth.reserve(snap.num_states);
+  for (ac::StateIndex s = 0; s < snap.num_states; ++s) {
+    snap.depth.push_back(automaton.depth(s));
+  }
+  return snap;
+}
+
+}  // namespace
+
+DfaSnapshot snapshot_of(const ac::FullAutomaton& automaton) {
+  return snapshot_impl(automaton);
+}
+
+DfaSnapshot snapshot_of(const ac::CompressedAutomaton& automaton) {
+  DfaSnapshot snap = snapshot_impl(automaton);
+  snap.fail.reserve(snap.num_states);
+  for (ac::StateIndex s = 0; s < snap.num_states; ++s) {
+    snap.fail.push_back(automaton.fail_link(s));
+  }
+  return snap;
+}
+
+}  // namespace dpisvc::verify

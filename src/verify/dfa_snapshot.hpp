@@ -1,0 +1,47 @@
+// Plain-data snapshot of a built Aho-Corasick DFA.
+//
+// The static verifier never inspects automaton internals directly: it
+// materializes the runtime representation into this flat structure through
+// the public scan API (step / matches_at / depth), then proves invariants on
+// the snapshot. Two payoffs:
+//
+//  - snapshotting a CompressedAutomaton *decodes* its failure-link
+//    representation into the explicit transition function, so comparing the
+//    full-table and compressed snapshots proves the compressed encoding is
+//    exact (src/verify/verifier.hpp, representation-divergence);
+//  - tests can corrupt a snapshot field-by-field to check that every
+//    invariant violation is detected with a precise diagnostic, without
+//    needing mutable access to the real automata.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ac/compressed_automaton.hpp"
+#include "ac/full_automaton.hpp"
+
+namespace dpisvc::verify {
+
+struct DfaSnapshot {
+  std::uint32_t num_states = 0;
+  std::uint32_t num_accepting = 0;
+  ac::StateIndex start = 0;
+  /// Explicit transition function, num_states * 256 entries.
+  std::vector<ac::StateIndex> transitions;
+  /// Per accepting state {0..num_accepting-1}: sorted pattern indices.
+  std::vector<std::vector<ac::PatternIndex>> match_table;
+  /// Per state: label length.
+  std::vector<std::uint32_t> depth;
+  /// Per state: failure link. Empty when the representation has none
+  /// materialized (the full table bakes failures into the transitions).
+  std::vector<ac::StateIndex> fail;
+
+  ac::StateIndex step(ac::StateIndex state, std::uint8_t byte) const {
+    return transitions[static_cast<std::size_t>(state) * 256u + byte];
+  }
+};
+
+DfaSnapshot snapshot_of(const ac::FullAutomaton& automaton);
+DfaSnapshot snapshot_of(const ac::CompressedAutomaton& automaton);
+
+}  // namespace dpisvc::verify

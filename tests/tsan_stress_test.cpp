@@ -1,0 +1,187 @@
+// Multi-threaded stress test for the service data/control-plane split,
+// written to run under ThreadSanitizer (-DDPISVC_TSAN=ON).
+//
+// Thread model being validated (§2.2, §4.3): DpiInstance is the only object
+// shared across threads — scanner threads hammer instances directly and
+// through the netsim fabric while ONE control-plane thread drives the
+// DpiController (pattern registration → engine recompile + hot push, MCA²
+// telemetry collection, heartbeat loss → failover with live flow-state
+// migration, recovery re-sync). The controller and fabric are documented
+// single-threaded; the instances' internal mutex is what makes concurrent
+// scan vs. engine swap vs. telemetry sampling race-free, and that is
+// exactly what TSan checks here.
+//
+// The test also runs (slowly) in normal builds, so plain CI exercises the
+// same interleavings without the data-race detection.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "netsim/fabric.hpp"
+#include "netsim/host.hpp"
+#include "service/controller.hpp"
+#include "service/instance_node.hpp"
+#include "workload/pattern_gen.hpp"
+#include "workload/traffic_gen.hpp"
+
+namespace dpisvc {
+namespace {
+
+using namespace dpisvc::netsim;
+using namespace dpisvc::service;
+
+json::Value register_msg(int id, const char* name, bool stateful) {
+  return json::parse(R"({"type":"register","middlebox_id":)" +
+                     std::to_string(id) + R"(,"name":")" + name +
+                     R"(","stateful":)" + (stateful ? "true" : "false") + "}");
+}
+
+json::Value add_exact_msg(int id, int rule, const std::string& text) {
+  AddPatternsRequest req;
+  req.middlebox = static_cast<dpi::MiddleboxId>(id);
+  req.exact.push_back(ExactPatternMsg{static_cast<dpi::PatternId>(rule), text});
+  return encode(req);
+}
+
+TEST(TsanStress, ConcurrentScanRegisterAndFailover) {
+  FailoverConfig failover;
+  failover.miss_windows = 2;
+  DpiController controller({}, failover);
+  controller.handle_message(register_msg(1, "ids", false));
+  controller.handle_message(register_msg(2, "session-fw", true));
+  controller.handle_message(register_msg(3, "av", false));
+
+  const auto patterns =
+      workload::generate_patterns(workload::snort_like(200, 29));
+  dpi::PatternId rule = 0;
+  for (const auto& pattern : patterns) {
+    controller.handle_message(add_exact_msg(
+        static_cast<int>(1 + rule % 3), static_cast<int>(rule), pattern));
+    ++rule;
+  }
+  const dpi::ChainId chain1 = controller.register_policy_chain({1, 2, 3});
+  const dpi::ChainId chain2 = controller.register_policy_chain({2});
+
+  auto i1 = controller.create_instance("dpi1");
+  auto i2 = controller.create_instance("dpi2");
+  auto i3 = controller.create_instance("dpi3");
+  controller.assign_chain(chain1, "dpi1");
+  controller.assign_chain(chain2, "dpi3");
+  ASSERT_TRUE(i1->has_engine());
+
+  // The fabric is owned and ticked by the control-plane thread only; the
+  // InstanceNode wraps the SAME i1 the scanner threads use directly, so
+  // fabric traffic and direct scans contend on the instance mutex.
+  Fabric fabric;
+  fabric.add_node<Host>("gw");
+  fabric.add_node<InstanceNode>("dpi1", i1);
+  fabric.connect("gw", "dpi1");
+
+  workload::TrafficConfig traffic;
+  traffic.num_packets = 150;
+  traffic.planted_match_rate = 0.3;
+  traffic.planted_patterns.assign(patterns.begin(), patterns.begin() + 12);
+  const auto trace = workload::generate_http_trace(traffic);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> scans{0};
+  std::atomic<std::uint64_t> raw_hits{0};
+
+  const std::vector<std::shared_ptr<DpiInstance>> instances = {i1, i2, i3};
+  std::vector<std::thread> threads;
+
+  // Scanner threads: the stateful chain exercises the flow table (lookup +
+  // cursor update) under the instance lock, racing the control thread's
+  // engine pushes (which clear it) and failover flow export.
+  constexpr int kScanners = 4;
+  for (int t = 0; t < kScanners; ++t) {
+    threads.emplace_back([&, t] {
+      DpiInstance& inst = *instances[static_cast<std::size_t>(t) % 3];
+      const dpi::ChainId chain = t % 2 == 0 ? chain1 : chain2;
+      std::uint64_t local_scans = 0;
+      std::uint64_t local_hits = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        for (const auto& p : trace) {
+          local_hits += inst.scan(chain, p.tuple, p.payload).raw_hits;
+          ++local_scans;
+        }
+        net::Packet tagged;
+        tagged.tuple = trace.front().tuple;
+        tagged.payload = trace.front().payload;
+        tagged.push_tag(net::TagKind::kPolicyChain, chain);
+        (void)inst.process(std::move(tagged));
+      }
+      scans += local_scans;
+      raw_hits += local_hits;
+    });
+  }
+
+  // Sampler thread: the controller's monitor view — concurrent telemetry
+  // snapshots must never tear against running scans.
+  threads.emplace_back([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      for (const auto& inst : instances) {
+        (void)inst->telemetry();
+        (void)inst->chain_telemetry();
+        (void)inst->active_flows();
+        (void)inst->active_flow_keys();
+        (void)inst->engine_version();
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  // Control-plane rounds, all from this thread.
+  constexpr int kRounds = 12;
+  for (int round = 0; round < kRounds; ++round) {
+    // New pattern → full recompile → hot engine push into live scanners.
+    controller.handle_message(
+        add_exact_msg(1, 5000 + round, "hot-update-" + std::to_string(round)));
+
+    // Drive tagged traffic through the fabric into the shared instance.
+    for (int i = 0; i < 8; ++i) {
+      net::Packet p;
+      p.tuple = trace[static_cast<std::size_t>(i)].tuple;
+      p.payload = trace[static_cast<std::size_t>(i)].payload;
+      p.ip_id = static_cast<std::uint16_t>(round * 16 + i);
+      p.push_tag(net::TagKind::kPolicyChain, chain1);
+      fabric.send("gw", "dpi1", std::move(p));
+    }
+    fabric.run();
+
+    controller.heartbeat("dpi1");
+    controller.heartbeat("dpi2");
+    if (round < 4 || round > 8) controller.heartbeat("dpi3");
+    controller.collect_telemetry();
+
+    if (controller.is_failed("dpi3")) {
+      // dpi3 missed its windows mid-run: reassign its chain and migrate
+      // surviving flow state while scanners still hammer all instances.
+      const FailoverPlan plan = controller.evaluate_failover();
+      (void)controller.apply_failover(plan);
+      controller.recover_instance("dpi3");
+    }
+    std::this_thread::yield();
+  }
+
+  stop.store(true, std::memory_order_release);
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_GT(scans.load(), 0u);
+  EXPECT_GT(raw_hits.load(), 0u);
+  EXPECT_FALSE(controller.is_failed("dpi3"));
+  // The last control round pushed to every live instance, so all three end
+  // on one engine version.
+  EXPECT_EQ(i1->engine_version(), i2->engine_version());
+  EXPECT_EQ(i2->engine_version(), i3->engine_version());
+  const std::uint64_t total =
+      i1->telemetry().packets + i2->telemetry().packets +
+      i3->telemetry().packets + i1->telemetry().pass_through;
+  EXPECT_GE(total, scans.load());
+}
+
+}  // namespace
+}  // namespace dpisvc

@@ -1,0 +1,207 @@
+// dpisvc_check — static verifier CLI for built DFAs and service state.
+//
+//   dpisvc_check --patterns FILE [--regex EXPR]... [--max-patterns N]
+//   dpisvc_check --builtin
+//
+// Loads (or generates) pattern sets, compiles the combined engine in BOTH
+// representations (full-table and compressed), and proves the §5 structural
+// invariants against a definition-based oracle: dense accepting-state
+// renumbering, suffix-pattern propagation, sorted/deduped match rows,
+// acyclic depth-decreasing failure links, exact full/compressed equivalence,
+// accepting-state bitmap consistency, and controller ref-count consistency.
+//
+// Exit status: 0 all invariants hold, 1 violations found (each printed as
+// `FAIL <code>: <detail>`), 2 usage error. CI runs `--builtin` plus the
+// generated example pattern sets on every sanitizer configuration; run it
+// after any change to src/ac, src/dpi or src/compress.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "dpi/pattern_db.hpp"
+#include "verify/verifier.hpp"
+#include "workload/pattern_gen.hpp"
+#include "workload/trace_io.hpp"
+
+using namespace dpisvc;
+
+namespace {
+
+struct Options {
+  std::string patterns_file;
+  std::vector<std::string> regexes;
+  std::size_t max_patterns = 2000;
+  bool builtin = false;
+};
+
+/// Distributes patterns over three middleboxes round-robin, registers the
+/// first few patterns a second time under another middlebox (the §4.1
+/// shared-pattern path), and wires two chains. This is the spec shape the
+/// whole verifier suite runs against.
+dpi::EngineSpec make_spec(const std::vector<std::string>& patterns,
+                          const std::vector<std::string>& regexes) {
+  dpi::EngineSpec spec;
+  for (dpi::MiddleboxId id = 1; id <= 3; ++id) {
+    dpi::MiddleboxProfile p;
+    p.id = id;
+    p.name = "check-" + std::to_string(id);
+    p.stateful = id == 2;
+    spec.middleboxes.push_back(p);
+  }
+  dpi::PatternId rule = 0;
+  for (const std::string& bytes : patterns) {
+    spec.exact_patterns.push_back(dpi::ExactPatternSpec{
+        bytes, static_cast<dpi::MiddleboxId>(1 + rule % 3), rule});
+    ++rule;
+  }
+  // Shared patterns: middlebox 3 re-registers the first eight strings.
+  for (std::size_t i = 0; i < patterns.size() && i < 8; ++i) {
+    spec.exact_patterns.push_back(dpi::ExactPatternSpec{
+        patterns[i], 3, static_cast<dpi::PatternId>(rule++)});
+  }
+  dpi::PatternId regex_rule = 10000;
+  for (const std::string& expr : regexes) {
+    spec.regex_patterns.push_back(
+        dpi::RegexPatternSpec{expr, 1, regex_rule++, false});
+  }
+  spec.chains[1] = {1, 2, 3};
+  spec.chains[2] = {2};
+  return spec;
+}
+
+/// Mirrors make_spec through the controller's ref-counted PatternDb so its
+/// ref-count bookkeeping is checked against the same registrations.
+void populate_db(dpi::PatternDb& db, const dpi::EngineSpec& spec) {
+  for (const auto& profile : spec.middleboxes) {
+    db.register_middlebox(profile);
+  }
+  for (const auto& p : spec.exact_patterns) {
+    db.add_exact(p.middlebox, p.pattern_id, p.bytes);
+  }
+  for (const auto& p : spec.regex_patterns) {
+    db.add_regex(p.middlebox, p.pattern_id, p.expression, p.case_insensitive);
+  }
+  for (const auto& [chain, members] : spec.chains) {
+    db.set_chain(chain, members);
+  }
+}
+
+std::size_t run_suite(const std::string& name,
+                      const std::vector<std::string>& patterns,
+                      const std::vector<std::string>& regexes) {
+  Stopwatch watch;
+  const dpi::EngineSpec spec = make_spec(patterns, regexes);
+
+  std::vector<verify::Diagnostic> diagnostics;
+  auto append = [&diagnostics](std::vector<verify::Diagnostic> more) {
+    diagnostics.insert(diagnostics.end(), more.begin(), more.end());
+  };
+  dpi::EngineConfig full;
+  append(verify::verify_engine_spec(spec, full));
+  dpi::EngineConfig compressed;
+  compressed.use_compressed_automaton = true;
+  append(verify::verify_engine_spec(spec, compressed));
+
+  dpi::PatternDb db;
+  populate_db(db, spec);
+  append(verify::check_pattern_db(db));
+  // Pattern removal must drop the ref but keep shared bytes alive (§4.1);
+  // re-check the ref-counts after mutating.
+  if (!spec.exact_patterns.empty()) {
+    const auto& first = spec.exact_patterns.front();
+    db.remove_exact(first.middlebox, first.pattern_id);
+    append(verify::check_pattern_db(db));
+  }
+
+  for (const auto& d : diagnostics) {
+    std::printf("FAIL %-28s %s: %s\n", name.c_str(), d.code.c_str(),
+                d.message.c_str());
+  }
+  std::printf("%-28s %4zu patterns, %2zu regexes: %s (%.2f s)\n", name.c_str(),
+              patterns.size(), regexes.size(),
+              diagnostics.empty() ? "OK" : "FAILED", watch.elapsed_seconds());
+  return diagnostics.size();
+}
+
+int cmd_builtin() {
+  std::size_t failures = 0;
+
+  // Handcrafted set exercising suffix propagation ("he" in "she", "hers"),
+  // shared prefixes, and binary bytes.
+  const std::vector<std::string> classic = {
+      "he",           "she",           "his",
+      "hers",         "ushers",        std::string("\x00\x01\x02mark", 7),
+      "GET /index",   "index.html",    "html></html>",
+  };
+  failures += run_suite("builtin:classic", classic,
+                        {"User-Agent: [a-z]+bot", "cmd\\.exe.{0,16}/c"});
+
+  const auto snort =
+      workload::generate_patterns(workload::snort_like(600, 17));
+  failures += run_suite("builtin:snort-like", snort, {});
+
+  const auto clamav =
+      workload::generate_patterns(workload::clamav_like(400, 23));
+  failures += run_suite("builtin:clamav-like", clamav, {});
+
+  return failures == 0 ? 0 : 1;
+}
+
+void usage() {
+  std::fprintf(stderr, R"(usage: dpisvc_check [options]
+
+  --patterns FILE    verify the engine compiled from a pattern file
+  --regex EXPR       add a regex registration (repeatable)
+  --max-patterns N   cap the number of patterns read from FILE (default 2000)
+  --builtin          verify generated snort-like/clamav-like sets and a
+                     handcrafted suffix-heavy suite
+
+exit status: 0 = all invariants hold, 1 = violations found, 2 = usage error
+)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--builtin") {
+      opt.builtin = true;
+    } else if (arg == "--patterns" && i + 1 < argc) {
+      opt.patterns_file = argv[++i];
+    } else if (arg == "--regex" && i + 1 < argc) {
+      opt.regexes.push_back(argv[++i]);
+    } else if (arg == "--max-patterns" && i + 1 < argc) {
+      opt.max_patterns = static_cast<std::size_t>(std::stoull(argv[++i]));
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  if (!opt.builtin && opt.patterns_file.empty()) {
+    usage();
+    return 2;
+  }
+  try {
+    int rc = 0;
+    if (opt.builtin) {
+      rc = cmd_builtin();
+    }
+    if (!opt.patterns_file.empty()) {
+      auto patterns = workload::load_patterns(opt.patterns_file);
+      if (patterns.size() > opt.max_patterns) {
+        patterns.resize(opt.max_patterns);
+      }
+      if (run_suite(opt.patterns_file, patterns, opt.regexes) != 0) {
+        rc = 1;
+      }
+    }
+    return rc;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
