@@ -145,6 +145,18 @@ std::shared_ptr<const Engine> Engine::compile(const EngineSpec& spec,
     for (const std::string& anchor : anchors) {
       auto [it, inserted] =
           anchor_bits.emplace(anchor, static_cast<std::uint32_t>(anchor_bits.size()));
+      if (inserted && anchor_bits.size() > config.max_anchor_bits) {
+        // Every scan allocates an anchor hit set of num_anchor_bits_
+        // entries; reject instead of silently growing the per-scan scratch
+        // (and the bit indices) without bound.
+        throw std::invalid_argument(
+            "Engine: regex anchors exceed the per-scan anchor hit-set "
+            "capacity (" +
+            std::to_string(anchor_bits.size()) + " distinct anchors > " +
+            std::to_string(config.max_anchor_bits) +
+            "); raise EngineConfig::max_anchor_bits or coarsen "
+            "anchor_min_length");
+      }
       const std::uint32_t bit = it->second;
       compiled.anchor_bits.push_back(bit);
 
@@ -230,7 +242,7 @@ std::shared_ptr<const Engine> Engine::compile(const EngineSpec& spec,
   // --- policy chains (§5.2) ------------------------------------------------
   for (const auto& [chain, members] : spec.chains) {
     MiddleboxBitmap bitmap = 0;
-    std::uint32_t stop = 0;
+    StopSpec stop;
     bool any_stateful = false;
     for (MiddleboxId id : members) {
       if (!(seen & bitmap_of(id))) {
@@ -238,7 +250,14 @@ std::shared_ptr<const Engine> Engine::compile(const EngineSpec& spec,
       }
       bitmap |= bitmap_of(id);
       const MiddleboxProfile* p = engine->find_middlebox(id);
-      stop = std::max(stop, p->stop_offset);
+      // Stateless and stateful depths are tracked separately: the former
+      // renew per packet, the latter are consumed by the flow offset, and
+      // the scan clamp needs both maxima (scan_impl).
+      if (p->stateful) {
+        stop.stateful = std::max(stop.stateful, p->stop_offset);
+      } else {
+        stop.stateless = std::max(stop.stateless, p->stop_offset);
+      }
       any_stateful |= p->stateful;
     }
     engine->chain_members_[chain] = members;
@@ -260,7 +279,7 @@ MiddleboxMatches& Engine::section_for(ScanResult& result, MiddleboxId id) {
 
 template <typename Automaton>
 ScanResult Engine::scan_impl(const Automaton& automaton, MiddleboxBitmap active,
-                             std::uint32_t stop, bool any_stateful,
+                             const StopSpec& stop, bool any_stateful,
                              BytesView payload,
                              const FlowCursor& cursor) const {
   ScanResult result;
@@ -268,12 +287,22 @@ ScanResult Engine::scan_impl(const Automaton& automaton, MiddleboxBitmap active,
   const std::uint64_t offset = resume ? cursor.offset : 0;
   ac::StateIndex state = resume ? cursor.dfa_state : automaton.start_state();
 
-  // Stopping condition (§5.2): the most conservative (deepest) condition
-  // among the active middleboxes bounds the scan.
+  // Stopping condition (§5.2). Boundary convention (see
+  // MiddleboxProfile::stop_offset): a match is reported iff its end
+  // position — 1-based count of its last byte, packet-relative for
+  // stateless middleboxes, flow-relative for stateful ones — is <= the
+  // middlebox's stop offset. The clamp therefore feeds every byte any
+  // active middlebox could still report: stateless depths renew on each
+  // packet, while stateful depths shrink by the flow offset already
+  // scanned. Taking only the flow-relative remainder here used to cut
+  // resumed packets short of the stateless members' per-packet depth,
+  // silently dropping their in-depth matches.
   std::uint64_t limit = payload.size();
-  if (stop != kNoStopCondition) {
-    const std::uint64_t remaining = stop > offset ? stop - offset : 0;
-    limit = std::min<std::uint64_t>(limit, remaining);
+  if (stop.stateless != kNoStopCondition && stop.stateful != kNoStopCondition) {
+    const std::uint64_t stateful_remaining =
+        stop.stateful > offset ? stop.stateful - offset : 0;
+    limit = std::min<std::uint64_t>(
+        limit, std::max<std::uint64_t>(stop.stateless, stateful_remaining));
   }
   const BytesView scanned = payload.first(static_cast<std::size_t>(limit));
 
@@ -310,6 +339,8 @@ ScanResult Engine::scan_impl(const Automaton& automaton, MiddleboxBitmap active,
         if (cnt < t.pattern_length) continue;
         position = cnt;
       }
+      // Stop filter: report iff end position <= stop — the boundary byte is
+      // inclusive (see MiddleboxProfile::stop_offset).
       if (position > mbox_stop_[t.middlebox]) continue;
       raw[t.middlebox].emplace_back(t.pattern_id,
                                     static_cast<std::uint32_t>(position));
@@ -360,6 +391,8 @@ void Engine::evaluate_regexes(MiddleboxBitmap active,
     if (mbox_stateful_[re.middlebox]) {
       position += base_offset;
     }
+    // Stop filter: same inclusive-boundary convention as the exact-match
+    // site above (report iff end position <= stop).
     if (position > mbox_stop_[re.middlebox]) continue;
     auto& section = section_for(result, re.middlebox);
     section.entries.push_back(net::MatchEntry{
@@ -374,7 +407,7 @@ ScanResult Engine::scan_packet(ChainId chain, BytesView payload,
     throw std::invalid_argument("Engine::scan_packet: unknown policy chain");
   }
   const MiddleboxBitmap active = members->second;
-  const std::uint32_t stop = chain_stop_.at(chain);
+  const StopSpec stop = chain_stop_.at(chain);
   const bool any_stateful = chain_stateful_.at(chain);
   return std::visit(
       [&](const auto& automaton) {
@@ -384,13 +417,48 @@ ScanResult Engine::scan_packet(ChainId chain, BytesView payload,
       automaton_);
 }
 
+std::vector<ScanResult> Engine::scan_batch(ChainId chain,
+                                           const std::vector<BytesView>& payloads,
+                                           std::vector<FlowCursor>* cursors) const {
+  auto members = chain_bitmaps_.find(chain);
+  if (members == chain_bitmaps_.end()) {
+    throw std::invalid_argument("Engine::scan_batch: unknown policy chain");
+  }
+  if (cursors != nullptr && cursors->size() != payloads.size()) {
+    throw std::invalid_argument(
+        "Engine::scan_batch: cursors must match payloads one-to-one");
+  }
+  const MiddleboxBitmap active = members->second;
+  const StopSpec stop = chain_stop_.at(chain);
+  const bool any_stateful = chain_stateful_.at(chain);
+  std::vector<ScanResult> out;
+  out.reserve(payloads.size());
+  // One variant visit for the whole batch; the per-packet loop then runs
+  // with the automaton type resolved.
+  std::visit(
+      [&](const auto& automaton) {
+        for (std::size_t i = 0; i < payloads.size(); ++i) {
+          const FlowCursor cursor = cursors ? (*cursors)[i] : FlowCursor{};
+          out.push_back(scan_impl(automaton, active, stop, any_stateful,
+                                  payloads[i], cursor));
+          if (cursors) (*cursors)[i] = out.back().cursor;
+        }
+      },
+      automaton_);
+  return out;
+}
+
 ScanResult Engine::scan_packet_for(MiddleboxBitmap active, BytesView payload,
                                    const FlowCursor& cursor) const {
-  std::uint32_t stop = 0;
+  StopSpec stop;
   bool any_stateful = false;
   for (const auto& p : profiles_) {
     if (bitmap_of(p.id) & active) {
-      stop = std::max(stop, p.stop_offset);
+      if (p.stateful) {
+        stop.stateful = std::max(stop.stateful, p.stop_offset);
+      } else {
+        stop.stateless = std::max(stop.stateless, p.stop_offset);
+      }
       any_stateful |= p.stateful;
     }
   }

@@ -77,6 +77,12 @@ struct EngineConfig {
   /// set decides whether the match table is consulted. Disable only for the
   /// ablation bench quantifying its value.
   bool use_accept_bitmaps = true;
+  /// Upper bound on distinct regex anchors (= bits in the per-scan anchor
+  /// hit set). Every scan allocates a hit set of this many entries at most,
+  /// so the bound keeps the per-packet scratch cost predictable. compile()
+  /// rejects a spec whose regexes contribute more distinct anchors with a
+  /// diagnostic instead of growing the hit set without limit.
+  std::uint32_t max_anchor_bits = 1u << 16;
 };
 
 /// Cross-packet scan state for one flow (§5.2): the DFA state where the
@@ -143,6 +149,19 @@ class Engine {
   /// result. Stateless-only chains ignore it.
   ScanResult scan_packet(ChainId chain, BytesView payload,
                          const FlowCursor& cursor = {}) const;
+
+  /// Batched ingest (§6 scaling): scans a vector of independent packets of
+  /// one chain with a single chain resolution and automaton dispatch,
+  /// instead of one map lookup + variant visit per packet. When `cursors`
+  /// is non-null it must have one entry per payload; each entry supplies
+  /// that packet's resume state and receives the updated cursor. Packets of
+  /// the same flow must not appear twice in one batch with caller-managed
+  /// cursors (each would resume from the same stored state) — the sharded
+  /// instance path feeds per-flow sequential batches instead.
+  std::vector<ScanResult> scan_batch(ChainId chain,
+                                     const std::vector<BytesView>& payloads,
+                                     std::vector<FlowCursor>* cursors =
+                                         nullptr) const;
 
   /// Scan against an explicit set of active middleboxes instead of a chain.
   ScanResult scan_packet_for(MiddleboxBitmap active, BytesView payload,
@@ -217,9 +236,19 @@ class Engine {
     std::vector<std::uint32_t> anchor_bits;
   };
 
+  /// Per-chain scan-depth bounds, split by statefulness because the two
+  /// kinds consume depth differently (see MiddleboxProfile::stop_offset):
+  /// stateless depths are packet-relative and renew every packet, stateful
+  /// depths are flow-relative and shrink as the flow offset advances. The
+  /// scan clamp must feed every byte either kind could still report.
+  struct StopSpec {
+    std::uint32_t stateless = 0;  ///< max stop over stateless members
+    std::uint32_t stateful = 0;   ///< max stop over stateful members
+  };
+
   template <typename Automaton>
   ScanResult scan_impl(const Automaton& automaton, MiddleboxBitmap active,
-                       std::uint32_t stop, bool any_stateful,
+                       const StopSpec& stop, bool any_stateful,
                        BytesView payload, const FlowCursor& cursor) const;
 
   void evaluate_regexes(MiddleboxBitmap active,
@@ -235,7 +264,7 @@ class Engine {
   std::array<std::uint32_t, kMaxMiddleboxes + 1> mbox_stop_{};
   std::map<ChainId, std::vector<MiddleboxId>> chain_members_;
   std::map<ChainId, MiddleboxBitmap> chain_bitmaps_;
-  std::map<ChainId, std::uint32_t> chain_stop_;
+  std::map<ChainId, StopSpec> chain_stop_;
   std::map<ChainId, bool> chain_stateful_;
 
   std::variant<ac::FullAutomaton, ac::CompressedAutomaton> automaton_;

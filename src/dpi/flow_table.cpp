@@ -25,16 +25,18 @@ FlowCursor FlowTable::lookup(const net::FiveTuple& flow) {
   return it->second->cursor;
 }
 
-void FlowTable::update(const net::FiveTuple& flow, const FlowCursor& cursor) {
+bool FlowTable::update(const net::FiveTuple& flow, const FlowCursor& cursor) {
   const net::FiveTuple key = flow.canonical();
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     it->second->cursor = cursor;
     touch(it->second);
-    return;
+    return false;
   }
+  bool evicted_live_cursor = false;
   if (entries_.size() >= max_flows_) {
     const Entry& victim = lru_.back();
+    evicted_live_cursor = victim.cursor.valid;
     entries_.erase(victim.flow);
     lru_.pop_back();
     ++evictions_;
@@ -45,6 +47,7 @@ void FlowTable::update(const net::FiveTuple& flow, const FlowCursor& cursor) {
                           "flow index and LRU list must stay in lockstep");
   DPISVC_ASSERT_INVARIANT(entries_.size() <= max_flows_,
                           "flow table must not exceed its capacity");
+  return evicted_live_cursor;
 }
 
 bool FlowTable::erase(const net::FiveTuple& flow) {
@@ -72,6 +75,17 @@ std::vector<net::FiveTuple> FlowTable::keys() const {
   for (const Entry& entry : lru_) {
     out.push_back(entry.flow);
   }
+  return out;
+}
+
+std::vector<std::pair<net::FiveTuple, FlowCursor>> FlowTable::drain() {
+  std::vector<std::pair<net::FiveTuple, FlowCursor>> out;
+  out.reserve(lru_.size());
+  for (const Entry& entry : lru_) {
+    out.emplace_back(entry.flow, entry.cursor);
+  }
+  lru_.clear();
+  entries_.clear();
   return out;
 }
 

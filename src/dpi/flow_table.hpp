@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <list>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "dpi/engine.hpp"
@@ -25,8 +26,13 @@ class FlowTable {
   /// A hit refreshes the flow's LRU position.
   FlowCursor lookup(const net::FiveTuple& flow);
 
-  /// Inserts or updates; may evict the least-recently-used flow.
-  void update(const net::FiveTuple& flow, const FlowCursor& cursor);
+  /// Inserts or updates; may evict the least-recently-used flow. Returns
+  /// true when a *live* stateful cursor was evicted to make room — the
+  /// victim flow's next packet then resumes from the DFA root, so any
+  /// pattern straddling the eviction point is silently missed. Callers
+  /// (the service instance) surface the signal in their telemetry so the
+  /// loss is at least observable.
+  bool update(const net::FiveTuple& flow, const FlowCursor& cursor);
 
   /// Removes a flow (end of connection, or hand-off after migration).
   /// Returns false if the flow was unknown.
@@ -39,6 +45,11 @@ class FlowTable {
   /// All currently tracked flows, most recently used first (failover uses
   /// this to migrate a dead instance's surviving state, §4.3).
   std::vector<net::FiveTuple> keys() const;
+
+  /// Extracts every entry, most recently used first, and clears the table.
+  /// Bulk-migration counterpart of extract(): failover and shard re-homing
+  /// move a whole table in one pass instead of per-flow lookups.
+  std::vector<std::pair<net::FiveTuple, FlowCursor>> drain();
 
   std::size_t size() const noexcept { return entries_.size(); }
   std::size_t capacity() const noexcept { return max_flows_; }

@@ -37,6 +37,14 @@ struct MiddleboxProfile {
   bool read_only = false;
   /// Stopping condition: how deep into the L7 stream this middlebox cares
   /// about (e.g. middleboxes that only parse application-layer headers).
+  ///
+  /// Boundary convention (shared by the engine's scan clamp and both of its
+  /// match-filter sites): a match is reported iff its end position — the
+  /// 1-based count of its last byte, packet-relative for stateless
+  /// middleboxes and flow-relative for stateful ones — is <= stop_offset.
+  /// A pattern ending exactly at the stop offset is therefore still
+  /// reported; one ending a byte past it is not. Stateless depths renew on
+  /// every packet; stateful depths are consumed by the flow offset.
   std::uint32_t stop_offset = kNoStopCondition;
 };
 

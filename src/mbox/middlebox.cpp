@@ -149,6 +149,43 @@ Verdict Middlebox::process_standalone(const net::Packet& data) {
   return apply_report_entries(data, {});
 }
 
+std::vector<Verdict> Middlebox::process_standalone_batch(
+    const std::vector<net::Packet>& packets) {
+  std::vector<Verdict> verdicts;
+  verdicts.reserve(packets.size());
+  if (profile_.stateful) {
+    // Cursor-carrying scans go through the flow table one packet at a time:
+    // the engine's batch API does not allow one flow to appear twice in a
+    // batch with caller-managed cursors.
+    for (const net::Packet& packet : packets) {
+      verdicts.push_back(process_standalone(packet));
+    }
+    return verdicts;
+  }
+  const dpi::Engine& engine = standalone_engine();
+  std::vector<BytesView> payloads;
+  payloads.reserve(packets.size());
+  for (const net::Packet& packet : packets) {
+    payloads.emplace_back(packet.payload);
+  }
+  const std::vector<dpi::ScanResult> scanned =
+      engine.scan_batch(kSelfChain, payloads);
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    bool applied = false;
+    for (const dpi::MiddleboxMatches& m : scanned[i].matches) {
+      if (m.middlebox == profile_.id) {
+        verdicts.push_back(apply_report_entries(packets[i], m.entries));
+        applied = true;
+        break;
+      }
+    }
+    if (!applied) {
+      verdicts.push_back(apply_report_entries(packets[i], {}));
+    }
+  }
+  return verdicts;
+}
+
 void Middlebox::reset_stats() {
   hits_.clear();
   total_hits_ = 0;

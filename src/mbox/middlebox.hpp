@@ -100,6 +100,14 @@ class Middlebox {
   /// engine (compiled lazily from its own rules) and applies the matches.
   Verdict process_standalone(const net::Packet& data);
 
+  /// Batched standalone processing: stateless middleboxes scan the whole
+  /// vector through the engine's batch API (one chain resolution and
+  /// automaton dispatch for all packets); stateful ones fall back to the
+  /// per-packet path, whose flow table serializes same-flow cursors.
+  /// Verdicts are returned in submission order.
+  std::vector<Verdict> process_standalone_batch(
+      const std::vector<net::Packet>& packets);
+
   /// Direct access to the private engine (benchmarks compare its throughput
   /// against the shared service engine).
   const dpi::Engine& standalone_engine();

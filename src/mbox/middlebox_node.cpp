@@ -55,6 +55,34 @@ void MiddleboxNode::degrade(PendingEntry entry) {
   emit(entry.from, std::move(entry.packet));
 }
 
+void MiddleboxNode::degrade_batch(std::vector<PendingEntry> entries) {
+  if (entries.empty()) return;
+  if (degrade_.fallback != FallbackPolicy::kScanLocal) {
+    for (PendingEntry& entry : entries) {
+      ++forwarded_unscanned_;
+      ++forwarded_;
+      emit(entry.from, std::move(entry.packet));
+    }
+    return;
+  }
+  fallback_scans_ += entries.size();
+  std::vector<net::Packet> packets;
+  packets.reserve(entries.size());
+  for (PendingEntry& entry : entries) {
+    packets.push_back(std::move(entry.packet));
+  }
+  const std::vector<Verdict> verdicts =
+      middlebox_.process_standalone_batch(packets);
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    if (verdicts[i] >= Verdict::kDrop) {
+      ++dropped_;
+      continue;
+    }
+    ++forwarded_;
+    emit(entries[i].from, std::move(packets[i]));
+  }
+}
+
 void MiddleboxNode::buffer(PendingMap& map, std::uint64_t ref,
                            net::Packet packet, const netsim::NodeId& from,
                            bool is_data) {
@@ -82,17 +110,19 @@ void MiddleboxNode::buffer(PendingMap& map, std::uint64_t ref,
 std::size_t MiddleboxNode::expire_pending(bool force) {
   const std::uint64_t clock = now();
   std::size_t retired = 0;
+  std::vector<PendingEntry> expired;
   for (auto it = pending_data_.begin(); it != pending_data_.end();) {
     if (force || it->second.deadline <= clock) {
-      PendingEntry entry = std::move(it->second);
+      expired.push_back(std::move(it->second));
       it = pending_data_.erase(it);
       ++result_timeouts_;
       ++retired;
-      degrade(std::move(entry));
     } else {
       ++it;
     }
   }
+  // One batched fallback pass for the whole sweep.
+  degrade_batch(std::move(expired));
   for (auto it = pending_results_.begin(); it != pending_results_.end();) {
     if (force || it->second.deadline <= clock) {
       // Orphaned result: its data packet was lost or already degraded.

@@ -100,6 +100,11 @@ class MiddleboxNode : public netsim::Node {
   /// Runs the configured fallback on a data packet whose result is gone.
   void degrade(PendingEntry entry);
 
+  /// Batch form: local-scan fallbacks go through the middlebox's batched
+  /// standalone path (one engine dispatch for the whole sweep) instead of
+  /// one scan call per expired packet.
+  void degrade_batch(std::vector<PendingEntry> entries);
+
   /// Inserts into a pending buffer, evicting the oldest entry when full.
   void buffer(PendingMap& map, std::uint64_t ref, net::Packet packet,
               const netsim::NodeId& from, bool is_data);

@@ -458,18 +458,37 @@ FailoverResult DpiController::apply_failover(const FailoverPlan& plan) {
   for (const auto& [dead, target] : plan.flow_targets) {
     auto src = instance(dead);
     if (!src) continue;
-    const auto flows = src->active_flow_keys();
-    if (target.empty()) {
-      result.flows_lost += flows.size();
+    if (target.empty() || target == dead) {
+      result.flows_lost += src->active_flows();
       continue;
     }
-    for (const net::FiveTuple& flow : flows) {
-      if (migrate_flow(flow, dead, target)) {
-        ++result.flows_migrated;
+    auto dst = instance(target);
+    if (!dst) {
+      result.flows_lost += src->active_flows();
+      continue;
+    }
+    if (src->engine_version() != dst->engine_version()) {
+      // DFA state ids are engine-relative; a mismatch would corrupt the scan.
+      log(LogLevel::kWarn, "dpi-ctrl",
+          "failover flow migration refused: engine version mismatch");
+      result.flows_lost += src->active_flows();
+      continue;
+    }
+    // Bulk hand-off: drain the dead instance shard by shard and install the
+    // cursors on the target's own shards in one pass, instead of a per-flow
+    // export/import round trip.
+    auto flows = src->export_all_flows();
+    std::vector<std::pair<net::FiveTuple, dpi::FlowCursor>> live;
+    live.reserve(flows.size());
+    for (auto& entry : flows) {
+      if (entry.second.valid) {
+        live.push_back(std::move(entry));
       } else {
         ++result.flows_lost;
       }
     }
+    dst->import_flows(live);
+    result.flows_migrated += live.size();
   }
   return result;
 }

@@ -1,5 +1,9 @@
 #include "service/instance.hpp"
 
+#include <algorithm>
+#include <iterator>
+#include <stdexcept>
+
 #include "common/invariant.hpp"
 #include "common/logging.hpp"
 #include "compress/inflate.hpp"
@@ -9,104 +13,196 @@ namespace dpisvc::service {
 DpiInstance::DpiInstance(std::string name, InstanceConfig config)
     : name_(std::move(name)),
       config_(config),
-      flows_(config.max_flows) {}
+      pool_(std::max<std::size_t>(config.num_workers, 1)) {
+  const std::size_t num_shards = std::max<std::size_t>(config.num_workers, 1);
+  const std::size_t per_shard =
+      std::max<std::size_t>(config.max_flows / num_shards, 1);
+  shards_.reserve(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(per_shard));
+  }
+}
 
 void DpiInstance::load_engine(std::shared_ptr<const dpi::Engine> engine,
                               std::uint64_t version) {
   std::size_t num_states = 0;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
-    engine_ = std::move(engine);
+    const std::lock_guard<std::mutex> control(control_mu_);
+    engine_ = engine;
     engine_version_ = version;
+    if (engine_ != nullptr) num_states = engine_->num_automaton_states();
+    // Swap shard by shard: scanning continues on shards not yet swapped,
+    // and each shard always holds a consistent (engine, flow table) pair.
     // DFA state identifiers are meaningful only within one compiled engine;
     // carrying cursors across a recompile would resume at arbitrary states.
-    flows_.clear();
-    DPISVC_ASSERT_INVARIANT(flows_.size() == 0,
-                            "flow table must be empty after an engine swap");
-    if (engine_ != nullptr) num_states = engine_->num_automaton_states();
+    for (auto& shard : shards_) {
+      const std::lock_guard<std::mutex> lock(shard->mu);
+      shard->engine = engine;
+      shard->flows.clear();
+      DPISVC_ASSERT_INVARIANT(shard->flows.size() == 0,
+                              "flow table must be empty after an engine swap");
+    }
   }
   log(LogLevel::kInfo, name_, "loaded engine v", version, " (", num_states,
       " states)");
 }
 
 std::uint64_t DpiInstance::engine_version() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const std::lock_guard<std::mutex> lock(control_mu_);
   return engine_version_;
 }
 
 bool DpiInstance::has_engine() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const std::lock_guard<std::mutex> lock(control_mu_);
   return engine_ != nullptr;
 }
 
 std::shared_ptr<const dpi::Engine> DpiInstance::engine_snapshot() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const std::lock_guard<std::mutex> lock(control_mu_);
   return engine_;
 }
 
+namespace {
+
+void accumulate(InstanceTelemetry& into, const InstanceTelemetry& from) {
+  into.packets += from.packets;
+  into.bytes += from.bytes;
+  into.raw_hits += from.raw_hits;
+  into.match_packets += from.match_packets;
+  into.result_bytes += from.result_bytes;
+  into.pass_through += from.pass_through;
+  into.decompressed_packets += from.decompressed_packets;
+  into.decompressed_bytes += from.decompressed_bytes;
+  into.reassembly_held += from.reassembly_held;
+  into.flow_evictions += from.flow_evictions;
+  into.busy_seconds += from.busy_seconds;
+}
+
+}  // namespace
+
 InstanceTelemetry DpiInstance::telemetry() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return telemetry_;
+  InstanceTelemetry total;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    accumulate(total, shard->telemetry);
+  }
+  return total;
 }
 
 std::map<dpi::ChainId, ChainTelemetry> DpiInstance::chain_telemetry() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return chain_telemetry_;
+  std::map<dpi::ChainId, ChainTelemetry> total;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [chain, counters] : shard->chain_telemetry) {
+      ChainTelemetry& into = total[chain];
+      into.packets += counters.packets;
+      into.bytes += counters.bytes;
+      into.raw_hits += counters.raw_hits;
+    }
+  }
+  return total;
 }
 
 void DpiInstance::reset_telemetry() {
-  const std::lock_guard<std::mutex> lock(mu_);
-  telemetry_ = InstanceTelemetry{};
-  chain_telemetry_.clear();
+  for (auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    shard->telemetry = InstanceTelemetry{};
+    shard->chain_telemetry.clear();
+  }
 }
 
 std::size_t DpiInstance::active_flows() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return flows_.size();
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->flows.size();
+  }
+  return total;
 }
 
 std::vector<net::FiveTuple> DpiInstance::active_flow_keys() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return flows_.keys();
+  std::vector<net::FiveTuple> out;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    const auto keys = shard->flows.keys();
+    out.insert(out.end(), keys.begin(), keys.end());
+  }
+  return out;
 }
 
 dpi::ScanResult DpiInstance::scan(dpi::ChainId chain,
                                   const net::FiveTuple& flow,
                                   BytesView payload) {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return scan_locked(chain, flow, payload);
+  Shard& shard = shard_of(flow);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  return scan_on_shard(shard, chain, flow, payload);
 }
 
-dpi::ScanResult DpiInstance::scan_locked(dpi::ChainId chain,
-                                         const net::FiveTuple& flow,
-                                         BytesView payload) {
-  if (engine_ == nullptr) {
+std::vector<dpi::ScanResult> DpiInstance::scan_batch(
+    const std::vector<ScanItem>& items) {
+  std::vector<dpi::ScanResult> out(items.size());
+  // Partition by shard; a flow's packets all land in one bucket and keep
+  // their submission order, which is what makes the result deterministic
+  // across worker counts.
+  std::vector<std::vector<std::size_t>> buckets(shards_.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    buckets[shard_index(items[i].flow)].push_back(i);
+  }
+  std::vector<std::function<void()>> jobs(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (buckets[s].empty()) continue;
+    jobs[s] = [this, s, &buckets, &items, &out] {
+      Shard& shard = *shards_[s];
+      const std::lock_guard<std::mutex> lock(shard.mu);
+      for (const std::size_t i : buckets[s]) {
+        // Distinct indices per bucket: writes to `out` never alias.
+        out[i] = scan_on_shard(shard, items[i].chain, items[i].flow,
+                               items[i].payload);
+      }
+    };
+  }
+  pool_.dispatch(std::move(jobs));
+  return out;
+}
+
+dpi::ScanResult DpiInstance::scan_on_shard(Shard& shard, dpi::ChainId chain,
+                                           const net::FiveTuple& flow,
+                                           BytesView payload) {
+  if (shard.engine == nullptr) {
     throw std::logic_error("DpiInstance::scan: no engine loaded");
   }
   Stopwatch watch;
   dpi::FlowCursor cursor;
-  const bool stateful = engine_->chain_stateful(chain);
+  const bool stateful = shard.engine->chain_stateful(chain);
   if (stateful) {
-    cursor = flows_.lookup(flow);
+    cursor = shard.flows.lookup(flow);
   }
-  dpi::ScanResult result = engine_->scan_packet(chain, payload, cursor);
+  dpi::ScanResult result = shard.engine->scan_packet(chain, payload, cursor);
   if (stateful) {
     DPISVC_ASSERT_INVARIANT(
         result.cursor.valid &&
-            result.cursor.dfa_state < engine_->num_automaton_states(),
+            result.cursor.dfa_state < shard.engine->num_automaton_states(),
         "stateful scan must leave the cursor on a state of this engine");
-    flows_.update(flow, result.cursor);
+    if (shard.flows.update(flow, result.cursor)) {
+      // A live cursor was LRU-evicted: the victim flow resumes from the DFA
+      // root, so a pattern straddling this point is missed. Count it so the
+      // capacity shortfall is observable (§4.3.1 telemetry).
+      ++shard.telemetry.flow_evictions;
+      log(LogLevel::kDebug, name_,
+          "flow table full: evicted live stateful cursor (evictions=",
+          shard.telemetry.flow_evictions, ")");
+    }
   }
-  telemetry_.busy_seconds += watch.elapsed_seconds();
-  ++telemetry_.packets;
-  telemetry_.bytes += payload.size();
-  telemetry_.raw_hits += result.raw_hits;
-  ChainTelemetry& per_chain = chain_telemetry_[chain];
+  shard.telemetry.busy_seconds += watch.elapsed_seconds();
+  ++shard.telemetry.packets;
+  shard.telemetry.bytes += payload.size();
+  shard.telemetry.raw_hits += result.raw_hits;
+  ChainTelemetry& per_chain = shard.chain_telemetry[chain];
   ++per_chain.packets;
   per_chain.bytes += payload.size();
   per_chain.raw_hits += result.raw_hits;
   if (result.has_matches()) {
-    ++telemetry_.match_packets;
+    ++shard.telemetry.match_packets;
   }
   return result;
 }
@@ -148,13 +244,14 @@ std::optional<Bytes> DpiInstance::maybe_decompress(BytesView payload) {
 }
 
 ProcessOutput DpiInstance::process(net::Packet packet) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  Shard& shard = shard_of(packet.tuple);
+  const std::lock_guard<std::mutex> lock(shard.mu);
   ProcessOutput out;
   const auto tag = packet.find_tag(net::TagKind::kPolicyChain);
-  if (!tag || engine_ == nullptr ||
-      !engine_->chain_known(static_cast<dpi::ChainId>(*tag))) {
+  if (!tag || shard.engine == nullptr ||
+      !shard.engine->chain_known(static_cast<dpi::ChainId>(*tag))) {
     // Not ours to inspect: forward unchanged.
-    ++telemetry_.pass_through;
+    ++shard.telemetry.pass_through;
     out.data = std::move(packet);
     return out;
   }
@@ -163,12 +260,12 @@ ProcessOutput DpiInstance::process(net::Packet packet) {
   // Stream reassembly (§7): scan in-order stream chunks, not raw segments.
   std::optional<Bytes> chunk_storage;
   if (config_.reassemble_tcp && packet.tuple.proto == net::IpProto::kTcp) {
-    auto chunk = reassembler_.feed(packet);
+    auto chunk = shard.reassembler.feed(packet);
     if (!chunk) {
       // Out-of-order segment: nothing contiguous yet. Forward the packet
       // (middleboxes see it; results for its bytes come with the packet
       // that completes the gap).
-      ++telemetry_.reassembly_held;
+      ++shard.telemetry.reassembly_held;
       out.data = std::move(packet);
       return out;
     }
@@ -181,14 +278,15 @@ ProcessOutput DpiInstance::process(net::Packet packet) {
   BytesView scan_bytes = stream_bytes;
   std::optional<Bytes> inflated = maybe_decompress(stream_bytes);
   if (inflated) {
-    ++telemetry_.decompressed_packets;
-    telemetry_.decompressed_bytes += inflated->size();
+    ++shard.telemetry.decompressed_packets;
+    shard.telemetry.decompressed_bytes += inflated->size();
     scan_bytes = *inflated;
   }
-  const dpi::ScanResult scanned = scan_locked(chain, packet.tuple, scan_bytes);
+  const dpi::ScanResult scanned =
+      scan_on_shard(shard, chain, packet.tuple, scan_bytes);
 
   const bool result_only = config_.result_mode == ResultMode::kResultOnly &&
-                           engine_->chain_read_only(chain);
+                           shard.engine->chain_read_only(chain);
   if (result_only) {
     // §4.2 option 3: the data packet bypasses the (read-only) middleboxes;
     // pop the steering tag so the switch sends it straight to the egress.
@@ -207,7 +305,7 @@ ProcessOutput DpiInstance::process(net::Packet packet) {
   // Keep in sync with service::packet_ref_of (instance_node.hpp).
   const net::MatchReport report = build_report(chain, packet_ref, scanned);
   const Bytes encoded = net::encode_report(report, config_.codec);
-  telemetry_.result_bytes += encoded.size();
+  shard.telemetry.result_bytes += encoded.size();
 
   packet.set_match_mark(true);  // §6.1: ECN marks "has matches"
   if (config_.result_mode == ResultMode::kServiceHeader && !result_only) {
@@ -244,14 +342,56 @@ ProcessOutput DpiInstance::process(net::Packet packet) {
 }
 
 dpi::FlowCursor DpiInstance::export_flow(const net::FiveTuple& flow) {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return flows_.extract(flow);
+  Shard& shard = shard_of(flow);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.flows.extract(flow);
 }
+
+namespace {
+
+/// A stored cursor must index a state of the shard's *current* engine; a
+/// cursor exported before a hot swap landed would resume the DFA from an
+/// arbitrary (possibly out-of-range) state. The controller prevents this by
+/// matching engine versions, but the instance still refuses rather than
+/// trusting its caller.
+bool cursor_fits_engine(const dpi::FlowCursor& cursor,
+                        const dpi::Engine* engine) {
+  if (!cursor.valid) return false;  // nothing worth storing
+  return engine != nullptr && cursor.dfa_state < engine->num_automaton_states();
+}
+
+}  // namespace
 
 void DpiInstance::import_flow(const net::FiveTuple& flow,
                               const dpi::FlowCursor& cursor) {
-  const std::lock_guard<std::mutex> lock(mu_);
-  flows_.update(flow, cursor);
+  Shard& shard = shard_of(flow);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  if (!cursor_fits_engine(cursor, shard.engine.get())) return;
+  shard.flows.update(flow, cursor);
+}
+
+std::vector<std::pair<net::FiveTuple, dpi::FlowCursor>>
+DpiInstance::export_all_flows() {
+  std::vector<std::pair<net::FiveTuple, dpi::FlowCursor>> out;
+  // Shard at a time: the rest of the data plane keeps scanning while one
+  // shard is drained.
+  for (auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    auto drained = shard->flows.drain();
+    out.insert(out.end(), std::make_move_iterator(drained.begin()),
+               std::make_move_iterator(drained.end()));
+  }
+  return out;
+}
+
+void DpiInstance::import_flows(
+    const std::vector<std::pair<net::FiveTuple, dpi::FlowCursor>>& flows) {
+  for (const auto& [flow, cursor] : flows) {
+    Shard& shard = shard_of(flow);
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    if (!cursor_fits_engine(cursor, shard.engine.get())) continue;
+    shard.flows.update(flow, cursor);
+  }
 }
 
 }  // namespace dpisvc::service

@@ -16,6 +16,19 @@
 //
 // The instance also exports the telemetry MCA² needs (§4.3.1) and supports
 // per-flow state export/import for flow migration (§4.3).
+//
+// Data-plane concurrency (§6 scaling): the instance is sharded. Each shard
+// owns a mutex, an engine snapshot (std::shared_ptr<const dpi::Engine>), a
+// FlowTable, a TCP reassembler, and telemetry counters. A packet's shard is
+// FiveTuple::canonical() hash % num_workers, so both directions of a flow —
+// and therefore its stateful cursor — belong to exactly one shard and no
+// cross-shard FlowTable locking ever happens. scan_batch() partitions a
+// packet vector by shard and dispatches one job per shard to the ScanPool
+// (worker i ↔ shard i), which preserves per-flow packet order for any worker
+// count. Control-plane operations (engine push, migration, telemetry
+// sampling) take shards one at a time — they drain the affected shard, not
+// the whole data plane. Lock order: control_mu_ before any shard mutex;
+// never two shard mutexes at once.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +37,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/timer.hpp"
@@ -32,6 +46,7 @@
 #include "net/packet.hpp"
 #include "net/reassembly.hpp"
 #include "net/result.hpp"
+#include "service/scan_pool.hpp"
 
 namespace dpisvc::service {
 
@@ -75,7 +90,12 @@ struct InstanceConfig {
   /// support only one group and not all the policy chains in the system");
   /// empty = all chains. The controller compiles group-restricted engines.
   std::string group;
+  /// Aggregate flow-table capacity, split evenly across shards.
   std::size_t max_flows = 1 << 20;
+  /// Data-plane shards / scan-pool workers. 1 (the default) spawns no
+  /// threads: scans run inline on the caller, preserving the pre-sharding
+  /// single-threaded behavior exactly.
+  std::size_t num_workers = 1;
 };
 
 /// Counters exported to the DPI controller as stress telemetry (§4.3.1).
@@ -89,6 +109,11 @@ struct InstanceTelemetry {
   std::uint64_t decompressed_packets = 0;  ///< payloads inflated before scan
   std::uint64_t decompressed_bytes = 0;    ///< bytes produced by inflation
   std::uint64_t reassembly_held = 0;       ///< packets that released no chunk
+  /// Live stateful cursors lost to FlowTable LRU eviction: the evicted
+  /// flow's next packet resumes from the DFA root, so patterns straddling
+  /// the eviction point are missed. Non-zero means max_flows is too small
+  /// for the offered flow concurrency.
+  std::uint64_t flow_evictions = 0;
   double busy_seconds = 0;
 
   /// The MCA² heavy-traffic signal: accepting-state hits per scanned byte.
@@ -120,19 +145,28 @@ struct ProcessOutput {
   bool had_matches = false;
 };
 
+/// One packet of a scan_batch() submission. The payload view must stay
+/// valid until the batch call returns.
+struct ScanItem {
+  dpi::ChainId chain = 0;
+  net::FiveTuple flow;
+  BytesView payload;
+};
+
 class DpiInstance {
  public:
   explicit DpiInstance(std::string name, InstanceConfig config = {});
 
   const std::string& instance_name() const noexcept { return name_; }
   const InstanceConfig& config() const noexcept { return config_; }
+  std::size_t num_shards() const noexcept { return shards_.size(); }
 
-  /// Installs a compiled engine (controller push). The flow table is
-  /// cleared: DFA state ids are only meaningful within one compiled engine,
-  /// so stored cursors cannot survive a recompile; affected stateful flows
-  /// restart scanning from the root at their next packet. Safe against
-  /// concurrent scan()/process() calls: an internal mutex serializes
-  /// data-plane scans with control-plane pushes and flow migration.
+  /// Installs a compiled engine (controller push). Flow tables are cleared:
+  /// DFA state ids are only meaningful within one compiled engine, so
+  /// stored cursors cannot survive a recompile; affected stateful flows
+  /// restart scanning from the root at their next packet. The swap proceeds
+  /// shard by shard — scanning continues on shards not yet swapped, and a
+  /// shard only ever sees a consistent (engine, flow table) pair.
   void load_engine(std::shared_ptr<const dpi::Engine> engine,
                    std::uint64_t version);
 
@@ -146,31 +180,41 @@ class DpiInstance {
   /// Full data-plane processing of one packet: resolves the policy-chain
   /// tag, scans, annotates/marks, and produces result output per the
   /// configured mode. Packets without a known chain tag pass through
-  /// untouched.
+  /// untouched. Thread-safe; packets of distinct shards process in
+  /// parallel.
   ProcessOutput process(net::Packet packet);
 
   /// Scan-only fast path used by throughput benches: no packet object
-  /// overhead, still updates telemetry and flow state.
+  /// overhead, still updates telemetry and flow state. Thread-safe.
   dpi::ScanResult scan(dpi::ChainId chain, const net::FiveTuple& flow,
                        BytesView payload);
 
-  /// Telemetry accessors return copies taken under the instance lock so the
-  /// controller's monitor thread can sample while scanners are running.
+  /// Batched ingest: partitions the items by shard and scans each shard's
+  /// share on its pool worker (inline when num_workers == 1). Results are
+  /// returned in submission order. Packets of one flow always land on the
+  /// same shard and are scanned in submission order, so the match sets are
+  /// identical for every worker count.
+  std::vector<dpi::ScanResult> scan_batch(const std::vector<ScanItem>& items);
+
+  /// Telemetry accessors aggregate per-shard counters sampled under the
+  /// shard locks, so the controller's monitor thread can read while
+  /// scanners are running.
   InstanceTelemetry telemetry() const;
   std::map<dpi::ChainId, ChainTelemetry> chain_telemetry() const;
   void reset_telemetry();
 
   std::size_t active_flows() const;
 
-  /// All flows with live scan state, most recently used first; the
-  /// controller walks this during failover to migrate a dead instance's
-  /// surviving state (§4.3).
+  /// All flows with live scan state, most recently used first within each
+  /// shard; the controller walks this during failover to migrate a dead
+  /// instance's surviving state (§4.3).
   std::vector<net::FiveTuple> active_flow_keys() const;
 
   // --- flow migration (§4.3) ----------------------------------------------
 
   /// Removes and returns the flow's scan state for hand-off to another
-  /// instance. Invalid cursor if the flow is unknown.
+  /// instance. Invalid cursor if the flow is unknown. Only the owning shard
+  /// is touched; the rest of the data plane keeps scanning.
   dpi::FlowCursor export_flow(const net::FiveTuple& flow);
 
   /// Installs migrated flow state (engine versions must match between the
@@ -178,26 +222,56 @@ class DpiInstance {
   /// controller guarantees this by syncing instances first).
   void import_flow(const net::FiveTuple& flow, const dpi::FlowCursor& cursor);
 
+  /// Bulk migration: drains every shard's flow table (shard at a time) and
+  /// returns all (flow, cursor) pairs. Failover uses this instead of
+  /// per-flow export round trips.
+  std::vector<std::pair<net::FiveTuple, dpi::FlowCursor>> export_all_flows();
+
+  /// Bulk counterpart of import_flow(); entries are re-homed onto this
+  /// instance's own shards.
+  void import_flows(
+      const std::vector<std::pair<net::FiveTuple, dpi::FlowCursor>>& flows);
+
  private:
+  /// Everything a data-plane worker touches, under one mutex. Flows are
+  /// owned by exactly one shard (canonical-hash placement), so shard
+  /// mutexes never nest.
+  struct Shard {
+    mutable std::mutex mu;
+    std::shared_ptr<const dpi::Engine> engine;
+    dpi::FlowTable flows;
+    net::FlowReassembler reassembler;
+    InstanceTelemetry telemetry;
+    std::map<dpi::ChainId, ChainTelemetry> chain_telemetry;
+
+    explicit Shard(std::size_t max_flows) : flows(max_flows) {}
+  };
+
+  Shard& shard_of(const net::FiveTuple& flow) noexcept {
+    return *shards_[shard_index(flow)];
+  }
+  std::size_t shard_index(const net::FiveTuple& flow) const noexcept {
+    return static_cast<std::size_t>(flow.canonical().hash()) % shards_.size();
+  }
+
   net::MatchReport build_report(dpi::ChainId chain, std::uint64_t packet_ref,
                                 const dpi::ScanResult& scan) const;
   std::optional<Bytes> maybe_decompress(BytesView payload);
-  /// Scan body shared by scan() and process(); caller holds mu_.
-  dpi::ScanResult scan_locked(dpi::ChainId chain, const net::FiveTuple& flow,
-                              BytesView payload);
+  /// Scan body shared by scan(), process() and scan_batch(); caller holds
+  /// shard.mu.
+  dpi::ScanResult scan_on_shard(Shard& shard, dpi::ChainId chain,
+                                const net::FiveTuple& flow, BytesView payload);
 
   std::string name_;
   InstanceConfig config_;
-  /// Serializes data-plane scans against control-plane engine pushes, flow
-  /// migration, and telemetry sampling. Per-instance, so scanners pinned to
-  /// distinct instances never contend.
-  mutable std::mutex mu_;
+  /// Control-plane lock: engine pushes and the canonical engine/version
+  /// snapshot. Acquired before any shard mutex, never after one.
+  mutable std::mutex control_mu_;
   std::shared_ptr<const dpi::Engine> engine_;
   std::uint64_t engine_version_ = 0;
-  dpi::FlowTable flows_;
-  net::FlowReassembler reassembler_;
-  InstanceTelemetry telemetry_;
-  std::map<dpi::ChainId, ChainTelemetry> chain_telemetry_;
+  /// Declared before pool_ so workers never outlive the shards they touch.
+  std::vector<std::unique_ptr<Shard>> shards_;
+  ScanPool pool_;
 };
 
 }  // namespace dpisvc::service

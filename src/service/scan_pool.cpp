@@ -1,0 +1,86 @@
+#include "service/scan_pool.hpp"
+
+namespace dpisvc::service {
+
+ScanPool::ScanPool(std::size_t num_workers) {
+  if (num_workers <= 1) return;  // inline mode: no threads
+  workers_.reserve(num_workers);
+  for (std::size_t i = 0; i < num_workers; ++i) {
+    auto worker = std::make_unique<Worker>();
+    worker->thread = std::thread(&ScanPool::worker_loop, std::ref(*worker));
+    workers_.push_back(std::move(worker));
+  }
+}
+
+ScanPool::~ScanPool() {
+  for (auto& worker : workers_) {
+    {
+      const std::lock_guard<std::mutex> lock(worker->mu);
+      worker->stop = true;
+    }
+    worker->cv.notify_one();
+  }
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+}
+
+void ScanPool::worker_loop(Worker& worker) {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(worker.mu);
+      worker.cv.wait(lock,
+                     [&] { return worker.stop || !worker.queue.empty(); });
+      if (worker.queue.empty()) return;  // stop requested, queue drained
+      job = std::move(worker.queue.front());
+      worker.queue.pop_front();
+    }
+    job();
+  }
+}
+
+void ScanPool::dispatch(std::vector<std::function<void()>> jobs) {
+  if (workers_.empty()) {
+    for (auto& job : jobs) {
+      if (job) job();
+    }
+    return;
+  }
+
+  // Completion latch shared by this dispatch's jobs.
+  struct Completion {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t remaining = 0;
+  };
+  auto done = std::make_shared<Completion>();
+  std::size_t submitted = 0;
+  for (const auto& job : jobs) {
+    if (job) ++submitted;
+  }
+  if (submitted == 0) return;
+  done->remaining = submitted;
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (!jobs[i]) continue;
+    Worker& worker = *workers_[i % workers_.size()];
+    {
+      const std::lock_guard<std::mutex> lock(worker.mu);
+      worker.queue.push_back([job = std::move(jobs[i]), done] {
+        job();
+        {
+          const std::lock_guard<std::mutex> lock(done->mu);
+          --done->remaining;
+        }
+        done->cv.notify_one();
+      });
+    }
+    worker.cv.notify_one();
+  }
+
+  std::unique_lock<std::mutex> lock(done->mu);
+  done->cv.wait(lock, [&] { return done->remaining == 0; });
+}
+
+}  // namespace dpisvc::service

@@ -105,8 +105,11 @@ TEST(Concurrency, IndependentInstancesShareOneEngine) {
   for (const auto& inst : instances) {
     EXPECT_EQ(inst->telemetry().packets, trace.size());
   }
-  // All instances share one engine object.
-  EXPECT_EQ(engine.use_count(), kInstances + 1);
+  // All instances share one engine object: each pins one control-plane
+  // snapshot plus one per data-plane shard — never a copy of the engine.
+  const long refs_per_instance =
+      1 + static_cast<long>(instances[0]->num_shards());
+  EXPECT_EQ(engine.use_count(), kInstances * refs_per_instance + 1);
 }
 
 }  // namespace

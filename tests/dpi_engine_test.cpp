@@ -505,5 +505,110 @@ TEST(Engine, ScanPacketForExplicitBitmap) {
   EXPECT_TRUE(found.count({2, 1, 7}));
 }
 
+// --- stop-condition boundary convention --------------------------------------
+//
+// Pin the documented convention (MiddleboxProfile::stop_offset): a match is
+// reported iff its end position (1-based count of its last byte) is <= the
+// stop offset. At the boundary: reported. One before: reported. One past:
+// filtered.
+
+TEST(Engine, StatelessStopBoundaryInclusive) {
+  EngineSpec spec;
+  spec.middleboxes = {MiddleboxProfile{1, "hdr", false, false, /*stop=*/10}};
+  spec.exact_patterns = {ExactPatternSpec{"evil", 1, 0}};
+  spec.chains[1] = {1};
+  auto engine = Engine::compile(spec);
+  // End exactly at the stop offset: reported.
+  EXPECT_TRUE(flatten(engine->scan_packet(1, view("xxxxxxevil..")))
+                  .count({1, 0, 10}));
+  // End one byte before the stop offset: reported.
+  EXPECT_TRUE(flatten(engine->scan_packet(1, view("xxxxxevil...")))
+                  .count({1, 0, 9}));
+  // End one byte past the stop offset: filtered.
+  EXPECT_TRUE(flatten(engine->scan_packet(1, view("xxxxxxxevil."))).empty());
+}
+
+TEST(Engine, ResumedStatefulStopBoundaryInclusive) {
+  EngineSpec spec;
+  spec.middleboxes = {MiddleboxProfile{1, "s", true, false, /*stop=*/10}};
+  spec.exact_patterns = {ExactPatternSpec{"mark", 1, 0}};
+  spec.chains[1] = {1};
+  auto engine = Engine::compile(spec);
+  // Flow-relative end positions: "mark" straddles the packet boundary.
+  {
+    // Ends at flow position 10 == stop: reported.
+    const auto r1 = engine->scan_packet(1, view("xxxxxxma"));
+    const auto found = flatten(engine->scan_packet(1, view("rk"), r1.cursor));
+    EXPECT_TRUE(found.count({1, 0, 10}));
+  }
+  {
+    // Ends at flow position 9: reported.
+    const auto r1 = engine->scan_packet(1, view("xxxxxma"));
+    const auto found = flatten(engine->scan_packet(1, view("rk"), r1.cursor));
+    EXPECT_TRUE(found.count({1, 0, 9}));
+  }
+  {
+    // Ends at flow position 11: filtered (and the scan is cut at 10).
+    const auto r1 = engine->scan_packet(1, view("xxxxxxxma"));
+    const auto r2 = engine->scan_packet(1, view("rk"), r1.cursor);
+    EXPECT_TRUE(flatten(r2).empty());
+  }
+}
+
+TEST(Engine, RegexStopBoundaryInclusive) {
+  EngineSpec spec;
+  spec.middleboxes = {MiddleboxProfile{1, "re", false, false, /*stop=*/10}};
+  spec.regex_patterns = {RegexPatternSpec{R"(evil\d)", 1, 7, false}};
+  spec.chains[1] = {1};
+  auto engine = Engine::compile(spec);
+  // Regex match "evil5" ending exactly at the stop offset: reported.
+  EXPECT_TRUE(
+      flatten(engine->scan_packet(1, view("xxxxxevil5..."))).count({1, 7, 10}));
+  // Ending one byte past the stop offset: filtered.
+  EXPECT_TRUE(flatten(engine->scan_packet(1, view("xxxxxxevil5.."))).empty());
+}
+
+TEST(Engine, MixedChainStatefulStopDoesNotCutStatelessDepth) {
+  // Regression: on a chain with both a bounded stateless and a bounded
+  // stateful member, the scan clamp used to take only the flow-relative
+  // stateful remainder — resumed packets were cut short of the stateless
+  // members' per-packet depth and their in-depth matches silently vanished.
+  EngineSpec spec;
+  spec.middleboxes = {
+      MiddleboxProfile{1, "hdr", false, false, /*stop=*/8},
+      MiddleboxProfile{2, "s", true, false, /*stop=*/4},
+  };
+  spec.exact_patterns = {ExactPatternSpec{"PQRS", 1, 0},
+                         ExactPatternSpec{"AAAA", 2, 0}};
+  spec.chains[1] = {1, 2};
+  auto engine = Engine::compile(spec);
+  // Packet 1 consumes the whole stateful depth.
+  const auto r1 = engine->scan_packet(1, view("AAAA"));
+  EXPECT_TRUE(flatten(r1).count({2, 0, 4}));
+  // Packet 2: the stateless member still inspects its per-packet depth of
+  // 8 bytes; "PQRS" ends at packet-relative 8 and must be reported.
+  const auto r2 = engine->scan_packet(1, view("ZZZZPQRS"), r1.cursor);
+  EXPECT_TRUE(flatten(r2).count({1, 0, 8}));
+  EXPECT_EQ(r2.bytes_scanned, 8u);
+}
+
+// --- anchor hit-set capacity -------------------------------------------------
+
+TEST(Engine, CompileRejectsAnchorsBeyondCapacity) {
+  EngineSpec spec;
+  spec.middleboxes = {MiddleboxProfile{1, "re"}};
+  spec.regex_patterns = {RegexPatternSpec{R"(aaaa\d)", 1, 0, false},
+                         RegexPatternSpec{R"(bbbb\d)", 1, 1, false},
+                         RegexPatternSpec{R"(cccc\d)", 1, 2, false}};
+  spec.chains[1] = {1};
+  EngineConfig config;
+  config.max_anchor_bits = 2;  // three distinct anchors exceed this
+  EXPECT_THROW(Engine::compile(spec, config), std::invalid_argument);
+  // Raising the bound (or the default) accepts the same spec.
+  config.max_anchor_bits = 3;
+  EXPECT_NO_THROW(Engine::compile(spec, config));
+  EXPECT_NO_THROW(Engine::compile(spec));
+}
+
 }  // namespace
 }  // namespace dpisvc::dpi

@@ -54,11 +54,12 @@ Found reference_scan(const std::vector<MiddleboxProfile>& profiles,
 
   Found found;
   if (chain_stateful) {
-    // Continuous scan over the flow, cut at the chain's stop condition.
+    // Continuous scan over the flow. Stop conditions are per middlebox
+    // (see MiddleboxProfile::stop_offset): stateful depths are flow-
+    // relative, stateless depths renew on every packet — a stateful
+    // member's stop must not cut a stateless member's per-packet depth.
     std::string flow;
     for (const auto& p : packets) flow += p;
-    const std::uint64_t limit =
-        std::min<std::uint64_t>(flow.size(), chain_stop);
     // Packet start offsets (within the scanned stream).
     std::vector<std::uint64_t> starts;
     std::uint64_t at = 0;
@@ -72,7 +73,8 @@ Found reference_scan(const std::vector<MiddleboxProfile>& profiles,
           active.end();
       if (!is_active) continue;
       const auto& profile = profile_of(pattern.middlebox);
-      for (std::uint64_t end = pattern.bytes.size(); end <= limit; ++end) {
+      for (std::uint64_t end = pattern.bytes.size(); end <= flow.size();
+           ++end) {
         const std::uint64_t start = end - pattern.bytes.size();
         if (flow.compare(static_cast<std::size_t>(start),
                          pattern.bytes.size(), pattern.bytes) != 0) {

@@ -93,6 +93,38 @@ TEST(FlowTable, ClearEmptiesEverything) {
   EXPECT_FALSE(table.lookup(flow(5)).valid);
 }
 
+TEST(FlowTable, UpdateSignalsLiveCursorEviction) {
+  FlowTable table(/*max_flows=*/1);
+  // Room available: no eviction.
+  EXPECT_FALSE(table.update(flow(1), FlowCursor{1, 10, true}));
+  // Refreshing an existing flow never evicts.
+  EXPECT_FALSE(table.update(flow(1), FlowCursor{2, 20, true}));
+  // Inserting a second flow evicts flow 1's live cursor: signalled.
+  EXPECT_TRUE(table.update(flow(2), FlowCursor{3, 0, true}));
+  EXPECT_EQ(table.evictions(), 1u);
+  // Evicting an entry whose cursor was never valid is not a state loss.
+  table.clear();
+  table.update(flow(3), FlowCursor{});  // invalid cursor
+  EXPECT_FALSE(table.update(flow(4), FlowCursor{5, 0, true}));
+  EXPECT_EQ(table.evictions(), 2u);  // still counted as an eviction
+}
+
+TEST(FlowTable, DrainExtractsEverythingMruFirst) {
+  FlowTable table;
+  for (std::uint16_t p = 1; p <= 5; ++p) {
+    table.update(flow(p), FlowCursor{p, p, true});
+  }
+  (void)table.lookup(flow(2));  // flow 2 becomes most recent
+  const auto drained = table.drain();
+  ASSERT_EQ(drained.size(), 5u);
+  EXPECT_EQ(drained.front().first, flow(2).canonical());
+  EXPECT_EQ(drained.front().second.dfa_state, 2u);
+  EXPECT_EQ(table.size(), 0u);
+  for (const auto& [key, cursor] : drained) {
+    EXPECT_TRUE(cursor.valid);
+  }
+}
+
 TEST(FlowTable, ManyFlowsStressWithEvictionAccounting) {
   FlowTable table(/*max_flows=*/64);
   for (std::uint16_t p = 0; p < 1000; ++p) {

@@ -183,6 +183,52 @@ TEST(Instance, FlowMigrationPreservesScanState) {
   EXPECT_TRUE(out.had_matches);  // the straddling match still fires
 }
 
+TEST(Instance, LruEvictionOfLiveCursorIsObservable) {
+  // A flow-creation flood on an undersized table silently resets stateful
+  // cursors: the straddling match below is *missed*, and the only trace is
+  // the flow_evictions telemetry counter this test pins down.
+  InstanceConfig config;
+  config.max_flows = 1;
+  DpiInstance inst("i1", config);
+  inst.load_engine(stateful_engine(), 1);
+
+  net::FiveTuple flow_a{net::Ipv4Addr(10, 0, 0, 1), net::Ipv4Addr(10, 0, 0, 2),
+                        1000, 80, net::IpProto::kTcp};
+  net::FiveTuple flow_b{net::Ipv4Addr(10, 0, 0, 3), net::Ipv4Addr(10, 0, 0, 4),
+                        2000, 80, net::IpProto::kTcp};
+
+  // Flow A scans the first half of "splitpattern"...
+  const auto r1 = inst.scan(5, flow_a, to_bytes("xxsplitpa"));
+  EXPECT_FALSE(r1.has_matches());
+  // ...then flow B's insert evicts A's live cursor (capacity 1).
+  (void)inst.scan(5, flow_b, to_bytes("yy"));
+  EXPECT_EQ(inst.telemetry().flow_evictions, 1u);
+  // Flow A's second half resumes from the DFA root: the straddling match
+  // is lost. (With enough capacity it fires — see
+  // StatefulFlowsTrackedAndMatchAcrossPackets.)
+  const auto r2 = inst.scan(5, flow_a, to_bytes("tternzz"));
+  EXPECT_FALSE(r2.has_matches());
+  EXPECT_GE(inst.telemetry().flow_evictions, 1u);
+}
+
+TEST(Instance, BulkFlowExportImportMigratesAllState) {
+  DpiInstance source("src");
+  DpiInstance target("dst");
+  source.load_engine(stateful_engine(), 1);
+  target.load_engine(stateful_engine(), 1);
+
+  const net::Packet first = tagged_packet("xxsplitpa", 5, 1);
+  source.process(net::Packet(first));
+  auto exported = source.export_all_flows();
+  ASSERT_EQ(exported.size(), 1u);
+  EXPECT_EQ(source.active_flows(), 0u);
+  target.import_flows(exported);
+  EXPECT_EQ(target.active_flows(), 1u);
+
+  ProcessOutput out = target.process(tagged_packet("tternzz", 5, 2));
+  EXPECT_TRUE(out.had_matches);  // the straddling match still fires
+}
+
 TEST(Instance, LoadEngineClearsFlows) {
   DpiInstance inst("i1");
   inst.load_engine(stateful_engine(), 1);

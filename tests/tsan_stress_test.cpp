@@ -183,5 +183,102 @@ TEST(TsanStress, ConcurrentScanRegisterAndFailover) {
   EXPECT_GE(total, scans.load());
 }
 
+// Sharded-pool stress: batch submitters drive all shards of a multi-worker
+// instance while the main thread hot-swaps engines (shard-by-shard) and
+// migrates flow state out and back in bulk. Validates that shard mutexes,
+// the control-plane lock, and the scan pool's dispatch/completion protocol
+// compose race-free.
+TEST(TsanStress, ShardedPoolScanVsSwapVsMigration) {
+  auto compile_engine = [](std::size_t num_patterns, std::uint64_t seed) {
+    dpi::EngineSpec spec;
+    dpi::MiddleboxProfile ids;
+    ids.id = 1;
+    ids.name = "ids";
+    dpi::MiddleboxProfile fw;
+    fw.id = 2;
+    fw.name = "session-fw";
+    fw.stateful = true;
+    spec.middleboxes = {ids, fw};
+    dpi::PatternId rule = 0;
+    for (const auto& pattern :
+         workload::generate_patterns(workload::snort_like(num_patterns, seed))) {
+      spec.exact_patterns.push_back(dpi::ExactPatternSpec{
+          pattern, static_cast<dpi::MiddleboxId>(1 + rule % 2), rule});
+      ++rule;
+    }
+    spec.chains[1] = {1, 2};  // stateful chain: flow tables are hot
+    return dpi::Engine::compile(spec);
+  };
+  const auto engine_a = compile_engine(100, 7);
+  const auto engine_b = compile_engine(150, 11);
+
+  InstanceConfig config;
+  config.num_workers = 4;
+  config.max_flows = 256;
+  DpiInstance inst("sharded", config);
+  DpiInstance peer("peer", config);
+  inst.load_engine(engine_a, 1);
+  peer.load_engine(engine_a, 1);
+
+  workload::TrafficConfig traffic;
+  traffic.num_packets = 200;
+  const auto trace = workload::generate_http_trace(traffic);
+  std::vector<ScanItem> items;
+  items.reserve(trace.size());
+  for (const auto& p : trace) {
+    items.push_back(ScanItem{1, p.tuple, BytesView(p.payload)});
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> packets{0};
+  std::vector<std::thread> threads;
+
+  // Two batch submitters + one per-packet scanner: every shard stays busy.
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        packets += inst.scan_batch(items).size();
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      for (const auto& p : trace) {
+        (void)inst.scan(1, p.tuple, p.payload);
+      }
+      packets += trace.size();
+    }
+  });
+
+  // Telemetry sampler: aggregates across shards while they scan.
+  threads.emplace_back([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      (void)inst.telemetry();
+      (void)inst.active_flows();
+      (void)inst.active_flow_keys();
+      std::this_thread::yield();
+    }
+  });
+
+  // Control plane (this thread): hot engine swaps and bulk flow migration
+  // race the scanners above.
+  for (int round = 0; round < 15; ++round) {
+    const auto& engine = round % 2 == 0 ? engine_b : engine_a;
+    inst.load_engine(engine, static_cast<std::uint64_t>(round + 2));
+    peer.load_engine(engine, static_cast<std::uint64_t>(round + 2));
+    // Drain the instance's shards into the peer and re-home the state.
+    peer.import_flows(inst.export_all_flows());
+    inst.import_flows(peer.export_all_flows());
+    std::this_thread::yield();
+  }
+
+  stop.store(true, std::memory_order_release);
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_GT(packets.load(), 0u);
+  EXPECT_EQ(inst.telemetry().packets, packets.load());
+  EXPECT_EQ(inst.engine_version(), peer.engine_version());
+}
+
 }  // namespace
 }  // namespace dpisvc
