@@ -24,6 +24,7 @@
 
 #include "bench_util.hpp"
 #include "json/json.hpp"
+#include "obs/metrics.hpp"
 #include "service/instance.hpp"
 
 namespace dpisvc::bench {
@@ -70,16 +71,10 @@ struct RunResult {
   double p99_us = 0.0;
 };
 
-double percentile(std::vector<double> sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  std::sort(sorted.begin(), sorted.end());
-  const std::size_t idx = static_cast<std::size_t>(
-      q * static_cast<double>(sorted.size() - 1) + 0.5);
-  return sorted[std::min(idx, sorted.size() - 1)];
-}
-
 /// Replays `items` through a fresh instance `repeats` times in batches of
-/// kBatch, timing each scan_batch() submit-to-complete round trip.
+/// kBatch, timing each scan_batch() submit-to-complete round trip. Batch
+/// latencies go through an obs::Histogram — the same percentile machinery
+/// the telemetry channel exports — instead of a private sort-and-index.
 RunResult run_config(const std::shared_ptr<const dpi::Engine>& engine,
                      const std::vector<service::ScanItem>& items,
                      std::size_t workers, int repeats) {
@@ -90,7 +85,7 @@ RunResult run_config(const std::shared_ptr<const dpi::Engine>& engine,
   inst.load_engine(engine, 1);
 
   constexpr std::size_t kBatch = 256;
-  std::vector<double> batch_us;
+  obs::Histogram batch_ns(obs::Histogram::latency_bounds_ns());
   std::uint64_t packets = 0;
   Stopwatch total;
   for (int rep = 0; rep < repeats; ++rep) {
@@ -100,15 +95,15 @@ RunResult run_config(const std::shared_ptr<const dpi::Engine>& engine,
                                                  items.begin() + end);
       Stopwatch w;
       const auto results = inst.scan_batch(batch);
-      batch_us.push_back(static_cast<double>(w.elapsed_ns()) / 1e3);
+      batch_ns.record(w.elapsed_ns());
       packets += results.size();
     }
   }
   const double seconds = total.elapsed_seconds();
   RunResult r;
   r.pps = static_cast<double>(packets) / seconds;
-  r.p50_us = percentile(batch_us, 0.50);
-  r.p99_us = percentile(batch_us, 0.99);
+  r.p50_us = batch_ns.percentile(0.50) / 1e3;
+  r.p99_us = batch_ns.percentile(0.99) / 1e3;
   return r;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <map>
 #include <stdexcept>
 
@@ -175,10 +176,14 @@ std::shared_ptr<const Engine> Engine::compile(const EngineSpec& spec,
         entry.targets.push_back(target);
       }
     }
+    if (engine->mbox_stateful_[re.middlebox]) {
+      engine->stateful_regex_owners_ |= bitmap_of(re.middlebox);
+    }
     engine->regexes_.push_back(std::move(compiled));
   }
   engine->num_anchor_bits_ = static_cast<std::uint32_t>(anchor_bits.size());
   engine->num_strings_ = strings.size();
+  engine->stateful_regex_window_ = config.stateful_regex_window;
 
   // --- combined automaton (§5.1) -------------------------------------------
   ac::Trie trie;
@@ -310,7 +315,14 @@ ScanResult Engine::scan_impl(const Automaton& automaton, MiddleboxBitmap active,
   std::array<std::vector<std::pair<std::uint16_t, std::uint32_t>>,
              kMaxMiddleboxes + 1>
       raw;
-  std::vector<bool> anchor_hits(num_anchor_bits_, false);
+  // Per-packet anchor hit set, as bit words in a per-thread scratch: no
+  // per-packet allocation, and skipped entirely for regex-free engines.
+  static thread_local std::vector<std::uint64_t> packet_hit_scratch;
+  std::vector<std::uint64_t>* packet_hits = nullptr;
+  if (num_anchor_bits_ != 0) {
+    packet_hit_scratch.assign((num_anchor_bits_ + 63) / 64, 0);
+    packet_hits = &packet_hit_scratch;
+  }
   MiddleboxBitmap mboxes_with_matches = 0;
 
   state = automaton.scan(scanned, state, [&](ac::Match m) {
@@ -326,7 +338,7 @@ ScanResult Engine::scan_impl(const Automaton& automaton, MiddleboxBitmap active,
     for (const MatchTarget& t : accept_targets_[m.accept_state]) {
       if (!(t.owners & active)) continue;
       if (t.is_anchor) {
-        anchor_hits[t.anchor_bit] = true;
+        (*packet_hits)[t.anchor_bit >> 6] |= 1ull << (t.anchor_bit & 63);
         continue;
       }
       std::uint64_t position;
@@ -350,11 +362,61 @@ ScanResult Engine::scan_impl(const Automaton& automaton, MiddleboxBitmap active,
 
   result.bytes_scanned = limit;
   if (any_stateful) {
-    result.cursor = FlowCursor{state, offset + limit, true};
+    result.cursor.dfa_state = state;
+    result.cursor.offset = offset + limit;
+    result.cursor.valid = true;
+  }
+  if (packet_hits != nullptr) {
+    for (std::uint64_t w : *packet_hits) {
+      result.anchor_hits_seen += static_cast<std::uint64_t>(std::popcount(w));
+    }
   }
 
-  // Regex evaluation over the scanned slice (§5.3).
-  evaluate_regexes(active, anchor_hits, scanned, offset, result);
+  // §5.3 per-flow pre-filter state: carried only when a stateful middlebox
+  // on the active set owns regexes, so regex-free stateful chains pay
+  // nothing here. Merge this packet's anchor bits into the flow's set and
+  // keep the previous payload tail for cross-packet evaluation.
+  const bool carry =
+      any_stateful && (active & stateful_regex_owners_) != 0;
+  BytesView window;
+  if (carry) {
+    if (resume) {
+      result.cursor.anchor_hits = cursor.anchor_hits;
+      window = BytesView(cursor.regex_window);
+    }
+    if (packet_hits != nullptr) {
+      auto& flow_bits = result.cursor.anchor_hits;
+      if (flow_bits.size() < packet_hits->size()) {
+        flow_bits.resize(packet_hits->size(), 0);
+      }
+      for (std::size_t i = 0; i < packet_hits->size(); ++i) {
+        flow_bits[i] |= (*packet_hits)[i];
+      }
+    }
+  }
+
+  // Regex evaluation over the scanned slice (§5.3), against the retained
+  // flow tail + packet for stateful-owned regexes.
+  evaluate_regexes(active, packet_hits, carry, window, scanned, offset,
+                   result);
+
+  // Advance the retained tail past this packet's bytes (after evaluation:
+  // the regexes above must see the tail as it stood before this packet).
+  if (carry && stateful_regex_window_ > 0) {
+    Bytes& next = result.cursor.regex_window;
+    const std::size_t cap = stateful_regex_window_;
+    if (scanned.size() >= cap) {
+      next.assign(scanned.end() - cap, scanned.end());
+    } else {
+      const std::size_t keep =
+          std::min(window.size(), cap - scanned.size());
+      Bytes merged;
+      merged.reserve(keep + scanned.size());
+      merged.insert(merged.end(), window.end() - keep, window.end());
+      merged.insert(merged.end(), scanned.begin(), scanned.end());
+      next = std::move(merged);
+    }
+  }
 
   // Emit sections sorted by (pattern, position) with run compression (§6.5).
   for (MiddleboxId id = 1; id <= kMaxMiddleboxes; ++id) {
@@ -369,27 +431,66 @@ ScanResult Engine::scan_impl(const Automaton& automaton, MiddleboxBitmap active,
   return result;
 }
 
+namespace {
+
+bool bit_set(const std::vector<std::uint64_t>& words,
+             std::uint32_t bit) noexcept {
+  const std::size_t w = bit >> 6;
+  // Defensive bound: an imported cursor may carry a hit set sized for a
+  // previous engine generation; missing words read as unset.
+  return w < words.size() && ((words[w] >> (bit & 63)) & 1) != 0;
+}
+
+}  // namespace
+
 void Engine::evaluate_regexes(MiddleboxBitmap active,
-                              const std::vector<bool>& anchor_hits,
-                              BytesView payload, std::uint64_t base_offset,
+                              const std::vector<std::uint64_t>* packet_hits,
+                              bool carry, BytesView window, BytesView scanned,
+                              std::uint64_t base_offset,
                               ScanResult& result) const {
+  static thread_local Bytes concat_scratch;
   for (const CompiledRegex& re : regexes_) {
     if (!(bitmap_of(re.middlebox) & active)) continue;
+    // A stateful-owned regex draws its pre-filter bits from the flow's
+    // accumulated set (anchors may have matched in earlier packets) and
+    // evaluates over the retained tail + this packet; a stateless-owned one
+    // sees only this packet's bits and bytes.
+    const bool flow_scope = carry && mbox_stateful_[re.middlebox];
+    const std::vector<std::uint64_t>* hits =
+        flow_scope ? &result.cursor.anchor_hits : packet_hits;
     // Pre-filter: all anchors must have been seen (§5.3). Anchorless
     // regexes run unconditionally (the "parallel path" of §5.3).
     bool all_anchors = true;
     for (std::uint32_t bit : re.anchor_bits) {
-      if (!anchor_hits[bit]) {
+      if (hits == nullptr || !bit_set(*hits, bit)) {
         all_anchors = false;
         break;
       }
     }
     if (!all_anchors) continue;
-    const std::optional<std::size_t> end = re.matcher.search_end(payload);
+    ++result.regexes_evaluated;
+
+    BytesView haystack = scanned;
+    std::size_t min_end = 0;
+    if (flow_scope && !window.empty()) {
+      concat_scratch.assign(window.begin(), window.end());
+      concat_scratch.insert(concat_scratch.end(), scanned.begin(),
+                            scanned.end());
+      haystack = BytesView(concat_scratch);
+      // A match ending inside the tail ends at a flow position that was
+      // already evaluable when those bytes were current; only matches
+      // ending in the new bytes are reportable now (also prevents a stale
+      // earliest-end match in the tail from shadowing a fresh one).
+      min_end = window.size();
+    }
+    const std::optional<std::size_t> end =
+        re.matcher.search_end(haystack, min_end);
     if (!end) continue;
     std::uint64_t position = *end;
     if (mbox_stateful_[re.middlebox]) {
-      position += base_offset;
+      // Flow-relative end: base_offset is the flow offset of the packet's
+      // first byte; *end counts from the start of the retained tail.
+      position = base_offset - min_end + position;
     }
     // Stop filter: same inclusive-boundary convention as the exact-match
     // site above (report iff end position <= stop).
@@ -397,6 +498,7 @@ void Engine::evaluate_regexes(MiddleboxBitmap active,
     auto& section = section_for(result, re.middlebox);
     section.entries.push_back(net::MatchEntry{
         re.pattern_id, static_cast<std::uint32_t>(position), 1});
+    ++result.regex_matches;
   }
 }
 

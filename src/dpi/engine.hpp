@@ -83,14 +83,42 @@ struct EngineConfig {
   /// rejects a spec whose regexes contribute more distinct anchors with a
   /// diagnostic instead of growing the hit set without limit.
   std::uint32_t max_anchor_bits = 1u << 16;
+  /// Payload tail (bytes) retained per stateful flow for cross-packet regex
+  /// evaluation (§5.3 x §5.2). Anchors are mandatory substrings of every
+  /// match a regex can produce, so when a regex's anchors land in different
+  /// packets of one flow the match itself must also straddle the packet
+  /// boundary — evaluating the regex against the current packet alone can
+  /// never report it. Stateful-owned regexes therefore evaluate against the
+  /// retained tail + current packet, and a match is reported iff it ends in
+  /// the new bytes (ends inside the tail = was already reportable earlier).
+  /// Bounds the per-flow memory cost; matches spanning more than this many
+  /// bytes of history are missed (documented best-effort, like any bounded
+  /// reassembly depth). 0 disables tail retention: anchor bits still
+  /// persist per flow, but cross-packet regex matches are not found.
+  std::uint32_t stateful_regex_window = 256;
 };
 
 /// Cross-packet scan state for one flow (§5.2): the DFA state where the
 /// previous packet left off and the number of payload bytes already scanned.
+/// For flows whose chain has a stateful middlebox owning regexes, the cursor
+/// additionally carries the §5.3 pre-filter state: the anchor hit bits
+/// accumulated over the flow's lifetime (so anchors split across packets
+/// still arm the regex) and a bounded payload tail
+/// (EngineConfig::stateful_regex_window) the regex evaluates over together
+/// with the next packet. Both stay empty for stateless chains and for
+/// engines without stateful-owned regexes, so the common case copies two
+/// empty vectors. New fields are appended after `valid` so existing
+/// three-field aggregate initializers keep their meaning.
 struct FlowCursor {
   ac::StateIndex dfa_state = 0;
   std::uint64_t offset = 0;
   bool valid = false;  ///< false for the first packet of a flow
+  /// Anchor hit bits (64 per word, indexed by MatchTarget::anchor_bit)
+  /// accumulated across the flow's packets. Cleared on eviction/reset with
+  /// the rest of the cursor.
+  std::vector<std::uint64_t> anchor_hits;
+  /// Last min(stateful_regex_window, bytes seen) scanned payload bytes.
+  Bytes regex_window;
 };
 
 /// Per-middlebox match list for one packet.
@@ -108,6 +136,13 @@ struct ScanResult {
   /// Total accepting-state hits during the scan, before per-middlebox
   /// filtering; exported as a stress telemetry input (§4.3.1).
   std::uint64_t raw_hits = 0;
+  /// Distinct anchor bits newly observed in this packet (§5.3 pre-filter
+  /// progress); an observability input for anchor hit-rate telemetry.
+  std::uint64_t anchor_hits_seen = 0;
+  /// Regex programs actually run (passed the anchor pre-filter) and match
+  /// entries they emitted — the §5.3 selectivity signal.
+  std::uint64_t regexes_evaluated = 0;
+  std::uint64_t regex_matches = 0;
 
   bool has_matches() const noexcept {
     for (const auto& m : matches) {
@@ -251,10 +286,17 @@ class Engine {
                        const StopSpec& stop, bool any_stateful,
                        BytesView payload, const FlowCursor& cursor) const;
 
+  /// §5.3 regex evaluation. `packet_hits` holds the anchor bits set by this
+  /// packet's automaton pass (null when the engine has no anchor bits);
+  /// stateless-owned regexes pre-filter on it and evaluate over `scanned`.
+  /// When `carry` is true (stateful chain with stateful-owned regexes),
+  /// stateful-owned regexes pre-filter on the merged per-flow bits in
+  /// `result.cursor.anchor_hits` and evaluate over `window` + `scanned`,
+  /// reporting only matches that end in the new bytes.
   void evaluate_regexes(MiddleboxBitmap active,
-                        const std::vector<bool>& anchor_hits,
-                        BytesView payload, std::uint64_t base_offset,
-                        ScanResult& result) const;
+                        const std::vector<std::uint64_t>* packet_hits,
+                        bool carry, BytesView window, BytesView scanned,
+                        std::uint64_t base_offset, ScanResult& result) const;
 
   static MiddleboxMatches& section_for(ScanResult& result, MiddleboxId id);
 
@@ -277,6 +319,11 @@ class Engine {
   std::vector<CompiledRegex> regexes_;
   std::uint32_t num_anchor_bits_ = 0;
   bool use_accept_bitmaps_ = true;
+  /// Stateful middleboxes owning at least one regex: flows only carry
+  /// anchor bits / a payload tail when the active set intersects this, so
+  /// regex-free stateful chains pay nothing for the §5.3 flow state.
+  MiddleboxBitmap stateful_regex_owners_ = 0;
+  std::uint32_t stateful_regex_window_ = 0;
 
   std::size_t num_exact_ = 0;
   std::size_t num_strings_ = 0;

@@ -6,10 +6,14 @@
 // parser, and a deterministic writer (object keys serialized in insertion
 // order) so control messages are stable and testable.
 //
-// Scope: full JSON per RFC 8259 except that numbers are stored as double
-// (sufficient for the integer ids used by the protocol — exact up to 2^53)
-// and \uXXXX escapes outside the BMP surrogate mechanism are encoded as
-// UTF-8.
+// Scope: full JSON per RFC 8259, except that numbers are stored as double
+// (sufficient for the integer ids used by the protocol — exact up to 2^53).
+// String escapes are handled in full: \uXXXX decodes to UTF-8, including
+// characters outside the BMP written as \uD800-\uDBFF + \uDC00-\uDFFF
+// surrogate pairs (e.g. "😀" -> U+1F600); lone or misordered
+// surrogates are rejected. The writer emits non-ASCII characters as raw
+// UTF-8 bytes, never as \u escapes, so decode(encode(s)) == s but the
+// escape spelling itself does not round-trip.
 #pragma once
 
 #include <cstdint>

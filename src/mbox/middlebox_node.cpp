@@ -1,6 +1,7 @@
 #include "mbox/middlebox_node.hpp"
 
 #include <limits>
+#include <utility>
 
 #include "common/logging.hpp"
 
@@ -12,7 +13,10 @@ MiddleboxNode::MiddleboxNode(netsim::Fabric& fabric, netsim::NodeId name,
     : Node(fabric, std::move(name)),
       middlebox_(middlebox),
       mode_(mode),
-      degrade_(degrade) {}
+      degrade_(degrade),
+      result_wait_(metrics_.histogram(
+          "result_wait_deliveries",
+          obs::Histogram::exponential_bounds(1, 2.0, 16))) {}
 
 std::vector<net::MatchEntry> MiddleboxNode::entries_for_self(
     const net::MatchReport& report) const {
@@ -104,7 +108,35 @@ void MiddleboxNode::buffer(PendingMap& map, std::uint64_t ref,
           : now() + degrade_.result_deadline;
   // A fault-duplicated packet may reuse a buffered ref; the copies are
   // identical, so the later one simply replaces the earlier.
-  map.insert_or_assign(ref, PendingEntry{std::move(packet), from, deadline});
+  map.insert_or_assign(ref,
+                       PendingEntry{std::move(packet), from, deadline, now()});
+}
+
+json::Value MiddleboxNode::metrics_json() const {
+  // The six forwarding/degradation counters mirror into the registry here
+  // rather than on the hot path: the fabric delivers to a node serially, so
+  // a snapshot-time sync is exact and the receive path stays untouched.
+  const std::pair<const char*, std::uint64_t> mirrored[] = {
+      {"forwarded", forwarded_},
+      {"dropped", dropped_},
+      {"result_timeouts", result_timeouts_},
+      {"fallback_scans", fallback_scans_},
+      {"forwarded_unscanned", forwarded_unscanned_},
+      {"evictions", evictions_},
+  };
+  for (const auto& [cname, value] : mirrored) {
+    obs::Counter& c = metrics_.counter(cname);
+    c.reset();
+    c.add(value);
+  }
+  metrics_.gauge("pending_data").set(
+      static_cast<std::int64_t>(pending_data_.size()));
+  metrics_.gauge("pending_results").set(
+      static_cast<std::int64_t>(pending_results_.size()));
+  json::Object root;
+  root["node"] = json::Value(name());
+  root["metrics"] = metrics_.snapshot();
+  return json::Value(std::move(root));
 }
 
 std::size_t MiddleboxNode::expire_pending(bool force) {
@@ -167,6 +199,7 @@ void MiddleboxNode::receive(net::Packet packet, const netsim::NodeId& from) {
     }
     PendingEntry entry = std::move(waiting->second);
     pending_data_.erase(waiting);
+    result_wait_.record(now() - entry.enqueued);
     const net::MatchReport report =
         net::decode_report(packet.service_header->metadata);
     evaluate_and_forward(std::move(entry.packet), entries_for_self(report),
@@ -195,6 +228,7 @@ void MiddleboxNode::receive(net::Packet packet, const netsim::NodeId& from) {
     buffer(pending_data_, ref, std::move(packet), from, /*is_data=*/true);
     return;
   }
+  result_wait_.record(now() - result->second.enqueued);
   net::Packet result_packet = std::move(result->second.packet);
   pending_results_.erase(result);
   const net::MatchReport report =

@@ -28,8 +28,10 @@
 #include <cstdint>
 #include <map>
 
+#include "json/json.hpp"
 #include "mbox/middlebox.hpp"
 #include "netsim/fabric.hpp"
+#include "obs/metrics.hpp"
 #include "service/instance_node.hpp"
 
 namespace dpisvc::mbox {
@@ -84,11 +86,22 @@ class MiddleboxNode : public netsim::Node {
   }
   std::uint64_t evictions() const noexcept { return evictions_; }
 
+  // --- observability --------------------------------------------------------
+
+  /// Metrics snapshot for this node: the forwarding/degradation counters,
+  /// current pending-buffer occupancy, and the result-wait histogram
+  /// (fabric deliveries a buffered packet waited before its counterpart
+  /// arrived — the §6.1 buffering cost made visible).
+  json::Value metrics_json() const;
+
+  const obs::MetricsRegistry& metrics() const noexcept { return metrics_; }
+
  private:
   struct PendingEntry {
     net::Packet packet;
     netsim::NodeId from;        ///< neighbor to forward back through
     std::uint64_t deadline;     ///< total_deliveries() when the wait expires
+    std::uint64_t enqueued = 0; ///< total_deliveries() at buffering time
   };
   using PendingMap = std::map<std::uint64_t, PendingEntry>;
 
@@ -125,6 +138,11 @@ class MiddleboxNode : public netsim::Node {
   std::uint64_t fallback_scans_ = 0;
   std::uint64_t forwarded_unscanned_ = 0;
   std::uint64_t evictions_ = 0;
+  /// Counters above mirror into the registry at snapshot time (the node is
+  /// single-threaded under the fabric, so no hot-path double writes needed);
+  /// the result-wait histogram is the only instrument written inline.
+  mutable obs::MetricsRegistry metrics_;
+  obs::Histogram& result_wait_;
 };
 
 }  // namespace dpisvc::mbox

@@ -1,0 +1,185 @@
+// Observability instruments for the DPI service (§4.3.1 stress telemetry).
+//
+// The control plane steers load balancing, MCA² mitigation, and failover off
+// signals exported by DPI service instances. Raw counters alone hide the
+// distribution tail — a stressed instance shows up in its p99 scan latency
+// long before its mean moves — so this module provides the three instrument
+// kinds the service layers record into:
+//
+//   * Counter   — monotonically increasing event count (packets, bytes,
+//                 anchor hits, regex evaluations);
+//   * Gauge     — last-written level (flow-table occupancy, queue depth);
+//   * Histogram — fixed-bucket latency/size distribution with p50/p90/p99
+//                 extraction, recorded on the scan hot path.
+//
+// Hot-path cost model: every instrument write is a handful of relaxed
+// atomic adds — no locks, no allocation. The MetricsRegistry mutex guards
+// registration and snapshotting only; callers resolve their instruments once
+// (at construction) and keep the returned references, which stay valid for
+// the registry's lifetime. Snapshots taken while writers run are internally
+// consistent per instrument but not across instruments (standard relaxed-
+// counter semantics; the telemetry consumers tolerate a packet counted in
+// one window and its bytes in the next).
+//
+// Compile-out: building with -DDPISVC_NO_METRICS (CMake option of the same
+// name) turns every write into a no-op with zero code in the hot path, so
+// the overhead of the observability layer itself can be measured
+// (bench/bench_obs.cpp emits the on-vs-off comparison as BENCH_obs.json).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "json/json.hpp"
+
+namespace dpisvc::obs {
+
+#if defined(DPISVC_NO_METRICS)
+inline constexpr bool kMetricsCompiledIn = false;
+#else
+inline constexpr bool kMetricsCompiledIn = true;
+#endif
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    if constexpr (kMetricsCompiledIn) {
+      value_.fetch_add(n, std::memory_order_relaxed);
+    } else {
+      (void)n;
+    }
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    if constexpr (kMetricsCompiledIn) {
+      value_.store(v, std::memory_order_relaxed);
+    } else {
+      (void)v;
+    }
+  }
+  void add(std::int64_t d) noexcept {
+    if constexpr (kMetricsCompiledIn) {
+      value_.fetch_add(d, std::memory_order_relaxed);
+    } else {
+      (void)d;
+    }
+  }
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts recorded values v with
+/// bounds[i-1] < v <= bounds[i] (bucket 0: v <= bounds[0]); one implicit
+/// overflow bucket counts v > bounds.back(). Bounds are fixed at
+/// construction so record() is a binary search plus three relaxed adds.
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly increasing; throws
+  /// std::invalid_argument otherwise.
+  explicit Histogram(std::vector<std::uint64_t> upper_bounds);
+
+  /// Geometric bucket ladder: first, first*factor, ... (`count` bounds).
+  static std::vector<std::uint64_t> exponential_bounds(std::uint64_t first,
+                                                       double factor,
+                                                       std::size_t count);
+  /// The default ladder for nanosecond latencies: 1us .. ~67s, x2 steps.
+  static std::vector<std::uint64_t> latency_bounds_ns();
+
+  void record(std::uint64_t value) noexcept;
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  double mean() const noexcept;
+
+  /// Quantile estimate from the bucket counts, q in [0, 1]. Linear
+  /// interpolation within the bucket that holds the rank; values in the
+  /// overflow bucket report the last finite bound (a floor, not a guess).
+  /// Returns 0 when the histogram is empty.
+  double percentile(double q) const;
+
+  const std::vector<std::uint64_t>& bounds() const noexcept { return bounds_; }
+  std::size_t num_buckets() const noexcept { return bounds_.size() + 1; }
+  std::uint64_t bucket_count(std::size_t i) const noexcept {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Adds another histogram's bucket counts into this one (used to merge
+  /// per-shard histograms into an instance-wide distribution). Throws
+  /// std::invalid_argument when the bucket bounds differ.
+  void merge_from(const Histogram& other);
+
+  /// {"count":N,"sum":S,"p50":..,"p90":..,"p99":..,
+  ///  "bounds":[...],"counts":[...]} — the wire shape TELEMETRY_REPORT
+  /// embeds.
+  json::Value to_json() const;
+
+  void reset() noexcept;
+
+ private:
+  std::vector<std::uint64_t> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Named instrument directory. Registration and snapshot take the registry
+/// mutex; the returned references are stable for the registry's lifetime,
+/// so hot paths resolve once and record lock-free thereafter.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates. A histogram name re-requested with different bounds
+  /// returns the existing instrument (first registration wins).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name,
+                       std::vector<std::uint64_t> upper_bounds);
+
+  /// Lookup without creation; nullptr when the name was never registered.
+  const Histogram* find_histogram(const std::string& name) const;
+
+  /// {"counters":{name:value},"gauges":{...},"histograms":{name:{...}}}.
+  /// Names are emitted sorted so snapshots are byte-stable.
+  json::Value snapshot() const;
+
+  /// Resets every instrument to zero (counts only; bounds are kept).
+  void reset();
+
+ private:
+  template <typename T>
+  using Entries = std::vector<std::pair<std::string, std::unique_ptr<T>>>;
+
+  mutable std::mutex mu_;
+  Entries<Counter> counters_;
+  Entries<Gauge> gauges_;
+  Entries<Histogram> histograms_;
+};
+
+}  // namespace dpisvc::obs

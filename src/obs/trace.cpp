@@ -1,0 +1,91 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+namespace dpisvc::obs {
+
+const char* trace_event_name(TraceEvent event) noexcept {
+  switch (event) {
+    case TraceEvent::kPacketIn:
+      return "packet_in";
+    case TraceEvent::kShardDispatch:
+      return "shard_dispatch";
+    case TraceEvent::kDfaScan:
+      return "dfa_scan";
+    case TraceEvent::kRegexEval:
+      return "regex_eval";
+    case TraceEvent::kVerdict:
+      return "verdict";
+  }
+  return "unknown";
+}
+
+ScanTrace::ScanTrace(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ != 0) ring_.resize(capacity_);
+}
+
+void ScanTrace::record(TraceEvent event, std::uint64_t flow,
+                       std::uint64_t offset, std::uint64_t value,
+                       std::uint32_t shard, std::uint32_t chain) noexcept {
+  if (!enabled()) return;
+  std::lock_guard lock(mu_);
+  TraceRecord& slot = ring_[next_seq_ % capacity_];
+  slot.seq = ++next_seq_;
+  slot.flow = flow;
+  slot.offset = offset;
+  slot.value = value;
+  slot.shard = shard;
+  slot.chain = chain;
+  slot.event = event;
+}
+
+std::vector<TraceRecord> ScanTrace::snapshot() const {
+  std::vector<TraceRecord> out;
+  if (!enabled()) return out;
+  std::lock_guard lock(mu_);
+  const std::uint64_t held = std::min<std::uint64_t>(next_seq_, capacity_);
+  out.reserve(held);
+  for (std::uint64_t i = next_seq_ - held; i < next_seq_; ++i) {
+    out.push_back(ring_[i % capacity_]);
+  }
+  return out;
+}
+
+std::uint64_t ScanTrace::total_recorded() const {
+  std::lock_guard lock(mu_);
+  return next_seq_;
+}
+
+std::uint64_t ScanTrace::dropped() const {
+  std::lock_guard lock(mu_);
+  return next_seq_ > capacity_ ? next_seq_ - capacity_ : 0;
+}
+
+json::Value ScanTrace::to_json() const {
+  const auto records = snapshot();
+  json::Object root;
+  root["capacity"] = json::Value(static_cast<std::uint64_t>(capacity_));
+  root["total"] = json::Value(total_recorded());
+  root["dropped"] = json::Value(dropped());
+  json::Array events;
+  for (const auto& r : records) {
+    json::Object e;
+    e["seq"] = json::Value(r.seq);
+    e["event"] = json::Value(trace_event_name(r.event));
+    e["flow"] = json::Value(r.flow);
+    e["offset"] = json::Value(r.offset);
+    e["value"] = json::Value(r.value);
+    e["shard"] = json::Value(static_cast<std::uint64_t>(r.shard));
+    e["chain"] = json::Value(static_cast<std::uint64_t>(r.chain));
+    events.emplace_back(std::move(e));
+  }
+  root["events"] = json::Value(std::move(events));
+  return json::Value(std::move(root));
+}
+
+void ScanTrace::clear() {
+  std::lock_guard lock(mu_);
+  next_seq_ = 0;
+}
+
+}  // namespace dpisvc::obs

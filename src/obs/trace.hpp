@@ -1,0 +1,77 @@
+// Structured scan tracing: a fixed-capacity ring of the most recent
+// data-plane events. Where the metrics registry answers "how much / how
+// slow", the trace answers "what exactly happened to this flow" — each
+// record carries the event kind, flow id, shard, chain, byte offset, and a
+// free-form value (bytes scanned, match count, queue-wait ns, ...), in the
+// order the packet moved through the pipeline:
+//
+//   kPacketIn → kShardDispatch → kDfaScan → kRegexEval → kVerdict
+//
+// Capacity 0 disables tracing entirely (the default for production
+// instances); `enabled()` is the hot-path guard so a disabled trace costs
+// one branch. When the ring wraps, the oldest records are dropped and
+// counted — snapshot() reports both totals so a consumer can tell how much
+// history it is missing.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "json/json.hpp"
+
+namespace dpisvc::obs {
+
+enum class TraceEvent : std::uint8_t {
+  kPacketIn = 0,
+  kShardDispatch = 1,
+  kDfaScan = 2,
+  kRegexEval = 3,
+  kVerdict = 4,
+};
+
+const char* trace_event_name(TraceEvent event) noexcept;
+
+struct TraceRecord {
+  std::uint64_t seq = 0;     ///< Monotonic sequence number (1-based).
+  std::uint64_t flow = 0;    ///< Canonical five-tuple hash (0 = n/a).
+  std::uint64_t offset = 0;  ///< Flow byte offset at the event.
+  std::uint64_t value = 0;   ///< Event-specific payload (bytes, matches, ns).
+  std::uint32_t shard = 0;
+  std::uint32_t chain = 0;
+  TraceEvent event = TraceEvent::kPacketIn;
+};
+
+class ScanTrace {
+ public:
+  /// capacity == 0 disables the trace (record() is a no-op).
+  explicit ScanTrace(std::size_t capacity = 0);
+
+  bool enabled() const noexcept { return capacity_ != 0; }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  void record(TraceEvent event, std::uint64_t flow, std::uint64_t offset,
+              std::uint64_t value, std::uint32_t shard,
+              std::uint32_t chain) noexcept;
+
+  /// Records oldest → newest. Total/dropped counts via the out-params of
+  /// to_json() or the accessors below.
+  std::vector<TraceRecord> snapshot() const;
+
+  std::uint64_t total_recorded() const;
+  std::uint64_t dropped() const;
+
+  /// {"capacity":C,"total":N,"dropped":D,"events":[{...}...]}.
+  json::Value to_json() const;
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<TraceRecord> ring_;  // ring_[next_seq % capacity]
+  std::uint64_t next_seq_ = 0;     // == total recorded
+};
+
+}  // namespace dpisvc::obs

@@ -40,6 +40,11 @@ bool Matcher::add_thread(ThreadList& list, std::uint32_t pc, std::size_t pos,
 }
 
 std::optional<std::size_t> Matcher::search_end(BytesView input) const {
+  return search_end(input, 0);
+}
+
+std::optional<std::size_t> Matcher::search_end(BytesView input,
+                                               std::size_t min_end) const {
   ThreadList current;
   ThreadList next;
   current.mark.assign(program_.size(), 0);
@@ -47,8 +52,10 @@ std::optional<std::size_t> Matcher::search_end(BytesView input) const {
 
   current.begin_step();
   // Unanchored search: seed a thread at program start for position 0 and for
-  // every later position (below).
-  if (add_thread(current, 0, 0, input.size())) return 0;
+  // every later position (below). Completions at or before min_end are
+  // suppressed, not returned; the per-position seeds keep later matches
+  // reachable.
+  if (add_thread(current, 0, 0, input.size()) && min_end == 0) return 0;
 
   for (std::size_t pos = 0; pos < input.size(); ++pos) {
     const std::uint8_t byte = input[pos];
@@ -62,7 +69,7 @@ std::optional<std::size_t> Matcher::search_end(BytesView input) const {
     }
     // New thread starting at pos + 1 (unanchored).
     matched |= add_thread(next, 0, pos + 1, input.size());
-    if (matched) return pos + 1;
+    if (matched && pos + 1 > min_end) return pos + 1;
     std::swap(current, next);
   }
   return std::nullopt;

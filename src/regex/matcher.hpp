@@ -33,6 +33,15 @@ class Matcher {
   /// std::nullopt when there is no match.
   std::optional<std::size_t> search_end(BytesView input) const;
 
+  /// Earliest match end strictly greater than `min_end`. The DPI engine's
+  /// cross-packet evaluation scans a retained flow tail + the current packet
+  /// and must ignore matches that complete inside the already-reported tail
+  /// (a stale earliest match would otherwise shadow a fresh one); the VM
+  /// keeps stepping past suppressed completions, so later matches are still
+  /// found. search_end(input) == search_end(input, 0).
+  std::optional<std::size_t> search_end(BytesView input,
+                                        std::size_t min_end) const;
+
   const Program& program() const noexcept { return program_; }
 
  private:

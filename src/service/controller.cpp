@@ -17,6 +17,27 @@ DpiController::DpiController(StressConfig stress_config,
 json::Value DpiController::handle_message(const json::Value& request) {
   try {
     const std::string type = message_type(request);
+    // Telemetry messages are pure observability traffic: they never touch
+    // the PatternDb, so they answer directly without an engine re-sync.
+    if (type == "telemetry_report") {
+      const TelemetryReport report = decode_telemetry_report(request);
+      telemetry_reports_[report.instance] = report;
+      InstanceTelemetry t;
+      t.packets = report.packets;
+      t.bytes = report.bytes;
+      t.raw_hits = report.raw_hits;
+      t.match_packets = report.match_packets;
+      t.flow_evictions = report.flow_evictions;
+      t.busy_seconds = report.busy_seconds;
+      monitor_.report(report.instance, t);
+      // A pushed report is proof of life for the failure detector.
+      heartbeat(report.instance);
+      return ok_response();
+    }
+    if (type == "telemetry_query") {
+      const TelemetryQuery query = decode_telemetry_query(request);
+      return telemetry_json(query.instance);
+    }
     if (type == "register") {
       const RegisterRequest req = decode_register(request);
       db_.register_middlebox(req.profile);
@@ -307,6 +328,26 @@ std::optional<std::string> DpiController::instance_for_chain(
   auto it = assignments_.find(chain);
   if (it == assignments_.end()) return std::nullopt;
   return it->second;
+}
+
+json::Value DpiController::telemetry_json(const std::string& filter) const {
+  json::Object instances;
+  // Reports pushed over the JSON channel (possibly from instances this
+  // controller does not host) ...
+  for (const auto& [name, report] : telemetry_reports_) {
+    if (!filter.empty() && name != filter) continue;
+    instances[name] = encode(report);
+  }
+  // ... overlaid by fresh state for in-process instances, which is always
+  // current.
+  for (const auto& [name, inst] : instances_) {
+    if (!filter.empty() && name != filter) continue;
+    instances[name] = encode(make_telemetry_report(*inst));
+  }
+  json::Object root;
+  root["ok"] = json::Value(true);
+  root["instances"] = json::Value(std::move(instances));
+  return json::Value(std::move(root));
 }
 
 // --- MCA² ------------------------------------------------------------------------------

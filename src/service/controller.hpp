@@ -164,6 +164,18 @@ class DpiController {
   /// consecutive windows is declared failed.
   void collect_telemetry();
 
+  /// Aggregated telemetry as the TELEMETRY_QUERY response body:
+  /// {"ok":true,"instances":{name:{...telemetry_report...}}}. Pushed
+  /// reports (telemetry_report messages) are overlaid by fresh state from
+  /// in-process instances. `instance` filters to one name; empty = all.
+  json::Value telemetry_json(const std::string& instance = "") const;
+
+  /// Raw pushed reports, keyed by instance name (tests / introspection).
+  const std::map<std::string, TelemetryReport>& telemetry_reports()
+      const noexcept {
+    return telemetry_reports_;
+  }
+
   StressMonitor& stress_monitor() noexcept { return monitor_; }
 
   /// Builds a plan diverting heavy chains on stressed instances to the
@@ -254,6 +266,9 @@ class DpiController {
 
   std::map<std::string, std::shared_ptr<DpiInstance>> instances_;
   std::map<dpi::ChainId, std::string> assignments_;
+  /// Latest telemetry_report per instance name, as pushed over the JSON
+  /// channel.
+  std::map<std::string, TelemetryReport> telemetry_reports_;
 
   StressMonitor monitor_;
 

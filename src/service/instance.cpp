@@ -13,13 +13,36 @@ namespace dpisvc::service {
 DpiInstance::DpiInstance(std::string name, InstanceConfig config)
     : name_(std::move(name)),
       config_(config),
-      pool_(std::max<std::size_t>(config.num_workers, 1)) {
+      trace_(config.trace_capacity),
+      pool_(std::max<std::size_t>(config.num_workers, 1),
+            config.metrics
+                ? &metrics_.histogram("pool.queue_wait_ns",
+                                      obs::Histogram::latency_bounds_ns())
+                : nullptr) {
   const std::size_t num_shards = std::max<std::size_t>(config.num_workers, 1);
   const std::size_t per_shard =
       std::max<std::size_t>(config.max_flows / num_shards, 1);
   shards_.reserve(num_shards);
   for (std::size_t i = 0; i < num_shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>(per_shard));
+    auto shard = std::make_unique<Shard>(per_shard);
+    shard->index = static_cast<std::uint32_t>(i);
+    if (config.metrics) {
+      // Resolve instruments once; the scan path records through these
+      // pointers without ever touching the registry mutex.
+      const std::string p = "shard" + std::to_string(i) + ".";
+      ShardInstruments& o = shard->obs;
+      o.scan_ns =
+          &metrics_.histogram(p + "scan_ns", obs::Histogram::latency_bounds_ns());
+      o.packets = &metrics_.counter(p + "packets");
+      o.bytes = &metrics_.counter(p + "bytes");
+      o.raw_hits = &metrics_.counter(p + "raw_hits");
+      o.anchor_hits = &metrics_.counter(p + "anchor_hits");
+      o.regex_evals = &metrics_.counter(p + "regex_evals");
+      o.regex_matches = &metrics_.counter(p + "regex_matches");
+      o.flow_evictions = &metrics_.counter(p + "flow_evictions");
+      o.flow_occupancy = &metrics_.gauge(p + "flow_occupancy");
+    }
+    shards_.push_back(std::move(shard));
   }
 }
 
@@ -103,12 +126,60 @@ std::map<dpi::ChainId, ChainTelemetry> DpiInstance::chain_telemetry() const {
   return total;
 }
 
-void DpiInstance::reset_telemetry() {
+InstanceTelemetry DpiInstance::reset_telemetry() {
+  // Snapshot-and-reset shard by shard, each under its own mutex: a packet
+  // being scanned concurrently lands either in the returned snapshot or in
+  // the counters after the reset — never in both, never in neither. The
+  // previous wipe-only variant silently discarded the residual counts, so a
+  // windowed consumer racing the scanners could not account for them.
+  InstanceTelemetry total;
   for (auto& shard : shards_) {
     const std::lock_guard<std::mutex> lock(shard->mu);
+    accumulate(total, shard->telemetry);
     shard->telemetry = InstanceTelemetry{};
     shard->chain_telemetry.clear();
   }
+  return total;
+}
+
+json::Value DpiInstance::stats_json() const {
+  json::Object root;
+  root["instance"] = json::Value(name_);
+  root["engine_version"] = json::Value(engine_version());
+  root["num_shards"] = json::Value(static_cast<std::uint64_t>(shards_.size()));
+  root["active_flows"] = json::Value(static_cast<std::uint64_t>(active_flows()));
+
+  const InstanceTelemetry t = telemetry();
+  json::Object counters;
+  counters["packets"] = json::Value(t.packets);
+  counters["bytes"] = json::Value(t.bytes);
+  counters["raw_hits"] = json::Value(t.raw_hits);
+  counters["match_packets"] = json::Value(t.match_packets);
+  counters["result_bytes"] = json::Value(t.result_bytes);
+  counters["pass_through"] = json::Value(t.pass_through);
+  counters["decompressed_packets"] = json::Value(t.decompressed_packets);
+  counters["decompressed_bytes"] = json::Value(t.decompressed_bytes);
+  counters["reassembly_held"] = json::Value(t.reassembly_held);
+  counters["flow_evictions"] = json::Value(t.flow_evictions);
+  counters["busy_seconds"] = json::Value(t.busy_seconds);
+  counters["hits_per_byte"] = json::Value(t.hits_per_byte());
+  root["telemetry"] = json::Value(std::move(counters));
+
+  json::Object chains;
+  for (const auto& [chain, ct] : chain_telemetry()) {
+    json::Object c;
+    c["packets"] = json::Value(ct.packets);
+    c["bytes"] = json::Value(ct.bytes);
+    c["raw_hits"] = json::Value(ct.raw_hits);
+    chains[std::to_string(chain)] = json::Value(std::move(c));
+  }
+  root["chains"] = json::Value(std::move(chains));
+
+  root["metrics"] = metrics_.snapshot();
+  if (trace_.enabled()) {
+    root["trace"] = trace_.to_json();
+  }
+  return json::Value(std::move(root));
 }
 
 std::size_t DpiInstance::active_flows() const {
@@ -134,6 +205,10 @@ dpi::ScanResult DpiInstance::scan(dpi::ChainId chain,
                                   const net::FiveTuple& flow,
                                   BytesView payload) {
   Shard& shard = shard_of(flow);
+  if (trace_.enabled()) {
+    trace_.record(obs::TraceEvent::kShardDispatch, flow.canonical().hash(), 0,
+                  payload.size(), shard.index, chain);
+  }
   const std::lock_guard<std::mutex> lock(shard.mu);
   return scan_on_shard(shard, chain, flow, payload);
 }
@@ -155,6 +230,11 @@ std::vector<dpi::ScanResult> DpiInstance::scan_batch(
       Shard& shard = *shards_[s];
       const std::lock_guard<std::mutex> lock(shard.mu);
       for (const std::size_t i : buckets[s]) {
+        if (trace_.enabled()) {
+          trace_.record(obs::TraceEvent::kShardDispatch,
+                        items[i].flow.canonical().hash(), 0,
+                        items[i].payload.size(), shard.index, items[i].chain);
+        }
         // Distinct indices per bucket: writes to `out` never alias.
         out[i] = scan_on_shard(shard, items[i].chain, items[i].flow,
                                items[i].payload);
@@ -188,12 +268,18 @@ dpi::ScanResult DpiInstance::scan_on_shard(Shard& shard, dpi::ChainId chain,
       // root, so a pattern straddling this point is missed. Count it so the
       // capacity shortfall is observable (§4.3.1 telemetry).
       ++shard.telemetry.flow_evictions;
+      if (shard.obs.flow_evictions != nullptr) {
+        shard.obs.flow_evictions->add(1);
+      }
       log(LogLevel::kDebug, name_,
           "flow table full: evicted live stateful cursor (evictions=",
           shard.telemetry.flow_evictions, ")");
     }
   }
-  shard.telemetry.busy_seconds += watch.elapsed_seconds();
+  // One clock read serves both the busy-seconds counter and the latency
+  // histogram — the obs layer adds no clock overhead to the scan path.
+  const std::uint64_t scan_ns = watch.elapsed_ns();
+  shard.telemetry.busy_seconds += static_cast<double>(scan_ns) * 1e-9;
   ++shard.telemetry.packets;
   shard.telemetry.bytes += payload.size();
   shard.telemetry.raw_hits += result.raw_hits;
@@ -203,6 +289,34 @@ dpi::ScanResult DpiInstance::scan_on_shard(Shard& shard, dpi::ChainId chain,
   per_chain.raw_hits += result.raw_hits;
   if (result.has_matches()) {
     ++shard.telemetry.match_packets;
+  }
+  const ShardInstruments& ins = shard.obs;
+  if (ins.packets != nullptr) {
+    ins.scan_ns->record(scan_ns);
+    ins.packets->add(1);
+    ins.bytes->add(payload.size());
+    ins.raw_hits->add(result.raw_hits);
+    ins.anchor_hits->add(result.anchor_hits_seen);
+    ins.regex_evals->add(result.regexes_evaluated);
+    ins.regex_matches->add(result.regex_matches);
+    if (stateful) {
+      ins.flow_occupancy->set(static_cast<std::int64_t>(shard.flows.size()));
+    }
+  }
+  if (trace_.enabled()) {
+    const std::uint64_t fh = flow.canonical().hash();
+    const std::uint64_t flow_offset =
+        result.cursor.valid ? result.cursor.offset : result.bytes_scanned;
+    trace_.record(obs::TraceEvent::kDfaScan, fh, flow_offset,
+                  result.bytes_scanned, shard.index, chain);
+    if (result.regexes_evaluated > 0) {
+      trace_.record(obs::TraceEvent::kRegexEval, fh, flow_offset,
+                    result.regexes_evaluated, shard.index, chain);
+    }
+    std::uint64_t entries = 0;
+    for (const auto& m : result.matches) entries += m.entries.size();
+    trace_.record(obs::TraceEvent::kVerdict, fh, flow_offset, entries,
+                  shard.index, chain);
   }
   return result;
 }
@@ -248,6 +362,11 @@ ProcessOutput DpiInstance::process(net::Packet packet) {
   const std::lock_guard<std::mutex> lock(shard.mu);
   ProcessOutput out;
   const auto tag = packet.find_tag(net::TagKind::kPolicyChain);
+  if (trace_.enabled()) {
+    trace_.record(obs::TraceEvent::kPacketIn, packet.tuple.canonical().hash(),
+                  0, packet.payload.size(), shard.index,
+                  tag ? static_cast<std::uint32_t>(*tag) : 0u);
+  }
   if (!tag || shard.engine == nullptr ||
       !shard.engine->chain_known(static_cast<dpi::ChainId>(*tag))) {
     // Not ours to inspect: forward unchanged.

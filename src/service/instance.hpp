@@ -43,9 +43,12 @@
 #include "common/timer.hpp"
 #include "dpi/engine.hpp"
 #include "dpi/flow_table.hpp"
+#include "json/json.hpp"
 #include "net/packet.hpp"
 #include "net/reassembly.hpp"
 #include "net/result.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/scan_pool.hpp"
 
 namespace dpisvc::service {
@@ -96,6 +99,14 @@ struct InstanceConfig {
   /// threads: scans run inline on the caller, preserving the pre-sharding
   /// single-threaded behavior exactly.
   std::size_t num_workers = 1;
+  /// Record per-shard obs metrics (scan-latency histogram, packet/byte/hit
+  /// counters, flow-occupancy gauge, pool queue-wait histogram). The writes
+  /// are relaxed atomics on the scan path; disable to shave the last few
+  /// nanoseconds per packet (bench_obs quantifies the difference).
+  bool metrics = true;
+  /// ScanTrace ring capacity (structured per-packet event records for
+  /// debugging); 0 — the default — disables tracing entirely.
+  std::size_t trace_capacity = 0;
 };
 
 /// Counters exported to the DPI controller as stress telemetry (§4.3.1).
@@ -201,7 +212,25 @@ class DpiInstance {
   /// scanners are running.
   InstanceTelemetry telemetry() const;
   std::map<dpi::ChainId, ChainTelemetry> chain_telemetry() const;
-  void reset_telemetry();
+
+  /// Snapshot-and-reset: atomically (per shard, under the shard mutex)
+  /// captures and zeroes each shard's counters and returns their sum, so a
+  /// windowed consumer never loses counts to a concurrent scan — every
+  /// packet lands either in the returned snapshot or in the next window.
+  /// The obs registry is monotonic and is NOT reset (rates are derived by
+  /// differencing snapshots).
+  InstanceTelemetry reset_telemetry();
+
+  /// Obs layer: per-shard instruments (shard<i>.* counters, scan-latency
+  /// and pool queue-wait histograms) and the optional scan trace ring.
+  const obs::MetricsRegistry& metrics() const noexcept { return metrics_; }
+  const obs::ScanTrace& trace() const noexcept { return trace_; }
+
+  /// Full machine-readable state: instance identity, engine version,
+  /// aggregated telemetry counters, metrics snapshot, and — when tracing is
+  /// enabled — the trace ring. This is the payload TELEMETRY_REPORT carries
+  /// to the controller and dpisvc_stats renders.
+  json::Value stats_json() const;
 
   std::size_t active_flows() const;
 
@@ -233,6 +262,21 @@ class DpiInstance {
       const std::vector<std::pair<net::FiveTuple, dpi::FlowCursor>>& flows);
 
  private:
+  /// Per-shard obs instruments, resolved once at construction so the scan
+  /// path records through stable pointers without touching the registry.
+  /// All-null when InstanceConfig::metrics is false.
+  struct ShardInstruments {
+    obs::Histogram* scan_ns = nullptr;
+    obs::Counter* packets = nullptr;
+    obs::Counter* bytes = nullptr;
+    obs::Counter* raw_hits = nullptr;
+    obs::Counter* anchor_hits = nullptr;
+    obs::Counter* regex_evals = nullptr;
+    obs::Counter* regex_matches = nullptr;
+    obs::Counter* flow_evictions = nullptr;
+    obs::Gauge* flow_occupancy = nullptr;
+  };
+
   /// Everything a data-plane worker touches, under one mutex. Flows are
   /// owned by exactly one shard (canonical-hash placement), so shard
   /// mutexes never nest.
@@ -243,6 +287,8 @@ class DpiInstance {
     net::FlowReassembler reassembler;
     InstanceTelemetry telemetry;
     std::map<dpi::ChainId, ChainTelemetry> chain_telemetry;
+    ShardInstruments obs;
+    std::uint32_t index = 0;
 
     explicit Shard(std::size_t max_flows) : flows(max_flows) {}
   };
@@ -264,6 +310,10 @@ class DpiInstance {
 
   std::string name_;
   InstanceConfig config_;
+  /// Declared before shards_/pool_: shard instruments and the pool's
+  /// queue-wait histogram point into the registry.
+  obs::MetricsRegistry metrics_;
+  obs::ScanTrace trace_;
   /// Control-plane lock: engine pushes and the canonical engine/version
   /// snapshot. Acquired before any shard mutex, never after one.
   mutable std::mutex control_mu_;

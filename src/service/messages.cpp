@@ -3,6 +3,8 @@
 #include <stdexcept>
 
 #include "common/bytes.hpp"
+#include "obs/metrics.hpp"
+#include "service/instance.hpp"
 
 namespace dpisvc::service {
 
@@ -98,6 +100,41 @@ json::Value encode(const UnregisterRequest& request) {
   }));
 }
 
+json::Value encode(const TelemetryReport& report) {
+  json::Object counters = json::obj({
+      {"packets", report.packets},
+      {"bytes", report.bytes},
+      {"raw_hits", report.raw_hits},
+      {"match_packets", report.match_packets},
+      {"flow_evictions", report.flow_evictions},
+      {"active_flows", report.active_flows},
+      {"busy_seconds", report.busy_seconds},
+  });
+  json::Object msg = json::obj({
+      {"type", "telemetry_report"},
+      {"instance", report.instance},
+      {"engine_version", report.engine_version},
+      {"counters", json::Value(std::move(counters))},
+      {"latency_ns", json::Value(json::obj({
+                         {"p50", report.scan_p50_ns},
+                         {"p90", report.scan_p90_ns},
+                         {"p99", report.scan_p99_ns},
+                     }))},
+  });
+  if (!report.metrics.is_null()) {
+    msg["metrics"] = report.metrics;
+  }
+  return json::Value(std::move(msg));
+}
+
+json::Value encode(const TelemetryQuery& query) {
+  json::Object msg = json::obj({{"type", "telemetry_query"}});
+  if (!query.instance.empty()) {
+    msg["instance"] = json::Value(query.instance);
+  }
+  return json::Value(std::move(msg));
+}
+
 json::Value ok_response() {
   return json::Value(json::obj({{"ok", true}}));
 }
@@ -179,6 +216,132 @@ UnregisterRequest decode_unregister(const json::Value& message) {
   UnregisterRequest out;
   out.middlebox = parse_middlebox_id(message.at("middlebox_id"));
   return out;
+}
+
+namespace {
+
+std::uint64_t parse_count(const json::Value& field, const char* what) {
+  if (!field.is_number()) {
+    throw std::invalid_argument(std::string(what) + " must be a number");
+  }
+  const double v = field.as_number();
+  if (v < 0) {
+    throw std::invalid_argument(std::string(what) + " must be non-negative");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+double parse_nonneg(const json::Value& field, const char* what) {
+  if (!field.is_number()) {
+    throw std::invalid_argument(std::string(what) + " must be a number");
+  }
+  const double v = field.as_number();
+  if (v < 0) {
+    throw std::invalid_argument(std::string(what) + " must be non-negative");
+  }
+  return v;
+}
+
+}  // namespace
+
+TelemetryReport decode_telemetry_report(const json::Value& message) {
+  if (message_type(message) != "telemetry_report") {
+    throw std::invalid_argument("not a telemetry_report message");
+  }
+  TelemetryReport out;
+  out.instance = message.at("instance").as_string();
+  if (out.instance.empty()) {
+    throw std::invalid_argument("telemetry_report: empty instance name");
+  }
+  out.engine_version =
+      parse_count(message.get_or("engine_version", json::Value(0)),
+                  "engine_version");
+  const json::Value counters = message.at("counters");
+  if (!counters.is_object()) {
+    throw std::invalid_argument("telemetry_report: counters must be an object");
+  }
+  const json::Value zero(0);
+  out.packets = parse_count(counters.get_or("packets", zero), "packets");
+  out.bytes = parse_count(counters.get_or("bytes", zero), "bytes");
+  out.raw_hits = parse_count(counters.get_or("raw_hits", zero), "raw_hits");
+  out.match_packets =
+      parse_count(counters.get_or("match_packets", zero), "match_packets");
+  out.flow_evictions =
+      parse_count(counters.get_or("flow_evictions", zero), "flow_evictions");
+  out.active_flows =
+      parse_count(counters.get_or("active_flows", zero), "active_flows");
+  out.busy_seconds =
+      parse_nonneg(counters.get_or("busy_seconds", zero), "busy_seconds");
+  if (out.match_packets > out.packets) {
+    throw std::invalid_argument(
+        "telemetry_report: match_packets exceeds packets");
+  }
+  const json::Value latency = message.get_or("latency_ns", json::Value(nullptr));
+  if (!latency.is_null()) {
+    if (!latency.is_object()) {
+      throw std::invalid_argument(
+          "telemetry_report: latency_ns must be an object");
+    }
+    out.scan_p50_ns = parse_nonneg(latency.get_or("p50", zero), "p50");
+    out.scan_p90_ns = parse_nonneg(latency.get_or("p90", zero), "p90");
+    out.scan_p99_ns = parse_nonneg(latency.get_or("p99", zero), "p99");
+  }
+  const json::Value metrics = message.get_or("metrics", json::Value(nullptr));
+  if (!metrics.is_null()) {
+    if (!metrics.is_object()) {
+      throw std::invalid_argument(
+          "telemetry_report: metrics must be an object");
+    }
+    out.metrics = metrics;
+  }
+  return out;
+}
+
+TelemetryQuery decode_telemetry_query(const json::Value& message) {
+  if (message_type(message) != "telemetry_query") {
+    throw std::invalid_argument("not a telemetry_query message");
+  }
+  TelemetryQuery out;
+  const json::Value instance =
+      message.get_or("instance", json::Value(nullptr));
+  if (!instance.is_null()) {
+    out.instance = instance.as_string();
+  }
+  return out;
+}
+
+TelemetryReport make_telemetry_report(const DpiInstance& instance) {
+  TelemetryReport report;
+  report.instance = instance.instance_name();
+  report.engine_version = instance.engine_version();
+  const InstanceTelemetry t = instance.telemetry();
+  report.packets = t.packets;
+  report.bytes = t.bytes;
+  report.raw_hits = t.raw_hits;
+  report.match_packets = t.match_packets;
+  report.flow_evictions = t.flow_evictions;
+  report.active_flows = instance.active_flows();
+  report.busy_seconds = t.busy_seconds;
+  // Instance-wide scan latency: merge the per-shard histograms (identical
+  // bucket ladders) before extracting percentiles — percentiles do not
+  // average across shards.
+  obs::Histogram merged(obs::Histogram::latency_bounds_ns());
+  bool any = false;
+  for (std::size_t i = 0; i < instance.num_shards(); ++i) {
+    const obs::Histogram* h = instance.metrics().find_histogram(
+        "shard" + std::to_string(i) + ".scan_ns");
+    if (h != nullptr) {
+      merged.merge_from(*h);
+      any = true;
+    }
+  }
+  if (any) {
+    report.scan_p50_ns = merged.percentile(0.50);
+    report.scan_p90_ns = merged.percentile(0.90);
+    report.scan_p99_ns = merged.percentile(0.99);
+  }
+  report.metrics = instance.metrics().snapshot();
+  return report;
 }
 
 bool response_ok(const json::Value& response) {

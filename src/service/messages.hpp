@@ -16,6 +16,19 @@
 //
 // Exact pattern bytes travel hex-encoded so arbitrary binary signatures
 // survive JSON transport.
+//
+// Telemetry (§4.3.1): instances push their stress signal to the controller
+// and operators pull the aggregate back out over the same JSON channel:
+//
+//   request: {"type":"telemetry_report","instance":"dpi-0",
+//             "engine_version":3,
+//             "counters":{"packets":N,"bytes":N,"raw_hits":N,
+//                         "match_packets":N,"flow_evictions":N,
+//                         "active_flows":N,"busy_seconds":S},
+//             "latency_ns":{"p50":..,"p90":..,"p99":..},   // optional
+//             "metrics":{...}}                              // optional, free-form
+//   request: {"type":"telemetry_query","instance":"dpi-0"}  // or no instance: all
+//   response: {"ok":true,"instances":{"dpi-0":{...report body...}}}
 #pragma once
 
 #include <cstdint>
@@ -61,12 +74,48 @@ struct UnregisterRequest {
   dpi::MiddleboxId middlebox = 0;
 };
 
+/// One instance's stress telemetry pushed to the controller (§4.3.1). The
+/// counters mirror InstanceTelemetry's MCA²-relevant subset; the latency
+/// percentiles come from the instance's scan-ns histogram; `metrics` is the
+/// free-form obs registry snapshot (a JSON object) and may be null.
+struct TelemetryReport {
+  std::string instance;  ///< reporting instance name; must be non-empty
+  std::uint64_t engine_version = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t raw_hits = 0;
+  std::uint64_t match_packets = 0;
+  std::uint64_t flow_evictions = 0;
+  std::uint64_t active_flows = 0;
+  double busy_seconds = 0;
+  /// Scan latency percentiles in nanoseconds; all zero when the instance
+  /// runs with metrics disabled.
+  double scan_p50_ns = 0;
+  double scan_p90_ns = 0;
+  double scan_p99_ns = 0;
+  json::Value metrics;  ///< obs registry snapshot or null
+
+  double hits_per_byte() const noexcept {
+    return bytes == 0 ? 0.0
+                      : static_cast<double>(raw_hits) /
+                            static_cast<double>(bytes);
+  }
+};
+
+/// Pulls aggregated reports back out of the controller. Empty instance name
+/// = all instances.
+struct TelemetryQuery {
+  std::string instance;
+};
+
 // --- encoding ---------------------------------------------------------------
 
 json::Value encode(const RegisterRequest& request);
 json::Value encode(const AddPatternsRequest& request);
 json::Value encode(const RemovePatternsRequest& request);
 json::Value encode(const UnregisterRequest& request);
+json::Value encode(const TelemetryReport& report);
+json::Value encode(const TelemetryQuery& query);
 
 json::Value ok_response();
 json::Value error_response(const std::string& message);
@@ -81,7 +130,16 @@ RegisterRequest decode_register(const json::Value& message);
 AddPatternsRequest decode_add_patterns(const json::Value& message);
 RemovePatternsRequest decode_remove_patterns(const json::Value& message);
 UnregisterRequest decode_unregister(const json::Value& message);
+TelemetryReport decode_telemetry_report(const json::Value& message);
+TelemetryQuery decode_telemetry_query(const json::Value& message);
 
 bool response_ok(const json::Value& response);
+
+class DpiInstance;
+
+/// Builds a report from an instance's live state: aggregated telemetry,
+/// active-flow count, scan-latency percentiles summed across shards via the
+/// obs registry, and the full metrics snapshot.
+TelemetryReport make_telemetry_report(const DpiInstance& instance);
 
 }  // namespace dpisvc::service

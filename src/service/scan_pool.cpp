@@ -1,8 +1,11 @@
 #include "service/scan_pool.hpp"
 
+#include "common/timer.hpp"
+
 namespace dpisvc::service {
 
-ScanPool::ScanPool(std::size_t num_workers) {
+ScanPool::ScanPool(std::size_t num_workers, obs::Histogram* queue_wait_ns)
+    : queue_wait_ns_(queue_wait_ns) {
   if (num_workers <= 1) return;  // inline mode: no threads
   workers_.reserve(num_workers);
   for (std::size_t i = 0; i < num_workers; ++i) {
@@ -67,7 +70,10 @@ void ScanPool::dispatch(std::vector<std::function<void()>> jobs) {
     Worker& worker = *workers_[i % workers_.size()];
     {
       const std::lock_guard<std::mutex> lock(worker.mu);
-      worker.queue.push_back([job = std::move(jobs[i]), done] {
+      worker.queue.push_back([job = std::move(jobs[i]), done,
+                              wait_hist = queue_wait_ns_,
+                              enqueued = Stopwatch()] {
+        if (wait_hist != nullptr) wait_hist->record(enqueued.elapsed_ns());
         job();
         {
           const std::lock_guard<std::mutex> lock(done->mu);

@@ -21,12 +21,20 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace dpisvc::service {
 
 class ScanPool {
  public:
-  /// Spawns `num_workers` threads (none when num_workers <= 1).
-  explicit ScanPool(std::size_t num_workers);
+  /// Spawns `num_workers` threads (none when num_workers <= 1). When
+  /// `queue_wait_ns` is non-null, the enqueue-to-start wait of every
+  /// threaded job is recorded into it (nanoseconds) — the §4.3.1 queueing
+  /// signal: a shard whose jobs sit in the queue is oversubscribed long
+  /// before its scan latency shows it. Inline mode records nothing (there
+  /// is no queue). The histogram must outlive the pool.
+  explicit ScanPool(std::size_t num_workers,
+                    obs::Histogram* queue_wait_ns = nullptr);
 
   ScanPool(const ScanPool&) = delete;
   ScanPool& operator=(const ScanPool&) = delete;
@@ -54,6 +62,7 @@ class ScanPool {
   static void worker_loop(Worker& worker);
 
   std::vector<std::unique_ptr<Worker>> workers_;
+  obs::Histogram* queue_wait_ns_ = nullptr;
 };
 
 }  // namespace dpisvc::service

@@ -610,5 +610,155 @@ TEST(Engine, CompileRejectsAnchorsBeyondCapacity) {
   EXPECT_NO_THROW(Engine::compile(spec));
 }
 
+
+// --- cross-packet regex matching (§5.2 + §5.3) -------------------------------
+//
+// A regex owned by a stateful middlebox must be reported even when its
+// anchors — and the match itself — arrive spread over several packets of
+// one flow. The FlowCursor persists both the anchor hit-set and a bounded
+// tail of recent payload (EngineConfig::stateful_regex_window) so the
+// evaluation can see across the packet boundary.
+
+EngineSpec split_regex_spec() {
+  EngineSpec spec;
+  spec.middleboxes = {MiddleboxProfile{1, "dlp", /*stateful=*/true, false,
+                                       kNoStopCondition}};
+  spec.regex_patterns = {RegexPatternSpec{R"(expression\d+regular)", 1, 7,
+                                          false}};
+  spec.chains[1] = {1};
+  return spec;
+}
+
+TEST(Engine, RegexSplitAcrossPacketsIsReported) {
+  auto engine = Engine::compile(split_regex_spec());
+  // Anchor "expression" completes in packet 1, anchor "regular" in packet 2;
+  // the match itself straddles the boundary.
+  const auto r1 = engine->scan_packet(1, view("expression123"));
+  EXPECT_FALSE(r1.has_matches());
+  const auto r2 = engine->scan_packet(1, view("45regular"), r1.cursor);
+  const auto found = flatten(r2);
+  ASSERT_EQ(found.size(), 1u);
+  // Flow-relative end: "expression12345regular" = 22 bytes.
+  EXPECT_TRUE(found.count({1, 7, 22}));
+}
+
+TEST(Engine, RegexSplitAcrossThreePackets) {
+  EngineSpec spec;
+  spec.middleboxes = {MiddleboxProfile{1, "dlp", true, false,
+                                       kNoStopCondition}};
+  spec.regex_patterns = {RegexPatternSpec{R"(card=[0-9]+#)", 1, 1, false}};
+  spec.chains[1] = {1};
+  auto engine = Engine::compile(spec);
+  const auto r1 = engine->scan_packet(1, view("xxcard="));
+  const auto r2 = engine->scan_packet(1, view("1234"), r1.cursor);
+  EXPECT_FALSE(r2.has_matches());
+  const auto r3 = engine->scan_packet(1, view("5678#yy"), r2.cursor);
+  const auto found = flatten(r3);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_TRUE(found.count({1, 1, 16}));  // "...5678#" ends at flow offset 16
+}
+
+TEST(Engine, SplitRegexMatchNotReportedTwice) {
+  auto engine = Engine::compile(split_regex_spec());
+  const auto r1 = engine->scan_packet(1, view("expression123"));
+  const auto r2 = engine->scan_packet(1, view("45regular"), r1.cursor);
+  EXPECT_TRUE(r2.has_matches());
+  // The completed match sits entirely inside the retained window now; a
+  // later packet must not resurrect it (matches must end in new bytes).
+  const auto r3 = engine->scan_packet(1, view("harmless"), r2.cursor);
+  EXPECT_FALSE(r3.has_matches());
+}
+
+TEST(Engine, FreshCursorForgetsSplitRegexState) {
+  auto engine = Engine::compile(split_regex_spec());
+  const auto r1 = engine->scan_packet(1, view("expression123"));
+  EXPECT_FALSE(r1.has_matches());
+  // Eviction/reset: scanning the second half with a fresh cursor (what a
+  // flow-table eviction produces) must not see packet 1's anchors or bytes.
+  const auto r2 = engine->scan_packet(1, view("45regular"));
+  EXPECT_FALSE(r2.has_matches());
+}
+
+TEST(Engine, ZeroWindowDisablesCrossPacketRegex) {
+  EngineConfig config;
+  config.stateful_regex_window = 0;
+  auto engine = Engine::compile(split_regex_spec(), config);
+  const auto r1 = engine->scan_packet(1, view("expression123"));
+  const auto r2 = engine->scan_packet(1, view("45regular"), r1.cursor);
+  // Without the payload tail the split match cannot be reconstructed --
+  // the pre-window behavior, still crash-free.
+  EXPECT_FALSE(r2.has_matches());
+  // Same-packet matches are unaffected.
+  const auto whole =
+      flatten(engine->scan_packet(1, view("expression12345regular")));
+  EXPECT_TRUE(whole.count({1, 7, 22}));
+}
+
+TEST(Engine, TinyWindowBoundsMemoryNotCorrectness) {
+  EngineConfig config;
+  config.stateful_regex_window = 4;  // too small to hold "expression123"
+  auto engine = Engine::compile(split_regex_spec(), config);
+  const auto r1 = engine->scan_packet(1, view("expression123"));
+  const auto r2 = engine->scan_packet(1, view("45regular"), r1.cursor);
+  // The bounded tail honestly cannot reconstruct this match; it must simply
+  // miss it (no false positive, no crash).
+  EXPECT_FALSE(r2.has_matches());
+  EXPECT_LE(r2.cursor.regex_window.size(), 4u);
+}
+
+TEST(Engine, SplitRegexEquivalentToWholeStream) {
+  // Chunked scans over a persistent cursor report the same (pattern, end)
+  // set as scanning the whole stream in one packet, for every split point.
+  auto engine = Engine::compile(split_regex_spec());
+  const std::string text = "zzexpression40regularzz";
+  const auto whole = flatten(engine->scan_packet(1, view(text)));
+  ASSERT_EQ(whole.size(), 1u);
+  for (std::size_t cut = 1; cut + 1 < text.size(); ++cut) {
+    const auto r1 = engine->scan_packet(1, view(text.substr(0, cut)));
+    const auto r2 = engine->scan_packet(1, view(text.substr(cut)), r1.cursor);
+    auto acc = flatten(r1);
+    for (const auto& m : flatten(r2)) acc.insert(m);
+    EXPECT_EQ(acc, whole) << "split at " << cut;
+  }
+}
+
+TEST(Engine, StatelessRegexDoesNotCarryAcrossPackets) {
+  EngineSpec spec;
+  spec.middleboxes = {MiddleboxProfile{1, "ids"}};  // stateless
+  spec.regex_patterns = {RegexPatternSpec{R"(expression\d+regular)", 1, 7,
+                                          false}};
+  spec.chains[1] = {1};
+  auto engine = Engine::compile(spec);
+  const auto r1 = engine->scan_packet(1, view("expression123"));
+  const auto r2 = engine->scan_packet(1, view("45regular"), r1.cursor);
+  // Stateless middleboxes scan per packet: no window, no cross-packet match.
+  EXPECT_FALSE(r2.has_matches());
+  EXPECT_TRUE(r2.cursor.regex_window.empty());
+}
+
+TEST(Engine, ScanResultCountsRegexWork) {
+  auto engine = Engine::compile(regex_spec());
+  const auto hit = engine->scan_packet(1, view("a regular expression 42"));
+  EXPECT_GT(hit.anchor_hits_seen, 0u);
+  EXPECT_EQ(hit.regexes_evaluated, 1u);
+  EXPECT_EQ(hit.regex_matches, 1u);
+  const auto miss = engine->scan_packet(1, view("nothing to see"));
+  EXPECT_EQ(miss.anchor_hits_seen, 0u);
+  EXPECT_EQ(miss.regexes_evaluated, 0u);
+  EXPECT_EQ(miss.regex_matches, 0u);
+}
+
+TEST(Engine, ExactOnlyEngineSkipsAnchorTracking) {
+  // With no regexes compiled in there are no anchor bits; the scan must not
+  // pay for (or report) any anchor bookkeeping.
+  auto engine = Engine::compile(two_middlebox_spec());
+  const auto r = engine->scan_packet(10, view("CDBCABE"));
+  EXPECT_TRUE(r.has_matches());
+  EXPECT_EQ(r.anchor_hits_seen, 0u);
+  EXPECT_EQ(r.regexes_evaluated, 0u);
+  EXPECT_EQ(r.regex_matches, 0u);
+  EXPECT_TRUE(r.cursor.anchor_hits.empty());
+}
+
 }  // namespace
 }  // namespace dpisvc::dpi

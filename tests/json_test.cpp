@@ -37,6 +37,38 @@ TEST(JsonParse, StringEscapes) {
             "\xF0\x9F\x98\x80");  // 😀 via surrogate pair
 }
 
+TEST(JsonParse, EscapedSurrogatePairRoundTrip) {
+  // \uXXXX surrogate pairs decode to the astral code point's UTF-8 bytes,
+  // and dump() re-emits those bytes raw, so parse(dump(parse(x))) is
+  // stable even though the \u spelling itself is not preserved.
+  const Value grin = parse(R"("\ud83d\ude00")");  // U+1F600
+  EXPECT_EQ(grin.as_string(), "\xF0\x9F\x98\x80");
+  EXPECT_EQ(parse(dump(grin)).as_string(), grin.as_string());
+
+  // BMP boundary: U+FFFF is the last escape that needs no pair.
+  const Value bmp_max = parse(R"("\uffff")");
+  EXPECT_EQ(bmp_max.as_string(), "\xEF\xBF\xBF");
+  EXPECT_EQ(parse(dump(bmp_max)).as_string(), bmp_max.as_string());
+
+  // Last valid code point, U+10FFFF, via the maximal pair.
+  const Value last = parse(R"("\udbff\udfff")");
+  EXPECT_EQ(last.as_string(), "\xF4\x8F\xBF\xBF");
+  EXPECT_EQ(parse(dump(last)).as_string(), last.as_string());
+
+  // Mixed: a pair embedded between ASCII and a BMP \u escape.
+  const Value mixed = parse(R"("a\ud83d\ude00z\u20ac")");
+  EXPECT_EQ(mixed.as_string(), "a\xF0\x9F\x98\x80z\xE2\x82\xAC");
+  EXPECT_EQ(parse(dump(mixed)).as_string(), mixed.as_string());
+}
+
+TEST(JsonParse, RejectsBrokenSurrogates) {
+  EXPECT_THROW(parse(R"("\ud800x")"), ParseError);        // high, no low
+  EXPECT_THROW(parse(R"("\ud800\ud800")"), ParseError);   // high + high
+  EXPECT_THROW(parse(R"("\udc00")"), ParseError);         // lone low
+  EXPECT_THROW(parse(R"("\udc00\ud800")"), ParseError);   // reversed pair
+  EXPECT_THROW(parse(R"("\ud83dA")"), ParseError);   // high + BMP
+}
+
 TEST(JsonParse, RejectsMalformed) {
   EXPECT_THROW(parse(""), ParseError);
   EXPECT_THROW(parse("{"), ParseError);

@@ -1,0 +1,247 @@
+// Unit tests for the observability instruments (obs/metrics.hpp) and the
+// scan trace ring (obs/trace.hpp): bucket-boundary semantics, percentile
+// extraction, cross-shard merging, registry snapshots, and ring wraparound.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "json/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace dpisvc::obs {
+namespace {
+
+TEST(CounterTest, AddAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, SetAddNegative) {
+  Gauge g;
+  g.set(10);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 7);
+  g.set(-5);
+  EXPECT_EQ(g.value(), -5);
+}
+
+TEST(HistogramTest, RejectsBadBounds) {
+  EXPECT_THROW(Histogram({}), std::invalid_argument);
+  EXPECT_THROW(Histogram({10, 10}), std::invalid_argument);
+  EXPECT_THROW(Histogram({10, 5}), std::invalid_argument);
+}
+
+// Bucket i holds bounds[i-1] < v <= bounds[i]: a value exactly on a bound
+// belongs to that bound's bucket, one past it to the next.
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpper) {
+  Histogram h({10, 20, 30});
+  ASSERT_EQ(h.num_buckets(), 4u);  // 3 finite + overflow
+  h.record(0);
+  h.record(10);   // on the first bound -> bucket 0
+  h.record(11);   // one past -> bucket 1
+  h.record(20);   // bucket 1
+  h.record(21);   // bucket 2
+  h.record(30);   // bucket 2
+  h.record(31);   // overflow
+  h.record(1000); // overflow
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 2u);
+  EXPECT_EQ(h.bucket_count(3), 2u);
+  EXPECT_EQ(h.count(), 8u);
+  EXPECT_EQ(h.sum(), 0u + 10 + 11 + 20 + 21 + 30 + 31 + 1000);
+}
+
+TEST(HistogramTest, EmptyPercentileIsZero) {
+  Histogram h({10});
+  EXPECT_EQ(h.percentile(0.5), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(HistogramTest, PercentileWalksRanks) {
+  Histogram h({10, 20, 30, 40});
+  // 100 samples uniform over bucket 1 (11..20).
+  for (int i = 0; i < 100; ++i) h.record(15);
+  // All mass is in bucket 1, so every quantile lands inside (10, 20].
+  EXPECT_GT(h.percentile(0.01), 10.0);
+  EXPECT_LE(h.percentile(0.99), 20.0);
+  EXPECT_LT(h.percentile(0.10), h.percentile(0.90));
+}
+
+TEST(HistogramTest, PercentileAcrossBuckets) {
+  Histogram h({10, 20, 30});
+  for (int i = 0; i < 50; ++i) h.record(5);   // bucket 0
+  for (int i = 0; i < 50; ++i) h.record(25);  // bucket 2
+  // p25 lies in bucket 0, p75 in bucket 2.
+  EXPECT_LE(h.percentile(0.25), 10.0);
+  EXPECT_GT(h.percentile(0.75), 20.0);
+  EXPECT_LE(h.percentile(0.75), 30.0);
+}
+
+// Overflow-bucket quantiles report the last finite bound: a floor, never a
+// made-up extrapolation.
+TEST(HistogramTest, OverflowPercentileReportsLastBound) {
+  Histogram h({10, 20});
+  for (int i = 0; i < 10; ++i) h.record(1'000'000);
+  EXPECT_EQ(h.percentile(0.5), 20.0);
+  EXPECT_EQ(h.percentile(0.99), 20.0);
+}
+
+TEST(HistogramTest, ExponentialBounds) {
+  const auto bounds = Histogram::exponential_bounds(1000, 2.0, 5);
+  const std::vector<std::uint64_t> expected = {1000, 2000, 4000, 8000, 16000};
+  EXPECT_EQ(bounds, expected);
+  EXPECT_THROW(Histogram::exponential_bounds(0, 2.0, 5),
+               std::invalid_argument);
+  EXPECT_THROW(Histogram::exponential_bounds(10, 1.0, 5),
+               std::invalid_argument);
+  EXPECT_THROW(Histogram::exponential_bounds(10, 2.0, 0),
+               std::invalid_argument);
+  // The default latency ladder is valid histogram input.
+  const Histogram ladder(Histogram::latency_bounds_ns());
+  EXPECT_GE(ladder.num_buckets(), 10u);
+}
+
+TEST(HistogramTest, MergeFromAddsCounts) {
+  Histogram a({10, 20});
+  Histogram b({10, 20});
+  a.record(5);
+  b.record(15);
+  b.record(25);
+  a.merge_from(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.sum(), 45u);
+  EXPECT_EQ(a.bucket_count(0), 1u);
+  EXPECT_EQ(a.bucket_count(1), 1u);
+  EXPECT_EQ(a.bucket_count(2), 1u);
+  Histogram c({10, 30});
+  EXPECT_THROW(a.merge_from(c), std::invalid_argument);
+}
+
+TEST(HistogramTest, JsonShape) {
+  Histogram h({10, 20});
+  h.record(5);
+  const json::Value v = h.to_json();
+  EXPECT_EQ(v.at("count").as_int(), 1);
+  EXPECT_EQ(v.at("sum").as_int(), 5);
+  EXPECT_EQ(v.at("bounds").as_array().size(), 2u);
+  EXPECT_EQ(v.at("counts").as_array().size(), 3u);
+  EXPECT_TRUE(v.at("p50").is_number());
+}
+
+TEST(RegistryTest, FindOrCreateReturnsStableInstruments) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("packets");
+  Counter& b = reg.counter("packets");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(reg.counter("packets").value(), 3u);
+  // First registration wins on histogram bounds.
+  Histogram& h1 = reg.histogram("lat", {10, 20});
+  Histogram& h2 = reg.histogram("lat", {99});
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bounds().size(), 2u);
+  EXPECT_EQ(reg.find_histogram("lat"), &h1);
+  EXPECT_EQ(reg.find_histogram("missing"), nullptr);
+}
+
+TEST(RegistryTest, SnapshotSortedAndResettable) {
+  MetricsRegistry reg;
+  reg.counter("zzz").add(1);
+  reg.counter("aaa").add(2);
+  reg.gauge("depth").set(7);
+  reg.histogram("lat", {10}).record(3);
+  const json::Value snap = reg.snapshot();
+  const json::Object& counters = snap.at("counters").as_object();
+  ASSERT_EQ(counters.size(), 2u);
+  // Emitted name-sorted regardless of registration order.
+  EXPECT_EQ(counters.begin()->first, "aaa");
+  EXPECT_EQ(snap.at("gauges").at("depth").as_int(), 7);
+  EXPECT_EQ(snap.at("histograms").at("lat").at("count").as_int(), 1);
+  reg.reset();
+  EXPECT_EQ(reg.counter("zzz").value(), 0u);
+  EXPECT_EQ(reg.gauge("depth").value(), 0);
+  EXPECT_EQ(reg.find_histogram("lat")->count(), 0u);
+}
+
+TEST(RegistryTest, ConcurrentWritesDontLoseCounts) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("hits");
+  Histogram& h = reg.histogram("lat", Histogram::latency_bounds_ns());
+  constexpr int kThreads = 4;
+  constexpr int kPer = 10'000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c, &h] {
+      for (int i = 0; i < kPer; ++i) {
+        c.add(1);
+        h.record(1500);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPer);
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPer);
+}
+
+TEST(TraceTest, DisabledTraceRecordsNothing) {
+  ScanTrace trace;  // capacity 0
+  EXPECT_FALSE(trace.enabled());
+  trace.record(TraceEvent::kPacketIn, 1, 0, 0, 0, 0);
+  EXPECT_EQ(trace.total_recorded(), 0u);
+  EXPECT_TRUE(trace.snapshot().empty());
+}
+
+TEST(TraceTest, RingWrapsAndCountsDrops) {
+  ScanTrace trace(4);
+  ASSERT_TRUE(trace.enabled());
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    trace.record(TraceEvent::kDfaScan, /*flow=*/i, /*offset=*/i * 100,
+                 /*value=*/i, /*shard=*/0, /*chain=*/1);
+  }
+  EXPECT_EQ(trace.total_recorded(), 10u);
+  EXPECT_EQ(trace.dropped(), 6u);
+  const auto events = trace.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest -> newest: the last four records survive, in order.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].flow, 6u + i);
+    EXPECT_EQ(events[i].seq, 7u + i);  // seq is 1-based record index
+  }
+}
+
+TEST(TraceTest, JsonAndClear) {
+  ScanTrace trace(8);
+  trace.record(TraceEvent::kPacketIn, 42, 0, 128, 2, 9);
+  trace.record(TraceEvent::kVerdict, 42, 128, 1, 2, 9);
+  const json::Value v = trace.to_json();
+  EXPECT_EQ(v.at("capacity").as_int(), 8);
+  EXPECT_EQ(v.at("total").as_int(), 2);
+  EXPECT_EQ(v.at("dropped").as_int(), 0);
+  const json::Array& events = v.at("events").as_array();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].at("event").as_string(), "packet_in");
+  EXPECT_EQ(events[1].at("event").as_string(), "verdict");
+  trace.clear();
+  EXPECT_EQ(trace.total_recorded(), 0u);
+  EXPECT_TRUE(trace.snapshot().empty());
+}
+
+TEST(TraceTest, EventNames) {
+  EXPECT_STREQ(trace_event_name(TraceEvent::kPacketIn), "packet_in");
+  EXPECT_STREQ(trace_event_name(TraceEvent::kShardDispatch), "shard_dispatch");
+  EXPECT_STREQ(trace_event_name(TraceEvent::kDfaScan), "dfa_scan");
+  EXPECT_STREQ(trace_event_name(TraceEvent::kRegexEval), "regex_eval");
+  EXPECT_STREQ(trace_event_name(TraceEvent::kVerdict), "verdict");
+}
+
+}  // namespace
+}  // namespace dpisvc::obs

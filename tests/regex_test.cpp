@@ -322,5 +322,71 @@ TEST(RegexProperty, AgreesWithReferenceOnRandomPatterns) {
   }
 }
 
+
+// --- search_end with a minimum end position ---------------------------------
+//
+// The windowed cross-packet evaluation (dpi/engine.cpp) scans
+// window+packet and must suppress completions that end inside the window:
+// those bytes were already evaluated last packet. search_end(input,
+// min_end) reports the earliest completion whose end is > min_end.
+
+namespace {
+BytesView bv(const std::string& s) {
+  return BytesView(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+}
+}  // namespace
+
+TEST(RegexMatch, SearchEndMinEndSuppressesEarlyCompletion) {
+  Matcher m(Program::compile("ab+"));
+  const std::string input = "zzabbb";
+  // "ab" completes at 4; with min_end=4 the next completion ("abb", end 5)
+  // is reported instead.
+  const auto end = m.search_end(bv(input), 4);
+  ASSERT_TRUE(end.has_value());
+  EXPECT_EQ(*end, 5u);
+}
+
+TEST(RegexMatch, SearchEndMinEndExhaustsMatches) {
+  Matcher m(Program::compile("ab"));
+  // The only completion ends at 4; demanding a later end finds nothing.
+  EXPECT_FALSE(m.search_end(bv("zzab"), 4).has_value());
+  EXPECT_FALSE(m.search_end(bv("zzab"), 7).has_value());
+}
+
+TEST(RegexMatch, SearchEndMinEndFindsLaterStart) {
+  Matcher m(Program::compile("a\\d"));
+  const std::string input = "a1xxa2";
+  EXPECT_EQ(m.search_end(bv(input), 0).value(), 2u);
+  // Suppressing the first occurrence surfaces the second, which starts
+  // after min_end entirely (the Pike VM seeds a thread at every position).
+  EXPECT_EQ(m.search_end(bv(input), 2).value(), 6u);
+}
+
+TEST(RegexMatch, SearchEndMinEndStraddlingMatch) {
+  // The interesting production case: the match STARTS inside the window
+  // (<= min_end) but ENDS in the new bytes — it must still be reported.
+  Matcher m(Program::compile("card=[0-9]+#"));
+  const std::string input = "card=1234#";
+  for (std::size_t min_end = 0; min_end < input.size(); ++min_end) {
+    EXPECT_EQ(m.search_end(bv(input), min_end).value(), input.size())
+        << "min_end=" << min_end;
+  }
+  EXPECT_FALSE(m.search_end(bv(input), input.size()).has_value());
+}
+
+TEST(RegexMatch, SearchEndZeroMinEndMatchesLegacyOverload) {
+  Matcher m(Program::compile("ab+"));
+  const std::string input = "zzabbb";
+  EXPECT_EQ(m.search_end(bv(input)), m.search_end(bv(input), 0));
+}
+
+TEST(RegexMatch, SearchEndMinEndEmptyMatchSemantics) {
+  // "a*" completes with the empty match at position 0; min_end=0 keeps it,
+  // any larger min_end requires consuming at least one 'a'.
+  Matcher m(Program::compile("a*"));
+  EXPECT_EQ(m.search_end(bv("aaz"), 0).value(), 0u);
+  EXPECT_EQ(m.search_end(bv("aaz"), 1).value(), 2u);
+}
+
 }  // namespace
 }  // namespace dpisvc::regex

@@ -147,7 +147,11 @@ TEST(Instance, TelemetryAccumulates) {
   EXPECT_GT(t.hits_per_byte(), 0.0);
   ASSERT_EQ(inst.chain_telemetry().count(5), 1u);
   EXPECT_EQ(inst.chain_telemetry().at(5).packets, 2u);
-  inst.reset_telemetry();
+  // Snapshot-and-reset: the returned snapshot carries the pre-reset counts.
+  const InstanceTelemetry snapshot = inst.reset_telemetry();
+  EXPECT_EQ(snapshot.packets, 2u);
+  EXPECT_EQ(snapshot.match_packets, 1u);
+  EXPECT_EQ(snapshot.bytes, t.bytes);
   EXPECT_EQ(inst.telemetry().packets, 0u);
   EXPECT_TRUE(inst.chain_telemetry().empty());
 }

@@ -115,5 +115,118 @@ TEST(Messages, RejectsMissingFields) {
       json::TypeError);
 }
 
+
+// --- telemetry messages (§4.3.1) ---------------------------------------------
+
+TelemetryReport sample_report() {
+  TelemetryReport report;
+  report.instance = "dpi-0";
+  report.engine_version = 3;
+  report.packets = 1000;
+  report.bytes = 123456;
+  report.raw_hits = 77;
+  report.match_packets = 42;
+  report.flow_evictions = 5;
+  report.active_flows = 64;
+  report.busy_seconds = 1.5;
+  report.scan_p50_ns = 2500;
+  report.scan_p90_ns = 8000;
+  report.scan_p99_ns = 20000;
+  return report;
+}
+
+TEST(Messages, TelemetryReportRoundTrip) {
+  TelemetryReport report = sample_report();
+  json::Object metrics;
+  metrics["counters"] = json::Value(json::Object{});
+  report.metrics = json::Value(std::move(metrics));
+  const json::Value reparsed = json::parse(json::dump(encode(report)));
+  EXPECT_EQ(reparsed.at("type").as_string(), "telemetry_report");
+  const TelemetryReport decoded = decode_telemetry_report(reparsed);
+  EXPECT_EQ(decoded.instance, "dpi-0");
+  EXPECT_EQ(decoded.engine_version, 3u);
+  EXPECT_EQ(decoded.packets, 1000u);
+  EXPECT_EQ(decoded.bytes, 123456u);
+  EXPECT_EQ(decoded.raw_hits, 77u);
+  EXPECT_EQ(decoded.match_packets, 42u);
+  EXPECT_EQ(decoded.flow_evictions, 5u);
+  EXPECT_EQ(decoded.active_flows, 64u);
+  EXPECT_DOUBLE_EQ(decoded.busy_seconds, 1.5);
+  EXPECT_DOUBLE_EQ(decoded.scan_p50_ns, 2500);
+  EXPECT_DOUBLE_EQ(decoded.scan_p99_ns, 20000);
+  EXPECT_TRUE(decoded.metrics.is_object());
+  EXPECT_GT(decoded.hits_per_byte(), 0.0);
+}
+
+TEST(Messages, TelemetryReportOmitsNullMetrics) {
+  const json::Value wire = encode(sample_report());
+  EXPECT_FALSE(wire.as_object().contains("metrics"));
+  const TelemetryReport decoded = decode_telemetry_report(wire);
+  EXPECT_TRUE(decoded.metrics.is_null());
+}
+
+TEST(Messages, TelemetryQueryRoundTrip) {
+  const TelemetryQuery all{};
+  // Empty instance = all instances; the field is omitted on the wire.
+  const json::Value wire_all = encode(all);
+  EXPECT_EQ(wire_all.at("type").as_string(), "telemetry_query");
+  EXPECT_FALSE(wire_all.as_object().contains("instance"));
+  EXPECT_TRUE(decode_telemetry_query(wire_all).instance.empty());
+
+  const TelemetryQuery one{"dpi-3"};
+  EXPECT_EQ(decode_telemetry_query(json::parse(json::dump(encode(one))))
+                .instance,
+            "dpi-3");
+}
+
+TEST(Messages, TelemetryReportRejectsMalformed) {
+  // Missing / empty instance name.
+  EXPECT_THROW(decode_telemetry_report(json::parse(
+                   R"({"type":"telemetry_report","counters":{}})")),
+               std::exception);
+  EXPECT_THROW(
+      decode_telemetry_report(json::parse(
+          R"({"type":"telemetry_report","instance":"","counters":{}})")),
+      std::exception);
+  // Counters must be an object.
+  EXPECT_THROW(
+      decode_telemetry_report(json::parse(
+          R"({"type":"telemetry_report","instance":"a","counters":[1]})")),
+      std::exception);
+  // Negative counts are invalid.
+  EXPECT_THROW(decode_telemetry_report(json::parse(
+                   R"({"type":"telemetry_report","instance":"a",
+                       "counters":{"packets":-1}})")),
+               std::exception);
+  // Non-numeric count.
+  EXPECT_THROW(decode_telemetry_report(json::parse(
+                   R"({"type":"telemetry_report","instance":"a",
+                       "counters":{"packets":"many"}})")),
+               std::exception);
+  // match_packets cannot exceed packets.
+  EXPECT_THROW(decode_telemetry_report(json::parse(
+                   R"({"type":"telemetry_report","instance":"a",
+                       "counters":{"packets":1,"match_packets":2}})")),
+               std::exception);
+  // latency_ns and metrics, when present, must be objects.
+  EXPECT_THROW(decode_telemetry_report(json::parse(
+                   R"({"type":"telemetry_report","instance":"a",
+                       "counters":{},"latency_ns":3})")),
+               std::exception);
+  EXPECT_THROW(decode_telemetry_report(json::parse(
+                   R"({"type":"telemetry_report","instance":"a",
+                       "counters":{},"metrics":"x"})")),
+               std::exception);
+}
+
+TEST(Messages, TelemetryReportMinimalCountersDefaultToZero) {
+  const TelemetryReport decoded = decode_telemetry_report(json::parse(
+      R"({"type":"telemetry_report","instance":"a","counters":{}})"));
+  EXPECT_EQ(decoded.packets, 0u);
+  EXPECT_EQ(decoded.bytes, 0u);
+  EXPECT_DOUBLE_EQ(decoded.busy_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(decoded.scan_p50_ns, 0.0);
+}
+
 }  // namespace
 }  // namespace dpisvc::service

@@ -280,5 +280,82 @@ TEST(TsanStress, ShardedPoolScanVsSwapVsMigration) {
   EXPECT_EQ(inst.engine_version(), peer.engine_version());
 }
 
+
+// Snapshot-and-reset coherence: while scanner threads run, a telemetry
+// thread repeatedly drains the counters via reset_telemetry(). Every packet
+// must land in exactly one snapshot (or in the final residual) — the sum of
+// all drained windows plus what is left equals the total scanned. The
+// wipe-only predecessor of reset_telemetry() lost the counts accumulated
+// between its reads and its writes.
+TEST(TsanStress, ResetTelemetryCoherentUnderConcurrentScans) {
+  dpi::EngineSpec spec;
+  spec.middleboxes = {dpi::MiddleboxProfile{1, "ids"}};
+  spec.exact_patterns = {dpi::ExactPatternSpec{"attack", 1, 0}};
+  spec.chains[1] = {1};
+  auto engine = dpi::Engine::compile(spec);
+
+  InstanceConfig config;
+  config.num_workers = 2;
+  DpiInstance inst("stress", config);
+  inst.load_engine(engine, 1);
+
+  workload::TrafficConfig traffic;
+  traffic.num_packets = 400;
+  traffic.num_flows = 16;
+  traffic.planted_patterns = {"attack"};
+  const workload::Trace trace = workload::generate_http_trace(traffic);
+
+  constexpr int kScanners = 3;
+  constexpr int kRepeats = 8;
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> drained_packets{0};
+  std::atomic<std::uint64_t> drained_bytes{0};
+
+  std::thread reaper([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const InstanceTelemetry window = inst.reset_telemetry();
+      drained_packets.fetch_add(window.packets, std::memory_order_relaxed);
+      drained_bytes.fetch_add(window.bytes, std::memory_order_relaxed);
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> scanners;
+  scanners.reserve(kScanners);
+  for (int s = 0; s < kScanners; ++s) {
+    scanners.emplace_back([&] {
+      for (int rep = 0; rep < kRepeats; ++rep) {
+        for (const auto& p : trace) {
+          (void)inst.scan(1, p.tuple, p.payload);
+        }
+      }
+    });
+  }
+  for (auto& t : scanners) t.join();
+  done.store(true, std::memory_order_release);
+  reaper.join();
+
+  // Residual counts left after the last drain.
+  const InstanceTelemetry rest = inst.reset_telemetry();
+  const std::uint64_t expected_packets =
+      static_cast<std::uint64_t>(kScanners) * kRepeats * trace.size();
+  std::uint64_t expected_bytes = 0;
+  for (const auto& p : trace) expected_bytes += p.payload.size();
+  expected_bytes *= static_cast<std::uint64_t>(kScanners) * kRepeats;
+
+  EXPECT_EQ(drained_packets.load() + rest.packets, expected_packets);
+  EXPECT_EQ(drained_bytes.load() + rest.bytes, expected_bytes);
+  // The obs registry is NOT reset by reset_telemetry(): its counters hold
+  // the full total and must agree with the drained windows.
+  const json::Value snap = inst.metrics().snapshot();
+  std::uint64_t obs_packets = 0;
+  for (const auto& [key, value] : snap.at("counters").as_object()) {
+    if (key.size() > 8 && key.substr(key.size() - 8) == ".packets") {
+      obs_packets += static_cast<std::uint64_t>(value.as_number());
+    }
+  }
+  EXPECT_EQ(obs_packets, expected_packets);
+}
+
 }  // namespace
 }  // namespace dpisvc
