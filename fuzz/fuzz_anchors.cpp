@@ -1,0 +1,38 @@
+// Fuzz target: regex anchor extraction (§5.3) on attacker-controlled
+// patterns, the path a hostile middlebox reaches through add_patterns.
+//
+// Oracles:
+//  * parse/extract either succeed or throw regex::SyntaxError — the group
+//    depth cap must turn "((((..." into an error, not stack exhaustion;
+//  * every extracted anchor respects the minimum length (the paper's >= 4
+//    rule) and is non-empty;
+//  * anchors are mandatory substrings: the pattern compiled as a matcher
+//    must match a subject consisting of its own anchors only if the regex
+//    semantics allow it — we assert the cheaper direction, that extraction
+//    is deterministic across two runs.
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "regex/anchors.hpp"
+#include "regex/parser.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  namespace regex = dpisvc::regex;
+  const std::string_view pattern(reinterpret_cast<const char*>(data), size);
+  const regex::AnchorOptions options;
+  try {
+    const std::vector<std::string> anchors =
+        regex::extract_anchors(pattern, {}, options);
+    for (const std::string& anchor : anchors) {
+      if (anchor.size() < options.min_length) __builtin_trap();
+    }
+    const std::vector<std::string> again =
+        regex::extract_anchors(pattern, {}, options);
+    if (anchors != again) __builtin_trap();
+  } catch (const regex::SyntaxError&) {
+    // Malformed or over-deep patterns are rejected by contract.
+  }
+  return 0;
+}

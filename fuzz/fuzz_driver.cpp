@@ -1,0 +1,59 @@
+// Standalone replay driver for the fuzz targets.
+//
+// When the compiler cannot link libFuzzer (-fsanitize=fuzzer), the fuzz
+// binaries are built against this main() instead. It feeds every file named
+// on the command line — directories are walked recursively — through
+// LLVMFuzzerTestOneInput, so the checked-in corpora replay as ordinary
+// (sanitizer-instrumented) ctest runs in every build configuration.
+// Arguments starting with '-' are ignored for libFuzzer flag compatibility.
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+std::vector<std::uint8_t> read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+int run_one(const std::filesystem::path& path) {
+  const std::vector<std::uint8_t> bytes = read_file(path);
+  std::fprintf(stderr, "replay: %s (%zu bytes)\n", path.c_str(), bytes.size());
+  return LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t executed = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!arg.empty() && arg[0] == '-') continue;
+    const std::filesystem::path path(arg);
+    std::error_code ec;
+    if (std::filesystem::is_directory(path, ec)) {
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(path)) {
+        if (!entry.is_regular_file()) continue;
+        run_one(entry.path());
+        ++executed;
+      }
+    } else if (std::filesystem::exists(path, ec)) {
+      run_one(path);
+      ++executed;
+    } else {
+      std::fprintf(stderr, "replay: no such input: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  std::fprintf(stderr, "replay: %zu input(s), no crashes\n", executed);
+  return 0;
+}

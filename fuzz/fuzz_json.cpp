@@ -1,0 +1,29 @@
+// Fuzz target: json::parse over raw bytes — the outermost untrusted surface
+// of the §4.1 control channel.
+//
+// Oracles:
+//  * parse() either returns a Value or throws json::ParseError; any other
+//    exception escaping (std::out_of_range from stod once did), any crash,
+//    or any sanitizer report is a bug;
+//  * a parsed value must survive dump() -> parse() as an equal value (the
+//    writer emits %.17g numbers precisely so this holds);
+//  * dump_pretty() must accept anything parse() produced.
+#include <cstdint>
+#include <string_view>
+
+#include "json/json.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  namespace json = dpisvc::json;
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  try {
+    const json::Value value = json::parse(text);
+    const json::Value round = json::parse(json::dump(value));
+    if (!(round == value)) __builtin_trap();
+    (void)json::dump_pretty(value);
+  } catch (const json::ParseError&) {
+    // Rejecting malformed input is the contract, not a failure.
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Fuzz target: the §4.1 controller message surface, end to end.
+//
+// The input bytes are treated as one JSON control message. Oracles:
+//  * DpiController::handle_message never throws — malformed or hostile
+//    messages must come back as {"ok":false,...} responses (the tested
+//    "errors are responses, not exceptions" contract);
+//  * per-type decode -> encode canonicalization is idempotent: if a message
+//    decodes, re-encoding and re-decoding it must produce the identical
+//    JSON value.
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "json/json.hpp"
+#include "service/controller.hpp"
+#include "service/messages.hpp"
+
+namespace {
+
+using dpisvc::json::Value;
+namespace service = dpisvc::service;
+
+/// Applies the matching decoder and re-encodes; returns null for messages
+/// the decoder rejects.
+Value canonicalize(const std::string& type, const Value& message) {
+  try {
+    if (type == "register") {
+      return service::encode(service::decode_register(message));
+    } else if (type == "add_patterns") {
+      return service::encode(service::decode_add_patterns(message));
+    } else if (type == "remove_patterns") {
+      return service::encode(service::decode_remove_patterns(message));
+    } else if (type == "unregister") {
+      return service::encode(service::decode_unregister(message));
+    } else if (type == "telemetry_report") {
+      return service::encode(service::decode_telemetry_report(message));
+    } else if (type == "telemetry_query") {
+      return service::encode(service::decode_telemetry_query(message));
+    }
+  } catch (const dpisvc::json::TypeError&) {
+  } catch (const std::invalid_argument&) {
+  }
+  return Value();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  Value message;
+  try {
+    message = dpisvc::json::parse(text);
+  } catch (const dpisvc::json::ParseError&) {
+    return 0;
+  }
+
+  // Dispatch contract: a fresh controller per input so state from one
+  // iteration cannot mask or fabricate a finding in the next. No try/catch —
+  // an exception escaping handle_message aborts the process, which is the
+  // point.
+  service::DpiController controller;
+  (void)controller.handle_message(message);
+
+  try {
+    const std::string type = service::message_type(message);
+    const Value first = canonicalize(type, message);
+    if (!first.is_null()) {
+      const Value second = canonicalize(type, first);
+      if (!(first == second)) __builtin_trap();
+    }
+  } catch (const dpisvc::json::TypeError&) {
+  } catch (const std::invalid_argument&) {
+  }
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Fuzz target: PatternDb loading — the registry behind the §4.1
+// register/add/remove/inherit message handlers.
+//
+// The input bytes drive an op interpreter over one PatternDb: register,
+// add exact/regex, remove, inherit, chain, unregister. Oracles:
+//  * every mutator either succeeds or throws std::invalid_argument (the
+//    typed PatternDbError derives from it) — nothing else may escape;
+//  * the version counter never moves backwards;
+//  * whatever state the op sequence leaves behind, snapshot() must produce
+//    a spec that Engine::compile either accepts or rejects with
+//    std::invalid_argument / regex::SyntaxError — never a crash;
+//  * a (middlebox, rule) pair reported by has_rule() is removable.
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "dpi/engine.hpp"
+#include "dpi/pattern_db.hpp"
+#include "regex/parser.hpp"
+
+namespace {
+
+using namespace dpisvc;
+
+/// Sequential byte reader; yields zeros once exhausted so op decoding never
+/// reads out of bounds.
+class Input {
+ public:
+  Input(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  bool empty() const { return pos_ >= size_; }
+  std::uint8_t u8() { return pos_ < size_ ? data_[pos_++] : 0; }
+
+  std::string bytes(std::size_t n) {
+    const std::size_t take = std::min(n, size_ - std::min(pos_, size_));
+    std::string out(reinterpret_cast<const char*>(data_ + pos_), take);
+    pos_ += take;
+    return out;
+  }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  Input in(data, size);
+  dpi::PatternDb db;
+  std::uint64_t last_version = db.version();
+
+  // Bound the op count so a large input cannot turn the quadratic-by-design
+  // registry scans into a timeout; depth of state, not length, is what this
+  // target explores.
+  for (int ops = 0; ops < 256 && !in.empty(); ++ops) {
+    const std::uint8_t op = in.u8();
+    // Ids deliberately overflow the valid 1..64 range sometimes so the
+    // range checks stay covered.
+    const auto mbox = static_cast<dpi::MiddleboxId>(in.u8() % 70);
+    const auto rule = static_cast<dpi::PatternId>(in.u8() % 16);
+    try {
+      switch (op % 8) {
+        case 0: {
+          dpi::MiddleboxProfile profile;
+          profile.id = mbox;
+          profile.name = "m";
+          profile.name += std::to_string(mbox);
+          profile.stateful = (in.u8() & 1) != 0;
+          db.register_middlebox(profile);
+          break;
+        }
+        case 1:
+          db.add_exact(mbox, rule, in.bytes(1 + in.u8() % 32));
+          break;
+        case 2:
+          db.add_regex(mbox, rule, in.bytes(1 + in.u8() % 32),
+                       (in.u8() & 1) != 0);
+          break;
+        case 3:
+          db.remove_exact(mbox, rule);
+          break;
+        case 4:
+          db.remove_regex(mbox, rule);
+          break;
+        case 5:
+          db.inherit_patterns(mbox, static_cast<dpi::MiddleboxId>(rule + 1));
+          break;
+        case 6:
+          db.set_chain(static_cast<dpi::ChainId>(rule), {mbox});
+          break;
+        case 7:
+          db.unregister_middlebox(mbox);
+          break;
+      }
+    } catch (const std::invalid_argument&) {
+      // Typed rejection (including PatternDbError) is the contract.
+    }
+    if (db.version() < last_version) __builtin_trap();
+    last_version = db.version();
+
+    if (db.has_rule(mbox, rule)) {
+      // A visible reference must live in exactly one of the two tables.
+      dpi::PatternDb probe = db;
+      if (!probe.remove_exact(mbox, rule) && !probe.remove_regex(mbox, rule)) {
+        __builtin_trap();
+      }
+    }
+  }
+
+  try {
+    (void)dpi::Engine::compile(db.snapshot());
+  } catch (const std::invalid_argument&) {
+  } catch (const regex::SyntaxError&) {
+    // Arbitrary bytes registered as a "regex" legitimately fail to parse.
+  }
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Fuzz target: the data-plane ingest path — TCP reassembly feeding
+// Engine::scan_packet with cross-packet flow state (§5.2 + §7).
+//
+// A fixed engine (exact patterns, anchored/anchorless/case-insensitive
+// regexes, stateful and stateless chains with stop offsets) is compiled
+// once; the input bytes are decoded as an adversarial segment sequence:
+// per segment a chain selector, a sequence-number perturbation (in-order,
+// overlapping, gapped, duplicate), and a payload slice. Segments pass
+// through a StreamReassembler and every released in-order chunk is scanned
+// with the flow's carried cursor. Oracles:
+//  * no crash / sanitizer report on any segment sequence;
+//  * bytes_scanned never exceeds the chunk fed;
+//  * the stateful cursor offset never moves backwards;
+//  * scanning the same chunk twice from the same cursor is deterministic.
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "dpi/engine.hpp"
+#include "net/reassembly.hpp"
+
+namespace {
+
+using namespace dpisvc;
+
+std::shared_ptr<const dpi::Engine> build_engine() {
+  dpi::EngineSpec spec;
+  auto mbox = [](dpi::MiddleboxId id, const char* name, bool stateful,
+                 std::uint32_t stop) {
+    dpi::MiddleboxProfile p;
+    p.id = id;
+    p.name = name;
+    p.stateful = stateful;
+    p.stop_offset = stop;
+    return p;
+  };
+  spec.middleboxes.push_back(mbox(1, "ids", /*stateful=*/true, /*stop=*/0));
+  spec.middleboxes.push_back(mbox(2, "av", /*stateful=*/false, /*stop=*/64));
+  spec.middleboxes.push_back(mbox(3, "lb", /*stateful=*/true, /*stop=*/0));
+  spec.exact_patterns.push_back({"attack", 1, 0});
+  spec.exact_patterns.push_back({"virus1234", 2, 0});
+  spec.exact_patterns.push_back({std::string("\x00\x01\x02\x03", 4), 3, 0});
+  spec.regex_patterns.push_back({R"(regular\s*expression\s*\d+)", 1, 1, false});
+  spec.regex_patterns.push_back({R"(EvilCase)", 1, 2, true});
+  spec.regex_patterns.push_back({R"(x.z)", 2, 1, false});  // anchorless
+  spec.chains[1] = {1, 2, 3};
+  spec.chains[2] = {2};
+  spec.chains[3] = {1};
+  return dpi::Engine::compile(spec);
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  static const std::shared_ptr<const dpi::Engine> engine = build_engine();
+  if (size < 2) return 0;
+
+  const dpi::ChainId chain = static_cast<dpi::ChainId>(1 + data[0] % 3);
+  std::size_t pos = 1;
+
+  net::StreamReassembler stream(/*initial_seq=*/0);
+  std::uint32_t seq = 0;
+  dpi::FlowCursor cursor;
+
+  for (int segments = 0; segments < 128 && pos < size; ++segments) {
+    const std::uint8_t control = data[pos++];
+    const std::size_t len = std::min<std::size_t>(1 + (control & 0x3f),
+                                                  size - pos);
+    if (len == 0) break;
+    const BytesView payload(data + pos, len);
+    pos += len;
+
+    // Sequence perturbation: mostly in-order, sometimes overlap the previous
+    // segment, jump ahead (buffered out-of-order), or replay (duplicate).
+    std::uint32_t send_seq = seq;
+    switch (control >> 6) {
+      case 1:
+        send_seq = seq > 2 ? seq - 2 : 0;  // overlap: first copy must win
+        break;
+      case 2:
+        send_seq = seq + (control & 0x1f);  // gap: buffers until filled
+        break;
+      case 3:
+        send_seq = 0;  // full replay from stream start
+        break;
+    }
+    stream.accept(send_seq, payload);
+    if (send_seq == seq) seq += static_cast<std::uint32_t>(len);
+
+    const Bytes ready = stream.pop_ready();
+    if (ready.empty()) continue;
+    const BytesView chunk(ready.data(), ready.size());
+
+    const dpi::ScanResult first = engine->scan_packet(chain, chunk, cursor);
+    const dpi::ScanResult again = engine->scan_packet(chain, chunk, cursor);
+    if (first.bytes_scanned != again.bytes_scanned ||
+        first.raw_hits != again.raw_hits ||
+        first.matches.size() != again.matches.size()) {
+      __builtin_trap();
+    }
+    if (first.bytes_scanned > chunk.size()) __builtin_trap();
+    if (cursor.valid && first.cursor.valid &&
+        first.cursor.offset < cursor.offset) {
+      __builtin_trap();
+    }
+    cursor = first.cursor;
+  }
+  return 0;
+}

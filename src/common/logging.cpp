@@ -2,7 +2,8 @@
 
 #include <atomic>
 #include <iostream>
-#include <mutex>
+
+#include "common/thread_safety.hpp"
 
 namespace dpisvc {
 
@@ -13,8 +14,10 @@ std::atomic<LogLevel> g_level{LogLevel::kWarn};
 /// static destructors (e.g. an instance torn down at exit logging its
 /// shutdown), after a function-local static mutex would already have been
 /// destroyed. A leaked mutex is immortal and therefore always safe to lock.
-std::mutex& sink_mutex() {
-  static std::mutex* m = new std::mutex;
+/// The capability only serializes the stderr stream — there is no guarded
+/// field, just the write itself.
+Mutex& sink_mutex() {
+  static Mutex* m = new Mutex;
   return *m;
 }
 
@@ -48,7 +51,7 @@ LogLevel log_level() noexcept {
 void log_line(LogLevel level, std::string_view component,
               std::string_view message) {
   if (level < log_level()) return;
-  std::lock_guard<std::mutex> lock(sink_mutex());
+  const MutexLock lock(sink_mutex());
   std::cerr << "[" << level_name(level) << "] " << component << ": " << message
             << '\n';
 }

@@ -82,18 +82,30 @@ void PatternDb::inherit_patterns(MiddleboxId to, MiddleboxId from) {
   bump();
 }
 
+bool PatternDb::has_rule(MiddleboxId middlebox, PatternId rule) const noexcept {
+  for (const auto& [bytes, entry] : exact_) {
+    if (entry.refs.count({middlebox, rule})) return true;
+  }
+  for (const auto& [key, entry] : regex_) {
+    if (entry.refs.count({middlebox, rule})) return true;
+  }
+  return false;
+}
+
 void PatternDb::add_exact(MiddleboxId middlebox, PatternId rule,
                           std::string bytes) {
   require_registered(middlebox);
   if (bytes.empty()) {
     throw std::invalid_argument("PatternDb: empty pattern");
   }
-  // The same (middlebox, rule) pair must not point at different bytes.
-  for (const auto& [existing_bytes, entry] : exact_) {
-    if (existing_bytes != bytes && entry.refs.count({middlebox, rule})) {
-      throw std::invalid_argument(
-          "PatternDb: rule id already bound to different bytes");
-    }
+  if (bytes.size() > kMaxPatternBytes) {
+    throw PatternDbError(PatternDbError::Code::kPatternTooLong,
+                         "PatternDb: pattern exceeds " +
+                             std::to_string(kMaxPatternBytes) + " bytes");
+  }
+  if (has_rule(middlebox, rule)) {
+    throw PatternDbError(PatternDbError::Code::kDuplicateRule,
+                         "PatternDb: (middlebox, rule id) already registered");
   }
   auto [it, inserted] = exact_.try_emplace(std::move(bytes));
   if (inserted) {
@@ -109,13 +121,16 @@ void PatternDb::add_regex(MiddleboxId middlebox, PatternId rule,
   if (expression.empty()) {
     throw std::invalid_argument("PatternDb: empty regex");
   }
-  std::string key = regex_key(expression, case_insensitive);
-  for (const auto& [existing_key, entry] : regex_) {
-    if (existing_key != key && entry.refs.count({middlebox, rule})) {
-      throw std::invalid_argument(
-          "PatternDb: rule id already bound to a different regex");
-    }
+  if (expression.size() > kMaxPatternBytes) {
+    throw PatternDbError(PatternDbError::Code::kPatternTooLong,
+                         "PatternDb: regex exceeds " +
+                             std::to_string(kMaxPatternBytes) + " bytes");
   }
+  if (has_rule(middlebox, rule)) {
+    throw PatternDbError(PatternDbError::Code::kDuplicateRule,
+                         "PatternDb: (middlebox, rule id) already registered");
+  }
+  std::string key = regex_key(expression, case_insensitive);
   auto [it, inserted] = regex_.try_emplace(std::move(key));
   if (inserted) {
     it->second.internal_id = next_internal_id_++;

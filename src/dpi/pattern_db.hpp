@@ -19,6 +19,7 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,31 @@
 #include "dpi/types.hpp"
 
 namespace dpisvc::dpi {
+
+/// Upper bound on the byte length of an exact pattern / regex expression the
+/// loader accepts. Longer "patterns" are rejected with PatternDbError: real
+/// NIDS signatures are tens of bytes, and an unbounded length would let one
+/// registration message inflate the compiled automaton arbitrarily.
+inline constexpr std::size_t kMaxPatternBytes = 4096;
+
+/// Typed loader rejection with a stable code, so callers (and the fuzz
+/// harness) can assert *why* an input was refused rather than string-match
+/// the message. Derives from std::invalid_argument to stay catchable by
+/// pre-existing error handling.
+class PatternDbError : public std::invalid_argument {
+ public:
+  enum class Code {
+    kDuplicateRule,   ///< (middlebox, rule id) pair already registered
+    kPatternTooLong,  ///< pattern/expression exceeds kMaxPatternBytes
+  };
+
+  PatternDbError(Code code, const std::string& what)
+      : std::invalid_argument(what), code_(code) {}
+  Code code() const noexcept { return code_; }
+
+ private:
+  Code code_;
+};
 
 class PatternDb {
  public:
@@ -49,14 +75,22 @@ class PatternDb {
 
   // --- pattern management ---------------------------------------------------
 
-  /// Adds an exact pattern reference. Re-adding the same (middlebox, rule)
-  /// pair for the same bytes is idempotent; the same rule id with different
-  /// bytes is an error.
+  /// Adds an exact pattern reference. A (middlebox, rule id) pair may be
+  /// registered at most once across exact and regex patterns: re-adding it —
+  /// even with identical bytes — throws PatternDbError{kDuplicateRule}, and
+  /// patterns longer than kMaxPatternBytes throw
+  /// PatternDbError{kPatternTooLong}. (The loader used to merge same-bytes
+  /// re-adds silently, which left fuzzing without an oracle: a corrupted
+  /// duplicate-laden message and a valid one were indistinguishable.)
   void add_exact(MiddleboxId middlebox, PatternId rule, std::string bytes);
 
   /// Adds a regular-expression reference (same semantics as add_exact).
   void add_regex(MiddleboxId middlebox, PatternId rule, std::string expression,
                  bool case_insensitive = false);
+
+  /// True when the (middlebox, rule id) pair references any pattern, exact
+  /// or regex.
+  bool has_rule(MiddleboxId middlebox, PatternId rule) const noexcept;
 
   /// Removes one middlebox's reference; the pattern itself is dropped only
   /// when its last reference goes (§4.1). Returns false if no such

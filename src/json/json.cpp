@@ -169,6 +169,24 @@ class Parser {
     return false;
   }
 
+  /// RAII depth guard: each '{' / '[' frame counts against kMaxParseDepth
+  /// so adversarial nesting fails with ParseError instead of exhausting the
+  /// stack.
+  class DepthGuard {
+   public:
+    explicit DepthGuard(Parser& parser) : parser_(parser) {
+      if (++parser_.depth_ > kMaxParseDepth) {
+        parser_.fail("nesting too deep");
+      }
+    }
+    ~DepthGuard() { --parser_.depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+
+   private:
+    Parser& parser_;
+  };
+
   Value parse_value() {
     switch (peek()) {
       case '{':
@@ -192,6 +210,7 @@ class Parser {
   }
 
   Value parse_object() {
+    const DepthGuard depth(*this);
     expect('{');
     Object out;
     skip_ws();
@@ -219,6 +238,7 @@ class Parser {
   }
 
   Value parse_array() {
+    const DepthGuard depth(*this);
     expect('[');
     Array out;
     skip_ws();
@@ -367,13 +387,22 @@ class Parser {
       while (pos_ < text_.size() && isdigit_(text_[pos_])) ++pos_;
     }
     const std::string token(text_.substr(start, pos_ - start));
-    return Value(std::stod(token));
+    // std::stod throws std::out_of_range for magnitudes beyond double
+    // (e.g. "1e999"); every parser failure must surface as ParseError, so
+    // translate. Subnormal underflow does not throw and parses as ±0.
+    try {
+      return Value(std::stod(token));
+    } catch (const std::out_of_range&) {
+      pos_ = start;
+      fail("number out of range");
+    }
   }
 
   static bool isdigit_(char c) noexcept { return c >= '0' && c <= '9'; }
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 
 // ---------------------------------------------------------------------------

@@ -51,6 +51,13 @@ class Object {
   std::vector<std::pair<std::string, Value>> entries_;
 };
 
+/// Maximum container nesting the parser accepts. Every '{' or '[' being
+/// parsed is one recursive-descent frame, so untrusted input deeper than
+/// this would otherwise convert directly into stack consumption; messages
+/// past the cap are rejected with ParseError. The protocol never nests more
+/// than a handful of levels, so 256 is generous headroom, not a tight fit.
+inline constexpr std::size_t kMaxParseDepth = 256;
+
 class ParseError : public std::runtime_error {
  public:
   ParseError(const std::string& what, std::size_t offset)

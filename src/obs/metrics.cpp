@@ -151,14 +151,14 @@ auto sorted_view(const Entries& entries) {
 }  // namespace
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard lock(mu_);
+  const MutexLock lock(mu_);
   if (auto* existing = find_entry(counters_, name)) return *existing;
   counters_.emplace_back(name, std::make_unique<Counter>());
   return *counters_.back().second;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard lock(mu_);
+  const MutexLock lock(mu_);
   if (auto* existing = find_entry(gauges_, name)) return *existing;
   gauges_.emplace_back(name, std::make_unique<Gauge>());
   return *gauges_.back().second;
@@ -166,7 +166,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<std::uint64_t> upper_bounds) {
-  std::lock_guard lock(mu_);
+  const MutexLock lock(mu_);
   if (auto* existing = find_entry(histograms_, name)) return *existing;
   histograms_.emplace_back(name,
                            std::make_unique<Histogram>(std::move(upper_bounds)));
@@ -175,7 +175,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 
 const Histogram* MetricsRegistry::find_histogram(
     const std::string& name) const {
-  std::lock_guard lock(mu_);
+  const MutexLock lock(mu_);
   for (const auto& [key, ptr] : histograms_) {
     if (key == name) return ptr.get();
   }
@@ -183,7 +183,7 @@ const Histogram* MetricsRegistry::find_histogram(
 }
 
 json::Value MetricsRegistry::snapshot() const {
-  std::lock_guard lock(mu_);
+  const MutexLock lock(mu_);
   json::Object root;
   {
     json::Object counters;
@@ -210,7 +210,7 @@ json::Value MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::reset() {
-  std::lock_guard lock(mu_);
+  const MutexLock lock(mu_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();

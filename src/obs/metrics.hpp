@@ -30,11 +30,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/thread_safety.hpp"
 #include "json/json.hpp"
 
 namespace dpisvc::obs {
@@ -176,10 +176,10 @@ class MetricsRegistry {
   template <typename T>
   using Entries = std::vector<std::pair<std::string, std::unique_ptr<T>>>;
 
-  mutable std::mutex mu_;
-  Entries<Counter> counters_;
-  Entries<Gauge> gauges_;
-  Entries<Histogram> histograms_;
+  mutable Mutex mu_;
+  Entries<Counter> counters_ DPISVC_GUARDED_BY(mu_);
+  Entries<Gauge> gauges_ DPISVC_GUARDED_BY(mu_);
+  Entries<Histogram> histograms_ DPISVC_GUARDED_BY(mu_);
 };
 
 }  // namespace dpisvc::obs

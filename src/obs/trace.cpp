@@ -28,7 +28,7 @@ void ScanTrace::record(TraceEvent event, std::uint64_t flow,
                        std::uint64_t offset, std::uint64_t value,
                        std::uint32_t shard, std::uint32_t chain) noexcept {
   if (!enabled()) return;
-  std::lock_guard lock(mu_);
+  const MutexLock lock(mu_);
   TraceRecord& slot = ring_[next_seq_ % capacity_];
   slot.seq = ++next_seq_;
   slot.flow = flow;
@@ -42,7 +42,7 @@ void ScanTrace::record(TraceEvent event, std::uint64_t flow,
 std::vector<TraceRecord> ScanTrace::snapshot() const {
   std::vector<TraceRecord> out;
   if (!enabled()) return out;
-  std::lock_guard lock(mu_);
+  const MutexLock lock(mu_);
   const std::uint64_t held = std::min<std::uint64_t>(next_seq_, capacity_);
   out.reserve(held);
   for (std::uint64_t i = next_seq_ - held; i < next_seq_; ++i) {
@@ -52,12 +52,12 @@ std::vector<TraceRecord> ScanTrace::snapshot() const {
 }
 
 std::uint64_t ScanTrace::total_recorded() const {
-  std::lock_guard lock(mu_);
+  const MutexLock lock(mu_);
   return next_seq_;
 }
 
 std::uint64_t ScanTrace::dropped() const {
-  std::lock_guard lock(mu_);
+  const MutexLock lock(mu_);
   return next_seq_ > capacity_ ? next_seq_ - capacity_ : 0;
 }
 
@@ -84,7 +84,7 @@ json::Value ScanTrace::to_json() const {
 }
 
 void ScanTrace::clear() {
-  std::lock_guard lock(mu_);
+  const MutexLock lock(mu_);
   next_seq_ = 0;
 }
 

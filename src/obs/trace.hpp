@@ -15,10 +15,10 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_safety.hpp"
 #include "json/json.hpp"
 
 namespace dpisvc::obs {
@@ -69,9 +69,10 @@ class ScanTrace {
 
  private:
   std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::vector<TraceRecord> ring_;  // ring_[next_seq % capacity]
-  std::uint64_t next_seq_ = 0;     // == total recorded
+  mutable Mutex mu_;
+  // ring_[next_seq % capacity]; next_seq_ == total recorded
+  std::vector<TraceRecord> ring_ DPISVC_GUARDED_BY(mu_);
+  std::uint64_t next_seq_ DPISVC_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace dpisvc::obs

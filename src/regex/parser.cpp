@@ -172,11 +172,15 @@ class Parser {
       case '(': {
         // Accept non-capturing (?:...) and inline flags-free groups; we do
         // not implement capture groups (the DPI engine only needs existence).
+        if (++group_depth_ > options_.max_group_depth) {
+          fail("group nesting too deep");
+        }
         if (try_take('?')) {
           if (!try_take(':')) fail("unsupported (?...) construct");
         }
         NodePtr inner = parse_alternation();
         if (!try_take(')')) fail("missing ')'");
+        --group_depth_;
         return inner;
       }
       case '[':
@@ -356,6 +360,7 @@ class Parser {
   std::string_view pattern_;
   ParseOptions options_;
   std::size_t pos_ = 0;
+  int group_depth_ = 0;
 };
 
 }  // namespace

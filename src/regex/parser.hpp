@@ -27,6 +27,11 @@ struct ParseOptions {
   /// Upper bound on counted-repetition expansion ({m,n}) to keep compiled
   /// programs bounded; exceeding it is a SyntaxError.
   int max_counted_repeat = 1000;
+  /// Maximum group-nesting depth. Each '(' is one recursive-descent frame,
+  /// so an adversarial "((((..." pattern converts directly into stack
+  /// consumption; deeper patterns are rejected with SyntaxError. Real rule
+  /// sets nest a handful of levels.
+  int max_group_depth = 200;
 };
 
 /// Parses `pattern` into an AST. Throws SyntaxError on malformed input.

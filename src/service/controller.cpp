@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "common/invariant.hpp"
 #include "common/logging.hpp"
@@ -15,6 +16,7 @@ DpiController::DpiController(StressConfig stress_config,
 // --- JSON channel ------------------------------------------------------------
 
 json::Value DpiController::handle_message(const json::Value& request) {
+  const MutexLock lock(mu_);
   try {
     const std::string type = message_type(request);
     // Telemetry messages are pure observability traffic: they never touch
@@ -31,12 +33,12 @@ json::Value DpiController::handle_message(const json::Value& request) {
       t.busy_seconds = report.busy_seconds;
       monitor_.report(report.instance, t);
       // A pushed report is proof of life for the failure detector.
-      heartbeat(report.instance);
+      heartbeat_locked(report.instance);
       return ok_response();
     }
     if (type == "telemetry_query") {
       const TelemetryQuery query = decode_telemetry_query(request);
-      return telemetry_json(query.instance);
+      return telemetry_json_locked(query.instance);
     }
     if (type == "register") {
       const RegisterRequest req = decode_register(request);
@@ -75,7 +77,7 @@ json::Value DpiController::handle_message(const json::Value& request) {
     } else {
       return error_response("unknown message type: " + type);
     }
-    sync_instances();
+    sync_instances_locked();
     return ok_response();
   } catch (const std::exception& e) {
     return error_response(e.what());
@@ -86,6 +88,7 @@ json::Value DpiController::handle_message(const json::Value& request) {
 
 dpi::ChainId DpiController::register_policy_chain(
     const std::vector<dpi::MiddleboxId>& mboxes) {
+  const MutexLock lock(mu_);
   for (const auto& [id, members] : chains_) {
     if (members == mboxes) return id;  // identical sequences share an id
   }
@@ -98,16 +101,23 @@ dpi::ChainId DpiController::register_policy_chain(
   const dpi::ChainId chain = next_chain_id_++;
   chains_[chain] = mboxes;
   db_.set_chain(chain, mboxes);
-  sync_instances();
+  sync_instances_locked();
   log(LogLevel::kInfo, "dpi-ctrl", "policy chain ", chain, " registered (",
       mboxes.size(), " middleboxes)");
   return chain;
+}
+
+std::map<dpi::ChainId, std::vector<dpi::MiddleboxId>>
+DpiController::policy_chains() const {
+  const MutexLock lock(mu_);
+  return chains_;
 }
 
 // --- instances --------------------------------------------------------------------
 
 std::shared_ptr<DpiInstance> DpiController::create_instance(
     const std::string& name, InstanceConfig config) {
+  const MutexLock lock(mu_);
   if (instances_.count(name)) {
     throw std::invalid_argument("create_instance: duplicate name " + name);
   }
@@ -118,7 +128,7 @@ std::shared_ptr<DpiInstance> DpiController::create_instance(
   auto inst = std::make_shared<DpiInstance>(name, config);
   instances_[name] = inst;
   last_heartbeat_[name] = epoch_ + 1;  // vouches for the upcoming window
-  sync_instances();
+  sync_instances_locked();
   // sync_instances only pushes on version change; force the initial load.
   if (!inst->has_engine() && compiled_version_ > 0) {
     inst->load_engine(engine_for(config.group, config.dedicated),
@@ -130,6 +140,7 @@ std::shared_ptr<DpiInstance> DpiController::create_instance(
 }
 
 bool DpiController::remove_instance(const std::string& name) {
+  const MutexLock lock(mu_);
   if (instances_.erase(name) == 0) return false;
   monitor_.forget(name);
   last_heartbeat_.erase(name);
@@ -140,13 +151,20 @@ bool DpiController::remove_instance(const std::string& name) {
   return true;
 }
 
-std::shared_ptr<DpiInstance> DpiController::instance(
+std::shared_ptr<DpiInstance> DpiController::instance_locked(
     const std::string& name) const {
   auto it = instances_.find(name);
   return it == instances_.end() ? nullptr : it->second;
 }
 
+std::shared_ptr<DpiInstance> DpiController::instance(
+    const std::string& name) const {
+  const MutexLock lock(mu_);
+  return instance_locked(name);
+}
+
 std::vector<std::string> DpiController::instance_names() const {
+  const MutexLock lock(mu_);
   std::vector<std::string> out;
   out.reserve(instances_.size());
   for (const auto& [name, inst] : instances_) {
@@ -216,7 +234,7 @@ void DpiController::compile_and_push() {
   }
 }
 
-void DpiController::sync_instances() {
+void DpiController::sync_instances_locked() {
   if (compiled_version_ == db_.version() && compiled_version_ != 0) {
     // Engines current; push only to instances that missed the last compile.
     for (auto& [name, inst] : instances_) {
@@ -233,8 +251,14 @@ void DpiController::sync_instances() {
   compile_and_push();
 }
 
+void DpiController::sync_instances() {
+  const MutexLock lock(mu_);
+  sync_instances_locked();
+}
+
 void DpiController::define_group(const std::string& name,
                                  std::vector<dpi::ChainId> chains) {
+  const MutexLock lock(mu_);
   if (name.empty()) {
     throw std::invalid_argument("define_group: empty group name");
   }
@@ -251,10 +275,17 @@ void DpiController::define_group(const std::string& name,
   log(LogLevel::kInfo, "dpi-ctrl", "group ", name, " defined");
 }
 
+std::map<std::string, std::vector<dpi::ChainId>> DpiController::groups()
+    const {
+  const MutexLock lock(mu_);
+  return groups_;
+}
+
 // --- placement -----------------------------------------------------------------------
 
 void DpiController::assign_chain(dpi::ChainId chain,
                                  const std::string& instance_name) {
+  const MutexLock lock(mu_);
   if (!chains_.count(chain)) {
     throw std::invalid_argument("assign_chain: unknown chain");
   }
@@ -315,22 +346,44 @@ std::shared_ptr<DpiInstance> DpiController::least_loaded_live(
 }
 
 std::string DpiController::auto_assign_chain(dpi::ChainId chain) {
+  const MutexLock lock(mu_);
   auto inst = least_loaded(/*dedicated=*/false);
   if (!inst) {
     throw std::logic_error("auto_assign_chain: no regular instance available");
   }
-  assign_chain(chain, inst->instance_name());
+  if (!chains_.count(chain)) {
+    throw std::invalid_argument("assign_chain: unknown chain");
+  }
+  assignments_[chain] = inst->instance_name();
   return inst->instance_name();
 }
 
-std::optional<std::string> DpiController::instance_for_chain(
+std::optional<std::string> DpiController::instance_for_chain_locked(
     dpi::ChainId chain) const {
   auto it = assignments_.find(chain);
   if (it == assignments_.end()) return std::nullopt;
   return it->second;
 }
 
-json::Value DpiController::telemetry_json(const std::string& filter) const {
+std::optional<std::string> DpiController::instance_for_chain(
+    dpi::ChainId chain) const {
+  const MutexLock lock(mu_);
+  return instance_for_chain_locked(chain);
+}
+
+std::map<dpi::ChainId, std::string> DpiController::assignments() const {
+  const MutexLock lock(mu_);
+  return assignments_;
+}
+
+std::map<std::string, TelemetryReport> DpiController::telemetry_reports()
+    const {
+  const MutexLock lock(mu_);
+  return telemetry_reports_;
+}
+
+json::Value DpiController::telemetry_json_locked(
+    const std::string& filter) const {
   json::Object instances;
   // Reports pushed over the JSON channel (possibly from instances this
   // controller does not host) ...
@@ -350,9 +403,15 @@ json::Value DpiController::telemetry_json(const std::string& filter) const {
   return json::Value(std::move(root));
 }
 
+json::Value DpiController::telemetry_json(const std::string& filter) const {
+  const MutexLock lock(mu_);
+  return telemetry_json_locked(filter);
+}
+
 // --- MCA² ------------------------------------------------------------------------------
 
 void DpiController::collect_telemetry() {
+  const MutexLock lock(mu_);
   ++epoch_;
   for (auto& [name, inst] : instances_) {
     if (failed_.count(name)) continue;  // no fresh telemetry from the dead
@@ -368,6 +427,7 @@ void DpiController::collect_telemetry() {
 }
 
 MitigationPlan DpiController::evaluate_mitigation() {
+  const MutexLock lock(mu_);
   MitigationPlan plan;
   plan.stressed_instances = monitor_.stressed_instances();
   if (plan.stressed_instances.empty()) return plan;
@@ -378,12 +438,12 @@ MitigationPlan DpiController::evaluate_mitigation() {
     return plan;
   }
   for (const std::string& name : plan.stressed_instances) {
-    auto inst = instance(name);
+    auto inst = instance_locked(name);
     if (!inst || inst->config().dedicated) continue;
     // Divert the chains whose traffic carries the heavy signal (§4.3.1:
     // "migrates the heavy flows, which are suspected to be malicious").
     for (const auto& [chain, chain_stats] : inst->chain_telemetry()) {
-      const auto assigned = instance_for_chain(chain);
+      const auto assigned = instance_for_chain_locked(chain);
       if (!assigned || *assigned != name) continue;
       if (chain_stats.hits_per_byte() >
           monitor_.config().hits_per_byte_threshold) {
@@ -397,16 +457,27 @@ MitigationPlan DpiController::evaluate_mitigation() {
 
 std::size_t DpiController::apply_mitigation(const MitigationPlan& plan) {
   std::size_t moved = 0;
-  for (const Migration& m : plan.migrations) {
-    auto it = assignments_.find(m.chain);
-    if (it == assignments_.end() || it->second != m.from_instance) continue;
-    DPISVC_ASSERT_INVARIANT(instances_.count(m.to_instance) != 0,
-                            "mitigation must divert to a known instance");
-    it->second = m.to_instance;
-    ++moved;
-    notify_routing(m.chain, m.to_instance);
-    log(LogLevel::kInfo, "dpi-ctrl", "migrated chain ", m.chain, " from ",
-        m.from_instance, " to ", m.to_instance);
+  // Routing notifications collected under the lock, fired after release so
+  // a TSA listener can re-enter the controller without deadlocking.
+  std::vector<std::pair<dpi::ChainId, std::string>> rerouted;
+  std::function<void(dpi::ChainId, const std::string&)> listener;
+  {
+    const MutexLock lock(mu_);
+    listener = routing_listener_;
+    for (const Migration& m : plan.migrations) {
+      auto it = assignments_.find(m.chain);
+      if (it == assignments_.end() || it->second != m.from_instance) continue;
+      DPISVC_ASSERT_INVARIANT(instances_.count(m.to_instance) != 0,
+                              "mitigation must divert to a known instance");
+      it->second = m.to_instance;
+      ++moved;
+      rerouted.emplace_back(m.chain, m.to_instance);
+      log(LogLevel::kInfo, "dpi-ctrl", "migrated chain ", m.chain, " from ",
+          m.from_instance, " to ", m.to_instance);
+    }
+  }
+  if (listener) {
+    for (const auto& [chain, to] : rerouted) listener(chain, to);
   }
   return moved;
 }
@@ -415,8 +486,13 @@ bool DpiController::migrate_flow(const net::FiveTuple& flow,
                                  const std::string& from,
                                  const std::string& to) {
   if (from == to) return false;  // nothing to move; refuse the no-op
-  auto src = instance(from);
-  auto dst = instance(to);
+  std::shared_ptr<DpiInstance> src;
+  std::shared_ptr<DpiInstance> dst;
+  {
+    const MutexLock lock(mu_);
+    src = instance_locked(from);
+    dst = instance_locked(to);
+  }
   if (!src || !dst) return false;
   if (src->engine_version() != dst->engine_version()) {
     // DFA state ids are engine-relative; a mismatch would corrupt the scan.
@@ -432,7 +508,7 @@ bool DpiController::migrate_flow(const net::FiveTuple& flow,
 
 // --- failure detection + failover -------------------------------------------
 
-void DpiController::heartbeat(const std::string& name) {
+void DpiController::heartbeat_locked(const std::string& name) {
   if (!instances_.count(name)) return;
   // A heartbeat vouches for the *upcoming* telemetry window: collection
   // increments the epoch before checking, so storing epoch_ + 1 makes a
@@ -440,12 +516,13 @@ void DpiController::heartbeat(const std::string& name) {
   last_heartbeat_[name] = epoch_ + 1;
 }
 
-void DpiController::notify_routing(dpi::ChainId chain,
-                                   const std::string& to) const {
-  if (routing_listener_) routing_listener_(chain, to);
+void DpiController::heartbeat(const std::string& name) {
+  const MutexLock lock(mu_);
+  heartbeat_locked(name);
 }
 
 FailoverPlan DpiController::evaluate_failover() {
+  const MutexLock lock(mu_);
   FailoverPlan plan;
   for (const std::string& dead : failed_) {
     std::vector<dpi::ChainId> orphaned;
@@ -485,61 +562,73 @@ FailoverPlan DpiController::evaluate_failover() {
 
 FailoverResult DpiController::apply_failover(const FailoverPlan& plan) {
   FailoverResult result;
-  for (const Migration& m : plan.reassignments) {
-    auto it = assignments_.find(m.chain);
-    if (it == assignments_.end() || it->second != m.from_instance) continue;
-    DPISVC_ASSERT_INVARIANT(failed_.count(m.to_instance) == 0,
-                            "failover must reassign chains to live instances");
-    it->second = m.to_instance;
-    ++result.chains_reassigned;
-    notify_routing(m.chain, m.to_instance);
-    log(LogLevel::kInfo, "dpi-ctrl", "failover: chain ", m.chain, " moved ",
-        m.from_instance, " -> ", m.to_instance);
-  }
-  for (const auto& [dead, target] : plan.flow_targets) {
-    auto src = instance(dead);
-    if (!src) continue;
-    if (target.empty() || target == dead) {
-      result.flows_lost += src->active_flows();
-      continue;
+  std::vector<std::pair<dpi::ChainId, std::string>> rerouted;
+  std::function<void(dpi::ChainId, const std::string&)> listener;
+  {
+    const MutexLock lock(mu_);
+    listener = routing_listener_;
+    for (const Migration& m : plan.reassignments) {
+      auto it = assignments_.find(m.chain);
+      if (it == assignments_.end() || it->second != m.from_instance) continue;
+      DPISVC_ASSERT_INVARIANT(
+          failed_.count(m.to_instance) == 0,
+          "failover must reassign chains to live instances");
+      it->second = m.to_instance;
+      ++result.chains_reassigned;
+      rerouted.emplace_back(m.chain, m.to_instance);
+      log(LogLevel::kInfo, "dpi-ctrl", "failover: chain ", m.chain, " moved ",
+          m.from_instance, " -> ", m.to_instance);
     }
-    auto dst = instance(target);
-    if (!dst) {
-      result.flows_lost += src->active_flows();
-      continue;
-    }
-    if (src->engine_version() != dst->engine_version()) {
-      // DFA state ids are engine-relative; a mismatch would corrupt the scan.
-      log(LogLevel::kWarn, "dpi-ctrl",
-          "failover flow migration refused: engine version mismatch");
-      result.flows_lost += src->active_flows();
-      continue;
-    }
-    // Bulk hand-off: drain the dead instance shard by shard and install the
-    // cursors on the target's own shards in one pass, instead of a per-flow
-    // export/import round trip.
-    auto flows = src->export_all_flows();
-    std::vector<std::pair<net::FiveTuple, dpi::FlowCursor>> live;
-    live.reserve(flows.size());
-    for (auto& entry : flows) {
-      if (entry.second.valid) {
-        live.push_back(std::move(entry));
-      } else {
-        ++result.flows_lost;
+    for (const auto& [dead, target] : plan.flow_targets) {
+      auto src = instance_locked(dead);
+      if (!src) continue;
+      if (target.empty() || target == dead) {
+        result.flows_lost += src->active_flows();
+        continue;
       }
+      auto dst = instance_locked(target);
+      if (!dst) {
+        result.flows_lost += src->active_flows();
+        continue;
+      }
+      if (src->engine_version() != dst->engine_version()) {
+        // DFA state ids are engine-relative; a mismatch would corrupt the
+        // scan.
+        log(LogLevel::kWarn, "dpi-ctrl",
+            "failover flow migration refused: engine version mismatch");
+        result.flows_lost += src->active_flows();
+        continue;
+      }
+      // Bulk hand-off: drain the dead instance shard by shard and install
+      // the cursors on the target's own shards in one pass, instead of a
+      // per-flow export/import round trip.
+      auto flows = src->export_all_flows();
+      std::vector<std::pair<net::FiveTuple, dpi::FlowCursor>> live;
+      live.reserve(flows.size());
+      for (auto& entry : flows) {
+        if (entry.second.valid) {
+          live.push_back(std::move(entry));
+        } else {
+          ++result.flows_lost;
+        }
+      }
+      dst->import_flows(live);
+      result.flows_migrated += live.size();
     }
-    dst->import_flows(live);
-    result.flows_migrated += live.size();
+  }
+  if (listener) {
+    for (const auto& [chain, to] : rerouted) listener(chain, to);
   }
   return result;
 }
 
 bool DpiController::recover_instance(const std::string& name) {
-  auto inst = instance(name);
+  const MutexLock lock(mu_);
+  auto inst = instance_locked(name);
   if (!inst) return false;
   // Engine first: the instance must scan with the current pattern-set
   // version before any chain can route to it again.
-  sync_instances();
+  sync_instances_locked();
   if (compiled_version_ != 0 && inst->engine_version() != compiled_version_) {
     inst->load_engine(
         engine_for(inst->config().group, inst->config().dedicated),

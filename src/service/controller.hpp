@@ -20,6 +20,17 @@
 // Data-plane routing changes implied by placement decisions are exposed as
 // plain data (chain -> instance name) so any TSA implementation — our
 // netsim one or a test harness — can realize them.
+//
+// Concurrency: one control-plane mutex (mu_) serializes every registry the
+// controller owns (chains, instances, assignments, groups, engine cache,
+// failure-detection state). Public entry points take the lock; private
+// *_locked helpers carry a REQUIRES(mu_) contract that Clang's thread-safety
+// analysis enforces under DPISVC_THREAD_SAFETY. Lock order: mu_ may be held
+// while calling into a DpiInstance (instance control_mu_, then a shard
+// mutex), never the reverse — see common/thread_safety.hpp. The routing
+// listener is invoked with no controller lock held (notifications are
+// collected under the lock and fired after release), so a TSA callback may
+// re-enter the controller without deadlocking.
 #pragma once
 
 #include <cstdint>
@@ -31,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_safety.hpp"
 #include "dpi/pattern_db.hpp"
 #include "json/json.hpp"
 #include "service/instance.hpp"
@@ -93,6 +105,11 @@ class DpiController {
   /// {"ok":false,"error":...} responses.
   json::Value handle_message(const json::Value& request);
 
+  /// Direct PatternDb access for setup-time configuration and test
+  /// introspection. The reference bypasses mu_, so concurrent use against a
+  /// running controller requires external synchronization; the controller's
+  /// own mutations (handle_message, register_policy_chain) happen under its
+  /// lock.
   dpi::PatternDb& db() noexcept { return db_; }
   const dpi::PatternDb& db() const noexcept { return db_; }
 
@@ -103,10 +120,9 @@ class DpiController {
   /// id.
   dpi::ChainId register_policy_chain(const std::vector<dpi::MiddleboxId>& mboxes);
 
-  const std::map<dpi::ChainId, std::vector<dpi::MiddleboxId>>& policy_chains()
-      const noexcept {
-    return chains_;
-  }
+  /// Snapshot of the chain registry (a copy: the live map is guarded by the
+  /// controller lock and may change under a reference).
+  std::map<dpi::ChainId, std::vector<dpi::MiddleboxId>> policy_chains() const;
 
   // --- instances --------------------------------------------------------------
 
@@ -145,16 +161,13 @@ class DpiController {
   void define_group(const std::string& name,
                     std::vector<dpi::ChainId> chains);
 
-  const std::map<std::string, std::vector<dpi::ChainId>>& groups()
-      const noexcept {
-    return groups_;
-  }
+  /// Snapshot of the group registry (copy; see policy_chains()).
+  std::map<std::string, std::vector<dpi::ChainId>> groups() const;
 
   std::optional<std::string> instance_for_chain(dpi::ChainId chain) const;
 
-  const std::map<dpi::ChainId, std::string>& assignments() const noexcept {
-    return assignments_;
-  }
+  /// Snapshot of chain -> instance placement (copy; see policy_chains()).
+  std::map<dpi::ChainId, std::string> assignments() const;
 
   // --- MCA² (§4.3.1) ---------------------------------------------------------------
 
@@ -170,12 +183,12 @@ class DpiController {
   /// in-process instances. `instance` filters to one name; empty = all.
   json::Value telemetry_json(const std::string& instance = "") const;
 
-  /// Raw pushed reports, keyed by instance name (tests / introspection).
-  const std::map<std::string, TelemetryReport>& telemetry_reports()
-      const noexcept {
-    return telemetry_reports_;
-  }
+  /// Raw pushed reports, keyed by instance name (tests / introspection;
+  /// copy, see policy_chains()).
+  std::map<std::string, TelemetryReport> telemetry_reports() const;
 
+  /// Direct monitor access for setup-time tuning and test introspection;
+  /// same external-synchronization contract as db().
   StressMonitor& stress_monitor() noexcept { return monitor_; }
 
   /// Builds a plan diverting heavy chains on stressed instances to the
@@ -204,12 +217,17 @@ class DpiController {
   void heartbeat(const std::string& name);
 
   /// Telemetry windows observed so far (the failure-detection clock).
-  std::uint64_t epoch() const noexcept { return epoch_; }
+  std::uint64_t epoch() const {
+    const MutexLock lock(mu_);
+    return epoch_;
+  }
 
-  bool is_failed(const std::string& name) const noexcept {
+  bool is_failed(const std::string& name) const {
+    const MutexLock lock(mu_);
     return failed_.count(name) > 0;
   }
   std::vector<std::string> failed_instances() const {
+    const MutexLock lock(mu_);
     return {failed_.begin(), failed_.end()};
   }
 
@@ -231,9 +249,11 @@ class DpiController {
 
   /// Invoked with (chain, new_instance) whenever apply_mitigation or
   /// apply_failover moves a chain — the hook a TSA uses to reroute the
-  /// data plane.
+  /// data plane. The listener runs with no controller lock held, so it may
+  /// call back into the controller.
   void set_routing_listener(
       std::function<void(dpi::ChainId, const std::string&)> listener) {
+    const MutexLock lock(mu_);
     routing_listener_ = std::move(listener);
   }
 
@@ -242,41 +262,71 @@ class DpiController {
   }
 
  private:
-  void compile_and_push();
+  // Private helpers run under the controller lock taken by their public
+  // entry point; the REQUIRES(mu_) contracts make that assumption
+  // compiler-checked under DPISVC_THREAD_SAFETY.
+  void sync_instances_locked() DPISVC_REQUIRES(mu_);
+  void compile_and_push() DPISVC_REQUIRES(mu_);
   std::shared_ptr<const dpi::Engine> engine_for(const std::string& group,
-                                                bool compressed);
+                                                bool compressed)
+      DPISVC_REQUIRES(mu_);
   dpi::EngineSpec group_spec(const dpi::EngineSpec& full,
-                             const std::string& group) const;
-  std::shared_ptr<DpiInstance> least_loaded(bool dedicated) const;
+                             const std::string& group) const
+      DPISVC_REQUIRES(mu_);
+  std::shared_ptr<DpiInstance> least_loaded(bool dedicated) const
+      DPISVC_REQUIRES(mu_);
   std::shared_ptr<DpiInstance> least_loaded_live(
-      const std::map<std::string, std::size_t>& planned_load) const;
-  std::size_t chains_assigned_to(const std::string& name) const;
-  void notify_routing(dpi::ChainId chain, const std::string& to) const;
+      const std::map<std::string, std::size_t>& planned_load) const
+      DPISVC_REQUIRES(mu_);
+  std::size_t chains_assigned_to(const std::string& name) const
+      DPISVC_REQUIRES(mu_);
+  std::shared_ptr<DpiInstance> instance_locked(const std::string& name) const
+      DPISVC_REQUIRES(mu_);
+  std::optional<std::string> instance_for_chain_locked(dpi::ChainId chain) const
+      DPISVC_REQUIRES(mu_);
+  json::Value telemetry_json_locked(const std::string& filter) const
+      DPISVC_REQUIRES(mu_);
+  void heartbeat_locked(const std::string& name) DPISVC_REQUIRES(mu_);
 
+  /// Serializes all controller registries below. Held across calls into
+  /// DpiInstance (the hierarchy permits mu_ -> control_mu_ -> shard mu);
+  /// released before the routing listener fires.
+  mutable Mutex mu_;
+
+  /// db_ and monitor_ are deliberately unannotated: db() and
+  /// stress_monitor() hand out references for setup-time use, which the
+  /// capability model cannot express without blanketing callers in escape
+  /// hatches. The controller's own accesses all happen under mu_.
   dpi::PatternDb db_;
-  std::uint64_t compiled_version_ = 0;
+  StressMonitor monitor_;
+  /// Immutable after construction.
+  FailoverConfig failover_config_;
+
+  std::uint64_t compiled_version_ DPISVC_GUARDED_BY(mu_) = 0;
   /// Compiled engines keyed by (group, compressed); "" = all chains.
   std::map<std::pair<std::string, bool>, std::shared_ptr<const dpi::Engine>>
-      engine_cache_;
-  dpi::EngineSpec cached_spec_;
-  std::map<std::string, std::vector<dpi::ChainId>> groups_;
+      engine_cache_ DPISVC_GUARDED_BY(mu_);
+  dpi::EngineSpec cached_spec_ DPISVC_GUARDED_BY(mu_);
+  std::map<std::string, std::vector<dpi::ChainId>> groups_
+      DPISVC_GUARDED_BY(mu_);
 
-  std::map<dpi::ChainId, std::vector<dpi::MiddleboxId>> chains_;
-  dpi::ChainId next_chain_id_ = 1;
+  std::map<dpi::ChainId, std::vector<dpi::MiddleboxId>> chains_
+      DPISVC_GUARDED_BY(mu_);
+  dpi::ChainId next_chain_id_ DPISVC_GUARDED_BY(mu_) = 1;
 
-  std::map<std::string, std::shared_ptr<DpiInstance>> instances_;
-  std::map<dpi::ChainId, std::string> assignments_;
+  std::map<std::string, std::shared_ptr<DpiInstance>> instances_
+      DPISVC_GUARDED_BY(mu_);
+  std::map<dpi::ChainId, std::string> assignments_ DPISVC_GUARDED_BY(mu_);
   /// Latest telemetry_report per instance name, as pushed over the JSON
   /// channel.
-  std::map<std::string, TelemetryReport> telemetry_reports_;
+  std::map<std::string, TelemetryReport> telemetry_reports_
+      DPISVC_GUARDED_BY(mu_);
 
-  StressMonitor monitor_;
-
-  FailoverConfig failover_config_;
-  std::uint64_t epoch_ = 0;
-  std::map<std::string, std::uint64_t> last_heartbeat_;
-  std::set<std::string> failed_;
-  std::function<void(dpi::ChainId, const std::string&)> routing_listener_;
+  std::uint64_t epoch_ DPISVC_GUARDED_BY(mu_) = 0;
+  std::map<std::string, std::uint64_t> last_heartbeat_ DPISVC_GUARDED_BY(mu_);
+  std::set<std::string> failed_ DPISVC_GUARDED_BY(mu_);
+  std::function<void(dpi::ChainId, const std::string&)> routing_listener_
+      DPISVC_GUARDED_BY(mu_);
 };
 
 }  // namespace dpisvc::service

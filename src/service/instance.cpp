@@ -50,7 +50,7 @@ void DpiInstance::load_engine(std::shared_ptr<const dpi::Engine> engine,
                               std::uint64_t version) {
   std::size_t num_states = 0;
   {
-    const std::lock_guard<std::mutex> control(control_mu_);
+    const MutexLock control(control_mu_);
     engine_ = engine;
     engine_version_ = version;
     if (engine_ != nullptr) num_states = engine_->num_automaton_states();
@@ -59,7 +59,7 @@ void DpiInstance::load_engine(std::shared_ptr<const dpi::Engine> engine,
     // DFA state identifiers are meaningful only within one compiled engine;
     // carrying cursors across a recompile would resume at arbitrary states.
     for (auto& shard : shards_) {
-      const std::lock_guard<std::mutex> lock(shard->mu);
+      const MutexLock lock(shard->mu);
       shard->engine = engine;
       shard->flows.clear();
       DPISVC_ASSERT_INVARIANT(shard->flows.size() == 0,
@@ -71,17 +71,17 @@ void DpiInstance::load_engine(std::shared_ptr<const dpi::Engine> engine,
 }
 
 std::uint64_t DpiInstance::engine_version() const {
-  const std::lock_guard<std::mutex> lock(control_mu_);
+  const MutexLock lock(control_mu_);
   return engine_version_;
 }
 
 bool DpiInstance::has_engine() const {
-  const std::lock_guard<std::mutex> lock(control_mu_);
+  const MutexLock lock(control_mu_);
   return engine_ != nullptr;
 }
 
 std::shared_ptr<const dpi::Engine> DpiInstance::engine_snapshot() const {
-  const std::lock_guard<std::mutex> lock(control_mu_);
+  const MutexLock lock(control_mu_);
   return engine_;
 }
 
@@ -106,7 +106,7 @@ void accumulate(InstanceTelemetry& into, const InstanceTelemetry& from) {
 InstanceTelemetry DpiInstance::telemetry() const {
   InstanceTelemetry total;
   for (const auto& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard->mu);
+    const MutexLock lock(shard->mu);
     accumulate(total, shard->telemetry);
   }
   return total;
@@ -115,7 +115,7 @@ InstanceTelemetry DpiInstance::telemetry() const {
 std::map<dpi::ChainId, ChainTelemetry> DpiInstance::chain_telemetry() const {
   std::map<dpi::ChainId, ChainTelemetry> total;
   for (const auto& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard->mu);
+    const MutexLock lock(shard->mu);
     for (const auto& [chain, counters] : shard->chain_telemetry) {
       ChainTelemetry& into = total[chain];
       into.packets += counters.packets;
@@ -134,7 +134,7 @@ InstanceTelemetry DpiInstance::reset_telemetry() {
   // windowed consumer racing the scanners could not account for them.
   InstanceTelemetry total;
   for (auto& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard->mu);
+    const MutexLock lock(shard->mu);
     accumulate(total, shard->telemetry);
     shard->telemetry = InstanceTelemetry{};
     shard->chain_telemetry.clear();
@@ -185,7 +185,7 @@ json::Value DpiInstance::stats_json() const {
 std::size_t DpiInstance::active_flows() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard->mu);
+    const MutexLock lock(shard->mu);
     total += shard->flows.size();
   }
   return total;
@@ -194,7 +194,7 @@ std::size_t DpiInstance::active_flows() const {
 std::vector<net::FiveTuple> DpiInstance::active_flow_keys() const {
   std::vector<net::FiveTuple> out;
   for (const auto& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard->mu);
+    const MutexLock lock(shard->mu);
     const auto keys = shard->flows.keys();
     out.insert(out.end(), keys.begin(), keys.end());
   }
@@ -209,7 +209,7 @@ dpi::ScanResult DpiInstance::scan(dpi::ChainId chain,
     trace_.record(obs::TraceEvent::kShardDispatch, flow.canonical().hash(), 0,
                   payload.size(), shard.index, chain);
   }
-  const std::lock_guard<std::mutex> lock(shard.mu);
+  const MutexLock lock(shard.mu);
   return scan_on_shard(shard, chain, flow, payload);
 }
 
@@ -228,7 +228,7 @@ std::vector<dpi::ScanResult> DpiInstance::scan_batch(
     if (buckets[s].empty()) continue;
     jobs[s] = [this, s, &buckets, &items, &out] {
       Shard& shard = *shards_[s];
-      const std::lock_guard<std::mutex> lock(shard.mu);
+      const MutexLock lock(shard.mu);
       for (const std::size_t i : buckets[s]) {
         if (trace_.enabled()) {
           trace_.record(obs::TraceEvent::kShardDispatch,
@@ -359,7 +359,7 @@ std::optional<Bytes> DpiInstance::maybe_decompress(BytesView payload) {
 
 ProcessOutput DpiInstance::process(net::Packet packet) {
   Shard& shard = shard_of(packet.tuple);
-  const std::lock_guard<std::mutex> lock(shard.mu);
+  const MutexLock lock(shard.mu);
   ProcessOutput out;
   const auto tag = packet.find_tag(net::TagKind::kPolicyChain);
   if (trace_.enabled()) {
@@ -462,7 +462,7 @@ ProcessOutput DpiInstance::process(net::Packet packet) {
 
 dpi::FlowCursor DpiInstance::export_flow(const net::FiveTuple& flow) {
   Shard& shard = shard_of(flow);
-  const std::lock_guard<std::mutex> lock(shard.mu);
+  const MutexLock lock(shard.mu);
   return shard.flows.extract(flow);
 }
 
@@ -484,7 +484,7 @@ bool cursor_fits_engine(const dpi::FlowCursor& cursor,
 void DpiInstance::import_flow(const net::FiveTuple& flow,
                               const dpi::FlowCursor& cursor) {
   Shard& shard = shard_of(flow);
-  const std::lock_guard<std::mutex> lock(shard.mu);
+  const MutexLock lock(shard.mu);
   if (!cursor_fits_engine(cursor, shard.engine.get())) return;
   shard.flows.update(flow, cursor);
 }
@@ -495,7 +495,7 @@ DpiInstance::export_all_flows() {
   // Shard at a time: the rest of the data plane keeps scanning while one
   // shard is drained.
   for (auto& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard->mu);
+    const MutexLock lock(shard->mu);
     auto drained = shard->flows.drain();
     out.insert(out.end(), std::make_move_iterator(drained.begin()),
                std::make_move_iterator(drained.end()));
@@ -507,7 +507,7 @@ void DpiInstance::import_flows(
     const std::vector<std::pair<net::FiveTuple, dpi::FlowCursor>>& flows) {
   for (const auto& [flow, cursor] : flows) {
     Shard& shard = shard_of(flow);
-    const std::lock_guard<std::mutex> lock(shard.mu);
+    const MutexLock lock(shard.mu);
     if (!cursor_fits_engine(cursor, shard.engine.get())) continue;
     shard.flows.update(flow, cursor);
   }

@@ -34,12 +34,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/thread_safety.hpp"
 #include "common/timer.hpp"
 #include "dpi/engine.hpp"
 #include "dpi/flow_table.hpp"
@@ -279,14 +279,17 @@ class DpiInstance {
 
   /// Everything a data-plane worker touches, under one mutex. Flows are
   /// owned by exactly one shard (canonical-hash placement), so shard
-  /// mutexes never nest.
+  /// mutexes never nest. `obs` and `index` are written once at construction
+  /// (before any worker exists) and read-only afterwards, so they stay
+  /// unguarded; everything the scan path mutates is GUARDED_BY(mu).
   struct Shard {
-    mutable std::mutex mu;
-    std::shared_ptr<const dpi::Engine> engine;
-    dpi::FlowTable flows;
-    net::FlowReassembler reassembler;
-    InstanceTelemetry telemetry;
-    std::map<dpi::ChainId, ChainTelemetry> chain_telemetry;
+    mutable Mutex mu;
+    std::shared_ptr<const dpi::Engine> engine DPISVC_GUARDED_BY(mu);
+    dpi::FlowTable flows DPISVC_GUARDED_BY(mu);
+    net::FlowReassembler reassembler DPISVC_GUARDED_BY(mu);
+    InstanceTelemetry telemetry DPISVC_GUARDED_BY(mu);
+    std::map<dpi::ChainId, ChainTelemetry> chain_telemetry
+        DPISVC_GUARDED_BY(mu);
     ShardInstruments obs;
     std::uint32_t index = 0;
 
@@ -303,10 +306,11 @@ class DpiInstance {
   net::MatchReport build_report(dpi::ChainId chain, std::uint64_t packet_ref,
                                 const dpi::ScanResult& scan) const;
   std::optional<Bytes> maybe_decompress(BytesView payload);
-  /// Scan body shared by scan(), process() and scan_batch(); caller holds
-  /// shard.mu.
+  /// Scan body shared by scan(), process() and scan_batch(); the caller
+  /// must hold shard.mu (compiler-enforced under DPISVC_THREAD_SAFETY).
   dpi::ScanResult scan_on_shard(Shard& shard, dpi::ChainId chain,
-                                const net::FiveTuple& flow, BytesView payload);
+                                const net::FiveTuple& flow, BytesView payload)
+      DPISVC_REQUIRES(shard.mu);
 
   std::string name_;
   InstanceConfig config_;
@@ -316,9 +320,9 @@ class DpiInstance {
   obs::ScanTrace trace_;
   /// Control-plane lock: engine pushes and the canonical engine/version
   /// snapshot. Acquired before any shard mutex, never after one.
-  mutable std::mutex control_mu_;
-  std::shared_ptr<const dpi::Engine> engine_;
-  std::uint64_t engine_version_ = 0;
+  mutable Mutex control_mu_;
+  std::shared_ptr<const dpi::Engine> engine_ DPISVC_GUARDED_BY(control_mu_);
+  std::uint64_t engine_version_ DPISVC_GUARDED_BY(control_mu_) = 0;
   /// Declared before pool_ so workers never outlive the shards they touch.
   std::vector<std::unique_ptr<Shard>> shards_;
   ScanPool pool_;

@@ -18,7 +18,7 @@ ScanPool::ScanPool(std::size_t num_workers, obs::Histogram* queue_wait_ns)
 ScanPool::~ScanPool() {
   for (auto& worker : workers_) {
     {
-      const std::lock_guard<std::mutex> lock(worker->mu);
+      const MutexLock lock(worker->mu);
       worker->stop = true;
     }
     worker->cv.notify_one();
@@ -32,9 +32,8 @@ void ScanPool::worker_loop(Worker& worker) {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock<std::mutex> lock(worker.mu);
-      worker.cv.wait(lock,
-                     [&] { return worker.stop || !worker.queue.empty(); });
+      MutexLock lock(worker.mu);
+      while (!worker.stop && worker.queue.empty()) worker.cv.wait(lock);
       if (worker.queue.empty()) return;  // stop requested, queue drained
       job = std::move(worker.queue.front());
       worker.queue.pop_front();
@@ -53,9 +52,9 @@ void ScanPool::dispatch(std::vector<std::function<void()>> jobs) {
 
   // Completion latch shared by this dispatch's jobs.
   struct Completion {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::size_t remaining = 0;
+    Mutex mu;
+    CondVar cv;
+    std::size_t remaining DPISVC_GUARDED_BY(mu) = 0;
   };
   auto done = std::make_shared<Completion>();
   std::size_t submitted = 0;
@@ -63,20 +62,23 @@ void ScanPool::dispatch(std::vector<std::function<void()>> jobs) {
     if (job) ++submitted;
   }
   if (submitted == 0) return;
-  done->remaining = submitted;
+  {
+    const MutexLock lock(done->mu);
+    done->remaining = submitted;
+  }
 
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     if (!jobs[i]) continue;
     Worker& worker = *workers_[i % workers_.size()];
     {
-      const std::lock_guard<std::mutex> lock(worker.mu);
+      const MutexLock lock(worker.mu);
       worker.queue.push_back([job = std::move(jobs[i]), done,
                               wait_hist = queue_wait_ns_,
                               enqueued = Stopwatch()] {
         if (wait_hist != nullptr) wait_hist->record(enqueued.elapsed_ns());
         job();
         {
-          const std::lock_guard<std::mutex> lock(done->mu);
+          const MutexLock lock(done->mu);
           --done->remaining;
         }
         done->cv.notify_one();
@@ -85,8 +87,8 @@ void ScanPool::dispatch(std::vector<std::function<void()>> jobs) {
     worker.cv.notify_one();
   }
 
-  std::unique_lock<std::mutex> lock(done->mu);
-  done->cv.wait(lock, [&] { return done->remaining == 0; });
+  MutexLock lock(done->mu);
+  while (done->remaining != 0) done->cv.wait(lock);
 }
 
 }  // namespace dpisvc::service

@@ -12,15 +12,14 @@
 // byte-identical to the pre-sharding code path (and trivially TSan-clean).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/thread_safety.hpp"
 #include "obs/metrics.hpp"
 
 namespace dpisvc::service {
@@ -52,10 +51,10 @@ class ScanPool {
 
  private:
   struct Worker {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<std::function<void()>> queue;
-    bool stop = false;
+    Mutex mu;
+    CondVar cv;
+    std::deque<std::function<void()>> queue DPISVC_GUARDED_BY(mu);
+    bool stop DPISVC_GUARDED_BY(mu) = false;
     std::thread thread;
   };
 

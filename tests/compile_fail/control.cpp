@@ -1,0 +1,32 @@
+// Positive control for the thread-safety compile-fail suite: correctly
+// annotated code that MUST compile under -Werror=thread-safety. If this file
+// fails, the negative cases below are failing for the wrong reason (broken
+// include path or flags), not because the analysis caught them.
+#include "common/thread_safety.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void increment() {
+    const dpisvc::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  int value() const {
+    const dpisvc::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  mutable dpisvc::Mutex mu_;
+  int value_ DPISVC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.increment();
+  return counter.value() == 1 ? 0 : 1;
+}

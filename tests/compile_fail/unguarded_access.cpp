@@ -1,0 +1,29 @@
+// Negative case: reading and writing a DPISVC_GUARDED_BY field without
+// holding its mutex. Clang -Werror=thread-safety MUST reject this file; the
+// ctest registers it with WILL_FAIL.
+#include "common/thread_safety.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void increment() {
+    ++value_;  // expected error: writing variable requires holding mutex
+  }
+
+  int value() const {
+    return value_;  // expected error: reading variable requires holding mutex
+  }
+
+ private:
+  mutable dpisvc::Mutex mu_;
+  int value_ DPISVC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.increment();
+  return counter.value();
+}

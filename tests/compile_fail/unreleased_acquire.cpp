@@ -1,0 +1,18 @@
+// Negative case: acquiring a capability and returning without releasing it.
+// Clang -Werror=thread-safety MUST reject this file ("mutex is still held at
+// the end of function"); the ctest registers it with WILL_FAIL.
+#include "common/thread_safety.hpp"
+
+namespace {
+
+dpisvc::Mutex mu;
+int value DPISVC_GUARDED_BY(mu) = 0;
+
+int take_and_leak() {
+  mu.lock();
+  return value;  // expected error: mu still held at end of function
+}
+
+}  // namespace
+
+int main() { return take_and_leak(); }

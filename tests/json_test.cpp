@@ -92,6 +92,34 @@ TEST(JsonParse, RejectsControlCharInString) {
   EXPECT_THROW(parse(std::string("\"a\nb\"")), ParseError);
 }
 
+TEST(JsonParse, NestingDepthBoundary) {
+  // Exactly kMaxParseDepth nested arrays parses; one more is rejected, so an
+  // adversarial "[[[[..." message cannot turn recursion into stack overflow.
+  const std::string at_limit = std::string(kMaxParseDepth, '[') + "1" +
+                               std::string(kMaxParseDepth, ']');
+  EXPECT_NO_THROW(parse(at_limit));
+  const std::string over_limit = std::string(kMaxParseDepth + 1, '[') + "1" +
+                                 std::string(kMaxParseDepth + 1, ']');
+  EXPECT_THROW(parse(over_limit), ParseError);
+  // Objects count against the same budget.
+  std::string objs;
+  for (std::size_t i = 0; i <= kMaxParseDepth; ++i) objs += "{\"k\":";
+  objs += "1";
+  objs.append(kMaxParseDepth + 1, '}');
+  EXPECT_THROW(parse(objs), ParseError);
+  // Depth is per-parse state, not cumulative: a wide document with many
+  // shallow siblings is fine.
+  EXPECT_NO_THROW(parse("[[1],[2],[3],[4],[5],[6],[7],[8]]"));
+}
+
+TEST(JsonParse, NumberOverflowIsParseError) {
+  // std::stod overflow must surface as the module's ParseError, not leak
+  // std::out_of_range to callers (found by fuzzing the parser).
+  EXPECT_THROW(parse("1e999"), ParseError);
+  EXPECT_THROW(parse("-1e999"), ParseError);
+  EXPECT_NO_THROW(parse("1e308"));
+}
+
 TEST(JsonDump, CompactRoundTrip) {
   const char* docs[] = {
       R"(null)",

@@ -76,8 +76,50 @@ TEST(PatternDb, SameRuleIdDifferentBytesRejected) {
   db.register_middlebox(mbox(1, "a"));
   db.add_exact(1, 5, "aaaa");
   EXPECT_THROW(db.add_exact(1, 5, "bbbb"), std::invalid_argument);
-  // Idempotent re-add of identical bytes is fine.
-  EXPECT_NO_THROW(db.add_exact(1, 5, "aaaa"));
+  // Re-adding the same (middlebox, rule) pair is a duplicate even when the
+  // bytes are identical.
+  EXPECT_THROW(db.add_exact(1, 5, "aaaa"), PatternDbError);
+}
+
+TEST(PatternDb, DuplicateRulePairRejectedWithTypedError) {
+  PatternDb db;
+  db.register_middlebox(mbox(1, "a"));
+  db.add_exact(1, 5, "aaaa");
+  try {
+    db.add_exact(1, 5, "aaaa");
+    FAIL() << "expected PatternDbError";
+  } catch (const PatternDbError& e) {
+    EXPECT_EQ(e.code(), PatternDbError::Code::kDuplicateRule);
+  }
+  // The pair is claimed across both tables: an exact registration blocks a
+  // regex one under the same rule id, and vice versa.
+  EXPECT_THROW(db.add_regex(1, 5, "evil"), PatternDbError);
+  db.add_regex(1, 6, "evil");
+  EXPECT_THROW(db.add_exact(1, 6, "bytes"), PatternDbError);
+  // Distinct middlebox or rule id is still fine.
+  db.register_middlebox(mbox(2, "b"));
+  EXPECT_NO_THROW(db.add_exact(2, 5, "aaaa"));
+  EXPECT_NO_THROW(db.add_exact(1, 7, "aaaa"));
+  EXPECT_TRUE(db.has_rule(1, 5));
+  EXPECT_TRUE(db.has_rule(1, 6));
+  EXPECT_FALSE(db.has_rule(2, 6));
+}
+
+TEST(PatternDb, OversizedPatternRejectedWithTypedError) {
+  PatternDb db;
+  db.register_middlebox(mbox(1, "a"));
+  const std::string at_limit(kMaxPatternBytes, 'x');
+  EXPECT_NO_THROW(db.add_exact(1, 0, at_limit));
+  const std::string over_limit(kMaxPatternBytes + 1, 'x');
+  try {
+    db.add_exact(1, 1, over_limit);
+    FAIL() << "expected PatternDbError";
+  } catch (const PatternDbError& e) {
+    EXPECT_EQ(e.code(), PatternDbError::Code::kPatternTooLong);
+  }
+  EXPECT_THROW(db.add_regex(1, 1, over_limit), PatternDbError);
+  // A rejected add leaves no reference behind.
+  EXPECT_FALSE(db.has_rule(1, 1));
 }
 
 TEST(PatternDb, RegexRefCounting) {

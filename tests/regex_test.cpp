@@ -176,6 +176,21 @@ TEST(RegexParse, RejectsMalformed) {
   EXPECT_THROW(parse("(?<x>a)"), SyntaxError);
 }
 
+TEST(RegexParse, GroupNestingDepthBoundary) {
+  // Each '(' is a recursive-descent frame; the depth cap turns adversarial
+  // "((((..." patterns into SyntaxError instead of stack exhaustion.
+  ParseOptions options;
+  const int depth = options.max_group_depth;
+  const std::string at_limit =
+      std::string(depth, '(') + "a" + std::string(depth, ')');
+  EXPECT_NO_THROW(parse(at_limit, options));
+  const std::string over_limit =
+      std::string(depth + 1, '(') + "a" + std::string(depth + 1, ')');
+  EXPECT_THROW(parse(over_limit, options), SyntaxError);
+  // Sibling groups do not accumulate depth.
+  EXPECT_NO_THROW(parse("(a)(b)(c)(d)", options));
+}
+
 // --- anchor extraction (§5.3) ----------------------------------------------------
 
 TEST(Anchors, PaperExample) {

@@ -21,6 +21,7 @@
 
 #include "common/timer.hpp"
 #include "dpi/pattern_db.hpp"
+#include "json/json.hpp"
 #include "verify/verifier.hpp"
 #include "workload/pattern_gen.hpp"
 #include "workload/trace_io.hpp"
@@ -34,7 +35,38 @@ struct Options {
   std::vector<std::string> regexes;
   std::size_t max_patterns = 2000;
   bool builtin = false;
+  bool json = false;  ///< machine-readable report on stdout (CI consumption)
 };
+
+/// One verified suite, kept for the --json report.
+struct SuiteResult {
+  std::string name;
+  std::size_t patterns = 0;
+  std::size_t regexes = 0;
+  double seconds = 0;
+  std::vector<verify::Diagnostic> diagnostics;
+};
+
+json::Value report_json(const std::vector<SuiteResult>& results) {
+  json::Array suites;
+  std::size_t failures = 0;
+  for (const SuiteResult& r : results) {
+    json::Array diags;
+    for (const auto& d : r.diagnostics) {
+      diags.push_back(json::obj({{"code", d.code}, {"message", d.message}}));
+    }
+    failures += r.diagnostics.size();
+    suites.push_back(json::obj({{"name", r.name},
+                                {"patterns", r.patterns},
+                                {"regexes", r.regexes},
+                                {"seconds", r.seconds},
+                                {"ok", r.diagnostics.empty()},
+                                {"failures", std::move(diags)}}));
+  }
+  return json::obj({{"ok", failures == 0},
+                    {"total_failures", failures},
+                    {"suites", std::move(suites)}});
+}
 
 /// Distributes patterns over three middleboxes round-robin, registers the
 /// first few patterns a second time under another middlebox (the §4.1
@@ -88,9 +120,9 @@ void populate_db(dpi::PatternDb& db, const dpi::EngineSpec& spec) {
   }
 }
 
-std::size_t run_suite(const std::string& name,
+SuiteResult run_suite(const std::string& name,
                       const std::vector<std::string>& patterns,
-                      const std::vector<std::string>& regexes) {
+                      const std::vector<std::string>& regexes, bool quiet) {
   Stopwatch watch;
   const dpi::EngineSpec spec = make_spec(patterns, regexes);
 
@@ -115,19 +147,21 @@ std::size_t run_suite(const std::string& name,
     append(verify::check_pattern_db(db));
   }
 
-  for (const auto& d : diagnostics) {
-    std::printf("FAIL %-28s %s: %s\n", name.c_str(), d.code.c_str(),
-                d.message.c_str());
+  if (!quiet) {
+    for (const auto& d : diagnostics) {
+      std::printf("FAIL %-28s %s: %s\n", name.c_str(), d.code.c_str(),
+                  d.message.c_str());
+    }
+    std::printf("%-28s %4zu patterns, %2zu regexes: %s (%.2f s)\n",
+                name.c_str(), patterns.size(), regexes.size(),
+                diagnostics.empty() ? "OK" : "FAILED",
+                watch.elapsed_seconds());
   }
-  std::printf("%-28s %4zu patterns, %2zu regexes: %s (%.2f s)\n", name.c_str(),
-              patterns.size(), regexes.size(),
-              diagnostics.empty() ? "OK" : "FAILED", watch.elapsed_seconds());
-  return diagnostics.size();
+  return SuiteResult{name, patterns.size(), regexes.size(),
+                     watch.elapsed_seconds(), std::move(diagnostics)};
 }
 
-int cmd_builtin() {
-  std::size_t failures = 0;
-
+void cmd_builtin(std::vector<SuiteResult>& results, bool quiet) {
   // Handcrafted set exercising suffix propagation ("he" in "she", "hers"),
   // shared prefixes, and binary bytes.
   const std::vector<std::string> classic = {
@@ -135,18 +169,17 @@ int cmd_builtin() {
       "hers",         "ushers",        std::string("\x00\x01\x02mark", 7),
       "GET /index",   "index.html",    "html></html>",
   };
-  failures += run_suite("builtin:classic", classic,
-                        {"User-Agent: [a-z]+bot", "cmd\\.exe.{0,16}/c"});
+  results.push_back(run_suite("builtin:classic", classic,
+                              {"User-Agent: [a-z]+bot", "cmd\\.exe.{0,16}/c"},
+                              quiet));
 
   const auto snort =
       workload::generate_patterns(workload::snort_like(600, 17));
-  failures += run_suite("builtin:snort-like", snort, {});
+  results.push_back(run_suite("builtin:snort-like", snort, {}, quiet));
 
   const auto clamav =
       workload::generate_patterns(workload::clamav_like(400, 23));
-  failures += run_suite("builtin:clamav-like", clamav, {});
-
-  return failures == 0 ? 0 : 1;
+  results.push_back(run_suite("builtin:clamav-like", clamav, {}, quiet));
 }
 
 void usage() {
@@ -157,6 +190,8 @@ void usage() {
   --max-patterns N   cap the number of patterns read from FILE (default 2000)
   --builtin          verify generated snort-like/clamav-like sets and a
                      handcrafted suffix-heavy suite
+  --json             print one machine-readable JSON report on stdout instead
+                     of per-suite lines (CI artifact; exit status unchanged)
 
 exit status: 0 = all invariants hold, 1 = violations found, 2 = usage error
 )");
@@ -170,6 +205,8 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--builtin") {
       opt.builtin = true;
+    } else if (arg == "--json") {
+      opt.json = true;
     } else if (arg == "--patterns" && i + 1 < argc) {
       opt.patterns_file = argv[++i];
     } else if (arg == "--regex" && i + 1 < argc) {
@@ -186,20 +223,26 @@ int main(int argc, char** argv) {
     return 2;
   }
   try {
-    int rc = 0;
+    std::vector<SuiteResult> results;
     if (opt.builtin) {
-      rc = cmd_builtin();
+      cmd_builtin(results, opt.json);
     }
     if (!opt.patterns_file.empty()) {
       auto patterns = workload::load_patterns(opt.patterns_file);
       if (patterns.size() > opt.max_patterns) {
         patterns.resize(opt.max_patterns);
       }
-      if (run_suite(opt.patterns_file, patterns, opt.regexes) != 0) {
-        rc = 1;
-      }
+      results.push_back(
+          run_suite(opt.patterns_file, patterns, opt.regexes, opt.json));
     }
-    return rc;
+    std::size_t failures = 0;
+    for (const SuiteResult& r : results) {
+      failures += r.diagnostics.size();
+    }
+    if (opt.json) {
+      std::printf("%s\n", json::dump(report_json(results)).c_str());
+    }
+    return failures == 0 ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
