@@ -1,0 +1,122 @@
+// Fuzz target: the overlap-policy surface of TCP reassembly, cross-checked
+// against the independent normalization oracle of workload/adversarial_gen.
+//
+// The input bytes decode into a bounded op sequence (in-order append, gap
+// segment, identical duplicate of an earlier segment, conflicting uppercase
+// overwrite of an earlier segment). The same delivery runs through three
+// StreamReassemblers — one per OverlapPolicy — and each run is compared
+// against normalize_segments(). Oracles:
+//  * no crash / sanitizer report under any policy;
+//  * released bytes equal the oracle's bytes exactly;
+//  * the ambiguity flag and conflicting-byte count agree with the oracle;
+//  * kRejectAmbiguous never releases a conflicting (uppercase) byte: every
+//    offset an uppercase decoy targets was first delivered lowercase, and
+//    the generator keeps the stream inside max_buffered/max_gap, so a decoy
+//    can only land on pending or released data — where reject fails closed.
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "net/reassembly.hpp"
+#include "workload/adversarial_gen.hpp"
+
+namespace {
+
+using namespace dpisvc;
+
+constexpr int kMaxOps = 128;
+constexpr std::size_t kMaxSegment = 64;
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size < 3) return 0;
+
+  net::ReassemblyConfig config;
+  // Vary the released-history window: disabled, smaller than most segments,
+  // and effectively unbounded for these stream sizes.
+  switch (data[0] % 3) {
+    case 0: config.overlap_history = 0; break;
+    case 1: config.overlap_history = 16; break;
+    default: config.overlap_history = 4096; break;
+  }
+  // Optionally straddle the 32-bit sequence wrap.
+  const std::uint32_t initial_seq = (data[1] & 1) != 0 ? 0xFFFFFF80u : 1000u;
+  std::size_t pos = 2;
+
+  // Decode the delivery. `extent` is the generation-side stream length; all
+  // offsets stay far below max_buffered (256K) and max_gap (1M), so every
+  // lowercase segment is stored — a precondition of the reject oracle.
+  std::vector<workload::SegmentRecord> delivery;
+  std::vector<std::size_t> originals;  // indices of ops 0..2 (lowercase)
+  std::uint32_t extent = 0;
+  for (int ops = 0; ops < kMaxOps && pos < size; ++ops) {
+    const std::uint8_t control = data[pos++];
+    int type = control >> 6;
+    if (type >= 2 && originals.empty()) type = 0;
+    if (type <= 1) {
+      std::uint32_t offset = extent;
+      if (type == 1) {
+        if (pos >= size) break;
+        offset += 1 + (data[pos++] % 24);  // hole before this segment
+      }
+      const std::size_t len =
+          std::min<std::size_t>(1 + (control & 0x3f), size - pos);
+      if (len == 0) break;
+      Bytes payload(len);
+      for (std::size_t i = 0; i < len; ++i) {
+        payload[i] = static_cast<std::uint8_t>('a' + data[pos + i] % 16);
+      }
+      pos += len;
+      originals.push_back(delivery.size());
+      delivery.push_back(
+          workload::SegmentRecord{initial_seq + offset, std::move(payload)});
+      extent = std::max(extent, offset + static_cast<std::uint32_t>(len));
+    } else {
+      if (pos >= size) break;
+      const workload::SegmentRecord& base =
+          delivery[originals[data[pos++] % originals.size()]];
+      workload::SegmentRecord copy{base.seq, base.data};
+      if (type == 3) {
+        // Conflicting decoy: same range, every byte differs.
+        for (std::uint8_t& b : copy.data) {
+          b = static_cast<std::uint8_t>('A' + (b - 'a'));
+        }
+      }
+      delivery.push_back(std::move(copy));
+    }
+  }
+  if (delivery.empty()) return 0;
+
+  constexpr net::OverlapPolicy kPolicies[] = {
+      net::OverlapPolicy::kFirstWins, net::OverlapPolicy::kLastWins,
+      net::OverlapPolicy::kRejectAmbiguous};
+  for (net::OverlapPolicy policy : kPolicies) {
+    config.overlap_policy = policy;
+    net::StreamReassembler stream(initial_seq, config);
+    Bytes released;
+    for (const workload::SegmentRecord& s : delivery) {
+      stream.accept(s.seq, BytesView(s.data.data(), s.data.size()));
+      const Bytes ready = stream.pop_ready();
+      released.insert(released.end(), ready.begin(), ready.end());
+    }
+
+    const workload::NormalizedView oracle =
+        workload::normalize_segments(initial_seq, delivery, policy, config);
+    if (released != oracle.bytes) __builtin_trap();
+    if ((stream.ambiguous_overlaps() > 0) != oracle.ambiguous) {
+      __builtin_trap();
+    }
+    if (stream.conflicting_overlap_bytes() != oracle.conflicting_bytes) {
+      __builtin_trap();
+    }
+    if (policy == net::OverlapPolicy::kRejectAmbiguous) {
+      for (std::uint8_t b : released) {
+        if (b >= 'A' && b <= 'Z') __builtin_trap();
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,179 @@
+#include "net/defrag.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/invariant.hpp"
+
+namespace dpisvc::net {
+
+IpDefragmenter::IpDefragmenter(const DefragConfig& config) : config_(config) {}
+
+IpDefragmenter::Key IpDefragmenter::key_of(const Packet& packet) noexcept {
+  return Key{packet.tuple.src_ip.value, packet.tuple.dst_ip.value,
+             static_cast<std::uint8_t>(packet.tuple.proto), packet.ip_id};
+}
+
+void IpDefragmenter::erase(LruList::iterator it) {
+  datagrams_.erase(it->key);
+  lru_.erase(it);
+}
+
+void IpDefragmenter::evict_idle() {
+  // Oldest entries sit at the back; stop at the first fresh one.
+  while (!lru_.empty() &&
+         tick_ - lru_.back().last_feed > config_.idle_timeout_feeds) {
+    ++stats_.evicted_incomplete;
+    erase(std::prev(lru_.end()));
+  }
+}
+
+IpDefragmenter::Datagram& IpDefragmenter::datagram_for(const Packet& packet) {
+  const Key key = key_of(packet);
+  auto it = datagrams_.find(key);
+  if (it != datagrams_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);  // refresh: move to front
+    it->second->last_feed = tick_;
+    return *it->second;
+  }
+  if (config_.max_datagrams > 0 && datagrams_.size() >= config_.max_datagrams) {
+    ++stats_.evicted_incomplete;
+    erase(std::prev(lru_.end()));
+  }
+  lru_.push_front(Datagram{});
+  Datagram& dg = lru_.front();
+  dg.key = key;
+  dg.last_feed = tick_;
+  datagrams_.emplace(key, lru_.begin());
+  return dg;
+}
+
+void IpDefragmenter::tick() {
+  ++tick_;
+  evict_idle();
+}
+
+std::optional<Packet> IpDefragmenter::feed(const Packet& packet) {
+  tick();
+  if (!packet.is_fragment()) return packet;
+
+  ++stats_.fragments;
+  const std::size_t offset = static_cast<std::size_t>(packet.frag_offset) * 8;
+  const std::size_t len = packet.payload.size();
+  Datagram& dg = datagram_for(packet);
+
+  // Bounds checks first: a fragment that lies about the datagram's shape
+  // (teardrop, oversize, inconsistent totals) poisons the datagram whatever
+  // the overlap policy says — these are not ambiguities, they are malformed.
+  bool bad_bounds = false;
+  if (offset + len > config_.max_datagram) bad_bounds = true;
+  if (packet.more_fragments) {
+    // Non-final fragments must end on an 8-byte boundary, or the next
+    // fragment's offset cannot possibly abut this one.
+    if (len == 0 || len % 8 != 0) bad_bounds = true;
+    if (dg.have_last && offset + len > dg.total_len) bad_bounds = true;
+  } else {
+    if (dg.have_last && dg.total_len != offset + len) {
+      bad_bounds = true;  // two last fragments disagreeing on total length
+    }
+    if (dg.data.size() > offset + len) {
+      // A "last" fragment claiming the datagram ends before data we already
+      // hold is the classic teardrop shape.
+      bad_bounds = true;
+    }
+  }
+  if (bad_bounds) {
+    if (!dg.poisoned) ++stats_.rejected_bounds;
+    dg.poisoned = true;
+    return std::nullopt;
+  }
+  if (packet.more_fragments && len < config_.min_fragment) {
+    if (!dg.poisoned) ++stats_.rejected_tiny;
+    dg.poisoned = true;
+    return std::nullopt;
+  }
+  if (dg.poisoned) return std::nullopt;  // absorb until idle eviction
+
+  if (offset == 0 && !dg.have_header) {
+    dg.header = packet;
+    dg.have_header = true;
+  }
+  if (!packet.more_fragments) {
+    dg.have_last = true;
+    dg.total_len = offset + len;
+  }
+
+  if (offset + len > dg.data.size()) {
+    dg.data.resize(offset + len, 0);
+    dg.written.resize(offset + len, false);
+  }
+  std::uint64_t differing = 0;
+  for (std::size_t i = 0; i < len; ++i) {
+    const std::size_t at = offset + i;
+    if (!dg.written[at]) {
+      dg.data[at] = packet.payload[i];
+      dg.written[at] = true;
+      ++dg.written_bytes;
+      continue;
+    }
+    if (dg.data[at] != packet.payload[i]) {
+      ++differing;
+      if (config_.overlap_policy == OverlapPolicy::kLastWins) {
+        dg.data[at] = packet.payload[i];
+      }
+    }
+  }
+  if (differing > 0) {
+    ++stats_.ambiguous_fragments;
+    stats_.conflicting_bytes += differing;
+    if (config_.overlap_policy == OverlapPolicy::kRejectAmbiguous) {
+      dg.poisoned = true;
+      return std::nullopt;
+    }
+  }
+
+  if (!dg.have_last || dg.written_bytes != dg.total_len || !dg.have_header) {
+    return std::nullopt;
+  }
+  DPISVC_ASSERT_INVARIANT(dg.data.size() == dg.total_len,
+                          "assembled buffer must match the declared length");
+  Packet full = std::move(dg.header);
+  full.payload = std::move(dg.data);
+  full.frag_offset = 0;
+  full.more_fragments = false;
+  ++stats_.datagrams_completed;
+  erase(datagrams_.find(dg.key)->second);
+  return full;
+}
+
+std::vector<Packet> fragment_packet(const Packet& packet,
+                                    std::size_t mtu_payload) {
+  if (mtu_payload < 8) {
+    throw std::invalid_argument("fragment_packet: mtu_payload below 8");
+  }
+  if (packet.payload.size() <= mtu_payload) {
+    Packet copy = packet;
+    copy.frag_offset = 0;
+    copy.more_fragments = false;
+    return {std::move(copy)};
+  }
+  const std::size_t step = mtu_payload - mtu_payload % 8;
+  if ((packet.payload.size() - 1) / 8 > 0x1FFF) {
+    throw std::invalid_argument(
+        "fragment_packet: payload exceeds 13-bit offset addressing");
+  }
+  std::vector<Packet> out;
+  for (std::size_t at = 0; at < packet.payload.size(); at += step) {
+    const std::size_t len = std::min(step, packet.payload.size() - at);
+    Packet frag = packet;
+    frag.payload.assign(
+        packet.payload.begin() + static_cast<std::ptrdiff_t>(at),
+        packet.payload.begin() + static_cast<std::ptrdiff_t>(at + len));
+    frag.frag_offset = static_cast<std::uint16_t>(at / 8);
+    frag.more_fragments = at + len < packet.payload.size();
+    out.push_back(std::move(frag));
+  }
+  return out;
+}
+
+}  // namespace dpisvc::net

@@ -1,0 +1,130 @@
+// IPv4 datagram defragmentation in front of the DPI data plane.
+//
+// Fragmentation is the oldest NIDS evasion: split the payload into IP
+// fragments so the middlebox — if it scans fragments individually — never
+// sees the pattern bytes contiguously, while the endpoint reassembles and
+// does. IpDefragmenter closes that hole: fragments are buffered per
+// datagram key (src, dst, proto, ip_id) and the DPI path scans only whole
+// reassembled datagrams.
+//
+// The defragmenter is itself attackable, so every resource is bounded and
+// every anomaly observable:
+//  - per-datagram assembled size is capped (max_datagram): fragments whose
+//    offset+length overflow it — the teardrop family — poison the datagram;
+//  - non-final fragments below min_fragment bytes (tiny-fragment attacks,
+//    designed to slip patterns between scan units) poison the datagram;
+//  - concurrent partial datagrams are LRU-bounded (max_datagrams) and idle
+//    entries are evicted after idle_timeout_feeds feed() calls without a
+//    fragment, so a flood of never-completed datagrams cannot exhaust
+//    memory;
+//  - overlapping fragments are resolved by the same OverlapPolicy the TCP
+//    reassembler uses, with conflicting bytes counted; under
+//    kRejectAmbiguous a conflicting datagram never completes.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <optional>
+#include <tuple>
+
+#include "common/bytes.hpp"
+#include "net/packet.hpp"
+#include "net/reassembly.hpp"
+
+namespace dpisvc::net {
+
+struct DefragConfig {
+  /// Upper bound on one reassembled datagram's payload; fragments claiming
+  /// bytes beyond it (teardrop/oversize) poison the datagram.
+  std::size_t max_datagram = 64 * 1024;
+  /// Concurrent partial datagrams; the least recently touched is evicted
+  /// when a new one would exceed the bound.
+  std::size_t max_datagrams = 4096;
+  /// A partial datagram untouched for this many feed() calls is evicted
+  /// (the simulation's logical clock: eviction needs no wall time).
+  std::uint64_t idle_timeout_feeds = 4096;
+  /// Non-final fragments smaller than this poison the datagram (tiny-
+  /// fragment evasion; RFC 791 only requires 8 bytes, which is exactly what
+  /// attacks exploit).
+  std::size_t min_fragment = 16;
+  /// Resolution for overlapping fragments with conflicting bytes.
+  OverlapPolicy overlap_policy = OverlapPolicy::kFirstWins;
+};
+
+/// Monotonic defragmentation counters.
+struct DefragStats {
+  std::uint64_t fragments = 0;             ///< fragment packets fed
+  std::uint64_t datagrams_completed = 0;
+  std::uint64_t rejected_tiny = 0;         ///< tiny non-final fragments
+  std::uint64_t rejected_bounds = 0;       ///< teardrop/oversize/length lies
+  std::uint64_t ambiguous_fragments = 0;   ///< overlaps with differing bytes
+  std::uint64_t conflicting_bytes = 0;
+  std::uint64_t evicted_incomplete = 0;    ///< idle/capacity evictions
+};
+
+class IpDefragmenter {
+ public:
+  explicit IpDefragmenter(const DefragConfig& config = {});
+
+  IpDefragmenter(const IpDefragmenter&) = delete;
+  IpDefragmenter& operator=(const IpDefragmenter&) = delete;
+
+  /// Feeds one packet. Non-fragments come straight back. A fragment is
+  /// buffered; when it completes its datagram, the reassembled packet
+  /// (header fields of the offset-0 fragment, concatenated payload, frag
+  /// fields cleared) is returned. Incomplete, rejected, and poisoned
+  /// fragments return std::nullopt.
+  std::optional<Packet> feed(const Packet& packet);
+
+  /// Advances the logical clock (and runs idle eviction) without feeding a
+  /// packet — the ingest path calls this for non-fragment traffic so partial
+  /// datagrams time out against real packet arrival, not just fragments.
+  void tick();
+
+  std::size_t pending_datagrams() const noexcept { return datagrams_.size(); }
+  const DefragStats& stats() const noexcept { return stats_; }
+
+ private:
+  using Key = std::tuple<std::uint32_t, std::uint32_t, std::uint8_t,
+                         std::uint16_t>;  // src, dst, proto, ip_id
+
+  struct Datagram {
+    Key key;
+    Packet header;  ///< offset-0 fragment's metadata (tuple, tags, seq, ...)
+    bool have_header = false;
+    Bytes data;
+    std::vector<bool> written;
+    std::size_t written_bytes = 0;
+    std::size_t total_len = 0;  ///< known once the MF=0 fragment arrives
+    bool have_last = false;
+    /// Tiny/teardrop/conflicting (under kRejectAmbiguous) datagrams are
+    /// poisoned: they absorb further fragments but never complete, until
+    /// idle eviction reclaims them — fail closed, not fail open.
+    bool poisoned = false;
+    std::uint64_t last_feed = 0;
+  };
+  using LruList = std::list<Datagram>;
+
+  static Key key_of(const Packet& packet) noexcept;
+  Datagram& datagram_for(const Packet& packet);
+  void evict_idle();
+  void erase(LruList::iterator it);
+
+  DefragConfig config_;
+  LruList lru_;  ///< front = most recently touched
+  std::map<Key, LruList::iterator> datagrams_;
+  DefragStats stats_;
+  std::uint64_t tick_ = 0;
+};
+
+/// Splits a packet into IPv4-style fragments whose payloads are at most
+/// `mtu_payload` bytes (rounded down to a multiple of 8 for every fragment
+/// but the last, as the offset field requires). A packet that already fits
+/// comes back as a single unfragmented copy. Throws std::invalid_argument
+/// when mtu_payload < 8 or the payload cannot be addressed by the 13-bit
+/// offset field.
+std::vector<Packet> fragment_packet(const Packet& packet,
+                                    std::size_t mtu_payload);
+
+}  // namespace dpisvc::net

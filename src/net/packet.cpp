@@ -19,10 +19,14 @@ constexpr std::uint16_t kEthMpls = 0x8847;
 constexpr std::uint16_t kEthPolicy = 0x88B5;
 constexpr std::uint16_t kEthIpv4 = 0x0800;
 
-// IP flags: DF plus the reserved bit, which we use to signal the presence of
-// the NSH-like service header between L4 and payload.
+// IP flags/fragment word: the reserved bit signals the presence of the
+// NSH-like service header between L4 and payload; DF is set on unfragmented
+// packets (matching the pre-fragmentation wire format byte for byte); MF and
+// the 13-bit fragment offset carry IPv4 fragmentation.
 constexpr std::uint16_t kIpFlagsDf = 0x4000;
 constexpr std::uint16_t kIpFlagNsh = 0x8000;
+constexpr std::uint16_t kIpFlagMf = 0x2000;
+constexpr std::uint16_t kIpFragOffsetMask = 0x1FFF;
 
 std::uint16_t tag_ethertype(TagKind kind) {
   switch (kind) {
@@ -102,11 +106,20 @@ Bytes Packet::to_wire() const {
   if (total_len > 0xFFFF) {
     throw std::invalid_argument("Packet::to_wire: payload too large");
   }
+  if (frag_offset > kIpFragOffsetMask) {
+    throw std::invalid_argument("Packet::to_wire: fragment offset too large");
+  }
+  std::uint16_t frag_word = service_header ? kIpFlagNsh : 0;
+  if (is_fragment()) {
+    frag_word |= (more_fragments ? kIpFlagMf : 0) | frag_offset;
+  } else {
+    frag_word |= kIpFlagsDf;
+  }
   out.push_back(0x45);
   out.push_back(static_cast<std::uint8_t>(ecn & 0x3));  // TOS: DSCP 0 + ECN
   put_be(out, total_len, 2);
   put_be(out, ip_id, 2);
-  put_be(out, kIpFlagsDf | (service_header ? kIpFlagNsh : 0), 2);
+  put_be(out, frag_word, 2);
   out.push_back(ttl);
   out.push_back(static_cast<std::uint8_t>(tuple.proto));
   const std::size_t checksum_at = out.size();
@@ -190,6 +203,11 @@ Packet Packet::from_wire(BytesView frame) {
   const auto total_len = static_cast<std::size_t>(get_be(frame, at + 2, 2));
   p.ip_id = static_cast<std::uint16_t>(get_be(frame, at + 4, 2));
   const auto ip_flags = static_cast<std::uint16_t>(get_be(frame, at + 6, 2));
+  p.frag_offset = static_cast<std::uint16_t>(ip_flags & kIpFragOffsetMask);
+  p.more_fragments = (ip_flags & kIpFlagMf) != 0;
+  if ((ip_flags & kIpFlagsDf) != 0 && p.is_fragment()) {
+    throw std::invalid_argument("Packet::from_wire: DF set on a fragment");
+  }
   p.ttl = frame[at + 8];
   const std::uint8_t proto = frame[at + 9];
   if (internet_checksum(BytesView(frame.data() + ip_start, 20)) != 0xFFFF) {
@@ -250,6 +268,10 @@ Packet Packet::from_wire(BytesView frame) {
 std::string Packet::summary() const {
   std::ostringstream os;
   os << tuple.to_string() << " len=" << payload.size();
+  if (is_fragment()) {
+    os << " frag(off=" << frag_offset * 8 << (more_fragments ? ",MF" : "")
+       << ")";
+  }
   if (auto chain = find_tag(TagKind::kPolicyChain)) {
     os << " chain=" << *chain;
   }

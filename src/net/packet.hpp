@@ -64,6 +64,15 @@ struct Packet {
   std::uint8_t ttl = 64;
   std::uint8_t ecn = 0;  ///< 2 bits; the DPI service sets bit0 on matches.
   std::uint16_t ip_id = 0;
+  /// IPv4 fragmentation: payload offset in 8-byte units (13 bits) and the
+  /// more-fragments flag. Fragments of one datagram share (src, dst, proto,
+  /// ip_id) and are reassembled by net::IpDefragmenter before DPI sees the
+  /// bytes. Simulation simplification: every fragment still carries the
+  /// full L4 header (real offset>0 fragments would not), so the 5-tuple is
+  /// always resolvable; the evasion surface modeled here is payload-level
+  /// fragmentation, not header splitting.
+  std::uint16_t frag_offset = 0;  ///< in 8-byte units, <= 0x1FFF
+  bool more_fragments = false;
   std::uint32_t tcp_seq = 0;
   std::uint8_t tcp_flags = 0x18;  // PSH|ACK by default
 
@@ -79,6 +88,10 @@ struct Packet {
 
   /// Removes the outermost tag of `kind`; returns false if absent.
   bool pop_tag(TagKind kind) noexcept;
+
+  bool is_fragment() const noexcept {
+    return more_fragments || frag_offset != 0;
+  }
 
   bool has_match_mark() const noexcept { return (ecn & 0x1) != 0; }
   void set_match_mark(bool on) noexcept {

@@ -1,5 +1,8 @@
 #include "net/reassembly.hpp"
 
+#include <algorithm>
+#include <vector>
+
 #include "common/invariant.hpp"
 
 namespace dpisvc::net {
@@ -16,76 +19,205 @@ std::uint64_t pending_total(const std::map<std::uint32_t, Bytes>& pending) {
 }  // namespace
 #endif
 
+const char* overlap_policy_name(OverlapPolicy policy) noexcept {
+  switch (policy) {
+    case OverlapPolicy::kFirstWins:
+      return "first_wins";
+    case OverlapPolicy::kLastWins:
+      return "last_wins";
+    case OverlapPolicy::kRejectAmbiguous:
+      return "reject_ambiguous";
+  }
+  return "unknown";
+}
+
 StreamReassembler::StreamReassembler(std::uint32_t initial_seq,
-                                     const ReassemblyConfig& config)
-    : config_(config), expected_(initial_seq) {}
+                                     const ReassemblyConfig& config,
+                                     ReassemblyStats* stats)
+    : config_(config), expected_(initial_seq), stats_(stats) {}
+
+void StreamReassembler::poison() {
+  poisoned_ = true;
+  pending_.clear();
+  buffered_bytes_ = 0;
+  history_.clear();
+}
+
+void StreamReassembler::note_conflict(std::uint64_t differing_bytes) {
+  ++ambiguous_overlaps_;
+  conflicting_bytes_ += differing_bytes;
+  if (stats_ != nullptr) {
+    ++stats_->ambiguous_overlaps;
+    stats_->conflicting_overlap_bytes += differing_bytes;
+  }
+}
+
+bool StreamReassembler::check_retransmission(std::size_t behind,
+                                             BytesView data) {
+  duplicate_bytes_ += data.size();
+  if (stats_ != nullptr) stats_->duplicate_bytes += data.size();
+  // The range covers [expected_ - behind, expected_ - behind + data.size());
+  // only the part inside the history window is comparable. Byte i of `data`
+  // sits `behind - i` bytes before the frontier and is in the window when
+  // behind - i <= history size.
+  const std::size_t hist = history_.size();
+  std::uint64_t differing = 0;
+  for (std::size_t i = behind > hist ? behind - hist : 0; i < data.size();
+       ++i) {
+    if (history_[hist - behind + i] != data[i]) ++differing;
+  }
+  if (differing > 0) {
+    note_conflict(differing);
+    if (config_.overlap_policy == OverlapPolicy::kRejectAmbiguous) {
+      poison();
+      return false;
+    }
+  }
+  return true;
+}
 
 std::size_t StreamReassembler::accept(std::uint32_t seq, BytesView data) {
   if (data.empty()) return 0;
+  if (poisoned_) {
+    ++dropped_;
+    if (stats_ != nullptr) ++stats_->dropped_segments;
+    return 0;
+  }
   std::int64_t delta = seq_delta(seq, expected_);
   auto len = static_cast<std::int64_t>(data.size());
 
   if (delta + len <= 0) {
-    // Entirely behind the contiguous frontier: retransmission.
-    duplicate_bytes_ += data.size();
+    // Entirely behind the contiguous frontier: a retransmission of released
+    // bytes. Immutable data — but still conflict-checked against the history
+    // window so a fingerprinting probe is observable (and fatal under
+    // kRejectAmbiguous).
+    check_retransmission(static_cast<std::size_t>(-delta), data);
     return 0;
   }
   if (delta < 0) {
-    // Partial overlap with already-released data: keep only the new tail
-    // (first-copy-wins, as Snort's stream preprocessor does).
-    duplicate_bytes_ += static_cast<std::uint64_t>(-delta);
-    data = data.subspan(static_cast<std::size_t>(-delta));
+    // Head overlaps already-released data: conflict-check the overlapping
+    // head, then keep only the new tail.
+    const auto behind = static_cast<std::size_t>(-delta);
+    if (!check_retransmission(behind, data.subspan(0, behind))) return 0;
+    data = data.subspan(behind);
+    len = static_cast<std::int64_t>(data.size());
     seq = expected_;
     delta = 0;
   }
   if (delta > static_cast<std::int64_t>(config_.max_gap)) {
     ++dropped_;  // Too far ahead: likely garbage or a desync attack.
+    if (stats_ != nullptr) ++stats_->dropped_segments;
     return 0;
   }
 
-  if (delta == 0) {
-    ready_.insert(ready_.end(), data.begin(), data.end());
-    expected_ += static_cast<std::uint32_t>(data.size());
-    drain_buffered();
-    DPISVC_ASSERT_INVARIANT(buffered_bytes_ == pending_total(pending_),
-                            "buffered-byte accounting must match the pending "
-                            "segment map after a drain");
-    return data.size();
+  // Resolve overlaps with pending out-of-order segments. Pending segments
+  // are pairwise non-overlapping and ahead of the frontier, so the new
+  // range [delta, delta + len) decomposes into regions covered by pending
+  // data (compare, count, and resolve per policy) and holes (store).
+  struct Overlap {
+    Bytes* segment;       ///< the pending segment overlapped
+    std::int64_t seg_at;  ///< overlap start offset within the segment
+    std::int64_t new_at;  ///< overlap start offset within `data`
+    std::int64_t length;
+  };
+  std::vector<Overlap> overlaps;
+  std::vector<std::pair<std::int64_t, std::int64_t>> covered;  // rel [lo, hi)
+  std::uint64_t differing = 0;
+  std::uint64_t overlap_bytes = 0;
+  for (auto& [pseq, pbytes] : pending_) {
+    const std::int64_t plo = seq_delta(pseq, expected_);
+    const std::int64_t phi = plo + static_cast<std::int64_t>(pbytes.size());
+    const std::int64_t lo = std::max(plo, delta);
+    const std::int64_t hi = std::min(phi, delta + len);
+    if (lo >= hi) continue;
+    Overlap ov{&pbytes, lo - plo, lo - delta, hi - lo};
+    overlap_bytes += static_cast<std::uint64_t>(ov.length);
+    for (std::int64_t i = 0; i < ov.length; ++i) {
+      if ((*ov.segment)[static_cast<std::size_t>(ov.seg_at + i)] !=
+          data[static_cast<std::size_t>(ov.new_at + i)]) {
+        ++differing;
+      }
+    }
+    overlaps.push_back(ov);
+    covered.emplace_back(lo, hi);
+  }
+  duplicate_bytes_ += overlap_bytes;
+  if (stats_ != nullptr) stats_->duplicate_bytes += overlap_bytes;
+  if (differing > 0) {
+    note_conflict(differing);
+    if (config_.overlap_policy == OverlapPolicy::kRejectAmbiguous) {
+      poison();
+      return 0;
+    }
+    if (config_.overlap_policy == OverlapPolicy::kLastWins) {
+      // The newest copy wins: overwrite the overlapped parts of the pending
+      // segments in place (sizes are unchanged, so accounting holds).
+      for (const Overlap& ov : overlaps) {
+        std::copy_n(data.begin() + ov.new_at, ov.length,
+                    ov.segment->begin() + ov.seg_at);
+      }
+    }
   }
 
-  // Out-of-order: buffer, respecting the memory bound.
-  if (buffered_bytes_ + data.size() > config_.max_buffered) {
+  // Store the uncovered holes of [delta, delta + len).
+  std::sort(covered.begin(), covered.end());
+  std::size_t stored = 0;
+  bool over_budget = false;
+  std::int64_t cursor = delta;
+  auto store_hole = [&](std::int64_t lo, std::int64_t hi) {
+    if (lo >= hi) return;
+    const auto hole_len = static_cast<std::size_t>(hi - lo);
+    if (buffered_bytes_ + hole_len > config_.max_buffered) {
+      over_budget = true;
+      return;
+    }
+    const auto at = static_cast<std::size_t>(lo - delta);
+    pending_.emplace(
+        static_cast<std::uint32_t>(seq + static_cast<std::uint32_t>(lo - delta)),
+        Bytes(data.begin() + static_cast<std::ptrdiff_t>(at),
+              data.begin() + static_cast<std::ptrdiff_t>(at + hole_len)));
+    buffered_bytes_ += hole_len;
+    stored += hole_len;
+  };
+  for (const auto& [lo, hi] : covered) {
+    store_hole(cursor, lo);
+    cursor = std::max(cursor, hi);
+  }
+  store_hole(cursor, delta + len);
+  if (over_budget) {
     ++dropped_;
-    return 0;
+    if (stats_ != nullptr) ++stats_->dropped_segments;
   }
-  auto [it, inserted] = pending_.emplace(seq, Bytes(data.begin(), data.end()));
-  if (!inserted) {
-    // Same starting sequence seen before: first copy wins.
-    duplicate_bytes_ += data.size();
-    return 0;
-  }
-  buffered_bytes_ += data.size();
-  return data.size();
+
+  drain_buffered();
+  DPISVC_ASSERT_INVARIANT(buffered_bytes_ == pending_total(pending_),
+                          "buffered-byte accounting must match the pending "
+                          "segment map after a drain");
+  return stored;
 }
 
 void StreamReassembler::drain_buffered() {
+  // Pending segments are non-overlapping and strictly ahead of the
+  // frontier, so at most one segment sits exactly at the frontier per pass.
+  // The map is keyed by raw sequence numbers whose order is meaningless
+  // across a wrap; the linear seq_delta scan is the wrap-safe lookup.
   bool progressed = true;
   while (progressed && !pending_.empty()) {
     progressed = false;
     for (auto it = pending_.begin(); it != pending_.end(); ++it) {
-      const std::int64_t delta = seq_delta(it->first, expected_);
-      const auto len = static_cast<std::int64_t>(it->second.size());
-      if (delta > 0) continue;  // still a gap before this segment
-      buffered_bytes_ -= it->second.size();
-      if (delta + len <= 0) {
-        // Fully covered by data already released meanwhile.
-        duplicate_bytes_ += it->second.size();
-      } else {
-        const auto skip = static_cast<std::size_t>(-delta);
-        duplicate_bytes_ += skip;
-        ready_.insert(ready_.end(), it->second.begin() + static_cast<std::ptrdiff_t>(skip),
-                      it->second.end());
-        expected_ += static_cast<std::uint32_t>(it->second.size() - skip);
+      if (seq_delta(it->first, expected_) != 0) continue;
+      Bytes& segment = it->second;
+      buffered_bytes_ -= segment.size();
+      expected_ += static_cast<std::uint32_t>(segment.size());
+      ready_.insert(ready_.end(), segment.begin(), segment.end());
+      if (config_.overlap_history > 0) {
+        history_.insert(history_.end(), segment.begin(), segment.end());
+        if (history_.size() > config_.overlap_history) {
+          history_.erase(history_.begin(),
+                         history_.begin() +
+                             static_cast<std::ptrdiff_t>(
+                                 history_.size() - config_.overlap_history));
+        }
       }
       pending_.erase(it);
       progressed = true;
@@ -100,29 +232,87 @@ Bytes StreamReassembler::pop_ready() {
   return out;
 }
 
+void StreamReassembler::set_fin(std::uint32_t seq_after_data) noexcept {
+  fin_seen_ = true;
+  fin_seq_ = seq_after_data;
+}
+
+bool StreamReassembler::finished() const noexcept {
+  return fin_seen_ && seq_delta(expected_, fin_seq_) >= 0;
+}
+
 FlowReassembler::FlowReassembler(const ReassemblyConfig& config)
     : config_(config) {}
 
+StreamReassembler& FlowReassembler::stream_for(const FiveTuple& flow,
+                                               std::uint32_t seq) {
+  auto it = streams_.find(flow);
+  if (it != streams_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);  // refresh: move to front
+    return it->second->stream;
+  }
+  if (config_.max_streams > 0 && streams_.size() >= config_.max_streams) {
+    // Capacity: drop the least recently used stream. Its buffered bytes are
+    // lost (the victim's next segment re-anchors a fresh stream), so the
+    // eviction is counted — non-zero means max_streams is too small for the
+    // offered stream concurrency.
+    ++stats_.stream_evictions;
+    streams_.erase(lru_.back().flow);
+    lru_.pop_back();
+  }
+  lru_.push_front(StreamEntry{flow, StreamReassembler(seq, config_, &stats_)});
+  streams_.emplace(flow, lru_.begin());
+  return lru_.front().stream;
+}
+
 std::optional<ReassembledChunk> FlowReassembler::feed(const Packet& packet) {
+  constexpr std::uint8_t kTcpFin = 0x01;
+  constexpr std::uint8_t kTcpRst = 0x04;
+
   if (packet.tuple.proto != IpProto::kTcp) {
     if (packet.payload.empty()) return std::nullopt;
     return ReassembledChunk{packet.tuple, packet.payload};
   }
-  auto it = streams_.find(packet.tuple);
-  if (it == streams_.end()) {
-    it = streams_
-             .emplace(packet.tuple,
-                      StreamReassembler(packet.tcp_seq, config_))
-             .first;
+
+  if ((packet.tcp_flags & kTcpRst) != 0) {
+    // RST kills the connection immediately: flush whatever is already
+    // in-order, then drop all stream state. The RST's own payload (if any)
+    // is not data — it is never scanned.
+    auto it = streams_.find(packet.tuple);
+    if (it == streams_.end()) return std::nullopt;
+    Bytes ready = it->second->stream.pop_ready();
+    lru_.erase(it->second);
+    streams_.erase(it);
+    ++stats_.streams_closed;
+    if (ready.empty()) return std::nullopt;
+    return ReassembledChunk{packet.tuple, std::move(ready)};
   }
-  it->second.accept(packet.tcp_seq, packet.payload);
-  Bytes ready = it->second.pop_ready();
+
+  StreamReassembler& stream = stream_for(packet.tuple, packet.tcp_seq);
+  stream.accept(packet.tcp_seq, packet.payload);
+  if ((packet.tcp_flags & kTcpFin) != 0) {
+    // The FIN occupies the sequence number right after this segment's data;
+    // the stream is torn down once the frontier consumes it.
+    stream.set_fin(packet.tcp_seq +
+                   static_cast<std::uint32_t>(packet.payload.size()));
+  }
+  Bytes ready = stream.pop_ready();
+  if (stream.finished()) {
+    auto it = streams_.find(packet.tuple);
+    lru_.erase(it->second);
+    streams_.erase(it);
+    ++stats_.streams_closed;
+  }
   if (ready.empty()) return std::nullopt;
   return ReassembledChunk{packet.tuple, std::move(ready)};
 }
 
 bool FlowReassembler::erase(const FiveTuple& direction) {
-  return streams_.erase(direction) > 0;
+  auto it = streams_.find(direction);
+  if (it == streams_.end()) return false;
+  lru_.erase(it->second);
+  streams_.erase(it);
+  return true;
 }
 
 }  // namespace dpisvc::net

@@ -3,21 +3,32 @@
 // Stateful DPI (§5.2) carries the automaton state across the packets of a
 // flow — which is only sound if packets are presented in stream order. On
 // real networks segments arrive out of order, retransmitted, and
-// overlapping; NIDS evasion techniques exploit exactly that. This module
-// provides the reassembly substrate the paper lists as the next candidate
-// for service extraction ("we plan to investigate ... session
-// reconstruction"):
+// overlapping; NIDS evasion techniques exploit exactly that gap between the
+// middlebox's TCP model and the endpoint's. This module makes the engine's
+// view of the byte stream an explicit, configurable policy instead of an
+// accident of implementation:
 //
+//  - OverlapPolicy: what happens when two segments claim the same sequence
+//    range with different bytes. kFirstWins is the Snort/BSD trim, kLastWins
+//    the Linux/overwrite interpretation, kRejectAmbiguous fails closed: the
+//    stream stops releasing bytes at the first conflict, so conflicting data
+//    can never reach the scan path. Every conflict is counted
+//    (ambiguous_overlaps / conflicting_overlap_bytes) whichever policy is
+//    active — a fingerprinting attempt is observable even when tolerated.
 //  - StreamReassembler: one direction of one TCP stream. Accepts segments
 //    keyed by 32-bit sequence numbers (wraparound handled), buffers
-//    out-of-order data, trims overlaps (first copy wins, the
-//    Snort/BSD-style policy), and releases contiguous in-order bytes.
-//  - FlowReassembler: a table of per-direction streams keyed by flow,
-//    turning a stream of TCP packets into ordered payload chunks ready for
-//    the stateful scan path.
+//    out-of-order data, applies the overlap policy uniformly to
+//    pending-buffer overlaps and to retransmissions of already-released
+//    bytes (compared against a bounded history window), and releases
+//    contiguous in-order bytes.
+//  - FlowReassembler: an LRU-bounded table of per-direction streams keyed by
+//    flow, turning a stream of TCP packets into ordered payload chunks ready
+//    for the stateful scan path. Streams are torn down on RST, after FIN's
+//    sequence is consumed, and by idle-LRU eviction at capacity.
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <map>
 #include <optional>
 #include <unordered_map>
@@ -28,6 +39,40 @@
 
 namespace dpisvc::net {
 
+/// Resolution rule for two segments claiming one sequence range with
+/// different bytes. Which rule a middlebox applies decides which endpoint
+/// interpretation it shares — and is exactly what DPI fingerprinting probes
+/// measure, so it must be an explicit, testable choice.
+enum class OverlapPolicy : std::uint8_t {
+  /// Bytes already held win; later conflicting copies are discarded
+  /// (Snort/BSD stream trimming).
+  kFirstWins = 0,
+  /// The most recent copy wins for data not yet released to the scan path;
+  /// released bytes are immutable (an inline engine cannot un-forward them).
+  kLastWins = 1,
+  /// Fail closed: the first conflicting byte poisons the stream. Bytes
+  /// released before the conflict stand; nothing after it is ever released,
+  /// so no verdict is produced over ambiguous data.
+  kRejectAmbiguous = 2,
+};
+
+const char* overlap_policy_name(OverlapPolicy policy) noexcept;
+
+/// Aggregate reassembly counters, shared by every stream of one
+/// FlowReassembler so totals survive stream teardown/eviction. All counters
+/// are monotonic.
+struct ReassemblyStats {
+  std::uint64_t dropped_segments = 0;   ///< window/bound violations
+  std::uint64_t duplicate_bytes = 0;    ///< bytes covering already-held data
+  /// Segments that overlapped existing data with at least one differing
+  /// byte — an ambiguity event whichever policy resolved it.
+  std::uint64_t ambiguous_overlaps = 0;
+  /// Total overlapping bytes whose values actually differed.
+  std::uint64_t conflicting_overlap_bytes = 0;
+  std::uint64_t stream_evictions = 0;   ///< LRU-evicted (capacity)
+  std::uint64_t streams_closed = 0;     ///< torn down via RST / consumed FIN
+};
+
 struct ReassemblyConfig {
   /// Maximum bytes of out-of-order data buffered per stream; segments that
   /// would exceed it are dropped (and counted).
@@ -35,20 +80,47 @@ struct ReassemblyConfig {
   /// Maximum distance ahead of the expected sequence number a segment may
   /// start at; beyond it the segment is treated as garbage/attack.
   std::uint32_t max_gap = 1 << 20;
+  /// How overlapping segments with conflicting bytes are resolved.
+  OverlapPolicy overlap_policy = OverlapPolicy::kFirstWins;
+  /// Released-byte history kept per stream for comparing retransmissions
+  /// against data already handed to the scan path. Retransmissions reaching
+  /// further back than this window count as duplicates but cannot be
+  /// conflict-checked (the bytes are gone).
+  std::size_t overlap_history = 4096;
+  /// FlowReassembler stream-table capacity; the least recently used stream
+  /// is evicted (and counted) when a new stream would exceed it.
+  std::size_t max_streams = 64 * 1024;
 };
 
 class StreamReassembler {
  public:
+  /// `stats`, when non-null, receives every counter bump in addition to the
+  /// per-stream counters (FlowReassembler passes its aggregate block so
+  /// totals survive stream teardown). Must outlive the reassembler.
   explicit StreamReassembler(std::uint32_t initial_seq,
-                             const ReassemblyConfig& config = {});
+                             const ReassemblyConfig& config = {},
+                             ReassemblyStats* stats = nullptr);
 
-  /// Offers one segment. Returns the number of payload bytes accepted
-  /// (after overlap trimming and window checks).
+  /// Offers one segment. Returns the number of payload bytes newly stored
+  /// (after overlap resolution and window checks).
   std::size_t accept(std::uint32_t seq, BytesView data);
 
   /// Removes and returns all contiguous in-order bytes accumulated since
   /// the last call.
   Bytes pop_ready();
+
+  /// Records the FIN's position: `seq_after_data` is the sequence number of
+  /// the FIN flag itself (segment seq + payload length). Once the contiguous
+  /// frontier reaches it the stream is finished().
+  void set_fin(std::uint32_t seq_after_data) noexcept;
+
+  /// True when a FIN was recorded and all stream bytes before it have been
+  /// released: the direction is cleanly closed and its state can be freed.
+  bool finished() const noexcept;
+
+  /// True when OverlapPolicy::kRejectAmbiguous observed a conflicting
+  /// overlap: the stream is poisoned and releases nothing further.
+  bool ambiguous() const noexcept { return poisoned_; }
 
   /// Next sequence number expected at the contiguous frontier.
   std::uint32_t expected_seq() const noexcept { return expected_; }
@@ -57,6 +129,12 @@ class StreamReassembler {
   std::size_t buffered_bytes() const noexcept { return buffered_bytes_; }
   std::uint64_t dropped_segments() const noexcept { return dropped_; }
   std::uint64_t duplicate_bytes() const noexcept { return duplicate_bytes_; }
+  std::uint64_t ambiguous_overlaps() const noexcept {
+    return ambiguous_overlaps_;
+  }
+  std::uint64_t conflicting_overlap_bytes() const noexcept {
+    return conflicting_bytes_;
+  }
 
  private:
   /// Signed distance a - b in sequence space (RFC 1982-style comparison).
@@ -65,16 +143,33 @@ class StreamReassembler {
   }
 
   void drain_buffered();
+  void poison();
+  /// Compares a retransmitted range against the released-history window,
+  /// counting duplicates and conflicts. `behind` is how many bytes before
+  /// the frontier the range starts. Returns false when the stream was
+  /// poisoned by the comparison.
+  bool check_retransmission(std::size_t behind, BytesView data);
+  void note_conflict(std::uint64_t differing_bytes);
 
   ReassemblyConfig config_;
   std::uint32_t expected_;
   Bytes ready_;
-  /// Out-of-order segments keyed by offset from `expected_` (offsets are
-  /// rebased on every drain so the map stays comparable across wraps).
+  /// Bounded tail of released bytes ending at `expected_`, kept only to
+  /// conflict-check retransmissions of data already handed onward.
+  Bytes history_;
+  /// Out-of-order segments keyed by absolute sequence number. Invariant:
+  /// segments are pairwise non-overlapping and entirely ahead of the
+  /// frontier (all trimming happens in accept()).
   std::map<std::uint32_t, Bytes> pending_;
   std::size_t buffered_bytes_ = 0;
+  bool poisoned_ = false;
+  bool fin_seen_ = false;
+  std::uint32_t fin_seq_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t duplicate_bytes_ = 0;
+  std::uint64_t ambiguous_overlaps_ = 0;
+  std::uint64_t conflicting_bytes_ = 0;
+  ReassemblyStats* stats_ = nullptr;
 };
 
 /// One ordered chunk released by the flow-level reassembler.
@@ -90,7 +185,9 @@ class FlowReassembler {
   /// Feeds one TCP packet; returns the in-order payload chunk it unlocked
   /// (possibly spanning several earlier buffered segments), or std::nullopt
   /// if nothing became contiguous. Non-TCP packets pass through as
-  /// immediate chunks (no sequencing).
+  /// immediate chunks (no sequencing). RST tears the stream down after
+  /// flushing any ready bytes; FIN tears it down once the frontier passes
+  /// the FIN's sequence number.
   std::optional<ReassembledChunk> feed(const Packet& packet);
 
   std::size_t active_streams() const noexcept { return streams_.size(); }
@@ -98,9 +195,24 @@ class FlowReassembler {
   /// Drops a stream's state (connection close / timeout).
   bool erase(const FiveTuple& direction);
 
+  /// Aggregate counters over all streams, including ones already torn down.
+  const ReassemblyStats& stats() const noexcept { return stats_; }
+
  private:
+  struct StreamEntry {
+    FiveTuple flow;
+    StreamReassembler stream;
+  };
+  using LruList = std::list<StreamEntry>;
+
+  /// Finds the stream, refreshing its LRU position — or creates it (evicting
+  /// the least recently used stream at capacity).
+  StreamReassembler& stream_for(const FiveTuple& flow, std::uint32_t seq);
+
   ReassemblyConfig config_;
-  std::unordered_map<FiveTuple, StreamReassembler> streams_;
+  LruList lru_;  ///< front = most recently used
+  std::unordered_map<FiveTuple, LruList::iterator> streams_;
+  ReassemblyStats stats_;
 };
 
 }  // namespace dpisvc::net

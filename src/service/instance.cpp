@@ -24,7 +24,8 @@ DpiInstance::DpiInstance(std::string name, InstanceConfig config)
       std::max<std::size_t>(config.max_flows / num_shards, 1);
   shards_.reserve(num_shards);
   for (std::size_t i = 0; i < num_shards; ++i) {
-    auto shard = std::make_unique<Shard>(per_shard);
+    auto shard =
+        std::make_unique<Shard>(per_shard, config.reassembly, config.defrag);
     shard->index = static_cast<std::uint32_t>(i);
     if (config.metrics) {
       // Resolve instruments once; the scan path records through these
@@ -41,6 +42,22 @@ DpiInstance::DpiInstance(std::string name, InstanceConfig config)
       o.regex_matches = &metrics_.counter(p + "regex_matches");
       o.flow_evictions = &metrics_.counter(p + "flow_evictions");
       o.flow_occupancy = &metrics_.gauge(p + "flow_occupancy");
+      o.reassembly_dropped = &metrics_.counter(p + "reassembly.dropped_segments");
+      o.reassembly_duplicate_bytes =
+          &metrics_.counter(p + "reassembly.duplicate_bytes");
+      o.reassembly_ambiguous =
+          &metrics_.counter(p + "reassembly.ambiguous_overlaps");
+      o.reassembly_conflicting_bytes =
+          &metrics_.counter(p + "reassembly.conflicting_overlap_bytes");
+      o.reassembly_stream_evictions =
+          &metrics_.counter(p + "reassembly.stream_evictions");
+      o.reassembly_streams_closed =
+          &metrics_.counter(p + "reassembly.streams_closed");
+      o.defrag_fragments = &metrics_.counter(p + "defrag.fragments");
+      o.defrag_completed = &metrics_.counter(p + "defrag.datagrams_completed");
+      o.defrag_rejected = &metrics_.counter(p + "defrag.rejected");
+      o.defrag_ambiguous = &metrics_.counter(p + "defrag.ambiguous_fragments");
+      o.defrag_evicted = &metrics_.counter(p + "defrag.evicted_incomplete");
     }
     shards_.push_back(std::move(shard));
   }
@@ -97,11 +114,43 @@ void accumulate(InstanceTelemetry& into, const InstanceTelemetry& from) {
   into.decompressed_packets += from.decompressed_packets;
   into.decompressed_bytes += from.decompressed_bytes;
   into.reassembly_held += from.reassembly_held;
+  into.defrag_held += from.defrag_held;
   into.flow_evictions += from.flow_evictions;
   into.busy_seconds += from.busy_seconds;
 }
 
 }  // namespace
+
+net::ReassemblyStats DpiInstance::reassembly_stats() const {
+  net::ReassemblyStats total;
+  for (const auto& shard : shards_) {
+    const MutexLock lock(shard->mu);
+    const net::ReassemblyStats& s = shard->reassembler.stats();
+    total.dropped_segments += s.dropped_segments;
+    total.duplicate_bytes += s.duplicate_bytes;
+    total.ambiguous_overlaps += s.ambiguous_overlaps;
+    total.conflicting_overlap_bytes += s.conflicting_overlap_bytes;
+    total.stream_evictions += s.stream_evictions;
+    total.streams_closed += s.streams_closed;
+  }
+  return total;
+}
+
+net::DefragStats DpiInstance::defrag_stats() const {
+  net::DefragStats total;
+  for (const auto& shard : shards_) {
+    const MutexLock lock(shard->mu);
+    const net::DefragStats& s = shard->defrag.stats();
+    total.fragments += s.fragments;
+    total.datagrams_completed += s.datagrams_completed;
+    total.rejected_tiny += s.rejected_tiny;
+    total.rejected_bounds += s.rejected_bounds;
+    total.ambiguous_fragments += s.ambiguous_fragments;
+    total.conflicting_bytes += s.conflicting_bytes;
+    total.evicted_incomplete += s.evicted_incomplete;
+  }
+  return total;
+}
 
 InstanceTelemetry DpiInstance::telemetry() const {
   InstanceTelemetry total;
@@ -160,10 +209,36 @@ json::Value DpiInstance::stats_json() const {
   counters["decompressed_packets"] = json::Value(t.decompressed_packets);
   counters["decompressed_bytes"] = json::Value(t.decompressed_bytes);
   counters["reassembly_held"] = json::Value(t.reassembly_held);
+  counters["defrag_held"] = json::Value(t.defrag_held);
   counters["flow_evictions"] = json::Value(t.flow_evictions);
   counters["busy_seconds"] = json::Value(t.busy_seconds);
   counters["hits_per_byte"] = json::Value(t.hits_per_byte());
   root["telemetry"] = json::Value(std::move(counters));
+
+  const net::ReassemblyStats rs = reassembly_stats();
+  json::Object reassembly;
+  reassembly["policy"] =
+      json::Value(std::string(
+          net::overlap_policy_name(config_.reassembly.overlap_policy)));
+  reassembly["dropped_segments"] = json::Value(rs.dropped_segments);
+  reassembly["duplicate_bytes"] = json::Value(rs.duplicate_bytes);
+  reassembly["ambiguous_overlaps"] = json::Value(rs.ambiguous_overlaps);
+  reassembly["conflicting_overlap_bytes"] =
+      json::Value(rs.conflicting_overlap_bytes);
+  reassembly["stream_evictions"] = json::Value(rs.stream_evictions);
+  reassembly["streams_closed"] = json::Value(rs.streams_closed);
+  root["reassembly"] = json::Value(std::move(reassembly));
+
+  const net::DefragStats ds = defrag_stats();
+  json::Object defrag;
+  defrag["fragments"] = json::Value(ds.fragments);
+  defrag["datagrams_completed"] = json::Value(ds.datagrams_completed);
+  defrag["rejected_tiny"] = json::Value(ds.rejected_tiny);
+  defrag["rejected_bounds"] = json::Value(ds.rejected_bounds);
+  defrag["ambiguous_fragments"] = json::Value(ds.ambiguous_fragments);
+  defrag["conflicting_bytes"] = json::Value(ds.conflicting_bytes);
+  defrag["evicted_incomplete"] = json::Value(ds.evicted_incomplete);
+  root["defrag"] = json::Value(std::move(defrag));
 
   json::Object chains;
   for (const auto& [chain, ct] : chain_telemetry()) {
@@ -321,6 +396,33 @@ dpi::ScanResult DpiInstance::scan_on_shard(Shard& shard, dpi::ChainId chain,
   return result;
 }
 
+void DpiInstance::publish_evasion_metrics(Shard& shard) {
+  const ShardInstruments& ins = shard.obs;
+  if (ins.reassembly_dropped == nullptr) return;  // metrics disabled
+  // The stat blocks are monotonic; publish the delta since the last call so
+  // the obs counters mirror them exactly.
+  const net::ReassemblyStats& r = shard.reassembler.stats();
+  net::ReassemblyStats& rp = shard.obs_reassembly;
+  ins.reassembly_dropped->add(r.dropped_segments - rp.dropped_segments);
+  ins.reassembly_duplicate_bytes->add(r.duplicate_bytes - rp.duplicate_bytes);
+  ins.reassembly_ambiguous->add(r.ambiguous_overlaps - rp.ambiguous_overlaps);
+  ins.reassembly_conflicting_bytes->add(r.conflicting_overlap_bytes -
+                                        rp.conflicting_overlap_bytes);
+  ins.reassembly_stream_evictions->add(r.stream_evictions -
+                                       rp.stream_evictions);
+  ins.reassembly_streams_closed->add(r.streams_closed - rp.streams_closed);
+  rp = r;
+  const net::DefragStats& d = shard.defrag.stats();
+  net::DefragStats& dp = shard.obs_defrag;
+  ins.defrag_fragments->add(d.fragments - dp.fragments);
+  ins.defrag_completed->add(d.datagrams_completed - dp.datagrams_completed);
+  ins.defrag_rejected->add((d.rejected_tiny + d.rejected_bounds) -
+                           (dp.rejected_tiny + dp.rejected_bounds));
+  ins.defrag_ambiguous->add(d.ambiguous_fragments - dp.ambiguous_fragments);
+  ins.defrag_evicted->add(d.evicted_incomplete - dp.evicted_incomplete);
+  dp = d;
+}
+
 net::MatchReport DpiInstance::build_report(dpi::ChainId chain,
                                            std::uint64_t packet_ref,
                                            const dpi::ScanResult& scan) const {
@@ -376,10 +478,32 @@ ProcessOutput DpiInstance::process(net::Packet packet) {
   }
   const auto chain = static_cast<dpi::ChainId>(*tag);
 
+  // IPv4 defragmentation: scan whole datagrams, not fragments. An
+  // incomplete fragment is forwarded unchanged (middleboxes see it; the
+  // scan runs on the packet that completes the datagram, which then carries
+  // the reassembled payload).
+  if (config_.defragment_ip) {
+    if (packet.is_fragment()) {
+      auto full = shard.defrag.feed(packet);
+      publish_evasion_metrics(shard);
+      if (!full) {
+        ++shard.telemetry.defrag_held;
+        out.data = std::move(packet);
+        return out;
+      }
+      packet = std::move(*full);
+    } else {
+      // Non-fragments still advance the defragmenter's logical clock so
+      // partial datagrams time out against real traffic.
+      shard.defrag.tick();
+    }
+  }
+
   // Stream reassembly (§7): scan in-order stream chunks, not raw segments.
   std::optional<Bytes> chunk_storage;
   if (config_.reassemble_tcp && packet.tuple.proto == net::IpProto::kTcp) {
     auto chunk = shard.reassembler.feed(packet);
+    publish_evasion_metrics(shard);
     if (!chunk) {
       // Out-of-order segment: nothing contiguous yet. Forward the packet
       // (middleboxes see it; results for its bytes come with the packet

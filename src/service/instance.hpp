@@ -44,6 +44,7 @@
 #include "dpi/engine.hpp"
 #include "dpi/flow_table.hpp"
 #include "json/json.hpp"
+#include "net/defrag.hpp"
 #include "net/packet.hpp"
 #include "net/reassembly.hpp"
 #include "net/result.hpp"
@@ -89,6 +90,15 @@ struct InstanceConfig {
   /// stream chunks, closing the segmentation-evasion hole. Only affects TCP
   /// packets on known chains.
   bool reassemble_tcp = false;
+  /// Reassembly policy knobs (overlap policy, history window, buffering and
+  /// stream-table bounds) applied to every shard's FlowReassembler.
+  net::ReassemblyConfig reassembly;
+  /// IPv4 defragmentation in front of reassembly: fragments are buffered and
+  /// the scan path sees whole datagrams, closing the fragmentation-evasion
+  /// hole. Only affects fragments of known chains.
+  bool defragment_ip = false;
+  /// Defragmenter bounds and overlap policy, applied per shard.
+  net::DefragConfig defrag;
   /// Deployment group this instance serves (§4.3: "deploy instances that
   /// support only one group and not all the policy chains in the system");
   /// empty = all chains. The controller compiles group-restricted engines.
@@ -120,6 +130,7 @@ struct InstanceTelemetry {
   std::uint64_t decompressed_packets = 0;  ///< payloads inflated before scan
   std::uint64_t decompressed_bytes = 0;    ///< bytes produced by inflation
   std::uint64_t reassembly_held = 0;       ///< packets that released no chunk
+  std::uint64_t defrag_held = 0;           ///< fragments awaiting completion
   /// Live stateful cursors lost to FlowTable LRU eviction: the evicted
   /// flow's next packet resumes from the DFA root, so patterns straddling
   /// the eviction point are missed. Non-zero means max_flows is too small
@@ -226,6 +237,13 @@ class DpiInstance {
   const obs::MetricsRegistry& metrics() const noexcept { return metrics_; }
   const obs::ScanTrace& trace() const noexcept { return trace_; }
 
+  /// Aggregate reassembly counters summed over every shard's
+  /// FlowReassembler (ambiguity, eviction, and teardown counts included).
+  net::ReassemblyStats reassembly_stats() const;
+
+  /// Aggregate defragmentation counters summed over every shard.
+  net::DefragStats defrag_stats() const;
+
   /// Full machine-readable state: instance identity, engine version,
   /// aggregated telemetry counters, metrics snapshot, and — when tracing is
   /// enabled — the trace ring. This is the payload TELEMETRY_REPORT carries
@@ -275,6 +293,19 @@ class DpiInstance {
     obs::Counter* regex_matches = nullptr;
     obs::Counter* flow_evictions = nullptr;
     obs::Gauge* flow_occupancy = nullptr;
+    // Reassembly ambiguity/eviction counters (shard<i>.reassembly.*).
+    obs::Counter* reassembly_dropped = nullptr;
+    obs::Counter* reassembly_duplicate_bytes = nullptr;
+    obs::Counter* reassembly_ambiguous = nullptr;
+    obs::Counter* reassembly_conflicting_bytes = nullptr;
+    obs::Counter* reassembly_stream_evictions = nullptr;
+    obs::Counter* reassembly_streams_closed = nullptr;
+    // Defragmentation counters (shard<i>.defrag.*).
+    obs::Counter* defrag_fragments = nullptr;
+    obs::Counter* defrag_completed = nullptr;
+    obs::Counter* defrag_rejected = nullptr;
+    obs::Counter* defrag_ambiguous = nullptr;
+    obs::Counter* defrag_evicted = nullptr;
   };
 
   /// Everything a data-plane worker touches, under one mutex. Flows are
@@ -287,13 +318,22 @@ class DpiInstance {
     std::shared_ptr<const dpi::Engine> engine DPISVC_GUARDED_BY(mu);
     dpi::FlowTable flows DPISVC_GUARDED_BY(mu);
     net::FlowReassembler reassembler DPISVC_GUARDED_BY(mu);
+    net::IpDefragmenter defrag DPISVC_GUARDED_BY(mu);
     InstanceTelemetry telemetry DPISVC_GUARDED_BY(mu);
     std::map<dpi::ChainId, ChainTelemetry> chain_telemetry
         DPISVC_GUARDED_BY(mu);
+    /// Last values published to the obs counters; the process() path adds
+    /// the delta against the reassembler/defragmenter totals after each
+    /// feed, so the monotonic obs counters track the monotonic stats blocks
+    /// without double counting.
+    net::ReassemblyStats obs_reassembly DPISVC_GUARDED_BY(mu);
+    net::DefragStats obs_defrag DPISVC_GUARDED_BY(mu);
     ShardInstruments obs;
     std::uint32_t index = 0;
 
-    explicit Shard(std::size_t max_flows) : flows(max_flows) {}
+    Shard(std::size_t max_flows, const net::ReassemblyConfig& reassembly,
+          const net::DefragConfig& defrag_config)
+        : flows(max_flows), reassembler(reassembly), defrag(defrag_config) {}
   };
 
   Shard& shard_of(const net::FiveTuple& flow) noexcept {
@@ -311,6 +351,9 @@ class DpiInstance {
   dpi::ScanResult scan_on_shard(Shard& shard, dpi::ChainId chain,
                                 const net::FiveTuple& flow, BytesView payload)
       DPISVC_REQUIRES(shard.mu);
+  /// Adds the delta between the shard's reassembler/defragmenter stat
+  /// blocks and the last published values to the obs counters.
+  void publish_evasion_metrics(Shard& shard) DPISVC_REQUIRES(shard.mu);
 
   std::string name_;
   InstanceConfig config_;

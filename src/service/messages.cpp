@@ -108,6 +108,9 @@ json::Value encode(const TelemetryReport& report) {
       {"match_packets", report.match_packets},
       {"flow_evictions", report.flow_evictions},
       {"active_flows", report.active_flows},
+      {"ambiguous_overlaps", report.ambiguous_overlaps},
+      {"conflicting_overlap_bytes", report.conflicting_overlap_bytes},
+      {"stream_evictions", report.stream_evictions},
       {"busy_seconds", report.busy_seconds},
   });
   json::Object msg = json::obj({
@@ -270,6 +273,13 @@ TelemetryReport decode_telemetry_report(const json::Value& message) {
       parse_count(counters.get_or("flow_evictions", zero), "flow_evictions");
   out.active_flows =
       parse_count(counters.get_or("active_flows", zero), "active_flows");
+  out.ambiguous_overlaps = parse_count(
+      counters.get_or("ambiguous_overlaps", zero), "ambiguous_overlaps");
+  out.conflicting_overlap_bytes =
+      parse_count(counters.get_or("conflicting_overlap_bytes", zero),
+                  "conflicting_overlap_bytes");
+  out.stream_evictions = parse_count(
+      counters.get_or("stream_evictions", zero), "stream_evictions");
   out.busy_seconds =
       parse_nonneg(counters.get_or("busy_seconds", zero), "busy_seconds");
   if (out.match_packets > out.packets) {
@@ -321,6 +331,10 @@ TelemetryReport make_telemetry_report(const DpiInstance& instance) {
   report.match_packets = t.match_packets;
   report.flow_evictions = t.flow_evictions;
   report.active_flows = instance.active_flows();
+  const net::ReassemblyStats rs = instance.reassembly_stats();
+  report.ambiguous_overlaps = rs.ambiguous_overlaps;
+  report.conflicting_overlap_bytes = rs.conflicting_overlap_bytes;
+  report.stream_evictions = rs.stream_evictions;
   report.busy_seconds = t.busy_seconds;
   // Instance-wide scan latency: merge the per-shard histograms (identical
   // bucket ladders) before extracting percentiles — percentiles do not

@@ -87,6 +87,14 @@ struct TelemetryReport {
   std::uint64_t match_packets = 0;
   std::uint64_t flow_evictions = 0;
   std::uint64_t active_flows = 0;
+  /// Evasion/ambiguity telemetry: reassembly overlaps whose bytes differed,
+  /// how many of those bytes conflicted, and streams lost to LRU capacity.
+  /// The controller reads these as an active-evasion signal (§4.3.1 —
+  /// ambiguous traffic is a reason to migrate a tenant to a dedicated
+  /// instance just like hits_per_byte is).
+  std::uint64_t ambiguous_overlaps = 0;
+  std::uint64_t conflicting_overlap_bytes = 0;
+  std::uint64_t stream_evictions = 0;
   double busy_seconds = 0;
   /// Scan latency percentiles in nanoseconds; all zero when the instance
   /// runs with metrics disabled.

@@ -1,0 +1,302 @@
+#include "workload/adversarial_gen.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "common/rng.hpp"
+
+namespace dpisvc::workload {
+
+namespace {
+
+/// Signed distance a - b in sequence space (same rule the reassembler uses).
+std::int32_t seq_delta(std::uint32_t a, std::uint32_t b) noexcept {
+  return static_cast<std::int32_t>(a - b);
+}
+
+Bytes make_decoy(const Bytes& data, std::uint8_t decoy_byte) {
+  Bytes out(data.size(), decoy_byte);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    // Guarantee every byte differs from the true copy.
+    if (data[i] == decoy_byte) out[i] = static_cast<std::uint8_t>(decoy_byte ^ 0x1);
+  }
+  return out;
+}
+
+}  // namespace
+
+AdversarialTrace make_evasion_trace(const net::FiveTuple& flow,
+                                    BytesView clean,
+                                    const EvasionSpec& spec) {
+  AdversarialTrace trace;
+  trace.flow = flow;
+  trace.initial_seq = spec.initial_seq;
+  trace.clean_stream.assign(clean.begin(), clean.end());
+  Rng rng(spec.seed);
+
+  // Cut the clean stream into base segments (sequence numbers wrap
+  // naturally through uint32 arithmetic).
+  const std::size_t seg = std::max<std::size_t>(spec.segment_bytes, 1);
+  std::vector<SegmentRecord> base;
+  for (std::size_t at = 0; at < clean.size(); at += seg) {
+    const std::size_t len = std::min(seg, clean.size() - at);
+    base.push_back(SegmentRecord{
+        spec.initial_seq + static_cast<std::uint32_t>(at),
+        Bytes(clean.begin() + static_cast<std::ptrdiff_t>(at),
+              clean.begin() + static_cast<std::ptrdiff_t>(at + len))});
+  }
+
+  // Build the delivery order. The segment at initial_seq is always
+  // delivered first: FlowReassembler anchors a new stream at the first
+  // packet it sees, and the oracle model assumes the same anchor.
+  std::vector<SegmentRecord>& out = trace.segments;
+  auto maybe_retransmit = [&](std::size_t delivered_prefix) {
+    if (delivered_prefix == 0 || !rng.bernoulli(spec.retransmit_rate)) return;
+    out.push_back(base[rng.index(delivered_prefix)]);
+  };
+  if (spec.conflict != ConflictMode::kNone && base.size() >= 2) {
+    out.push_back(base[0]);
+    std::size_t i = 1;
+    while (i < base.size()) {
+      if (i + 1 < base.size() && rng.bernoulli(spec.conflict_rate)) {
+        // Conflict group over (S_i, S_{i+1}): withhold S_i so both copies
+        // of S_{i+1} meet ahead of the frontier, where the overlap policy
+        // — not release order — decides the winner.
+        const SegmentRecord& truth = base[i + 1];
+        SegmentRecord decoy{truth.seq, make_decoy(truth.data, spec.decoy_byte)};
+        if (spec.conflict == ConflictMode::kDecoyLater) {
+          out.push_back(truth);
+          out.push_back(std::move(decoy));
+        } else {
+          out.push_back(std::move(decoy));
+          out.push_back(truth);
+        }
+        out.push_back(base[i]);
+        i += 2;
+      } else {
+        out.push_back(base[i]);
+        ++i;
+      }
+      maybe_retransmit(i);
+    }
+  } else {
+    out = base;
+    if (spec.shuffle && out.size() > 2) {
+      // Fisher-Yates over [1, n): element 0 stays the anchor.
+      for (std::size_t i = out.size(); i > 2; --i) {
+        std::swap(out[i - 1], out[1 + rng.index(i - 1)]);
+      }
+    }
+    if (spec.retransmit_rate > 0) {
+      std::vector<SegmentRecord> with_rtx;
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        with_rtx.push_back(out[i]);
+        if (i > 0 && rng.bernoulli(spec.retransmit_rate)) {
+          with_rtx.push_back(out[rng.index(i)]);
+        }
+      }
+      out = std::move(with_rtx);
+    }
+  }
+
+  // Materialize packets, applying IP fragmentation per delivered segment.
+  std::uint16_t ip_id = spec.first_ip_id;
+  for (const SegmentRecord& s : out) {
+    net::Packet packet;
+    packet.tuple = flow;
+    packet.tcp_seq = s.seq;
+    packet.payload = s.data;
+    packet.ip_id = ip_id++;
+    if (spec.fragment_payload > 0 && s.data.size() > spec.fragment_payload) {
+      auto frags = net::fragment_packet(packet, spec.fragment_payload);
+      if (spec.fragment_reverse) std::reverse(frags.begin(), frags.end());
+      for (auto& f : frags) trace.packets.push_back(std::move(f));
+    } else {
+      trace.packets.push_back(std::move(packet));
+    }
+  }
+  return trace;
+}
+
+NormalizedView normalize_segments(std::uint32_t initial_seq,
+                                  const std::vector<SegmentRecord>& delivery,
+                                  net::OverlapPolicy policy,
+                                  const net::ReassemblyConfig& config) {
+  NormalizedView view;
+  // Per-byte watermark model. `frontier` is the count of released bytes;
+  // `pending` maps stream offsets ahead of the frontier to their resolved
+  // byte. Stream offsets are recovered wrap-safely by measuring each
+  // segment against the current expected sequence number.
+  std::int64_t frontier = 0;
+  std::map<std::int64_t, std::uint8_t> pending;
+  bool poisoned = false;
+
+  auto conflict = [&](std::uint64_t differing) {
+    view.ambiguous = true;
+    view.conflicting_bytes += differing;
+    if (policy == net::OverlapPolicy::kRejectAmbiguous) {
+      poisoned = true;
+      pending.clear();
+    }
+  };
+
+  for (const SegmentRecord& s : delivery) {
+    if (poisoned || s.data.empty()) continue;
+    const std::uint32_t expected =
+        initial_seq + static_cast<std::uint32_t>(frontier);
+    const std::int64_t rel = frontier + seq_delta(s.seq, expected);
+    const auto len = static_cast<std::int64_t>(s.data.size());
+
+    // Head behind the frontier: released bytes are immutable, but they are
+    // conflict-checked against the history window.
+    const std::int64_t behind_hi = std::min(frontier, rel + len);
+    if (rel < frontier) {
+      const std::int64_t window_lo = std::max<std::int64_t>(
+          0, frontier - static_cast<std::int64_t>(config.overlap_history));
+      std::uint64_t differing = 0;
+      for (std::int64_t o = std::max<std::int64_t>(rel, window_lo);
+           o < behind_hi; ++o) {
+        if (view.bytes[static_cast<std::size_t>(o)] !=
+            s.data[static_cast<std::size_t>(o - rel)]) {
+          ++differing;
+        }
+      }
+      if (differing > 0) {
+        conflict(differing);
+        if (poisoned) continue;
+      }
+    }
+    const std::int64_t start = std::max(rel, frontier);
+    if (start >= rel + len) continue;  // entirely behind
+    if (start - frontier > static_cast<std::int64_t>(config.max_gap)) {
+      continue;  // dropped by the gap bound
+    }
+
+    // Resolve against pending bytes; store the holes.
+    std::uint64_t differing = 0;
+    for (std::int64_t o = start; o < rel + len; ++o) {
+      const std::uint8_t b = s.data[static_cast<std::size_t>(o - rel)];
+      auto it = pending.find(o);
+      if (it == pending.end()) {
+        pending.emplace(o, b);
+        continue;
+      }
+      if (it->second != b) {
+        ++differing;
+        if (policy == net::OverlapPolicy::kLastWins) it->second = b;
+      }
+    }
+    if (differing > 0) {
+      conflict(differing);
+      if (poisoned) continue;
+    }
+
+    // Drain the contiguous prefix.
+    for (auto it = pending.find(frontier); it != pending.end();
+         it = pending.find(frontier)) {
+      view.bytes.push_back(it->second);
+      pending.erase(it);
+      ++frontier;
+    }
+  }
+  return view;
+}
+
+namespace {
+
+/// Independent per-datagram defragmentation model mirroring
+/// net::IpDefragmenter's semantics (minus capacity/idle eviction, which the
+/// generators never trigger).
+struct ModelDatagram {
+  std::map<std::size_t, std::uint8_t> bytes;
+  bool have_last = false;
+  std::size_t total_len = 0;
+  bool have_header = false;
+  std::uint32_t header_seq = 0;
+  bool poisoned = false;
+};
+
+}  // namespace
+
+NormalizedView normalize_trace(const AdversarialTrace& trace,
+                               net::OverlapPolicy policy,
+                               const net::ReassemblyConfig& reassembly,
+                               const net::DefragConfig& defrag) {
+  using Key = std::tuple<std::uint32_t, std::uint32_t, std::uint8_t,
+                         std::uint16_t>;
+  std::map<Key, ModelDatagram> datagrams;
+  std::vector<SegmentRecord> delivery;
+  std::uint64_t frag_conflicts = 0;
+  bool frag_ambiguous = false;
+
+  for (const net::Packet& p : trace.packets) {
+    if (!p.is_fragment()) {
+      delivery.push_back(SegmentRecord{p.tcp_seq, p.payload});
+      continue;
+    }
+    const Key key{p.tuple.src_ip.value, p.tuple.dst_ip.value,
+                  static_cast<std::uint8_t>(p.tuple.proto), p.ip_id};
+    ModelDatagram& dg = datagrams[key];
+    const std::size_t offset = static_cast<std::size_t>(p.frag_offset) * 8;
+    const std::size_t len = p.payload.size();
+    const std::size_t extent = dg.bytes.empty() ? 0 : dg.bytes.rbegin()->first + 1;
+
+    bool bad = offset + len > defrag.max_datagram;
+    if (p.more_fragments) {
+      if (len == 0 || len % 8 != 0) bad = true;
+      if (dg.have_last && offset + len > dg.total_len) bad = true;
+    } else {
+      if (dg.have_last && dg.total_len != offset + len) bad = true;
+      if (extent > offset + len) bad = true;
+    }
+    if (bad || (p.more_fragments && len < defrag.min_fragment)) {
+      dg.poisoned = true;
+      continue;
+    }
+    if (dg.poisoned) continue;
+    if (offset == 0 && !dg.have_header) {
+      dg.have_header = true;
+      dg.header_seq = p.tcp_seq;
+    }
+    if (!p.more_fragments) {
+      dg.have_last = true;
+      dg.total_len = offset + len;
+    }
+    std::uint64_t differing = 0;
+    for (std::size_t i = 0; i < len; ++i) {
+      auto it = dg.bytes.find(offset + i);
+      if (it == dg.bytes.end()) {
+        dg.bytes.emplace(offset + i, p.payload[i]);
+        continue;
+      }
+      if (it->second != p.payload[i]) {
+        ++differing;
+        if (policy == net::OverlapPolicy::kLastWins) it->second = p.payload[i];
+      }
+    }
+    if (differing > 0) {
+      frag_ambiguous = true;
+      frag_conflicts += differing;
+      if (policy == net::OverlapPolicy::kRejectAmbiguous) {
+        dg.poisoned = true;
+        continue;
+      }
+    }
+    if (dg.have_last && dg.have_header && dg.bytes.size() == dg.total_len) {
+      Bytes assembled;
+      assembled.reserve(dg.total_len);
+      for (const auto& [_, b] : dg.bytes) assembled.push_back(b);
+      delivery.push_back(SegmentRecord{dg.header_seq, std::move(assembled)});
+      datagrams.erase(key);
+    }
+  }
+
+  NormalizedView view =
+      normalize_segments(trace.initial_seq, delivery, policy, reassembly);
+  view.ambiguous = view.ambiguous || frag_ambiguous;
+  view.conflicting_bytes += frag_conflicts;
+  return view;
+}
+
+}  // namespace dpisvc::workload

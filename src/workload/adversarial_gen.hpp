@@ -1,0 +1,130 @@
+// Adversarial trace generation: NIDS evasion transforms with a reference
+// normalization oracle.
+//
+// The evasion literature (Ptacek/Newsham-style insertion and evasion)
+// attacks the gap between the middlebox's reconstruction of a TCP stream
+// and the endpoint's. This module produces traces that exercise that gap on
+// purpose:
+//   - segment-level transforms: small segments, out-of-order delivery,
+//     retransmit storms, sequence-number wraparound straddling the payload;
+//   - ambiguity transforms: overlapping segments carrying *different* bytes
+//     for the same sequence range, ordered so that each OverlapPolicy
+//     resolves to a different stream;
+//   - IP-level transforms: datagrams split into fragments (optionally
+//     delivered in reverse), including tiny fragments the defragmenter is
+//     configured to reject.
+//
+// Every generator is seeded and deterministic. normalize_segments() /
+// normalize_trace() are an *independent* model of the policy semantics —
+// a per-byte watermark simulation, sharing no code with
+// net::StreamReassembler / net::IpDefragmenter — so tests can assert that
+// scanning the reassembled stream equals scanning the policy-normalized
+// bytes directly, for every policy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "net/defrag.hpp"
+#include "net/flow.hpp"
+#include "net/packet.hpp"
+#include "net/reassembly.hpp"
+
+namespace dpisvc::workload {
+
+/// How conflicting overlaps are injected into the delivery order.
+enum class ConflictMode : std::uint8_t {
+  kNone = 0,
+  /// The true bytes are delivered first (while the preceding segment is
+  /// withheld, so both copies meet in the pending buffer): kFirstWins
+  /// normalizes to the clean stream, kLastWins sees the decoy bytes, and
+  /// kRejectAmbiguous releases only the prefix before the first conflict.
+  kDecoyLater = 1,
+  /// The decoy is delivered first: kLastWins normalizes to the clean
+  /// stream and kFirstWins sees the decoy bytes.
+  kDecoyFirst = 2,
+};
+
+struct EvasionSpec {
+  std::uint64_t seed = 1;
+  /// Sequence number of the stream's first byte; place it near 0xFFFFFFFF
+  /// to make the stream straddle the 32-bit wrap.
+  std::uint32_t initial_seq = 0;
+  /// Bytes per TCP segment (patterns longer than this are forced to span
+  /// segments).
+  std::size_t segment_bytes = 8;
+  /// Shuffle the delivery order (the first-delivered segment stays the one
+  /// at initial_seq, which anchors the reassembler). Only applied when
+  /// `conflict` is kNone — the conflict constructions encode their own
+  /// delivery order.
+  bool shuffle = false;
+  /// After each delivery, probability of re-delivering a copy of a random
+  /// earlier (true) segment — a retransmit storm of identical bytes.
+  double retransmit_rate = 0.0;
+  ConflictMode conflict = ConflictMode::kNone;
+  /// Probability that a segment pair becomes a conflict group.
+  double conflict_rate = 0.0;
+  /// Byte the decoy copies are filled with (bytes equal to it are flipped
+  /// so a decoy always differs from the true segment).
+  std::uint8_t decoy_byte = '#';
+  /// When non-zero, every delivered segment's packet is split into IP
+  /// fragments of at most this many payload bytes (multiples of 8 for all
+  /// but the last). 8-byte fragments against the default DefragConfig
+  /// (min_fragment 16) exercise tiny-fragment rejection.
+  std::size_t fragment_payload = 0;
+  /// Deliver each datagram's fragments in reverse order.
+  bool fragment_reverse = false;
+  /// ip_id of the first emitted datagram (incremented per datagram).
+  std::uint16_t first_ip_id = 1;
+};
+
+/// One TCP segment in delivery order.
+struct SegmentRecord {
+  std::uint32_t seq = 0;
+  Bytes data;
+};
+
+struct AdversarialTrace {
+  net::FiveTuple flow;
+  std::uint32_t initial_seq = 0;
+  /// The untransformed stream the sender "meant".
+  Bytes clean_stream;
+  /// TCP segments in delivery order (before IP fragmentation).
+  std::vector<SegmentRecord> segments;
+  /// Fully-formed packets in delivery order, IP fragmentation applied.
+  std::vector<net::Packet> packets;
+};
+
+/// Applies the spec's evasion transforms to `clean`.
+AdversarialTrace make_evasion_trace(const net::FiveTuple& flow,
+                                    BytesView clean, const EvasionSpec& spec);
+
+/// What the scan path sees after policy normalization.
+struct NormalizedView {
+  Bytes bytes;
+  /// At least one overlap carried differing bytes.
+  bool ambiguous = false;
+  std::uint64_t conflicting_bytes = 0;
+};
+
+/// Reference model of StreamReassembler's policy semantics: a per-byte
+/// watermark simulation over the delivered segments. Assumes max_buffered
+/// is never exceeded (the generators stay far below it); models the
+/// released-history window, max_gap, and poison-on-reject exactly.
+NormalizedView normalize_segments(std::uint32_t initial_seq,
+                                  const std::vector<SegmentRecord>& delivery,
+                                  net::OverlapPolicy policy,
+                                  const net::ReassemblyConfig& config = {});
+
+/// Reference model for a full trace: an independent per-datagram
+/// defragmentation model (bounds, tiny-fragment and conflict handling, no
+/// capacity/idle eviction — generator traces stay below those bounds) feeds
+/// the segment model above. `policy` overrides the overlap policy of both
+/// configs.
+NormalizedView normalize_trace(const AdversarialTrace& trace,
+                               net::OverlapPolicy policy,
+                               const net::ReassemblyConfig& reassembly = {},
+                               const net::DefragConfig& defrag = {});
+
+}  // namespace dpisvc::workload

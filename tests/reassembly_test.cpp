@@ -231,5 +231,245 @@ TEST(StreamReassembler, RandomizedShuffleProperty) {
   }
 }
 
+// --- overlap/ambiguity policies ----------------------------------------------
+
+ReassemblyConfig policy_config(OverlapPolicy policy) {
+  ReassemblyConfig config;
+  config.overlap_policy = policy;
+  return config;
+}
+
+TEST(OverlapPolicy, FirstWinsKeepsPendingCopyAndCountsConflict) {
+  StreamReassembler stream(0, policy_config(OverlapPolicy::kFirstWins));
+  stream.accept(4, payload_of("REAL"));   // pending, ahead of the frontier
+  stream.accept(4, payload_of("FAKE"));   // conflicting overlap
+  EXPECT_EQ(stream.ambiguous_overlaps(), 1u);
+  EXPECT_EQ(stream.conflicting_overlap_bytes(), 4u);  // all four differ
+  stream.accept(0, payload_of("head"));
+  EXPECT_EQ(to_string(stream.pop_ready()), "headREAL");
+}
+
+TEST(OverlapPolicy, LastWinsOverwritesPendingCopy) {
+  StreamReassembler stream(0, policy_config(OverlapPolicy::kLastWins));
+  stream.accept(4, payload_of("REAL"));
+  stream.accept(4, payload_of("FAKE"));
+  EXPECT_EQ(stream.ambiguous_overlaps(), 1u);
+  stream.accept(0, payload_of("head"));
+  EXPECT_EQ(to_string(stream.pop_ready()), "headFAKE");
+}
+
+TEST(OverlapPolicy, LastWinsCannotRewriteReleasedBytes) {
+  // Released bytes are immutable under every policy: an inline middlebox
+  // cannot un-forward what it already let through.
+  StreamReassembler stream(0, policy_config(OverlapPolicy::kLastWins));
+  stream.accept(0, payload_of("released"));
+  EXPECT_EQ(to_string(stream.pop_ready()), "released");
+  stream.accept(0, payload_of("REWRITE!"));
+  EXPECT_EQ(stream.ambiguous_overlaps(), 1u);
+  EXPECT_TRUE(stream.pop_ready().empty());
+  stream.accept(8, payload_of("tail"));
+  EXPECT_EQ(to_string(stream.pop_ready()), "tail");
+}
+
+TEST(OverlapPolicy, RejectAmbiguousPoisonsOnPendingConflict) {
+  StreamReassembler stream(0, policy_config(OverlapPolicy::kRejectAmbiguous));
+  stream.accept(4, payload_of("REAL"));
+  stream.accept(4, payload_of("FAKE"));
+  EXPECT_TRUE(stream.ambiguous());
+  EXPECT_EQ(stream.buffered_bytes(), 0u);  // pending discarded
+  // Nothing is ever released again — conflicting data cannot reach the
+  // scan path in either version.
+  stream.accept(0, payload_of("head"));
+  EXPECT_TRUE(stream.pop_ready().empty());
+}
+
+TEST(OverlapPolicy, RejectAmbiguousPoisonsOnRetransmissionConflict) {
+  StreamReassembler stream(0, policy_config(OverlapPolicy::kRejectAmbiguous));
+  stream.accept(0, payload_of("abcdef"));
+  EXPECT_EQ(to_string(stream.pop_ready()), "abcdef");
+  // Retransmission of released bytes with different content: the history
+  // window catches it and the stream fails closed.
+  stream.accept(0, payload_of("abcdXX"));
+  EXPECT_TRUE(stream.ambiguous());
+  EXPECT_EQ(stream.conflicting_overlap_bytes(), 2u);
+  stream.accept(6, payload_of("tail"));
+  EXPECT_TRUE(stream.pop_ready().empty());
+}
+
+TEST(OverlapPolicy, IdenticalRetransmissionIsNotAmbiguous) {
+  StreamReassembler stream(0, policy_config(OverlapPolicy::kRejectAmbiguous));
+  stream.accept(0, payload_of("abcdef"));
+  stream.pop_ready();
+  stream.accept(0, payload_of("abcdef"));  // exact duplicate: benign
+  EXPECT_FALSE(stream.ambiguous());
+  EXPECT_EQ(stream.duplicate_bytes(), 6u);
+  stream.accept(6, payload_of("tail"));
+  EXPECT_EQ(to_string(stream.pop_ready()), "tail");
+}
+
+TEST(OverlapPolicy, HistoryWindowBoundsRetransmissionChecks) {
+  ReassemblyConfig config = policy_config(OverlapPolicy::kRejectAmbiguous);
+  config.overlap_history = 4;
+  StreamReassembler stream(0, config);
+  stream.accept(0, payload_of("abcdefgh"));
+  stream.pop_ready();
+  // Conflicts with bytes 0..3 — outside the 4-byte history window, so the
+  // content is gone and the retransmission cannot be conflict-checked.
+  stream.accept(0, payload_of("XXXX"));
+  EXPECT_FALSE(stream.ambiguous());
+  // Bytes 4..7 are inside the window: a conflict there is caught.
+  stream.accept(4, payload_of("YYYY"));
+  EXPECT_TRUE(stream.ambiguous());
+}
+
+TEST(OverlapPolicy, NamesAreStable) {
+  EXPECT_STREQ(overlap_policy_name(OverlapPolicy::kFirstWins), "first_wins");
+  EXPECT_STREQ(overlap_policy_name(OverlapPolicy::kLastWins), "last_wins");
+  EXPECT_STREQ(overlap_policy_name(OverlapPolicy::kRejectAmbiguous),
+               "reject_ambiguous");
+}
+
+// --- stream lifecycle: LRU eviction, RST, FIN --------------------------------
+
+Packet tcp_packet(std::uint16_t src_port, std::uint32_t seq,
+                  std::string_view data, std::uint8_t flags = 0x18) {
+  Packet p;
+  p.tuple = FiveTuple{Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 0, 2), src_port,
+                      80, IpProto::kTcp};
+  p.tcp_seq = seq;
+  p.payload = payload_of(data);
+  p.tcp_flags = flags;
+  return p;
+}
+
+TEST(FlowReassembler, LruEvictionAtStreamCapacity) {
+  ReassemblyConfig config;
+  config.max_streams = 2;
+  FlowReassembler reassembler(config);
+  // Open two streams with buffered (out-of-order) data.
+  reassembler.feed(tcp_packet(1001, 10, "aa"));  // gap: stays buffered
+  reassembler.feed(tcp_packet(1002, 10, "bb"));
+  EXPECT_EQ(reassembler.active_streams(), 2u);
+  // Touch stream 1001 so 1002 becomes the LRU victim.
+  reassembler.feed(tcp_packet(1001, 20, "cc"));
+  // A third stream evicts 1002.
+  reassembler.feed(tcp_packet(1003, 0, "dd"));
+  EXPECT_EQ(reassembler.active_streams(), 2u);
+  EXPECT_EQ(reassembler.stats().stream_evictions, 1u);
+  EXPECT_TRUE(reassembler.erase(tcp_packet(1001, 0, "").tuple));
+  EXPECT_FALSE(reassembler.erase(tcp_packet(1002, 0, "").tuple));
+}
+
+TEST(FlowReassembler, RstTearsDownImmediatelyAndFlushesReady) {
+  FlowReassembler reassembler;
+  auto chunk = reassembler.feed(tcp_packet(2000, 0, "in-order"));
+  ASSERT_TRUE(chunk.has_value());
+  EXPECT_EQ(reassembler.active_streams(), 1u);
+  // RST with garbage payload: stream state dropped, payload never released.
+  chunk = reassembler.feed(tcp_packet(2000, 8, "EVIL", 0x04));
+  EXPECT_FALSE(chunk.has_value());
+  EXPECT_EQ(reassembler.active_streams(), 0u);
+  EXPECT_EQ(reassembler.stats().streams_closed, 1u);
+}
+
+TEST(FlowReassembler, RstOnUnknownStreamIsNoop) {
+  FlowReassembler reassembler;
+  EXPECT_FALSE(reassembler.feed(tcp_packet(2001, 0, "", 0x04)).has_value());
+  EXPECT_EQ(reassembler.active_streams(), 0u);
+  EXPECT_EQ(reassembler.stats().streams_closed, 0u);
+}
+
+TEST(FlowReassembler, FinTearsDownAfterSequenceConsumed) {
+  FlowReassembler reassembler;
+  // FIN arrives with the last data segment while a gap is still open: the
+  // stream must survive until the gap fills.
+  reassembler.feed(tcp_packet(3000, 0, "first."));
+  auto chunk = reassembler.feed(tcp_packet(3000, 12, "final.", 0x18 | 0x01));
+  EXPECT_FALSE(chunk.has_value());  // 6..11 missing
+  EXPECT_EQ(reassembler.active_streams(), 1u);
+  // The gap fills: everything drains and the FIN's sequence is consumed.
+  chunk = reassembler.feed(tcp_packet(3000, 6, "middle"));
+  ASSERT_TRUE(chunk.has_value());
+  EXPECT_EQ(to_string(chunk->data), "middlefinal.");
+  EXPECT_EQ(reassembler.active_streams(), 0u);
+  EXPECT_EQ(reassembler.stats().streams_closed, 1u);
+}
+
+TEST(FlowReassembler, StatsAggregateAcrossStreams) {
+  FlowReassembler reassembler;
+  reassembler.feed(tcp_packet(4000, 0, "abc"));
+  reassembler.feed(tcp_packet(4000, 0, "abc"));  // duplicate
+  reassembler.feed(tcp_packet(4001, 4, "REAL"));
+  reassembler.feed(tcp_packet(4001, 4, "FAKE"));  // conflict
+  const ReassemblyStats& stats = reassembler.stats();
+  EXPECT_EQ(stats.duplicate_bytes, 7u);  // 3 retransmitted + 4 overlapped
+  EXPECT_EQ(stats.ambiguous_overlaps, 1u);
+  EXPECT_EQ(stats.conflicting_overlap_bytes, 4u);
+}
+
+// --- sequence wraparound satellites ------------------------------------------
+
+// A pattern straddling the 0xFFFFFFFF -> 0 boundary must match exactly as if
+// the stream had no wrap: the reassembler releases contiguous bytes and the
+// stateful engine's cursor carries the automaton state across the boundary.
+TEST(SeqWraparound, MatchStraddlesWrapBoundary) {
+  dpi::EngineSpec spec;
+  dpi::MiddleboxProfile ids;
+  ids.id = 1;
+  ids.name = "ids";
+  ids.stateful = true;
+  spec.middleboxes = {ids};
+  spec.exact_patterns = {dpi::ExactPatternSpec{"wrap-attack", 1, 0}};
+  spec.chains[1] = {1};
+  auto engine = dpi::Engine::compile(spec);
+
+  const std::string stream = "aaaawrap-attackbbbb";
+  // Place the stream so the wrap lands mid-pattern ("wrap-" before, the
+  // rest after).
+  const std::uint32_t initial = 0u - 9u;
+  StreamReassembler reassembler(initial);
+  dpi::FlowCursor cursor;
+  bool matched = false;
+  // Deliver in an order that exercises buffering across the wrap.
+  const std::size_t cuts[][2] = {{10, 9}, {0, 5}, {5, 5}};
+  for (const auto& [at, len] : cuts) {
+    reassembler.accept(initial + static_cast<std::uint32_t>(at),
+                       payload_of(stream.substr(at, len)));
+    const Bytes ready = reassembler.pop_ready();
+    if (ready.empty()) continue;
+    const auto result = engine->scan_packet(1, ready, cursor);
+    cursor = result.cursor;
+    matched |= result.has_matches();
+  }
+  EXPECT_TRUE(matched);
+  EXPECT_EQ(reassembler.expected_seq(),
+            initial + static_cast<std::uint32_t>(stream.size()));
+}
+
+TEST(SeqWraparound, MaxGapEnforcedAcrossWrap) {
+  ReassemblyConfig config;
+  config.max_gap = 100;
+  const std::uint32_t initial = 0xFFFFFFF0;
+  StreamReassembler stream(initial, config);
+  // 50 bytes ahead of the frontier, landing past the wrap: within max_gap,
+  // must be buffered — the gap math must not see a huge unsigned distance.
+  EXPECT_EQ(stream.accept(initial + 50, payload_of("ok")), 2u);
+  EXPECT_EQ(stream.buffered_bytes(), 2u);
+  // 200 bytes ahead: beyond max_gap, dropped.
+  EXPECT_EQ(stream.accept(initial + 200, payload_of("no")), 0u);
+  EXPECT_EQ(stream.dropped_segments(), 1u);
+}
+
+TEST(SeqWraparound, RetransmissionDetectedAcrossWrap) {
+  const std::uint32_t initial = 0xFFFFFFFC;
+  StreamReassembler stream(initial, policy_config(OverlapPolicy::kFirstWins));
+  stream.accept(initial, payload_of("abcdefgh"));  // frontier wraps to 4
+  EXPECT_EQ(to_string(stream.pop_ready()), "abcdefgh");
+  // Retransmission starting before the wrap of bytes already released.
+  stream.accept(initial + 2, payload_of("cdef"));
+  EXPECT_EQ(stream.duplicate_bytes(), 4u);
+  EXPECT_FALSE(stream.ambiguous());
+}
+
 }  // namespace
 }  // namespace dpisvc::net

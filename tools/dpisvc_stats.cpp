@@ -5,21 +5,28 @@
 //
 // Builds an in-process DPI service (controller + one instance), registers a
 // stateless and a stateful middlebox with exact and regex patterns, scans a
-// generated HTTP-like trace, then exercises the full telemetry loop the way
-// a remote operator would: the instance's TELEMETRY_REPORT is pushed through
-// the controller's JSON channel and the aggregate is pulled back out with
-// TELEMETRY_QUERY. Default output is a human-readable summary; --json dumps
-// the raw TELEMETRY_QUERY response (CI pipes it through a JSON parser as a
-// schema smoke check).
+// generated HTTP-like trace plus an adversarial evasion trace (conflicting
+// TCP overlaps and IP fragments through the defrag+reassembly ingest, so
+// the ambiguity counters report real activity), then exercises the full
+// telemetry loop the way a remote operator would: the instance's
+// TELEMETRY_REPORT is pushed through the controller's JSON channel and the
+// aggregate is pulled back out with TELEMETRY_QUERY. Default output is a
+// human-readable summary; --json dumps the raw TELEMETRY_QUERY response (CI
+// pipes it through a JSON parser as a schema smoke check).
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
+#include <utility>
+
+#include "common/bytes.hpp"
 
 #include "json/json.hpp"
+#include "net/packet.hpp"
 #include "service/controller.hpp"
 #include "service/instance.hpp"
 #include "service/messages.hpp"
+#include "workload/adversarial_gen.hpp"
 #include "workload/traffic_gen.hpp"
 
 using namespace dpisvc;
@@ -98,6 +105,15 @@ void print_pretty(const json::Value& response,
     std::printf("  flow evictions:  %llu\n",
                 static_cast<unsigned long long>(
                     count_of(counters, "flow_evictions")));
+    std::printf("  ambiguous ovlps: %llu\n",
+                static_cast<unsigned long long>(
+                    count_of(counters, "ambiguous_overlaps")));
+    std::printf("  conflict bytes:  %llu\n",
+                static_cast<unsigned long long>(
+                    count_of(counters, "conflicting_overlap_bytes")));
+    std::printf("  stream evicts:   %llu\n",
+                static_cast<unsigned long long>(
+                    count_of(counters, "stream_evictions")));
     std::printf("  busy seconds:    %.6f\n",
                 counters.get_or("busy_seconds", json::Value(0.0)).as_number());
     const json::Value& lat = report.get_or("latency_ns", json::Value());
@@ -108,6 +124,48 @@ void print_pretty(const json::Value& response,
                   lat.get_or("p99", json::Value(0.0)).as_number());
     }
   }
+  // Reassembly/defragmentation counter blocks come straight from the
+  // instance's stats_json (per-shard obs counters roll up into the same
+  // totals).
+  const json::Value stats = instance.stats_json();
+  const json::Value& reassembly = stats.at("reassembly");
+  std::printf("reassembly (policy %s)\n",
+              reassembly.at("policy").as_string().c_str());
+  std::printf("  dropped segs:    %llu\n",
+              static_cast<unsigned long long>(
+                  count_of(reassembly, "dropped_segments")));
+  std::printf("  duplicate bytes: %llu\n",
+              static_cast<unsigned long long>(
+                  count_of(reassembly, "duplicate_bytes")));
+  std::printf("  ambiguous ovlps: %llu\n",
+              static_cast<unsigned long long>(
+                  count_of(reassembly, "ambiguous_overlaps")));
+  std::printf("  conflict bytes:  %llu\n",
+              static_cast<unsigned long long>(
+                  count_of(reassembly, "conflicting_overlap_bytes")));
+  std::printf("  stream evicts:   %llu\n",
+              static_cast<unsigned long long>(
+                  count_of(reassembly, "stream_evictions")));
+  std::printf("  streams closed:  %llu\n",
+              static_cast<unsigned long long>(
+                  count_of(reassembly, "streams_closed")));
+  const json::Value& defrag = stats.at("defrag");
+  std::printf("defrag\n");
+  std::printf("  fragments:       %llu\n",
+              static_cast<unsigned long long>(count_of(defrag, "fragments")));
+  std::printf("  completed:       %llu\n",
+              static_cast<unsigned long long>(
+                  count_of(defrag, "datagrams_completed")));
+  std::printf("  rejected tiny:   %llu\n",
+              static_cast<unsigned long long>(
+                  count_of(defrag, "rejected_tiny")));
+  std::printf("  rejected bounds: %llu\n",
+              static_cast<unsigned long long>(
+                  count_of(defrag, "rejected_bounds")));
+  std::printf("  ambiguous frags: %llu\n",
+              static_cast<unsigned long long>(
+                  count_of(defrag, "ambiguous_fragments")));
+
   const auto& trace = instance.trace();
   if (trace.enabled()) {
     const auto events = trace.snapshot();
@@ -163,6 +221,8 @@ int run(const Args& args) {
   config.num_workers = workers;
   config.metrics = true;
   config.trace_capacity = trace_cap;
+  config.reassemble_tcp = true;
+  config.defragment_ip = true;
   auto instance = controller.create_instance("dpi-0", config);
   controller.assign_chain(chain, "dpi-0");
 
@@ -174,6 +234,38 @@ int run(const Args& args) {
   const workload::Trace trace = workload::generate_http_trace(traffic);
   for (const workload::TracePacket& p : trace) {
     (void)instance->scan(chain, p.tuple, p.payload);
+  }
+
+  // Evasion leg: one adversarial flow with conflicting TCP overlaps and one
+  // with reversed IP fragments, through the full defrag+reassembly ingest,
+  // so the ambiguity/defrag counters in the report reflect real activity.
+  const Bytes evasion_stream =
+      to_bytes("GET /?q=attack HTTP/1.1 evil-payload card=4111222233334444#xx");
+  workload::EvasionSpec overlap_spec;
+  overlap_spec.seed = traffic.seed;
+  overlap_spec.segment_bytes = 8;
+  overlap_spec.conflict = workload::ConflictMode::kDecoyLater;
+  overlap_spec.conflict_rate = 0.5;
+  workload::EvasionSpec frag_spec;
+  frag_spec.seed = traffic.seed + 1;
+  frag_spec.segment_bytes = 32;
+  frag_spec.fragment_payload = 16;
+  frag_spec.fragment_reverse = true;
+  const net::FiveTuple overlap_flow{net::Ipv4Addr(10, 9, 0, 1),
+                                    net::Ipv4Addr(10, 9, 0, 2), 40001, 80,
+                                    net::IpProto::kTcp};
+  const net::FiveTuple frag_flow{net::Ipv4Addr(10, 9, 0, 3),
+                                 net::Ipv4Addr(10, 9, 0, 4), 40002, 80,
+                                 net::IpProto::kTcp};
+  for (const auto& [flow, spec] :
+       {std::pair{overlap_flow, overlap_spec}, std::pair{frag_flow, frag_spec}}) {
+    const workload::AdversarialTrace adversarial =
+        workload::make_evasion_trace(flow, evasion_stream, spec);
+    for (const net::Packet& packet : adversarial.packets) {
+      net::Packet tagged = packet;
+      tagged.push_tag(net::TagKind::kPolicyChain, chain);
+      (void)instance->process(std::move(tagged));
+    }
   }
 
   // Round-trip the report over the JSON channel exactly like a remote
