@@ -164,6 +164,22 @@ std::size_t StreamReassembler::accept(std::uint32_t seq, BytesView data) {
   std::size_t stored = 0;
   bool over_budget = false;
   std::int64_t cursor = delta;
+  if (delta == 0) {
+    // The frontier-contiguous prefix — up to the first pending segment,
+    // which is always strictly ahead of the frontier — releases immediately
+    // and is never charged against the out-of-order budget. Budgeting it
+    // would let an attacker fill pending_ to max_buffered and have the
+    // gap-filling segment rejected: the frontier would never advance and
+    // every later byte of the flow would pass unscanned. This is also the
+    // hot path for fully in-order traffic (no pending, no map churn).
+    const std::int64_t frontier_hi =
+        covered.empty() ? len : std::min(covered.front().first, len);
+    if (frontier_hi > 0) {
+      release(data.subspan(0, static_cast<std::size_t>(frontier_hi)));
+      stored += static_cast<std::size_t>(frontier_hi);
+      cursor = frontier_hi;
+    }
+  }
   auto store_hole = [&](std::int64_t lo, std::int64_t hi) {
     if (lo >= hi) return;
     const auto hole_len = static_cast<std::size_t>(hi - lo);
@@ -196,6 +212,20 @@ std::size_t StreamReassembler::accept(std::uint32_t seq, BytesView data) {
   return stored;
 }
 
+void StreamReassembler::release(BytesView span) {
+  expected_ += static_cast<std::uint32_t>(span.size());
+  ready_.insert(ready_.end(), span.begin(), span.end());
+  if (config_.overlap_history > 0) {
+    history_.insert(history_.end(), span.begin(), span.end());
+    if (history_.size() > config_.overlap_history) {
+      history_.erase(history_.begin(),
+                     history_.begin() +
+                         static_cast<std::ptrdiff_t>(history_.size() -
+                                                     config_.overlap_history));
+    }
+  }
+}
+
 void StreamReassembler::drain_buffered() {
   // Pending segments are non-overlapping and strictly ahead of the
   // frontier, so at most one segment sits exactly at the frontier per pass.
@@ -206,19 +236,8 @@ void StreamReassembler::drain_buffered() {
     progressed = false;
     for (auto it = pending_.begin(); it != pending_.end(); ++it) {
       if (seq_delta(it->first, expected_) != 0) continue;
-      Bytes& segment = it->second;
-      buffered_bytes_ -= segment.size();
-      expected_ += static_cast<std::uint32_t>(segment.size());
-      ready_.insert(ready_.end(), segment.begin(), segment.end());
-      if (config_.overlap_history > 0) {
-        history_.insert(history_.end(), segment.begin(), segment.end());
-        if (history_.size() > config_.overlap_history) {
-          history_.erase(history_.begin(),
-                         history_.begin() +
-                             static_cast<std::ptrdiff_t>(
-                                 history_.size() - config_.overlap_history));
-        }
-      }
+      buffered_bytes_ -= it->second.size();
+      release(it->second);
       pending_.erase(it);
       progressed = true;
       break;  // map mutated and expected_ moved: restart the scan
@@ -232,9 +251,18 @@ Bytes StreamReassembler::pop_ready() {
   return out;
 }
 
-void StreamReassembler::set_fin(std::uint32_t seq_after_data) noexcept {
+bool StreamReassembler::set_fin(std::uint32_t seq_after_data) noexcept {
+  if (seq_delta(seq_after_data, expected_) < 0) {
+    // Stale/forged FIN behind the frontier: the endpoint ignores an
+    // out-of-window FIN, so honoring it would tear the stream down early,
+    // discard buffered bytes unscanned, and let the next segment re-anchor
+    // a fresh stream — a desync evasion. Ignore it, but count the probe.
+    if (stats_ != nullptr) ++stats_->ignored_fins;
+    return false;
+  }
   fin_seen_ = true;
   fin_seq_ = seq_after_data;
+  return true;
 }
 
 bool StreamReassembler::finished() const noexcept {
@@ -277,9 +305,19 @@ std::optional<ReassembledChunk> FlowReassembler::feed(const Packet& packet) {
   if ((packet.tcp_flags & kTcpRst) != 0) {
     // RST kills the connection immediately: flush whatever is already
     // in-order, then drop all stream state. The RST's own payload (if any)
-    // is not data — it is never scanned.
+    // is not data — it is never scanned. Endpoints only accept an in-window
+    // RST (RFC 793/5961), so an out-of-window one must not tear down state
+    // the endpoint keeps — the classic Snort-era RST desync evasion.
+    // Ignore it, but count the probe.
     auto it = streams_.find(packet.tuple);
     if (it == streams_.end()) return std::nullopt;
+    const std::int64_t rst_delta =
+        seq_delta(packet.tcp_seq, it->second->stream.expected_seq());
+    if (rst_delta < 0 ||
+        rst_delta > static_cast<std::int64_t>(config_.max_gap)) {
+      ++stats_.ignored_rsts;
+      return std::nullopt;
+    }
     Bytes ready = it->second->stream.pop_ready();
     lru_.erase(it->second);
     streams_.erase(it);

@@ -58,6 +58,12 @@ enum class OverlapPolicy : std::uint8_t {
 
 const char* overlap_policy_name(OverlapPolicy policy) noexcept;
 
+/// Signed distance a - b in 32-bit TCP sequence space (RFC 1982-style serial
+/// comparison; wrap-safe within +/- 2^31).
+inline std::int32_t seq_delta(std::uint32_t a, std::uint32_t b) noexcept {
+  return static_cast<std::int32_t>(a - b);
+}
+
 /// Aggregate reassembly counters, shared by every stream of one
 /// FlowReassembler so totals survive stream teardown/eviction. All counters
 /// are monotonic.
@@ -71,11 +77,20 @@ struct ReassemblyStats {
   std::uint64_t conflicting_overlap_bytes = 0;
   std::uint64_t stream_evictions = 0;   ///< LRU-evicted (capacity)
   std::uint64_t streams_closed = 0;     ///< torn down via RST / consumed FIN
+  /// FINs behind the contiguous frontier, ignored: a real endpoint discards
+  /// an out-of-window FIN, so honoring one would desync the engine from it.
+  std::uint64_t ignored_fins = 0;
+  /// RSTs whose sequence was outside [expected, expected + max_gap],
+  /// ignored for the same reason (RFC 793/5961 in-window check).
+  std::uint64_t ignored_rsts = 0;
 };
 
 struct ReassemblyConfig {
   /// Maximum bytes of out-of-order data buffered per stream; segments that
-  /// would exceed it are dropped (and counted).
+  /// would exceed it are dropped (and counted). Only bytes ahead of the
+  /// contiguous frontier are charged: frontier-contiguous data is released
+  /// immediately and is exempt, so a full pending buffer can never block
+  /// the gap-filling segment that drains it.
   std::size_t max_buffered = 256 * 1024;
   /// Maximum distance ahead of the expected sequence number a segment may
   /// start at; beyond it the segment is treated as garbage/attack.
@@ -111,8 +126,11 @@ class StreamReassembler {
 
   /// Records the FIN's position: `seq_after_data` is the sequence number of
   /// the FIN flag itself (segment seq + payload length). Once the contiguous
-  /// frontier reaches it the stream is finished().
-  void set_fin(std::uint32_t seq_after_data) noexcept;
+  /// frontier reaches it the stream is finished(). A stale FIN behind the
+  /// frontier is ignored (returns false and counts the event): a real
+  /// endpoint discards an out-of-window FIN, so honoring one would tear the
+  /// stream down early and desync the engine from the endpoint.
+  bool set_fin(std::uint32_t seq_after_data) noexcept;
 
   /// True when a FIN was recorded and all stream bytes before it have been
   /// released: the direction is cleanly closed and its state can be freed.
@@ -137,11 +155,9 @@ class StreamReassembler {
   }
 
  private:
-  /// Signed distance a - b in sequence space (RFC 1982-style comparison).
-  static std::int32_t seq_delta(std::uint32_t a, std::uint32_t b) noexcept {
-    return static_cast<std::int32_t>(a - b);
-  }
-
+  /// Appends `span` to ready_ (and the retransmission history window),
+  /// advancing the contiguous frontier past it.
+  void release(BytesView span);
   void drain_buffered();
   void poison();
   /// Compares a retransmitted range against the released-history window,
@@ -185,9 +201,12 @@ class FlowReassembler {
   /// Feeds one TCP packet; returns the in-order payload chunk it unlocked
   /// (possibly spanning several earlier buffered segments), or std::nullopt
   /// if nothing became contiguous. Non-TCP packets pass through as
-  /// immediate chunks (no sequencing). RST tears the stream down after
-  /// flushing any ready bytes; FIN tears it down once the frontier passes
-  /// the FIN's sequence number.
+  /// immediate chunks (no sequencing). An in-window RST (sequence within
+  /// [expected, expected + max_gap]) tears the stream down after flushing
+  /// any ready bytes; FIN tears it down once the frontier passes the FIN's
+  /// sequence number. Out-of-window RSTs and stale FINs are ignored but
+  /// counted (ignored_rsts / ignored_fins) — an endpoint would discard
+  /// them, so honoring them would be a desync evasion.
   std::optional<ReassembledChunk> feed(const Packet& packet);
 
   std::size_t active_streams() const noexcept { return streams_.size(); }

@@ -53,6 +53,10 @@ DpiInstance::DpiInstance(std::string name, InstanceConfig config)
           &metrics_.counter(p + "reassembly.stream_evictions");
       o.reassembly_streams_closed =
           &metrics_.counter(p + "reassembly.streams_closed");
+      o.reassembly_ignored_fins =
+          &metrics_.counter(p + "reassembly.ignored_fins");
+      o.reassembly_ignored_rsts =
+          &metrics_.counter(p + "reassembly.ignored_rsts");
       o.defrag_fragments = &metrics_.counter(p + "defrag.fragments");
       o.defrag_completed = &metrics_.counter(p + "defrag.datagrams_completed");
       o.defrag_rejected = &metrics_.counter(p + "defrag.rejected");
@@ -132,6 +136,8 @@ net::ReassemblyStats DpiInstance::reassembly_stats() const {
     total.conflicting_overlap_bytes += s.conflicting_overlap_bytes;
     total.stream_evictions += s.stream_evictions;
     total.streams_closed += s.streams_closed;
+    total.ignored_fins += s.ignored_fins;
+    total.ignored_rsts += s.ignored_rsts;
   }
   return total;
 }
@@ -227,6 +233,8 @@ json::Value DpiInstance::stats_json() const {
       json::Value(rs.conflicting_overlap_bytes);
   reassembly["stream_evictions"] = json::Value(rs.stream_evictions);
   reassembly["streams_closed"] = json::Value(rs.streams_closed);
+  reassembly["ignored_fins"] = json::Value(rs.ignored_fins);
+  reassembly["ignored_rsts"] = json::Value(rs.ignored_rsts);
   root["reassembly"] = json::Value(std::move(reassembly));
 
   const net::DefragStats ds = defrag_stats();
@@ -411,6 +419,8 @@ void DpiInstance::publish_evasion_metrics(Shard& shard) {
   ins.reassembly_stream_evictions->add(r.stream_evictions -
                                        rp.stream_evictions);
   ins.reassembly_streams_closed->add(r.streams_closed - rp.streams_closed);
+  ins.reassembly_ignored_fins->add(r.ignored_fins - rp.ignored_fins);
+  ins.reassembly_ignored_rsts->add(r.ignored_rsts - rp.ignored_rsts);
   rp = r;
   const net::DefragStats& d = shard.defrag.stats();
   net::DefragStats& dp = shard.obs_defrag;

@@ -300,6 +300,8 @@ class DpiInstance {
     obs::Counter* reassembly_conflicting_bytes = nullptr;
     obs::Counter* reassembly_stream_evictions = nullptr;
     obs::Counter* reassembly_streams_closed = nullptr;
+    obs::Counter* reassembly_ignored_fins = nullptr;
+    obs::Counter* reassembly_ignored_rsts = nullptr;
     // Defragmentation counters (shard<i>.defrag.*).
     obs::Counter* defrag_fragments = nullptr;
     obs::Counter* defrag_completed = nullptr;

@@ -100,6 +100,35 @@ TEST(StreamReassembler, BufferCapDropsExcess) {
   EXPECT_EQ(stream.dropped_segments(), 1u);
 }
 
+// DPI-bypass regression: fill the out-of-order budget, then send the
+// gap-filling segment. It sits at the contiguous frontier and must be
+// released even though the pending buffer is at capacity — budgeting it
+// would stall the frontier forever and pass all later traffic unscanned.
+TEST(StreamReassembler, FrontierSegmentExemptFromBufferBudget) {
+  ReassemblyConfig config;
+  config.max_buffered = 8;
+  StreamReassembler stream(0, config);
+  EXPECT_EQ(stream.accept(4, payload_of("45678901")), 8u);  // budget full
+  EXPECT_TRUE(stream.pop_ready().empty());
+  EXPECT_EQ(stream.accept(0, payload_of("0123")), 4u);
+  EXPECT_EQ(to_string(stream.pop_ready()), "012345678901");
+  EXPECT_EQ(stream.buffered_bytes(), 0u);
+  EXPECT_EQ(stream.expected_seq(), 12u);
+  EXPECT_EQ(stream.dropped_segments(), 0u);
+}
+
+TEST(StreamReassembler, FrontierPrefixReleasedWhenTailOverlapsAtBudget) {
+  ReassemblyConfig config;
+  config.max_buffered = 4;
+  StreamReassembler stream(0, config);
+  EXPECT_EQ(stream.accept(2, payload_of("2345")), 4u);  // budget full
+  // Frontier segment whose tail overlaps the buffered one: the head [0, 2)
+  // releases directly despite the full budget and unlocks the drain.
+  EXPECT_EQ(stream.accept(0, payload_of("0123")), 2u);
+  EXPECT_EQ(to_string(stream.pop_ready()), "012345");
+  EXPECT_EQ(stream.buffered_bytes(), 0u);
+}
+
 TEST(StreamReassembler, EmptySegmentIgnored) {
   StreamReassembler stream(0);
   EXPECT_EQ(stream.accept(0, {}), 0u);
@@ -391,6 +420,55 @@ TEST(FlowReassembler, FinTearsDownAfterSequenceConsumed) {
   chunk = reassembler.feed(tcp_packet(3000, 6, "middle"));
   ASSERT_TRUE(chunk.has_value());
   EXPECT_EQ(to_string(chunk->data), "middlefinal.");
+  EXPECT_EQ(reassembler.active_streams(), 0u);
+  EXPECT_EQ(reassembler.stats().streams_closed, 1u);
+}
+
+// A forged FIN behind the frontier must not tear the stream down: the
+// endpoint ignores an out-of-window FIN, so honoring it would desync the
+// engine (buffered bytes discarded unscanned, next segment re-anchoring a
+// fresh stream past cross-packet pattern state).
+TEST(FlowReassembler, StaleFinBehindFrontierIgnored) {
+  FlowReassembler reassembler;
+  auto chunk = reassembler.feed(tcp_packet(5000, 0, "released"));
+  ASSERT_TRUE(chunk.has_value());
+  chunk = reassembler.feed(tcp_packet(5000, 2, "", 0x18 | 0x01));
+  EXPECT_FALSE(chunk.has_value());
+  EXPECT_EQ(reassembler.active_streams(), 1u);
+  EXPECT_EQ(reassembler.stats().ignored_fins, 1u);
+  EXPECT_EQ(reassembler.stats().streams_closed, 0u);
+  // The stream continues where it left off...
+  chunk = reassembler.feed(tcp_packet(5000, 8, "more"));
+  ASSERT_TRUE(chunk.has_value());
+  EXPECT_EQ(to_string(chunk->data), "more");
+  // ...and a genuine FIN at the frontier still closes it.
+  reassembler.feed(tcp_packet(5000, 12, "", 0x18 | 0x01));
+  EXPECT_EQ(reassembler.active_streams(), 0u);
+  EXPECT_EQ(reassembler.stats().streams_closed, 1u);
+}
+
+// An out-of-window RST must not tear the stream down either (RFC 793/5961:
+// endpoints only accept an in-window RST) — the classic Snort-era RST
+// desync evasion.
+TEST(FlowReassembler, OutOfWindowRstIgnored) {
+  FlowReassembler reassembler;
+  reassembler.feed(tcp_packet(6000, 0, "in-order"));
+  // Behind the frontier.
+  auto chunk = reassembler.feed(tcp_packet(6000, 3, "", 0x04));
+  EXPECT_FALSE(chunk.has_value());
+  EXPECT_EQ(reassembler.active_streams(), 1u);
+  EXPECT_EQ(reassembler.stats().ignored_rsts, 1u);
+  // Absurdly far ahead (beyond max_gap).
+  reassembler.feed(tcp_packet(6000, 0x7FFF0000, "", 0x04));
+  EXPECT_EQ(reassembler.active_streams(), 1u);
+  EXPECT_EQ(reassembler.stats().ignored_rsts, 2u);
+  EXPECT_EQ(reassembler.stats().streams_closed, 0u);
+  // Stream state survived: the next in-order segment still reassembles.
+  chunk = reassembler.feed(tcp_packet(6000, 8, "-more"));
+  ASSERT_TRUE(chunk.has_value());
+  EXPECT_EQ(to_string(chunk->data), "-more");
+  // An in-window RST (at the frontier) tears down.
+  reassembler.feed(tcp_packet(6000, 13, "", 0x04));
   EXPECT_EQ(reassembler.active_streams(), 0u);
   EXPECT_EQ(reassembler.stats().streams_closed, 1u);
 }

@@ -149,6 +149,12 @@ void print_pretty(const json::Value& response,
   std::printf("  streams closed:  %llu\n",
               static_cast<unsigned long long>(
                   count_of(reassembly, "streams_closed")));
+  std::printf("  ignored fins:    %llu\n",
+              static_cast<unsigned long long>(
+                  count_of(reassembly, "ignored_fins")));
+  std::printf("  ignored rsts:    %llu\n",
+              static_cast<unsigned long long>(
+                  count_of(reassembly, "ignored_rsts")));
   const json::Value& defrag = stats.at("defrag");
   std::printf("defrag\n");
   std::printf("  fragments:       %llu\n",
