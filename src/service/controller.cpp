@@ -11,14 +11,44 @@ namespace dpisvc::service {
 
 DpiController::DpiController(StressConfig stress_config,
                              FailoverConfig failover_config)
-    : monitor_(stress_config), failover_config_(failover_config) {}
+    : monitor_(stress_config),
+      failover_config_(failover_config),
+      admission_accepted_(metrics_.counter("admission.accepted")),
+      rej_decode_(metrics_.counter("admission.rejected.decode_error")),
+      rej_duplicate_(metrics_.counter("admission.rejected.duplicate_rule")),
+      rej_oversize_(metrics_.counter("admission.rejected.oversize_pattern")),
+      rej_unknown_mbox_(
+          metrics_.counter("admission.rejected.unknown_middlebox")),
+      rej_unknown_rule_(metrics_.counter("admission.rejected.unknown_rule")),
+      rej_invalid_regex_(metrics_.counter("admission.rejected.invalid_regex")),
+      rej_over_budget_(metrics_.counter("admission.rejected.over_budget")),
+      rej_other_(metrics_.counter("admission.rejected.other")),
+      analysis_runs_(metrics_.counter("analysis.runs")),
+      predicted_states_(metrics_.gauge("analysis.predicted_states")),
+      predicted_memory_(metrics_.gauge("analysis.predicted_memory_bytes")) {}
+
+void DpiController::set_admission_config(AdmissionConfig config) {
+  const MutexLock lock(mu_);
+  admission_ = std::move(config);
+}
+
+AdmissionConfig DpiController::admission_config() const {
+  const MutexLock lock(mu_);
+  return admission_;
+}
 
 // --- JSON channel ------------------------------------------------------------
 
 json::Value DpiController::handle_message(const json::Value& request) {
   const MutexLock lock(mu_);
+  std::string type;
   try {
-    const std::string type = message_type(request);
+    type = message_type(request);
+  } catch (const std::exception& e) {
+    rej_decode_.add();
+    return error_response(e.what(), "decode-error");
+  }
+  try {
     // Telemetry messages are pure observability traffic: they never touch
     // the PatternDb, so they answer directly without an engine re-sync.
     if (type == "telemetry_report") {
@@ -42,32 +72,59 @@ json::Value DpiController::handle_message(const json::Value& request) {
     }
     if (type == "register") {
       const RegisterRequest req = decode_register(request);
+      if (db_.is_registered(req.profile.id)) {
+        rej_duplicate_.add();
+        return error_response(
+            "middlebox " + std::to_string(req.profile.id) +
+                " already registered",
+            "duplicate-registration");
+      }
+      if (req.inherit_from && !db_.is_registered(*req.inherit_from)) {
+        rej_unknown_mbox_.add();
+        return error_response(
+            "inherit_from names unregistered middlebox " +
+                std::to_string(*req.inherit_from),
+            "unknown-middlebox");
+      }
       db_.register_middlebox(req.profile);
       if (req.inherit_from) {
+        // §4.1 inheritance copies references to already-admitted distinct
+        // patterns: no new distinct strings enter the combined engine, so
+        // the inherited set is not re-analyzed or re-charged against the
+        // admission budget.
         db_.inherit_patterns(req.profile.id, *req.inherit_from);
       }
+      admission_accepted_.add();
       log(LogLevel::kInfo, "dpi-ctrl", "registered middlebox ",
           req.profile.id, " (", req.profile.name, ")");
     } else if (type == "add_patterns") {
       const AddPatternsRequest req = decode_add_patterns(request);
-      for (const auto& p : req.exact) {
-        db_.add_exact(req.middlebox, p.rule, p.bytes);
+      json::Value rejection;
+      if (!admit_patterns_locked(req, rejection)) {
+        return rejection;
       }
-      for (const auto& p : req.regex) {
-        db_.add_regex(req.middlebox, p.rule, p.expression, p.case_insensitive);
-      }
+      admission_accepted_.add();
     } else if (type == "remove_patterns") {
       const RemovePatternsRequest req = decode_remove_patterns(request);
+      // Validate-then-apply: a request naming one unknown rule removes
+      // nothing (the old mid-loop reject left earlier removals applied).
       for (dpi::PatternId rule : req.rules) {
-        if (!db_.remove_exact(req.middlebox, rule) &&
-            !db_.remove_regex(req.middlebox, rule)) {
-          return error_response("unknown rule " + std::to_string(rule));
+        if (!db_.has_rule(req.middlebox, rule)) {
+          rej_unknown_rule_.add();
+          return error_response("unknown rule " + std::to_string(rule),
+                                "unknown-rule");
+        }
+      }
+      for (dpi::PatternId rule : req.rules) {
+        if (!db_.remove_exact(req.middlebox, rule)) {
+          db_.remove_regex(req.middlebox, rule);
         }
       }
     } else if (type == "unregister") {
       const UnregisterRequest req = decode_unregister(request);
       if (!db_.unregister_middlebox(req.middlebox)) {
-        return error_response("middlebox not registered");
+        rej_unknown_mbox_.add();
+        return error_response("middlebox not registered", "unknown-middlebox");
       }
       // Mirror the PatternDb's chain scrub in the controller's registry so
       // a later register_policy_chain cannot alias a stale sequence.
@@ -75,13 +132,161 @@ json::Value DpiController::handle_message(const json::Value& request) {
         std::erase(members, req.middlebox);
       }
     } else {
-      return error_response("unknown message type: " + type);
+      rej_decode_.add();
+      return error_response("unknown message type: " + type,
+                            "unknown-message-type");
     }
     sync_instances_locked();
     return ok_response();
+  } catch (const dpi::PatternDbError& e) {
+    // Typed PatternDb rejections reach here only on paths admission does
+    // not pre-validate (defense in depth; the counters stay accurate).
+    switch (e.code()) {
+      case dpi::PatternDbError::Code::kDuplicateRule:
+        rej_duplicate_.add();
+        return error_response(e.what(), "duplicate-rule");
+      case dpi::PatternDbError::Code::kPatternTooLong:
+        rej_oversize_.add();
+        return error_response(e.what(), "pattern-too-long");
+    }
+    rej_other_.add();
+    return error_response(e.what());
+  } catch (const json::TypeError& e) {
+    rej_decode_.add();
+    return error_response(e.what(), "decode-error");
+  } catch (const std::invalid_argument& e) {
+    // Remaining invalid_argument sources on this path are the request
+    // decoders (malformed field values); PatternDbError was caught above.
+    rej_decode_.add();
+    return error_response(e.what(), "decode-error");
   } catch (const std::exception& e) {
+    rej_other_.add();
     return error_response(e.what());
   }
+}
+
+obs::Counter& DpiController::counter_for_violation(const std::string& code) {
+  if (code == "regex-syntax-error") return rej_invalid_regex_;
+  if (code == "pattern-too-long") return rej_oversize_;
+  if (code == "pattern-unknown-middlebox" ||
+      code == "regex-unknown-middlebox" ||
+      code == "chain-unknown-middlebox") {
+    return rej_unknown_mbox_;
+  }
+  // Everything the budget (or a structural capacity limit) rejects that a
+  // plain compile would have accepted — or blown up on.
+  if (code == "states-over-budget" || code == "memory-over-budget" ||
+      code == "regex-nfa-over-budget" || code == "regex-dfa-blowup" ||
+      code == "regex-program-too-large" ||
+      code == "middlebox-quota-exceeded" || code == "anchor-bits-exceeded" ||
+      code == "regex-anchorless" || code == "regex-unbounded-repeat" ||
+      code == "regex-large-class-repeat") {
+    return rej_over_budget_;
+  }
+  return rej_other_;
+}
+
+bool DpiController::admit_patterns_locked(const AddPatternsRequest& req,
+                                          json::Value& rejection) {
+  if (!db_.is_registered(req.middlebox)) {
+    rej_unknown_mbox_.add();
+    rejection = error_response(
+        "middlebox " + std::to_string(req.middlebox) + " not registered",
+        "unknown-middlebox");
+    return false;
+  }
+  // Structural pre-validation. Two jobs: give precise typed rejections for
+  // the common failure classes, and guarantee the apply loop below cannot
+  // throw (all-or-nothing semantics — the old code applied a prefix of the
+  // request before the first PatternDb throw).
+  std::set<dpi::PatternId> in_request;
+  const auto structural = [&](dpi::PatternId rule, const std::string& bytes,
+                              const char* what) -> bool {
+    if (bytes.empty()) {
+      rej_other_.add();
+      rejection = error_response(
+          std::string("empty ") + what + ": rule " + std::to_string(rule),
+          "pattern-empty");
+      return false;
+    }
+    if (bytes.size() > dpi::kMaxPatternBytes) {
+      rej_oversize_.add();
+      rejection = error_response(
+          std::string(what) + " too long: rule " + std::to_string(rule),
+          "pattern-too-long");
+      return false;
+    }
+    if (db_.has_rule(req.middlebox, rule) || !in_request.insert(rule).second) {
+      rej_duplicate_.add();
+      rejection = error_response("duplicate rule " + std::to_string(rule),
+                                 "duplicate-rule");
+      return false;
+    }
+    return true;
+  };
+  for (const auto& p : req.exact) {
+    if (!structural(p.rule, p.bytes, "pattern")) return false;
+  }
+  for (const auto& p : req.regex) {
+    if (!structural(p.rule, p.expression, "regex")) return false;
+  }
+  if (admission_.enabled) {
+    // Analyze the post-request world: current snapshot plus the candidate
+    // patterns, against the same EngineConfig engine_for compiles with.
+    dpi::EngineSpec candidate = db_.snapshot();
+    for (const auto& p : req.exact) {
+      dpi::ExactPatternSpec spec;
+      spec.bytes = p.bytes;
+      spec.middlebox = req.middlebox;
+      spec.pattern_id = p.rule;
+      candidate.exact_patterns.push_back(std::move(spec));
+    }
+    for (const auto& p : req.regex) {
+      dpi::RegexPatternSpec spec;
+      spec.expression = p.expression;
+      spec.middlebox = req.middlebox;
+      spec.pattern_id = p.rule;
+      spec.case_insensitive = p.case_insensitive;
+      candidate.regex_patterns.push_back(std::move(spec));
+    }
+    analysis::AnalysisOptions options;
+    options.budget = admission_.budget;
+    options.dfa_state_cap = admission_.dfa_state_cap;
+    options.max_program_size = admission_.max_program_size;
+    const analysis::PatternSetReport report =
+        analysis::analyze(candidate, options);
+    analysis_runs_.add();
+    predicted_states_.set(
+        static_cast<std::int64_t>(report.predicted_states));
+    predicted_memory_.set(
+        static_cast<std::int64_t>(report.predicted_memory_full));
+    if (!report.admissible()) {
+      const verify::Diagnostic& first = report.violations.front();
+      counter_for_violation(first.code).add();
+      json::Array diagnostics;
+      diagnostics.reserve(report.violations.size());
+      for (const auto& d : report.violations) {
+        diagnostics.push_back(json::Value(
+            json::obj({{"code", d.code}, {"message", d.message}})));
+      }
+      json::Object body = json::obj(
+          {{"ok", false}, {"error", first.message}, {"code", first.code}});
+      body["diagnostics"] = json::Value(std::move(diagnostics));
+      rejection = json::Value(std::move(body));
+      log(LogLevel::kWarn, "dpi-ctrl", "rejected add_patterns for middlebox ",
+          req.middlebox, ": ", first.code);
+      return false;
+    }
+  }
+  // Apply. Pre-validation covered every PatternDb throw condition, so the
+  // whole request lands or none of it does.
+  for (const auto& p : req.exact) {
+    db_.add_exact(req.middlebox, p.rule, p.bytes);
+  }
+  for (const auto& p : req.regex) {
+    db_.add_regex(req.middlebox, p.rule, p.expression, p.case_insensitive);
+  }
+  return true;
 }
 
 // --- policy chains -------------------------------------------------------------
@@ -400,6 +605,9 @@ json::Value DpiController::telemetry_json_locked(
   json::Object root;
   root["ok"] = json::Value(true);
   root["instances"] = json::Value(std::move(instances));
+  // Control-plane self-telemetry: admission/rejection counters and the
+  // latest analysis predictions, in the standard obs snapshot shape.
+  root["controller"] = metrics_.snapshot();
   return json::Value(std::move(root));
 }
 

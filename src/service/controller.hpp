@@ -42,9 +42,11 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analyzer.hpp"
 #include "common/thread_safety.hpp"
 #include "dpi/pattern_db.hpp"
 #include "json/json.hpp"
+#include "obs/metrics.hpp"
 #include "service/instance.hpp"
 #include "service/mca2.hpp"
 #include "service/messages.hpp"
@@ -63,6 +65,21 @@ struct MitigationPlan {
   std::vector<Migration> migrations;
 
   bool empty() const noexcept { return migrations.empty(); }
+};
+
+/// Static-analysis admission control for the JSON registration channel.
+/// Every add_patterns request is analyzed (src/analysis) against the budget
+/// before the PatternDb is touched; over-budget or invalid requests are
+/// rejected fail-closed with a stable diagnostic code while already-admitted
+/// tenants keep scanning on the current engine.
+struct AdmissionConfig {
+  /// Disabling skips the predictive analysis only; structural validation
+  /// (oversize patterns, duplicate rules, unknown middleboxes) always runs.
+  bool enabled = true;
+  analysis::AnalysisBudget budget;
+  /// Per-expression exploration caps forwarded to the analyzer.
+  std::size_t dfa_state_cap = 2048;
+  std::size_t max_program_size = 1u << 20;
 };
 
 /// Failure-detection knobs (§4.3: instance pools / failover).
@@ -102,8 +119,22 @@ class DpiController {
   // --- middlebox-facing JSON channel (§4.1) --------------------------------
 
   /// Handles one protocol message; never throws — errors come back as
-  /// {"ok":false,"error":...} responses.
+  /// {"ok":false,"error":...} responses. Registration-path rejections carry
+  /// a stable "code" field and, for admission-analysis rejections, a
+  /// "diagnostics" array of {code,message} findings.
   json::Value handle_message(const json::Value& request);
+
+  /// Admission-control configuration. The budget applies to the *next*
+  /// registration message; already-admitted patterns are never re-judged.
+  void set_admission_config(AdmissionConfig config);
+  AdmissionConfig admission_config() const;
+
+  /// Control-plane metrics: admission.accepted, admission.rejected.* typed
+  /// rejection counters, analysis.runs, analysis.predicted_* gauges. Same
+  /// external-synchronization contract as db() — the registry's own
+  /// instruments are thread-safe.
+  obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  const obs::MetricsRegistry& metrics() const noexcept { return metrics_; }
 
   /// Direct PatternDb access for setup-time configuration and test
   /// introspection. The reference bypasses mu_, so concurrent use against a
@@ -287,6 +318,16 @@ class DpiController {
   json::Value telemetry_json_locked(const std::string& filter) const
       DPISVC_REQUIRES(mu_);
   void heartbeat_locked(const std::string& name) DPISVC_REQUIRES(mu_);
+  /// Validates then applies one add_patterns request. On rejection returns
+  /// false with `rejection` set to the typed error response and the matching
+  /// admission.rejected.* counter bumped; on success the PatternDb holds
+  /// every pattern of the request (all-or-nothing).
+  bool admit_patterns_locked(const AddPatternsRequest& req,
+                             json::Value& rejection) DPISVC_REQUIRES(mu_);
+  /// Maps an analyzer violation code to the typed rejection counter it
+  /// increments (budget-class codes -> over_budget, syntax -> invalid_regex,
+  /// unknown-middlebox codes -> unknown_middlebox, everything else -> other).
+  obs::Counter& counter_for_violation(const std::string& code);
 
   /// Serializes all controller registries below. Held across calls into
   /// DpiInstance (the hierarchy permits mu_ -> control_mu_ -> shard mu);
@@ -301,6 +342,26 @@ class DpiController {
   StressMonitor monitor_;
   /// Immutable after construction.
   FailoverConfig failover_config_;
+
+  /// Control-plane metrics. Like db_, deliberately unannotated: metrics()
+  /// hands out a reference and the instruments are internally thread-safe.
+  /// The Counter/Gauge references below resolve once at construction and
+  /// stay valid for the registry's lifetime.
+  obs::MetricsRegistry metrics_;
+  obs::Counter& admission_accepted_;
+  obs::Counter& rej_decode_;
+  obs::Counter& rej_duplicate_;
+  obs::Counter& rej_oversize_;
+  obs::Counter& rej_unknown_mbox_;
+  obs::Counter& rej_unknown_rule_;
+  obs::Counter& rej_invalid_regex_;
+  obs::Counter& rej_over_budget_;
+  obs::Counter& rej_other_;
+  obs::Counter& analysis_runs_;
+  obs::Gauge& predicted_states_;
+  obs::Gauge& predicted_memory_;
+
+  AdmissionConfig admission_ DPISVC_GUARDED_BY(mu_);
 
   std::uint64_t compiled_version_ DPISVC_GUARDED_BY(mu_) = 0;
   /// Compiled engines keyed by (group, compressed); "" = all chains.

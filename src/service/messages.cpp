@@ -146,6 +146,12 @@ json::Value error_response(const std::string& message) {
   return json::Value(json::obj({{"ok", false}, {"error", message}}));
 }
 
+json::Value error_response(const std::string& message,
+                           const std::string& code) {
+  return json::Value(
+      json::obj({{"ok", false}, {"error", message}, {"code", code}}));
+}
+
 std::string message_type(const json::Value& message) {
   return message.at("type").as_string();
 }

@@ -127,6 +127,12 @@ json::Value encode(const TelemetryQuery& query);
 
 json::Value ok_response();
 json::Value error_response(const std::string& message);
+/// Typed rejection: {"ok":false,"error":message,"code":code}. The code is a
+/// stable machine-readable identifier (same scheme as dpisvc_check /
+/// analysis::PatternSetReport diagnostics) so middleboxes can branch on the
+/// rejection class without parsing prose.
+json::Value error_response(const std::string& message,
+                           const std::string& code);
 
 // --- decoding ---------------------------------------------------------------
 

@@ -32,6 +32,7 @@
 #include "dpi/engine.hpp"
 #include "dpi/pattern_db.hpp"
 #include "verify/dfa_snapshot.hpp"
+#include "verify/engine_tables.hpp"
 
 namespace dpisvc::verify {
 
@@ -39,9 +40,6 @@ struct Diagnostic {
   std::string code;     ///< stable id, e.g. "suffix-propagation-missing"
   std::string message;  ///< human-readable detail with state/pattern ids
 };
-
-/// Pattern bytes indexed by ac::PatternIndex (the trie insertion order).
-using Patterns = std::vector<std::string>;
 
 // --- individual DFA checks ---------------------------------------------------
 
@@ -76,20 +74,8 @@ std::vector<Diagnostic> check_equivalence(const DfaSnapshot& full,
                                           const DfaSnapshot& compressed);
 
 // --- engine / service checks -------------------------------------------------
-
-/// Plain-data extract of the lookup tables the scan loop consults. Like
-/// DfaSnapshot, this exists so tests can corrupt one field at a time and
-/// prove each engine-level violation is detected with a precise diagnostic.
-struct EngineTables {
-  std::uint32_t automaton_accepting = 0;
-  std::vector<dpi::MiddleboxBitmap> accept_bitmaps;
-  std::vector<std::vector<dpi::Engine::MatchTarget>> accept_targets;
-  std::vector<dpi::MiddleboxId> middleboxes;  ///< registered ids
-  std::map<dpi::ChainId, std::vector<dpi::MiddleboxId>> chains;
-  std::map<dpi::ChainId, dpi::MiddleboxBitmap> chain_bitmaps;
-};
-
-EngineTables extract_tables(const dpi::Engine& engine);
+// EngineTables and extract_tables live in verify/engine_tables.hpp (shared
+// with src/analysis and tools/dpisvc_lint), re-exported via the include above.
 
 /// Accepting-state bitmaps equal the OR of their match-target owners, target
 /// rows sorted as the scan loop assumes, chain bitmaps consistent with chain
@@ -118,11 +104,5 @@ std::vector<Diagnostic> verify_dfa(const DfaSnapshot& snap,
 /// proves the two equivalent, then runs the engine-level checks.
 std::vector<Diagnostic> verify_engine_spec(const dpi::EngineSpec& spec,
                                            const dpi::EngineConfig& config = {});
-
-/// The distinct-string table (exact patterns plus regex anchors) an engine
-/// compile derives from `spec`, in trie insertion order. Re-derived here so
-/// the oracle does not trust Engine::compile's own bookkeeping.
-Patterns derive_string_table(const dpi::EngineSpec& spec,
-                             const dpi::EngineConfig& config = {});
 
 }  // namespace dpisvc::verify

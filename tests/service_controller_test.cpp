@@ -299,5 +299,231 @@ TEST(StressMonitor, SmoothingAndThresholds) {
   EXPECT_TRUE(monitor.stressed_instances().empty());
 }
 
+// --- admission control (static pattern-set analysis) -------------------------
+
+json::Value add_regex_msg(int id, int rule, const std::string& expr) {
+  AddPatternsRequest req;
+  req.middlebox = static_cast<dpi::MiddleboxId>(id);
+  req.regex.push_back(
+      RegexPatternMsg{static_cast<dpi::PatternId>(rule), expr, false});
+  return encode(req);
+}
+
+std::string response_code(const json::Value& reply) {
+  return reply.at("code").as_string();
+}
+
+std::uint64_t counter_value(DpiController& c, const std::string& name) {
+  return c.metrics().counter(name).value();
+}
+
+TEST(Admission, TypedRejectionCodesAndCounters) {
+  DpiController controller;
+  // Decode failure: middlebox_id is a string.
+  auto reply = controller.handle_message(
+      json::parse(R"({"type":"add_patterns","middlebox_id":"x"})"));
+  EXPECT_FALSE(response_ok(reply));
+  EXPECT_EQ(response_code(reply), "decode-error");
+  // Unknown message type.
+  reply = controller.handle_message(json::parse(R"({"type":"dance"})"));
+  EXPECT_EQ(response_code(reply), "unknown-message-type");
+  EXPECT_EQ(counter_value(controller, "admission.rejected.decode_error"), 2u);
+
+  // Add for an unregistered middlebox.
+  reply = controller.handle_message(add_exact_msg(1, 0, "x"));
+  EXPECT_EQ(response_code(reply), "unknown-middlebox");
+
+  controller.handle_message(register_msg(1, "ids"));
+  controller.handle_message(add_exact_msg(1, 0, "attack"));
+
+  // Duplicate middlebox registration.
+  reply = controller.handle_message(register_msg(1, "other"));
+  EXPECT_EQ(response_code(reply), "duplicate-registration");
+  // Duplicate rule id (against the db).
+  reply = controller.handle_message(add_exact_msg(1, 0, "again"));
+  EXPECT_EQ(response_code(reply), "duplicate-rule");
+  // Oversize pattern.
+  reply = controller.handle_message(
+      add_exact_msg(1, 1, std::string(dpi::kMaxPatternBytes + 1, 'a')));
+  EXPECT_EQ(response_code(reply), "pattern-too-long");
+  // Unknown rule on remove.
+  RemovePatternsRequest remove;
+  remove.middlebox = 1;
+  remove.rules = {42};
+  reply = controller.handle_message(encode(remove));
+  EXPECT_EQ(response_code(reply), "unknown-rule");
+  // Unregister of an unknown middlebox.
+  reply = controller.handle_message(encode(UnregisterRequest{5}));
+  EXPECT_EQ(response_code(reply), "unknown-middlebox");
+
+  EXPECT_EQ(counter_value(controller, "admission.rejected.duplicate_rule"),
+            2u);  // duplicate-registration + duplicate-rule
+  EXPECT_EQ(counter_value(controller, "admission.rejected.oversize_pattern"),
+            1u);
+  EXPECT_EQ(counter_value(controller, "admission.rejected.unknown_middlebox"),
+            2u);
+  EXPECT_EQ(counter_value(controller, "admission.rejected.unknown_rule"), 1u);
+  EXPECT_EQ(counter_value(controller, "admission.accepted"), 2u);
+}
+
+TEST(Admission, AddPatternsIsAllOrNothing) {
+  DpiController controller;
+  controller.handle_message(register_msg(1, "ids"));
+  // Second pattern duplicates the first within one request: nothing lands.
+  AddPatternsRequest req;
+  req.middlebox = 1;
+  req.exact.push_back(ExactPatternMsg{7, "aaa"});
+  req.exact.push_back(ExactPatternMsg{7, "bbb"});
+  const auto reply = controller.handle_message(encode(req));
+  EXPECT_EQ(response_code(reply), "duplicate-rule");
+  EXPECT_EQ(controller.db().num_distinct_exact(), 0u);
+  // Ditto across the exact/regex halves of one request.
+  AddPatternsRequest mixed;
+  mixed.middlebox = 1;
+  mixed.exact.push_back(ExactPatternMsg{8, "ccc"});
+  mixed.regex.push_back(RegexPatternMsg{8, "d+", false});
+  EXPECT_EQ(response_code(controller.handle_message(encode(mixed))),
+            "duplicate-rule");
+  EXPECT_EQ(controller.db().num_distinct_exact(), 0u);
+}
+
+TEST(Admission, MalformedRegexRejectedBeforeDbMutation) {
+  DpiController controller;
+  controller.handle_message(register_msg(1, "ids"));
+  controller.handle_message(add_exact_msg(1, 0, "attack"));
+  auto inst = controller.create_instance("i1");
+  const std::uint64_t v1 = inst->engine_version();
+
+  // Unbalanced paren: parse fails. Before admission analysis this poisoned
+  // the PatternDb — add_regex stores without parsing, so every later
+  // compile (sync) threw. Now the request dies at the gate, typed.
+  const auto reply = controller.handle_message(add_regex_msg(1, 1, "evil("));
+  EXPECT_FALSE(response_ok(reply));
+  EXPECT_EQ(response_code(reply), "regex-syntax-error");
+  EXPECT_EQ(
+      counter_value(controller, "admission.rejected.invalid_regex"), 1u);
+
+  // The service keeps working: a valid follow-up add compiles and pushes.
+  EXPECT_TRUE(
+      response_ok(controller.handle_message(add_regex_msg(1, 1, "evil[0-9]+"))));
+  EXPECT_GT(inst->engine_version(), v1);
+}
+
+TEST(Admission, BlowupSetRejectedWhileAdmittedTenantsKeepScanning) {
+  DpiController controller;
+  AdmissionConfig admission;
+  admission.budget.max_regex_dfa_states = 256;
+  admission.budget.max_automaton_states = 64;
+  controller.set_admission_config(admission);
+
+  controller.handle_message(register_msg(1, "ids"));
+  EXPECT_TRUE(
+      response_ok(controller.handle_message(add_exact_msg(1, 0, "attack"))));
+  const dpi::ChainId chain = controller.register_policy_chain({1});
+  auto inst = controller.create_instance("i1");
+
+  // Registering the greedy tenant is itself fine (no patterns yet) and
+  // bumps the engine like any db change; the baseline version to hold is
+  // the one after it.
+  controller.handle_message(register_msg(2, "greedy"));
+  const std::uint64_t v1 = inst->engine_version();
+  // A classic subset-construction blow-up: k unanchored wildcard gaps
+  // multiply reachable state sets.
+  auto reply = controller.handle_message(
+      add_regex_msg(2, 0, ".{16}a.{16}b.{16}c.{16}d.{16}e"));
+  EXPECT_FALSE(response_ok(reply));
+  EXPECT_EQ(response_code(reply), "regex-dfa-blowup");
+  // The rejection carries the full diagnostics array.
+  const auto& diags = reply.at("diagnostics").as_array();
+  ASSERT_FALSE(diags.empty());
+  EXPECT_EQ(diags[0].at("code").as_string(), "regex-dfa-blowup");
+
+  // Combined-automaton state budget: many long distinct strings.
+  AddPatternsRequest big;
+  big.middlebox = 2;
+  for (int i = 0; i < 8; ++i) {
+    big.exact.push_back(ExactPatternMsg{
+        static_cast<dpi::PatternId>(100 + i),
+        "unique-long-signature-" + std::to_string(i) + "-padding-padding"});
+  }
+  reply = controller.handle_message(encode(big));
+  EXPECT_FALSE(response_ok(reply));
+  EXPECT_EQ(response_code(reply), "states-over-budget");
+  EXPECT_EQ(counter_value(controller, "admission.rejected.over_budget"), 2u);
+
+  // The admitted tenant never noticed: same engine, still matching.
+  EXPECT_EQ(inst->engine_version(), v1);
+  EXPECT_TRUE(inst->scan(chain, flow(1), view("an attack!")).has_matches());
+  // And the rejected tenant's db state is untouched, so a conforming add
+  // still goes through.
+  EXPECT_TRUE(
+      response_ok(controller.handle_message(add_exact_msg(2, 0, "small"))));
+}
+
+TEST(Admission, InheritedPatternsAreNotRecharged) {
+  DpiController controller;
+  AdmissionConfig admission;
+  admission.budget.max_patterns_per_middlebox = 2;
+  controller.set_admission_config(admission);
+
+  controller.handle_message(register_msg(1, "parent"));
+  EXPECT_TRUE(
+      response_ok(controller.handle_message(add_exact_msg(1, 0, "sig-a"))));
+  EXPECT_TRUE(
+      response_ok(controller.handle_message(add_exact_msg(1, 1, "sig-b"))));
+  // Parent is at quota; one more is rejected by the analyzer.
+  EXPECT_EQ(response_code(controller.handle_message(add_exact_msg(1, 2, "c"))),
+            "middlebox-quota-exceeded");
+
+  // §4.1 inheritance copies references to already-admitted patterns: the
+  // clone registers fine even though its inherited set sits at the quota —
+  // no re-analysis, no re-charge.
+  RegisterRequest clone;
+  clone.profile.id = 2;
+  clone.profile.name = "clone";
+  clone.inherit_from = 1;
+  EXPECT_TRUE(response_ok(controller.handle_message(encode(clone))));
+  EXPECT_EQ(controller.db().num_references(2), 2u);
+  const std::uint64_t runs_after_inherit =
+      counter_value(controller, "analysis.runs");
+
+  // The clone's *next own* add is analyzed, and the inherited patterns do
+  // count toward its quota then (they are its patterns now).
+  EXPECT_EQ(response_code(controller.handle_message(add_exact_msg(2, 5, "d"))),
+            "middlebox-quota-exceeded");
+  EXPECT_GT(counter_value(controller, "analysis.runs"), runs_after_inherit);
+
+  // Unregistering the parent keeps accounting consistent: the clone still
+  // references the shared patterns, so its quota stays used...
+  EXPECT_TRUE(
+      response_ok(controller.handle_message(encode(UnregisterRequest{1}))));
+  EXPECT_EQ(response_code(controller.handle_message(add_exact_msg(2, 5, "d"))),
+            "middlebox-quota-exceeded");
+  // ...while a fresh tenant starts from zero against the same budget.
+  controller.handle_message(register_msg(3, "fresh"));
+  EXPECT_TRUE(
+      response_ok(controller.handle_message(add_exact_msg(3, 0, "sig-z"))));
+}
+
+TEST(Admission, TelemetryCarriesControllerMetrics) {
+  DpiController controller;
+  controller.handle_message(register_msg(1, "ids"));
+  controller.handle_message(add_exact_msg(1, 0, "attack"));
+  controller.handle_message(add_exact_msg(1, 0, "dup"));  // rejected
+
+  const auto reply =
+      controller.handle_message(json::parse(R"({"type":"telemetry_query"})"));
+  ASSERT_TRUE(response_ok(reply));
+  const auto& metrics = reply.at("controller");
+  const auto& counters = metrics.at("counters");
+  EXPECT_EQ(counters.at("admission.accepted").as_int(), 2);
+  EXPECT_EQ(counters.at("admission.rejected.duplicate_rule").as_int(), 1);
+  // The duplicate died at structural pre-validation, before analysis: only
+  // the accepted add ran the analyzer.
+  EXPECT_EQ(counters.at("analysis.runs").as_int(), 1);
+  // The analyzer's latest prediction is exported as gauges.
+  EXPECT_GT(metrics.at("gauges").at("analysis.predicted_states").as_int(), 0);
+}
+
 }  // namespace
 }  // namespace dpisvc::service

@@ -22,8 +22,8 @@
 #include "common/timer.hpp"
 #include "dpi/pattern_db.hpp"
 #include "json/json.hpp"
+#include "suite_specs.hpp"
 #include "verify/verifier.hpp"
-#include "workload/pattern_gen.hpp"
 #include "workload/trace_io.hpp"
 
 using namespace dpisvc;
@@ -68,63 +68,11 @@ json::Value report_json(const std::vector<SuiteResult>& results) {
                     {"suites", std::move(suites)}});
 }
 
-/// Distributes patterns over three middleboxes round-robin, registers the
-/// first few patterns a second time under another middlebox (the §4.1
-/// shared-pattern path), and wires two chains. This is the spec shape the
-/// whole verifier suite runs against.
-dpi::EngineSpec make_spec(const std::vector<std::string>& patterns,
-                          const std::vector<std::string>& regexes) {
-  dpi::EngineSpec spec;
-  for (dpi::MiddleboxId id = 1; id <= 3; ++id) {
-    dpi::MiddleboxProfile p;
-    p.id = id;
-    p.name = "check-" + std::to_string(id);
-    p.stateful = id == 2;
-    spec.middleboxes.push_back(p);
-  }
-  dpi::PatternId rule = 0;
-  for (const std::string& bytes : patterns) {
-    spec.exact_patterns.push_back(dpi::ExactPatternSpec{
-        bytes, static_cast<dpi::MiddleboxId>(1 + rule % 3), rule});
-    ++rule;
-  }
-  // Shared patterns: middlebox 3 re-registers the first eight strings.
-  for (std::size_t i = 0; i < patterns.size() && i < 8; ++i) {
-    spec.exact_patterns.push_back(dpi::ExactPatternSpec{
-        patterns[i], 3, static_cast<dpi::PatternId>(rule++)});
-  }
-  dpi::PatternId regex_rule = 10000;
-  for (const std::string& expr : regexes) {
-    spec.regex_patterns.push_back(
-        dpi::RegexPatternSpec{expr, 1, regex_rule++, false});
-  }
-  spec.chains[1] = {1, 2, 3};
-  spec.chains[2] = {2};
-  return spec;
-}
-
-/// Mirrors make_spec through the controller's ref-counted PatternDb so its
-/// ref-count bookkeeping is checked against the same registrations.
-void populate_db(dpi::PatternDb& db, const dpi::EngineSpec& spec) {
-  for (const auto& profile : spec.middleboxes) {
-    db.register_middlebox(profile);
-  }
-  for (const auto& p : spec.exact_patterns) {
-    db.add_exact(p.middlebox, p.pattern_id, p.bytes);
-  }
-  for (const auto& p : spec.regex_patterns) {
-    db.add_regex(p.middlebox, p.pattern_id, p.expression, p.case_insensitive);
-  }
-  for (const auto& [chain, members] : spec.chains) {
-    db.set_chain(chain, members);
-  }
-}
-
 SuiteResult run_suite(const std::string& name,
                       const std::vector<std::string>& patterns,
                       const std::vector<std::string>& regexes, bool quiet) {
   Stopwatch watch;
-  const dpi::EngineSpec spec = make_spec(patterns, regexes);
+  const dpi::EngineSpec spec = tools::make_spec(patterns, regexes);
 
   std::vector<verify::Diagnostic> diagnostics;
   auto append = [&diagnostics](std::vector<verify::Diagnostic> more) {
@@ -137,7 +85,7 @@ SuiteResult run_suite(const std::string& name,
   append(verify::verify_engine_spec(spec, compressed));
 
   dpi::PatternDb db;
-  populate_db(db, spec);
+  tools::populate_db(db, spec);
   append(verify::check_pattern_db(db));
   // Pattern removal must drop the ref but keep shared bytes alive (§4.1);
   // re-check the ref-counts after mutating.
@@ -162,24 +110,10 @@ SuiteResult run_suite(const std::string& name,
 }
 
 void cmd_builtin(std::vector<SuiteResult>& results, bool quiet) {
-  // Handcrafted set exercising suffix propagation ("he" in "she", "hers"),
-  // shared prefixes, and binary bytes.
-  const std::vector<std::string> classic = {
-      "he",           "she",           "his",
-      "hers",         "ushers",        std::string("\x00\x01\x02mark", 7),
-      "GET /index",   "index.html",    "html></html>",
-  };
-  results.push_back(run_suite("builtin:classic", classic,
-                              {"User-Agent: [a-z]+bot", "cmd\\.exe.{0,16}/c"},
-                              quiet));
-
-  const auto snort =
-      workload::generate_patterns(workload::snort_like(600, 17));
-  results.push_back(run_suite("builtin:snort-like", snort, {}, quiet));
-
-  const auto clamav =
-      workload::generate_patterns(workload::clamav_like(400, 23));
-  results.push_back(run_suite("builtin:clamav-like", clamav, {}, quiet));
+  for (const tools::Suite& suite : tools::builtin_suites()) {
+    results.push_back(
+        run_suite(suite.name, suite.patterns, suite.regexes, quiet));
+  }
 }
 
 void usage() {

@@ -172,6 +172,47 @@ void print_pretty(const json::Value& response,
               static_cast<unsigned long long>(
                   count_of(defrag, "ambiguous_fragments")));
 
+  // Control-plane admission telemetry: typed registration rejections and
+  // the analyzer's latest combined-engine prediction.
+  const json::Value& ctrl = response.get_or("controller", json::Value());
+  if (ctrl.is_object()) {
+    const json::Value& counters = ctrl.at("counters");
+    std::printf("controller admission\n");
+    std::printf("  accepted:        %llu\n",
+                static_cast<unsigned long long>(
+                    count_of(counters, "admission.accepted")));
+    std::printf("  analysis runs:   %llu\n",
+                static_cast<unsigned long long>(
+                    count_of(counters, "analysis.runs")));
+    const std::pair<const char*, const char*> kinds[] = {
+        {"decode errors", "admission.rejected.decode_error"},
+        {"duplicate rule", "admission.rejected.duplicate_rule"},
+        {"oversize pat.", "admission.rejected.oversize_pattern"},
+        {"unknown mbox", "admission.rejected.unknown_middlebox"},
+        {"unknown rule", "admission.rejected.unknown_rule"},
+        {"invalid regex", "admission.rejected.invalid_regex"},
+        {"over budget", "admission.rejected.over_budget"},
+        {"other", "admission.rejected.other"},
+    };
+    std::uint64_t rejected = 0;
+    for (const auto& [label, key] : kinds) rejected += count_of(counters, key);
+    std::printf("  rejected:        %llu\n",
+                static_cast<unsigned long long>(rejected));
+    for (const auto& [label, key] : kinds) {
+      const std::uint64_t n = count_of(counters, key);
+      if (n != 0) {
+        std::printf("    %-14s %llu\n", label,
+                    static_cast<unsigned long long>(n));
+      }
+    }
+    const json::Value& gauges = ctrl.at("gauges");
+    std::printf("  predicted:       %llu states, %llu bytes\n",
+                static_cast<unsigned long long>(
+                    count_of(gauges, "analysis.predicted_states")),
+                static_cast<unsigned long long>(
+                    count_of(gauges, "analysis.predicted_memory_bytes")));
+  }
+
   const auto& trace = instance.trace();
   if (trace.enabled()) {
     const auto events = trace.snapshot();
@@ -221,6 +262,15 @@ int run(const Args& args) {
   dlp_patterns.middlebox = 2;
   dlp_patterns.regex = {{1, "card=[0-9]+#", false}};
   require_ok(controller.handle_message(encode(dlp_patterns)), "dlp patterns");
+
+  // One deliberately duplicate add exercises the typed rejection path so
+  // the controller admission counters carry real activity in the report.
+  service::AddPatternsRequest duplicate;
+  duplicate.middlebox = 1;
+  duplicate.exact = {{1, "attack"}};
+  if (response_ok(controller.handle_message(encode(duplicate)))) {
+    throw std::runtime_error("duplicate add unexpectedly admitted");
+  }
 
   const dpi::ChainId chain = controller.register_policy_chain({1, 2});
   service::InstanceConfig config;

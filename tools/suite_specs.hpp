@@ -1,0 +1,99 @@
+// Shared suite/spec construction for the offline pattern-set CLIs
+// (dpisvc_check, dpisvc_lint). Both tools judge the same spec shape — three
+// middleboxes with round-robin pattern assignment, §4.1 shared-pattern
+// re-registrations, and two policy chains — so the verifier's invariants
+// and the analyzer's predictions are exercised against identical inputs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dpi/engine.hpp"
+#include "dpi/pattern_db.hpp"
+#include "workload/pattern_gen.hpp"
+
+namespace dpisvc::tools {
+
+/// One named pattern-set suite (the unit both CLIs iterate over).
+struct Suite {
+  std::string name;
+  std::vector<std::string> patterns;
+  std::vector<std::string> regexes;
+};
+
+/// Distributes patterns over three middleboxes round-robin, registers the
+/// first few patterns a second time under another middlebox (the §4.1
+/// shared-pattern path), and wires two chains.
+inline dpi::EngineSpec make_spec(const std::vector<std::string>& patterns,
+                                 const std::vector<std::string>& regexes) {
+  dpi::EngineSpec spec;
+  for (dpi::MiddleboxId id = 1; id <= 3; ++id) {
+    dpi::MiddleboxProfile p;
+    p.id = id;
+    p.name = "check-" + std::to_string(id);
+    p.stateful = id == 2;
+    spec.middleboxes.push_back(p);
+  }
+  dpi::PatternId rule = 0;
+  for (const std::string& bytes : patterns) {
+    spec.exact_patterns.push_back(dpi::ExactPatternSpec{
+        bytes, static_cast<dpi::MiddleboxId>(1 + rule % 3), rule});
+    ++rule;
+  }
+  // Shared patterns: middlebox 3 re-registers the first eight strings.
+  for (std::size_t i = 0; i < patterns.size() && i < 8; ++i) {
+    spec.exact_patterns.push_back(dpi::ExactPatternSpec{
+        patterns[i], 3, static_cast<dpi::PatternId>(rule++)});
+  }
+  dpi::PatternId regex_rule = 10000;
+  for (const std::string& expr : regexes) {
+    spec.regex_patterns.push_back(
+        dpi::RegexPatternSpec{expr, 1, regex_rule++, false});
+  }
+  spec.chains[1] = {1, 2, 3};
+  spec.chains[2] = {2};
+  return spec;
+}
+
+/// Mirrors make_spec through the controller's ref-counted PatternDb so its
+/// ref-count bookkeeping is checked against the same registrations.
+inline void populate_db(dpi::PatternDb& db, const dpi::EngineSpec& spec) {
+  for (const auto& profile : spec.middleboxes) {
+    db.register_middlebox(profile);
+  }
+  for (const auto& p : spec.exact_patterns) {
+    db.add_exact(p.middlebox, p.pattern_id, p.bytes);
+  }
+  for (const auto& p : spec.regex_patterns) {
+    db.add_regex(p.middlebox, p.pattern_id, p.expression, p.case_insensitive);
+  }
+  for (const auto& [chain, members] : spec.chains) {
+    db.set_chain(chain, members);
+  }
+}
+
+/// The built-in seed workloads: a handcrafted suffix-heavy set exercising
+/// failure-link propagation ("he" in "she", "hers"), shared prefixes and
+/// binary bytes, plus generated snort-like and clamav-like sets.
+inline std::vector<Suite> builtin_suites() {
+  std::vector<Suite> suites;
+  suites.push_back(Suite{
+      "builtin:classic",
+      {
+          "he",           "she",           "his",
+          "hers",         "ushers",        std::string("\x00\x01\x02mark", 7),
+          "GET /index",   "index.html",    "html></html>",
+      },
+      {"User-Agent: [a-z]+bot", "cmd\\.exe.{0,16}/c"}});
+  suites.push_back(
+      Suite{"builtin:snort-like",
+            workload::generate_patterns(workload::snort_like(600, 17)),
+            {}});
+  suites.push_back(
+      Suite{"builtin:clamav-like",
+            workload::generate_patterns(workload::clamav_like(400, 23)),
+            {}});
+  return suites;
+}
+
+}  // namespace dpisvc::tools
