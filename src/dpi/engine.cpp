@@ -5,6 +5,7 @@
 #include <bit>
 #include <map>
 #include <stdexcept>
+#include <type_traits>
 
 #include "ac/trie.hpp"
 #include "common/invariant.hpp"
@@ -271,26 +272,43 @@ std::shared_ptr<const Engine> Engine::compile(const EngineSpec& spec,
     engine->chain_stateful_[chain] = any_stateful;
   }
 
+  // --- batched scan kernel -------------------------------------------------
+  // Built only over the full-table automaton (the compressed automaton's
+  // bitmap rows already trade speed for memory). kAuto defers to the
+  // process-wide policy (DPISVC_FORCE_SCALAR + cpu features); an explicit
+  // kBatched config overrides the environment.
+  if (const auto* full = std::get_if<ac::FullAutomaton>(&engine->automaton_)) {
+    const bool want_kernel =
+        config.kernel == ScanKernel::kBatched ||
+        (config.kernel == ScanKernel::kAuto &&
+         !ac::kernel_policy().force_scalar);
+    if (want_kernel) {
+      engine->kernel_ = ac::HotKernel::build(*full);
+      engine->use_kernel_ = engine->kernel_.available();
+    }
+  }
+
   return engine;
 }
 
-MiddleboxMatches& Engine::section_for(ScanResult& result, MiddleboxId id) {
-  for (auto& section : result.matches) {
-    if (section.middlebox == id) return section;
+MiddleboxMatches& Engine::section_for(ScanResult& result,
+                                      SectionIndex& sections, MiddleboxId id) {
+  std::int16_t& slot = sections[id];
+  if (slot < 0) {
+    slot = static_cast<std::int16_t>(result.matches.size());
+    result.matches.push_back(MiddleboxMatches{id, {}});
   }
-  result.matches.push_back(MiddleboxMatches{id, {}});
-  return result.matches.back();
+  return result.matches[static_cast<std::size_t>(slot)];
 }
 
-template <typename Automaton>
-ScanResult Engine::scan_impl(const Automaton& automaton, MiddleboxBitmap active,
-                             const StopSpec& stop, bool any_stateful,
-                             BytesView payload,
-                             const FlowCursor& cursor) const {
-  ScanResult result;
-  const bool resume = any_stateful && cursor.valid;
-  const std::uint64_t offset = resume ? cursor.offset : 0;
-  ac::StateIndex state = resume ? cursor.dfa_state : automaton.start_state();
+Engine::Prepared Engine::prepare_scan(ac::StateIndex start_state,
+                                      const StopSpec& stop, bool any_stateful,
+                                      BytesView payload,
+                                      const FlowCursor& cursor) const {
+  Prepared prep;
+  prep.resume = any_stateful && cursor.valid;
+  prep.offset = prep.resume ? cursor.offset : 0;
+  prep.state = prep.resume ? cursor.dfa_state : start_state;
 
   // Stopping condition (§5.2). Boundary convention (see
   // MiddleboxProfile::stop_offset): a match is reported iff its end
@@ -305,16 +323,51 @@ ScanResult Engine::scan_impl(const Automaton& automaton, MiddleboxBitmap active,
   std::uint64_t limit = payload.size();
   if (stop.stateless != kNoStopCondition && stop.stateful != kNoStopCondition) {
     const std::uint64_t stateful_remaining =
-        stop.stateful > offset ? stop.stateful - offset : 0;
+        stop.stateful > prep.offset ? stop.stateful - prep.offset : 0;
     limit = std::min<std::uint64_t>(
         limit, std::max<std::uint64_t>(stop.stateless, stateful_remaining));
   }
-  const BytesView scanned = payload.first(static_cast<std::size_t>(limit));
+  prep.scanned = payload.first(static_cast<std::size_t>(limit));
+  return prep;
+}
 
-  // Per-middlebox raw match accumulation (pattern id, reported position).
+namespace {
+
+/// Reusable per-thread raw-match accumulator (pattern id, reported position
+/// per middlebox). The rows reset lazily by epoch: only rows touched during
+/// a scan are cleared at their first touch of the next scan, and clear()
+/// keeps the capacity, so steady-state scanning allocates nothing. (The
+/// previous per-scan std::array<std::vector, 65> constructed and destroyed
+/// 65 vectors on every packet.)
+struct RawScratch {
   std::array<std::vector<std::pair<std::uint16_t, std::uint32_t>>,
              kMaxMiddleboxes + 1>
-      raw;
+      rows;
+  std::array<std::uint64_t, kMaxMiddleboxes + 1> row_epoch{};
+  std::uint64_t epoch = 0;
+
+  std::vector<std::pair<std::uint16_t, std::uint32_t>>& row(MiddleboxId id) {
+    auto& r = rows[id];
+    if (row_epoch[id] != epoch) {
+      r.clear();
+      row_epoch[id] = epoch;
+    }
+    return r;
+  }
+};
+
+}  // namespace
+
+void Engine::finish_scan(MiddleboxBitmap active, bool any_stateful,
+                         const Prepared& prep, const FlowCursor& cursor,
+                         ac::StateIndex final_state,
+                         const std::vector<ac::Match>& events,
+                         ScanResult& result) const {
+  const BytesView scanned = prep.scanned;
+  const std::uint64_t offset = prep.offset;
+
+  static thread_local RawScratch scratch;
+  ++scratch.epoch;
   // Per-packet anchor hit set, as bit words in a per-thread scratch: no
   // per-packet allocation, and skipped entirely for regex-free engines.
   static thread_local std::vector<std::uint64_t> packet_hit_scratch;
@@ -325,14 +378,17 @@ ScanResult Engine::scan_impl(const Automaton& automaton, MiddleboxBitmap active,
   }
   MiddleboxBitmap mboxes_with_matches = 0;
 
-  state = automaton.scan(scanned, state, [&](ac::Match m) {
-    ++result.raw_hits;
+  // §5.1 filtering of the walk's accepting-state events. The walk (scalar
+  // loop or batched kernel) only reports (end offset, accepting state)
+  // pairs; everything per-middlebox happens here, identically for both.
+  result.raw_hits = events.size();
+  for (const ac::Match& m : events) {
     DPISVC_ASSERT_INVARIANT(m.accept_state < accept_targets_.size(),
-                            "match callback must name a renumbered accepting "
+                            "match event must name a renumbered accepting "
                             "state below f");
     if (use_accept_bitmaps_) {
       const MiddleboxBitmap interested = accept_bitmaps_[m.accept_state];
-      if (!(interested & active)) return;  // §5.1 bitmap short-circuit
+      if (!(interested & active)) continue;  // §5.1 bitmap short-circuit
     }
     const std::uint64_t cnt = m.end_offset;
     for (const MatchTarget& t : accept_targets_[m.accept_state]) {
@@ -354,16 +410,16 @@ ScanResult Engine::scan_impl(const Automaton& automaton, MiddleboxBitmap active,
       // Stop filter: report iff end position <= stop — the boundary byte is
       // inclusive (see MiddleboxProfile::stop_offset).
       if (position > mbox_stop_[t.middlebox]) continue;
-      raw[t.middlebox].emplace_back(t.pattern_id,
-                                    static_cast<std::uint32_t>(position));
+      scratch.row(t.middlebox)
+          .emplace_back(t.pattern_id, static_cast<std::uint32_t>(position));
       mboxes_with_matches |= bitmap_of(t.middlebox);
     }
-  });
+  }
 
-  result.bytes_scanned = limit;
+  result.bytes_scanned = scanned.size();
   if (any_stateful) {
-    result.cursor.dfa_state = state;
-    result.cursor.offset = offset + limit;
+    result.cursor.dfa_state = final_state;
+    result.cursor.offset = offset + scanned.size();
     result.cursor.valid = true;
   }
   if (packet_hits != nullptr) {
@@ -380,7 +436,7 @@ ScanResult Engine::scan_impl(const Automaton& automaton, MiddleboxBitmap active,
       any_stateful && (active & stateful_regex_owners_) != 0;
   BytesView window;
   if (carry) {
-    if (resume) {
+    if (prep.resume) {
       result.cursor.anchor_hits = cursor.anchor_hits;
       window = BytesView(cursor.regex_window);
     }
@@ -395,10 +451,15 @@ ScanResult Engine::scan_impl(const Automaton& automaton, MiddleboxBitmap active,
     }
   }
 
+  // Per-scan middlebox -> section index (O(1) section lookups however many
+  // matches the packet reports).
+  SectionIndex sections;
+  sections.fill(-1);
+
   // Regex evaluation over the scanned slice (§5.3), against the retained
   // flow tail + packet for stateful-owned regexes.
   evaluate_regexes(active, packet_hits, carry, window, scanned, offset,
-                   result);
+                   sections, result);
 
   // Advance the retained tail past this packet's bytes (after evaluation:
   // the regexes above must see the tail as it stood before this packet).
@@ -419,16 +480,114 @@ ScanResult Engine::scan_impl(const Automaton& automaton, MiddleboxBitmap active,
   }
 
   // Emit sections sorted by (pattern, position) with run compression (§6.5).
-  for (MiddleboxId id = 1; id <= kMaxMiddleboxes; ++id) {
-    auto& list = raw[id];
-    if (list.empty()) continue;
+  // Iterating the set bits ascending keeps the section order of the old
+  // 1..kMaxMiddleboxes sweep.
+  for (MiddleboxBitmap bits = mboxes_with_matches; bits != 0;
+       bits &= bits - 1) {
+    const auto id = static_cast<MiddleboxId>(std::countr_zero(bits) + 1);
+    auto& list = scratch.row(id);
     std::sort(list.begin(), list.end());
-    auto& section = section_for(result, id);
+    auto& section = section_for(result, sections, id);
     auto compressed = net::compress_runs(list);
     section.entries.insert(section.entries.end(), compressed.begin(),
                            compressed.end());
   }
+}
+
+template <typename Automaton>
+ScanResult Engine::scan_impl(const Automaton& automaton, bool use_kernel,
+                             MiddleboxBitmap active, const StopSpec& stop,
+                             bool any_stateful, BytesView payload,
+                             const FlowCursor& cursor) const {
+  const Prepared prep = prepare_scan(automaton.start_state(), stop,
+                                     any_stateful, payload, cursor);
+  static thread_local std::vector<ac::Match> event_scratch;
+  event_scratch.clear();
+  ac::StateIndex state = prep.state;
+
+  bool walked = false;
+  if constexpr (std::is_same_v<Automaton, ac::FullAutomaton>) {
+    if (use_kernel) {
+      const ac::HotKernel::Lane lane =
+          kernel_.scan(prep.scanned, state, event_scratch);
+      if (lane.consumed < prep.scanned.size()) {
+        // Cold exit (or a resume state outside the hot core): finish the
+        // packet with the scalar loop from where the kernel stopped,
+        // shifting event offsets back to the scanned view.
+        const std::size_t done = lane.consumed;
+        state = automaton.scan(
+            prep.scanned.subspan(done), lane.state, [&](ac::Match m) {
+              event_scratch.push_back(
+                  ac::Match{m.end_offset + done, m.accept_state});
+            });
+      } else {
+        state = lane.state;
+      }
+      walked = true;
+    }
+  } else {
+    (void)use_kernel;
+  }
+  if (!walked) {
+    state = automaton.scan(prep.scanned, state, [&](ac::Match m) {
+      event_scratch.push_back(m);
+    });
+  }
+
+  ScanResult result;
+  finish_scan(active, any_stateful, prep, cursor, state, event_scratch,
+              result);
   return result;
+}
+
+void Engine::scan_batch_interleaved(const ac::FullAutomaton& automaton,
+                                    MiddleboxBitmap active,
+                                    const StopSpec& stop, bool any_stateful,
+                                    const std::vector<BytesView>& payloads,
+                                    std::vector<FlowCursor>* cursors,
+                                    std::vector<ScanResult>& out) const {
+  constexpr std::size_t kMaxLanes = ac::HotKernel::kMaxInterleave;
+  const std::size_t width =
+      std::min<std::size_t>(ac::kernel_policy().interleave, kMaxLanes);
+  static thread_local std::array<std::vector<ac::Match>, kMaxLanes>
+      lane_events;
+  std::array<Prepared, kMaxLanes> preps;
+  std::array<ac::HotKernel::Lane, kMaxLanes> lanes;
+  const FlowCursor no_cursor;
+
+  for (std::size_t base = 0; base < payloads.size(); base += width) {
+    const std::size_t group = std::min(width, payloads.size() - base);
+    for (std::size_t j = 0; j < group; ++j) {
+      const FlowCursor& cursor =
+          cursors != nullptr ? (*cursors)[base + j] : no_cursor;
+      preps[j] = prepare_scan(automaton.start_state(), stop, any_stateful,
+                              payloads[base + j], cursor);
+      lane_events[j].clear();
+      lanes[j] = ac::HotKernel::Lane{preps[j].scanned, preps[j].state, 0,
+                                     &lane_events[j]};
+    }
+    kernel_.scan_interleaved(lanes.data(), group);
+    for (std::size_t j = 0; j < group; ++j) {
+      ac::StateIndex state;
+      if (lanes[j].consumed < preps[j].scanned.size()) {
+        const std::size_t done = lanes[j].consumed;
+        state = automaton.scan(
+            preps[j].scanned.subspan(done), lanes[j].state, [&](ac::Match m) {
+              lane_events[j].push_back(
+                  ac::Match{m.end_offset + done, m.accept_state});
+            });
+      } else {
+        state = lanes[j].state;
+      }
+      const FlowCursor& cursor =
+          cursors != nullptr ? (*cursors)[base + j] : no_cursor;
+      ScanResult result;
+      finish_scan(active, any_stateful, preps[j], cursor, state,
+                  lane_events[j], result);
+      if (cursors != nullptr) (*cursors)[base + j] = result.cursor;
+      out.push_back(std::move(result));
+    }
+  }
 }
 
 namespace {
@@ -447,7 +606,7 @@ void Engine::evaluate_regexes(MiddleboxBitmap active,
                               const std::vector<std::uint64_t>* packet_hits,
                               bool carry, BytesView window, BytesView scanned,
                               std::uint64_t base_offset,
-                              ScanResult& result) const {
+                              SectionIndex& sections, ScanResult& result) const {
   static thread_local Bytes concat_scratch;
   for (const CompiledRegex& re : regexes_) {
     if (!(bitmap_of(re.middlebox) & active)) continue;
@@ -495,7 +654,7 @@ void Engine::evaluate_regexes(MiddleboxBitmap active,
     // Stop filter: same inclusive-boundary convention as the exact-match
     // site above (report iff end position <= stop).
     if (position > mbox_stop_[re.middlebox]) continue;
-    auto& section = section_for(result, re.middlebox);
+    auto& section = section_for(result, sections, re.middlebox);
     section.entries.push_back(net::MatchEntry{
         re.pattern_id, static_cast<std::uint32_t>(position), 1});
     ++result.regex_matches;
@@ -504,6 +663,12 @@ void Engine::evaluate_regexes(MiddleboxBitmap active,
 
 ScanResult Engine::scan_packet(ChainId chain, BytesView payload,
                                const FlowCursor& cursor) const {
+  return scan_packet_as(ScanKernel::kAuto, chain, payload, cursor);
+}
+
+ScanResult Engine::scan_packet_as(ScanKernel mode, ChainId chain,
+                                  BytesView payload,
+                                  const FlowCursor& cursor) const {
   auto members = chain_bitmaps_.find(chain);
   if (members == chain_bitmaps_.end()) {
     throw std::invalid_argument("Engine::scan_packet: unknown policy chain");
@@ -511,10 +676,11 @@ ScanResult Engine::scan_packet(ChainId chain, BytesView payload,
   const MiddleboxBitmap active = members->second;
   const StopSpec stop = chain_stop_.at(chain);
   const bool any_stateful = chain_stateful_.at(chain);
+  const bool use_kernel = resolve_kernel(mode);
   return std::visit(
       [&](const auto& automaton) {
-        return scan_impl(automaton, active, stop, any_stateful, payload,
-                         cursor);
+        return scan_impl(automaton, use_kernel, active, stop, any_stateful,
+                         payload, cursor);
       },
       automaton_);
 }
@@ -522,6 +688,12 @@ ScanResult Engine::scan_packet(ChainId chain, BytesView payload,
 std::vector<ScanResult> Engine::scan_batch(ChainId chain,
                                            const std::vector<BytesView>& payloads,
                                            std::vector<FlowCursor>* cursors) const {
+  return scan_batch_as(ScanKernel::kAuto, chain, payloads, cursors);
+}
+
+std::vector<ScanResult> Engine::scan_batch_as(
+    ScanKernel mode, ChainId chain, const std::vector<BytesView>& payloads,
+    std::vector<FlowCursor>* cursors) const {
   auto members = chain_bitmaps_.find(chain);
   if (members == chain_bitmaps_.end()) {
     throw std::invalid_argument("Engine::scan_batch: unknown policy chain");
@@ -533,16 +705,28 @@ std::vector<ScanResult> Engine::scan_batch(ChainId chain,
   const MiddleboxBitmap active = members->second;
   const StopSpec stop = chain_stop_.at(chain);
   const bool any_stateful = chain_stateful_.at(chain);
+  const bool use_kernel = resolve_kernel(mode);
   std::vector<ScanResult> out;
   out.reserve(payloads.size());
   // One variant visit for the whole batch; the per-packet loop then runs
-  // with the automaton type resolved.
+  // with the automaton type resolved. With the kernel active the batch runs
+  // interleaved: several packets' hot-table walks advance in lockstep so
+  // their transition loads overlap (results stay byte-identical to the
+  // sequential order — each lane ends exactly as a lone scan would).
   std::visit(
       [&](const auto& automaton) {
+        using A = std::decay_t<decltype(automaton)>;
+        if constexpr (std::is_same_v<A, ac::FullAutomaton>) {
+          if (use_kernel) {
+            scan_batch_interleaved(automaton, active, stop, any_stateful,
+                                   payloads, cursors, out);
+            return;
+          }
+        }
         for (std::size_t i = 0; i < payloads.size(); ++i) {
           const FlowCursor cursor = cursors ? (*cursors)[i] : FlowCursor{};
-          out.push_back(scan_impl(automaton, active, stop, any_stateful,
-                                  payloads[i], cursor));
+          out.push_back(scan_impl(automaton, use_kernel, active, stop,
+                                  any_stateful, payloads[i], cursor));
           if (cursors) (*cursors)[i] = out.back().cursor;
         }
       },
@@ -566,8 +750,8 @@ ScanResult Engine::scan_packet_for(MiddleboxBitmap active, BytesView payload,
   }
   return std::visit(
       [&](const auto& automaton) {
-        return scan_impl(automaton, active, stop, any_stateful, payload,
-                         cursor);
+        return scan_impl(automaton, use_kernel_, active, stop, any_stateful,
+                         payload, cursor);
       },
       automaton_);
 }

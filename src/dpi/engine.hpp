@@ -35,6 +35,7 @@
 
 #include "ac/compressed_automaton.hpp"
 #include "ac/full_automaton.hpp"
+#include "ac/hot_kernel.hpp"
 #include "common/bytes.hpp"
 #include "dpi/types.hpp"
 #include "net/result.hpp"
@@ -67,10 +68,29 @@ struct EngineSpec {
   std::map<ChainId, std::vector<MiddleboxId>> chains;
 };
 
+/// Scan-kernel dispatch choice, resolved once at compile() (the scan hot
+/// path never re-checks the environment).
+enum class ScanKernel : std::uint8_t {
+  /// Batched kernel when the engine runs the full-table automaton, the hot
+  /// layout built, and DPISVC_FORCE_SCALAR is not set (ac::kernel_policy()).
+  kAuto = 0,
+  /// Always the scalar per-byte loop (the pre-kernel behavior, and the
+  /// oracle side of the kernel cross-check).
+  kScalar = 1,
+  /// Batched kernel even under DPISVC_FORCE_SCALAR (used by the verifier
+  /// so the cross-check still drives both paths); silently scalar when the
+  /// kernel cannot be built (compressed automaton).
+  kBatched = 2,
+};
+
 struct EngineConfig {
   /// Use the failure-link automaton instead of the full table (the MCA²
   /// dedicated-instance configuration, §4.3.1).
   bool use_compressed_automaton = false;
+  /// Scan-kernel dispatch (see ScanKernel). The batched kernel is proven
+  /// byte-identical to the scalar loop by src/verify and dpisvc_check
+  /// --kernel-xcheck.
+  ScanKernel kernel = ScanKernel::kAuto;
   /// Anchors shorter than this are not extracted from regexes (§5.3).
   std::size_t anchor_min_length = 4;
   /// §5.1's accepting-state bitmap optimization: one AND against the active
@@ -202,6 +222,21 @@ class Engine {
   ScanResult scan_packet_for(MiddleboxBitmap active, BytesView payload,
                              const FlowCursor& cursor = {}) const;
 
+  /// scan_packet with an explicit kernel-dispatch override. The kernel
+  /// cross-check (src/verify, dpisvc_check --kernel-xcheck) drives both the
+  /// scalar oracle and the batched kernel over one compiled engine with
+  /// this; production callers use scan_packet(), which applies the choice
+  /// resolved at compile().
+  ScanResult scan_packet_as(ScanKernel mode, ChainId chain, BytesView payload,
+                            const FlowCursor& cursor = {}) const;
+
+  /// scan_batch with an explicit kernel-dispatch override (kBatched takes
+  /// the flow-interleaved lane path, kScalar the per-packet scalar loop).
+  std::vector<ScanResult> scan_batch_as(ScanKernel mode, ChainId chain,
+                                        const std::vector<BytesView>& payloads,
+                                        std::vector<FlowCursor>* cursors =
+                                            nullptr) const;
+
   // --- introspection -------------------------------------------------------
 
   const std::vector<MiddleboxProfile>& middleboxes() const noexcept {
@@ -221,6 +256,20 @@ class Engine {
   /// True if every middlebox on the chain is read-only (§4.2: the packet
   /// itself need not be routed; results alone suffice).
   bool chain_read_only(ChainId chain) const;
+
+  /// True when scan_packet()/scan_batch() run the batched kernel (full-table
+  /// automaton, hot layout built, dispatch resolved in its favor).
+  bool kernel_active() const noexcept { return use_kernel_; }
+  /// The compiled hot-core layout, or nullptr when none was built. The
+  /// static verifier proves it transition-for-transition equal to the full
+  /// table. NOT counted in memory_bytes() (which is the Table 2 "Space"
+  /// column that src/analysis predicts exactly); see kernel_memory_bytes().
+  const ac::HotKernel* hot_kernel() const noexcept {
+    return kernel_.available() ? &kernel_ : nullptr;
+  }
+  std::size_t kernel_memory_bytes() const noexcept {
+    return kernel_.memory_bytes();
+  }
 
   std::size_t num_exact_patterns() const noexcept { return num_exact_; }
   std::size_t num_regex_patterns() const noexcept { return regexes_.size(); }
@@ -281,10 +330,50 @@ class Engine {
     std::uint32_t stateful = 0;   ///< max stop over stateful members
   };
 
+  /// The scanned slice and resume point of one packet, computed before the
+  /// automaton walk (shared by the scalar, kernel, and interleaved paths).
+  struct Prepared {
+    BytesView scanned;
+    std::uint64_t offset = 0;
+    ac::StateIndex state = 0;
+    bool resume = false;
+  };
+  Prepared prepare_scan(ac::StateIndex start_state, const StopSpec& stop,
+                        bool any_stateful, BytesView payload,
+                        const FlowCursor& cursor) const;
+
   template <typename Automaton>
-  ScanResult scan_impl(const Automaton& automaton, MiddleboxBitmap active,
-                       const StopSpec& stop, bool any_stateful,
-                       BytesView payload, const FlowCursor& cursor) const;
+  ScanResult scan_impl(const Automaton& automaton, bool use_kernel,
+                       MiddleboxBitmap active, const StopSpec& stop,
+                       bool any_stateful, BytesView payload,
+                       const FlowCursor& cursor) const;
+
+  /// Flow-interleaved batch walk over the full-table automaton: packets are
+  /// grouped into kernel lanes (ac::kernel_policy().interleave wide) so
+  /// their transition loads overlap, then finished per packet in submission
+  /// order — results are byte-identical to the sequential path.
+  void scan_batch_interleaved(const ac::FullAutomaton& automaton,
+                              MiddleboxBitmap active, const StopSpec& stop,
+                              bool any_stateful,
+                              const std::vector<BytesView>& payloads,
+                              std::vector<FlowCursor>* cursors,
+                              std::vector<ScanResult>& out) const;
+
+  /// Per-scan middlebox -> result-section index: section lookups stay O(1)
+  /// however many matches a packet reports (the linear section_for scan was
+  /// quadratic on heavy-match packets).
+  using SectionIndex = std::array<std::int16_t, kMaxMiddleboxes + 1>;
+
+  /// Everything after the automaton walk: §5.1 match-event filtering
+  /// against the active set, cursor/anchor-state update, §5.3 regex
+  /// evaluation, and section emission. Pure function of the walk's match
+  /// events and final state, so the scalar loop and the batched kernel
+  /// share it verbatim — the cross-check only has to prove the walks equal.
+  void finish_scan(MiddleboxBitmap active, bool any_stateful,
+                   const Prepared& prep, const FlowCursor& cursor,
+                   ac::StateIndex final_state,
+                   const std::vector<ac::Match>& events,
+                   ScanResult& result) const;
 
   /// §5.3 regex evaluation. `packet_hits` holds the anchor bits set by this
   /// packet's automaton pass (null when the engine has no anchor bits);
@@ -296,9 +385,24 @@ class Engine {
   void evaluate_regexes(MiddleboxBitmap active,
                         const std::vector<std::uint64_t>* packet_hits,
                         bool carry, BytesView window, BytesView scanned,
-                        std::uint64_t base_offset, ScanResult& result) const;
+                        std::uint64_t base_offset, SectionIndex& sections,
+                        ScanResult& result) const;
 
-  static MiddleboxMatches& section_for(ScanResult& result, MiddleboxId id);
+  static MiddleboxMatches& section_for(ScanResult& result,
+                                       SectionIndex& sections, MiddleboxId id);
+
+  /// Resolves an explicit dispatch override against what was compiled.
+  bool resolve_kernel(ScanKernel mode) const noexcept {
+    switch (mode) {
+      case ScanKernel::kScalar:
+        return false;
+      case ScanKernel::kBatched:
+        return kernel_.available();
+      case ScanKernel::kAuto:
+      default:
+        return use_kernel_;
+    }
+  }
 
   std::vector<MiddleboxProfile> profiles_;
   /// Profile fields denormalized by middlebox id for the per-match hot path.
@@ -310,6 +414,12 @@ class Engine {
   std::map<ChainId, bool> chain_stateful_;
 
   std::variant<ac::FullAutomaton, ac::CompressedAutomaton> automaton_;
+  /// Cache-conscious hot-core layout over the full-table automaton (empty
+  /// when compressed, or when compile() resolved dispatch to scalar).
+  ac::HotKernel kernel_;
+  /// Compile-time-resolved dispatch: scan_packet()/scan_batch() use the
+  /// kernel. The scalar loop stays reachable via scan_packet_as().
+  bool use_kernel_ = false;
   /// Per accepting state: interested-middlebox bitmap (anchor targets
   /// contribute their owning middlebox too).
   std::vector<MiddleboxBitmap> accept_bitmaps_;

@@ -312,15 +312,67 @@ std::vector<dpi::ScanResult> DpiInstance::scan_batch(
     jobs[s] = [this, s, &buckets, &items, &out] {
       Shard& shard = *shards_[s];
       const MutexLock lock(shard.mu);
-      for (const std::size_t i : buckets[s]) {
+      const std::vector<std::size_t>& bucket = buckets[s];
+      const bool batched =
+          shard.engine != nullptr && shard.engine->kernel_active();
+      std::size_t pos = 0;
+      while (pos < bucket.size()) {
         if (trace_.enabled()) {
+          const std::size_t i = bucket[pos];
           trace_.record(obs::TraceEvent::kShardDispatch,
                         items[i].flow.canonical().hash(), 0,
                         items[i].payload.size(), shard.index, items[i].chain);
         }
-        // Distinct indices per bucket: writes to `out` never alias.
-        out[i] = scan_on_shard(shard, items[i].chain, items[i].flow,
-                               items[i].payload);
+        if (!batched) {
+          const std::size_t i = bucket[pos];
+          // Distinct indices per bucket: writes to `out` never alias.
+          out[i] = scan_on_shard(shard, items[i].chain, items[i].flow,
+                                 items[i].payload);
+          ++pos;
+          continue;
+        }
+        // Form a same-chain run for the interleaved kernel. A stateful run
+        // additionally (a) breaks before a flow it already contains — each
+        // run cursor must see the previous packet's update — and (b) only
+        // forms while no LRU eviction is possible (run cursors are looked
+        // up before any update; with every run flow distinct and room for
+        // all inserts, the flow table ends in the same state as the
+        // sequential order, so results stay identical).
+        const dpi::ChainId chain = items[bucket[pos]].chain;
+        const bool stateful = shard.engine->chain_stateful(chain);
+        constexpr std::size_t kMaxRun = 32;
+        std::size_t end = pos + 1;
+        if (!stateful ||
+            shard.flows.size() + kMaxRun <= shard.flows.capacity()) {
+          while (end < bucket.size() && end - pos < kMaxRun &&
+                 items[bucket[end]].chain == chain) {
+            if (stateful) {
+              bool repeat = false;
+              for (std::size_t k = pos; k < end && !repeat; ++k) {
+                repeat = items[bucket[k]].flow.canonical() ==
+                         items[bucket[end]].flow.canonical();
+              }
+              if (repeat) break;
+            }
+            if (trace_.enabled()) {
+              const std::size_t i = bucket[end];
+              trace_.record(obs::TraceEvent::kShardDispatch,
+                            items[i].flow.canonical().hash(), 0,
+                            items[i].payload.size(), shard.index,
+                            items[i].chain);
+            }
+            ++end;
+          }
+        }
+        if (end - pos == 1) {
+          const std::size_t i = bucket[pos];
+          out[i] = scan_on_shard(shard, items[i].chain, items[i].flow,
+                                 items[i].payload);
+        } else {
+          scan_run_on_shard(shard, chain, items, bucket.data() + pos,
+                            end - pos, out);
+        }
+        pos = end;
       }
     };
   }
@@ -402,6 +454,97 @@ dpi::ScanResult DpiInstance::scan_on_shard(Shard& shard, dpi::ChainId chain,
                   shard.index, chain);
   }
   return result;
+}
+
+void DpiInstance::scan_run_on_shard(Shard& shard, dpi::ChainId chain,
+                                    const std::vector<ScanItem>& items,
+                                    const std::size_t* indices,
+                                    std::size_t count,
+                                    std::vector<dpi::ScanResult>& out) {
+  if (shard.engine == nullptr) {
+    throw std::logic_error("DpiInstance::scan: no engine loaded");
+  }
+  Stopwatch watch;
+  const bool stateful = shard.engine->chain_stateful(chain);
+  // The caller guarantees distinct flows per stateful run, so the cursors
+  // never alias and each lookup precedes its flow's sole update.
+  std::vector<BytesView> payloads;
+  payloads.reserve(count);
+  std::vector<dpi::FlowCursor> cursors;
+  if (stateful) cursors.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    const ScanItem& item = items[indices[k]];
+    payloads.push_back(item.payload);
+    if (stateful) cursors.push_back(shard.flows.lookup(item.flow));
+  }
+
+  std::vector<dpi::ScanResult> results =
+      shard.engine->scan_batch(chain, payloads, stateful ? &cursors : nullptr);
+
+  // One clock read for the whole run; each packet is attributed its share —
+  // the interleave makes per-packet walk time unmeasurable in isolation.
+  const std::uint64_t run_ns = watch.elapsed_ns();
+  const std::uint64_t per_packet_ns = run_ns / count;
+  shard.telemetry.busy_seconds += static_cast<double>(run_ns) * 1e-9;
+  ChainTelemetry& per_chain = shard.chain_telemetry[chain];
+  const ShardInstruments& ins = shard.obs;
+
+  for (std::size_t k = 0; k < count; ++k) {
+    const ScanItem& item = items[indices[k]];
+    dpi::ScanResult& result = results[k];
+    if (stateful) {
+      DPISVC_ASSERT_INVARIANT(
+          result.cursor.valid &&
+              result.cursor.dfa_state < shard.engine->num_automaton_states(),
+          "stateful scan must leave the cursor on a state of this engine");
+      if (shard.flows.update(item.flow, result.cursor)) {
+        ++shard.telemetry.flow_evictions;
+        if (shard.obs.flow_evictions != nullptr) {
+          shard.obs.flow_evictions->add(1);
+        }
+        log(LogLevel::kDebug, name_,
+            "flow table full: evicted live stateful cursor (evictions=",
+            shard.telemetry.flow_evictions, ")");
+      }
+    }
+    ++shard.telemetry.packets;
+    shard.telemetry.bytes += item.payload.size();
+    shard.telemetry.raw_hits += result.raw_hits;
+    ++per_chain.packets;
+    per_chain.bytes += item.payload.size();
+    per_chain.raw_hits += result.raw_hits;
+    if (result.has_matches()) {
+      ++shard.telemetry.match_packets;
+    }
+    if (ins.packets != nullptr) {
+      ins.scan_ns->record(per_packet_ns);
+      ins.packets->add(1);
+      ins.bytes->add(item.payload.size());
+      ins.raw_hits->add(result.raw_hits);
+      ins.anchor_hits->add(result.anchor_hits_seen);
+      ins.regex_evals->add(result.regexes_evaluated);
+      ins.regex_matches->add(result.regex_matches);
+    }
+    if (trace_.enabled()) {
+      const std::uint64_t fh = item.flow.canonical().hash();
+      const std::uint64_t flow_offset =
+          result.cursor.valid ? result.cursor.offset : result.bytes_scanned;
+      trace_.record(obs::TraceEvent::kDfaScan, fh, flow_offset,
+                    result.bytes_scanned, shard.index, chain);
+      if (result.regexes_evaluated > 0) {
+        trace_.record(obs::TraceEvent::kRegexEval, fh, flow_offset,
+                      result.regexes_evaluated, shard.index, chain);
+      }
+      std::uint64_t entries = 0;
+      for (const auto& m : result.matches) entries += m.entries.size();
+      trace_.record(obs::TraceEvent::kVerdict, fh, flow_offset, entries,
+                    shard.index, chain);
+    }
+    out[indices[k]] = std::move(result);
+  }
+  if (stateful && ins.packets != nullptr) {
+    ins.flow_occupancy->set(static_cast<std::int64_t>(shard.flows.size()));
+  }
 }
 
 void DpiInstance::publish_evasion_metrics(Shard& shard) {

@@ -353,6 +353,16 @@ class DpiInstance {
   dpi::ScanResult scan_on_shard(Shard& shard, dpi::ChainId chain,
                                 const net::FiveTuple& flow, BytesView payload)
       DPISVC_REQUIRES(shard.mu);
+  /// Scans a same-chain run of a shard's bucket through the engine's
+  /// interleaved batch path (several flows' DFA walks advance per pass).
+  /// indices[0..count) select items; results land in out[indices[k]].
+  /// Match results are byte-identical to scanning the run sequentially —
+  /// scan_batch() callers see no difference besides throughput.
+  void scan_run_on_shard(Shard& shard, dpi::ChainId chain,
+                         const std::vector<ScanItem>& items,
+                         const std::size_t* indices, std::size_t count,
+                         std::vector<dpi::ScanResult>& out)
+      DPISVC_REQUIRES(shard.mu);
   /// Adds the delta between the shard's reassembler/defragmenter stat
   /// blocks and the last published values to the obs counters.
   void publish_evasion_metrics(Shard& shard) DPISVC_REQUIRES(shard.mu);

@@ -394,6 +394,221 @@ std::vector<Diagnostic> check_equivalence(const DfaSnapshot& full,
   return out;
 }
 
+std::vector<Diagnostic> check_hot_kernel(const ac::FullAutomaton& full,
+                                         const ac::HotKernel& kernel) {
+  std::vector<Diagnostic> out;
+  Reporter r(out);
+  if (!kernel.available()) {
+    r.report("kernel-unavailable", "kernel has no hot states");
+    return out;
+  }
+  const std::uint32_t n = full.num_states();
+  const std::uint32_t f = full.num_accepting();
+  if (kernel.num_hot_states() > n || kernel.num_hot_accepting() > f ||
+      kernel.num_classes() == 0 || kernel.num_classes() > 256) {
+    r.report("kernel-shape", "hot core ", kernel.num_hot_states(), "/",
+             kernel.num_hot_accepting(), " states/accepting with ",
+             kernel.num_classes(), " classes does not fit automaton ", n, "/",
+             f);
+    return out;
+  }
+  // hot <-> full id maps must be inverse bijections over the hot set.
+  for (std::uint32_t h = 0; h < kernel.num_hot_states(); ++h) {
+    const ac::StateIndex s =
+        kernel.full_id(static_cast<ac::HotStateIndex>(h));
+    if (s >= n || kernel.hot_id(s) != h) {
+      r.report("kernel-id-map", "hot id ", h, " maps to full state ", s,
+               " which does not map back");
+    }
+  }
+  for (ac::StateIndex s = 0; s < n; ++s) {
+    const std::uint16_t h = kernel.hot_id(s);
+    const bool hot = h != ac::kColdExit;
+    if (hot && (h >= kernel.num_hot_states() ||
+                kernel.full_id(static_cast<ac::HotStateIndex>(h)) != s)) {
+      r.report("kernel-id-map", "full state ", s, " maps to hot id ", h,
+               " which does not map back");
+    }
+    // The hot set is exactly the states within the advertised depth bound.
+    if (hot != (full.depth(s) <= kernel.hot_depth())) {
+      r.report("kernel-depth-closure", "state ", s, " at depth ",
+               full.depth(s), " is ", hot ? "hot" : "cold",
+               " despite hot depth bound ", kernel.hot_depth());
+    }
+    // Accepting-first renumbering: acceptance must stay `hot id < fa`.
+    if (hot && ((h < kernel.num_hot_accepting()) != (s < f))) {
+      r.report("kernel-accepting-order", "full state ", s, " (accepting=",
+               s < f, ") renumbered to hot id ", h,
+               " across the accepting boundary ", kernel.num_hot_accepting());
+    }
+  }
+  if (kernel.hot_id(full.start_state()) == ac::kColdExit) {
+    r.report("kernel-start-cold", "start state ", full.start_state(),
+             " is outside the hot core");
+  }
+  if (kernel.complete() != (kernel.num_hot_states() == n)) {
+    r.report("kernel-complete-flag", "complete flag ", kernel.complete(),
+             " disagrees with ", kernel.num_hot_states(), " of ", n,
+             " states hot");
+  }
+  for (unsigned b = 0; b < 256; ++b) {
+    if (kernel.byte_class(static_cast<std::uint8_t>(b)) >=
+        kernel.num_classes()) {
+      r.report("kernel-class-range", "byte ", b, " has class ",
+               kernel.byte_class(static_cast<std::uint8_t>(b)),
+               " >= num_classes ", kernel.num_classes());
+    }
+  }
+  // Exhaustive transition proof over all 256 bytes (not just class
+  // representatives): entry(hot(s), class(b)) must equal the full table's
+  // delta for EVERY byte of the class, which is precisely the
+  // byte-equivalence claim the class compression rests on.
+  for (std::uint32_t h = 0; h < kernel.num_hot_states(); ++h) {
+    const ac::StateIndex s =
+        kernel.full_id(static_cast<ac::HotStateIndex>(h));
+    if (s >= n) continue;  // already reported above
+    for (unsigned b = 0; b < 256; ++b) {
+      const ac::StateIndex target = full.step(s, static_cast<std::uint8_t>(b));
+      const std::uint16_t expected = kernel.hot_id(target);
+      const std::uint16_t got = kernel.table_entry(
+          static_cast<ac::HotStateIndex>(h),
+          kernel.byte_class(static_cast<std::uint8_t>(b)));
+      if (got != expected) {
+        r.report("kernel-transition-divergence", "delta(", s, ", ", b,
+                 ") = ", target, " but the hot table resolves hot id ", h,
+                 " class ", kernel.byte_class(static_cast<std::uint8_t>(b)),
+                 " to ", got, " (expected ", expected, ")");
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// First field where two scan results differ, or "" when identical.
+std::string diff_scan_results(const dpi::ScanResult& scalar,
+                              const dpi::ScanResult& kernel) {
+  std::ostringstream os;
+  if (scalar.raw_hits != kernel.raw_hits) {
+    os << "raw_hits " << scalar.raw_hits << " vs " << kernel.raw_hits;
+    return os.str();
+  }
+  if (scalar.bytes_scanned != kernel.bytes_scanned) {
+    os << "bytes_scanned " << scalar.bytes_scanned << " vs "
+       << kernel.bytes_scanned;
+    return os.str();
+  }
+  if (scalar.anchor_hits_seen != kernel.anchor_hits_seen) {
+    os << "anchor_hits_seen " << scalar.anchor_hits_seen << " vs "
+       << kernel.anchor_hits_seen;
+    return os.str();
+  }
+  if (scalar.regexes_evaluated != kernel.regexes_evaluated ||
+      scalar.regex_matches != kernel.regex_matches) {
+    os << "regex counters " << scalar.regexes_evaluated << "/"
+       << scalar.regex_matches << " vs " << kernel.regexes_evaluated << "/"
+       << kernel.regex_matches;
+    return os.str();
+  }
+  if (scalar.matches.size() != kernel.matches.size()) {
+    os << "section count " << scalar.matches.size() << " vs "
+       << kernel.matches.size();
+    return os.str();
+  }
+  for (std::size_t i = 0; i < scalar.matches.size(); ++i) {
+    if (scalar.matches[i].middlebox != kernel.matches[i].middlebox ||
+        scalar.matches[i].entries != kernel.matches[i].entries) {
+      os << "section " << i << " (middlebox " << scalar.matches[i].middlebox
+         << " vs " << kernel.matches[i].middlebox << ") entries differ";
+      return os.str();
+    }
+  }
+  const dpi::FlowCursor& sc = scalar.cursor;
+  const dpi::FlowCursor& kc = kernel.cursor;
+  if (sc.valid != kc.valid || sc.dfa_state != kc.dfa_state ||
+      sc.offset != kc.offset) {
+    os << "cursor state/offset/valid " << sc.dfa_state << "/" << sc.offset
+       << "/" << sc.valid << " vs " << kc.dfa_state << "/" << kc.offset << "/"
+       << kc.valid;
+    return os.str();
+  }
+  if (sc.anchor_hits != kc.anchor_hits) return "cursor anchor_hits";
+  if (sc.regex_window != kc.regex_window) return "cursor regex_window";
+  return {};
+}
+
+}  // namespace
+
+std::vector<Diagnostic> cross_check_kernel(
+    const dpi::Engine& engine, dpi::ChainId chain,
+    const std::vector<std::vector<Bytes>>& flows) {
+  std::vector<Diagnostic> out;
+  Reporter r(out);
+  if (!engine.kernel_active()) {
+    r.report("kernel-not-active",
+             "engine has no active batched kernel to cross-check");
+    return out;
+  }
+  // Scalar is the oracle: it is the loop the whole verify suite already
+  // proves correct against the definition-based automaton oracle.
+  std::size_t max_packets = 0;
+
+  // Packet-by-packet differential, cursors resumed independently per mode.
+  for (std::size_t fi = 0; fi < flows.size(); ++fi) {
+    dpi::FlowCursor scalar_cursor;
+    dpi::FlowCursor kernel_cursor;
+    max_packets = std::max(max_packets, flows[fi].size());
+    for (std::size_t pi = 0; pi < flows[fi].size(); ++pi) {
+      const BytesView payload(flows[fi][pi]);
+      const dpi::ScanResult scalar = engine.scan_packet_as(
+          dpi::ScanKernel::kScalar, chain, payload, scalar_cursor);
+      const dpi::ScanResult batched = engine.scan_packet_as(
+          dpi::ScanKernel::kBatched, chain, payload, kernel_cursor);
+      const std::string diff = diff_scan_results(scalar, batched);
+      if (!diff.empty()) {
+        r.report("kernel-scan-divergence", "flow ", fi, " packet ", pi, ": ",
+                 diff);
+      }
+      scalar_cursor = scalar.cursor;
+      kernel_cursor = batched.cursor;
+    }
+  }
+
+  // Interleaved batch differential: advance all flows in lockstep (round k
+  // scans every flow's k-th packet in one batch) so distinct flows share an
+  // interleave group, and compare against fresh scalar runs.
+  std::vector<dpi::FlowCursor> scalar_cursors(flows.size());
+  std::vector<dpi::FlowCursor> batch_cursors(flows.size());
+  for (std::size_t round = 0; round < max_packets; ++round) {
+    std::vector<BytesView> payloads;
+    std::vector<std::size_t> members;
+    std::vector<dpi::FlowCursor> round_cursors;
+    for (std::size_t fi = 0; fi < flows.size(); ++fi) {
+      if (round >= flows[fi].size()) continue;
+      payloads.emplace_back(flows[fi][round]);
+      members.push_back(fi);
+      round_cursors.push_back(batch_cursors[fi]);
+    }
+    if (payloads.empty()) continue;
+    const std::vector<dpi::ScanResult> batched = engine.scan_batch_as(
+        dpi::ScanKernel::kBatched, chain, payloads, &round_cursors);
+    for (std::size_t k = 0; k < members.size(); ++k) {
+      const std::size_t fi = members[k];
+      const dpi::ScanResult scalar = engine.scan_packet_as(
+          dpi::ScanKernel::kScalar, chain, payloads[k], scalar_cursors[fi]);
+      const std::string diff = diff_scan_results(scalar, batched[k]);
+      if (!diff.empty()) {
+        r.report("kernel-batch-divergence", "flow ", fi, " round ", round,
+                 " (group of ", members.size(), "): ", diff);
+      }
+      scalar_cursors[fi] = scalar.cursor;
+      batch_cursors[fi] = batched[k].cursor;
+    }
+  }
+  return out;
+}
+
 std::vector<Diagnostic> check_engine_tables(const EngineTables& tables) {
   std::vector<Diagnostic> out;
   Reporter r(out);

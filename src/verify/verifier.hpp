@@ -73,6 +73,36 @@ std::vector<Diagnostic> check_against_patterns(const DfaSnapshot& snap,
 std::vector<Diagnostic> check_equivalence(const DfaSnapshot& full,
                                           const DfaSnapshot& compressed);
 
+// --- batched scan kernel -----------------------------------------------------
+
+/// Proves the batched-kernel layout (ac::HotKernel) encodes exactly the
+/// full table restricted to the hot core: the hot<->full id maps are
+/// inverse bijections, the hot set is depth-closed, accepting-first
+/// renumbering is preserved, and — for every hot state and every one of the
+/// 256 input bytes — the class-compressed table entry equals the full
+/// transition (which simultaneously proves the byte-equivalence classes
+/// sound). Codes: "kernel-unavailable", "kernel-shape", "kernel-id-map",
+/// "kernel-depth-closure", "kernel-accepting-order", "kernel-start-cold",
+/// "kernel-complete-flag", "kernel-class-range",
+/// "kernel-transition-divergence".
+std::vector<Diagnostic> check_hot_kernel(const ac::FullAutomaton& full,
+                                         const ac::HotKernel& kernel);
+
+/// Differential cross-check of the batched kernel against the scalar
+/// oracle. Every flow's packet sequence is scanned packet-by-packet twice
+/// (ScanKernel::kScalar vs kBatched, cursors resumed independently) and the
+/// flows are additionally advanced in lockstep through the interleaved
+/// batch path; every ScanResult is compared field by field — match
+/// sections, raw/anchor/regex counters, bytes scanned, and the resumed
+/// FlowCursor (DFA state, flow offset, anchor bits, regex window). The
+/// per-transition layout proof above makes table divergence impossible;
+/// this check covers the walk itself (stride boundaries, interleave
+/// scheduling, cold-exit continuation, event ordering). Codes:
+/// "kernel-not-active", "kernel-scan-divergence", "kernel-batch-divergence".
+std::vector<Diagnostic> cross_check_kernel(
+    const dpi::Engine& engine, dpi::ChainId chain,
+    const std::vector<std::vector<Bytes>>& flows);
+
 // --- engine / service checks -------------------------------------------------
 // EngineTables and extract_tables live in verify/engine_tables.hpp (shared
 // with src/analysis and tools/dpisvc_lint), re-exported via the include above.

@@ -24,6 +24,7 @@
 #include "json/json.hpp"
 #include "suite_specs.hpp"
 #include "verify/verifier.hpp"
+#include "workload/adversarial_gen.hpp"
 #include "workload/trace_io.hpp"
 
 using namespace dpisvc;
@@ -36,6 +37,10 @@ struct Options {
   std::size_t max_patterns = 2000;
   bool builtin = false;
   bool json = false;  ///< machine-readable report on stdout (CI consumption)
+  /// Run the batched-kernel checks (layout proof + scalar-oracle
+  /// differential over adversarial traces) instead of the structural
+  /// invariants.
+  bool kernel_xcheck = false;
 };
 
 /// One verified suite, kept for the --json report.
@@ -109,10 +114,152 @@ SuiteResult run_suite(const std::string& name,
                      watch.elapsed_seconds(), std::move(diagnostics)};
 }
 
-void cmd_builtin(std::vector<SuiteResult>& results, bool quiet) {
+/// Splits `stream` into packets of `chunk` bytes (the last may be short).
+std::vector<Bytes> split_stream(const Bytes& stream, std::size_t chunk) {
+  std::vector<Bytes> out;
+  for (std::size_t pos = 0; pos < stream.size(); pos += chunk) {
+    const std::size_t len = std::min(chunk, stream.size() - pos);
+    out.emplace_back(stream.begin() + static_cast<std::ptrdiff_t>(pos),
+                     stream.begin() + static_cast<std::ptrdiff_t>(pos + len));
+  }
+  return out;
+}
+
+/// Adversarial packet sequences for the kernel differential: a clean stream
+/// embedding the suite's patterns is pushed through the evasion generator
+/// (tiny segments, shuffles, retransmit storms, conflicting overlaps, a
+/// 32-bit sequence wrap), normalized under both overlap policies, and split
+/// into packet sizes chosen to land pattern matches on and around the
+/// kernel's stride boundaries.
+std::vector<std::vector<Bytes>> kernel_xcheck_flows(
+    const std::vector<std::string>& patterns) {
+  Bytes clean;
+  const std::string filler = "=filler bytes=";
+  std::size_t used = 0;
+  for (const std::string& p : patterns) {
+    clean.insert(clean.end(), filler.begin(), filler.end());
+    clean.insert(clean.end(), p.begin(), p.end());
+    if (++used == 48) break;
+  }
+  const net::FiveTuple flow{net::Ipv4Addr(10, 0, 0, 1),
+                            net::Ipv4Addr(10, 0, 0, 2), 40000, 80,
+                            net::IpProto::kTcp};
+  struct Variant {
+    workload::EvasionSpec spec;
+    std::size_t packet_bytes;
+  };
+  std::vector<Variant> variants;
+  {
+    workload::EvasionSpec s;  // plain small segments
+    s.segment_bytes = 8;
+    variants.push_back({s, 7});  // 7: every stride (4) boundary drifts
+  }
+  {
+    workload::EvasionSpec s;
+    s.seed = 2;
+    s.shuffle = true;
+    s.retransmit_rate = 0.3;
+    variants.push_back({s, 3});  // resume mid-stride on every packet
+  }
+  {
+    workload::EvasionSpec s;
+    s.seed = 3;
+    s.conflict = workload::ConflictMode::kDecoyLater;
+    s.conflict_rate = 0.5;
+    variants.push_back({s, 64});
+  }
+  {
+    workload::EvasionSpec s;
+    s.seed = 4;
+    s.conflict = workload::ConflictMode::kDecoyFirst;
+    s.conflict_rate = 0.5;
+    variants.push_back({s, 5});
+  }
+  {
+    workload::EvasionSpec s;  // stream straddling the 32-bit seq wrap
+    s.seed = 5;
+    s.initial_seq = 0xFFFFFFF0u;
+    variants.push_back({s, 13});
+  }
+
+  std::vector<std::vector<Bytes>> flows;
+  for (const Variant& v : variants) {
+    const workload::AdversarialTrace trace =
+        workload::make_evasion_trace(flow, BytesView(clean), v.spec);
+    for (const net::OverlapPolicy policy :
+         {net::OverlapPolicy::kFirstWins, net::OverlapPolicy::kLastWins}) {
+      const workload::NormalizedView norm = workload::normalize_segments(
+          trace.initial_seq, trace.segments, policy);
+      if (norm.bytes.empty()) continue;
+      flows.push_back(split_stream(norm.bytes, v.packet_bytes));
+    }
+  }
+  flows.push_back({clean});              // one maximal packet
+  flows.push_back(split_stream(clean, 1));  // every byte its own packet
+  return flows;
+}
+
+/// Kernel verification of one suite: compiles the engine with the batched
+/// kernel forced on (so the check also runs under DPISVC_FORCE_SCALAR CI
+/// jobs), proves the hot-core layout against the full table, then runs the
+/// scalar-oracle differential over the adversarial flows on both builtin
+/// chains (1 = stateless+stateful mix, 2 = stateful only).
+SuiteResult run_kernel_suite(const std::string& name,
+                             const std::vector<std::string>& patterns,
+                             const std::vector<std::string>& regexes,
+                             bool quiet) {
+  Stopwatch watch;
+  const dpi::EngineSpec spec = tools::make_spec(patterns, regexes);
+  std::vector<verify::Diagnostic> diagnostics;
+  auto append = [&diagnostics](std::vector<verify::Diagnostic> more) {
+    diagnostics.insert(diagnostics.end(), more.begin(), more.end());
+  };
+  std::shared_ptr<const dpi::Engine> engine;
+  dpi::EngineConfig config;
+  config.kernel = dpi::ScanKernel::kBatched;
+  try {
+    engine = dpi::Engine::compile(spec, config);
+  } catch (const std::exception& e) {
+    diagnostics.push_back(verify::Diagnostic{"compile-error", e.what()});
+  }
+  if (engine != nullptr) {
+    const auto* full =
+        std::get_if<ac::FullAutomaton>(&engine->automaton());
+    if (full == nullptr || engine->hot_kernel() == nullptr) {
+      diagnostics.push_back(verify::Diagnostic{
+          "kernel-unavailable", "engine built no batched kernel"});
+    } else {
+      append(verify::check_hot_kernel(*full, *engine->hot_kernel()));
+      const auto flows = kernel_xcheck_flows(patterns);
+      append(verify::cross_check_kernel(*engine, 1, flows));
+      append(verify::cross_check_kernel(*engine, 2, flows));
+    }
+  }
+  const std::string suite_name = name + "/kernel";
+  if (!quiet) {
+    for (const auto& d : diagnostics) {
+      std::printf("FAIL %-28s %s: %s\n", suite_name.c_str(), d.code.c_str(),
+                  d.message.c_str());
+    }
+    std::printf("%-28s %4zu patterns, %2zu regexes: %s (%.2f s)\n",
+                suite_name.c_str(), patterns.size(), regexes.size(),
+                diagnostics.empty() ? "OK" : "FAILED",
+                watch.elapsed_seconds());
+  }
+  return SuiteResult{suite_name, patterns.size(), regexes.size(),
+                     watch.elapsed_seconds(), std::move(diagnostics)};
+}
+
+void cmd_builtin(std::vector<SuiteResult>& results, bool kernel_xcheck,
+                 bool quiet) {
   for (const tools::Suite& suite : tools::builtin_suites()) {
-    results.push_back(
-        run_suite(suite.name, suite.patterns, suite.regexes, quiet));
+    if (kernel_xcheck) {
+      results.push_back(
+          run_kernel_suite(suite.name, suite.patterns, suite.regexes, quiet));
+    } else {
+      results.push_back(
+          run_suite(suite.name, suite.patterns, suite.regexes, quiet));
+    }
   }
 }
 
@@ -124,6 +271,10 @@ void usage() {
   --max-patterns N   cap the number of patterns read from FILE (default 2000)
   --builtin          verify generated snort-like/clamav-like sets and a
                      handcrafted suffix-heavy suite
+  --kernel-xcheck    instead of the structural invariants, prove the batched
+                     scan kernel: hot-core layout vs the full table, and a
+                     scalar-oracle differential over adversarial evasion
+                     traces (match sets, counters, resumed cursors)
   --json             print one machine-readable JSON report on stdout instead
                      of per-suite lines (CI artifact; exit status unchanged)
 
@@ -139,6 +290,8 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--builtin") {
       opt.builtin = true;
+    } else if (arg == "--kernel-xcheck") {
+      opt.kernel_xcheck = true;
     } else if (arg == "--json") {
       opt.json = true;
     } else if (arg == "--patterns" && i + 1 < argc) {
@@ -159,15 +312,20 @@ int main(int argc, char** argv) {
   try {
     std::vector<SuiteResult> results;
     if (opt.builtin) {
-      cmd_builtin(results, opt.json);
+      cmd_builtin(results, opt.kernel_xcheck, opt.json);
     }
     if (!opt.patterns_file.empty()) {
       auto patterns = workload::load_patterns(opt.patterns_file);
       if (patterns.size() > opt.max_patterns) {
         patterns.resize(opt.max_patterns);
       }
-      results.push_back(
-          run_suite(opt.patterns_file, patterns, opt.regexes, opt.json));
+      if (opt.kernel_xcheck) {
+        results.push_back(run_kernel_suite(opt.patterns_file, patterns,
+                                           opt.regexes, opt.json));
+      } else {
+        results.push_back(
+            run_suite(opt.patterns_file, patterns, opt.regexes, opt.json));
+      }
     }
     std::size_t failures = 0;
     for (const SuiteResult& r : results) {
