@@ -1,0 +1,44 @@
+#include "common/arena.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace dpisvc {
+
+PacketArena::PacketArena(std::size_t chunk_bytes)
+    : chunk_bytes_(std::max<std::size_t>(chunk_bytes, 64)) {}
+
+std::uint8_t* PacketArena::alloc(std::size_t n) {
+  if (n == 0) return nullptr;
+  // Find room in the current chunk, or advance to a reusable one.
+  while (current_ < chunks_.size() &&
+         offset_ + n > chunks_[current_].size) {
+    ++current_;
+    offset_ = 0;
+  }
+  if (current_ == chunks_.size()) {
+    const std::size_t size = std::max(chunk_bytes_, n);
+    chunks_.push_back(Chunk{std::make_unique<std::uint8_t[]>(size), size});
+    bytes_reserved_ += size;
+    offset_ = 0;
+  }
+  std::uint8_t* out = chunks_[current_].data.get() + offset_;
+  offset_ += n;
+  bytes_used_ += n;
+  return out;
+}
+
+BytesView PacketArena::append(BytesView payload) {
+  if (payload.empty()) return {};
+  std::uint8_t* dst = alloc(payload.size());
+  std::memcpy(dst, payload.data(), payload.size());
+  return BytesView(dst, payload.size());
+}
+
+void PacketArena::reset() noexcept {
+  current_ = 0;
+  offset_ = 0;
+  bytes_used_ = 0;
+}
+
+}  // namespace dpisvc

@@ -1,0 +1,68 @@
+// Chunked bump-allocator arena for packet payload bytes.
+//
+// The zero-copy ingest pipeline (DESIGN.md §4h) writes each payload exactly
+// once — at fabric ingress, into one of these arenas — and every later
+// stage (shard scan, middlebox verdict) works on BytesView references into
+// it. Chunks are never reallocated, so a view handed out by append() stays
+// valid until reset(); growth allocates a new chunk and leaves the old ones
+// (and all views into them) untouched.
+//
+// reset() rewinds the arena for reuse without returning chunks to the heap:
+// a recycled ingest batch reaches steady state with zero allocations per
+// batch. Not thread-safe — each arena is owned by exactly one batch, which
+// is written by one producer and read (immutably) by the shard workers;
+// the batch's pending/lease protocol orders the writes before the reads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace dpisvc {
+
+class PacketArena {
+ public:
+  /// `chunk_bytes` is the granularity of growth; an oversized payload gets
+  /// a dedicated chunk of its exact size.
+  explicit PacketArena(std::size_t chunk_bytes = 128 * 1024);
+
+  PacketArena(const PacketArena&) = delete;
+  PacketArena& operator=(const PacketArena&) = delete;
+
+  /// Copies `payload` into the arena (the pipeline's single copy) and
+  /// returns a stable view of the arena-resident bytes.
+  BytesView append(BytesView payload);
+
+  /// Uninitialized allocation for callers that produce bytes in place
+  /// (e.g. reassembled chunks). Returns nullptr only for n == 0.
+  std::uint8_t* alloc(std::size_t n);
+
+  /// Payload bytes currently allocated (not capacity).
+  std::size_t bytes_used() const noexcept { return bytes_used_; }
+
+  /// Heap footprint of all chunks, used or not — what a bounded batch pool
+  /// multiplies by to bound ingest memory.
+  std::size_t bytes_reserved() const noexcept { return bytes_reserved_; }
+
+  /// Rewinds to empty, keeping every chunk for reuse. All previously
+  /// returned views become invalid.
+  void reset() noexcept;
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::uint8_t[]> data;
+    std::size_t size = 0;
+  };
+
+  std::size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t current_ = 0;   ///< chunk being filled (chunks_ index)
+  std::size_t offset_ = 0;    ///< fill position within the current chunk
+  std::size_t bytes_used_ = 0;
+  std::size_t bytes_reserved_ = 0;
+};
+
+}  // namespace dpisvc

@@ -1,0 +1,92 @@
+// Fixed-capacity single-producer / single-consumer ring buffer.
+//
+// The fabric→shard handoff of the batched ingest pipeline (DESIGN.md §4h)
+// replaces the old mutex+deque job queues with one of these per shard: the
+// producer (ingest thread) pushes job descriptors, the shard worker pops
+// them, and neither side ever takes a lock on the data path. Capacity is
+// fixed at construction — a full ring is the backpressure signal, not a
+// reason to allocate — which is what turns a slow consumer from an OOM
+// (unbounded std::deque growth) into an observable overload.
+//
+// Memory ordering: the producer publishes a slot with a release store of
+// `tail_`; the consumer acquires `tail_` before reading the slot, and
+// releases `head_` after consuming it so the producer's acquire of `head_`
+// may safely reuse the slot. Indices increase monotonically (64-bit, never
+// wrap in practice); the slot index is `pos % capacity`, so the configured
+// capacity is exact — no power-of-two rounding that would loosen a
+// queue-depth bound the operator asked for. The modulo runs once per job
+// descriptor (a batch of packets), not per packet, so its cost is noise.
+//
+// Contract: exactly one producer thread and one concurrent consumer thread.
+// Multiple producers must serialize externally (ScanPool uses a per-worker
+// submit mutex, taken once per job, to collapse N producers into one).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace dpisvc {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Throws std::invalid_argument when capacity is zero. T must be
+  /// default-constructible (slots are pre-built) and movable.
+  explicit SpscRing(std::size_t capacity) : slots_(capacity) {
+    if (capacity == 0) {
+      throw std::invalid_argument("SpscRing: capacity must be positive");
+    }
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const noexcept { return slots_.size(); }
+
+  /// Producer side. Returns false when the ring is full (the caller decides
+  /// whether that means block, retry, or shed).
+  bool try_push(T&& value) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) >= slots_.size()) {
+      return false;  // full
+    }
+    slots_[tail % slots_.size()] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool try_pop(T& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) {
+      return false;  // empty
+    }
+    out = std::move(slots_[head % slots_.size()]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Instantaneous occupancy. Exact from either endpoint's own thread;
+  /// a racing observer sees a value that was true at some recent instant
+  /// (good enough for the fill-level gauge it feeds).
+  std::size_t size() const noexcept {
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(tail - head);
+  }
+
+  bool empty() const noexcept { return size() == 0; }
+
+ private:
+  std::vector<T> slots_;
+  /// Producer and consumer cursors on separate cache lines so the two
+  /// threads' writes never false-share.
+  alignas(64) std::atomic<std::uint64_t> head_{0};  // next slot to pop
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  // next slot to push
+};
+
+}  // namespace dpisvc

@@ -24,13 +24,14 @@
 // and a shard lock while holding the instance control lock, never the other
 // way round; two shard mutexes are never held at once.
 //
-// The single sanctioned escape hatch is CondVar::wait below: a condition
-// variable releases and re-acquires the mutex inside the wait, which the
-// static analysis cannot model, so that one function body is excluded from
-// analysis (see DESIGN.md §7). No other code may use
+// The single sanctioned escape hatch is CondVar::wait / wait_for below: a
+// condition variable releases and re-acquires the mutex inside the wait,
+// which the static analysis cannot model, so those two function bodies are
+// excluded from analysis (see DESIGN.md §7). No other code may use
 // DPISVC_NO_THREAD_SAFETY_ANALYSIS.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
@@ -179,6 +180,19 @@ class CondVar {
   /// caller's perspective the capability is continuously held.
   void wait(MutexLock& lock) DPISVC_NO_THREAD_SAFETY_ANALYSIS {
     cv_.wait(lock.mu_);  // Mutex is BasicLockable: unlock, block, re-lock
+  }
+
+  /// Timed variant of wait(); returns after `timeout` even without a
+  /// notification (callers always re-check their predicate in a loop, so a
+  /// timeout is indistinguishable from a spurious wakeup). The scan pool's
+  /// worker parking uses this as a liveness backstop on top of its
+  /// fence-ordered wakeup protocol. Shares wait()'s sanctioned
+  /// condition-variable escape from the static analysis.
+  template <typename Rep, typename Period>
+  void wait_for(MutexLock& lock,
+                const std::chrono::duration<Rep, Period>& timeout)
+      DPISVC_NO_THREAD_SAFETY_ANALYSIS {
+    cv_.wait_for(lock.mu_, timeout);
   }
 
  private:

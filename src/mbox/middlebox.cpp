@@ -110,6 +110,33 @@ Verdict Middlebox::apply_report_entries(
   return verdict;
 }
 
+std::vector<Verdict> Middlebox::apply_report_batch(
+    const std::vector<net::FiveTuple>& flows,
+    const std::vector<dpi::ScanResult>& results) {
+  if (flows.size() != results.size()) {
+    throw std::invalid_argument(
+        "Middlebox::apply_report_batch: flows/results size mismatch");
+  }
+  std::vector<Verdict> verdicts;
+  verdicts.reserve(flows.size());
+  static const std::vector<net::MatchEntry> kNoEntries;
+  // One reused header-only context: the hooks only consume header fields in
+  // service mode, so the batch's payload bytes stay in the ingest arena.
+  net::Packet context;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    context.tuple = flows[i];
+    const std::vector<net::MatchEntry>* entries = &kNoEntries;
+    for (const dpi::MiddleboxMatches& m : results[i].matches) {
+      if (m.middlebox == profile_.id) {
+        entries = &m.entries;
+        break;
+      }
+    }
+    verdicts.push_back(apply_report_entries(context, *entries));
+  }
+  return verdicts;
+}
+
 const dpi::Engine& Middlebox::standalone_engine() {
   if (standalone_engine_ == nullptr) {
     dpi::EngineSpec spec;

@@ -96,6 +96,17 @@ class Middlebox {
   Verdict apply_report_entries(const net::Packet& data,
                                const std::vector<net::MatchEntry>& entries);
 
+  /// Zero-copy service-mode batch verdicts for the ingest pipeline: applies
+  /// this middlebox's section of each scan result, with flows[i] naming
+  /// packet i's five-tuple. The rule hooks receive a header-only packet
+  /// context — in service mode the DPI service already scanned the payload,
+  /// so no hook reads payload bytes and the batch's arena bytes are never
+  /// copied here. Verdicts are returned in batch order. Throws
+  /// std::invalid_argument when the vectors' sizes differ.
+  std::vector<Verdict> apply_report_batch(
+      const std::vector<net::FiveTuple>& flows,
+      const std::vector<dpi::ScanResult>& results);
+
   /// Standalone mode: scans the payload with this middlebox's private
   /// engine (compiled lazily from its own rules) and applies the matches.
   Verdict process_standalone(const net::Packet& data);

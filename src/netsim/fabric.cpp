@@ -169,38 +169,47 @@ void Fabric::age_delayed() {
 
 std::size_t Fabric::run(std::size_t max_events) {
   std::size_t processed = 0;
-  while (!queue_.empty() || !delayed_.empty()) {
-    if (queue_.empty()) {
-      // Quiescent except for held packets: release the soonest one so the
-      // drain always terminates.
-      auto soonest = std::min_element(
-          delayed_.begin(), delayed_.end(),
-          [](const DelayedEvent& a, const DelayedEvent& b) {
-            return a.remaining < b.remaining;
-          });
-      queue_.push_back(std::move(soonest->event));
-      delayed_.erase(soonest);
+  for (;;) {
+    while (!queue_.empty() || !delayed_.empty()) {
+      if (queue_.empty()) {
+        // Quiescent except for held packets: release the soonest one so the
+        // drain always terminates.
+        auto soonest = std::min_element(
+            delayed_.begin(), delayed_.end(),
+            [](const DelayedEvent& a, const DelayedEvent& b) {
+              return a.remaining < b.remaining;
+            });
+        queue_.push_back(std::move(soonest->event));
+        delayed_.erase(soonest);
+      }
+      if (processed >= max_events) {
+        throw std::runtime_error("Fabric::run: event budget exceeded "
+                                 "(forwarding loop?)");
+      }
+      Event event = std::move(queue_.front());
+      queue_.pop_front();
+      ++processed;
+      ++deliveries_;
+      if (!delayed_.empty()) age_delayed();
+      if (crashed_nodes_.count(event.to)) {
+        ++fault_stats_.crash_discards;
+        continue;
+      }
+      Node* node = find(event.to);
+      if (node == nullptr) {
+        throw std::logic_error("Fabric::run: destination vanished");
+      }
+      node->receive(std::move(event.packet), event.from);
     }
-    if (processed >= max_events) {
-      throw std::runtime_error("Fabric::run: event budget exceeded "
-                               "(forwarding loop?)");
+    // Fully quiescent: give every live node its flush point. Batched-ingest
+    // nodes submit partial batches and emit their outputs here; if any node
+    // enqueued new packets, keep draining.
+    for (const auto& node : nodes_) {
+      if (crashed_nodes_.count(node->name())) continue;
+      node->on_idle();
     }
-    Event event = std::move(queue_.front());
-    queue_.pop_front();
-    ++processed;
-    ++deliveries_;
-    if (!delayed_.empty()) age_delayed();
-    if (crashed_nodes_.count(event.to)) {
-      ++fault_stats_.crash_discards;
-      continue;
-    }
-    Node* node = find(event.to);
-    if (node == nullptr) {
-      throw std::logic_error("Fabric::run: destination vanished");
-    }
-    node->receive(std::move(event.packet), event.from);
+    if (queue_.empty() && delayed_.empty()) return processed;
   }
-  return processed;
 }
 
 }  // namespace dpisvc::netsim

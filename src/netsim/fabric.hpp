@@ -48,6 +48,13 @@ class Node {
   /// Called by the fabric when a packet arrives over the link from `from`.
   virtual void receive(net::Packet packet, const NodeId& from) = 0;
 
+  /// Called by Fabric::run() whenever the event queue drains to empty —
+  /// the run-to-completion flush point. Nodes that accumulate work across
+  /// receive() calls (batched-ingest DPI instances) submit and emit their
+  /// partial batches here; anything emitted re-enters the drain loop. The
+  /// default does nothing.
+  virtual void on_idle() {}
+
   const NodeId& name() const noexcept { return name_; }
 
  protected:

@@ -41,6 +41,19 @@ std::vector<std::uint64_t> Histogram::exponential_bounds(std::uint64_t first,
   return bounds;
 }
 
+std::vector<std::uint64_t> Histogram::linear_bounds(std::uint64_t step,
+                                                    std::size_t count) {
+  if (step == 0 || count == 0) {
+    throw std::invalid_argument("linear_bounds: need step>0, count>0");
+  }
+  std::vector<std::uint64_t> bounds;
+  bounds.reserve(count);
+  for (std::size_t i = 1; i <= count; ++i) {
+    bounds.push_back(step * i);
+  }
+  return bounds;
+}
+
 std::vector<std::uint64_t> Histogram::latency_bounds_ns() {
   // 1us, 2us, 4us ... 2^26 us (~67s): 27 finite buckets + overflow.
   return exponential_bounds(1000, 2.0, 27);

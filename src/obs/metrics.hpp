@@ -102,6 +102,12 @@ class Histogram {
   static std::vector<std::uint64_t> exponential_bounds(std::uint64_t first,
                                                        double factor,
                                                        std::size_t count);
+  /// Evenly spaced ladder: step, 2*step, ... (`count` bounds) — full
+  /// resolution for small bounded quantities like ring fill levels and
+  /// ingest batch sizes, where a geometric ladder would merge most of the
+  /// interesting range into one bucket.
+  static std::vector<std::uint64_t> linear_bounds(std::uint64_t step,
+                                                  std::size_t count);
   /// The default ladder for nanosecond latencies: 1us .. ~67s, x2 steps.
   static std::vector<std::uint64_t> latency_bounds_ns();
 

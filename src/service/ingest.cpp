@@ -1,0 +1,248 @@
+#include "service/ingest.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "common/arena.hpp"
+
+namespace dpisvc::service {
+
+/// One batch: the arena holding every payload, the staged items, and the
+/// partition/result buffers. All vectors keep their capacity across
+/// recycles, so a steady-state batch performs no allocation at all — the
+/// arena reuses its chunks and the vectors their storage.
+struct IngestBatch {
+  explicit IngestBatch(std::size_t arena_chunk_bytes)
+      : arena(arena_chunk_bytes) {}
+
+  PacketArena arena;
+  std::vector<ScanItem> items;
+  std::vector<std::uint64_t> refs;
+  std::vector<dpi::ScanResult> results;
+  // Counting-sort partition: order[offsets[s] .. offsets[s+1]) lists shard
+  // s's item indices in submission order.
+  std::vector<std::uint32_t> shard_of;
+  std::vector<std::uint32_t> order;
+  std::vector<std::uint32_t> offsets;
+  std::vector<std::uint32_t> cursor;
+  /// Outstanding shard jobs; the producer observes completion via an
+  /// acquire load of 0, pairing with each job's release decrement, which
+  /// makes every result write visible before delivery.
+  std::atomic<std::uint32_t> pending{0};
+  DpiInstance* instance = nullptr;
+
+  void reset_for_fill() {
+    arena.reset();
+    items.clear();
+    refs.clear();
+  }
+};
+
+namespace {
+
+/// ScanPool::JobFn for one (batch, shard) pair: scan the shard's bucket,
+/// then publish completion.
+void batch_scan_job(void* ctx, std::size_t shard) {
+  auto* batch = static_cast<IngestBatch*>(ctx);
+  const std::uint32_t begin = batch->offsets[shard];
+  const std::uint32_t end = batch->offsets[shard + 1];
+  batch->instance->scan_bucket(shard, batch->items,
+                               batch->order.data() + begin, end - begin,
+                               batch->results);
+  batch->pending.fetch_sub(1, std::memory_order_release);
+}
+
+}  // namespace
+
+std::size_t BatchHandle::size() const noexcept { return batch_->items.size(); }
+
+const std::vector<ScanItem>& BatchHandle::items() const noexcept {
+  return batch_->items;
+}
+
+const std::vector<std::uint64_t>& BatchHandle::packet_refs() const noexcept {
+  return batch_->refs;
+}
+
+const std::vector<dpi::ScanResult>& BatchHandle::results() const noexcept {
+  return batch_->results;
+}
+
+IngestPipeline::IngestPipeline(DpiInstance& instance, Sink sink,
+                               IngestConfig config)
+    : instance_(instance), sink_(std::move(sink)), config_(config) {
+  if (config_.batch_packets == 0) config_.batch_packets = 1;
+  if (config_.max_batches == 0) config_.max_batches = 1;
+}
+
+IngestPipeline::~IngestPipeline() {
+  try {
+    drain();
+  } catch (...) {
+    // A throwing sink during teardown: results are lost, but the shard
+    // workers have finished with every batch, so destruction stays safe.
+  }
+}
+
+std::shared_ptr<IngestBatch> IngestPipeline::make_batch() {
+  auto batch = std::make_shared<IngestBatch>(config_.arena_chunk_bytes);
+  batch->instance = &instance_;
+  ++total_batches_;
+  return batch;
+}
+
+bool IngestPipeline::acquire_batch() {
+  for (;;) {
+    deliver_ready();
+    // Reuse an idle batch nobody holds a lease on (use_count 1 = only the
+    // free list's own reference).
+    for (auto it = free_.begin(); it != free_.end(); ++it) {
+      if (it->use_count() == 1) {
+        current_ = *it;
+        free_.erase(it);
+        current_->reset_for_fill();
+        return true;
+      }
+    }
+    if (total_batches_ < config_.max_batches) {
+      current_ = make_batch();
+      return true;
+    }
+    if (inflight_.empty()) {
+      // Every slot is leased out by the consumer; the in-flight bound
+      // applies to pipeline-owned batches, so grow rather than deadlock.
+      // recycle() trims back below the cap once leases are released.
+      current_ = make_batch();
+      return true;
+    }
+    if (instance_.config().overload == OverloadPolicy::kShed) return false;
+    // kBlock: backpressure. Wait for the oldest batch's shard workers; its
+    // delivery at the top of the loop frees a slot. Counted once per stall
+    // episode through the same counter the pool's ring-full waits use.
+    const IngestInstruments& obs = instance_.ingest_instruments();
+    if (obs.blocked != nullptr) obs.blocked->add(1);
+    while (inflight_.front()->pending.load(std::memory_order_acquire) != 0) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+bool IngestPipeline::push(dpi::ChainId chain, const net::FiveTuple& flow,
+                          BytesView payload, std::uint64_t packet_ref) {
+  deliver_ready();  // opportunistic: keep sink latency low, slots free
+  if (current_ == nullptr && !acquire_batch()) {
+    ++shed_;
+    const IngestInstruments& obs = instance_.ingest_instruments();
+    if (obs.shed != nullptr) obs.shed->add(1);
+    return false;
+  }
+  ScanItem item;
+  item.chain = chain;
+  item.flow = flow;
+  item.payload = current_->arena.append(payload);  // the ingest path's copy
+  current_->items.push_back(item);
+  current_->refs.push_back(packet_ref);
+  ++pushed_;
+  if (current_->items.size() >= config_.batch_packets) flush();
+  return true;
+}
+
+void IngestPipeline::flush() {
+  if (current_ == nullptr || current_->items.empty()) return;
+  std::shared_ptr<IngestBatch> batch = std::move(current_);
+
+  // Stable counting sort by shard — identical to the synchronous
+  // scan_batch() partition, so per-flow submission order survives.
+  const std::size_t n = batch->items.size();
+  const std::size_t num_shards = instance_.num_shards();
+  batch->shard_of.resize(n);
+  batch->offsets.assign(num_shards + 1, 0);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto s =
+        static_cast<std::uint32_t>(instance_.shard_of_flow(batch->items[i].flow));
+    batch->shard_of[i] = s;
+    ++batch->offsets[s + 1];
+  }
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    batch->offsets[s + 1] += batch->offsets[s];
+  }
+  batch->cursor.assign(batch->offsets.begin(), batch->offsets.end() - 1);
+  batch->order.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    batch->order[batch->cursor[batch->shard_of[i]]++] = i;
+  }
+
+  batch->results.clear();
+  batch->results.resize(n);
+  std::uint32_t jobs = 0;
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    if (batch->offsets[s + 1] > batch->offsets[s]) ++jobs;
+  }
+  batch->pending.store(jobs, std::memory_order_relaxed);
+
+  const IngestInstruments& obs = instance_.ingest_instruments();
+  if (obs.batch_packets != nullptr) {
+    obs.batch_packets->record(n);
+    obs.batch_bytes->record(batch->arena.bytes_used());
+  }
+
+  inflight_.push_back(batch);
+  ++flushed_;
+  if (obs.batches_in_flight != nullptr) {
+    obs.batches_in_flight->set(static_cast<std::int64_t>(inflight_.size()));
+  }
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    if (batch->offsets[s + 1] == batch->offsets[s]) continue;
+    // Blocking on a full ring here is deliberate: shedding happens at batch
+    // admission only, so every submitted batch runs to completion.
+    instance_.scan_pool().submit_blocking(s, &batch_scan_job, batch.get(), s);
+  }
+}
+
+std::size_t IngestPipeline::deliver_ready() {
+  std::size_t delivered = 0;
+  while (!inflight_.empty() &&
+         inflight_.front()->pending.load(std::memory_order_acquire) == 0) {
+    std::shared_ptr<IngestBatch> batch = std::move(inflight_.front());
+    inflight_.pop_front();
+    delivered += batch->items.size();
+    if (sink_) sink_(BatchHandle(batch));
+    recycle(std::move(batch));
+  }
+  if (delivered != 0) {
+    const IngestInstruments& obs = instance_.ingest_instruments();
+    if (obs.batches_in_flight != nullptr) {
+      obs.batches_in_flight->set(static_cast<std::int64_t>(inflight_.size()));
+    }
+  }
+  return delivered;
+}
+
+void IngestPipeline::recycle(std::shared_ptr<IngestBatch> batch) {
+  free_.push_back(std::move(batch));
+  // Trim surplus batches allocated while consumer leases held the cap.
+  while (total_batches_ > config_.max_batches) {
+    auto it = std::find_if(free_.begin(), free_.end(),
+                           [](const auto& b) { return b.use_count() == 1; });
+    if (it == free_.end()) break;
+    free_.erase(it);
+    --total_batches_;
+  }
+}
+
+std::size_t IngestPipeline::poll() { return deliver_ready(); }
+
+std::size_t IngestPipeline::drain() {
+  flush();
+  std::size_t delivered = 0;
+  while (!inflight_.empty()) {
+    while (inflight_.front()->pending.load(std::memory_order_acquire) != 0) {
+      std::this_thread::yield();
+    }
+    delivered += deliver_ready();
+  }
+  return delivered;
+}
+
+}  // namespace dpisvc::service

@@ -1,0 +1,157 @@
+// Zero-copy batched ingest pipeline: the fabric→shard handoff (§6).
+//
+// The per-packet path costs one shard-lock round trip and one pool job per
+// packet, and — worse — every hop through the old handoff copied the
+// payload. This pipeline is the run-to-completion alternative: payload
+// bytes are written exactly once, into the current batch's arena, at
+// push(); everything downstream — the per-shard scan jobs and the
+// middlebox verdict delivered through the sink — works on BytesViews into
+// that arena. No payload byte is copied again after ingress.
+//
+// Flow of a packet:
+//
+//   push(chain, flow, payload)           one arena append (the only copy)
+//     └─ batch fills to batch_packets → flush()
+//          └─ stable partition by shard, one ScanPool job per non-empty
+//             shard bucket (FIFO per worker ⇒ per-flow order holds across
+//             batches), pending = #jobs
+//   push()/flush()/drain() deliver completed batches to the sink strictly
+//   in submission order; the arena is recycled once the sink returns and
+//   every BatchHandle copy is gone.
+//
+// Backpressure (the bounded-queue fix): at most max_batches batches exist
+// at once — in-flight, free, or being filled — so ingest memory is bounded
+// by max_batches × (arena + item vectors) regardless of how far a stalled
+// shard falls behind. When no batch slot is free, the instance's
+// OverloadPolicy decides: kBlock waits for the oldest in-flight batch
+// (backpressure propagates to the fabric; the pool's
+// ingest.backpressure.blocked counter fires), kShed drops the pushed packet
+// and counts it in ingest.backpressure.shed. Shedding happens only at
+// batch admission — whole packets, never per-shard jobs — so every
+// accepted packet's result is delivered and, for the accepted subset,
+// results are byte-identical to the sequential scan path.
+//
+// Threading contract: push()/flush()/drain() must be called from one
+// thread (the fabric event loop). The per-shard scans run on the
+// instance's pool workers; the sink runs on the calling thread.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "service/instance.hpp"
+
+namespace dpisvc::service {
+
+struct IngestBatch;  // defined in ingest.cpp
+
+struct IngestConfig {
+  /// Packets per batch: push() flushes automatically at this size.
+  std::size_t batch_packets = 64;
+  /// Bound on simultaneously existing batches (in flight + free + the one
+  /// being filled). This is the ingest memory bound; 0 is clamped to 1.
+  std::size_t max_batches = 8;
+  /// Arena chunk size; batches whose payload exceeds it chain more chunks.
+  std::size_t arena_chunk_bytes = 128 * 1024;
+};
+
+/// Refcounted view of a completed batch: the items, their packet refs, the
+/// scan results, and (transitively) the arena every payload view points
+/// into. Copying a handle takes a lease — the pipeline recycles a batch's
+/// arena only after the sink returned AND every handle copy is gone, so a
+/// consumer may keep one past the sink call and the payload bytes stay
+/// valid until it drops the handle.
+class BatchHandle {
+ public:
+  BatchHandle() = default;
+
+  bool valid() const noexcept { return batch_ != nullptr; }
+  std::size_t size() const noexcept;
+  /// Items in submission order; payload views point into the batch arena.
+  const std::vector<ScanItem>& items() const noexcept;
+  /// Caller-supplied packet refs, parallel to items().
+  const std::vector<std::uint64_t>& packet_refs() const noexcept;
+  /// Scan results, parallel to items().
+  const std::vector<dpi::ScanResult>& results() const noexcept;
+
+ private:
+  friend class IngestPipeline;
+  explicit BatchHandle(std::shared_ptr<IngestBatch> batch)
+      : batch_(std::move(batch)) {}
+
+  std::shared_ptr<IngestBatch> batch_;
+};
+
+class IngestPipeline {
+ public:
+  /// Invoked once per completed batch, in submission order, on the
+  /// producer thread (from push/flush/drain).
+  using Sink = std::function<void(const BatchHandle&)>;
+
+  IngestPipeline(DpiInstance& instance, Sink sink, IngestConfig config = {});
+
+  IngestPipeline(const IngestPipeline&) = delete;
+  IngestPipeline& operator=(const IngestPipeline&) = delete;
+
+  /// Drains: every accepted packet is scanned and delivered before
+  /// destruction completes.
+  ~IngestPipeline();
+
+  /// Stages one packet: copies `payload` into the batch arena (the ingest
+  /// path's single copy) and records (chain, flow, packet_ref). Returns
+  /// false iff the packet was shed (kShed policy with every batch slot
+  /// busy); a false return means this packet will never produce a result.
+  /// May deliver earlier completed batches to the sink before returning.
+  bool push(dpi::ChainId chain, const net::FiveTuple& flow, BytesView payload,
+            std::uint64_t packet_ref = 0);
+
+  /// Submits the partially filled current batch to the shard workers (no-op
+  /// when empty). Call at end-of-burst so stragglers don't wait for the
+  /// batch to fill.
+  void flush();
+
+  /// Delivers every batch whose workers already finished (in order, up to
+  /// the first still-running batch). Returns packets delivered.
+  std::size_t poll();
+
+  /// flush() + wait for all in-flight batches + deliver everything.
+  /// Returns packets delivered during the drain.
+  std::size_t drain();
+
+  const IngestConfig& config() const noexcept { return config_; }
+  std::uint64_t packets_pushed() const noexcept { return pushed_; }
+  std::uint64_t packets_shed() const noexcept { return shed_; }
+  std::uint64_t batches_flushed() const noexcept { return flushed_; }
+  /// Batches currently owned by the pipeline (the memory-bound witness:
+  /// never exceeds max_batches unless the consumer holds leases).
+  std::size_t batches_allocated() const noexcept { return total_batches_; }
+
+ private:
+  std::shared_ptr<IngestBatch> make_batch();
+  /// Hands `current_` a batch to fill; false = shed (kShed, all busy).
+  bool acquire_batch();
+  std::size_t deliver_ready();
+  void recycle(std::shared_ptr<IngestBatch> batch);
+
+  DpiInstance& instance_;
+  Sink sink_;
+  IngestConfig config_;
+  std::shared_ptr<IngestBatch> current_;
+  /// Submission-order FIFO of batches whose shard jobs are outstanding (or
+  /// done but undelivered). Delivery always pops from the front, which is
+  /// what makes batch delivery — and thus per-flow result order — match
+  /// submission order.
+  std::deque<std::shared_ptr<IngestBatch>> inflight_;
+  std::vector<std::shared_ptr<IngestBatch>> free_;
+  std::size_t total_batches_ = 0;
+  std::uint64_t pushed_ = 0;
+  std::uint64_t shed_ = 0;
+  std::uint64_t flushed_ = 0;
+};
+
+}  // namespace dpisvc::service

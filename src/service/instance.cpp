@@ -10,15 +10,52 @@
 
 namespace dpisvc::service {
 
+ScanPool::Instruments DpiInstance::make_pool_instruments(
+    obs::MetricsRegistry& metrics, const InstanceConfig& config) {
+  if (!config.metrics) return ScanPool::Instruments();
+  ScanPool::Instruments ins;
+  ins.queue_wait_ns = &metrics.histogram("pool.queue_wait_ns",
+                                         obs::Histogram::latency_bounds_ns());
+  ins.blocked = &metrics.counter("ingest.backpressure.blocked");
+  ins.blocked_ns = &metrics.histogram("ingest.backpressure.blocked_ns",
+                                      obs::Histogram::latency_bounds_ns());
+  // 16 evenly spaced fill buckets spanning the configured ring capacity.
+  const std::size_t cap = std::max<std::size_t>(config.queue_capacity, 1);
+  ins.fill = &metrics.histogram(
+      "ingest.queue_fill",
+      obs::Histogram::linear_bounds(
+          std::max<std::uint64_t>(1, static_cast<std::uint64_t>(cap) / 16),
+          16));
+  const std::size_t workers = std::max<std::size_t>(config.num_workers, 1);
+  if (workers > 1) {
+    ins.depth.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+      ins.depth.push_back(
+          &metrics.gauge("shard" + std::to_string(i) + ".queue_depth"));
+    }
+  }
+  return ins;
+}
+
 DpiInstance::DpiInstance(std::string name, InstanceConfig config)
     : name_(std::move(name)),
       config_(config),
       trace_(config.trace_capacity),
       pool_(std::max<std::size_t>(config.num_workers, 1),
-            config.metrics
-                ? &metrics_.histogram("pool.queue_wait_ns",
-                                      obs::Histogram::latency_bounds_ns())
-                : nullptr) {
+            config.queue_capacity, config.overload,
+            make_pool_instruments(metrics_, config)) {
+  if (config.metrics) {
+    ingest_obs_.shed = &metrics_.counter("ingest.backpressure.shed");
+    // Same counter the pool's blocked instrument points at (the registry
+    // returns the existing entry): kept here so stats_json can read it.
+    ingest_obs_.blocked = &metrics_.counter("ingest.backpressure.blocked");
+    ingest_obs_.batch_packets = &metrics_.histogram(
+        "ingest.batch_packets", obs::Histogram::linear_bounds(8, 32));
+    ingest_obs_.batch_bytes = &metrics_.histogram(
+        "ingest.batch_bytes",
+        obs::Histogram::exponential_bounds(1024, 2.0, 16));
+    ingest_obs_.batches_in_flight = &metrics_.gauge("ingest.batches_in_flight");
+  }
   const std::size_t num_shards = std::max<std::size_t>(config.num_workers, 1);
   const std::size_t per_shard =
       std::max<std::size_t>(config.max_flows / num_shards, 1);
@@ -248,6 +285,19 @@ json::Value DpiInstance::stats_json() const {
   defrag["evicted_incomplete"] = json::Value(ds.evicted_incomplete);
   root["defrag"] = json::Value(std::move(defrag));
 
+  json::Object ingest;
+  ingest["overload_policy"] =
+      json::Value(std::string(overload_policy_name(config_.overload)));
+  ingest["queue_capacity"] =
+      json::Value(static_cast<std::uint64_t>(config_.queue_capacity));
+  if (ingest_obs_.shed != nullptr) {
+    ingest["backpressure_blocked"] = json::Value(ingest_obs_.blocked->value());
+    ingest["backpressure_shed"] = json::Value(ingest_obs_.shed->value());
+    ingest["batches_in_flight"] =
+        json::Value(ingest_obs_.batches_in_flight->value());
+  }
+  root["ingest"] = json::Value(std::move(ingest));
+
   json::Object chains;
   for (const auto& [chain, ct] : chain_telemetry()) {
     json::Object c;
@@ -296,88 +346,191 @@ dpi::ScanResult DpiInstance::scan(dpi::ChainId chain,
   return scan_on_shard(shard, chain, flow, payload);
 }
 
+namespace {
+
+/// Context threaded through ScanPool::JobFn for one batched dispatch: the
+/// job for shard s covers index range order[offsets[s] .. offsets[s+1]).
+/// A plain struct on the dispatcher's stack — the old path heap-allocated a
+/// std::function closure per shard per batch.
+struct BatchScanCtx {
+  DpiInstance* self;
+  const std::vector<ScanItem>* items;
+  std::vector<dpi::ScanResult>* out;
+  const std::uint32_t* order;
+  const std::uint32_t* offsets;
+};
+
+struct BatchProcessCtx {
+  DpiInstance* self;
+  std::vector<net::Packet>* packets;
+  std::vector<ProcessOutput>* out;
+  const std::uint32_t* order;
+  const std::uint32_t* offsets;
+};
+
+/// Reusable counting-sort scratch. thread_local so concurrent batch callers
+/// never share buffers; the vectors keep their capacity across batches, so
+/// steady-state partitioning allocates nothing.
+struct PartitionScratch {
+  std::vector<std::uint32_t> shard_of;
+  std::vector<std::uint32_t> order;
+  std::vector<std::uint32_t> offsets;
+  std::vector<std::uint32_t> cursor;
+};
+
+PartitionScratch& partition_scratch() {
+  thread_local PartitionScratch scratch;
+  return scratch;
+}
+
+/// Stable counting sort of [0, n) by shard: after the call,
+/// scratch.order[scratch.offsets[s] .. scratch.offsets[s+1]) lists shard
+/// s's item indices in submission order. Stability is what preserves
+/// per-flow packet order through the partition.
+template <typename ShardOf>
+void partition_by_shard(std::size_t n, std::size_t num_shards,
+                        ShardOf&& shard_of_fn, PartitionScratch& scratch) {
+  scratch.shard_of.resize(n);
+  scratch.offsets.assign(num_shards + 1, 0);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto s = static_cast<std::uint32_t>(shard_of_fn(i));
+    scratch.shard_of[i] = s;
+    ++scratch.offsets[s + 1];
+  }
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    scratch.offsets[s + 1] += scratch.offsets[s];
+  }
+  scratch.cursor.assign(scratch.offsets.begin(), scratch.offsets.end() - 1);
+  scratch.order.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    scratch.order[scratch.cursor[scratch.shard_of[i]]++] = i;
+  }
+}
+
+}  // namespace
+
 std::vector<dpi::ScanResult> DpiInstance::scan_batch(
     const std::vector<ScanItem>& items) {
-  std::vector<dpi::ScanResult> out(items.size());
-  // Partition by shard; a flow's packets all land in one bucket and keep
-  // their submission order, which is what makes the result deterministic
-  // across worker counts.
-  std::vector<std::vector<std::size_t>> buckets(shards_.size());
-  for (std::size_t i = 0; i < items.size(); ++i) {
-    buckets[shard_index(items[i].flow)].push_back(i);
-  }
-  std::vector<std::function<void()>> jobs(shards_.size());
-  for (std::size_t s = 0; s < shards_.size(); ++s) {
-    if (buckets[s].empty()) continue;
-    jobs[s] = [this, s, &buckets, &items, &out] {
-      Shard& shard = *shards_[s];
-      const MutexLock lock(shard.mu);
-      const std::vector<std::size_t>& bucket = buckets[s];
-      const bool batched =
-          shard.engine != nullptr && shard.engine->kernel_active();
-      std::size_t pos = 0;
-      while (pos < bucket.size()) {
+  std::vector<dpi::ScanResult> out;
+  scan_batch_into(items, out);
+  return out;
+}
+
+void DpiInstance::scan_batch_into(const std::vector<ScanItem>& items,
+                                  std::vector<dpi::ScanResult>& out) {
+  out.clear();
+  out.resize(items.size());
+  if (items.empty()) return;
+  PartitionScratch& scratch = partition_scratch();
+  partition_by_shard(
+      items.size(), shards_.size(),
+      [&](std::size_t i) { return shard_index(items[i].flow); }, scratch);
+  BatchScanCtx ctx{this, &items, &out, scratch.order.data(),
+                   scratch.offsets.data()};
+  pool_.dispatch(&DpiInstance::scan_batch_job, &ctx, shards_.size());
+}
+
+void DpiInstance::scan_batch_job(void* ctx, std::size_t shard) {
+  auto* c = static_cast<BatchScanCtx*>(ctx);
+  const std::uint32_t begin = c->offsets[shard];
+  const std::uint32_t end = c->offsets[shard + 1];
+  if (begin == end) return;
+  c->self->scan_bucket(shard, *c->items, c->order + begin, end - begin,
+                       *c->out);
+}
+
+void DpiInstance::scan_bucket(std::size_t shard_idx,
+                              const std::vector<ScanItem>& items,
+                              const std::uint32_t* indices, std::size_t count,
+                              std::vector<dpi::ScanResult>& out) {
+  Shard& shard = *shards_[shard_idx];
+  const MutexLock lock(shard.mu);
+  const bool batched = shard.engine != nullptr && shard.engine->kernel_active();
+  std::size_t pos = 0;
+  while (pos < count) {
+    if (trace_.enabled()) {
+      const std::size_t i = indices[pos];
+      trace_.record(obs::TraceEvent::kShardDispatch,
+                    items[i].flow.canonical().hash(), 0,
+                    items[i].payload.size(), shard.index, items[i].chain);
+    }
+    if (!batched) {
+      const std::size_t i = indices[pos];
+      // Distinct indices per bucket: writes to `out` never alias.
+      out[i] = scan_on_shard(shard, items[i].chain, items[i].flow,
+                             items[i].payload);
+      ++pos;
+      continue;
+    }
+    // Form a same-chain run for the interleaved kernel. A stateful run
+    // additionally (a) breaks before a flow it already contains — each
+    // run cursor must see the previous packet's update — and (b) only
+    // forms while no LRU eviction is possible (run cursors are looked
+    // up before any update; with every run flow distinct and room for
+    // all inserts, the flow table ends in the same state as the
+    // sequential order, so results stay identical).
+    const dpi::ChainId chain = items[indices[pos]].chain;
+    const bool stateful = shard.engine->chain_stateful(chain);
+    constexpr std::size_t kMaxRun = 32;
+    std::size_t end = pos + 1;
+    if (!stateful || shard.flows.size() + kMaxRun <= shard.flows.capacity()) {
+      while (end < count && end - pos < kMaxRun &&
+             items[indices[end]].chain == chain) {
+        if (stateful) {
+          bool repeat = false;
+          for (std::size_t k = pos; k < end && !repeat; ++k) {
+            repeat = items[indices[k]].flow.canonical() ==
+                     items[indices[end]].flow.canonical();
+          }
+          if (repeat) break;
+        }
         if (trace_.enabled()) {
-          const std::size_t i = bucket[pos];
+          const std::size_t i = indices[end];
           trace_.record(obs::TraceEvent::kShardDispatch,
                         items[i].flow.canonical().hash(), 0,
                         items[i].payload.size(), shard.index, items[i].chain);
         }
-        if (!batched) {
-          const std::size_t i = bucket[pos];
-          // Distinct indices per bucket: writes to `out` never alias.
-          out[i] = scan_on_shard(shard, items[i].chain, items[i].flow,
-                                 items[i].payload);
-          ++pos;
-          continue;
-        }
-        // Form a same-chain run for the interleaved kernel. A stateful run
-        // additionally (a) breaks before a flow it already contains — each
-        // run cursor must see the previous packet's update — and (b) only
-        // forms while no LRU eviction is possible (run cursors are looked
-        // up before any update; with every run flow distinct and room for
-        // all inserts, the flow table ends in the same state as the
-        // sequential order, so results stay identical).
-        const dpi::ChainId chain = items[bucket[pos]].chain;
-        const bool stateful = shard.engine->chain_stateful(chain);
-        constexpr std::size_t kMaxRun = 32;
-        std::size_t end = pos + 1;
-        if (!stateful ||
-            shard.flows.size() + kMaxRun <= shard.flows.capacity()) {
-          while (end < bucket.size() && end - pos < kMaxRun &&
-                 items[bucket[end]].chain == chain) {
-            if (stateful) {
-              bool repeat = false;
-              for (std::size_t k = pos; k < end && !repeat; ++k) {
-                repeat = items[bucket[k]].flow.canonical() ==
-                         items[bucket[end]].flow.canonical();
-              }
-              if (repeat) break;
-            }
-            if (trace_.enabled()) {
-              const std::size_t i = bucket[end];
-              trace_.record(obs::TraceEvent::kShardDispatch,
-                            items[i].flow.canonical().hash(), 0,
-                            items[i].payload.size(), shard.index,
-                            items[i].chain);
-            }
-            ++end;
-          }
-        }
-        if (end - pos == 1) {
-          const std::size_t i = bucket[pos];
-          out[i] = scan_on_shard(shard, items[i].chain, items[i].flow,
-                                 items[i].payload);
-        } else {
-          scan_run_on_shard(shard, chain, items, bucket.data() + pos,
-                            end - pos, out);
-        }
-        pos = end;
+        ++end;
       }
-    };
+    }
+    if (end - pos == 1) {
+      const std::size_t i = indices[pos];
+      out[i] = scan_on_shard(shard, items[i].chain, items[i].flow,
+                             items[i].payload);
+    } else {
+      scan_run_on_shard(shard, chain, items, indices + pos, end - pos, out);
+    }
+    pos = end;
   }
-  pool_.dispatch(std::move(jobs));
+}
+
+std::vector<ProcessOutput> DpiInstance::process_batch(
+    std::vector<net::Packet> packets) {
+  std::vector<ProcessOutput> out(packets.size());
+  if (packets.empty()) return out;
+  PartitionScratch& scratch = partition_scratch();
+  partition_by_shard(
+      packets.size(), shards_.size(),
+      [&](std::size_t i) { return shard_index(packets[i].tuple); }, scratch);
+  BatchProcessCtx ctx{this, &packets, &out, scratch.order.data(),
+                      scratch.offsets.data()};
+  pool_.dispatch(&DpiInstance::process_batch_job, &ctx, shards_.size());
   return out;
+}
+
+void DpiInstance::process_batch_job(void* ctx, std::size_t shard) {
+  auto* c = static_cast<BatchProcessCtx*>(ctx);
+  const std::uint32_t begin = c->offsets[shard];
+  const std::uint32_t end = c->offsets[shard + 1];
+  if (begin == end) return;
+  Shard& sh = *c->self->shards_[shard];
+  const MutexLock lock(sh.mu);
+  for (std::uint32_t k = begin; k < end; ++k) {
+    const std::uint32_t i = c->order[k];
+    // A flow's packets share a bucket and keep submission order, so the
+    // outputs match the per-packet process() path exactly.
+    (*c->out)[i] = c->self->process_on_shard(sh, std::move((*c->packets)[i]));
+  }
 }
 
 dpi::ScanResult DpiInstance::scan_on_shard(Shard& shard, dpi::ChainId chain,
@@ -458,7 +611,7 @@ dpi::ScanResult DpiInstance::scan_on_shard(Shard& shard, dpi::ChainId chain,
 
 void DpiInstance::scan_run_on_shard(Shard& shard, dpi::ChainId chain,
                                     const std::vector<ScanItem>& items,
-                                    const std::size_t* indices,
+                                    const std::uint32_t* indices,
                                     std::size_t count,
                                     std::vector<dpi::ScanResult>& out) {
   if (shard.engine == nullptr) {
@@ -615,6 +768,10 @@ std::optional<Bytes> DpiInstance::maybe_decompress(BytesView payload) {
 ProcessOutput DpiInstance::process(net::Packet packet) {
   Shard& shard = shard_of(packet.tuple);
   const MutexLock lock(shard.mu);
+  return process_on_shard(shard, std::move(packet));
+}
+
+ProcessOutput DpiInstance::process_on_shard(Shard& shard, net::Packet packet) {
   ProcessOutput out;
   const auto tag = packet.find_tag(net::TagKind::kPolicyChain);
   if (trace_.enabled()) {

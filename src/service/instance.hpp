@@ -22,13 +22,16 @@
 // FlowTable, a TCP reassembler, and telemetry counters. A packet's shard is
 // FiveTuple::canonical() hash % num_workers, so both directions of a flow —
 // and therefore its stateful cursor — belong to exactly one shard and no
-// cross-shard FlowTable locking ever happens. scan_batch() partitions a
-// packet vector by shard and dispatches one job per shard to the ScanPool
-// (worker i ↔ shard i), which preserves per-flow packet order for any worker
-// count. Control-plane operations (engine push, migration, telemetry
-// sampling) take shards one at a time — they drain the affected shard, not
-// the whole data plane. Lock order: control_mu_ before any shard mutex;
-// never two shard mutexes at once.
+// cross-shard FlowTable locking ever happens. scan_batch() / process_batch()
+// partition a packet vector by shard and dispatch one job per shard to the
+// ScanPool (worker i ↔ shard i), which preserves per-flow packet order for
+// any worker count. The pool's per-worker job rings are fixed-capacity
+// (InstanceConfig::queue_capacity), so a stalled shard surfaces as
+// backpressure — counted through the ingest.backpressure.* instruments —
+// instead of unbounded queue growth. Control-plane operations (engine push,
+// migration, telemetry sampling) take shards one at a time — they drain the
+// affected shard, not the whole data plane. Lock order: control_mu_ before
+// any shard mutex; never two shard mutexes at once.
 #pragma once
 
 #include <cstdint>
@@ -109,6 +112,15 @@ struct InstanceConfig {
   /// threads: scans run inline on the caller, preserving the pre-sharding
   /// single-threaded behavior exactly.
   std::size_t num_workers = 1;
+  /// Per-worker job-ring capacity (slots). Bounds the fabric→shard handoff:
+  /// a stalled shard holds at most this many queued jobs (the old pool's
+  /// deque grew without limit), after which producers block or shed per
+  /// `overload`.
+  std::size_t queue_capacity = 1024;
+  /// Producer behavior on a full shard ring (asynchronous submissions only;
+  /// the synchronous scan_batch()/process_batch() dispatches always block —
+  /// their callers wait for completion regardless).
+  OverloadPolicy overload = OverloadPolicy::kBlock;
   /// Record per-shard obs metrics (scan-latency histogram, packet/byte/hit
   /// counters, flow-occupancy gauge, pool queue-wait histogram). The writes
   /// are relaxed atomics on the scan path; disable to shave the last few
@@ -168,11 +180,25 @@ struct ProcessOutput {
 };
 
 /// One packet of a scan_batch() submission. The payload view must stay
-/// valid until the batch call returns.
+/// valid until the batch call returns (the ingest pipeline points it into a
+/// batch arena, so the bytes are written once at ingress and only ever
+/// referenced afterwards).
 struct ScanItem {
   dpi::ChainId chain = 0;
   net::FiveTuple flow;
   BytesView payload;
+};
+
+/// Batch-granular ingest instruments registered on the instance's metrics
+/// registry (all-null when metrics are disabled). The IngestPipeline
+/// records into these; they live here so dpisvc_stats finds every
+/// backpressure signal in one snapshot.
+struct IngestInstruments {
+  obs::Counter* shed = nullptr;            ///< packets dropped under kShed
+  obs::Counter* blocked = nullptr;         ///< ring-full producer stalls
+  obs::Histogram* batch_packets = nullptr; ///< packets per flushed batch
+  obs::Histogram* batch_bytes = nullptr;   ///< payload bytes per batch
+  obs::Gauge* batches_in_flight = nullptr; ///< batches not yet delivered
 };
 
 class DpiInstance {
@@ -206,6 +232,14 @@ class DpiInstance {
   /// parallel.
   ProcessOutput process(net::Packet packet);
 
+  /// Batched counterpart of process(): partitions the packets by shard and
+  /// runs the full per-packet path bucket-at-a-time on the pool workers —
+  /// one shard-lock acquisition and one pool job per shard, not per packet.
+  /// Outputs come back in submission order, and per-flow processing order
+  /// is preserved, so the outputs are identical to calling process() on
+  /// each packet in turn.
+  std::vector<ProcessOutput> process_batch(std::vector<net::Packet> packets);
+
   /// Scan-only fast path used by throughput benches: no packet object
   /// overhead, still updates telemetry and flow state. Thread-safe.
   dpi::ScanResult scan(dpi::ChainId chain, const net::FiveTuple& flow,
@@ -217,6 +251,37 @@ class DpiInstance {
   /// same shard and are scanned in submission order, so the match sets are
   /// identical for every worker count.
   std::vector<dpi::ScanResult> scan_batch(const std::vector<ScanItem>& items);
+
+  /// In-place variant of scan_batch() writing into `out` (resized to
+  /// items.size()); the ingest pipeline reuses a per-batch results vector
+  /// so steady-state batches allocate nothing.
+  void scan_batch_into(const std::vector<ScanItem>& items,
+                       std::vector<dpi::ScanResult>& out);
+
+  /// Scans `count` items selected by `indices` — all of which must belong
+  /// to shard `shard` — under that shard's lock, writing each result to
+  /// out[indices[k]]. The asynchronous ingest path calls this from
+  /// per-shard pool jobs; scan_batch_into() is the synchronous wrapper.
+  void scan_bucket(std::size_t shard, const std::vector<ScanItem>& items,
+                   const std::uint32_t* indices, std::size_t count,
+                   std::vector<dpi::ScanResult>& out);
+
+  /// Shard owning `flow` (canonical-hash placement). Public so the ingest
+  /// pipeline can partition batches and tests can target — or deliberately
+  /// stall — a specific shard's worker.
+  std::size_t shard_of_flow(const net::FiveTuple& flow) const noexcept {
+    return shard_index(flow);
+  }
+
+  /// The data-plane worker pool. The ingest pipeline submits its per-shard
+  /// batch jobs here; job order per worker is FIFO, which extends the
+  /// per-flow ordering guarantee across batches.
+  ScanPool& scan_pool() noexcept { return pool_; }
+
+  /// Batch-granular ingest instruments (all-null when metrics disabled).
+  const IngestInstruments& ingest_instruments() const noexcept {
+    return ingest_obs_;
+  }
 
   /// Telemetry accessors aggregate per-shard counters sampled under the
   /// shard locks, so the controller's monitor thread can read while
@@ -360,9 +425,21 @@ class DpiInstance {
   /// scan_batch() callers see no difference besides throughput.
   void scan_run_on_shard(Shard& shard, dpi::ChainId chain,
                          const std::vector<ScanItem>& items,
-                         const std::size_t* indices, std::size_t count,
+                         const std::uint32_t* indices, std::size_t count,
                          std::vector<dpi::ScanResult>& out)
       DPISVC_REQUIRES(shard.mu);
+  /// Full per-packet path under the shard lock (the body of process();
+  /// process_batch() runs it bucket-at-a-time from pool jobs).
+  ProcessOutput process_on_shard(Shard& shard, net::Packet packet)
+      DPISVC_REQUIRES(shard.mu);
+  /// ScanPool::JobFn trampolines for the batched entry points: plain
+  /// function pointer + context struct, so a steady-state batch dispatch
+  /// allocates nothing (the old path heap-allocated a std::function per
+  /// shard per batch).
+  static void scan_batch_job(void* ctx, std::size_t shard);
+  static void process_batch_job(void* ctx, std::size_t shard);
+  static ScanPool::Instruments make_pool_instruments(
+      obs::MetricsRegistry& metrics, const InstanceConfig& config);
   /// Adds the delta between the shard's reassembler/defragmenter stat
   /// blocks and the last published values to the obs counters.
   void publish_evasion_metrics(Shard& shard) DPISVC_REQUIRES(shard.mu);
@@ -378,6 +455,7 @@ class DpiInstance {
   mutable Mutex control_mu_;
   std::shared_ptr<const dpi::Engine> engine_ DPISVC_GUARDED_BY(control_mu_);
   std::uint64_t engine_version_ DPISVC_GUARDED_BY(control_mu_) = 0;
+  IngestInstruments ingest_obs_;
   /// Declared before pool_ so workers never outlive the shards they touch.
   std::vector<std::unique_ptr<Shard>> shards_;
   ScanPool pool_;

@@ -1,37 +1,114 @@
-// Worker pool for the sharded data plane (§6 scaling).
+// Worker pool for the sharded data plane (§6 scaling, DESIGN.md §4h).
 //
-// One worker thread per data-plane shard: dispatch() hands job i to worker i,
-// so a shard's packets are always processed by the same thread, in submission
+// One worker thread per data-plane shard, fed through a fixed-capacity SPSC
+// job ring: dispatch()/submit() hand jobs for shard i to worker i, so a
+// shard's packets are always processed by the same thread, in submission
 // order. That affinity is what makes the sharded scan path deterministic —
 // a flow maps to exactly one shard (FiveTuple::canonical() hash), and its
 // packets are scanned sequentially by that shard's worker regardless of how
 // many workers the pool runs.
 //
-// A pool of size <= 1 spawns no threads at all; dispatch() then runs the jobs
-// inline on the caller, which keeps the single-threaded configuration
-// byte-identical to the pre-sharding code path (and trivially TSan-clean).
+// This is the bounded-queue rewrite of the original mutex+deque pool. The
+// old pool heap-allocated a std::function per job, pushed it under the
+// worker mutex, and let the deque grow without limit — a stalled shard
+// turned into unbounded memory growth instead of a backpressure signal.
+// Now each worker owns a SpscRing of plain Job slots (function pointer +
+// context word — no allocation, no type erasure); producers serialize on a
+// light per-worker submit mutex (one acquisition per job, uncontended in
+// the single-ingest-thread configuration, so the ring stays SPSC), and the
+// consumer side is lock-free: a worker pops jobs without ever taking a
+// mutex, parking on a condition variable only when its ring runs dry.
+//
+// A full ring is handled by the configured OverloadPolicy: kBlock makes the
+// producer wait for space (backpressure propagates to the fabric), kShed
+// makes submit() refuse so the caller can drop the work observably. Both
+// outcomes count through the obs instruments. dispatch() always blocks —
+// its callers rely on every job running.
+//
+// A pool of size <= 1 spawns no threads at all; dispatch()/submit() then
+// run the jobs inline on the caller, which keeps the single-threaded
+// configuration byte-identical to the pre-sharding code path (and trivially
+// TSan-clean).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
-#include <deque>
-#include <functional>
+#include <cstdint>
 #include <memory>
 #include <thread>
 #include <vector>
 
+#include "common/spsc_ring.hpp"
 #include "common/thread_safety.hpp"
 #include "obs/metrics.hpp"
 
 namespace dpisvc::service {
 
+/// What a producer does when a shard's job ring is full.
+enum class OverloadPolicy {
+  kBlock,  ///< wait for space: backpressure propagates upstream
+  kShed,   ///< refuse the job: the caller drops it and counts the loss
+};
+
+const char* overload_policy_name(OverloadPolicy policy) noexcept;
+
 class ScanPool {
  public:
-  /// Spawns `num_workers` threads (none when num_workers <= 1). When
-  /// `queue_wait_ns` is non-null, the enqueue-to-start wait of every
-  /// threaded job is recorded into it (nanoseconds) — the §4.3.1 queueing
-  /// signal: a shard whose jobs sit in the queue is oversubscribed long
-  /// before its scan latency shows it. Inline mode records nothing (there
-  /// is no queue). The histogram must outlive the pool.
+  /// Plain-function job: fn(ctx, arg). The pair replaces the old
+  /// heap-allocated std::function closures — a job slot is trivially
+  /// copyable and lives in the ring, so steady-state dispatch allocates
+  /// nothing.
+  using JobFn = void (*)(void* ctx, std::size_t arg);
+
+  /// Completion latch shared by the jobs of one synchronous dispatch (or an
+  /// ingest batch that wants submit-and-wait semantics). Stack-allocatable:
+  /// wait_zero() returns only after every expected job finished.
+  class Completion {
+   public:
+    void expect(std::size_t n) {
+      const MutexLock lock(mu_);
+      remaining_ += static_cast<std::ptrdiff_t>(n);
+    }
+    void finish_one() {
+      // Notify UNDER the mutex: the latch is stack-allocated by the waiter,
+      // and wait_zero() returning frees it. Holding mu_ through the notify
+      // means the waiter cannot observe remaining_ == 0 (it needs mu_) until
+      // this thread's last touch of the latch is done — signal-after-unlock
+      // would let the waiter destroy cv_ mid-notify.
+      const MutexLock lock(mu_);
+      --remaining_;
+      cv_.notify_all();
+    }
+    void wait_zero() {
+      MutexLock lock(mu_);
+      while (remaining_ != 0) cv_.wait(lock);
+    }
+
+   private:
+    Mutex mu_;
+    CondVar cv_;
+    std::ptrdiff_t remaining_ DPISVC_GUARDED_BY(mu_) = 0;
+  };
+
+  /// Obs instruments the pool records into; any pointer may be null
+  /// (metrics disabled). `depth` gauges are per worker (fill level of that
+  /// worker's ring, updated on push and pop); `fill` is the pool-wide
+  /// fill-at-enqueue histogram. All instruments must outlive the pool.
+  struct Instruments {
+    obs::Histogram* queue_wait_ns = nullptr;  ///< enqueue-to-start wait
+    obs::Counter* blocked = nullptr;    ///< submissions that had to wait
+    obs::Histogram* blocked_ns = nullptr;  ///< how long each one waited
+    obs::Histogram* fill = nullptr;     ///< ring occupancy after each push
+    std::vector<obs::Gauge*> depth;     ///< per-worker ring fill level
+  };
+
+  /// Spawns `num_workers` threads (none when num_workers <= 1), each with a
+  /// job ring of `queue_capacity` slots (min 1). `policy` governs full-ring
+  /// submissions.
+  ScanPool(std::size_t num_workers, std::size_t queue_capacity,
+           OverloadPolicy policy, Instruments instruments);
+
+  /// Back-compat convenience: block policy, default capacity.
   explicit ScanPool(std::size_t num_workers,
                     obs::Histogram* queue_wait_ns = nullptr);
 
@@ -42,26 +119,77 @@ class ScanPool {
 
   /// Number of worker threads (0 for the inline single-threaded pool).
   std::size_t workers() const noexcept { return workers_.size(); }
+  std::size_t queue_capacity() const noexcept { return queue_capacity_; }
+  OverloadPolicy overload_policy() const noexcept { return policy_; }
 
-  /// Runs jobs[i] on worker (i % workers) and blocks until every job has
-  /// finished. Null entries are skipped. With no worker threads the jobs run
-  /// inline in index order. Callers map job index == shard index, so the
-  /// per-shard ordering guarantee follows from the per-worker FIFO queues.
-  void dispatch(std::vector<std::function<void()>> jobs);
+  /// Runs fn(ctx, i) for every i in [0, count), job i on worker
+  /// (i % workers), and blocks until every job has finished. With no worker
+  /// threads the jobs run inline in index order. Callers map job index ==
+  /// shard index, so the per-shard ordering guarantee follows from the
+  /// per-worker FIFO rings. Full rings block regardless of policy (the
+  /// caller is already committed to waiting for completion).
+  void dispatch(JobFn fn, void* ctx, std::size_t count);
+
+  /// Asynchronous single-job submission to one worker — the batched ingest
+  /// path. Returns false iff the policy is kShed and the worker's ring is
+  /// full (the job did not run and never will); kBlock waits for space and
+  /// returns true. When `done` is non-null it must have expect()ed this job
+  /// already; the worker signals it after the job returns. Inline pools run
+  /// the job on the caller and return true.
+  bool submit(std::size_t worker, JobFn fn, void* ctx, std::size_t arg,
+              Completion* done = nullptr);
+
+  /// Like submit() but always waits for ring space regardless of policy.
+  /// The ingest pipeline sheds at batch admission (whole packets, counted),
+  /// never at job granularity — a batch's per-shard jobs must all run or
+  /// its results would silently go missing.
+  void submit_blocking(std::size_t worker, JobFn fn, void* ctx,
+                       std::size_t arg, Completion* done = nullptr);
 
  private:
+  /// One ring slot. `enqueue_ns` carries the Stopwatch-equivalent steady
+  /// timestamp for the queue-wait histogram.
+  struct Job {
+    JobFn fn = nullptr;
+    void* ctx = nullptr;
+    std::size_t arg = 0;
+    Completion* done = nullptr;
+    std::uint64_t enqueue_ns = 0;
+  };
+
   struct Worker {
-    Mutex mu;
-    CondVar cv;
-    std::deque<std::function<void()>> queue DPISVC_GUARDED_BY(mu);
-    bool stop DPISVC_GUARDED_BY(mu) = false;
+    explicit Worker(std::size_t capacity) : ring(capacity) {}
+
+    SpscRing<Job> ring;
+    /// Serializes producers so the ring keeps its single-producer contract;
+    /// taken once per job (never per packet), uncontended with one ingest
+    /// thread. Never touched by the consumer.
+    Mutex submit_mu;
+    /// Parking protocol: the worker publishes `parked` with seq_cst
+    /// ordering before its final empty-check, and a producer checks it with
+    /// seq_cst ordering after its push — the classic store/load fence pair
+    /// that makes a lost wakeup impossible. The timed wait in the worker is
+    /// a belt-and-braces liveness backstop, not the correctness mechanism.
+    Mutex park_mu;
+    CondVar park_cv;
+    std::atomic<bool> parked{false};
+    std::atomic<bool> stop{false};
+    obs::Gauge* depth = nullptr;
     std::thread thread;
   };
 
-  static void worker_loop(Worker& worker);
+  void worker_loop(Worker& worker);
+  void run_job(Job& job);
+  /// Pushes onto `worker`'s ring under its submit mutex, honoring `policy`
+  /// (or unconditionally blocking when `force_block`). Returns false only
+  /// when the job was shed.
+  bool push_job(Worker& worker, Job job, bool force_block);
+  static void wake(Worker& worker);
 
   std::vector<std::unique_ptr<Worker>> workers_;
-  obs::Histogram* queue_wait_ns_ = nullptr;
+  std::size_t queue_capacity_ = 0;
+  OverloadPolicy policy_ = OverloadPolicy::kBlock;
+  Instruments instruments_;
 };
 
 }  // namespace dpisvc::service

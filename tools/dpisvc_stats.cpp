@@ -171,6 +171,26 @@ void print_pretty(const json::Value& response,
   std::printf("  ambiguous frags: %llu\n",
               static_cast<unsigned long long>(
                   count_of(defrag, "ambiguous_fragments")));
+  // Batched-ingest backpressure (DESIGN.md §4h): bounded per-shard rings
+  // turn a stalled shard into these counters instead of memory growth.
+  const json::Value& ingest = stats.get_or("ingest", json::Value());
+  if (ingest.is_object()) {
+    std::printf("ingest (policy %s, ring capacity %llu)\n",
+                ingest.get_or("overload_policy", json::Value("?"))
+                    .as_string()
+                    .c_str(),
+                static_cast<unsigned long long>(
+                    count_of(ingest, "queue_capacity")));
+    std::printf("  blocked pushes:  %llu\n",
+                static_cast<unsigned long long>(
+                    count_of(ingest, "backpressure_blocked")));
+    std::printf("  shed packets:    %llu\n",
+                static_cast<unsigned long long>(
+                    count_of(ingest, "backpressure_shed")));
+    std::printf("  in-flight:       %llu batches\n",
+                static_cast<unsigned long long>(
+                    count_of(ingest, "batches_in_flight")));
+  }
 
   // Control-plane admission telemetry: typed registration rejections and
   // the analyzer's latest combined-engine prediction.
