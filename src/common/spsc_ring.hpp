@@ -8,6 +8,17 @@
 // reason to allocate — which is what turns a slow consumer from an OOM
 // (unbounded std::deque growth) into an observable overload.
 //
+// Ownership contract (the "SP" and "SC" in SPSC): at any instant at most
+// ONE thread may call try_push() and at most ONE thread may call try_pop().
+// The two may be (and usually are) different threads, and either role may
+// migrate between threads only through an external happens-before edge (a
+// mutex hand-off, a thread join). ScanPool keeps the producer role single
+// by serializing submitters on a per-worker submit mutex, taken once per
+// job; the consumer role is the worker thread for its whole life. Two
+// concurrent pushers — or two concurrent poppers — race on the cursor
+// read-modify-write sequences below and corrupt the ring; that contract is
+// exactly what the dpisvc_mc model checker explores (DESIGN.md §7).
+//
 // Memory ordering: the producer publishes a slot with a release store of
 // `tail_`; the consumer acquires `tail_` before reading the slot, and
 // releases `head_` after consuming it so the producer's acquire of `head_`
@@ -17,29 +28,77 @@
 // queue-depth bound the operator asked for. The modulo runs once per job
 // descriptor (a batch of packets), not per packet, so its cost is noise.
 //
-// Contract: exactly one producer thread and one concurrent consumer thread.
-// Multiple producers must serialize externally (ScanPool uses a per-worker
-// submit mutex, taken once per job, to collapse N producers into one).
+// The `Sync` template parameter is the dpisvc_mc synchronization facade
+// (mc/sync.hpp): production code uses the default RealSync, which aliases
+// std::atomic and compiles to exactly the pre-facade code; the model
+// checker instantiates the SAME ring over mc::ModelSync so the checker
+// executes this shipped algorithm, not a hand-copied model.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "mc/sync.hpp"
+
 namespace dpisvc {
 
-template <typename T>
+/// Construction-time rejection of impossible ring capacities. Derives from
+/// std::invalid_argument so pre-existing catch sites (and tests) that
+/// expect the untyped error keep working.
+class SpscRingError : public std::invalid_argument {
+ public:
+  explicit SpscRingError(const std::string& what)
+      : std::invalid_argument(what) {}
+};
+
+/// Capacity ceiling: a ring is a bounded queue-depth knob, not bulk
+/// storage. Anything above 2^30 slots is a configuration bug (it could
+/// also overflow `capacity * sizeof(T)` on 32-bit size_t), so construction
+/// rejects it before attempting the allocation.
+inline constexpr std::size_t kSpscRingMaxCapacity = std::size_t{1} << 30;
+
+namespace detail {
+// Fault-injection hook for the dpisvc_mc "teeth" test ONLY: defining
+// DPISVC_SPSC_PUBLISH_ORDER_RELAXED demotes the producer's tail publish
+// from release to relaxed, re-introducing the classic unsynchronized-slot
+// bug so the model checker can prove it detects wrong memory orders. The
+// macro may only be defined in a translation unit whose ring instantiations
+// use a TU-local Sync tag (tests/mc_fault_test.cpp does `struct FaultSync :
+// mc::ModelSync {}`). The order is a variable template on Sync so the ODR
+// story is airtight: the faulting TU only instantiates
+// kSpscPublishOrder<FaultSync>, a specialization no other TU mentions, and
+// the shared specializations (RealSync, ModelSync) keep one definition.
+template <typename Sync>
+inline constexpr std::memory_order kSpscPublishOrder =
+#if defined(DPISVC_SPSC_PUBLISH_ORDER_RELAXED)
+    std::memory_order_relaxed;
+#else
+    std::memory_order_release;
+#endif
+}  // namespace detail
+
+template <typename T, typename Sync = mc::RealSync>
 class SpscRing {
  public:
-  /// Throws std::invalid_argument when capacity is zero. T must be
-  /// default-constructible (slots are pre-built) and movable.
-  explicit SpscRing(std::size_t capacity) : slots_(capacity) {
+  /// Throws SpscRingError (a std::invalid_argument) when capacity is zero
+  /// or above kSpscRingMaxCapacity — validated BEFORE any allocation, so an
+  /// absurd capacity is a typed error, not a bad_alloc (or a silent modulo
+  /// of an overflowed size). T must be default-constructible (slots are
+  /// pre-built) and movable.
+  explicit SpscRing(std::size_t capacity) {
     if (capacity == 0) {
-      throw std::invalid_argument("SpscRing: capacity must be positive");
+      throw SpscRingError("SpscRing: capacity must be positive");
     }
+    if (capacity > kSpscRingMaxCapacity) {
+      throw SpscRingError("SpscRing: capacity " + std::to_string(capacity) +
+                          " exceeds the 2^30-slot ceiling");
+    }
+    slots_.resize(capacity);
   }
 
   SpscRing(const SpscRing&) = delete;
@@ -54,8 +113,10 @@ class SpscRing {
     if (tail - head_.load(std::memory_order_acquire) >= slots_.size()) {
       return false;  // full
     }
-    slots_[tail % slots_.size()] = std::move(value);
-    tail_.store(tail + 1, std::memory_order_release);
+    T& slot = slots_[tail % slots_.size()];
+    Sync::race_write(&slot);  // non-atomic slot write, published by tail_
+    slot = std::move(value);
+    tail_.store(tail + 1, detail::kSpscPublishOrder<Sync>);
     return true;
   }
 
@@ -65,7 +126,9 @@ class SpscRing {
     if (head == tail_.load(std::memory_order_acquire)) {
       return false;  // empty
     }
-    out = std::move(slots_[head % slots_.size()]);
+    T& slot = slots_[head % slots_.size()];
+    Sync::race_read(&slot);  // paired with the producer's race_write
+    out = std::move(slot);
     head_.store(head + 1, std::memory_order_release);
     return true;
   }
@@ -85,8 +148,8 @@ class SpscRing {
   std::vector<T> slots_;
   /// Producer and consumer cursors on separate cache lines so the two
   /// threads' writes never false-share.
-  alignas(64) std::atomic<std::uint64_t> head_{0};  // next slot to pop
-  alignas(64) std::atomic<std::uint64_t> tail_{0};  // next slot to push
+  alignas(64) typename Sync::template Atomic<std::uint64_t> head_{0};
+  alignas(64) typename Sync::template Atomic<std::uint64_t> tail_{0};
 };
 
 }  // namespace dpisvc

@@ -199,4 +199,39 @@ class CondVar {
   std::condition_variable_any cv_;
 };
 
+/// Phantom capability representing exclusive occupancy of a single-thread
+/// role (e.g. "the ingest producer thread", "worker i's consumer loop").
+/// It has no runtime state — enter()/exit() compile to nothing — but lets
+/// the thread-safety analysis check a lock-free class's thread-confinement
+/// contract the same way it checks mutexes: fields owned by the role are
+/// DPISVC_GUARDED_BY(role_), internal helpers declare
+/// DPISVC_REQUIRES(role_), and each public entry point claims the role once
+/// with a RoleGuard. The claim is a *declaration* ("this method runs on the
+/// role's thread"), not an enforcement; the dpisvc_mc model checker is what
+/// proves the declaration safe (DESIGN.md §7).
+class DPISVC_CAPABILITY("role") ThreadRole {
+ public:
+  ThreadRole() = default;
+  ThreadRole(const ThreadRole&) = delete;
+  ThreadRole& operator=(const ThreadRole&) = delete;
+
+  void enter() DPISVC_ACQUIRE() {}
+  void exit() DPISVC_RELEASE() {}
+};
+
+/// Scoped claim of a ThreadRole for the duration of a public entry point.
+class DPISVC_SCOPED_CAPABILITY RoleGuard {
+ public:
+  explicit RoleGuard(ThreadRole& role) DPISVC_ACQUIRE(role) : role_(role) {
+    role_.enter();
+  }
+  ~RoleGuard() DPISVC_RELEASE() { role_.exit(); }
+
+  RoleGuard(const RoleGuard&) = delete;
+  RoleGuard& operator=(const RoleGuard&) = delete;
+
+ private:
+  ThreadRole& role_;
+};
+
 }  // namespace dpisvc

@@ -84,7 +84,7 @@ class Huffman {
     // Over-subscription check (incomplete codes are tolerated for the
     // single-symbol distance-code case, per the RFC's note).
     int left = 1;
-    for (int len = 1; len <= kMaxBits; ++len) {
+    for (std::size_t len = 1; len <= kMaxBits; ++len) {
       left <<= 1;
       left -= length_count[len];
       if (left < 0) {
@@ -92,7 +92,7 @@ class Huffman {
       }
     }
     std::array<std::uint16_t, kMaxBits + 2> next_offset{};
-    for (int len = 1; len <= kMaxBits; ++len) {
+    for (std::size_t len = 1; len <= kMaxBits; ++len) {
       next_offset[len + 1] =
           static_cast<std::uint16_t>(next_offset[len] + length_count[len]);
     }
@@ -109,7 +109,7 @@ class Huffman {
     std::uint32_t code = 0;
     std::uint32_t first = 0;
     std::uint32_t index = 0;
-    for (int len = 1; len <= kMaxBits; ++len) {
+    for (std::size_t len = 1; len <= kMaxBits; ++len) {
       code |= in.bit();
       const std::uint32_t count = counts_[len];
       if (code < first + count) {

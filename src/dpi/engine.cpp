@@ -467,13 +467,16 @@ void Engine::finish_scan(MiddleboxBitmap active, bool any_stateful,
     Bytes& next = result.cursor.regex_window;
     const std::size_t cap = stateful_regex_window_;
     if (scanned.size() >= cap) {
-      next.assign(scanned.end() - cap, scanned.end());
+      next.assign(scanned.end() - static_cast<std::ptrdiff_t>(cap),
+                  scanned.end());
     } else {
       const std::size_t keep =
           std::min(window.size(), cap - scanned.size());
       Bytes merged;
       merged.reserve(keep + scanned.size());
-      merged.insert(merged.end(), window.end() - keep, window.end());
+      merged.insert(merged.end(),
+                    window.end() - static_cast<std::ptrdiff_t>(keep),
+                    window.end());
       merged.insert(merged.end(), scanned.begin(), scanned.end());
       next = std::move(merged);
     }

@@ -1,0 +1,200 @@
+// ModelSync: the model-checked synchronization facade (DESIGN.md §7).
+//
+// Drop-in replacement for mc::RealSync (mc/sync.hpp): the same policy
+// surface, but every operation is routed through the central mc::Scheduler,
+// which serializes the model threads and explores their interleavings
+// exhaustively. Production code never includes this header — only the
+// dpisvc_mc library, tool, and tests (the DPISVC_MODEL_CHECK CMake mode)
+// instantiate templates over ModelSync.
+//
+// Outside an active exploration (Scheduler::in_model_thread() false — e.g.
+// object construction before Explorer::explore runs the scenario) every
+// operation falls through to a plain non-atomic equivalent; scenarios are
+// single-threaded at that point by construction.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+#include <utility>
+
+#include "mc/scheduler.hpp"
+
+namespace dpisvc::mc {
+
+namespace detail {
+
+template <typename T>
+std::uint64_t to_bits(T v) noexcept {
+  if constexpr (std::is_pointer_v<T>) {
+    return reinterpret_cast<std::uint64_t>(v);
+  } else {
+    return static_cast<std::uint64_t>(v);
+  }
+}
+
+template <typename T>
+T from_bits(std::uint64_t bits) noexcept {
+  if constexpr (std::is_pointer_v<T>) {
+    return reinterpret_cast<T>(bits);
+  } else if constexpr (std::is_same_v<T, bool>) {
+    return bits != 0;
+  } else {
+    return static_cast<T>(bits);
+  }
+}
+
+}  // namespace detail
+
+struct ModelSync {
+  /// std::atomic<T>-shaped wrapper routing every access through the
+  /// scheduler. T must be an integral/enum/pointer type of <= 8 bytes (all
+  /// the data-path primitives qualify: cursors, counters, flags).
+  template <typename T>
+  class Atomic {
+    static_assert(sizeof(T) <= sizeof(std::uint64_t),
+                  "model Atomic supports word-sized types only");
+
+   public:
+    Atomic() noexcept = default;
+    constexpr Atomic(T v) noexcept : mirror_(detail::to_bits(v)) {}  // NOLINT
+    ~Atomic() { Scheduler::object_destroy(this); }
+
+    Atomic(const Atomic&) = delete;
+    Atomic& operator=(const Atomic&) = delete;
+
+    T load(std::memory_order order = std::memory_order_seq_cst) const {
+      return detail::from_bits<T>(Scheduler::atomic_load(this, order, mirror_));
+    }
+    void store(T v, std::memory_order order = std::memory_order_seq_cst) {
+      const std::uint64_t bits = detail::to_bits(v);
+      // Scheduler first, mirror second: the mirror is the fallback other
+      // threads read for a never-stored location, so writing it before the
+      // scheduler APPLIES the store would leak the value to interleavings
+      // scheduled before this transition.
+      Scheduler::atomic_store(this, bits, order);
+      mirror_ = bits;
+    }
+    T fetch_add(T d, std::memory_order order = std::memory_order_seq_cst) {
+      const std::uint64_t prev = Scheduler::atomic_rmw(
+          this, RmwKind::kAdd, detail::to_bits(d), order, mirror_);
+      mirror_ = prev + detail::to_bits(d);
+      return detail::from_bits<T>(prev);
+    }
+    T fetch_sub(T d, std::memory_order order = std::memory_order_seq_cst) {
+      const std::uint64_t prev = Scheduler::atomic_rmw(
+          this, RmwKind::kSub, detail::to_bits(d), order, mirror_);
+      mirror_ = prev - detail::to_bits(d);
+      return detail::from_bits<T>(prev);
+    }
+    T exchange(T v, std::memory_order order = std::memory_order_seq_cst) {
+      const std::uint64_t bits = detail::to_bits(v);
+      const std::uint64_t prev =
+          Scheduler::atomic_rmw(this, RmwKind::kExchange, bits, order, mirror_);
+      mirror_ = bits;
+      return detail::from_bits<T>(prev);
+    }
+
+   private:
+    /// Out-of-run fallback value; inside a run the scheduler's per-location
+    /// store history is authoritative and this mirror merely shadows the
+    /// latest store (threads are serialized, so the shadow write is benign).
+    mutable std::uint64_t mirror_ = 0;
+  };
+
+  class CondVar;
+
+  /// dpisvc::Mutex-shaped model mutex.
+  class Mutex {
+   public:
+    Mutex() { Scheduler::mutex_create(this); }
+    ~Mutex() { Scheduler::object_destroy(this); }
+
+    Mutex(const Mutex&) = delete;
+    Mutex& operator=(const Mutex&) = delete;
+
+    void lock() { Scheduler::mutex_lock(this); }
+    void unlock() { Scheduler::mutex_unlock(this); }
+
+   private:
+    friend class CondVar;
+  };
+
+  /// Scoped lock over the model mutex.
+  class MutexLock {
+   public:
+    explicit MutexLock(Mutex& mu) : mu_(mu) { mu_.lock(); }
+    ~MutexLock() { mu_.unlock(); }
+
+    MutexLock(const MutexLock&) = delete;
+    MutexLock& operator=(const MutexLock&) = delete;
+
+   private:
+    friend class CondVar;
+    Mutex& mu_;
+  };
+
+  /// Model condition variable. wait_for NEVER times out under the model: a
+  /// timed backstop that is actually load-bearing therefore shows up as an
+  /// MC004 deadlock, not as silent extra latency. No spurious wakeups are
+  /// modeled (they only add schedules in which waiters loop once more).
+  class CondVar {
+   public:
+    CondVar() { Scheduler::cv_create(this); }
+    ~CondVar() { Scheduler::object_destroy(this); }
+
+    CondVar(const CondVar&) = delete;
+    CondVar& operator=(const CondVar&) = delete;
+
+    void notify_one() noexcept { Scheduler::cv_notify(this, /*all=*/false); }
+    void notify_all() noexcept { Scheduler::cv_notify(this, /*all=*/true); }
+
+    void wait(MutexLock& lock) { Scheduler::cv_wait(this, &lock.mu_); }
+
+    template <typename Rep, typename Period>
+    void wait_for(MutexLock& lock,
+                  const std::chrono::duration<Rep, Period>& /*timeout*/) {
+      Scheduler::cv_wait(this, &lock.mu_);
+    }
+
+   private:
+  };
+
+  /// std::thread-shaped model thread handle.
+  class Thread {
+   public:
+    Thread() noexcept = default;
+    template <typename Fn, typename = std::enable_if_t<
+                               std::is_invocable_v<std::decay_t<Fn>>>>
+    explicit Thread(Fn&& fn)
+        : id_(Scheduler::spawn_thread(std::function<void()>(
+              std::forward<Fn>(fn)))) {}
+
+    Thread(Thread&& other) noexcept : id_(other.id_) { other.id_ = -1; }
+    Thread& operator=(Thread&& other) noexcept {
+      id_ = other.id_;
+      other.id_ = -1;
+      return *this;
+    }
+    Thread(const Thread&) = delete;
+    Thread& operator=(const Thread&) = delete;
+
+    bool joinable() const noexcept { return id_ >= 0; }
+    void join() {
+      Scheduler::join_thread(id_);
+      id_ = -1;
+    }
+
+   private:
+    int id_ = -1;
+  };
+
+  static void yield() { Scheduler::yield(); }
+  static void fence(std::memory_order order) { Scheduler::fence(order); }
+  static void race_read(const void* addr) { Scheduler::race_read(addr); }
+  static void race_write(const void* addr) { Scheduler::race_write(addr); }
+};
+
+}  // namespace dpisvc::mc

@@ -1,0 +1,31 @@
+// Scenario registry for the dpisvc_mc tool and tests: every shipped
+// concurrency contract (scenarios.hpp) instantiated over mc::ModelSync,
+// with per-scenario exploration bounds tuned so the whole suite stays fast.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mc/scheduler.hpp"
+
+namespace dpisvc::mc {
+
+struct ScenarioInfo {
+  std::string name;
+  std::string description;
+  /// Tuned defaults: exhaustive (max_preemptions = -1) for the small
+  /// scenarios, a preemption bound for the pool (3 model threads and a
+  /// destructor protocol make unbounded DFS needlessly slow for CI).
+  ExploreOptions options;
+  std::function<void()> body;  ///< over mc::ModelSync
+};
+
+/// All registered scenarios, in stable (alphabetical) order.
+const std::vector<ScenarioInfo>& scenario_registry();
+
+/// nullptr when `name` is not registered.
+const ScenarioInfo* find_scenario(std::string_view name);
+
+}  // namespace dpisvc::mc

@@ -1,0 +1,1352 @@
+// Implementation of the dpisvc_mc scheduler/explorer (see scheduler.hpp for
+// the model and DESIGN.md §7 for the architecture rationale).
+#include "mc/scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace dpisvc::mc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Vector clocks (one component per model thread).
+
+struct Clock {
+  std::vector<std::uint64_t> t;
+
+  std::uint64_t get(std::size_t i) const { return i < t.size() ? t[i] : 0; }
+  void set(std::size_t i, std::uint64_t v) {
+    if (t.size() <= i) t.resize(i + 1, 0);
+    t[i] = v;
+  }
+  void join(const Clock& other) {
+    if (t.size() < other.t.size()) t.resize(other.t.size(), 0);
+    for (std::size_t i = 0; i < other.t.size(); ++i) {
+      t[i] = std::max(t[i], other.t[i]);
+    }
+  }
+  /// true when every component of *this is <= the matching one in `other`
+  /// (i.e. *this happens-before-or-equals other).
+  bool leq(const Clock& other) const {
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i] > other.get(i)) return false;
+    }
+    return true;
+  }
+};
+
+/// Per-location "view": for each atomic location, the minimum store timestamp
+/// a thread is allowed to read (coherence floor). Keyed by location id.
+using View = std::unordered_map<const void*, std::uint64_t>;
+
+void view_join(View& into, const View& from) {
+  for (const auto& [loc, ts] : from) {
+    auto [it, inserted] = into.emplace(loc, ts);
+    if (!inserted && it->second < ts) it->second = ts;
+  }
+}
+
+bool is_acquire(std::memory_order o) {
+  return o == std::memory_order_acquire || o == std::memory_order_acq_rel ||
+         o == std::memory_order_seq_cst;
+}
+bool is_release(std::memory_order o) {
+  return o == std::memory_order_release || o == std::memory_order_acq_rel ||
+         o == std::memory_order_seq_cst;
+}
+
+// ---------------------------------------------------------------------------
+// Model objects.
+
+/// One store message in an atomic location's bounded history.
+struct StoreMsg {
+  std::uint64_t ts = 0;     ///< per-location sequence number
+  std::uint64_t value = 0;  ///< stored bits
+  bool release = false;     ///< carries clock+view to acquire loaders
+  Clock clock;              ///< release clock (if release)
+  View view;                ///< release view  (if release)
+};
+
+struct AtomicObj {
+  std::vector<StoreMsg> history;  ///< ascending ts; bounded
+  std::uint64_t next_ts = 1;
+};
+
+struct MutexObj {
+  int owner = -1;  ///< model thread id, -1 = free
+  Clock clock;     ///< release clock of the last unlock
+  View view;
+};
+
+struct CvObj {
+  std::vector<int> waiters;  ///< model thread ids, FIFO for determinism
+};
+
+/// Race-detection epochs for one plain (non-atomic) address.
+struct RaceCell {
+  Clock writes;  ///< per-thread last-write timestamps
+  Clock reads;   ///< per-thread last-read timestamps
+};
+
+enum class ThreadPhase : std::uint8_t {
+  kRunnable,   ///< has a pending op the controller may grant
+  kBlocked,    ///< blocked on mutex / cv / join — not schedulable
+  kFinished,   ///< body returned (or unwound)
+  kUnused,     ///< slot never started this run
+};
+
+/// One model thread's per-run record plus its handshake cell.
+struct ModelThread {
+  ThreadPhase phase = ThreadPhase::kUnused;
+  Op pending{};
+  bool has_pending = false;
+  bool yielded = false;  ///< fairness: deprioritized until others move
+  int stale_reads_left = 0;
+
+  Clock clock;  ///< this thread's vector clock
+  View view;    ///< per-location read floors
+
+  // blocking bookkeeping
+  const void* waiting_mutex = nullptr;  ///< blocked in lock()
+  const void* waiting_cv = nullptr;     ///< parked in a cv wait set
+  const void* cv_mutex = nullptr;       ///< mutex to reacquire after wakeup
+  bool cv_woken = false;                ///< notified, now contends for cv_mutex
+  int joining = -1;                     ///< blocked joining this thread id
+
+  std::uint64_t result = 0;             ///< load/rmw result set by controller
+  const char* fail_code = nullptr;      ///< diagnostic code for kAssertFail
+  bool body_returned = false;           ///< OS-level body completion (joins)
+
+  std::function<void()> body;
+};
+
+// ---------------------------------------------------------------------------
+// DFS decision records.
+
+enum class ChoiceKind : std::uint8_t { kThread, kValue, kWaiter };
+
+struct Decision {
+  ChoiceKind kind = ChoiceKind::kThread;
+  std::vector<std::size_t> options;  ///< option ids (thread id / history idx / waiter idx)
+  std::size_t chosen = 0;            ///< index into options
+  std::set<std::size_t> explored;    ///< option *ids* already fully explored
+  std::set<std::size_t> sleep;       ///< thread ids asleep at this state (kThread only)
+  int preemptions_used = 0;          ///< preemption count up to this decision
+  int prev_thread = -1;              ///< thread that moved before this decision
+};
+
+/// Signals the controller loop that the current run ended with a bug or was
+/// pruned; model threads are unwound via AbortRun separately.
+struct RunEnd {
+  bool bug = false;
+};
+
+std::string order_name(std::memory_order o) {
+  switch (o) {
+    case std::memory_order_relaxed: return "relaxed";
+    case std::memory_order_consume: return "consume";
+    case std::memory_order_acquire: return "acquire";
+    case std::memory_order_release: return "release";
+    case std::memory_order_acq_rel: return "acq_rel";
+    case std::memory_order_seq_cst: return "seq_cst";
+  }
+  return "?";
+}
+
+std::string describe_op(int tid, const Op& op) {
+  std::ostringstream os;
+  os << "T" << tid << " ";
+  switch (op.kind) {
+    case OpKind::kThreadStart: os << "start"; break;
+    case OpKind::kThreadExit: os << "exit"; break;
+    case OpKind::kThreadJoin: os << "join(T" << op.value << ")"; break;
+    case OpKind::kAtomicLoad:
+      os << "load(" << op.obj << ", " << order_name(op.order) << ")";
+      break;
+    case OpKind::kAtomicStore:
+      os << "store(" << op.obj << ", " << op.value << ", "
+         << order_name(op.order) << ")";
+      break;
+    case OpKind::kAtomicRmw:
+      os << "rmw(" << op.obj << ", "
+         << (op.rmw == RmwKind::kAdd      ? "add"
+             : op.rmw == RmwKind::kSub    ? "sub"
+                                          : "xchg")
+         << " " << op.value << ", " << order_name(op.order) << ")";
+      break;
+    case OpKind::kFence: os << "fence(" << order_name(op.order) << ")"; break;
+    case OpKind::kMutexLock: os << "lock(" << op.obj << ")"; break;
+    case OpKind::kMutexUnlock: os << "unlock(" << op.obj << ")"; break;
+    case OpKind::kCondWait:
+      os << "cv_wait(" << op.obj << ", mu=" << op.obj2 << ")";
+      break;
+    case OpKind::kCondNotify:
+      os << (op.value != 0 ? "cv_notify_all(" : "cv_notify_one(") << op.obj
+         << ")";
+      break;
+    case OpKind::kRaceRead: os << "read(" << op.obj << ")"; break;
+    case OpKind::kRaceWrite: os << "write(" << op.obj << ")"; break;
+    case OpKind::kYield: os << "yield"; break;
+    case OpKind::kDestroy: os << "destroy(" << op.obj << ")"; break;
+    case OpKind::kAssertFail: os << "assert-fail"; break;
+  }
+  return os.str();
+}
+
+/// Conservative dependence relation for sleep sets: two ops are independent
+/// when they can never enable/disable each other or change each other's
+/// result. Anything uncertain is declared dependent (sound, just less
+/// pruning).
+bool ops_dependent(const Op& a, const Op& b) {
+  auto touches_obj = [](const Op& op) {
+    return op.obj != nullptr;
+  };
+  // Fences order everything through the global SC state.
+  if (a.kind == OpKind::kFence || b.kind == OpKind::kFence) return true;
+  // Thread lifecycle ops interact with scheduling globally.
+  auto lifecycle = [](OpKind k) {
+    return k == OpKind::kThreadStart || k == OpKind::kThreadExit ||
+           k == OpKind::kThreadJoin;
+  };
+  if (lifecycle(a.kind) || lifecycle(b.kind)) return true;
+  if (a.kind == OpKind::kYield || b.kind == OpKind::kYield) return false;
+  if (!touches_obj(a) || !touches_obj(b)) return true;
+  if (a.obj != b.obj && a.obj != b.obj2 && a.obj2 != b.obj &&
+      (a.obj2 == nullptr || a.obj2 != b.obj2)) {
+    return false;  // disjoint objects
+  }
+  // Same object: two atomic loads commute; everything else conflicts.
+  if (a.kind == OpKind::kAtomicLoad && b.kind == OpKind::kAtomicLoad) {
+    return false;
+  }
+  if (a.kind == OpKind::kRaceRead && b.kind == OpKind::kRaceRead) return false;
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Scheduler::Impl — all per-explorer state, including the OS-thread pool.
+
+struct Scheduler::Impl {
+  // ---- configuration ----
+  ExploreOptions opts;
+
+  // ---- handshake (all guarded by mu) ----
+  std::mutex mu;
+  std::condition_variable cv;
+  int active = -1;  ///< model thread id allowed to run; -1 = controller
+  bool aborting = false;  ///< current run is unwinding
+
+  // ---- per-run model state ----
+  std::vector<ModelThread> threads;
+  std::unordered_map<const void*, AtomicObj> atomics;
+  std::unordered_map<const void*, MutexObj> mutexes;
+  std::unordered_map<const void*, CvObj> cvs;
+  std::unordered_map<const void*, RaceCell> races;
+  std::unordered_set<const void*> destroyed;  ///< tombstones
+  View sc_view;    ///< read floors propagated by every seq_cst op
+  Clock sc_clock;  ///< clock accumulated by seq_cst ops/fences
+  std::uint64_t steps = 0;
+  std::vector<std::string> trace;
+  /// Line for the op currently being applied: raise() flushes it into the
+  /// trace so the FAILING access itself appears in the printed schedule.
+  std::string pending_line;
+
+  // ---- DFS state (persists across runs) ----
+  std::vector<Decision> stack;
+  std::size_t depth = 0;  ///< index of the next decision during a run
+  std::uint64_t executions = 0;
+  std::uint64_t transitions = 0;
+  std::optional<Diagnostic> bug;
+  bool pruned = false;  ///< run ended via sleep-set prune, not completion
+
+  // ---- OS thread pool (cells live for the whole Explorer lifetime) ----
+  struct OsCell {
+    std::thread os;
+    std::function<void()> job;  ///< set under mu before waking
+    bool has_job = false;
+    bool quit = false;
+  };
+  std::vector<std::unique_ptr<OsCell>> cells;
+
+  ~Impl() {
+    {
+      std::unique_lock<std::mutex> lk(mu);
+      for (auto& c : cells) c->quit = true;
+      cv.notify_all();
+    }
+    for (auto& c : cells) {
+      if (c->os.joinable()) c->os.join();
+    }
+  }
+
+  // -------------------------------------------------------------------------
+  // Handshake plumbing.
+
+  /// Blocks the calling model thread until the controller grants it. Must be
+  /// called with `lk` held. Throws AbortRun when the run is being torn down.
+  /// Blocks the calling model thread until the controller grants it (held
+  /// under `lk`). When the run is aborting instead, the thread switches to
+  /// FREE-RUN mode (tl_unwinding): it returns normally and keeps executing
+  /// its body to completion with every facade operation degraded to a
+  /// no-op/mirror fallback. Throwing here is not an option — the parked
+  /// frame may be inside a noexcept production method (complete_one(),
+  /// destructors), where an in-flight exception is instant std::terminate.
+  void wait_for_grant(std::unique_lock<std::mutex>& lk, int tid) {
+    cv.wait(lk, [&] { return active == tid || aborting; });
+    if (aborting) tl_unwinding = true;
+  }
+
+  /// Called from a model thread at a schedule point: publish the pending op,
+  /// hand control to the controller, wait to be granted again.
+  void schedule_point(int tid, const Op& op) {
+    std::unique_lock<std::mutex> lk(mu);
+    if (aborting) {
+      tl_unwinding = true;
+      return;
+    }
+    ModelThread& t = threads[static_cast<std::size_t>(tid)];
+    t.pending = op;
+    t.has_pending = true;
+    active = -1;
+    cv.notify_all();
+    wait_for_grant(lk, tid);
+  }
+
+  /// Controller side: hand control to thread `tid` and wait until it parks
+  /// again (publishes a new pending op, blocks, or finishes).
+  void grant_and_wait(std::unique_lock<std::mutex>& lk, int tid) {
+    threads[static_cast<std::size_t>(tid)].has_pending = false;
+    active = tid;
+    cv.notify_all();
+    cv.wait(lk, [&] { return active == -1; });
+  }
+
+  // -------------------------------------------------------------------------
+  // Model-thread lifecycle.
+
+  int alloc_thread(std::function<void()> body) {
+    const int tid = static_cast<int>(threads.size());
+    threads.emplace_back();
+    ModelThread& t = threads.back();
+    t.phase = ThreadPhase::kRunnable;
+    t.stale_reads_left = opts.stale_read_budget;
+    t.clock.set(static_cast<std::size_t>(tid), 1);
+    t.body = std::move(body);
+    ensure_cell(static_cast<std::size_t>(tid));
+    return tid;
+  }
+
+  void ensure_cell(std::size_t idx) {
+    while (cells.size() <= idx) {
+      auto cell = std::make_unique<OsCell>();
+      OsCell* raw = cell.get();
+      raw->os = std::thread([this, raw] { cell_loop(raw); });
+      cells.push_back(std::move(cell));
+    }
+  }
+
+  void cell_loop(OsCell* cell) {
+    for (;;) {
+      std::function<void()> job;
+      {
+        std::unique_lock<std::mutex> lk(mu);
+        cv.wait(lk, [&] { return cell->has_job || cell->quit; });
+        if (cell->quit) return;
+        cell->has_job = false;
+        job = std::move(cell->job);
+      }
+      job();
+    }
+  }
+
+  /// Launch model thread `tid`'s body on its OS cell. The body runs the
+  /// start schedule point, the user code, then the exit schedule point.
+  void launch(int tid) {
+    OsCell* cell = cells[static_cast<std::size_t>(tid)].get();
+    cell->job = [this, tid] { run_model_thread(tid); };
+    cell->has_job = true;
+    // caller holds mu and will notify
+  }
+
+  void run_model_thread(int tid);
+
+  // -------------------------------------------------------------------------
+  // Effects: the controller applies the granted thread's pending op while
+  // everyone is parked. Returns false when the op *blocks* (thread moved to
+  // kBlocked with the op still pending re-evaluation).
+
+  [[noreturn]] void raise(const char* code, std::string message) {
+    if (!pending_line.empty()) {
+      trace.push_back(std::move(pending_line));
+      pending_line.clear();
+    }
+    Diagnostic d;
+    d.code = code;
+    d.message = std::move(message);
+    d.schedule_text = trace;
+    for (std::size_t i = 0; i < depth && i < stack.size(); ++i) {
+      d.schedule.push_back(stack[i].options[stack[i].chosen]);
+    }
+    bug = d;
+    throw RunEnd{true};
+  }
+
+  void check_alive(const void* obj, const char* what) {
+    if (destroyed.count(obj) != 0) {
+      std::ostringstream os;
+      os << what << " on destroyed object " << obj;
+      raise("MC003", os.str());
+    }
+  }
+
+  /// seq_cst accesses synchronize through the global SC state both ways.
+  void sc_sync(ModelThread& t) {
+    t.clock.join(sc_clock);
+    view_join(t.view, sc_view);
+    sc_clock.join(t.clock);
+    view_join(sc_view, t.view);
+  }
+
+  std::uint64_t tick(int tid) {
+    ModelThread& t = threads[static_cast<std::size_t>(tid)];
+    const auto i = static_cast<std::size_t>(tid);
+    const std::uint64_t next = t.clock.get(i) + 1;
+    t.clock.set(i, next);
+    return next;
+  }
+
+  // -------------------------------------------------------------------------
+  // Value choice: enumerate which stores thread `tid` may read at `obj`.
+  // The latest store is always readable; older ones only with stale budget,
+  // and never below the thread's per-location floor.
+
+  std::vector<std::size_t> readable_stores(int tid, const void* obj,
+                                           std::memory_order order) {
+    AtomicObj& a = atomics[obj];
+    std::vector<std::size_t> opts_out;
+    if (a.history.empty()) return opts_out;
+    ModelThread& t = threads[static_cast<std::size_t>(tid)];
+    const std::size_t latest = a.history.size() - 1;
+    if (order == std::memory_order_seq_cst) {
+      opts_out.push_back(latest);  // SC loads read the latest store
+      return opts_out;
+    }
+    std::uint64_t floor = 0;
+    if (auto it = t.view.find(obj); it != t.view.end()) floor = it->second;
+    opts_out.push_back(latest);
+    if (t.stale_reads_left > 0) {
+      for (std::size_t i = latest; i-- > 0;) {
+        if (a.history[i].ts < floor) break;
+        opts_out.push_back(i);
+      }
+    }
+    return opts_out;
+  }
+
+  /// Applies the read effects of loading history index `idx` at `obj`.
+  std::uint64_t apply_load(int tid, const void* obj, std::memory_order order,
+                           std::size_t idx) {
+    AtomicObj& a = atomics[obj];
+    ModelThread& t = threads[static_cast<std::size_t>(tid)];
+    const StoreMsg& msg = a.history[idx];
+    if (idx + 1 != a.history.size()) --t.stale_reads_left;
+    // Coherence: this thread may never read an older store here again.
+    auto [it, inserted] = t.view.emplace(obj, msg.ts);
+    if (!inserted && it->second < msg.ts) it->second = msg.ts;
+    if (msg.release && is_acquire(order)) {
+      t.clock.join(msg.clock);
+      view_join(t.view, msg.view);
+    }
+    if (order == std::memory_order_seq_cst) sc_sync(t);
+    return msg.value;
+  }
+
+  void apply_store(int tid, const void* obj, std::uint64_t bits,
+                   std::memory_order order) {
+    AtomicObj& a = atomics[obj];
+    ModelThread& t = threads[static_cast<std::size_t>(tid)];
+    tick(tid);
+    StoreMsg msg;
+    msg.ts = a.next_ts++;
+    msg.value = bits;
+    msg.release = is_release(order);
+    if (msg.release) {
+      msg.clock = t.clock;
+      msg.view = t.view;
+    }
+    // The storer itself can never read below its own store.
+    auto [it, inserted] = t.view.emplace(obj, msg.ts);
+    if (!inserted && it->second < msg.ts) it->second = msg.ts;
+    a.history.push_back(std::move(msg));
+    if (a.history.size() > opts.max_store_history) {
+      a.history.erase(a.history.begin());
+    }
+    if (order == std::memory_order_seq_cst) sc_sync(t);
+  }
+
+  std::uint64_t apply_rmw(int tid, const Op& op) {
+    AtomicObj& a = atomics[op.obj];
+    ModelThread& t = threads[static_cast<std::size_t>(tid)];
+    // RMW always reads the latest store (atomicity), and acquires from it.
+    std::uint64_t prev = 0;
+    Clock carry_clock;
+    View carry_view;
+    bool carry_release = false;
+    if (!a.history.empty()) {
+      const StoreMsg& last = a.history.back();
+      prev = last.value;
+      if (last.release) {
+        if (is_acquire(op.order)) {
+          t.clock.join(last.clock);
+          view_join(t.view, last.view);
+        }
+        // Release sequence (C++ [intro.races]): an RMW — of ANY order —
+        // continues the sequence headed by the release op it reads from, so
+        // its message must keep carrying that op's clock for later acquire
+        // loads. This is what makes the fetch_sub(release)/load(acquire)
+        // latch idiom (BatchPending, LeaseCounter) sound with >1 finisher.
+        carry_release = true;
+        carry_clock = last.clock;
+        carry_view = last.view;
+      }
+    }
+    std::uint64_t next = prev;
+    switch (op.rmw) {
+      case RmwKind::kAdd: next = prev + op.value; break;
+      case RmwKind::kSub: next = prev - op.value; break;
+      case RmwKind::kExchange: next = op.value; break;
+      case RmwKind::kNone: break;
+    }
+    tick(tid);
+    StoreMsg msg;
+    msg.ts = a.next_ts++;
+    msg.value = next;
+    msg.release = is_release(op.order) || carry_release;
+    if (is_release(op.order)) {
+      msg.clock = t.clock;
+      msg.view = t.view;
+    }
+    if (carry_release) {
+      msg.clock.join(carry_clock);
+      view_join(msg.view, carry_view);
+    }
+    auto [it, inserted] = t.view.emplace(op.obj, msg.ts);
+    if (!inserted && it->second < msg.ts) it->second = msg.ts;
+    a.history.push_back(std::move(msg));
+    if (a.history.size() > opts.max_store_history) {
+      a.history.erase(a.history.begin());
+    }
+    if (op.order == std::memory_order_seq_cst) sc_sync(t);
+    return prev;
+  }
+
+  void apply_fence(int tid, std::memory_order order) {
+    ModelThread& t = threads[static_cast<std::size_t>(tid)];
+    if (order == std::memory_order_seq_cst) {
+      sc_sync(t);
+    }
+    // acquire/release fences without an associated atomic op are modeled
+    // conservatively as no-ops; every fence in shipped code is seq_cst.
+  }
+
+  void apply_race_access(int tid, const void* addr, bool is_write) {
+    RaceCell& cell = races[addr];
+    ModelThread& t = threads[static_cast<std::size_t>(tid)];
+    const auto i = static_cast<std::size_t>(tid);
+    // A write must happen-after every prior access; a read must happen-after
+    // every prior write.
+    auto report = [&](const char* kind) {
+      std::ostringstream os;
+      os << "data race on " << addr << ": T" << tid << " "
+         << (is_write ? "write" : "read") << " conflicts with earlier " << kind
+         << " not ordered by happens-before";
+      raise("MC002", os.str());
+    };
+    if (!cell.writes.leq(t.clock)) report("write");
+    if (is_write && !cell.reads.leq(t.clock)) report("read");
+    const std::uint64_t now = tick(tid);
+    if (is_write) {
+      cell.writes.set(i, now);
+    } else {
+      cell.reads.set(i, now);
+    }
+  }
+
+  // -------------------------------------------------------------------------
+  // Blocking-op helpers.
+
+  bool mutex_available(int tid, const void* obj) {
+    auto it = mutexes.find(obj);
+    return it == mutexes.end() || it->second.owner == -1 ||
+           it->second.owner == tid;
+  }
+
+  void apply_mutex_lock(int tid, const void* obj) {
+    MutexObj& m = mutexes[obj];
+    if (m.owner == tid) {
+      raise("MC006", "recursive lock of a non-recursive mutex");
+    }
+    m.owner = tid;
+    ModelThread& t = threads[static_cast<std::size_t>(tid)];
+    t.clock.join(m.clock);
+    view_join(t.view, m.view);
+    tick(tid);
+  }
+
+  void apply_mutex_unlock(int tid, const void* obj) {
+    auto it = mutexes.find(obj);
+    if (it == mutexes.end() || it->second.owner != tid) {
+      raise("MC006", "unlock by non-owner");
+    }
+    MutexObj& m = it->second;
+    tick(tid);
+    ModelThread& t = threads[static_cast<std::size_t>(tid)];
+    m.clock = t.clock;
+    m.view = t.view;
+    m.owner = -1;
+  }
+
+  // -------------------------------------------------------------------------
+  // Scheduling: enablement, decisions, one-step execution.
+
+  // run-local scheduling trackers (reset per run)
+  int prev_thread = -1;           ///< last thread granted a transition
+  int preemptions = 0;            ///< CHESS preemption count this run
+  int last_thread_decision = -1;  ///< stack index of the last kThread node
+  Op last_exec_op{};              ///< op executed from that node
+  int live_bodies = 0;            ///< OS jobs still inside run_model_thread
+
+  bool is_enabled(int tid) {
+    ModelThread& t = threads[static_cast<std::size_t>(tid)];
+    if (t.phase == ThreadPhase::kFinished) return false;
+    if (t.waiting_cv != nullptr) {
+      return t.cv_woken && mutex_available(tid, t.cv_mutex);
+    }
+    if (!t.has_pending) return false;
+    switch (t.pending.kind) {
+      case OpKind::kMutexLock:
+        return mutex_available(tid, t.pending.obj);
+      case OpKind::kThreadJoin:
+        return threads[static_cast<std::size_t>(t.pending.value)].phase ==
+               ThreadPhase::kFinished;
+      default:
+        return true;
+    }
+  }
+
+  /// Consume or create one decision node; returns the chosen option id.
+  std::size_t decide(ChoiceKind kind, std::vector<std::size_t> option_ids,
+                     std::set<std::size_t> sleep_in) {
+    if (depth < stack.size()) {
+      Decision& d = stack[depth];
+      ++depth;
+      return d.options[d.chosen];
+    }
+    Decision d;
+    d.kind = kind;
+    d.options = std::move(option_ids);
+    d.sleep = std::move(sleep_in);
+    d.prev_thread = prev_thread;
+    d.preemptions_used = preemptions;
+    if (depth < opts.replay.size()) {
+      const auto it =
+          std::find(d.options.begin(), d.options.end(), opts.replay[depth]);
+      if (it != d.options.end()) {
+        d.chosen = static_cast<std::size_t>(it - d.options.begin());
+      }
+    }
+    stack.push_back(std::move(d));
+    ++depth;
+    const Decision& back = stack.back();
+    return back.options[back.chosen];
+  }
+
+  /// Sleep set for a new thread-decision node: survivors of the previous
+  /// node's sleep ∪ explored whose pending ops commute with the op just
+  /// executed from it (Godefroid). Empty for the first decision of a run
+  /// and in preemption-bounded mode (sleep sets and bounding interact
+  /// unsoundly, so the bounded fallback searches without them).
+  std::set<std::size_t> next_sleep_set() {
+    std::set<std::size_t> sleep;
+    if (opts.max_preemptions >= 0) return sleep;
+    if (last_thread_decision < 0) return sleep;
+    const Decision& prev =
+        stack[static_cast<std::size_t>(last_thread_decision)];
+    auto consider = [&](std::size_t u) {
+      if (u >= threads.size()) return;
+      const ModelThread& t = threads[u];
+      if (t.phase == ThreadPhase::kFinished || !t.has_pending) return;
+      if (static_cast<int>(u) == prev_thread) return;
+      if (!ops_dependent(t.pending, last_exec_op)) sleep.insert(u);
+    };
+    for (std::size_t u : prev.sleep) consider(u);
+    for (std::size_t u : prev.explored) consider(u);
+    return sleep;
+  }
+
+  /// One scheduling round: pick a thread, execute its transition. Returns
+  /// false when the run is complete (every thread finished).
+  bool step(std::unique_lock<std::mutex>& lk) {
+    std::vector<std::size_t> enabled;
+    bool any_live = false;
+    for (std::size_t tid = 0; tid < threads.size(); ++tid) {
+      if (threads[tid].phase == ThreadPhase::kFinished) continue;
+      any_live = true;
+      if (is_enabled(static_cast<int>(tid))) enabled.push_back(tid);
+    }
+    if (!any_live) return false;
+    if (enabled.empty()) {
+      std::ostringstream os;
+      os << "deadlock: no runnable thread among";
+      for (std::size_t tid = 0; tid < threads.size(); ++tid) {
+        const ModelThread& t = threads[tid];
+        if (t.phase == ThreadPhase::kFinished) continue;
+        os << " T" << tid;
+        if (t.waiting_cv != nullptr) {
+          os << (t.cv_woken ? "(reacquiring after wakeup)" : "(in cv wait)");
+        } else if (t.has_pending && t.pending.kind == OpKind::kMutexLock) {
+          os << "(blocked on mutex " << t.pending.obj << ")";
+        } else if (t.has_pending && t.pending.kind == OpKind::kThreadJoin) {
+          os << "(joining T" << t.pending.value << ")";
+        }
+      }
+      raise("MC004", os.str());
+    }
+
+    // Yield fairness: a thread that called yield() is deprioritized until
+    // every other enabled thread is also post-yield; then all reset.
+    std::vector<std::size_t> eligible;
+    for (std::size_t tid : enabled) {
+      if (!threads[tid].yielded) eligible.push_back(tid);
+    }
+    if (eligible.empty()) {
+      for (std::size_t tid : enabled) threads[tid].yielded = false;
+      eligible = enabled;
+    }
+
+    // Preemption bound: at the budget, a still-enabled previous thread must
+    // keep running (switching away from it would be one more preemption).
+    const bool prev_eligible =
+        prev_thread >= 0 &&
+        std::find(eligible.begin(), eligible.end(),
+                  static_cast<std::size_t>(prev_thread)) != eligible.end();
+    if (opts.max_preemptions >= 0 && prev_eligible &&
+        preemptions >= opts.max_preemptions &&
+        !threads[static_cast<std::size_t>(prev_thread)].yielded) {
+      eligible.assign(1, static_cast<std::size_t>(prev_thread));
+    }
+
+    std::set<std::size_t> sleep = next_sleep_set();
+    if (depth >= stack.size()) {
+      // New node: threads in the sleep set are provably redundant here.
+      std::vector<std::size_t> awake;
+      for (std::size_t tid : eligible) {
+        if (sleep.count(tid) == 0) awake.push_back(tid);
+      }
+      if (awake.empty()) throw RunEnd{false};  // branch fully covered before
+      eligible = std::move(awake);
+    }
+
+    const std::size_t node_index = (depth < stack.size()) ? depth : stack.size();
+    const std::size_t chosen =
+        decide(ChoiceKind::kThread, std::move(eligible), std::move(sleep));
+    last_thread_decision = static_cast<int>(node_index);
+
+    if (prev_eligible && static_cast<int>(chosen) != prev_thread &&
+        !threads[static_cast<std::size_t>(prev_thread)].yielded) {
+      ++preemptions;
+    }
+    execute(lk, static_cast<int>(chosen));
+    prev_thread = static_cast<int>(chosen);
+    return true;
+  }
+
+  /// Executes thread `tid`'s pending transition while everyone is parked,
+  /// then (for non-blocking ops) grants the thread until its next park.
+  void execute(std::unique_lock<std::mutex>& lk, int tid) {
+    ModelThread& t = threads[static_cast<std::size_t>(tid)];
+    ++transitions;
+    if (++steps > opts.max_steps) {
+      raise("MC005", "per-execution step limit exceeded (livelock?)");
+    }
+
+    if (t.waiting_cv != nullptr) {
+      // Woken waiter reacquiring its mutex: complete the cv wait.
+      const void* mu_obj = t.cv_mutex;
+      trace.push_back(describe_op(tid, Op{OpKind::kMutexLock, mu_obj}) +
+                      " (cv wakeup)");
+      apply_mutex_lock(tid, mu_obj);
+      t.waiting_cv = nullptr;
+      t.cv_mutex = nullptr;
+      t.cv_woken = false;
+      last_exec_op = Op{OpKind::kMutexLock, mu_obj};
+      t.yielded = false;
+      grant_and_wait(lk, tid);
+      return;
+    }
+
+    const Op op = t.pending;
+    last_exec_op = op;
+    std::string line = describe_op(tid, op);
+    pending_line = line;
+    if (op.kind != OpKind::kYield) t.yielded = false;
+
+    switch (op.kind) {
+      case OpKind::kThreadStart:
+      case OpKind::kThreadExit:
+      case OpKind::kFence:
+      case OpKind::kYield: {
+        if (op.kind == OpKind::kThreadExit) t.phase = ThreadPhase::kFinished;
+        if (op.kind == OpKind::kFence) apply_fence(tid, op.order);
+        if (op.kind == OpKind::kYield) t.yielded = true;
+        tick(tid);
+        break;
+      }
+      case OpKind::kThreadJoin: {
+        const auto target = static_cast<std::size_t>(op.value);
+        t.clock.join(threads[target].clock);
+        view_join(t.view, threads[target].view);
+        tick(tid);
+        break;
+      }
+      case OpKind::kAtomicLoad: {
+        check_alive(op.obj, "atomic load");
+        std::vector<std::size_t> readable =
+            readable_stores(tid, op.obj, op.order);
+        std::size_t idx = 0;
+        if (readable.empty()) {
+          // Never-stored location: read the facade's initial value. A
+          // seq_cst load of it still participates in the global SC order
+          // (the park/wake protocol's flag reads rely on that edge).
+          if (op.order == std::memory_order_seq_cst) sc_sync(t);
+          t.result = op.value;
+          line += " -> (init)";
+          tick(tid);
+          break;
+        }
+        if (readable.size() > 1) {
+          idx = decide(ChoiceKind::kValue, std::move(readable), {});
+        } else {
+          idx = readable[0];
+        }
+        const bool stale = (idx + 1 != atomics[op.obj].history.size());
+        t.result = apply_load(tid, op.obj, op.order, idx);
+        line += " -> " + std::to_string(t.result) + (stale ? " (stale)" : "");
+        tick(tid);
+        break;
+      }
+      case OpKind::kAtomicStore: {
+        check_alive(op.obj, "atomic store");
+        apply_store(tid, op.obj, op.value, op.order);
+        break;
+      }
+      case OpKind::kAtomicRmw: {
+        check_alive(op.obj, "atomic rmw");
+        t.result = apply_rmw(tid, op);
+        line += " -> " + std::to_string(t.result);
+        break;
+      }
+      case OpKind::kMutexLock: {
+        check_alive(op.obj, "mutex lock");
+        apply_mutex_lock(tid, op.obj);
+        break;
+      }
+      case OpKind::kMutexUnlock: {
+        check_alive(op.obj, "mutex unlock");
+        apply_mutex_unlock(tid, op.obj);
+        break;
+      }
+      case OpKind::kCondWait: {
+        check_alive(op.obj, "cv wait");
+        check_alive(op.obj2, "cv wait (mutex)");
+        auto it = mutexes.find(op.obj2);
+        if (it == mutexes.end() || it->second.owner != tid) {
+          raise("MC006", "cv wait without holding the mutex");
+        }
+        apply_mutex_unlock(tid, op.obj2);
+        cvs[op.obj].waiters.push_back(tid);
+        t.waiting_cv = op.obj;
+        t.cv_mutex = op.obj2;
+        t.cv_woken = false;
+        t.has_pending = false;
+        pending_line.clear();
+        trace.push_back(std::move(line));
+        return;  // blocked: no grant until notified and mutex reacquired
+      }
+      case OpKind::kCondNotify: {
+        check_alive(op.obj, "cv notify");
+        CvObj& cv_obj = cvs[op.obj];
+        if (!cv_obj.waiters.empty()) {
+          if (op.value != 0) {  // notify_all
+            for (int w : cv_obj.waiters) {
+              threads[static_cast<std::size_t>(w)].cv_woken = true;
+            }
+            cv_obj.waiters.clear();
+          } else {
+            std::size_t pick = 0;
+            if (cv_obj.waiters.size() > 1) {
+              std::vector<std::size_t> options(cv_obj.waiters.size());
+              for (std::size_t i = 0; i < options.size(); ++i) options[i] = i;
+              pick = decide(ChoiceKind::kWaiter, std::move(options), {});
+            }
+            const int w = cv_obj.waiters[pick];
+            cv_obj.waiters.erase(cv_obj.waiters.begin() +
+                                 static_cast<std::ptrdiff_t>(pick));
+            threads[static_cast<std::size_t>(w)].cv_woken = true;
+            line += " wakes T" + std::to_string(w);
+          }
+        } else {
+          line += " (no waiters)";
+        }
+        tick(tid);
+        break;
+      }
+      case OpKind::kRaceRead:
+      case OpKind::kRaceWrite: {
+        apply_race_access(tid, op.obj, op.kind == OpKind::kRaceWrite);
+        break;
+      }
+      case OpKind::kDestroy: {
+        if (destroyed.count(op.obj) != 0) {
+          raise("MC003", "double destroy");
+        }
+        if (auto it = mutexes.find(op.obj);
+            it != mutexes.end() && it->second.owner != -1) {
+          raise("MC003", "mutex destroyed while locked");
+        }
+        if (auto it = cvs.find(op.obj);
+            it != cvs.end() && !it->second.waiters.empty()) {
+          raise("MC003", "condition variable destroyed with waiters parked");
+        }
+        destroyed.insert(op.obj);
+        atomics.erase(op.obj);
+        mutexes.erase(op.obj);
+        cvs.erase(op.obj);
+        tick(tid);
+        break;
+      }
+      case OpKind::kAssertFail: {
+        raise(t.fail_code != nullptr ? t.fail_code : "MC001",
+              t.pending.what != nullptr ? t.pending.what : "assertion failed");
+      }
+    }
+    pending_line.clear();
+    trace.push_back(std::move(line));
+    grant_and_wait(lk, tid);
+  }
+
+  // -------------------------------------------------------------------------
+  // Run lifecycle.
+
+  static thread_local Impl* tl_impl;
+  static thread_local int tl_tid;
+  static thread_local bool tl_unwinding;
+
+  /// Executes one run: replays the stack prefix, then continues greedily
+  /// (option 0 of every new decision) to a complete execution, a prune, or
+  /// a bug.
+  void run_once(const std::function<void()>& scenario) {
+    threads.clear();
+    atomics.clear();
+    mutexes.clear();
+    cvs.clear();
+    races.clear();
+    destroyed.clear();
+    sc_view.clear();
+    sc_clock = Clock{};
+    steps = 0;
+    trace.clear();
+    pending_line.clear();
+    depth = 0;
+    prev_thread = -1;
+    preemptions = 0;
+    last_thread_decision = -1;
+    last_exec_op = Op{};
+
+    std::unique_lock<std::mutex> lk(mu);
+    aborting = false;
+    const int t0 = alloc_thread(scenario);
+    launch(t0);
+    ++live_bodies;
+    cv.notify_all();
+    cv.wait(lk, [&] { return threads[0].has_pending; });
+    try {
+      while (step(lk)) {
+      }
+      ++executions;  // complete interleaving
+    } catch (RunEnd&) {
+      abort_run(lk);
+    }
+  }
+
+  /// Tears the current run down: wakes every parked model thread with the
+  /// abort flag so it unwinds via AbortRun, then waits for all bodies to
+  /// return their OS cells.
+  void abort_run(std::unique_lock<std::mutex>& lk) {
+    aborting = true;
+    cv.notify_all();
+    cv.wait(lk, [&] { return live_bodies == 0; });
+    aborting = false;
+  }
+
+  /// Backtrack: advance the deepest decision with an unexplored option;
+  /// returns false when the whole (in-bound) space is exhausted.
+  bool advance_stack() {
+    while (!stack.empty()) {
+      Decision& d = stack.back();
+      d.explored.insert(d.options[d.chosen]);
+      if (d.chosen + 1 < d.options.size()) {
+        ++d.chosen;
+        return true;
+      }
+      stack.pop_back();
+    }
+    return false;
+  }
+};
+
+thread_local Scheduler::Impl* Scheduler::Impl::tl_impl = nullptr;
+thread_local int Scheduler::Impl::tl_tid = -1;
+thread_local bool Scheduler::Impl::tl_unwinding = false;
+
+void Scheduler::Impl::run_model_thread(int tid) {
+  tl_impl = this;
+  tl_tid = tid;
+  tl_unwinding = false;
+  std::function<void()> body;
+  bool started = false;
+  try {
+    {
+      std::unique_lock<std::mutex> lk(mu);
+      // Initial park: publish kThreadStart WITHOUT yielding control (the
+      // spawner, if any, is still the active thread).
+      threads[static_cast<std::size_t>(tid)].pending = Op{OpKind::kThreadStart};
+      threads[static_cast<std::size_t>(tid)].has_pending = true;
+      body = threads[static_cast<std::size_t>(tid)].body;
+      cv.notify_all();
+      wait_for_grant(lk, tid);
+      started = true;
+    }
+    body();
+    Op exit_op;
+    exit_op.kind = OpKind::kThreadExit;
+    schedule_point(tid, exit_op);
+  } catch (AbortRun&) {
+    // mc::require() failed and the run is being torn down — fall through.
+  } catch (...) {
+    // MC007: an exception escaped the scenario / thread body.
+    std::unique_lock<std::mutex> lk(mu);
+    if (!aborting) {
+      ModelThread& t = threads[static_cast<std::size_t>(tid)];
+      t.fail_code = "MC007";
+      t.pending = Op{};
+      t.pending.kind = OpKind::kAssertFail;
+      t.pending.what = "uncaught exception escaped a model thread";
+      t.has_pending = true;
+      if (started) {
+        active = -1;
+        cv.notify_all();
+      }
+      wait_for_grant(lk, tid);  // controller raises MC007, then aborts
+    }
+  }
+  tl_impl = nullptr;
+  tl_tid = -1;
+  tl_unwinding = false;
+  std::unique_lock<std::mutex> lk(mu);
+  threads[static_cast<std::size_t>(tid)].body_returned = true;
+  --live_bodies;
+  // A normally-finishing thread still owns control here; return it.
+  if (active == tid) active = -1;
+  cv.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler facade statics: bridge from model threads into the active Impl.
+// Outside a run (or while unwinding after an abort) every entry point is a
+// benign no-op/fallback so object construction and destructor cleanup work.
+
+bool Scheduler::in_model_thread() noexcept {
+  return Impl::tl_impl != nullptr && Impl::tl_tid >= 0 && !Impl::tl_unwinding;
+}
+
+std::uint64_t Scheduler::atomic_load(const void* obj, std::memory_order order,
+                                     std::uint64_t fallback_bits) {
+  if (!in_model_thread()) return fallback_bits;
+  Impl* im = Impl::tl_impl;
+  Op op;
+  op.kind = OpKind::kAtomicLoad;
+  op.obj = obj;
+  op.order = order;
+  op.value = fallback_bits;  // read this when the location was never stored
+  im->schedule_point(Impl::tl_tid, op);
+  return im->threads[static_cast<std::size_t>(Impl::tl_tid)].result;
+}
+
+void Scheduler::atomic_store(const void* obj, std::uint64_t bits,
+                             std::memory_order order) {
+  if (!in_model_thread()) return;
+  Op op;
+  op.kind = OpKind::kAtomicStore;
+  op.obj = obj;
+  op.order = order;
+  op.value = bits;
+  Impl::tl_impl->schedule_point(Impl::tl_tid, op);
+}
+
+std::uint64_t Scheduler::atomic_rmw(const void* obj, RmwKind rmw,
+                                    std::uint64_t operand,
+                                    std::memory_order order,
+                                    std::uint64_t fallback_bits) {
+  if (!in_model_thread()) return fallback_bits;
+  Impl* im = Impl::tl_impl;
+  Op op;
+  op.kind = OpKind::kAtomicRmw;
+  op.obj = obj;
+  op.order = order;
+  op.value = operand;
+  op.rmw = rmw;
+  im->schedule_point(Impl::tl_tid, op);
+  return im->threads[static_cast<std::size_t>(Impl::tl_tid)].result;
+}
+
+void Scheduler::fence(std::memory_order order) {
+  if (!in_model_thread()) {
+    std::atomic_thread_fence(order);
+    return;
+  }
+  Op op;
+  op.kind = OpKind::kFence;
+  op.order = order;
+  Impl::tl_impl->schedule_point(Impl::tl_tid, op);
+}
+
+void Scheduler::mutex_create(const void* obj) {
+  if (!in_model_thread()) return;
+  Impl* im = Impl::tl_impl;
+  std::lock_guard<std::mutex> lk(im->mu);
+  im->destroyed.erase(obj);
+  im->mutexes[obj] = MutexObj{};
+}
+
+void Scheduler::mutex_lock(const void* obj) {
+  if (!in_model_thread()) return;
+  Op op;
+  op.kind = OpKind::kMutexLock;
+  op.obj = obj;
+  Impl::tl_impl->schedule_point(Impl::tl_tid, op);
+}
+
+void Scheduler::mutex_unlock(const void* obj) {
+  if (!in_model_thread()) return;
+  Op op;
+  op.kind = OpKind::kMutexUnlock;
+  op.obj = obj;
+  Impl::tl_impl->schedule_point(Impl::tl_tid, op);
+}
+
+void Scheduler::cv_create(const void* obj) {
+  if (!in_model_thread()) return;
+  Impl* im = Impl::tl_impl;
+  std::lock_guard<std::mutex> lk(im->mu);
+  im->destroyed.erase(obj);
+  im->cvs[obj] = CvObj{};
+}
+
+void Scheduler::cv_wait(const void* cv, const void* mutex) {
+  if (!in_model_thread()) return;
+  Op op;
+  op.kind = OpKind::kCondWait;
+  op.obj = cv;
+  op.obj2 = mutex;
+  Impl::tl_impl->schedule_point(Impl::tl_tid, op);
+}
+
+void Scheduler::cv_notify(const void* cv, bool all) {
+  if (!in_model_thread()) return;
+  Op op;
+  op.kind = OpKind::kCondNotify;
+  op.obj = cv;
+  op.value = all ? 1 : 0;
+  Impl::tl_impl->schedule_point(Impl::tl_tid, op);
+}
+
+void Scheduler::race_read(const void* addr) {
+  if (!in_model_thread()) return;
+  Op op;
+  op.kind = OpKind::kRaceRead;
+  op.obj = addr;
+  Impl::tl_impl->schedule_point(Impl::tl_tid, op);
+}
+
+void Scheduler::race_write(const void* addr) {
+  if (!in_model_thread()) return;
+  Op op;
+  op.kind = OpKind::kRaceWrite;
+  op.obj = addr;
+  Impl::tl_impl->schedule_point(Impl::tl_tid, op);
+}
+
+void Scheduler::yield() {
+  if (!in_model_thread()) {
+    std::this_thread::yield();
+    return;
+  }
+  Op op;
+  op.kind = OpKind::kYield;
+  Impl::tl_impl->schedule_point(Impl::tl_tid, op);
+}
+
+void Scheduler::object_destroy(const void* obj) {
+  if (!in_model_thread()) return;
+  Op op;
+  op.kind = OpKind::kDestroy;
+  op.obj = obj;
+  Impl::tl_impl->schedule_point(Impl::tl_tid, op);
+}
+
+int Scheduler::spawn_thread(std::function<void()> fn) {
+  if (Impl::tl_impl != nullptr && Impl::tl_unwinding) {
+    // Free-run teardown: run the body inline (its facade ops are no-ops
+    // anyway) so the spawner can continue to completion; -2 marks "already
+    // done" for a later join.
+    fn();
+    return -2;
+  }
+  if (!in_model_thread()) {
+    throw std::logic_error("mc::ModelSync::Thread spawned outside a scenario");
+  }
+  Impl* im = Impl::tl_impl;
+  const int parent = Impl::tl_tid;
+  std::unique_lock<std::mutex> lk(im->mu);
+  const int tid = im->alloc_thread(std::move(fn));
+  // Thread creation synchronizes-with the start of the new thread.
+  im->threads[static_cast<std::size_t>(tid)].clock.join(
+      im->threads[static_cast<std::size_t>(parent)].clock);
+  im->threads[static_cast<std::size_t>(tid)].view =
+      im->threads[static_cast<std::size_t>(parent)].view;
+  im->tick(parent);
+  im->launch(tid);
+  ++im->live_bodies;
+  im->cv.notify_all();
+  // Exploration must be deterministic: block until the child has parked at
+  // its kThreadStart schedule point. Otherwise the controller's next
+  // decision sees the child as an option only when the OS happened to run
+  // it first — a timing-dependent tree shape (and a spurious MC004 when the
+  // not-yet-parked child was the only enabled thread).
+  im->cv.wait(lk, [&] {
+    return im->threads[static_cast<std::size_t>(tid)].has_pending ||
+           im->aborting;
+  });
+  return tid;
+}
+
+void Scheduler::join_thread(int thread_id) {
+  if (thread_id < 0) return;  // nothing spawned, or inline free-run body
+  Impl* im = Impl::tl_impl;
+  if (im != nullptr && Impl::tl_unwinding) {
+    // Free-run teardown: a join must still be real — the joiner may destroy
+    // memory (rings, worker records) the target's body is touching. Wait
+    // for the target's OS-level body to return, without any scheduling.
+    std::unique_lock<std::mutex> lk(im->mu);
+    im->cv.wait(lk, [&] {
+      return im->threads[static_cast<std::size_t>(thread_id)].body_returned;
+    });
+    return;
+  }
+  if (!in_model_thread()) return;
+  Op op;
+  op.kind = OpKind::kThreadJoin;
+  op.value = static_cast<std::uint64_t>(thread_id);
+  im->schedule_point(Impl::tl_tid, op);
+}
+
+void Scheduler::fail(const char* code, const char* message) {
+  if (Impl::tl_impl != nullptr && Impl::tl_unwinding) {
+    // Free-run assertions fire on garbage values by design; the AbortRun is
+    // swallowed by the thread wrapper.
+    throw AbortRun{};
+  }
+  if (!in_model_thread()) {
+    throw std::runtime_error(std::string(code) + ": " + message);
+  }
+  Impl* im = Impl::tl_impl;
+  const int tid = Impl::tl_tid;
+  {
+    std::unique_lock<std::mutex> lk(im->mu);
+    if (!im->aborting) {
+      ModelThread& t = im->threads[static_cast<std::size_t>(tid)];
+      t.fail_code = code;
+      t.pending = Op{};
+      t.pending.kind = OpKind::kAssertFail;
+      t.pending.what = message;
+      t.has_pending = true;
+      im->active = -1;
+      im->cv.notify_all();
+      im->wait_for_grant(lk, tid);  // never granted: controller raises, aborts
+    }
+  }
+  // require() call sites are ordinary (non-noexcept) scenario code, so the
+  // [[noreturn]] contract is kept by unwinding rather than free-running.
+  Impl::tl_unwinding = true;
+  throw AbortRun{};
+}
+
+// ---------------------------------------------------------------------------
+// Explorer.
+
+struct Explorer::State {
+  Scheduler::Impl impl;
+};
+
+Explorer::Explorer(ExploreOptions options)
+    : options_(std::move(options)), state_(std::make_unique<State>()) {}
+
+Explorer::~Explorer() = default;
+
+ExploreResult Explorer::explore(const std::function<void()>& scenario) {
+  Scheduler::Impl& im = state_->impl;
+  im.opts = options_;
+  im.stack.clear();
+  im.executions = 0;
+  im.transitions = 0;
+  im.bug.reset();
+
+  ExploreResult res;
+  std::uint64_t runs = 0;
+  for (;;) {
+    if (runs >= options_.max_executions) {
+      res.hit_execution_bound = true;
+      break;
+    }
+    im.run_once(scenario);
+    ++runs;
+    if (im.bug.has_value()) break;
+    if (!im.advance_stack()) break;  // space exhausted
+  }
+  res.executions = im.executions;
+  res.transitions = im.transitions;
+  res.bug = im.bug;
+  res.exhausted = !res.hit_execution_bound && !im.bug.has_value();
+  return res;
+}
+
+ExploreResult Explorer::replay(const std::function<void()>& scenario,
+                               const std::vector<std::size_t>& schedule) {
+  const ExploreOptions saved = options_;
+  options_.replay = schedule;
+  options_.max_executions = 1;
+  ExploreResult res = explore(scenario);
+  options_ = saved;
+  res.hit_execution_bound = false;  // a replay is one run by design
+  return res;
+}
+
+}  // namespace dpisvc::mc

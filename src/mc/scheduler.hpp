@@ -1,0 +1,224 @@
+// Central scheduler of the dpisvc_mc model checker (DESIGN.md §7).
+//
+// A loom/CDSChecker-style *stateless* explorer: a scenario (arbitrary code
+// over the mc::ModelSync facade) is executed many times, each time under a
+// different thread interleaving, until the schedule space — bounded by the
+// options below — is exhausted or a bug is found. One OS thread is leased
+// per model thread, but exactly one ever runs at a time: every facade
+// operation is a *schedule point* where the running thread parks and the
+// controller picks who moves next. Between two schedule points a model
+// thread executes plain deterministic code, so replaying the recorded choice
+// sequence reproduces an execution exactly — the failing schedule printed
+// with a diagnostic is directly replayable (Explorer::replay).
+//
+// Exploration is an iterative DFS over the per-run choice sequence:
+//
+//   * thread choices  — which runnable thread performs its pending operation,
+//     pruned by *sleep sets* (a thread whose pending op commutes with every
+//     op explored from this state is not re-explored; Godefroid's algorithm,
+//     with a conservative dependence relation) and optionally by a
+//     *preemption bound* (CHESS-style: at most N context switches away from a
+//     still-runnable thread), the fallback that keeps larger scenarios
+//     tractable;
+//   * value choices   — which store a non-seq_cst atomic load reads. Each
+//     location keeps a bounded history of stores; a load may read any store
+//     not yet known to the loading thread (per-location timestamp views,
+//     propagated only by release→acquire pairs, mutexes, thread create/join
+//     and seq_cst fences), so a wrong memory_order shows up as a stale read
+//     or as a missing happens-before edge even though the scheduler itself
+//     serializes the threads;
+//   * waiter choices  — which waiter a notify_one wakes.
+//
+// Detectors, each with a stable diagnostic code:
+//
+//   MC001 scenario assertion failed (mc::require)
+//   MC002 data race: conflicting non-atomic accesses (race_read/race_write)
+//         not ordered by happens-before (vector clocks; acquire loads join
+//         the release store's clock, relaxed accesses join nothing)
+//   MC003 use-after-destroy: an operation on a Mutex/CondVar/Atomic whose
+//         destructor already ran (the latch-destruction class of bug)
+//   MC004 deadlock: live threads, none runnable (lost wakeups surface here —
+//         modeled cv waits never time out, so a load-bearing timed backstop
+//         is a deadlock by definition)
+//   MC005 step limit exceeded (livelock guard)
+//   MC006 lock misuse: non-owner unlock, recursive lock, wait without lock
+//   MC007 uncaught exception escaping a model thread
+//
+// Determinism contract: scenario code between schedule points must be
+// deterministic (no branching on wall-clock time or real randomness);
+// recording timestamps is fine, branching on them is not.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace dpisvc::mc {
+
+// ---------------------------------------------------------------------------
+// Public result types
+
+struct Diagnostic {
+  std::string code;     ///< stable machine code, MC001..MC007
+  std::string message;  ///< human description of the violation
+  /// The failing interleaving, one line per executed transition.
+  std::vector<std::string> schedule_text;
+  /// Replayable choice sequence: pass to Explorer::replay to reproduce.
+  std::vector<std::size_t> schedule;
+};
+
+struct ExploreOptions {
+  /// <0: unlimited (exhaustive). >=0: CHESS-style bound on the number of
+  /// context switches away from a thread that could have kept running.
+  int max_preemptions = -1;
+  /// Hard cap on executions; hitting it clears `exhausted`.
+  std::uint64_t max_executions = 1u << 20;
+  /// Per-execution transition cap (livelock guard, MC005).
+  std::uint64_t max_steps = 50000;
+  /// Per-thread budget of *stale* (non-latest) reads per execution; bounds
+  /// the value-choice blowup of relaxed spin loops, like loom's spurious
+  /// budget. The latest store is always readable.
+  int stale_read_budget = 3;
+  /// Bounded per-location store history (older stores age out of the
+  /// readable set).
+  std::size_t max_store_history = 6;
+  /// Forced choice prefix (replay mode); exploration continues past it.
+  std::vector<std::size_t> replay;
+};
+
+struct ExploreResult {
+  std::uint64_t executions = 0;   ///< complete interleavings executed
+  std::uint64_t transitions = 0;  ///< total schedule points executed
+  bool exhausted = false;         ///< whole in-bound space explored
+  bool hit_execution_bound = false;
+  std::optional<Diagnostic> bug;
+
+  bool ok() const { return !bug.has_value(); }
+};
+
+// ---------------------------------------------------------------------------
+// Internal operation descriptors (filled in by the ModelSync facade)
+
+enum class OpKind : std::uint8_t {
+  kThreadStart,
+  kThreadExit,
+  kThreadJoin,
+  kAtomicLoad,
+  kAtomicStore,
+  kAtomicRmw,
+  kFence,
+  kMutexLock,
+  kMutexUnlock,
+  kCondWait,    // atomically: unlock + enter waiter set
+  kCondNotify,  // value = 1 for notify_all, 0 for notify_one
+  kRaceRead,
+  kRaceWrite,
+  kYield,
+  kDestroy,
+  kAssertFail,
+};
+
+enum class RmwKind : std::uint8_t { kNone, kAdd, kSub, kExchange };
+
+struct Op {
+  OpKind kind = OpKind::kYield;
+  const void* obj = nullptr;
+  std::memory_order order = std::memory_order_seq_cst;
+  std::uint64_t value = 0;  // store value / rmw operand / join target / notify_all flag
+  RmwKind rmw = RmwKind::kNone;
+  const void* obj2 = nullptr;   // cv wait: the mutex
+  const char* what = nullptr;   // assert message
+};
+
+/// Thrown inside model threads to unwind them when a run aborts. Never
+/// escapes the thread wrapper.
+struct AbortRun {};
+
+class Explorer;
+
+// ---------------------------------------------------------------------------
+// Scheduler: per-run state + the facade entry points. Created and driven by
+// Explorer; facade types reach it through the active-run thread-local.
+
+class Scheduler {
+ public:
+  // ---- facade entry points (called from model threads) ----
+  static bool in_model_thread() noexcept;
+
+  static std::uint64_t atomic_load(const void* obj, std::memory_order order,
+                                   std::uint64_t fallback_bits);
+  static void atomic_store(const void* obj, std::uint64_t bits,
+                           std::memory_order order);
+  static std::uint64_t atomic_rmw(const void* obj, RmwKind rmw,
+                                  std::uint64_t operand,
+                                  std::memory_order order,
+                                  std::uint64_t fallback_bits);
+  static void fence(std::memory_order order);
+  static void mutex_create(const void* obj);
+  static void mutex_lock(const void* obj);
+  static void mutex_unlock(const void* obj);
+  static void cv_create(const void* obj);
+  static void cv_wait(const void* cv, const void* mutex);
+  static void cv_notify(const void* cv, bool all);
+  static void race_read(const void* addr);
+  static void race_write(const void* addr);
+  static void yield();
+  static void object_destroy(const void* obj);
+  static int spawn_thread(std::function<void()> fn);
+  static void join_thread(int thread_id);
+  [[noreturn]] static void fail(const char* code, const char* message);
+  static void require(bool cond, const char* message) {
+    if (!cond) fail("MC001", message);
+  }
+
+  /// Implementation detail shared with Explorer::State; not for user code.
+  struct Impl;
+
+ private:
+  friend class Explorer;
+  Scheduler() = default;
+};
+
+// ---------------------------------------------------------------------------
+// Explorer: owns the OS-thread pool and the DFS stack, runs scenarios.
+
+class Explorer {
+ public:
+  explicit Explorer(ExploreOptions options = {});
+  ~Explorer();
+
+  Explorer(const Explorer&) = delete;
+  Explorer& operator=(const Explorer&) = delete;
+
+  /// Explores `scenario` (executed as model thread 0) until the in-bound
+  /// schedule space is exhausted, a bug is found, or a cap is hit.
+  ExploreResult explore(const std::function<void()>& scenario);
+
+  /// Replays one specific choice sequence (e.g. Diagnostic::schedule) and
+  /// returns after that single execution.
+  ExploreResult replay(const std::function<void()>& scenario,
+                       const std::vector<std::size_t>& schedule);
+
+  const ExploreOptions& options() const noexcept { return options_; }
+
+ private:
+  ExploreOptions options_;
+  struct State;
+  std::unique_ptr<State> state_;
+};
+
+/// Scenario-side assertion: records MC001 with the failing schedule.
+inline void require(bool cond, const char* message) {
+  Scheduler::require(cond, message);
+}
+
+}  // namespace dpisvc::mc

@@ -36,6 +36,7 @@
 
 #include "common/thread_safety.hpp"
 #include "json/json.hpp"
+#include "mc/sync.hpp"
 
 namespace dpisvc::obs {
 
@@ -45,7 +46,14 @@ inline constexpr bool kMetricsCompiledIn = false;
 inline constexpr bool kMetricsCompiledIn = true;
 #endif
 
-class Counter {
+/// Counter and Gauge are templated over the dpisvc_mc synchronization
+/// facade (mc/sync.hpp) so the model checker can exhaustively explore the
+/// snapshot-and-reset protocol — concurrent add() vs take() must never lose
+/// or double-count an event — on the shipped code. Production uses the
+/// RealSync default (plain std::atomic, identical codegen to the
+/// pre-facade types).
+template <typename Sync = mc::RealSync>
+class BasicCounter {
  public:
   void add(std::uint64_t n = 1) noexcept {
     if constexpr (kMetricsCompiledIn) {
@@ -57,13 +65,24 @@ class Counter {
   std::uint64_t value() const noexcept {
     return value_.load(std::memory_order_relaxed);
   }
+  /// Snapshot-and-reset in one atomic exchange: the telemetry window reader
+  /// takes the accumulated count and zeroes the counter without a gap a
+  /// concurrent add() could fall into. A load-then-store reset here would
+  /// silently drop any add() that lands between the two — the exact lost-
+  /// update the dpisvc_mc obs scenario proves cannot happen with take().
+  std::uint64_t take() noexcept {
+    return value_.exchange(0, std::memory_order_relaxed);
+  }
   void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::atomic<std::uint64_t> value_{0};
+  typename Sync::template Atomic<std::uint64_t> value_{0};
 };
 
-class Gauge {
+using Counter = BasicCounter<>;
+
+template <typename Sync = mc::RealSync>
+class BasicGauge {
  public:
   void set(std::int64_t v) noexcept {
     if constexpr (kMetricsCompiledIn) {
@@ -85,8 +104,10 @@ class Gauge {
   void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::atomic<std::int64_t> value_{0};
+  typename Sync::template Atomic<std::int64_t> value_{0};
 };
+
+using Gauge = BasicGauge<>;
 
 /// Fixed-bucket histogram. Bucket i counts recorded values v with
 /// bounds[i-1] < v <= bounds[i] (bucket 0: v <= bounds[0]); one implicit

@@ -351,7 +351,7 @@ class Parser {
 
   static void add_case_folded_range(CharSet& cls, std::uint8_t lo,
                                     std::uint8_t hi) {
-    for (unsigned b = lo; b <= hi; ++b) {
+    for (int b = lo; b <= hi; ++b) {
       if (std::isupper(b)) cls.add(static_cast<std::uint8_t>(std::tolower(b)));
       if (std::islower(b)) cls.add(static_cast<std::uint8_t>(std::toupper(b)));
     }

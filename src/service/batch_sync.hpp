@@ -1,0 +1,81 @@
+// Concurrency primitives of the batched ingest pipeline (DESIGN.md §4h).
+//
+// These two counters ARE the ingest pipeline's inter-thread protocol; the
+// rest of IngestPipeline is single-threaded producer code. They live in
+// their own header, templated over the dpisvc_mc synchronization facade
+// (mc/sync.hpp), so the model checker can instantiate the exact shipped
+// algorithms over mc::ModelSync and exhaustively explore their
+// interleavings, while production code (ingest.cpp) uses the RealSync
+// default and compiles to the same plain std::atomic code as before.
+//
+// BatchPending — "are this batch's shard jobs done?":
+//   the producer arms the counter with the job count BEFORE submitting any
+//   job (arm() is relaxed: the ScanPool submit path provides the
+//   happens-before edge to the workers); each worker job publishes its
+//   results with a release decrement; the producer's acquire load of zero
+//   therefore observes every result write before delivering the batch.
+//
+// LeaseCounter — "may this batch's arena be recycled?":
+//   every BatchHandle copy holds one lease. A consumer thread that keeps a
+//   handle keeps reading payload bytes out of the batch arena, so the
+//   producer may reset the arena only after observing idle(). The release
+//   decrement in drop() pairs with the acquire load in idle(): the
+//   consumer's last payload read happens-before the producer's reset.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "mc/sync.hpp"
+
+namespace dpisvc::service {
+
+/// Outstanding-shard-job counter for one ingest batch.
+template <typename Sync = mc::RealSync>
+class BatchPending {
+ public:
+  /// Producer, before any job of the new batch is submitted. Relaxed: the
+  /// pool's job hand-off orders this store before the workers' decrements.
+  void arm(std::uint32_t jobs) noexcept {
+    pending_.store(jobs, std::memory_order_relaxed);
+  }
+
+  /// Worker, after writing its shard's results. The release pairs with
+  /// all_done()'s acquire, publishing the result writes.
+  void complete_one() noexcept {
+    pending_.fetch_sub(1, std::memory_order_release);
+  }
+
+  /// Producer. True once every job completed; an acquire load so a true
+  /// return licenses reading the results the workers wrote.
+  bool all_done() const noexcept {
+    return pending_.load(std::memory_order_acquire) == 0;
+  }
+
+ private:
+  typename Sync::template Atomic<std::uint32_t> pending_{0};
+};
+
+/// Consumer-lease counter for one ingest batch's arena.
+template <typename Sync = mc::RealSync>
+class LeaseCounter {
+ public:
+  /// Taking a lease only keeps an already-reachable batch alive, so the
+  /// increment carries no ordering obligation of its own.
+  void take() noexcept { count_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Dropping the last lease licenses the producer to reset the arena; the
+  /// release pairs with idle()'s acquire so the consumer's payload reads
+  /// happen-before the reset.
+  void drop() noexcept { count_.fetch_sub(1, std::memory_order_release); }
+
+  /// Producer-side recycle gate.
+  bool idle() const noexcept {
+    return count_.load(std::memory_order_acquire) == 0;
+  }
+
+ private:
+  typename Sync::template Atomic<std::uint32_t> count_{0};
+};
+
+}  // namespace dpisvc::service

@@ -1,10 +1,10 @@
 #include "service/ingest.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <thread>
 
 #include "common/arena.hpp"
+#include "service/batch_sync.hpp"
 
 namespace dpisvc::service {
 
@@ -26,10 +26,14 @@ struct IngestBatch {
   std::vector<std::uint32_t> order;
   std::vector<std::uint32_t> offsets;
   std::vector<std::uint32_t> cursor;
-  /// Outstanding shard jobs; the producer observes completion via an
-  /// acquire load of 0, pairing with each job's release decrement, which
-  /// makes every result write visible before delivery.
-  std::atomic<std::uint32_t> pending{0};
+  /// Outstanding shard jobs; the producer observes completion via
+  /// all_done()'s acquire load of 0, pairing with each job's release
+  /// decrement, which makes every result write visible before delivery.
+  BatchPending<> pending;
+  /// Arena recycle gate: one lease per live BatchHandle. The producer
+  /// resets the arena only after idle() — see service/batch_sync.hpp for
+  /// the ordering argument; dpisvc_mc explores both counters (DESIGN.md §7).
+  LeaseCounter<> leases;
   DpiInstance* instance = nullptr;
 
   void reset_for_fill() {
@@ -50,10 +54,50 @@ void batch_scan_job(void* ctx, std::size_t shard) {
   batch->instance->scan_bucket(shard, batch->items,
                                batch->order.data() + begin, end - begin,
                                batch->results);
-  batch->pending.fetch_sub(1, std::memory_order_release);
+  batch->pending.complete_one();
 }
 
 }  // namespace
+
+BatchHandle::BatchHandle(std::shared_ptr<IngestBatch> batch) noexcept
+    : batch_(std::move(batch)) {
+  if (batch_ != nullptr) batch_->leases.take();
+}
+
+BatchHandle::BatchHandle(const BatchHandle& other) noexcept
+    : batch_(other.batch_) {
+  if (batch_ != nullptr) batch_->leases.take();
+}
+
+BatchHandle::BatchHandle(BatchHandle&& other) noexcept
+    : batch_(std::move(other.batch_)) {
+  other.batch_ = nullptr;  // the lease moves with the pointer
+}
+
+BatchHandle& BatchHandle::operator=(const BatchHandle& other) noexcept {
+  if (this == &other) return *this;
+  if (other.batch_ != nullptr) other.batch_->leases.take();
+  release();
+  batch_ = other.batch_;
+  return *this;
+}
+
+BatchHandle& BatchHandle::operator=(BatchHandle&& other) noexcept {
+  if (this == &other) return *this;
+  release();
+  batch_ = std::move(other.batch_);
+  other.batch_ = nullptr;
+  return *this;
+}
+
+BatchHandle::~BatchHandle() { release(); }
+
+void BatchHandle::release() noexcept {
+  if (batch_ != nullptr) {
+    batch_->leases.drop();
+    batch_ = nullptr;
+  }
+}
 
 std::size_t BatchHandle::size() const noexcept { return batch_->items.size(); }
 
@@ -85,6 +129,26 @@ IngestPipeline::~IngestPipeline() {
   }
 }
 
+std::uint64_t IngestPipeline::packets_pushed() const noexcept {
+  const RoleGuard role(producer_role_);
+  return pushed_;
+}
+
+std::uint64_t IngestPipeline::packets_shed() const noexcept {
+  const RoleGuard role(producer_role_);
+  return shed_;
+}
+
+std::uint64_t IngestPipeline::batches_flushed() const noexcept {
+  const RoleGuard role(producer_role_);
+  return flushed_;
+}
+
+std::size_t IngestPipeline::batches_allocated() const noexcept {
+  const RoleGuard role(producer_role_);
+  return total_batches_;
+}
+
 std::shared_ptr<IngestBatch> IngestPipeline::make_batch() {
   auto batch = std::make_shared<IngestBatch>(config_.arena_chunk_bytes);
   batch->instance = &instance_;
@@ -95,10 +159,11 @@ std::shared_ptr<IngestBatch> IngestPipeline::make_batch() {
 bool IngestPipeline::acquire_batch() {
   for (;;) {
     deliver_ready();
-    // Reuse an idle batch nobody holds a lease on (use_count 1 = only the
-    // free list's own reference).
+    // Reuse an idle batch no consumer holds a lease on (the lease-gated
+    // recycle: resetting the arena under a live lease would invalidate the
+    // payload views the leaseholder is still reading).
     for (auto it = free_.begin(); it != free_.end(); ++it) {
-      if (it->use_count() == 1) {
+      if ((*it)->leases.idle()) {
         current_ = *it;
         free_.erase(it);
         current_->reset_for_fill();
@@ -122,7 +187,7 @@ bool IngestPipeline::acquire_batch() {
     // episode through the same counter the pool's ring-full waits use.
     const IngestInstruments& obs = instance_.ingest_instruments();
     if (obs.blocked != nullptr) obs.blocked->add(1);
-    while (inflight_.front()->pending.load(std::memory_order_acquire) != 0) {
+    while (!inflight_.front()->pending.all_done()) {
       std::this_thread::yield();
     }
   }
@@ -130,6 +195,12 @@ bool IngestPipeline::acquire_batch() {
 
 bool IngestPipeline::push(dpi::ChainId chain, const net::FiveTuple& flow,
                           BytesView payload, std::uint64_t packet_ref) {
+  const RoleGuard role(producer_role_);
+  return push_impl(chain, flow, payload, packet_ref);
+}
+
+bool IngestPipeline::push_impl(dpi::ChainId chain, const net::FiveTuple& flow,
+                               BytesView payload, std::uint64_t packet_ref) {
   deliver_ready();  // opportunistic: keep sink latency low, slots free
   if (current_ == nullptr && !acquire_batch()) {
     ++shed_;
@@ -144,11 +215,16 @@ bool IngestPipeline::push(dpi::ChainId chain, const net::FiveTuple& flow,
   current_->items.push_back(item);
   current_->refs.push_back(packet_ref);
   ++pushed_;
-  if (current_->items.size() >= config_.batch_packets) flush();
+  if (current_->items.size() >= config_.batch_packets) flush_impl();
   return true;
 }
 
 void IngestPipeline::flush() {
+  const RoleGuard role(producer_role_);
+  flush_impl();
+}
+
+void IngestPipeline::flush_impl() {
   if (current_ == nullptr || current_->items.empty()) return;
   std::shared_ptr<IngestBatch> batch = std::move(current_);
 
@@ -179,7 +255,8 @@ void IngestPipeline::flush() {
   for (std::size_t s = 0; s < num_shards; ++s) {
     if (batch->offsets[s + 1] > batch->offsets[s]) ++jobs;
   }
-  batch->pending.store(jobs, std::memory_order_relaxed);
+  // Armed before any submit; the pool's hand-off orders it for the workers.
+  batch->pending.arm(jobs);
 
   const IngestInstruments& obs = instance_.ingest_instruments();
   if (obs.batch_packets != nullptr) {
@@ -202,8 +279,7 @@ void IngestPipeline::flush() {
 
 std::size_t IngestPipeline::deliver_ready() {
   std::size_t delivered = 0;
-  while (!inflight_.empty() &&
-         inflight_.front()->pending.load(std::memory_order_acquire) == 0) {
+  while (!inflight_.empty() && inflight_.front()->pending.all_done()) {
     std::shared_ptr<IngestBatch> batch = std::move(inflight_.front());
     inflight_.pop_front();
     delivered += batch->items.size();
@@ -224,20 +300,28 @@ void IngestPipeline::recycle(std::shared_ptr<IngestBatch> batch) {
   // Trim surplus batches allocated while consumer leases held the cap.
   while (total_batches_ > config_.max_batches) {
     auto it = std::find_if(free_.begin(), free_.end(),
-                           [](const auto& b) { return b.use_count() == 1; });
+                           [](const auto& b) { return b->leases.idle(); });
     if (it == free_.end()) break;
     free_.erase(it);
     --total_batches_;
   }
 }
 
-std::size_t IngestPipeline::poll() { return deliver_ready(); }
+std::size_t IngestPipeline::poll() {
+  const RoleGuard role(producer_role_);
+  return deliver_ready();
+}
 
 std::size_t IngestPipeline::drain() {
-  flush();
+  const RoleGuard role(producer_role_);
+  return drain_impl();
+}
+
+std::size_t IngestPipeline::drain_impl() {
+  flush_impl();
   std::size_t delivered = 0;
   while (!inflight_.empty()) {
-    while (inflight_.front()->pending.load(std::memory_order_acquire) != 0) {
+    while (!inflight_.front()->pending.all_done()) {
       std::this_thread::yield();
     }
     delivered += deliver_ready();

@@ -17,7 +17,7 @@
 //             batches), pending = #jobs
 //   push()/flush()/drain() deliver completed batches to the sink strictly
 //   in submission order; the arena is recycled once the sink returns and
-//   every BatchHandle copy is gone.
+//   every BatchHandle lease is gone.
 //
 // Backpressure (the bounded-queue fix): at most max_batches batches exist
 // at once — in-flight, free, or being filled — so ingest memory is bounded
@@ -31,9 +31,17 @@
 // accepted packet's result is delivered and, for the accepted subset,
 // results are byte-identical to the sequential scan path.
 //
-// Threading contract: push()/flush()/drain() must be called from one
-// thread (the fabric event loop). The per-shard scans run on the
-// instance's pool workers; the sink runs on the calling thread.
+// Threading contract: push()/flush()/poll()/drain() must be called from one
+// thread (the fabric event loop). That contract is encoded for the Clang
+// thread-safety analysis as the `producer_role_` capability below: every
+// pipeline field is GUARDED_BY the role, each public entry point claims it
+// once, and the internal helpers declare DPISVC_REQUIRES — so a new code
+// path that touches pipeline state without going through a public entry
+// point fails to compile under -Werror=thread-safety. The cross-thread
+// protocol (batch pending counters, arena lease gating) lives in
+// service/batch_sync.hpp and is exhaustively explored by the dpisvc_mc
+// model checker (DESIGN.md §7). The per-shard scans run on the instance's
+// pool workers; the sink runs on the calling thread.
 #pragma once
 
 #include <cstddef>
@@ -44,6 +52,7 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/thread_safety.hpp"
 #include "service/instance.hpp"
 
 namespace dpisvc::service {
@@ -62,13 +71,19 @@ struct IngestConfig {
 
 /// Refcounted view of a completed batch: the items, their packet refs, the
 /// scan results, and (transitively) the arena every payload view points
-/// into. Copying a handle takes a lease — the pipeline recycles a batch's
-/// arena only after the sink returned AND every handle copy is gone, so a
-/// consumer may keep one past the sink call and the payload bytes stay
-/// valid until it drops the handle.
+/// into. Copying a handle takes a lease on the batch's LeaseCounter
+/// (service/batch_sync.hpp) — the pipeline recycles a batch's arena only
+/// after the sink returned AND every lease was dropped, so a consumer may
+/// keep a handle past the sink call (including on another thread) and the
+/// payload bytes stay valid until it drops the handle.
 class BatchHandle {
  public:
   BatchHandle() = default;
+  BatchHandle(const BatchHandle& other) noexcept;
+  BatchHandle(BatchHandle&& other) noexcept;
+  BatchHandle& operator=(const BatchHandle& other) noexcept;
+  BatchHandle& operator=(BatchHandle&& other) noexcept;
+  ~BatchHandle();
 
   bool valid() const noexcept { return batch_ != nullptr; }
   std::size_t size() const noexcept;
@@ -81,8 +96,8 @@ class BatchHandle {
 
  private:
   friend class IngestPipeline;
-  explicit BatchHandle(std::shared_ptr<IngestBatch> batch)
-      : batch_(std::move(batch)) {}
+  explicit BatchHandle(std::shared_ptr<IngestBatch> batch) noexcept;
+  void release() noexcept;
 
   std::shared_ptr<IngestBatch> batch_;
 };
@@ -124,34 +139,46 @@ class IngestPipeline {
   std::size_t drain();
 
   const IngestConfig& config() const noexcept { return config_; }
-  std::uint64_t packets_pushed() const noexcept { return pushed_; }
-  std::uint64_t packets_shed() const noexcept { return shed_; }
-  std::uint64_t batches_flushed() const noexcept { return flushed_; }
+  std::uint64_t packets_pushed() const noexcept;
+  std::uint64_t packets_shed() const noexcept;
+  std::uint64_t batches_flushed() const noexcept;
   /// Batches currently owned by the pipeline (the memory-bound witness:
   /// never exceeds max_batches unless the consumer holds leases).
-  std::size_t batches_allocated() const noexcept { return total_batches_; }
+  std::size_t batches_allocated() const noexcept;
 
  private:
-  std::shared_ptr<IngestBatch> make_batch();
+  std::shared_ptr<IngestBatch> make_batch() DPISVC_REQUIRES(producer_role_);
   /// Hands `current_` a batch to fill; false = shed (kShed, all busy).
-  bool acquire_batch();
-  std::size_t deliver_ready();
-  void recycle(std::shared_ptr<IngestBatch> batch);
+  bool acquire_batch() DPISVC_REQUIRES(producer_role_);
+  bool push_impl(dpi::ChainId chain, const net::FiveTuple& flow,
+                 BytesView payload, std::uint64_t packet_ref)
+      DPISVC_REQUIRES(producer_role_);
+  void flush_impl() DPISVC_REQUIRES(producer_role_);
+  std::size_t drain_impl() DPISVC_REQUIRES(producer_role_);
+  std::size_t deliver_ready() DPISVC_REQUIRES(producer_role_);
+  void recycle(std::shared_ptr<IngestBatch> batch)
+      DPISVC_REQUIRES(producer_role_);
 
   DpiInstance& instance_;
   Sink sink_;
   IngestConfig config_;
-  std::shared_ptr<IngestBatch> current_;
+  /// The single-producer-thread contract, checkable by Clang's
+  /// thread-safety analysis (see header comment). Mutable so const
+  /// accessors can claim it too — the role has no runtime state.
+  mutable ThreadRole producer_role_;
+  std::shared_ptr<IngestBatch> current_ DPISVC_GUARDED_BY(producer_role_);
   /// Submission-order FIFO of batches whose shard jobs are outstanding (or
   /// done but undelivered). Delivery always pops from the front, which is
   /// what makes batch delivery — and thus per-flow result order — match
   /// submission order.
-  std::deque<std::shared_ptr<IngestBatch>> inflight_;
-  std::vector<std::shared_ptr<IngestBatch>> free_;
-  std::size_t total_batches_ = 0;
-  std::uint64_t pushed_ = 0;
-  std::uint64_t shed_ = 0;
-  std::uint64_t flushed_ = 0;
+  std::deque<std::shared_ptr<IngestBatch>> inflight_
+      DPISVC_GUARDED_BY(producer_role_);
+  std::vector<std::shared_ptr<IngestBatch>> free_
+      DPISVC_GUARDED_BY(producer_role_);
+  std::size_t total_batches_ DPISVC_GUARDED_BY(producer_role_) = 0;
+  std::uint64_t pushed_ DPISVC_GUARDED_BY(producer_role_) = 0;
+  std::uint64_t shed_ DPISVC_GUARDED_BY(producer_role_) = 0;
+  std::uint64_t flushed_ DPISVC_GUARDED_BY(producer_role_) = 0;
 };
 
 }  // namespace dpisvc::service

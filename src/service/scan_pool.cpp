@@ -1,21 +1,6 @@
 #include "service/scan_pool.hpp"
 
-#include <chrono>
-
 namespace dpisvc::service {
-
-namespace {
-
-std::uint64_t now_ns() noexcept {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
-
-constexpr std::size_t kDefaultQueueCapacity = 1024;
-
-}  // namespace
 
 const char* overload_policy_name(OverloadPolicy policy) noexcept {
   switch (policy) {
@@ -27,173 +12,9 @@ const char* overload_policy_name(OverloadPolicy policy) noexcept {
   return "unknown";
 }
 
-ScanPool::ScanPool(std::size_t num_workers, std::size_t queue_capacity,
-                   OverloadPolicy policy, Instruments instruments)
-    : queue_capacity_(queue_capacity == 0 ? 1 : queue_capacity),
-      policy_(policy),
-      instruments_(std::move(instruments)) {
-  if (num_workers <= 1) return;  // inline mode: no threads, no rings
-  workers_.reserve(num_workers);
-  for (std::size_t i = 0; i < num_workers; ++i) {
-    auto worker = std::make_unique<Worker>(queue_capacity_);
-    if (i < instruments_.depth.size()) worker->depth = instruments_.depth[i];
-    workers_.push_back(std::move(worker));
-  }
-  // Threads start only after the vector is fully built so the worker
-  // pointers handed to the lambdas are final.
-  for (auto& worker : workers_) {
-    worker->thread = std::thread([this, w = worker.get()] { worker_loop(*w); });
-  }
-}
-
-ScanPool::ScanPool(std::size_t num_workers, obs::Histogram* queue_wait_ns)
-    : ScanPool(num_workers, kDefaultQueueCapacity, OverloadPolicy::kBlock,
-               Instruments{queue_wait_ns, nullptr, nullptr, nullptr, {}}) {}
-
-ScanPool::~ScanPool() {
-  for (auto& worker : workers_) {
-    worker->stop.store(true, std::memory_order_release);
-    wake(*worker);
-  }
-  for (auto& worker : workers_) {
-    if (worker->thread.joinable()) worker->thread.join();
-  }
-}
-
-void ScanPool::run_job(Job& job) {
-  if (instruments_.queue_wait_ns != nullptr && job.enqueue_ns != 0) {
-    const auto start = now_ns();
-    instruments_.queue_wait_ns->record(
-        start > job.enqueue_ns ? start - job.enqueue_ns : 0);
-  }
-  job.fn(job.ctx, job.arg);
-  if (job.done != nullptr) job.done->finish_one();
-}
-
-void ScanPool::wake(Worker& worker) {
-  // Pairs with the seq_cst parked-publish in worker_loop: after our push (or
-  // stop store) the fence orders it before the parked load, so either the
-  // consumer's final re-check sees the job or we see parked==true and
-  // notify. Taking park_mu (empty critical section) closes the window
-  // between the worker's last check and its wait.
-  std::atomic_thread_fence(std::memory_order_seq_cst);
-  if (worker.parked.load(std::memory_order_seq_cst)) {
-    { const MutexLock lock(worker.park_mu); }
-    worker.park_cv.notify_one();
-  }
-}
-
-bool ScanPool::push_job(Worker& worker, Job job, bool force_block) {
-  const MutexLock lock(worker.submit_mu);
-  if (!worker.ring.try_push(Job(job))) {
-    if (!force_block && policy_ == OverloadPolicy::kShed) return false;
-    if (instruments_.blocked != nullptr) instruments_.blocked->add();
-    const auto blocked_start = now_ns();
-    // The consumer frees a slot every time it pops; yielding (rather than a
-    // condvar) keeps the producer-side hot path mutex-free against the
-    // consumer and the wait short under normal drain rates.
-    do {
-      std::this_thread::yield();
-    } while (!worker.ring.try_push(Job(job)));
-    if (instruments_.blocked_ns != nullptr) {
-      instruments_.blocked_ns->record(now_ns() - blocked_start);
-    }
-  }
-  const auto size = worker.ring.size();
-  if (instruments_.fill != nullptr) {
-    instruments_.fill->record(static_cast<std::uint64_t>(size));
-  }
-  if (worker.depth != nullptr) {
-    worker.depth->set(static_cast<std::int64_t>(size));
-  }
-  return true;
-}
-
-void ScanPool::dispatch(JobFn fn, void* ctx, std::size_t count) {
-  if (workers_.empty()) {
-    for (std::size_t i = 0; i < count; ++i) fn(ctx, i);
-    return;
-  }
-  Completion done;
-  done.expect(count);
-  const auto enqueue = now_ns();
-  for (std::size_t i = 0; i < count; ++i) {
-    Worker& worker = *workers_[i % workers_.size()];
-    push_job(worker, Job{fn, ctx, i, &done, enqueue}, /*force_block=*/true);
-    wake(worker);
-  }
-  done.wait_zero();
-}
-
-bool ScanPool::submit(std::size_t worker_index, JobFn fn, void* ctx,
-                      std::size_t arg, Completion* done) {
-  if (workers_.empty()) {
-    fn(ctx, arg);
-    if (done != nullptr) done->finish_one();
-    return true;
-  }
-  Worker& worker = *workers_[worker_index % workers_.size()];
-  if (!push_job(worker, Job{fn, ctx, arg, done, now_ns()},
-                /*force_block=*/false)) {
-    return false;
-  }
-  wake(worker);
-  return true;
-}
-
-void ScanPool::submit_blocking(std::size_t worker_index, JobFn fn, void* ctx,
-                               std::size_t arg, Completion* done) {
-  if (workers_.empty()) {
-    fn(ctx, arg);
-    if (done != nullptr) done->finish_one();
-    return;
-  }
-  Worker& worker = *workers_[worker_index % workers_.size()];
-  push_job(worker, Job{fn, ctx, arg, done, now_ns()}, /*force_block=*/true);
-  wake(worker);
-}
-
-void ScanPool::worker_loop(Worker& worker) {
-  Job job;
-  for (;;) {
-    if (worker.ring.try_pop(job)) {
-      if (worker.depth != nullptr) {
-        worker.depth->set(static_cast<std::int64_t>(worker.ring.size()));
-      }
-      run_job(job);
-      continue;
-    }
-    // Publish "about to park" before the final emptiness re-check; wake()
-    // fences after its push, so either this re-check sees the new job or the
-    // producer sees parked==true and notifies under park_mu.
-    worker.parked.store(true, std::memory_order_seq_cst);
-    std::atomic_thread_fence(std::memory_order_seq_cst);
-    if (worker.ring.try_pop(job)) {
-      worker.parked.store(false, std::memory_order_relaxed);
-      if (worker.depth != nullptr) {
-        worker.depth->set(static_cast<std::int64_t>(worker.ring.size()));
-      }
-      run_job(job);
-      continue;
-    }
-    if (worker.stop.load(std::memory_order_acquire)) {
-      worker.parked.store(false, std::memory_order_relaxed);
-      // Drain anything raced in after the stop flag; producers have quiesced
-      // by the time the destructor runs, so this empties exactly once.
-      while (worker.ring.try_pop(job)) run_job(job);
-      return;
-    }
-    {
-      MutexLock lock(worker.park_mu);
-      if (worker.ring.empty() &&
-          !worker.stop.load(std::memory_order_acquire)) {
-        // Timed backstop: even a lost notify (ruled out by the fence
-        // protocol, but cheap to insure against) delays a job by <= 1ms.
-        worker.park_cv.wait_for(lock, std::chrono::milliseconds(1));
-      }
-    }
-    worker.parked.store(false, std::memory_order_relaxed);
-  }
-}
+// The production instantiation every other TU links against (the header
+// declares it extern). Model-checker builds instantiate the same template
+// over mc::ModelSync in their own TUs.
+template class BasicScanPool<mc::RealSync>;
 
 }  // namespace dpisvc::service

@@ -29,9 +29,18 @@
 // run the jobs inline on the caller, which keeps the single-threaded
 // configuration byte-identical to the pre-sharding code path (and trivially
 // TSan-clean).
+//
+// The pool is a class template over the dpisvc_mc synchronization facade
+// (mc/sync.hpp): `ScanPool` is the RealSync instantiation (plain std
+// primitives, explicitly instantiated in scan_pool.cpp so other TUs don't
+// re-compile the template), and the model checker instantiates the SAME
+// class over mc::ModelSync to exhaustively explore the park/wake protocol,
+// the Completion latch, and the submit path — the shipped algorithms, not
+// hand-copied models (DESIGN.md §7).
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -40,6 +49,7 @@
 
 #include "common/spsc_ring.hpp"
 #include "common/thread_safety.hpp"
+#include "mc/sync.hpp"
 #include "obs/metrics.hpp"
 
 namespace dpisvc::service {
@@ -52,7 +62,21 @@ enum class OverloadPolicy {
 
 const char* overload_policy_name(OverloadPolicy policy) noexcept;
 
-class ScanPool {
+namespace detail {
+
+inline std::uint64_t scan_pool_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+inline constexpr std::size_t kDefaultQueueCapacity = 1024;
+
+}  // namespace detail
+
+template <typename Sync = mc::RealSync>
+class BasicScanPool {
  public:
   /// Plain-function job: fn(ctx, arg). The pair replaces the old
   /// heap-allocated std::function closures — a job slot is trivially
@@ -66,27 +90,42 @@ class ScanPool {
   class Completion {
    public:
     void expect(std::size_t n) {
-      const MutexLock lock(mu_);
+      const typename Sync::MutexLock lock(mu_);
       remaining_ += static_cast<std::ptrdiff_t>(n);
     }
     void finish_one() {
+#if defined(DPISVC_MC_FAULT_COMPLETION_NOTIFY)
+      // Fault-injection variant for the dpisvc_mc "teeth" test ONLY: the
+      // pre-PR9 bug, signalling AFTER the mutex is released. The waiter can
+      // then observe remaining_ == 0, return from wait_zero(), and destroy
+      // the stack latch while this thread's notify is still in flight — the
+      // use-after-destroy TSan caught once, which the model checker must
+      // find deterministically. Only tests/mc_fault_test.cpp may define the
+      // macro, and only over a TU-local Sync tag (no ODR risk).
+      {
+        const typename Sync::MutexLock lock(mu_);
+        --remaining_;
+      }
+      cv_.notify_all();
+#else
       // Notify UNDER the mutex: the latch is stack-allocated by the waiter,
       // and wait_zero() returning frees it. Holding mu_ through the notify
       // means the waiter cannot observe remaining_ == 0 (it needs mu_) until
       // this thread's last touch of the latch is done — signal-after-unlock
       // would let the waiter destroy cv_ mid-notify.
-      const MutexLock lock(mu_);
+      const typename Sync::MutexLock lock(mu_);
       --remaining_;
       cv_.notify_all();
+#endif
     }
     void wait_zero() {
-      MutexLock lock(mu_);
+      typename Sync::MutexLock lock(mu_);
       while (remaining_ != 0) cv_.wait(lock);
     }
 
    private:
-    Mutex mu_;
-    CondVar cv_;
+    typename Sync::Mutex mu_;
+    typename Sync::CondVar cv_;
     std::ptrdiff_t remaining_ DPISVC_GUARDED_BY(mu_) = 0;
   };
 
@@ -105,17 +144,46 @@ class ScanPool {
   /// Spawns `num_workers` threads (none when num_workers <= 1), each with a
   /// job ring of `queue_capacity` slots (min 1). `policy` governs full-ring
   /// submissions.
-  ScanPool(std::size_t num_workers, std::size_t queue_capacity,
-           OverloadPolicy policy, Instruments instruments);
+  BasicScanPool(std::size_t num_workers, std::size_t queue_capacity,
+                OverloadPolicy policy, Instruments instruments)
+      : queue_capacity_(queue_capacity == 0 ? 1 : queue_capacity),
+        policy_(policy),
+        instruments_(std::move(instruments)) {
+    if (num_workers <= 1) return;  // inline mode: no threads, no rings
+    workers_.reserve(num_workers);
+    for (std::size_t i = 0; i < num_workers; ++i) {
+      auto worker = std::make_unique<Worker>(queue_capacity_);
+      if (i < instruments_.depth.size()) worker->depth = instruments_.depth[i];
+      workers_.push_back(std::move(worker));
+    }
+    // Threads start only after the vector is fully built so the worker
+    // pointers handed to the lambdas are final.
+    for (auto& worker : workers_) {
+      worker->thread =
+          typename Sync::Thread([this, w = worker.get()] { worker_loop(*w); });
+    }
+  }
 
   /// Back-compat convenience: block policy, default capacity.
-  explicit ScanPool(std::size_t num_workers,
-                    obs::Histogram* queue_wait_ns = nullptr);
+  explicit BasicScanPool(std::size_t num_workers,
+                         obs::Histogram* queue_wait_ns = nullptr)
+      : BasicScanPool(num_workers, detail::kDefaultQueueCapacity,
+                      OverloadPolicy::kBlock,
+                      Instruments{queue_wait_ns, nullptr, nullptr, nullptr,
+                                  {}}) {}
 
-  ScanPool(const ScanPool&) = delete;
-  ScanPool& operator=(const ScanPool&) = delete;
+  BasicScanPool(const BasicScanPool&) = delete;
+  BasicScanPool& operator=(const BasicScanPool&) = delete;
 
-  ~ScanPool();
+  ~BasicScanPool() {
+    for (auto& worker : workers_) {
+      worker->stop.store(true, std::memory_order_release);
+      wake(*worker);
+    }
+    for (auto& worker : workers_) {
+      if (worker->thread.joinable()) worker->thread.join();
+    }
+  }
 
   /// Number of worker threads (0 for the inline single-threaded pool).
   std::size_t workers() const noexcept { return workers_.size(); }
@@ -128,7 +196,21 @@ class ScanPool {
   /// shard index, so the per-shard ordering guarantee follows from the
   /// per-worker FIFO rings. Full rings block regardless of policy (the
   /// caller is already committed to waiting for completion).
-  void dispatch(JobFn fn, void* ctx, std::size_t count);
+  void dispatch(JobFn fn, void* ctx, std::size_t count) {
+    if (workers_.empty()) {
+      for (std::size_t i = 0; i < count; ++i) fn(ctx, i);
+      return;
+    }
+    Completion done;
+    done.expect(count);
+    const auto enqueue = detail::scan_pool_now_ns();
+    for (std::size_t i = 0; i < count; ++i) {
+      Worker& worker = *workers_[i % workers_.size()];
+      push_job(worker, Job{fn, ctx, i, &done, enqueue}, /*force_block=*/true);
+      wake(worker);
+    }
+    done.wait_zero();
+  }
 
   /// Asynchronous single-job submission to one worker — the batched ingest
   /// path. Returns false iff the policy is kShed and the worker's ring is
@@ -136,15 +218,38 @@ class ScanPool {
   /// returns true. When `done` is non-null it must have expect()ed this job
   /// already; the worker signals it after the job returns. Inline pools run
   /// the job on the caller and return true.
-  bool submit(std::size_t worker, JobFn fn, void* ctx, std::size_t arg,
-              Completion* done = nullptr);
+  bool submit(std::size_t worker_index, JobFn fn, void* ctx, std::size_t arg,
+              Completion* done = nullptr) {
+    if (workers_.empty()) {
+      fn(ctx, arg);
+      if (done != nullptr) done->finish_one();
+      return true;
+    }
+    Worker& worker = *workers_[worker_index % workers_.size()];
+    if (!push_job(worker, Job{fn, ctx, arg, done, detail::scan_pool_now_ns()},
+                  /*force_block=*/false)) {
+      return false;
+    }
+    wake(worker);
+    return true;
+  }
 
   /// Like submit() but always waits for ring space regardless of policy.
   /// The ingest pipeline sheds at batch admission (whole packets, counted),
   /// never at job granularity — a batch's per-shard jobs must all run or
   /// its results would silently go missing.
-  void submit_blocking(std::size_t worker, JobFn fn, void* ctx,
-                       std::size_t arg, Completion* done = nullptr);
+  void submit_blocking(std::size_t worker_index, JobFn fn, void* ctx,
+                       std::size_t arg, Completion* done = nullptr) {
+    if (workers_.empty()) {
+      fn(ctx, arg);
+      if (done != nullptr) done->finish_one();
+      return;
+    }
+    Worker& worker = *workers_[worker_index % workers_.size()];
+    push_job(worker, Job{fn, ctx, arg, done, detail::scan_pool_now_ns()},
+             /*force_block=*/true);
+    wake(worker);
+  }
 
  private:
   /// One ring slot. `enqueue_ns` carries the Stopwatch-equivalent steady
@@ -160,36 +265,146 @@ class ScanPool {
   struct Worker {
     explicit Worker(std::size_t capacity) : ring(capacity) {}
 
-    SpscRing<Job> ring;
+    SpscRing<Job, Sync> ring;
     /// Serializes producers so the ring keeps its single-producer contract;
     /// taken once per job (never per packet), uncontended with one ingest
-    /// thread. Never touched by the consumer.
-    Mutex submit_mu;
+    /// thread. Never touched by the consumer (the ring's pop side is the
+    /// worker thread's exclusive role). Producer-side ring pushes are
+    /// funneled through try_push_locked(), whose DPISVC_REQUIRES(submit_mu)
+    /// contract makes an unserialized push a compile error under
+    /// -Werror=thread-safety.
+    typename Sync::Mutex submit_mu;
     /// Parking protocol: the worker publishes `parked` with seq_cst
     /// ordering before its final empty-check, and a producer checks it with
     /// seq_cst ordering after its push — the classic store/load fence pair
     /// that makes a lost wakeup impossible. The timed wait in the worker is
-    /// a belt-and-braces liveness backstop, not the correctness mechanism.
-    Mutex park_mu;
-    CondVar park_cv;
-    std::atomic<bool> parked{false};
-    std::atomic<bool> stop{false};
+    /// a belt-and-braces liveness backstop, not the correctness mechanism
+    /// (the dpisvc_mc pool scenario models wait_for as an untimed wait, so
+    /// a protocol that silently leaned on the timeout would show up as a
+    /// modeled deadlock).
+    typename Sync::Mutex park_mu;
+    typename Sync::CondVar park_cv;
+    typename Sync::template Atomic<bool> parked{false};
+    typename Sync::template Atomic<bool> stop{false};
     obs::Gauge* depth = nullptr;
-    std::thread thread;
+    typename Sync::Thread thread;
   };
 
-  void worker_loop(Worker& worker);
-  void run_job(Job& job);
+  void run_job(Job& job) {
+    if (instruments_.queue_wait_ns != nullptr && job.enqueue_ns != 0) {
+      const auto start = detail::scan_pool_now_ns();
+      instruments_.queue_wait_ns->record(
+          start > job.enqueue_ns ? start - job.enqueue_ns : 0);
+    }
+    job.fn(job.ctx, job.arg);
+    if (job.done != nullptr) job.done->finish_one();
+  }
+
+  static void wake(Worker& worker) {
+    // Pairs with the seq_cst parked-publish in worker_loop: after our push
+    // (or stop store) the fence orders it before the parked load, so either
+    // the consumer's final re-check sees the job or we see parked==true and
+    // notify. Taking park_mu (empty critical section) closes the window
+    // between the worker's last check and its wait.
+    Sync::fence(std::memory_order_seq_cst);
+    if (worker.parked.load(std::memory_order_seq_cst)) {
+      { const typename Sync::MutexLock lock(worker.park_mu); }
+      worker.park_cv.notify_one();
+    }
+  }
+
+  /// The single producer-side ring access; callable only with the worker's
+  /// submit mutex held, which is what keeps the ring single-producer.
+  static bool try_push_locked(Worker& worker, Job&& job)
+      DPISVC_REQUIRES(worker.submit_mu) {
+    return worker.ring.try_push(std::move(job));
+  }
+
   /// Pushes onto `worker`'s ring under its submit mutex, honoring `policy`
   /// (or unconditionally blocking when `force_block`). Returns false only
   /// when the job was shed.
-  bool push_job(Worker& worker, Job job, bool force_block);
-  static void wake(Worker& worker);
+  bool push_job(Worker& worker, Job job, bool force_block) {
+    const typename Sync::MutexLock lock(worker.submit_mu);
+    if (!try_push_locked(worker, Job(job))) {
+      if (!force_block && policy_ == OverloadPolicy::kShed) return false;
+      if (instruments_.blocked != nullptr) instruments_.blocked->add();
+      const auto blocked_start = detail::scan_pool_now_ns();
+      // The consumer frees a slot every time it pops; yielding (rather than
+      // a condvar) keeps the producer-side hot path mutex-free against the
+      // consumer and the wait short under normal drain rates.
+      do {
+        Sync::yield();
+      } while (!try_push_locked(worker, Job(job)));
+      if (instruments_.blocked_ns != nullptr) {
+        instruments_.blocked_ns->record(detail::scan_pool_now_ns() -
+                                        blocked_start);
+      }
+    }
+    const auto size = worker.ring.size();
+    if (instruments_.fill != nullptr) {
+      instruments_.fill->record(static_cast<std::uint64_t>(size));
+    }
+    if (worker.depth != nullptr) {
+      worker.depth->set(static_cast<std::int64_t>(size));
+    }
+    return true;
+  }
+
+  void worker_loop(Worker& worker) {
+    Job job;
+    for (;;) {
+      if (worker.ring.try_pop(job)) {
+        if (worker.depth != nullptr) {
+          worker.depth->set(static_cast<std::int64_t>(worker.ring.size()));
+        }
+        run_job(job);
+        continue;
+      }
+      // Publish "about to park" before the final emptiness re-check; wake()
+      // fences after its push, so either this re-check sees the new job or
+      // the producer sees parked==true and notifies under park_mu.
+      worker.parked.store(true, std::memory_order_seq_cst);
+      Sync::fence(std::memory_order_seq_cst);
+      if (worker.ring.try_pop(job)) {
+        worker.parked.store(false, std::memory_order_relaxed);
+        if (worker.depth != nullptr) {
+          worker.depth->set(static_cast<std::int64_t>(worker.ring.size()));
+        }
+        run_job(job);
+        continue;
+      }
+      if (worker.stop.load(std::memory_order_acquire)) {
+        worker.parked.store(false, std::memory_order_relaxed);
+        // Drain anything raced in after the stop flag; producers have
+        // quiesced by the time the destructor runs, so this empties exactly
+        // once.
+        while (worker.ring.try_pop(job)) run_job(job);
+        return;
+      }
+      {
+        typename Sync::MutexLock lock(worker.park_mu);
+        if (worker.ring.empty() &&
+            !worker.stop.load(std::memory_order_acquire)) {
+          // Timed backstop: even a lost notify (ruled out by the fence
+          // protocol, but cheap to insure against) delays a job by <= 1ms.
+          worker.park_cv.wait_for(lock, std::chrono::milliseconds(1));
+        }
+      }
+      worker.parked.store(false, std::memory_order_relaxed);
+    }
+  }
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::size_t queue_capacity_ = 0;
   OverloadPolicy policy_ = OverloadPolicy::kBlock;
   Instruments instruments_;
 };
+
+/// The production pool. Explicitly instantiated in scan_pool.cpp; other
+/// translation units link against that instantiation instead of
+/// re-compiling the template.
+using ScanPool = BasicScanPool<mc::RealSync>;
+
+extern template class BasicScanPool<mc::RealSync>;
 
 }  // namespace dpisvc::service

@@ -1,0 +1,30 @@
+// Negative case: calling a DPISVC_REQUIRES(mu) function without holding the
+// mutex — the ScanPool::try_push_locked misuse shape (an unserialized
+// producer-side ring push). Clang -Werror=thread-safety MUST reject this
+// file; the ctest registers it with WILL_FAIL.
+#include "common/thread_safety.hpp"
+
+namespace {
+
+class Queue {
+ public:
+  bool submit(int v) {
+    return push_locked(v);  // expected error: requires holding submit_mu_
+  }
+
+ private:
+  bool push_locked(int v) DPISVC_REQUIRES(submit_mu_) {
+    pending_ = v;
+    return true;
+  }
+
+  dpisvc::Mutex submit_mu_;
+  int pending_ DPISVC_GUARDED_BY(submit_mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Queue queue;
+  return queue.submit(1) ? 0 : 1;
+}

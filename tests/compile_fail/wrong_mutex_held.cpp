@@ -1,0 +1,29 @@
+// Negative case: holding mutex B while touching a field guarded by mutex A.
+// A lock IS held, so a lock-counting heuristic would pass this — only real
+// capability analysis connects the field to its specific guard. Clang
+// -Werror=thread-safety MUST reject this file; the ctest registers it with
+// WILL_FAIL.
+#include "common/thread_safety.hpp"
+
+namespace {
+
+class TwoLocks {
+ public:
+  void update() {
+    const dpisvc::MutexLock lock(other_mu_);
+    ++value_;  // expected error: value_ is guarded by mu_, not other_mu_
+  }
+
+ private:
+  dpisvc::Mutex mu_;
+  dpisvc::Mutex other_mu_;
+  int value_ DPISVC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  TwoLocks locks;
+  locks.update();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Seeded-bug "teeth" tests for the dpisvc_mc model checker (DESIGN.md §7):
+// two real, historical bug shapes are re-introduced into the SHIPPED
+// templates via compile-time fault hooks, and the checker must find each
+// one in bounded exploration with a replayable schedule.
+//
+// ODR safety: both fault macros are consumed inside templates keyed on the
+// Sync parameter (kSpscPublishOrder<Sync> is a variable template;
+// Completion::finish_one is a member of the BasicScanPool<Sync> class
+// template), and this TU instantiates them ONLY over the TU-local FaultSync
+// tag below. Every other TU in the binary — including the dpisvc_mc library
+// this links against — sees only the RealSync/ModelSync specializations,
+// which have exactly one (un-faulted) definition.
+#define DPISVC_SPSC_PUBLISH_ORDER_RELAXED 1
+#define DPISVC_MC_FAULT_COMPLETION_NOTIFY 1
+
+#include <gtest/gtest.h>
+
+#include "mc/model_sync.hpp"
+#include "mc/scenarios.hpp"
+#include "mc/scheduler.hpp"
+
+namespace {
+
+using dpisvc::mc::ExploreResult;
+using dpisvc::mc::Explorer;
+
+/// TU-local sync tag: the faulted template specializations exist only for
+/// this type, so they cannot collide with the library's instantiations.
+struct FaultSync : dpisvc::mc::ModelSync {};
+
+// Seeded bug 1: the producer's tail publish demoted from release to
+// relaxed. The consumer's acquire of tail_ then reads a store that carries
+// no happens-before edge, so its non-atomic slot read races with the
+// producer's slot write — MC002, found exhaustively, schedule replayable.
+TEST(McFaultTest, RelaxedRingPublishFoundAsDataRace) {
+  const auto body = [] {
+    dpisvc::mc::scenarios::ring_spsc_body<FaultSync>(/*capacity=*/2,
+                                                     /*items=*/2);
+  };
+  Explorer explorer;
+  const ExploreResult res = explorer.explore(body);
+  ASSERT_FALSE(res.ok()) << "seeded relaxed publish must be detected";
+  EXPECT_EQ(res.bug->code, "MC002");
+  EXPECT_FALSE(res.bug->schedule.empty());
+  EXPECT_FALSE(res.bug->schedule_text.empty());
+
+  Explorer replayer;
+  const ExploreResult rep = replayer.replay(body, res.bug->schedule);
+  ASSERT_FALSE(rep.ok());
+  // Same diagnostic class; the message embeds the racing address, which is
+  // a fresh allocation in the replaying Explorer.
+  EXPECT_EQ(rep.bug->code, "MC002");
+}
+
+// Seeded bug 2: Completion::finish_one signalling AFTER releasing the
+// mutex (the pre-PR9 shape). The waiter can then observe remaining_ == 0,
+// return from wait_zero(), and destroy the stack latch while the
+// finisher's notify is still in flight — a use-after-destroy on the
+// latch's CondVar, MC003, with the destroy and the late notify both
+// visible in the printed schedule.
+TEST(McFaultTest, NotifyAfterUnlockFoundAsUseAfterDestroy) {
+  const auto body = [] {
+    dpisvc::mc::scenarios::completion_latch_body<FaultSync>();
+  };
+  Explorer explorer;
+  const ExploreResult res = explorer.explore(body);
+  ASSERT_FALSE(res.ok()) << "seeded notify-after-unlock must be detected";
+  EXPECT_EQ(res.bug->code, "MC003");
+  EXPECT_FALSE(res.bug->schedule.empty());
+  EXPECT_FALSE(res.bug->schedule_text.empty());
+
+  Explorer replayer;
+  const ExploreResult rep = replayer.replay(body, res.bug->schedule);
+  ASSERT_FALSE(rep.ok());
+  EXPECT_EQ(rep.bug->code, "MC003");
+}
+
+// The un-faulted control for both bodies lives in mc_test.cpp (the
+// ring_spsc and completion_latch registry scenarios verify clean over
+// ModelSync). It must NOT be duplicated here: instantiating the ModelSync
+// specializations from this macro-defining TU would be the exact ODR
+// violation the FaultSync tag exists to prevent.
+
+}  // namespace

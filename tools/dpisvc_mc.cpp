@@ -1,0 +1,187 @@
+// dpisvc_mc — exhaustive concurrency model checker for the lock-free
+// ingest/scan-pool primitives (DESIGN.md §7).
+//
+//   dpisvc_mc --list                      enumerate scenarios
+//   dpisvc_mc                             run every scenario
+//   dpisvc_mc --scenario ring_spsc        run one scenario
+//   dpisvc_mc --max-preemptions 2         override the preemption bound
+//   dpisvc_mc --max-executions N          cap the number of interleavings
+//   dpisvc_mc --json                      machine-readable report
+//
+// Exit status: 0 when every selected scenario verifies, 1 on any diagnostic
+// (the failing schedule is printed and is replayable via Explorer::replay),
+// 2 on usage errors.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "json/json.hpp"
+#include "mc/scenario.hpp"
+
+namespace {
+
+using dpisvc::mc::ExploreResult;
+using dpisvc::mc::Explorer;
+using dpisvc::mc::ScenarioInfo;
+
+struct Args {
+  bool list = false;
+  bool json = false;
+  std::string scenario;        // empty = all
+  int max_preemptions = -999;  // sentinel: keep per-scenario default
+  std::uint64_t max_executions = 0;  // 0 = keep default
+};
+
+void usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: dpisvc_mc [--list] [--scenario NAME] "
+               "[--max-preemptions N] [--max-executions N] [--json]\n");
+}
+
+bool parse_args(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    auto next_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "dpisvc_mc: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(a, "--list") == 0) {
+      args.list = true;
+    } else if (std::strcmp(a, "--json") == 0) {
+      args.json = true;
+    } else if (std::strcmp(a, "--scenario") == 0) {
+      const char* v = next_value("--scenario");
+      if (v == nullptr) return false;
+      args.scenario = v;
+    } else if (std::strcmp(a, "--max-preemptions") == 0) {
+      const char* v = next_value("--max-preemptions");
+      if (v == nullptr) return false;
+      args.max_preemptions = std::atoi(v);
+    } else if (std::strcmp(a, "--max-executions") == 0) {
+      const char* v = next_value("--max-executions");
+      if (v == nullptr) return false;
+      args.max_executions = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+      usage(stdout);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "dpisvc_mc: unknown argument '%s'\n", a);
+      return false;
+    }
+  }
+  return true;
+}
+
+ExploreResult run_scenario(const ScenarioInfo& s, const Args& args) {
+  dpisvc::mc::ExploreOptions opts = s.options;
+  if (args.max_preemptions != -999) opts.max_preemptions = args.max_preemptions;
+  if (args.max_executions != 0) opts.max_executions = args.max_executions;
+  Explorer explorer(opts);
+  return explorer.explore(s.body);
+}
+
+dpisvc::json::Value result_json(const ScenarioInfo& s,
+                                const ExploreResult& res) {
+  using dpisvc::json::Object;
+  using dpisvc::json::Value;
+  Object v;
+  v["scenario"] = Value(s.name);
+  v["executions"] = Value(static_cast<std::uint64_t>(res.executions));
+  v["transitions"] = Value(static_cast<std::uint64_t>(res.transitions));
+  v["exhausted"] = Value(res.exhausted);
+  v["hit_execution_bound"] = Value(res.hit_execution_bound);
+  v["ok"] = Value(res.ok());
+  if (res.bug.has_value()) {
+    Object bug;
+    bug["code"] = Value(res.bug->code);
+    bug["message"] = Value(res.bug->message);
+    dpisvc::json::Array sched;
+    for (std::size_t c : res.bug->schedule) {
+      sched.emplace_back(static_cast<std::uint64_t>(c));
+    }
+    bug["schedule"] = Value(std::move(sched));
+    dpisvc::json::Array text;
+    for (const std::string& line : res.bug->schedule_text) {
+      text.emplace_back(line);
+    }
+    bug["schedule_text"] = Value(std::move(text));
+    v["bug"] = Value(std::move(bug));
+  }
+  return Value(std::move(v));
+}
+
+void print_result(const ScenarioInfo& s, const ExploreResult& res) {
+  std::printf("%-18s %s  executions=%llu transitions=%llu%s%s\n", s.name.c_str(),
+              res.ok() ? "ok " : "BUG",
+              static_cast<unsigned long long>(res.executions),
+              static_cast<unsigned long long>(res.transitions),
+              res.exhausted ? " (exhausted)" : "",
+              res.hit_execution_bound ? " (hit execution bound)" : "");
+  if (res.bug.has_value()) {
+    std::printf("  %s: %s\n", res.bug->code.c_str(), res.bug->message.c_str());
+    std::printf("  failing schedule (replayable choice ids:");
+    for (std::size_t c : res.bug->schedule) {
+      std::printf(" %zu", c);
+    }
+    std::printf("):\n");
+    for (const std::string& line : res.bug->schedule_text) {
+      std::printf("    %s\n", line.c_str());
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, args)) {
+    usage(stderr);
+    return 2;
+  }
+
+  const auto& registry = dpisvc::mc::scenario_registry();
+
+  if (args.list) {
+    for (const ScenarioInfo& s : registry) {
+      std::printf("%-18s %s\n", s.name.c_str(), s.description.c_str());
+    }
+    return 0;
+  }
+
+  std::vector<const ScenarioInfo*> selected;
+  if (!args.scenario.empty()) {
+    const ScenarioInfo* s = dpisvc::mc::find_scenario(args.scenario);
+    if (s == nullptr) {
+      std::fprintf(stderr,
+                   "dpisvc_mc: unknown scenario '%s' (see --list)\n",
+                   args.scenario.c_str());
+      return 2;
+    }
+    selected.push_back(s);
+  } else {
+    for (const ScenarioInfo& s : registry) selected.push_back(&s);
+  }
+
+  bool any_bug = false;
+  dpisvc::json::Array report;
+  for (const ScenarioInfo* s : selected) {
+    const ExploreResult res = run_scenario(*s, args);
+    any_bug = any_bug || !res.ok();
+    if (args.json) {
+      report.push_back(result_json(*s, res));
+    } else {
+      print_result(*s, res);
+    }
+  }
+  if (args.json) {
+    std::printf("%s\n",
+                dpisvc::json::dump(dpisvc::json::Value(std::move(report)))
+                    .c_str());
+  }
+  return any_bug ? 1 : 0;
+}
